@@ -1,0 +1,405 @@
+(* Benchmark / reproduction harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (with the paper's published numbers printed
+   alongside), runs the ablation studies for the design choices called
+   out in DESIGN.md, and finishes with Bechamel micro-benchmarks of the
+   infrastructure itself.
+
+     dune exec bench/main.exe                 # full run (default trials)
+     BENCH_TRIALS=1000 dune exec bench/main.exe   # the paper's 1000/cell
+
+   Expect a few minutes at the default of 150 trials per cell. *)
+
+let trials =
+  match Sys.getenv_opt "BENCH_TRIALS" with
+  | Some s -> (try max 10 (int_of_string s) with _ -> 150)
+  | None -> 150
+
+let config = { Core.Campaign.default_config with trials }
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* ----------------------------------------------------------------- *)
+(* Part 1: the paper's tables and figures                            *)
+(* ----------------------------------------------------------------- *)
+
+let run_campaign () =
+  section
+    (Printf.sprintf
+       "Reproduction campaign: 6 benchmarks x 2 tools x 5 categories x %d \
+        injections"
+       trials);
+  let t0 = Unix.gettimeofday () in
+  let prepared = List.map (Core.Campaign.prepare config) Workloads.all in
+  let cells =
+    List.concat_map
+      (fun p ->
+        Printf.printf "  injecting into %s...\n%!"
+          p.Core.Campaign.workload.Core.Workload.name;
+        List.concat_map
+          (fun tool ->
+            List.map
+              (fun category -> Core.Campaign.run_cell config p tool category)
+              Core.Category.all)
+          [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+      prepared
+  in
+  Printf.printf "  campaign wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0);
+  section "Table II — benchmark characteristics";
+  Core.Report.table2 Workloads.all;
+  section "Table III — injection categories";
+  Core.Report.table3 ();
+  section "Table I — IR-to-assembly lowering effects (mechanical evidence)";
+  Core.Report.table1 prepared;
+  section "Figure 2 — PINFI activation heuristics";
+  Core.Report.figure2 ();
+  section "Table IV — dynamic instructions per category (ours vs paper)";
+  Core.Report.table4 prepared;
+  section "Figure 3 — aggregate outcome breakdown";
+  Core.Report.figure3 cells;
+  section "Figure 4 — SDC rates with 95% confidence intervals";
+  Core.Report.figure4 cells;
+  section "Table V — crash rates per category (ours vs paper)";
+  Core.Report.table5 cells;
+  section "Paper claims, evaluated on this run";
+  Core.Report.print_claims (Core.Report.evaluate_claims prepared cells);
+  (prepared, cells)
+
+(* ----------------------------------------------------------------- *)
+(* Part 2: ablations of the design choices in DESIGN.md              *)
+(* ----------------------------------------------------------------- *)
+
+(* Ablation 1: GEP folding.  The paper's Discussion item 1 says the
+   IR/assembly 'arithmetic' discrepancy comes from address computations
+   folding into addressing modes.  Turning folding off should collapse
+   the arithmetic-count gap. *)
+let ablation_gep_folding () =
+  section "Ablation: GEP folding (paper Discussion #1)";
+  Printf.printf "%-12s %18s %18s %18s\n" "program" "LLFI arith"
+    "PINFI arith (fold)" "PINFI arith (nofold)";
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let prog = Opt.optimize (Minic.compile w.source) in
+      let count cfg =
+        let asm = Backend.compile ~config:cfg prog in
+        let pinfi = Core.Pinfi.prepare ~inputs:w.inputs asm in
+        Core.Pinfi.dynamic_count pinfi Core.Category.Arithmetic
+      in
+      let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+      Printf.printf "%-12s %18d %18d %18d\n" w.name
+        (Core.Llfi.dynamic_count llfi Core.Category.Arithmetic)
+        (count { Backend.fold_geps = true })
+        (count { Backend.fold_geps = false }))
+    [ Workloads.find_exn "bzip2"; Workloads.find_exn "ocean";
+      Workloads.find_exn "mcf" ];
+  print_endline
+    "\nWithout folding, every address computation is explicit arithmetic at";
+  print_endline
+    "the assembly level, widening the arithmetic gap the paper describes."
+
+(* Ablation 2: PINFI's dependent-flag-bit heuristic (Figure 2a). *)
+let ablation_flag_bits () =
+  section "Ablation: dependent flag bits (paper Figure 2a)";
+  let w = Workloads.find_exn "mcf" in
+  let prog = Opt.optimize (Minic.compile w.source) in
+  let asm = Backend.compile prog in
+  let run policy =
+    let pinfi =
+      Core.Pinfi.prepare ~config:{ Core.Pinfi.policy } ~inputs:w.inputs asm
+    in
+    let tally = Core.Verdict.fresh_tally () in
+    let rng = Support.Rng.of_int 5 in
+    for _ = 1 to 300 do
+      let stats = Core.Pinfi.inject pinfi Core.Category.Cmp (Support.Rng.split rng) in
+      Core.Verdict.add tally
+        (Core.Verdict.of_run ~golden_output:pinfi.Core.Pinfi.golden_output stats)
+    done;
+    tally
+  in
+  let show name tally =
+    Printf.printf
+      "  %-22s activated %3d/300   benign %3d  sdc %3d  crash %3d\n" name
+      (Core.Verdict.activated tally)
+      tally.Core.Verdict.benign tally.Core.Verdict.sdc tally.Core.Verdict.crash
+  in
+  show "dependent bits" (run Vm.X86_exec.paper_policy);
+  show "any flag bit"
+    (run { Vm.X86_exec.paper_policy with flag_dependent_bits = false });
+  print_endline
+    "\nInjecting an arbitrary flag bit frequently misses the bit the jcc";
+  print_endline
+    "reads: the fault stays architecturally silent and the run is wasted —";
+  print_endline "exactly why PINFI computes the dependent bit set."
+
+(* Ablation 3: XMM low-64 pruning (Figure 2b). *)
+let ablation_xmm_pruning () =
+  section "Ablation: XMM low-64-bit pruning (paper Figure 2b)";
+  let w = Workloads.find_exn "ocean" in
+  let prog = Opt.optimize (Minic.compile w.source) in
+  let asm = Backend.compile prog in
+  let run policy =
+    let pinfi =
+      Core.Pinfi.prepare ~config:{ Core.Pinfi.policy } ~inputs:w.inputs asm
+    in
+    let tally = Core.Verdict.fresh_tally () in
+    let rng = Support.Rng.of_int 5 in
+    for _ = 1 to 300 do
+      let stats =
+        Core.Pinfi.inject pinfi Core.Category.Arithmetic (Support.Rng.split rng)
+      in
+      Core.Verdict.add tally
+        (Core.Verdict.of_run ~golden_output:pinfi.Core.Pinfi.golden_output stats)
+    done;
+    tally
+  in
+  let show name tally =
+    Printf.printf "  %-22s activated %3d/300   not-activated %3d\n" name
+      (Core.Verdict.activated tally)
+      tally.Core.Verdict.not_activated
+  in
+  show "low 64 bits only" (run Vm.X86_exec.paper_policy);
+  show "all 128 bits"
+    (run { Vm.X86_exec.paper_policy with xmm_low64_only = false });
+  print_endline
+    "\nRoughly half of unpruned XMM injections land in the unused upper half";
+  print_endline "of the register and can never be activated."
+
+(* Ablation 4: LLFI's conversion-only cast selection (Table I row 5). *)
+let ablation_cast_pruning () =
+  section "Ablation: LLFI cast pruning (paper Table I row 5, Discussion #2)";
+  Printf.printf "%-12s %24s %24s\n" "program" "casts (conversions only)"
+    "casts (all cast opcodes)";
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let prog = Opt.optimize (Minic.compile w.source) in
+      let count cfg =
+        let llfi = Core.Llfi.prepare ~config:cfg ~inputs:w.inputs prog in
+        Core.Llfi.dynamic_count llfi Core.Category.Cast
+      in
+      Printf.printf "%-12s %24d %24d\n" w.name
+        (count Core.Llfi.default_config)
+        (count { Core.Llfi.default_config with conversion_casts_only = false }))
+    Workloads.all;
+  print_endline
+    "\nPointer casts (bitcast/ptrtoint/inttoptr) have no assembly counterpart;";
+  print_endline
+    "including them inflates the IR cast population with crash-prone";
+  print_endline "injections no hardware fault corresponds to."
+
+(* Ablation 5: inlining (pipeline parity with clang -O2). *)
+let ablation_inlining () =
+  section "Ablation: function inlining in the standard pipeline";
+  Printf.printf "%-12s %16s %16s %16s %16s\n" "program" "IR all (inline)"
+    "asm all (inline)" "IR all (no inl)" "asm all (no inl)";
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let counts inline =
+        let prog = Opt.optimize ~inline (Minic.compile w.source) in
+        let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+        let pinfi = Core.Pinfi.prepare ~inputs:w.inputs (Backend.compile prog) in
+        ( Core.Llfi.dynamic_count llfi Core.Category.All,
+          Core.Pinfi.dynamic_count pinfi Core.Category.All )
+      in
+      let i_ir, i_asm = counts true in
+      let n_ir, n_asm = counts false in
+      Printf.printf "%-12s %16d %16d %16d %16d\n" w.name i_ir i_asm n_ir n_asm)
+    [ Workloads.find_exn "hmmer"; Workloads.find_exn "raytrace" ];
+  print_endline
+    "\nWithout inlining, assembly-level call plumbing (stack argument loads,";
+  print_endline
+    "callee-saved saves) that LLVM's optimizer would have removed dominates";
+  print_endline "the PINFI population — LLVM-parity requires the inliner."
+
+(* ----------------------------------------------------------------- *)
+(* Part 2b: extension — crash latency                                  *)
+(* ----------------------------------------------------------------- *)
+
+(* How many dynamic instructions pass between the bit flip and the
+   crash?  Short latencies mean the corrupted value was consumed as an
+   address almost immediately — the mechanism behind the level-dependent
+   crash rates of Table V. *)
+let extension_crash_latency () =
+  section "Extension: crash latency (instructions from flip to trap)";
+  let percentile sorted p =
+    match Array.length sorted with
+    | 0 -> 0
+    | n -> sorted.(min (n - 1) (p * n / 100))
+  in
+  Printf.printf "  %-12s %-6s %8s %10s %10s %10s\n" "program" "tool" "crashes"
+    "p50" "p90" "max";
+  List.iter
+    (fun name ->
+      let w = Workloads.find_exn name in
+      let prog = Opt.optimize (Minic.compile w.Core.Workload.source) in
+      let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+      let pinfi = Core.Pinfi.prepare ~inputs:w.inputs (Backend.compile prog) in
+      let study label inject =
+        let rng = Support.Rng.of_int 23 in
+        let latencies = ref [] in
+        for _ = 1 to 300 do
+          let stats = inject (Support.Rng.split rng) in
+          match stats.Vm.Outcome.outcome with
+          | Vm.Outcome.Crashed _ when stats.Vm.Outcome.injected ->
+            latencies :=
+              (stats.Vm.Outcome.steps - stats.Vm.Outcome.injected_step)
+              :: !latencies
+          | _ -> ()
+        done;
+        let sorted = Array.of_list !latencies in
+        Array.sort compare sorted;
+        Printf.printf "  %-12s %-6s %8d %10d %10d %10d\n" name label
+          (Array.length sorted) (percentile sorted 50) (percentile sorted 90)
+          (percentile sorted 100)
+      in
+      study "LLFI" (fun rng -> Core.Llfi.inject llfi Core.Category.All rng);
+      study "PINFI" (fun rng -> Core.Pinfi.inject pinfi Core.Category.All rng))
+    [ "mcf"; "ocean" ];
+  print_endline
+    "\nMedian latencies of a few instructions show faults dying on their";
+  print_endline
+    "first use as an address; long tails come from corrupted values parked";
+  print_endline "in memory and re-read much later."
+
+(* ----------------------------------------------------------------- *)
+(* Part 2b': robustness — input sensitivity of the rates              *)
+(* ----------------------------------------------------------------- *)
+
+(* The paper runs one input per benchmark.  How input-dependent are the
+   measured rates?  Re-run one benchmark under several inputs. *)
+let robustness_inputs () =
+  section "Robustness: outcome rates across different inputs (mcf, LLFI 'all')";
+  Printf.printf "  %-10s %10s %8s %8s %8s\n" "input" "population" "crash" "sdc"
+    "benign";
+  let w = Workloads.find_exn "mcf" in
+  List.iter
+    (fun seed ->
+      let prog = Opt.optimize (Minic.compile w.Core.Workload.source) in
+      let llfi = Core.Llfi.prepare ~inputs:[| seed |] prog in
+      let tally = Core.Verdict.fresh_tally () in
+      let rng = Support.Rng.of_int (1000 + seed) in
+      for _ = 1 to 200 do
+        let stats = Core.Llfi.inject llfi Core.Category.All (Support.Rng.split rng) in
+        Core.Verdict.add tally
+          (Core.Verdict.of_run ~golden_output:llfi.Core.Llfi.golden_output stats)
+      done;
+      Printf.printf "  %-10d %10d %7.0f%% %7.0f%% %7.0f%%\n" seed
+        (Core.Llfi.dynamic_count llfi Core.Category.All)
+        (100.0 *. Core.Verdict.crash_rate tally)
+        (100.0 *. Core.Verdict.sdc_rate tally)
+        (100.0 *. Core.Verdict.benign_rate tally))
+    [ 11; 29; 53; 97 ];
+  print_endline
+    "\nRates move by only a few points across inputs: the study's";
+  print_endline "conclusions do not hinge on the particular test input."
+
+(* ----------------------------------------------------------------- *)
+(* Part 2c: extension — EDC severity of SDCs (related work [12])      *)
+(* ----------------------------------------------------------------- *)
+
+let extension_edc () =
+  section "Extension: Egregious Data Corruption (EDC) severity of SDCs";
+  Printf.printf
+    "Grading every LLFI 'all'-category SDC by output deviation (>%.0f%%\n\
+     relative deviation or structural change = egregious):\n\n"
+    (100.0 *. Core.Edc.default_threshold);
+  Printf.printf "  %-12s %8s %8s %12s %12s\n" "program" "trials" "sdc"
+    "egregious" "tolerable";
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let prog = Opt.optimize (Minic.compile w.source) in
+      let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+      let study =
+        Core.Edc.run_study llfi Core.Category.All ~trials:(max 100 (trials / 2))
+          (Support.Rng.of_int 17)
+      in
+      Printf.printf "  %-12s %8d %8d %12d %12d\n" w.name study.Core.Edc.s_trials
+        study.s_sdc study.s_egregious study.s_tolerable)
+    Workloads.all;
+  print_endline
+    "\nFor the stencil code (ocean) most SDCs are tolerable deviations, while";
+  print_endline
+    "checksummed outputs (bzip2, libquantum) make almost every SDC egregious";
+  print_endline
+    "— the EDC-vs-SDC distinction of Thomas et al. that the paper contrasts";
+  print_endline "its full-SDC evaluation against."
+
+(* ----------------------------------------------------------------- *)
+(* Part 3: Bechamel micro-benchmarks of the infrastructure            *)
+(* ----------------------------------------------------------------- *)
+
+let bechamel_suite () =
+  section "Infrastructure micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let w = Workloads.find_exn "mcf" in
+  let prog = Opt.optimize (Minic.compile w.Core.Workload.source) in
+  let asm = Backend.compile prog in
+  let ir_compiled = Vm.Ir_exec.compile prog in
+  let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+  let pinfi = Core.Pinfi.prepare ~inputs:w.inputs asm in
+  let rng = Support.Rng.of_int 3 in
+  let tests =
+    [
+      (* One Test.make per reproduced artifact: what it costs to build
+         the data behind each table/figure. *)
+      Test.make ~name:"tableII:frontend+optimize"
+        (Staged.stage (fun () ->
+             ignore (Opt.optimize (Minic.compile w.Core.Workload.source))));
+      Test.make ~name:"tableI:backend-compile"
+        (Staged.stage (fun () -> ignore (Backend.compile prog)));
+      Test.make ~name:"tableIV:llfi-profile-run"
+        (Staged.stage (fun () ->
+             let counts = Array.make 32 0 in
+             ignore
+               (Vm.Ir_exec.run ~inputs:w.inputs ~profile_masks:counts ir_compiled)));
+      Test.make ~name:"tableIV:pinfi-profile-run"
+        (Staged.stage (fun () ->
+             let counts = Array.make 32 0 in
+             ignore
+               (Vm.X86_exec.run ~inputs:w.inputs ~profile_masks:counts
+                  pinfi.Core.Pinfi.loaded)));
+      Test.make ~name:"fig3/fig4:llfi-injection-run"
+        (Staged.stage (fun () ->
+             ignore (Core.Llfi.inject llfi Core.Category.All (Support.Rng.split rng))));
+      Test.make ~name:"tableV:pinfi-injection-run"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Pinfi.inject pinfi Core.Category.All (Support.Rng.split rng))));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            Printf.printf "  %-32s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  run_campaign () |> ignore;
+  ablation_gep_folding ();
+  ablation_flag_bits ();
+  ablation_xmm_pruning ();
+  ablation_cast_pruning ();
+  ablation_inlining ();
+  extension_crash_latency ();
+  robustness_inputs ();
+  extension_edc ();
+  bechamel_suite ();
+  print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured analysis."

@@ -1,0 +1,458 @@
+(* fi — command-line driver for the LLFI/PINFI fault-injection study.
+
+   Subcommands:
+     list       benchmark registry (Table II data)
+     run        golden-run a benchmark at either level
+     emit       dump the optimized IR or the generated assembly
+     profile    dynamic instruction counts per category (Table IV row)
+     inject     run one fault-injection cell and print its tally
+     propagate  trace fault propagation through the instruction stream
+     edc        grade SDC severity (egregious vs tolerable corruption)
+     check      parse/verify/execute a textual IR dump
+     campaign   run the full study and print every table and figure
+*)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown workload %S (try: %s)" s
+             (String.concat ", "
+                (List.map (fun w -> w.Core.Workload.name) Workloads.all))))
+  in
+  let print fmt (w : Core.Workload.t) = Format.fprintf fmt "%s" w.name in
+  Arg.conv (parse, print)
+
+let category_conv =
+  let parse s =
+    match Core.Category.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown category %S" s))
+  in
+  let print fmt c = Format.fprintf fmt "%s" (Core.Category.name c) in
+  Arg.conv (parse, print)
+
+let workload_opt_arg =
+  Arg.(
+    value
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Registered benchmark to use.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"PATH"
+        ~doc:"A MiniC source file to study instead of a registered benchmark.")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "inputs" ] ~docv:"N,N,..."
+        ~doc:"Input vector served by the program's input() builtin.")
+
+let workload_of_file path inputs =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  {
+    Core.Workload.name = Filename.remove_extension (Filename.basename path);
+    suite = "user";
+    description = "user-supplied program " ^ path;
+    paper_counterpart = "(none)";
+    source;
+    inputs = Array.of_list inputs;
+    input_name = "custom";
+  }
+
+(* Either a registered benchmark (-w) or a source file (--file), with an
+   optional input-vector override. *)
+let workload_arg =
+  let combine w file inputs =
+    match (w, file) with
+    | Some w, None -> (
+      match inputs with
+      | [] -> `Ok w
+      | l -> `Ok { w with Core.Workload.inputs = Array.of_list l; input_name = "custom" })
+    | None, Some path -> (
+      match workload_of_file path inputs with
+      | w -> `Ok w
+      | exception Sys_error msg -> `Error (false, msg))
+    | Some _, Some _ -> `Error (true, "use either -w or --file, not both")
+    | None, None -> `Error (true, "one of -w NAME or --file PATH is required")
+  in
+  Term.(ret (const combine $ workload_opt_arg $ file_arg $ inputs_arg))
+
+let seed_arg =
+  Arg.(
+    value & opt int 2014
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign master seed (deterministic).")
+
+let trials_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "trials" ] ~docv:"N"
+        ~doc:"Fault injections per benchmark x tool x category cell.")
+
+let config_of ~trials ~seed =
+  { Core.Campaign.default_config with trials; seed }
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Core.Report.table2 Workloads.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark programs (Table II).")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let level_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ir", `Ir); ("asm", `Asm) ]) `Ir
+    & info [ "level" ] ~docv:"LEVEL" ~doc:"Execution level: ir or asm.")
+
+let run_cmd =
+  let run (w : Core.Workload.t) level =
+    let prog = Opt.optimize (Minic.compile w.source) in
+    let stats =
+      match level with
+      | `Ir -> Vm.Ir_exec.run ~inputs:w.inputs (Vm.Ir_exec.compile prog)
+      | `Asm ->
+        Vm.X86_exec.run ~inputs:w.inputs (Vm.X86_exec.load (Backend.compile prog))
+    in
+    (match stats.Vm.Outcome.outcome with
+    | Vm.Outcome.Finished out -> print_string out
+    | other -> Fmt.pr "%a@." Vm.Outcome.pp other);
+    Fmt.pr "[%d dynamic instructions]@." stats.Vm.Outcome.steps;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Golden-run a benchmark and print its output.")
+    Term.(const run $ workload_arg $ level_arg)
+
+(* --- emit --- *)
+
+let emit_cmd =
+  let run (w : Core.Workload.t) what optimized =
+    let prog = Minic.compile w.source in
+    let prog = if optimized then Opt.optimize prog else prog in
+    (match what with
+    | `Ir -> print_string (Ir.Printer.prog_to_string prog)
+    | `Asm -> print_string (Backend.Program.to_string (Backend.compile prog)));
+    0
+  in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("ir", `Ir); ("asm", `Asm) ]) `Ir
+      & info [ "emit" ] ~docv:"WHAT" ~doc:"What to dump: ir or asm.")
+  in
+  let optimized =
+    Arg.(
+      value & opt bool true
+      & info [ "optimized" ] ~docv:"BOOL"
+          ~doc:"Run the standard optimization pipeline first.")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Dump a benchmark's IR or generated assembly.")
+    Term.(const run $ workload_arg $ what $ optimized)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run (w : Core.Workload.t) =
+    let config = Core.Campaign.default_config in
+    let p = Core.Campaign.prepare config w in
+    Core.Report.table4 [ p ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile dynamic instruction counts per category (Table IV row).")
+    Term.(const run $ workload_arg)
+
+(* --- inject --- *)
+
+let inject_cmd =
+  let run (w : Core.Workload.t) tool category trials seed functions =
+    let config = config_of ~trials ~seed in
+    let config =
+      match functions with
+      | [] -> config
+      | names ->
+        {
+          config with
+          llfi =
+            { config.llfi with Core.Llfi.custom_selector = Core.Llfi.in_functions names };
+        }
+    in
+    let p = Core.Campaign.prepare config w in
+    let tool =
+      match tool with
+      | `Llfi -> Core.Campaign.Llfi_tool
+      | `Pinfi -> Core.Campaign.Pinfi_tool
+    in
+    let cell = Core.Campaign.run_cell config p tool category in
+    let t = cell.Core.Campaign.c_tally in
+    Fmt.pr "workload=%s tool=%s category=%s population=%d@." w.name
+      (Core.Campaign.tool_name tool)
+      (Core.Category.name category)
+      cell.c_population;
+    Fmt.pr "trials=%d activated=%d@." t.Core.Verdict.trials
+      (Core.Verdict.activated t);
+    Fmt.pr "crash=%d (%.1f%%)  sdc=%d (%.1f%%)  benign=%d (%.1f%%)  hang=%d@."
+      t.crash
+      (100.0 *. Core.Verdict.crash_rate t)
+      t.sdc
+      (100.0 *. Core.Verdict.sdc_rate t)
+      t.benign
+      (100.0 *. Core.Verdict.benign_rate t)
+      t.hang;
+    if t.not_activated > 0 then Fmt.pr "not activated: %d@." t.not_activated;
+    0
+  in
+  let tool_arg =
+    Arg.(
+      value
+      & opt (enum [ ("llfi", `Llfi); ("pinfi", `Pinfi) ]) `Llfi
+      & info [ "t"; "tool" ] ~docv:"TOOL" ~doc:"Injector: llfi or pinfi.")
+  in
+  let cat_arg =
+    Arg.(
+      value
+      & opt category_conv Core.Category.All
+      & info [ "c"; "category" ] ~docv:"CAT"
+          ~doc:"Instruction category: arithmetic, cast, cmp, load or all.")
+  in
+  let functions_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "in-function" ] ~docv:"FUNC"
+          ~doc:
+            "Restrict LLFI injection to the named function(s) — LLFI's \
+             custom selectors (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run one fault-injection cell and print the tally.")
+    Term.(
+      const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200 $ seed_arg
+      $ functions_arg)
+
+(* --- propagate --- *)
+
+let propagate_cmd =
+  let run (w : Core.Workload.t) category trials seed =
+    let prog = Opt.optimize (Minic.compile w.source) in
+    let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+    let rng = Support.Rng.of_int seed in
+    Fmt.pr "Error propagation for %s, %d traced injections into '%s':@."
+      w.name trials
+      (Core.Category.name category);
+    let vanished = ref 0 in
+    let data_only = ref 0 in
+    let cf = ref 0 in
+    for trial = 1 to trials do
+      let report = Core.Propagation.analyze llfi category (Support.Rng.split rng) in
+      Fmt.pr "  %2d: %a@." trial Core.Propagation.pp_report report;
+      (match
+         (report.Core.Propagation.first_divergence,
+          report.Core.Propagation.control_flow_diverged_at)
+       with
+      | None, _ -> incr vanished
+      | Some _, None -> incr data_only
+      | Some _, Some _ -> incr cf)
+    done;
+    Fmt.pr "@.summary: %d vanished, %d data-flow only, %d reached control flow@."
+      !vanished !data_only !cf;
+    0
+  in
+  let cat_arg =
+    Arg.(
+      value
+      & opt category_conv Core.Category.All
+      & info [ "c"; "category" ] ~docv:"CAT" ~doc:"Instruction category.")
+  in
+  Cmd.v
+    (Cmd.info "propagate"
+       ~doc:
+         "Trace how injected faults propagate through the dynamic \
+          instruction stream (LLFI's propagation analysis).")
+    Term.(const run $ workload_arg $ cat_arg $ trials_arg 10 $ seed_arg)
+
+(* --- check: parse/verify/run a textual IR dump --- *)
+
+let check_cmd =
+  let run path inputs execute =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Ir.Parse.prog text with
+    | exception Ir.Parse.Error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      1
+    | prog -> (
+      match Ir.Verify.check_prog prog with
+      | _ :: _ as errors ->
+        List.iter (fun e -> Fmt.epr "%a@." Ir.Verify.pp_error e) errors;
+        Fmt.epr "%d verification error(s)@." (List.length errors);
+        1
+      | [] ->
+        Fmt.pr "%s: %d function(s), %d global(s) — OK@." path
+          (List.length prog.Ir.Prog.funcs)
+          (List.length prog.Ir.Prog.globals);
+        if execute then begin
+          let stats =
+            Vm.Ir_exec.run
+              ~inputs:(Array.of_list inputs)
+              (Vm.Ir_exec.compile prog)
+          in
+          match stats.Vm.Outcome.outcome with
+          | Vm.Outcome.Finished out ->
+            print_string out;
+            Fmt.pr "[%d dynamic instructions]@." stats.Vm.Outcome.steps
+          | other -> Fmt.pr "%a@." Vm.Outcome.pp other
+        end;
+        0)
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.ll" ~doc:"Textual IR dump (from 'fi emit').")
+  in
+  let exec_arg =
+    Arg.(
+      value & flag
+      & info [ "exec" ] ~doc:"Also execute the parsed program's main.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse and verify a textual IR dump; optionally execute it.")
+    Term.(const run $ path_arg $ inputs_arg $ exec_arg)
+
+(* --- edc --- *)
+
+let edc_cmd =
+  let run (w : Core.Workload.t) category trials seed threshold =
+    let prog = Opt.optimize (Minic.compile w.source) in
+    let llfi = Core.Llfi.prepare ~inputs:w.inputs prog in
+    let study =
+      Core.Edc.run_study ~threshold llfi category ~trials
+        (Support.Rng.of_int seed)
+    in
+    Fmt.pr "workload=%s category=%s trials=%d threshold=%.0f%%@." w.name
+      (Core.Category.name category)
+      trials (100.0 *. threshold);
+    Fmt.pr "sdc=%d  egregious=%d  tolerable=%d  (worst tolerated deviation %.3f%%)@."
+      study.Core.Edc.s_sdc study.s_egregious study.s_tolerable
+      (100.0 *. study.s_max_tolerated);
+    0
+  in
+  let cat_arg =
+    Arg.(
+      value
+      & opt category_conv Core.Category.All
+      & info [ "c"; "category" ] ~docv:"CAT" ~doc:"Instruction category.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float Core.Edc.default_threshold
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:"Relative deviation above which an SDC counts as egregious.")
+  in
+  Cmd.v
+    (Cmd.info "edc"
+       ~doc:
+         "Grade SDC severity: egregious vs tolerable data corruptions \
+          (the soft-computing extension).")
+    Term.(const run $ workload_arg $ cat_arg $ trials_arg 200 $ seed_arg $ threshold_arg)
+
+(* --- campaign --- *)
+
+let campaign_cmd =
+  let run trials seed csv_file workload_filter =
+    let config = config_of ~trials ~seed in
+    let workloads =
+      match workload_filter with
+      | [] -> Workloads.all
+      | names -> List.map Workloads.find_exn names
+    in
+    Fmt.pr "Running campaign: %d workloads x 2 tools x %d categories x %d trials@."
+      (List.length workloads)
+      (List.length Core.Category.all)
+      trials;
+    let prepared = List.map (Core.Campaign.prepare config) workloads in
+    let cells =
+      List.concat_map
+        (fun p ->
+          Fmt.pr "  %s...@." p.Core.Campaign.workload.Core.Workload.name;
+          List.concat_map
+            (fun tool ->
+              List.map
+                (fun category -> Core.Campaign.run_cell config p tool category)
+                Core.Category.all)
+            [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+        prepared
+    in
+    print_newline ();
+    Core.Report.table2 workloads;
+    print_newline ();
+    Core.Report.table3 ();
+    print_newline ();
+    Core.Report.table1 prepared;
+    print_newline ();
+    Core.Report.figure2 ();
+    Core.Report.table4 prepared;
+    print_newline ();
+    Core.Report.figure3 cells;
+    print_newline ();
+    Core.Report.figure4 cells;
+    print_newline ();
+    Core.Report.table5 cells;
+    print_newline ();
+    Core.Report.print_claims (Core.Report.evaluate_claims prepared cells);
+    (match csv_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Core.Campaign.to_csv cells);
+      close_out oc;
+      Fmt.pr "Raw results written to %s@." path
+    | None -> ());
+    0
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write raw cell tallies as CSV.")
+  in
+  let filter_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Restrict the campaign to the named workloads.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run the full study and print every table and figure of the paper \
+          (paper values alongside).")
+    Term.(const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg)
+
+let main_cmd =
+  let doc =
+    "reproduction of 'Quantifying the Accuracy of High-Level Fault Injection \
+     Techniques for Hardware Faults' (DSN 2014)"
+  in
+  Cmd.group
+    (Cmd.info "fi" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

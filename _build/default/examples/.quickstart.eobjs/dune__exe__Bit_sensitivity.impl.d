@@ -1,0 +1,1 @@
+examples/bit_sensitivity.ml: Core Hashtbl List Minic Opt Option Printf Scanf String Support Vm

@@ -1,0 +1,1 @@
+examples/bit_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Core Ir List Minic Opt Printf String Support Vm

@@ -1,0 +1,1 @@
+examples/resilience_study.ml: Core Float Minic Opt Printf Scanf Support Vm

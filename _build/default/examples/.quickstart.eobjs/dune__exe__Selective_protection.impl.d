@@ -1,0 +1,1 @@
+examples/selective_protection.ml: Core List Minic Opt Printf Support Workloads

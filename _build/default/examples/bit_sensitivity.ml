@@ -1,0 +1,90 @@
+(* Bit-position sensitivity: how the outcome of a fault depends on WHICH
+   bit of a destination is flipped.
+
+   High-order bit flips of address-feeding values tend to crash (the
+   pointer leaves mapped memory); low-order flips of data values tend to
+   produce SDCs or vanish.  This is the mechanism behind the paper's
+   crash-rate observations, made visible one bit at a time.
+
+   Run with:  dune exec examples/bit_sensitivity.exe
+*)
+
+(* The Vm-level plan interface lets us pin the injection to a specific
+   dynamic instance while sweeping the flipped bit via the plan's RNG
+   seed; for an exact per-bit sweep we inject many times and bucket by
+   the reported bit. *)
+
+let source =
+  {|
+  // Indirect summation: the loaded permutation entry feeds the address
+  // of the next load, so load faults can corrupt addresses, not just data.
+  int table[64];
+  int perm[64];
+  void main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      table[i] = i * i;
+      perm[i] = (i * 37 + 11) % 64;
+    }
+    int sum = 0;
+    for (i = 0; i < 64; i = i + 1) { sum = sum + table[perm[i]]; }
+    print_str("sum="); print_int(sum); print_newline();
+  }
+  |}
+
+let () =
+  let prog = Opt.optimize (Minic.compile source) in
+  let llfi = Core.Llfi.prepare ~inputs:[||] prog in
+  let golden = llfi.Core.Llfi.golden_output in
+  Printf.printf "golden: %s\n" (String.trim golden);
+
+  (* Bucket outcomes by flipped bit position, per category. *)
+  let study category trials =
+    let outcomes = Hashtbl.create 64 in
+    let rng = Support.Rng.of_int 99 in
+    for _ = 1 to trials do
+      let stats = Core.Llfi.inject llfi category (Support.Rng.split rng) in
+      let verdict = Core.Verdict.of_run ~golden_output:golden stats in
+      (* fault_note is "bit N of ..." *)
+      let bit =
+        try Scanf.sscanf stats.Vm.Outcome.fault_note "bit %d" (fun b -> b)
+        with Scanf.Scan_failure _ | End_of_file -> -1
+      in
+      let bucket = bit / 8 in
+      let crash, sdc, benign =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt outcomes bucket)
+      in
+      Hashtbl.replace outcomes bucket
+        (match verdict with
+        | Core.Verdict.Crash | Core.Verdict.Hang -> (crash + 1, sdc, benign)
+        | Core.Verdict.Sdc -> (crash, sdc + 1, benign)
+        | _ -> (crash, sdc, benign + 1))
+    done;
+    Printf.printf "\ninjections into '%s', outcomes by flipped-bit octet:\n"
+      (Core.Category.name category);
+    Printf.printf "  %-12s %8s %8s %8s\n" "bits" "crash" "sdc" "benign";
+    let buckets =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) outcomes [])
+    in
+    List.iter
+      (fun bucket ->
+        let crash, sdc, benign = Hashtbl.find outcomes bucket in
+        let total = crash + sdc + benign in
+        if total > 0 then
+          Printf.printf "  %2d..%-8d %7.0f%% %7.0f%% %7.0f%%\n" (bucket * 8)
+            ((bucket * 8) + 7)
+            (100.0 *. float_of_int crash /. float_of_int total)
+            (100.0 *. float_of_int sdc /. float_of_int total)
+            (100.0 *. float_of_int benign /. float_of_int total))
+      buckets
+  in
+  (* Loads feed both data (sum) and the next address computations;
+     arithmetic faults feed the loop counter and the accumulator. *)
+  study Core.Category.Load 1500;
+  study Core.Category.Arithmetic 1500;
+  print_newline ();
+  print_endline
+    "Reading: flips in high-order bits of address-feeding values leave the";
+  print_endline
+    "mapped address space (crash); low-order flips corrupt data (SDC) or";
+  print_endline "die in masked computation (benign)."

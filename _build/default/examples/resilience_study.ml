@@ -1,0 +1,92 @@
+(* Algorithm resilience comparison — the KULFI-style use of a high-level
+   injector discussed in the paper's related work: given two algorithms
+   for the same problem, which degrades more gracefully under transient
+   faults?
+
+   Here: summing 10^4 floating-point terms by naive accumulation vs.
+   Kahan compensated summation.  The compensated version carries
+   redundant state, so we measure both its SDC rate and how WRONG the
+   corrupted answers are (maximum printed deviation).
+
+   Run with:  dune exec examples/resilience_study.exe
+*)
+
+let naive =
+  {|
+  double *xs;
+  void main() {
+    xs = (double*) alloc(2000 * 8);
+    int i;
+    for (i = 0; i < 2000; i = i + 1) { xs[i] = 1.0 / (double)(i + 1); }
+    double sum = 0.0;
+    for (i = 0; i < 2000; i = i + 1) { sum = sum + xs[i]; }
+    print_double(sum); print_newline();
+  }
+  |}
+
+let kahan =
+  {|
+  double *xs;
+  void main() {
+    xs = (double*) alloc(2000 * 8);
+    int i;
+    for (i = 0; i < 2000; i = i + 1) { xs[i] = 1.0 / (double)(i + 1); }
+    double sum = 0.0;
+    double comp = 0.0;
+    for (i = 0; i < 2000; i = i + 1) {
+      double y = xs[i] - comp;
+      double t = sum + y;
+      comp = (t - sum) - y;
+      sum = t;
+    }
+    print_double(sum); print_newline();
+  }
+  |}
+
+let trials = 400
+
+let study name source =
+  let prog = Opt.optimize (Minic.compile source) in
+  let llfi = Core.Llfi.prepare ~inputs:[||] prog in
+  let golden = llfi.Core.Llfi.golden_output in
+  let golden_value = Scanf.sscanf golden "%f" (fun v -> v) in
+  let tally = Core.Verdict.fresh_tally () in
+  let max_dev = ref 0.0 in
+  let rng = Support.Rng.of_int 11 in
+  for _ = 1 to trials do
+    let stats = Core.Llfi.inject llfi Core.Category.Arithmetic (Support.Rng.split rng) in
+    let verdict = Core.Verdict.of_run ~golden_output:golden stats in
+    Core.Verdict.add tally verdict;
+    match (verdict, stats.Vm.Outcome.outcome) with
+    | Core.Verdict.Sdc, Vm.Outcome.Finished out -> (
+      match Scanf.sscanf_opt out "%f" (fun v -> v) with
+      | Some v when Float.is_finite v ->
+        max_dev := Float.max !max_dev (Float.abs (v -. golden_value))
+      | _ -> max_dev := Float.infinity)
+    | _ -> ()
+  done;
+  Printf.printf "%-8s golden=%s" name golden;
+  Printf.printf
+    "         sdc %.1f%%  crash %.1f%%  benign %.1f%%  (max SDC deviation %g)\n\n"
+    (100.0 *. Core.Verdict.sdc_rate tally)
+    (100.0 *. Core.Verdict.crash_rate tally)
+    (100.0 *. Core.Verdict.benign_rate tally)
+    !max_dev;
+  Core.Verdict.sdc_rate tally
+
+let () =
+  Printf.printf
+    "Comparing the arithmetic-fault resilience of two summation algorithms\n\
+     (%d LLFI injections into the 'arithmetic' category each):\n\n"
+    trials;
+  let naive_sdc = study "naive" naive in
+  let kahan_sdc = study "kahan" kahan in
+  if kahan_sdc > naive_sdc then
+    print_endline
+      "Kahan summation shows a HIGHER SDC rate: its extra compensation\n\
+       arithmetic enlarges the fault target surface — redundancy in the\n\
+       numerical sense is not redundancy in the fault-tolerance sense."
+  else
+    print_endline
+      "Kahan summation absorbed more faults than the naive loop in this run;\n\
+       its compensation term can mask small corruptions of the accumulator."

@@ -1,0 +1,1 @@
+lib/backend/backend.ml: Array Edge_split Frame Hashtbl Int64 Ir Isel List Liveness Program Regalloc Support Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/backend.mli: Edge_split Frame Ir Isel Liveness Program Regalloc Vfunc

@@ -1,0 +1,1 @@
+lib/backend/edge_split.ml: Ir List Printf String

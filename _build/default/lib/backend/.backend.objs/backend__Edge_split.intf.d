@@ -1,0 +1,1 @@
+lib/backend/edge_split.mli: Ir

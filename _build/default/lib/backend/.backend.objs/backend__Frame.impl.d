@@ -1,0 +1,1 @@
+lib/backend/frame.ml: Insn List Reg Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/frame.mli: Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Array Flags Hashtbl Insn Ir List Printf Reg String Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/isel.mli: Hashtbl Ir Vfunc

@@ -1,0 +1,1 @@
+lib/backend/liveness.ml: Array Hashtbl Int List Set Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/liveness.mli: Set Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/program.ml: Array Fmt Hashtbl Ir List Option Support X86

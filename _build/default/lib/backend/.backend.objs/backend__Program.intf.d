@@ -1,0 +1,1 @@
+lib/backend/program.mli: Format Hashtbl Ir X86

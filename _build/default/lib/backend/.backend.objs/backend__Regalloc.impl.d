@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Hashtbl List Liveness Vfunc X86

@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Hashtbl Liveness Vfunc X86

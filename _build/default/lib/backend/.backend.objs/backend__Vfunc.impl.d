@@ -1,0 +1,1 @@
+lib/backend/vfunc.ml: Hashtbl Printf X86

@@ -1,0 +1,1 @@
+lib/backend/vfunc.mli: Hashtbl X86

@@ -1,0 +1,105 @@
+(** Backend driver: IR program -> assembled x86 program.
+
+    The pipeline clones the input (so the IR handed to the IR-level
+    injector is untouched), splits phi-critical edges, selects
+    instructions, allocates registers, lowers frames and assembles a flat
+    instruction array with branch targets resolved to indices. *)
+
+module Vfunc = Vfunc
+module Edge_split = Edge_split
+module Isel = Isel
+module Liveness = Liveness
+module Regalloc = Regalloc
+module Frame = Frame
+module Program = Program
+
+type config = Isel.config = { fold_geps : bool }
+
+let default_config = Isel.default_config
+
+let compile ?(config = default_config) ?on_vfunc (prog : Ir.Prog.t) : Program.t =
+  let working = Ir.Clone.clone_prog prog in
+  Edge_split.run working;
+  let globals, global_image, globals_len =
+    Ir.Layout.layout_globals working ~base:Support.Segments.globals_base
+  in
+  (* Float-literal pool, placed after the globals. *)
+  let const_base =
+    Ir.Layout.round_up (Support.Segments.globals_base + globals_len) 8
+  in
+  let const_table : (int64, int) Hashtbl.t = Hashtbl.create 16 in
+  let const_image = ref [] in
+  let next_const = ref const_base in
+  let float_const f =
+    let bits = Int64.bits_of_float f in
+    match Hashtbl.find_opt const_table bits with
+    | Some addr -> addr
+    | None ->
+      let addr = !next_const in
+      next_const := addr + 8;
+      Hashtbl.replace const_table bits addr;
+      const_image := (addr, f) :: !const_image;
+      addr
+  in
+  let stats = ref [] in
+  let streams =
+    List.map
+      (fun f ->
+        let vf = Isel.lower_function working config globals float_const f in
+        (match on_vfunc with Some h -> h vf | None -> ());
+        let callee_saved = Regalloc.run vf in
+        let insns = Frame.lower vf callee_saved in
+        stats :=
+          {
+            Program.fs_name = vf.Vfunc.vname;
+            fs_geps_folded = vf.Vfunc.geps_folded;
+            fs_geps_arith = vf.Vfunc.geps_arith;
+            fs_spill_slots = vf.Vfunc.spill_slots;
+            fs_callee_saved = List.length callee_saved;
+            fs_insns = List.length insns;
+          }
+          :: !stats;
+        insns)
+      working.Ir.Prog.funcs
+  in
+  (* Assemble: strip Label pseudos, record label indices. *)
+  let labels = Hashtbl.create 64 in
+  let insns = ref [] in
+  let index = ref 0 in
+  List.iter
+    (List.iter (fun insn ->
+         match insn with
+         | X86.Insn.Label l -> Hashtbl.replace labels l !index
+         | _ ->
+           insns := insn :: !insns;
+           incr index))
+    streams;
+  let insns = Array.of_list (List.rev !insns) in
+  let resolved =
+    Array.map
+      (fun insn ->
+        match insn with
+        | X86.Insn.Jmp l | X86.Insn.Jcc (_, l) | X86.Insn.Call l -> (
+          match Hashtbl.find_opt labels l with
+          | Some i -> i
+          | None -> invalid_arg ("Backend: undefined label " ^ l))
+        | _ -> -1)
+      insns
+  in
+  let entry =
+    match Hashtbl.find_opt labels (Vfunc.func_label "main") with
+    | Some i -> i
+    | None -> invalid_arg "Backend: program has no main"
+  in
+  {
+    Program.insns;
+    resolved;
+    labels;
+    entry;
+    global_image;
+    globals_len;
+    const_image = List.rev !const_image;
+    consts_len = !next_const - const_base;
+    stats = List.rev !stats;
+    source = prog;
+  }

@@ -1,0 +1,24 @@
+(** Backend driver: IR program -> assembled x86 program.
+
+    The pipeline clones the input (the IR handed to the IR-level
+    injector is never perturbed), splits phi-critical edges, selects
+    instructions (GEP folding, cmp/jcc fusion, load folding, copy
+    coalescing), allocates registers, lowers frames and assembles a flat
+    instruction array with resolved branch targets. *)
+
+module Vfunc = Vfunc
+module Edge_split = Edge_split
+module Isel = Isel
+module Liveness = Liveness
+module Regalloc = Regalloc
+module Frame = Frame
+module Program = Program
+
+type config = Isel.config = { fold_geps : bool }
+
+val default_config : config
+
+val compile :
+  ?config:config -> ?on_vfunc:(Vfunc.t -> unit) -> Ir.Prog.t -> Program.t
+(** [on_vfunc] observes each function after instruction selection,
+    before register allocation (debugging/inspection hook). *)

@@ -1,0 +1,64 @@
+(** Critical-edge splitting (on a cloned program).
+
+    Phi nodes are lowered to copies in predecessor blocks; when a
+    predecessor has several successors and the successor carries phis,
+    the copies need a block of their own on that edge.  The inserted
+    blocks contain only an unconditional branch — this is one of the
+    "value merging introduces extra data movement" effects the paper's
+    Table I attributes to the assembly level. *)
+
+let block_has_phis (b : Ir.Block.t) = Ir.Block.phis b <> []
+
+let run_function (f : Ir.Func.t) =
+  let needs_split = ref [] in
+  let find_block label =
+    List.find (fun (b : Ir.Block.t) -> String.equal b.label label) f.blocks
+  in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      match b.term with
+      | Ir.Instr.Cond_br (_, t, e) ->
+        let consider label =
+          if block_has_phis (find_block label) then
+            needs_split := (b.label, label) :: !needs_split
+        in
+        consider t;
+        if not (String.equal t e) then consider e
+      | Ir.Instr.Br _ | Ir.Instr.Ret _ -> ())
+    f.blocks;
+  List.iter
+    (fun (pred_label, succ_label) ->
+      let pred = find_block pred_label in
+      let split_label =
+        Printf.sprintf "%s.to.%s" pred_label succ_label
+      in
+      let split = Ir.Block.create ~label:split_label in
+      split.term <- Ir.Instr.Br succ_label;
+      f.blocks <- f.blocks @ [ split ];
+      (match pred.term with
+      | Ir.Instr.Cond_br (c, t, e) ->
+        let t = if String.equal t succ_label then split_label else t in
+        let e = if String.equal e succ_label then split_label else e in
+        pred.term <- Ir.Instr.Cond_br (c, t, e)
+      | _ -> assert false);
+      let succ = find_block succ_label in
+      succ.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Phi incoming ->
+              {
+                i with
+                kind =
+                  Ir.Instr.Phi
+                    (List.map
+                       (fun (v, l) ->
+                         if String.equal l pred_label then (v, split_label)
+                         else (v, l))
+                       incoming);
+              }
+            | _ -> i)
+          succ.instrs)
+    !needs_split
+
+let run (prog : Ir.Prog.t) = List.iter run_function prog.Ir.Prog.funcs

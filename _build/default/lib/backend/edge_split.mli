@@ -1,0 +1,6 @@
+(** Critical-edge splitting: phi-bearing successors of multi-successor
+    blocks get a dedicated edge block to host the phi copies.  Runs on
+    the backend's cloned program. *)
+
+val run_function : Ir.Func.t -> unit
+val run : Ir.Prog.t -> unit

@@ -1,0 +1,34 @@
+(** Stack-frame lowering: prologue/epilogue insertion and callee-saved
+    register saves — the machinery that has "no counterpart in the LLVM
+    IR code" (paper Table I, row 3), and therefore receives PINFI faults
+    LLFI cannot model. *)
+
+let round16 n = (n + 15) land lnot 15
+
+(* Expand a lowered function into its final instruction stream, with the
+   function label first, prologue, blocks, and epilogues at each Ret. *)
+let lower (vf : Vfunc.t) (callee_saved : X86.Reg.t list) =
+  let open X86 in
+  let frame = round16 vf.Vfunc.frame_bytes in
+  let prologue =
+    [ Insn.Label (Vfunc.func_label vf.Vfunc.vname);
+      Insn.Push Reg.rbp;
+      Insn.Mov (Reg.rbp, Insn.Reg Reg.rsp) ]
+    @ (if frame > 0 then [ Insn.Alu (Insn.Sub, Reg.rsp, Insn.Imm frame) ] else [])
+    @ List.map (fun r -> Insn.Push r) callee_saved
+  in
+  let epilogue =
+    List.map (fun r -> Insn.Pop r) (List.rev callee_saved)
+    @ [ Insn.Mov (Reg.rsp, Insn.Reg Reg.rbp); Insn.Pop Reg.rbp; Insn.Ret ]
+  in
+  let body =
+    List.concat_map
+      (fun (label, insns) ->
+        Insn.Label label
+        :: List.concat_map
+             (fun insn ->
+               match insn with Insn.Ret -> epilogue | _ -> [ insn ])
+             insns)
+      vf.Vfunc.vblocks
+  in
+  prologue @ body

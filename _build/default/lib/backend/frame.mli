@@ -1,0 +1,9 @@
+(** Stack-frame lowering: prologue/epilogue insertion and callee-saved
+    register saves — the machinery with "no counterpart in the LLVM IR
+    code" (paper Table I row 3). *)
+
+val round16 : int -> int
+
+val lower : Vfunc.t -> X86.Reg.t list -> X86.Insn.t list
+(** The function's final instruction stream: entry label, prologue,
+    blocks (with labels), epilogues expanded at each [Ret]. *)

@@ -1,0 +1,939 @@
+(** Instruction selection: IR -> virtual x86.
+
+    The selection choices here are exactly the lowering effects the paper
+    traces its LLFI/PINFI discrepancies to (Table I):
+
+    - GEP folding: a [getelementptr] whose only use is a load/store in
+      the same block, and whose shape fits an x86 addressing mode, emits
+      no code at all — the address computation disappears into the
+      memory operand.  Other GEPs become lea/imul/add arithmetic.
+      [fold_geps:false] lowers every GEP to arithmetic (the ablation).
+    - Compare fusion: an [icmp]/[fcmp] solely feeding this block's
+      conditional branch is emitted as cmp/ucomisd immediately before
+      the jcc — giving PINFI its "instruction before a conditional
+      branch" cmp category.
+    - Phi nodes become parallel copies on (split) incoming edges.
+    - Calls push arguments and receive results in rax/xmm0; the frame
+      pass adds the callee-saved push/pops that exist only at this level. *)
+
+open X86
+
+type config = { fold_geps : bool }
+
+let default_config = { fold_geps = true }
+
+(* Decompose a GEP into base/disp/scaled-index components. *)
+type gep_parts = {
+  gbase : [ `Value of Ir.Operand.t | `Abs of int ];
+  gdisp : int;
+  gscaled : (Ir.Operand.t * int) list;
+}
+
+type ctx = {
+  prog : Ir.Prog.t;
+  config : config;
+  vf : Vfunc.t;
+  func : Ir.Func.t;
+  globals : (string, int) Hashtbl.t;
+  float_const : float -> int;  (* address in the constant pool *)
+  uses : int array;  (* value id -> use count *)
+  vreg_of : (int, int) Hashtbl.t;  (* value id -> vreg *)
+  folded_gep : (int, gep_parts) Hashtbl.t;
+  (* value id -> decomposed address; the memory operand is built lazily
+     at the consumer so register coalescing decisions are final *)
+  folded_load : (int, Ir.Operand.t) Hashtbl.t;
+  (* load value id -> pointer; the load is absorbed into the memory
+     operand of its single ALU/SSE consumer ("packed" assembly) *)
+  alloca_slot : (int, int) Hashtbl.t;  (* value id -> rbp offset *)
+  fused_cmp : (int, Ir.Instr.t) Hashtbl.t;  (* value id of fused icmp/fcmp *)
+  def_block : (int, int) Hashtbl.t;  (* value id -> defining block index *)
+  mutable current_block : int;
+  mutable out : Insn.t list;  (* reversed *)
+  mutable local_label : int;
+}
+
+let emit ctx i = ctx.out <- i :: ctx.out
+
+let fresh_label ctx base =
+  ctx.local_label <- ctx.local_label + 1;
+  Printf.sprintf "%s.%s%d" ctx.vf.Vfunc.vname base ctx.local_label
+
+let is_float_value (v : Ir.Value.t) = Ir.Types.is_float v.ty
+
+let vreg_for ctx (v : Ir.Value.t) =
+  match Hashtbl.find_opt ctx.vreg_of v.id with
+  | Some r -> r
+  | None ->
+    let cls = if is_float_value v then Vfunc.Xm else Vfunc.Gp in
+    let r = Vfunc.fresh_vreg ctx.vf cls in
+    Hashtbl.replace ctx.vreg_of v.id r;
+    r
+
+(* GP-class operand as an Insn.src. *)
+let src_of ctx (op : Ir.Operand.t) : Insn.src =
+  match op with
+  | Ir.Operand.Var v ->
+    (match Hashtbl.find_opt ctx.alloca_slot v.id with
+    | Some off ->
+      (* Address of a stack slot: needs a lea into a temp. *)
+      ignore off;
+      Insn.Reg (vreg_for ctx v)
+    | None -> Insn.Reg (vreg_for ctx v))
+  | Ir.Operand.Int (_, c) -> Insn.Imm c
+  | Ir.Operand.Null _ -> Insn.Imm 0
+  | Ir.Operand.Global (name, _) -> Insn.Imm (Hashtbl.find ctx.globals name)
+  | Ir.Operand.Float _ -> invalid_arg "Isel: float operand in GP position"
+
+(* GP-class operand materialized in a register. *)
+let gp_of ctx (op : Ir.Operand.t) : Reg.t =
+  match src_of ctx op with
+  | Insn.Reg r -> r
+  | Insn.Imm c ->
+    let r = Vfunc.fresh_vreg ctx.vf Vfunc.Gp in
+    emit ctx (Insn.Mov (r, Insn.Imm c));
+    r
+  | Insn.Mem _ -> assert false
+
+(* XMM-class operand as an Insn.xsrc (constants via the literal pool). *)
+let xsrc_of ctx (op : Ir.Operand.t) : Insn.xsrc =
+  match op with
+  | Ir.Operand.Var v -> Insn.Xreg (vreg_for ctx v)
+  | Ir.Operand.Float f -> Insn.Xmem (Insn.mem_abs (ctx.float_const f))
+  | _ -> invalid_arg "Isel: non-float operand in XMM position"
+
+let xmm_of ctx (op : Ir.Operand.t) : Reg.t =
+  match xsrc_of ctx op with
+  | Insn.Xreg r -> r
+  | Insn.Xmem m ->
+    let r = Vfunc.fresh_vreg ctx.vf Vfunc.Xm in
+    emit ctx (Insn.Movsd (r, Insn.Xmem m));
+    r
+
+(* Build the mem operand for a decomposed GEP (assumes fits_addressing). *)
+let mem_of_parts ctx parts : Insn.mem =
+  let base_reg, extra_disp =
+    match parts.gbase with
+    | `Abs a -> (None, a)
+    | `Value (Ir.Operand.Var v as op) -> (
+      match Hashtbl.find_opt ctx.alloca_slot v.id with
+      | Some off -> (Some Reg.rbp, off)
+      | None -> (Some (gp_of ctx op), 0))
+    | `Value op -> (Some (gp_of ctx op), 0)
+  in
+  let index =
+    match parts.gscaled with
+    | [] -> None
+    | [ (idx, s) ] -> Some (gp_of ctx idx, s)
+    | _ -> assert false
+  in
+  { Insn.base = base_reg; index; disp = parts.gdisp + extra_disp }
+
+(* Memory operand for a pointer-typed IR operand, consuming folded GEPs. *)
+let mem_of_pointer ctx (op : Ir.Operand.t) : Insn.mem =
+  match op with
+  | Ir.Operand.Var v -> (
+    match Hashtbl.find_opt ctx.folded_gep v.id with
+    | Some parts -> mem_of_parts ctx parts
+    | None -> (
+      match Hashtbl.find_opt ctx.alloca_slot v.id with
+      | Some off -> Insn.mem_base Reg.rbp ~disp:off
+      | None -> Insn.mem_base (vreg_for ctx v)))
+  | Ir.Operand.Global (name, _) -> Insn.mem_abs (Hashtbl.find ctx.globals name)
+  | Ir.Operand.Null _ -> Insn.mem_abs 0
+  | Ir.Operand.Int (_, c) -> Insn.mem_abs c
+  | Ir.Operand.Float _ -> invalid_arg "Isel: float used as pointer"
+
+let gep_parts ctx base indices =
+  let base_ty = Ir.Operand.type_of base in
+  let pointee = Ir.Types.pointee base_ty in
+  let disp = ref 0 in
+  let scaled = ref [] in
+  let add_index idx scale =
+    match idx with
+    | Ir.Operand.Int (_, c) -> disp := !disp + (c * scale)
+    | _ -> scaled := (idx, scale) :: !scaled
+  in
+  (match indices with
+  | [] -> invalid_arg "Isel: gep without indices"
+  | first :: rest ->
+    add_index first (Ir.Layout.size_of ctx.prog pointee);
+    let rec walk ty = function
+      | [] -> ()
+      | idx :: rest -> (
+        match ty with
+        | Ir.Types.Arr (_, elt) ->
+          add_index idx (Ir.Layout.size_of ctx.prog elt);
+          walk elt rest
+        | Ir.Types.Struct sname -> (
+          match idx with
+          | Ir.Operand.Int (_, field) ->
+            disp := !disp + Ir.Layout.field_offset ctx.prog sname field;
+            walk (Ir.Layout.field_type ctx.prog sname field) rest
+          | _ -> invalid_arg "Isel: dynamic struct index")
+        | _ -> invalid_arg "Isel: gep walks into scalar")
+    in
+    walk pointee rest);
+  let gbase =
+    match base with
+    | Ir.Operand.Global (name, _) -> `Abs (Hashtbl.find ctx.globals name)
+    | Ir.Operand.Null _ -> `Abs 0
+    | other -> `Value other
+  in
+  { gbase; gdisp = !disp; gscaled = List.rev !scaled }
+
+let fits_addressing parts =
+  match parts.gscaled with
+  | [] -> true
+  | [ (_, s) ] -> s = 1 || s = 2 || s = 4 || s = 8
+  | _ -> false
+
+(* Can this GEP vanish into the addressing mode of its single load/store
+   use within the same block? *)
+let foldable ctx (instr : Ir.Instr.t) block_instrs =
+  match (instr.Ir.Instr.kind, instr.result) with
+  | Ir.Instr.Gep (base, indices), Some v when ctx.config.fold_geps ->
+    if ctx.uses.(v.id) <> 1 then None
+    else begin
+      let parts = gep_parts ctx base indices in
+      if not (fits_addressing parts) then None
+      else
+        (* The single use must be the pointer operand of a load/store in
+           this block, and the base must not itself be a folded GEP. *)
+        let used_as_pointer =
+          List.exists
+            (fun (i : Ir.Instr.t) ->
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Load (Ir.Operand.Var p) -> Ir.Value.equal p v
+              | Ir.Instr.Store (_, Ir.Operand.Var p) -> Ir.Value.equal p v
+              | _ -> false)
+            block_instrs
+        in
+        if used_as_pointer then Some parts else None
+    end
+  | _ -> None
+
+(* Lower an unfolded GEP to explicit address arithmetic. *)
+let lower_gep_arith ctx dest parts =
+  ctx.vf.Vfunc.geps_arith <- ctx.vf.Vfunc.geps_arith + 1;
+  let simple_scale s = s = 1 || s = 2 || s = 4 || s = 8 in
+  match parts.gscaled with
+  | ([] | [ _ ]) when fits_addressing parts ->
+    (* lea covers base + idx*scale + disp in one instruction. *)
+    let m = mem_of_parts ctx parts in
+    emit ctx (Insn.Lea (dest, m))
+  | scaled ->
+    (match parts.gbase with
+    | `Abs a -> emit ctx (Insn.Mov (dest, Insn.Imm (a + parts.gdisp)))
+    | `Value op ->
+      emit ctx (Insn.Mov (dest, src_of ctx op));
+      if parts.gdisp <> 0 then
+        emit ctx (Insn.Alu (Insn.Add, dest, Insn.Imm parts.gdisp)));
+    List.iter
+      (fun (idx, scale) ->
+        let tmp = Vfunc.fresh_vreg ctx.vf Vfunc.Gp in
+        emit ctx (Insn.Mov (tmp, src_of ctx idx));
+        if simple_scale scale then begin
+          if scale > 1 then
+            emit ctx
+              (Insn.Shift
+                 ( Insn.Shl,
+                   tmp,
+                   Insn.ShImm
+                     (match scale with 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> 0) ))
+        end
+        else emit ctx (Insn.Imul (tmp, Insn.Imm scale));
+        emit ctx (Insn.Alu (Insn.Add, dest, Insn.Reg tmp)))
+      scaled
+
+(* Is [op] a load folded into its consumer?  Returns the memory operand. *)
+let folded_load_mem ctx (op : Ir.Operand.t) =
+  match op with
+  | Ir.Operand.Var v -> (
+    match Hashtbl.find_opt ctx.folded_load v.id with
+    | Some ptr -> Some (mem_of_pointer ctx ptr)
+    | None -> None)
+  | _ -> None
+
+(* Two-address coalescing: when the left operand is an SSA value whose
+   single use is this instruction and whose definition reaches it within
+   the same block (including phi destinations, rewritten on every entry),
+   its register can serve as the destination, eliding the copy that a
+   naive two-address expansion would emit.  This is what keeps our
+   assembly as "packed" as a real compiler's. *)
+let coalescible_dest ctx (op : Ir.Operand.t) =
+  match op with
+  | Ir.Operand.Var v
+    when ctx.uses.(v.id) = 1
+         && (not (Hashtbl.mem ctx.folded_load v.id))
+         && (not (Hashtbl.mem ctx.folded_gep v.id))
+         && (not (Hashtbl.mem ctx.alloca_slot v.id))
+         && Hashtbl.find_opt ctx.def_block v.id = Some ctx.current_block ->
+    Some (vreg_for ctx v)
+  | _ -> None
+
+(* Bind the instruction's result to [vr] (the reused register). *)
+let bind_result ctx (i : Ir.Instr.t) vr =
+  match i.result with
+  | Some r -> Hashtbl.replace ctx.vreg_of r.id vr
+  | None -> ()
+
+let width_of_scalar (ty : Ir.Types.t) =
+  match ty with
+  | Ir.Types.I1 | Ir.Types.I8 -> Insn.W8
+  | Ir.Types.I16 -> Insn.W16
+  | Ir.Types.I32 -> Insn.W32
+  | Ir.Types.I64 | Ir.Types.Ptr _ -> Insn.W64
+  | _ -> invalid_arg "Isel: no scalar width"
+
+let cond_of_icmp (p : Ir.Instr.icmp) : Flags.cond =
+  match p with
+  | Ir.Instr.Ieq -> Flags.E
+  | Ir.Instr.Ine -> Flags.NE
+  | Ir.Instr.Islt -> Flags.L
+  | Ir.Instr.Isle -> Flags.LE
+  | Ir.Instr.Isgt -> Flags.G
+  | Ir.Instr.Isge -> Flags.GE
+  | Ir.Instr.Iult -> Flags.B
+  | Ir.Instr.Iule -> Flags.BE
+  | Ir.Instr.Iugt -> Flags.A
+  | Ir.Instr.Iuge -> Flags.AE
+
+let cond_of_fcmp (p : Ir.Instr.fcmp) : Flags.cond =
+  match p with
+  | Ir.Instr.Feq -> Flags.E
+  | Ir.Instr.Fne -> Flags.NE
+  | Ir.Instr.Flt -> Flags.B
+  | Ir.Instr.Fle -> Flags.BE
+  | Ir.Instr.Fgt -> Flags.A
+  | Ir.Instr.Fge -> Flags.AE
+
+(* Emit the flag-setting compare for a (possibly fused) icmp/fcmp. *)
+let emit_compare ctx (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Icmp (p, a, b) ->
+    let ra = gp_of ctx a in
+    let src_b =
+      match folded_load_mem ctx b with
+      | Some m -> Insn.Mem m
+      | None -> src_of ctx b
+    in
+    emit ctx (Insn.Cmp (ra, src_b));
+    cond_of_icmp p
+  | Ir.Instr.Fcmp (p, a, b) ->
+    let ra = xmm_of ctx a in
+    let xsrc_b =
+      match folded_load_mem ctx b with
+      | Some m -> Insn.Xmem m
+      | None -> xsrc_of ctx b
+    in
+    emit ctx (Insn.Ucomisd (ra, xsrc_b));
+    cond_of_fcmp p
+  | _ -> assert false
+
+(* Parallel copies for phi-edge moves: all sources are read before any
+   destination is written.  Ready copies (whose destination no other
+   pending copy reads) are emitted first; cycles are broken by parking
+   one destination in a fresh temporary and redirecting its readers. *)
+type copy_src = Creg of Reg.t | Cop of Ir.Operand.t
+
+let emit_parallel_copies ctx (copies : (Reg.t * Vfunc.reg_class * Ir.Operand.t) list) =
+  let to_src (d, cls, op) =
+    match op with
+    | Ir.Operand.Var v -> (d, cls, Creg (vreg_for ctx v))
+    | _ -> (d, cls, Cop op)
+  in
+  let reads src d = match src with Creg r -> r = d | Cop _ -> false in
+  let emit_move (dest, cls, src) =
+    match (cls, src) with
+    | Vfunc.Gp, Creg r -> if r <> dest then emit ctx (Insn.Mov (dest, Insn.Reg r))
+    | Vfunc.Gp, Cop op -> emit ctx (Insn.Mov (dest, src_of ctx op))
+    | Vfunc.Xm, Creg r -> if r <> dest then emit ctx (Insn.Movsd (dest, Insn.Xreg r))
+    | Vfunc.Xm, Cop op -> emit ctx (Insn.Movsd (dest, xsrc_of ctx op))
+  in
+  let pending = ref (List.map to_src copies) in
+  while !pending <> [] do
+    let ready, rest =
+      List.partition
+        (fun (d, _, _) ->
+          not (List.exists (fun (d2, _, s2) -> d2 <> d && reads s2 d) !pending))
+        !pending
+    in
+    if ready <> [] then begin
+      List.iter emit_move ready;
+      pending := rest
+    end
+    else begin
+      (* Every pending destination is read by another copy: a cycle.
+         Park one destination in a temp and redirect its readers. *)
+      match !pending with
+      | [] -> ()
+      | (d, cls, _) :: _ ->
+        let tmp = Vfunc.fresh_vreg ctx.vf cls in
+        (match cls with
+        | Vfunc.Gp -> emit ctx (Insn.Mov (tmp, Insn.Reg d))
+        | Vfunc.Xm -> emit ctx (Insn.Movsd (tmp, Insn.Xreg d)));
+        pending :=
+          List.map
+            (fun (d2, c2, s2) ->
+              if d2 <> d && reads s2 d then (d2, c2, Creg tmp) else (d2, c2, s2))
+            !pending
+    end
+  done
+
+let lower_instr ctx (i : Ir.Instr.t) =
+  let open Ir.Instr in
+  let dest_gp () =
+    match i.result with Some v -> vreg_for ctx v | None -> assert false
+  in
+  let dest_xmm = dest_gp in
+  match i.kind with
+  | Binop (op, a, b) when not (binop_is_float op) -> (
+    (* Orient commutative operands so that a folded load lands in the
+       source position (packed memory operand) or, failing that, a dying
+       same-block value lands on the left (coalesced destination). *)
+    let orient commutative =
+      if not commutative then (a, b)
+      else if folded_load_mem ctx b <> None then (a, b)
+      else if folded_load_mem ctx a <> None then (b, a)
+      else if coalescible_dest ctx a <> None then (a, b)
+      else if coalescible_dest ctx b <> None then (b, a)
+      else (a, b)
+    in
+    (* Narrow integer results are kept sign-canonical (0/1 for i1), as
+       the IR interpreter does; i64 needs nothing. *)
+    let recanon d =
+      match Ir.Operand.type_of a with
+      | Ir.Types.I1 -> emit ctx (Insn.Alu (Insn.And, d, Insn.Imm 1))
+      | Ir.Types.I8 -> emit ctx (Insn.Movsx (d, Insn.W8, Insn.Reg d))
+      | Ir.Types.I16 -> emit ctx (Insn.Movsx (d, Insn.W16, Insn.Reg d))
+      | Ir.Types.I32 -> emit ctx (Insn.Movsx (d, Insn.W32, Insn.Reg d))
+      | _ -> ()
+    in
+    let emit_two_address commutative make =
+      let a, b = orient commutative in
+      let src_b =
+        match folded_load_mem ctx b with
+        | Some m -> Insn.Mem m
+        | None -> src_of ctx b
+      in
+      (match coalescible_dest ctx a with
+      | Some vr ->
+        bind_result ctx i vr;
+        emit ctx (make vr src_b);
+        recanon vr
+      | None -> (
+        let d = dest_gp () in
+        (* Prefer the three-operand forms real compilers use: lea for
+           add/sub-with-new-destination, imul r, r/m, imm. *)
+        let src_a = src_of ctx a in
+        match (i.kind, src_a, src_b) with
+        | Binop (Add, _, _), Insn.Reg ra, Insn.Reg rb ->
+          emit ctx (Insn.Lea (d, { Insn.base = Some ra; index = Some (rb, 1); disp = 0 }));
+          recanon d
+        | Binop (Add, _, _), Insn.Reg ra, Insn.Imm c
+        | Binop (Add, _, _), Insn.Imm c, Insn.Reg ra ->
+          emit ctx (Insn.Lea (d, Insn.mem_base ra ~disp:c));
+          recanon d
+        | Binop (Sub, _, _), Insn.Reg ra, Insn.Imm c ->
+          emit ctx (Insn.Lea (d, Insn.mem_base ra ~disp:(-c)));
+          recanon d
+        | Binop (Mul, _, _), Insn.Reg _, Insn.Imm c
+        | Binop (Mul, _, _), Insn.Mem _, Insn.Imm c ->
+          emit ctx (Insn.Imul3 (d, src_a, c));
+          recanon d
+        | Binop (Mul, _, _), Insn.Imm c, (Insn.Reg _ | Insn.Mem _) ->
+          emit ctx (Insn.Imul3 (d, src_b, c));
+          recanon d
+        | _ ->
+          emit ctx (Insn.Mov (d, src_a));
+          emit ctx (make d src_b);
+          recanon d))
+    in
+    match op with
+    | Add | Sub | And | Or | Xor ->
+      let alu =
+        match op with
+        | Add -> Insn.Add
+        | Sub -> Insn.Sub
+        | And -> Insn.And
+        | Or -> Insn.Or
+        | _ -> Insn.Xor
+      in
+      let commutative = match op with Sub -> false | _ -> true in
+      emit_two_address commutative (fun d s -> Insn.Alu (alu, d, s))
+    | Mul -> emit_two_address true (fun d s -> Insn.Imul (d, s))
+    | Sdiv | Srem | Udiv | Urem ->
+      let d = dest_gp () in
+      (* rdx:rax / src; quotient in rax, remainder in rdx. *)
+      emit ctx (Insn.Mov (Reg.rax, src_of ctx a));
+      (match op with
+      | Udiv | Urem -> emit ctx (Insn.Mov (Reg.rdx, Insn.Imm 0))
+      | _ -> emit ctx Insn.Cqo);
+      let divisor =
+        match src_of ctx b with
+        | Insn.Imm c ->
+          let t = Vfunc.fresh_vreg ctx.vf Vfunc.Gp in
+          emit ctx (Insn.Mov (t, Insn.Imm c));
+          Insn.Reg t
+        | s -> s
+      in
+      (match op with
+      | Udiv | Urem -> emit ctx (Insn.Div divisor)
+      | _ -> emit ctx (Insn.Idiv divisor));
+      let result = match op with Sdiv | Udiv -> Reg.rax | _ -> Reg.rdx in
+      emit ctx (Insn.Mov (d, Insn.Reg result));
+      recanon d
+    | Shl | Lshr | Ashr -> (
+      let shop =
+        match op with
+        | Shl -> Insn.Shl
+        | Lshr -> Insn.Shr
+        | _ -> Insn.Sar
+      in
+      let d =
+        match coalescible_dest ctx a with
+        | Some vr ->
+          bind_result ctx i vr;
+          vr
+        | None ->
+          let d = dest_gp () in
+          emit ctx (Insn.Mov (d, src_of ctx a));
+          d
+      in
+      (match src_of ctx b with
+      | Insn.Imm c -> emit ctx (Insn.Shift (shop, d, Insn.ShImm (c land 63)))
+      | s ->
+        emit ctx (Insn.Mov (Reg.rcx, s));
+        emit ctx (Insn.Shift (shop, d, Insn.ShCl)));
+      recanon d)
+    | Fadd | Fsub | Fmul | Fdiv -> assert false)
+  | Binop (op, a, b) ->
+    let commutative = match op with Fadd | Fmul -> true | _ -> false in
+    let a, b =
+      if not commutative then (a, b)
+      else if folded_load_mem ctx b <> None then (a, b)
+      else if folded_load_mem ctx a <> None then (b, a)
+      else if coalescible_dest ctx a <> None then (a, b)
+      else if coalescible_dest ctx b <> None then (b, a)
+      else (a, b)
+    in
+    let xsrc_b =
+      match folded_load_mem ctx b with
+      | Some m -> Insn.Xmem m
+      | None -> xsrc_of ctx b
+    in
+    let sse =
+      match op with
+      | Fadd -> Insn.Addsd
+      | Fsub -> Insn.Subsd
+      | Fmul -> Insn.Mulsd
+      | Fdiv -> Insn.Divsd
+      | _ -> assert false
+    in
+    (match coalescible_dest ctx a with
+    | Some vr ->
+      bind_result ctx i vr;
+      emit ctx (Insn.Sse (sse, vr, xsrc_b))
+    | None ->
+      let d = dest_xmm () in
+      emit ctx (Insn.Movsd (d, xsrc_of ctx a));
+      emit ctx (Insn.Sse (sse, d, xsrc_b)))
+  | Icmp _ | Fcmp _ ->
+    (match i.result with
+    | Some v when Hashtbl.mem ctx.fused_cmp v.id -> ()  (* emitted at the branch *)
+    | _ ->
+      let cond = emit_compare ctx i in
+      emit ctx (Insn.Setcc (cond, dest_gp ())))
+  | Cast (c, a, to_) -> (
+    match c with
+    | Trunc ->
+      (* Registers hold sign-canonical values: re-canonicalize by a
+         narrow sign-extending move, like movsx from the subregister. *)
+      let w = width_of_scalar to_ in
+      if w = Insn.W8 && Ir.Types.equal to_ Ir.Types.I1 then begin
+        emit ctx (Insn.Mov (dest_gp (), src_of ctx a));
+        emit ctx (Insn.Alu (Insn.And, dest_gp (), Insn.Imm 1))
+      end
+      else emit ctx (Insn.Movsx (dest_gp (), w, src_of ctx a))
+    | Zext ->
+      let from = Ir.Operand.type_of a in
+      if Ir.Types.equal from Ir.Types.I1 then
+        emit ctx (Insn.Mov (dest_gp (), src_of ctx a))
+      else emit ctx (Insn.Movzx (dest_gp (), width_of_scalar from, src_of ctx a))
+    | Sext ->
+      let from = Ir.Operand.type_of a in
+      if Ir.Types.equal from Ir.Types.I1 then begin
+        emit ctx (Insn.Mov (dest_gp (), src_of ctx a));
+        emit ctx (Insn.Neg (dest_gp ()))
+      end
+      else
+        (* Values are already sign-canonical; movsx keeps the shape real
+           compilers emit. *)
+        emit ctx (Insn.Movsx (dest_gp (), width_of_scalar from, src_of ctx a))
+    | Fptosi -> emit ctx (Insn.Cvttsd2si (dest_gp (), xsrc_of ctx a))
+    | Sitofp -> emit ctx (Insn.Cvtsi2sd (dest_xmm (), src_of ctx a))
+    | Bitcast | Ptrtoint | Inttoptr ->
+      emit ctx (Insn.Mov (dest_gp (), src_of ctx a)))
+  | Alloca _ -> (
+    (* Entry-block allocas were assigned frame slots in a pre-pass; the
+       result value materializes the slot address lazily via
+       [mem_of_pointer]; if the address is needed as a plain value
+       (escapes into arithmetic or a call), emit a lea. *)
+    match i.result with
+    | Some v when Hashtbl.mem ctx.alloca_slot v.id ->
+      if ctx.uses.(v.id) > 0 then
+        emit ctx
+          (Insn.Lea
+             ( vreg_for ctx v,
+               Insn.mem_base Reg.rbp ~disp:(Hashtbl.find ctx.alloca_slot v.id) ))
+    | _ -> invalid_arg "Isel: alloca outside the entry block")
+  | Load p -> (
+    match i.result with
+    | Some v when Hashtbl.mem ctx.folded_load v.id ->
+      ()  (* absorbed into the consumer's memory operand *)
+    | _ ->
+    let pointee = Ir.Types.pointee (Ir.Operand.type_of p) in
+    let m = mem_of_pointer ctx p in
+    match pointee with
+    | Ir.Types.F64 -> emit ctx (Insn.Movsd (dest_xmm (), Insn.Xmem m))
+    | Ir.Types.I1 -> emit ctx (Insn.Movzx (dest_gp (), Insn.W8, Insn.Mem m))
+    | Ir.Types.I8 -> emit ctx (Insn.Movsx (dest_gp (), Insn.W8, Insn.Mem m))
+    | Ir.Types.I16 -> emit ctx (Insn.Movsx (dest_gp (), Insn.W16, Insn.Mem m))
+    | Ir.Types.I32 -> emit ctx (Insn.Movsx (dest_gp (), Insn.W32, Insn.Mem m))
+    | _ -> emit ctx (Insn.Mov (dest_gp (), Insn.Mem m)))
+  | Store (value, p) -> (
+    let pointee = Ir.Types.pointee (Ir.Operand.type_of p) in
+    let m = mem_of_pointer ctx p in
+    match pointee with
+    | Ir.Types.F64 -> (
+      match value with
+      | Ir.Operand.Float _ ->
+        let x = xmm_of ctx value in
+        emit ctx (Insn.Store_sd (m, x))
+      | _ -> emit ctx (Insn.Store_sd (m, xmm_of ctx value)))
+    | ty -> (
+      let w = width_of_scalar ty in
+      match src_of ctx value with
+      | Insn.Imm c -> emit ctx (Insn.Store_imm (w, m, c))
+      | Insn.Reg r -> emit ctx (Insn.Store (w, m, r))
+      | Insn.Mem _ -> assert false))
+  | Gep (base, indices) -> (
+    match i.result with
+    | Some v when Hashtbl.mem ctx.folded_gep v.id ->
+      ()  (* vanishes into the consumer's addressing mode *)
+    | Some v ->
+      let parts = gep_parts ctx base indices in
+      lower_gep_arith ctx (vreg_for ctx v) parts
+    | None -> ())
+  | Phi _ -> ()  (* handled as edge copies *)
+  | Select (c, a, b) -> (
+    let skip = fresh_label ctx "sel" in
+    let cr = gp_of ctx c in
+    match i.result with
+    | Some v when is_float_value v ->
+      let d = vreg_for ctx v in
+      emit ctx (Insn.Movsd (d, xsrc_of ctx a));
+      emit ctx (Insn.Cmp (cr, Insn.Imm 0));
+      emit ctx (Insn.Jcc (Flags.NE, skip));
+      emit ctx (Insn.Movsd (d, xsrc_of ctx b));
+      emit ctx (Insn.Label skip)
+    | Some v ->
+      let d = vreg_for ctx v in
+      emit ctx (Insn.Mov (d, src_of ctx a));
+      emit ctx (Insn.Cmp (cr, Insn.Imm 0));
+      emit ctx (Insn.Jcc (Flags.NE, skip));
+      emit ctx (Insn.Mov (d, src_of ctx b));
+      emit ctx (Insn.Label skip)
+    | None -> ())
+  | Call (callee, args) ->
+    (* cdecl-like: push right-to-left, caller cleans up. *)
+    let nargs = List.length args in
+    List.iter
+      (fun arg ->
+        if Ir.Types.is_float (Ir.Operand.type_of arg) then begin
+          emit ctx (Insn.Alu (Insn.Sub, Reg.rsp, Insn.Imm 8));
+          let x = xmm_of ctx arg in
+          emit ctx (Insn.Store_sd (Insn.mem_base Reg.rsp, x))
+        end
+        else
+          match src_of ctx arg with
+          | Insn.Reg r -> emit ctx (Insn.Push r)
+          | Insn.Imm c ->
+            emit ctx (Insn.Mov (Reg.rax, Insn.Imm c));
+            emit ctx (Insn.Push Reg.rax)
+          | Insn.Mem _ -> assert false)
+      (List.rev args);
+    emit ctx (Insn.Call (Vfunc.func_label callee));
+    if nargs > 0 then emit ctx (Insn.Alu (Insn.Add, Reg.rsp, Insn.Imm (8 * nargs)));
+    (match i.result with
+    | Some v when is_float_value v ->
+      emit ctx (Insn.Movsd (vreg_for ctx v, Insn.Xreg 0))
+    | Some v -> emit ctx (Insn.Mov (vreg_for ctx v, Insn.Reg Reg.rax))
+    | None -> ())
+  | Intrinsic (intr, args) ->
+    (* Arguments in rdi / xmm0, results in rax / xmm0. *)
+    (match args with
+    | [] -> ()
+    | [ arg ] ->
+      if Ir.Types.is_float (Ir.Operand.type_of arg) then
+        emit ctx (Insn.Movsd (0, xsrc_of ctx arg))
+      else emit ctx (Insn.Mov (Reg.rdi, src_of ctx arg))
+    | _ -> invalid_arg "Isel: intrinsic with more than one argument");
+    emit ctx (Insn.Syscall intr);
+    (match i.result with
+    | Some v when is_float_value v ->
+      emit ctx (Insn.Movsd (vreg_for ctx v, Insn.Xreg 0))
+    | Some v -> emit ctx (Insn.Mov (vreg_for ctx v, Insn.Reg Reg.rax))
+    | None -> ())
+
+(* Copies feeding the phis of [succ] along the edge from [pred]. *)
+let phi_copies ctx (succ : Ir.Block.t) (pred_label : string) =
+  List.filter_map
+    (fun (i : Ir.Instr.t) ->
+      match (i.Ir.Instr.kind, i.result) with
+      | Ir.Instr.Phi incoming, Some v -> (
+        match List.find_opt (fun (_, l) -> String.equal l pred_label) incoming with
+        | Some (op, _) ->
+          let cls = if is_float_value v then Vfunc.Xm else Vfunc.Gp in
+          Some (vreg_for ctx v, cls, op)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Isel: phi in %s lacks incoming from %s"
+               succ.Ir.Block.label pred_label))
+      | _ -> None)
+    succ.Ir.Block.instrs
+
+let lower_terminator ctx (cfg_blocks : (string, Ir.Block.t) Hashtbl.t)
+    (b : Ir.Block.t) =
+  let target label = Vfunc.block_label ctx.vf.Vfunc.vname label in
+  let copies_then_jump succ_label =
+    let succ = Hashtbl.find cfg_blocks succ_label in
+    emit_parallel_copies ctx (phi_copies ctx succ b.Ir.Block.label);
+    emit ctx (Insn.Jmp (target succ_label))
+  in
+  match b.term with
+  | Ir.Instr.Ret None -> emit ctx Insn.Ret
+  | Ir.Instr.Ret (Some v) ->
+    (if Ir.Types.is_float (Ir.Operand.type_of v) then
+       emit ctx (Insn.Movsd (0, xsrc_of ctx v))
+     else emit ctx (Insn.Mov (Reg.rax, src_of ctx v)));
+    emit ctx Insn.Ret
+  | Ir.Instr.Br l -> copies_then_jump l
+  | Ir.Instr.Cond_br (c, lt, lf) -> (
+    (* Edges to phi-bearing blocks were split, so no copies here. *)
+    let jcc cond =
+      emit ctx (Insn.Jcc (cond, target lt));
+      emit ctx (Insn.Jmp (target lf))
+    in
+    match c with
+    | Ir.Operand.Var v when Hashtbl.mem ctx.fused_cmp v.id ->
+      let cmp_instr = Hashtbl.find ctx.fused_cmp v.id in
+      let cond = emit_compare ctx cmp_instr in
+      jcc cond
+    | Ir.Operand.Int (_, k) ->
+      emit ctx (Insn.Jmp (target (if k <> 0 then lt else lf)))
+    | _ ->
+      let r = gp_of ctx c in
+      emit ctx (Insn.Cmp (r, Insn.Imm 0));
+      jcc Flags.NE)
+
+let lower_function prog config globals float_const (f : Ir.Func.t) =
+  let vf = Vfunc.create f.fname in
+  let ctx =
+    {
+      prog;
+      config;
+      vf;
+      func = f;
+      globals;
+      float_const;
+      uses = Ir.Func.use_counts f;
+      vreg_of = Hashtbl.create 64;
+      folded_gep = Hashtbl.create 16;
+      folded_load = Hashtbl.create 16;
+      alloca_slot = Hashtbl.create 16;
+      fused_cmp = Hashtbl.create 16;
+      def_block = Hashtbl.create 64;
+      current_block = 0;
+      out = [];
+      local_label = 0;
+    }
+  in
+  List.iter (fun (p : Ir.Value.t) -> Hashtbl.replace ctx.def_block p.id 0) f.params;
+  List.iteri
+    (fun bi (b : Ir.Block.t) ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          match i.Ir.Instr.result with
+          | Some v -> Hashtbl.replace ctx.def_block v.id bi
+          | None -> ())
+        b.instrs)
+    f.blocks;
+  let blocks_by_label = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.Block.t) -> Hashtbl.replace blocks_by_label b.label b)
+    f.blocks;
+  (* Pre-pass 1: frame slots for allocas (one static slot each — the
+     frontend and inliner keep them in the entry block, but any stray
+     alloca still gets a slot), and whether their address is ever used
+     outside a direct load/store (needs a lea). *)
+  let needs_lea = Hashtbl.create 16 in
+  Ir.Func.iter_instrs
+    (fun (i : Ir.Instr.t) ->
+      match (i.Ir.Instr.kind, i.result) with
+      | Ir.Instr.Alloca ty, Some v ->
+        let size = Ir.Layout.size_of prog ty in
+        let align = max 8 (Ir.Layout.align_of prog ty) in
+        let off = Vfunc.alloc_frame vf size align in
+        Hashtbl.replace ctx.alloca_slot v.id off
+      | _ -> ())
+    f;
+  let mark_escaping op ~pointer_position =
+    match Ir.Operand.as_value op with
+    | Some v
+      when Hashtbl.mem ctx.alloca_slot v.id && not pointer_position ->
+      Hashtbl.replace needs_lea v.id ()
+    | _ -> ()
+  in
+  Ir.Func.iter_instrs
+    (fun i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Load p -> mark_escaping p ~pointer_position:true
+      | Ir.Instr.Store (value, p) ->
+        mark_escaping value ~pointer_position:false;
+        mark_escaping p ~pointer_position:true
+      | _ ->
+        List.iter
+          (fun op -> mark_escaping op ~pointer_position:false)
+          (Ir.Instr.operands i))
+    f;
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      List.iter
+        (fun op -> mark_escaping op ~pointer_position:false)
+        (Ir.Instr.terminator_operands b.term))
+    f.blocks;
+  (* Pre-pass 2a: fusable compares (single use = this block's branch). *)
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      match b.term with
+      | Ir.Instr.Cond_br (Ir.Operand.Var v, _, _) when ctx.uses.(v.id) = 1 ->
+        let defined_here =
+          List.find_opt
+            (fun (i : Ir.Instr.t) ->
+              match (i.Ir.Instr.kind, i.result) with
+              | (Ir.Instr.Icmp _ | Ir.Instr.Fcmp _), Some r -> Ir.Value.equal r v
+              | _ -> false)
+            b.instrs
+        in
+        (match defined_here with
+        | Some cmp_instr -> Hashtbl.replace ctx.fused_cmp v.id cmp_instr
+        | None -> ())
+      | _ -> ())
+    f.blocks;
+  (* Pre-pass 2b: foldable GEPs. *)
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          match foldable ctx i b.instrs with
+          | Some parts -> (
+            match i.result with
+            | Some v ->
+              ctx.vf.Vfunc.geps_folded <- ctx.vf.Vfunc.geps_folded + 1;
+              Hashtbl.replace ctx.folded_gep v.id parts
+            | None -> ())
+          | None -> ())
+        b.instrs)
+    f.blocks;
+  (* Pre-pass 2c: loads absorbed into ALU/SSE memory operands.  A
+     word-sized load with a single use by a foldable operand position of
+     an arithmetic/compare instruction later in the same block — with no
+     intervening memory writes — vanishes into that instruction ("packed"
+     assembly, the effect behind Table IV's lower PINFI counts). *)
+  let is_fused (i : Ir.Instr.t) =
+    match i.result with
+    | Some v -> Hashtbl.mem ctx.fused_cmp v.id
+    | None -> false
+  in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      let pending : (int, Ir.Operand.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          let try_fold op =
+            match Ir.Operand.as_value op with
+            | Some v when Hashtbl.mem pending v.id ->
+              Hashtbl.replace ctx.folded_load v.id (Hashtbl.find pending v.id);
+              Hashtbl.remove pending v.id;
+              true
+            | _ -> false
+          in
+          (match i.Ir.Instr.kind with
+          | Ir.Instr.Binop (op, a, bb) -> (
+            match op with
+            | Ir.Instr.Add | Ir.Instr.And | Ir.Instr.Or | Ir.Instr.Xor
+            | Ir.Instr.Mul | Ir.Instr.Fadd | Ir.Instr.Fmul ->
+              if not (try_fold bb) then ignore (try_fold a)
+            | Ir.Instr.Sub | Ir.Instr.Fsub | Ir.Instr.Fdiv ->
+              ignore (try_fold bb)
+            | _ -> ())
+          | Ir.Instr.Icmp (_, _, bb) when not (is_fused i) -> ignore (try_fold bb)
+          | Ir.Instr.Fcmp (_, _, bb) when not (is_fused i) -> ignore (try_fold bb)
+          | _ -> ());
+          (* Any remaining use of a pending load disqualifies it. *)
+          List.iter
+            (fun op ->
+              match Ir.Operand.as_value op with
+              | Some v -> Hashtbl.remove pending v.id
+              | None -> ())
+            (Ir.Instr.operands i);
+          (* New candidate loads. *)
+          (match (i.Ir.Instr.kind, i.result) with
+          | Ir.Instr.Load p, Some v when ctx.uses.(v.id) = 1 -> (
+            match Ir.Types.pointee (Ir.Operand.type_of p) with
+            | Ir.Types.I64 | Ir.Types.Ptr _ | Ir.Types.F64 ->
+              Hashtbl.replace pending v.id p
+            | _ -> ())
+          | _ -> ());
+          (* Memory writes and calls invalidate pending loads. *)
+          if Ir.Instr.has_side_effect i then Hashtbl.clear pending)
+        b.instrs)
+    f.blocks;
+  (* Parameters: loaded from the caller's pushes at [rbp + 16 + 8k]. *)
+  let emit_param_loads () =
+    List.iteri
+      (fun k (p : Ir.Value.t) ->
+        if ctx.uses.(p.id) > 0 then begin
+          let m = Insn.mem_base Reg.rbp ~disp:(16 + (8 * k)) in
+          if is_float_value p then
+            emit ctx (Insn.Movsd (vreg_for ctx p, Insn.Xmem m))
+          else emit ctx (Insn.Mov (vreg_for ctx p, Insn.Mem m))
+        end)
+      f.params
+  in
+  (* Lower each block. *)
+  let vblocks =
+    List.mapi
+      (fun bi (b : Ir.Block.t) ->
+        ctx.out <- [];
+        ctx.current_block <- bi;
+        if bi = 0 then emit_param_loads ();
+        List.iter
+          (fun (i : Ir.Instr.t) ->
+            match (i.Ir.Instr.kind, i.result) with
+            | Ir.Instr.Alloca _, Some v ->
+              if Hashtbl.mem needs_lea v.id then
+                emit ctx
+                  (Insn.Lea
+                     ( vreg_for ctx v,
+                       Insn.mem_base Reg.rbp
+                         ~disp:(Hashtbl.find ctx.alloca_slot v.id) ))
+            | _ -> lower_instr ctx i)
+          b.instrs;
+        lower_terminator ctx blocks_by_label b;
+        (Vfunc.block_label f.fname b.label, List.rev ctx.out))
+      f.blocks
+  in
+  vf.Vfunc.vblocks <- vblocks;
+  vf

@@ -1,0 +1,20 @@
+(** Instruction selection: IR -> virtual x86.
+
+    The selection choices here are the lowering effects behind the
+    paper's Table I: GEP folding into addressing modes ([fold_geps]
+    toggles the ablation), compare fusion (cmp/ucomisd immediately
+    before the jcc — PINFI's cmp category), load absorption into ALU/SSE
+    memory operands ("packed" assembly), two-address copy coalescing,
+    phi lowering to parallel copies on split edges, and cdecl-style
+    calls. *)
+
+type config = { fold_geps : bool }
+
+val default_config : config
+
+val lower_function :
+  Ir.Prog.t -> config -> (string, int) Hashtbl.t -> (float -> int) ->
+  Ir.Func.t -> Vfunc.t
+(** [lower_function prog config globals float_const f]: [globals] maps
+    global names to absolute addresses; [float_const] interns a double
+    in the literal pool and returns its address. *)

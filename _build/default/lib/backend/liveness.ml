@@ -1,0 +1,135 @@
+(** Block-level liveness of virtual registers over a lowered function,
+    feeding interval construction for the linear-scan allocator. *)
+
+(* Virtual registers from the two namespaces are disambiguated by
+   tagging: GP vregs appear as 2*r, XMM vregs as 2*r+1. *)
+module IntSet = Set.Make (Int)
+
+let tag_gp r = 2 * r
+let tag_xmm r = (2 * r) + 1
+let untag key = (key / 2, if key land 1 = 0 then Vfunc.Gp else Vfunc.Xm)
+
+type info = {
+  blocks : binfo array;
+  n_positions : int;
+  call_positions : int list;
+}
+
+and binfo = {
+  b_label : string;
+  b_insns : X86.Insn.t array;
+  b_start : int;
+  b_succs : int list;
+  b_gen : IntSet.t;
+  b_kill : IntSet.t;
+  mutable b_live_in : IntSet.t;
+  mutable b_live_out : IntSet.t;
+}
+
+let virtual_keys insn =
+  let gd, gu, xd, xu = X86.Insn.def_use insn in
+  let keep tag rs = List.filter_map (fun r -> if X86.Reg.is_virtual r then Some (tag r) else None) rs in
+  (keep tag_gp gd @ keep tag_xmm xd, keep tag_gp gu @ keep tag_xmm xu)
+
+let analyze (vf : Vfunc.t) =
+  let blocks = Array.of_list vf.Vfunc.vblocks in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i (label, _) -> Hashtbl.replace index_of label i) blocks;
+  let pos = ref 0 in
+  let call_positions = ref [] in
+  let binfos =
+    Array.map
+      (fun (label, insns) ->
+        let insns = Array.of_list insns in
+        let start = !pos in
+        Array.iteri
+          (fun k insn ->
+            match insn with
+            | X86.Insn.Call _ -> call_positions := (start + k) :: !call_positions
+            | _ -> ())
+          insns;
+        pos := !pos + Array.length insns;
+        let gen = ref IntSet.empty and kill = ref IntSet.empty in
+        Array.iter
+          (fun insn ->
+            let defs, uses = virtual_keys insn in
+            List.iter
+              (fun u -> if not (IntSet.mem u !kill) then gen := IntSet.add u !gen)
+              uses;
+            List.iter (fun d -> kill := IntSet.add d !kill) defs)
+          insns;
+        let succs =
+          Array.fold_left
+            (fun acc insn ->
+              match insn with
+              | X86.Insn.Jmp l | X86.Insn.Jcc (_, l) -> (
+                match Hashtbl.find_opt index_of l with
+                | Some i -> if List.mem i acc then acc else i :: acc
+                | None -> acc (* intra-block select label or other function *))
+              | _ -> acc)
+            [] insns
+        in
+        {
+          b_label = label;
+          b_insns = insns;
+          b_start = start;
+          b_succs = succs;
+          b_gen = !gen;
+          b_kill = !kill;
+          b_live_in = IntSet.empty;
+          b_live_out = IntSet.empty;
+        })
+      blocks
+  in
+  (* Iterative backward dataflow. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = Array.length binfos - 1 downto 0 do
+      let b = binfos.(i) in
+      let out =
+        List.fold_left
+          (fun acc s -> IntSet.union acc binfos.(s).b_live_in)
+          IntSet.empty b.b_succs
+      in
+      let inn = IntSet.union b.b_gen (IntSet.diff out b.b_kill) in
+      if not (IntSet.equal out b.b_live_out && IntSet.equal inn b.b_live_in)
+      then begin
+        b.b_live_out <- out;
+        b.b_live_in <- inn;
+        changed := true
+      end
+    done
+  done;
+  { blocks = binfos; n_positions = !pos; call_positions = List.rev !call_positions }
+
+type interval = { key : int; mutable i_start : int; mutable i_end : int }
+
+(* Coarse Poletto-Sarkar intervals: [first occurrence or live-in block
+   start, last occurrence or live-out block end]. *)
+let intervals (info : info) =
+  let table : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch key p =
+    match Hashtbl.find_opt table key with
+    | Some iv ->
+      if p < iv.i_start then iv.i_start <- p;
+      if p > iv.i_end then iv.i_end <- p
+    | None -> Hashtbl.replace table key { key; i_start = p; i_end = p }
+  in
+  Array.iter
+    (fun b ->
+      let block_end = b.b_start + Array.length b.b_insns in
+      IntSet.iter (fun key -> touch key b.b_start) b.b_live_in;
+      IntSet.iter
+        (fun key ->
+          touch key b.b_start;
+          touch key block_end)
+        b.b_live_out;
+      Array.iteri
+        (fun k insn ->
+          let defs, uses = virtual_keys insn in
+          List.iter (fun key -> touch key (b.b_start + k)) (defs @ uses))
+        b.b_insns)
+    info.blocks;
+  let all = Hashtbl.fold (fun _ iv acc -> iv :: acc) table [] in
+  List.sort (fun a b -> compare (a.i_start, a.key) (b.i_start, b.key)) all

@@ -1,0 +1,36 @@
+(** Block-level liveness of virtual registers over a lowered function,
+    feeding interval construction for the linear-scan allocator.
+
+    GP and XMM virtual registers share tables via tagging: a GP vreg [r]
+    appears as key [2r], an XMM vreg as [2r+1]. *)
+
+module IntSet : Set.S with type elt = int
+
+val tag_gp : int -> int
+val tag_xmm : int -> int
+val untag : int -> int * Vfunc.reg_class
+
+type binfo = {
+  b_label : string;
+  b_insns : X86.Insn.t array;
+  b_start : int;  (** linear position of the first instruction *)
+  b_succs : int list;
+  b_gen : IntSet.t;  (** read before written *)
+  b_kill : IntSet.t;
+  mutable b_live_in : IntSet.t;
+  mutable b_live_out : IntSet.t;
+}
+
+type info = {
+  blocks : binfo array;
+  n_positions : int;
+  call_positions : int list;
+}
+
+val analyze : Vfunc.t -> info
+(** Iterative backward dataflow over the block graph. *)
+
+type interval = { key : int; mutable i_start : int; mutable i_end : int }
+
+val intervals : info -> interval list
+(** Coarse Poletto-Sarkar intervals, sorted by start. *)

@@ -1,0 +1,59 @@
+(** A fully assembled program for the x86-level interpreter. *)
+
+type func_stats = {
+  fs_name : string;
+  fs_geps_folded : int;  (* GEPs absorbed into addressing modes *)
+  fs_geps_arith : int;  (* GEPs lowered to lea/imul/add arithmetic *)
+  fs_spill_slots : int;
+  fs_callee_saved : int;  (* callee-saved registers pushed in the prologue *)
+  fs_insns : int;
+}
+
+type t = {
+  insns : X86.Insn.t array;  (* Label pseudos removed *)
+  resolved : int array;  (* per-insn branch/call target index, or -1 *)
+  labels : (string, int) Hashtbl.t;
+  entry : int;  (* index of main's first instruction *)
+  global_image : (int * Ir.Types.t * Ir.Prog.init) list;
+  globals_len : int;
+  const_image : (int * float) list;  (* float literal pool *)
+  consts_len : int;
+  stats : func_stats list;
+  source : Ir.Prog.t;
+}
+
+let size t = Array.length t.insns
+
+(* The code model: instruction k notionally lives at [text_base + 8k];
+   the address one past the end doubles as the "halt" return address the
+   startup code pushes before entering main. *)
+let addr_of_index t index =
+  ignore t;
+  Support.Segments.text_base + (8 * index)
+
+let index_of_addr t addr =
+  if
+    addr >= Support.Segments.text_base
+    && addr < Support.Segments.text_base + (8 * Array.length t.insns)
+    && (addr - Support.Segments.text_base) mod 8 = 0
+  then Some ((addr - Support.Segments.text_base) / 8)
+  else None
+
+let halt_addr t = Support.Segments.text_base + (8 * Array.length t.insns)
+
+let pp_listing fmt t =
+  let by_index = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun label idx ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_index idx) in
+      Hashtbl.replace by_index idx (label :: existing))
+    t.labels;
+  Array.iteri
+    (fun i insn ->
+      (match Hashtbl.find_opt by_index i with
+      | Some labels -> List.iter (fun l -> Fmt.pf fmt "%s:@." l) (List.sort compare labels)
+      | None -> ());
+      Fmt.pf fmt "  %04d  %a@." i X86.Printer.pp_insn insn)
+    t.insns
+
+let to_string t = Fmt.str "%a" pp_listing t

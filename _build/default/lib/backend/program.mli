@@ -1,0 +1,36 @@
+(** A fully assembled program for the x86-level interpreter. *)
+
+type func_stats = {
+  fs_name : string;
+  fs_geps_folded : int;
+  fs_geps_arith : int;
+  fs_spill_slots : int;
+  fs_callee_saved : int;
+  fs_insns : int;
+}
+
+type t = {
+  insns : X86.Insn.t array;  (** Label pseudos removed *)
+  resolved : int array;  (** per-insn branch/call target index, or -1 *)
+  labels : (string, int) Hashtbl.t;
+  entry : int;  (** index of main's first instruction *)
+  global_image : (int * Ir.Types.t * Ir.Prog.init) list;
+  globals_len : int;
+  const_image : (int * float) list;  (** float literal pool *)
+  consts_len : int;
+  stats : func_stats list;
+  source : Ir.Prog.t;
+}
+
+val size : t -> int
+
+(** The code model: instruction [k] notionally lives at [text_base + 8k];
+    one past the end doubles as the "halt" return address pushed before
+    entering main. *)
+
+val addr_of_index : t -> int -> int
+val index_of_addr : t -> int -> int option
+val halt_addr : t -> int
+
+val pp_listing : Format.formatter -> t -> unit
+val to_string : t -> string

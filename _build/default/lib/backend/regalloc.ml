@@ -1,0 +1,298 @@
+(** Linear-scan register allocation with spilling.
+
+    Intervals that cross a call site may only take callee-saved GP
+    registers (there are no callee-saved XMM registers in the System V
+    convention, so call-crossing float values always spill) — which is
+    precisely how real compilers end up with the spill loads/stores and
+    callee-save push/pops that exist only at the assembly level
+    (paper Table I, rows 2 and 3). *)
+
+type location = Phys of X86.Reg.t | Slot of int  (* rbp-relative offset *)
+
+type result = {
+  locations : (int, location) Hashtbl.t;  (* tagged vreg key -> location *)
+  used_callee_saved : X86.Reg.t list;
+}
+
+let callee_saved_gp_keys =
+  List.map (fun r -> r) X86.Reg.callee_saved
+
+let allocate (vf : Vfunc.t) (info : Liveness.info) =
+  let ivs = Liveness.intervals info in
+  let locations : (int, location) Hashtbl.t = Hashtbl.create 64 in
+  let used_csv = ref [] in
+  (* Move hints: when an interval begins at `mov d, s` (same class) and
+     s's interval ends right there, prefer s's register for d — the move
+     then becomes a deletable self-move (copy coalescing). *)
+  let insn_at = Array.make info.Liveness.n_positions None in
+  Array.iter
+    (fun b ->
+      Array.iteri
+        (fun k insn -> insn_at.(b.Liveness.b_start + k) <- Some insn)
+        b.Liveness.b_insns)
+    info.Liveness.blocks;
+  let interval_end = Hashtbl.create 64 in
+  List.iter
+    (fun (iv : Liveness.interval) ->
+      Hashtbl.replace interval_end iv.Liveness.key iv.Liveness.i_end)
+    ivs;
+  let hint_for (iv : Liveness.interval) =
+    if iv.Liveness.i_start >= Array.length insn_at then None
+    else
+      match insn_at.(iv.Liveness.i_start) with
+      | Some (X86.Insn.Mov (d, X86.Insn.Reg s))
+        when X86.Reg.is_virtual d && X86.Reg.is_virtual s
+             && iv.Liveness.key = Liveness.tag_gp d
+             && Hashtbl.find_opt interval_end (Liveness.tag_gp s)
+                = Some iv.Liveness.i_start ->
+        Some (Liveness.tag_gp s)
+      | Some (X86.Insn.Movsd (d, X86.Insn.Xreg s))
+        when X86.Reg.is_virtual d && X86.Reg.is_virtual s
+             && iv.Liveness.key = Liveness.tag_xmm d
+             && Hashtbl.find_opt interval_end (Liveness.tag_xmm s)
+                = Some iv.Liveness.i_start ->
+        Some (Liveness.tag_xmm s)
+      | _ -> None
+  in
+  let crosses_call (iv : Liveness.interval) =
+    List.exists
+      (fun p -> iv.Liveness.i_start <= p && p < iv.Liveness.i_end)
+      info.Liveness.call_positions
+  in
+  (* Free pools as mutable sets. *)
+  let free_gp = Hashtbl.create 16 and free_xmm = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace free_gp r ()) X86.Reg.allocatable_gp;
+  List.iter (fun r -> Hashtbl.replace free_xmm r ()) X86.Reg.allocatable_xmm;
+  (* Active intervals, kept sorted by increasing end. *)
+  let active : (Liveness.interval * [ `Gp | `Xm ] * X86.Reg.t) list ref = ref [] in
+  let release cls reg =
+    match cls with
+    | `Gp -> Hashtbl.replace free_gp reg ()
+    | `Xm -> Hashtbl.replace free_xmm reg ()
+  in
+  (* An interval ending exactly at [start] is freed: the instruction at
+     [start] reads it before writing the new destination (all our
+     instructions read sources before writing), so they may share. *)
+  let expire start =
+    let expired, alive =
+      List.partition (fun (iv, _, _) -> iv.Liveness.i_end <= start) !active
+    in
+    List.iter (fun (_, cls, reg) -> release cls reg) expired;
+    active := alive
+  in
+  let insert_active entry =
+    let rec ins = function
+      | [] -> [ entry ]
+      | ((iv', _, _) as hd) :: tl ->
+        let (iv, _, _) = entry in
+        if iv.Liveness.i_end <= iv'.Liveness.i_end then entry :: hd :: tl
+        else hd :: ins tl
+    in
+    active := ins !active
+  in
+  let spill_slot () = Vfunc.alloc_frame vf 8 8 in
+  List.iter
+    (fun (iv : Liveness.interval) ->
+      expire iv.i_start;
+      let _, cls = Liveness.untag iv.key in
+      let cls = match cls with Vfunc.Gp -> `Gp | Vfunc.Xm -> `Xm in
+      let must_be_csv = crosses_call iv in
+      let pool_ok reg =
+        match cls with
+        | `Gp -> (not must_be_csv) || List.mem reg callee_saved_gp_keys
+        | `Xm -> not must_be_csv  (* no callee-saved xmm: must spill *)
+      in
+      let free_pool = match cls with `Gp -> free_gp | `Xm -> free_xmm in
+      let hinted =
+        match hint_for iv with
+        | Some src_key -> (
+          match Hashtbl.find_opt locations src_key with
+          | Some (Phys r) when Hashtbl.mem free_pool r && pool_ok r -> Some r
+          | _ -> None)
+        | None -> None
+      in
+      let candidate =
+        match hinted with
+        | Some r -> Some r
+        | None ->
+          Hashtbl.fold
+            (fun reg () best ->
+              if pool_ok reg then
+                match best with
+                | Some b -> if reg < b then Some reg else best
+                | None -> Some reg
+              else best)
+            free_pool None
+      in
+      match candidate with
+      | Some reg ->
+        Hashtbl.remove free_pool reg;
+        if cls = `Gp && List.mem reg callee_saved_gp_keys
+           && not (List.mem reg !used_csv)
+        then used_csv := reg :: !used_csv;
+        Hashtbl.replace locations iv.key (Phys reg);
+        insert_active (iv, cls, reg)
+      | None -> (
+        (* No usable free register: evict the compatible active interval
+           that ends last, if it outlives the current one. *)
+        let compatible (iv', cls', reg') =
+          ignore iv';
+          cls' = cls
+          &&
+          match cls with
+          | `Gp -> (not must_be_csv) || List.mem reg' callee_saved_gp_keys
+          | `Xm -> not must_be_csv
+        in
+        let victim =
+          List.fold_left
+            (fun best entry ->
+              if compatible entry then
+                match best with
+                | Some (biv, _, _) ->
+                  let (eiv, _, _) = entry in
+                  if eiv.Liveness.i_end > biv.Liveness.i_end then Some entry
+                  else best
+                | None -> Some entry
+              else best)
+            None !active
+        in
+        match victim with
+        | Some ((viv, vcls, vreg) as ventry) when viv.Liveness.i_end > iv.i_end ->
+          Hashtbl.replace locations viv.Liveness.key (Slot (spill_slot ()));
+          vf.Vfunc.spill_slots <- vf.Vfunc.spill_slots + 1;
+          active := List.filter (fun e -> e != ventry) !active;
+          Hashtbl.replace locations iv.key (Phys vreg);
+          insert_active (iv, vcls, vreg)
+        | _ ->
+          Hashtbl.replace locations iv.key (Slot (spill_slot ()));
+          vf.Vfunc.spill_slots <- vf.Vfunc.spill_slots + 1))
+    ivs;
+  { locations; used_callee_saved = List.sort compare !used_csv }
+
+(* --- spill rewriting --- *)
+
+(* Fold a spilled register appearing in a foldable source position into
+   a memory operand directly, avoiding a scratch load. *)
+let fold_spilled_src loc insn =
+  let open X86.Insn in
+  let slot_mem off = mem_base X86.Reg.rbp ~disp:off in
+  let fold_src v =
+    match loc (Liveness.tag_gp v) with
+    | Some (Slot off) when X86.Reg.is_virtual v -> Some (Mem (slot_mem off))
+    | _ -> None
+  in
+  let fold_xsrc v =
+    match loc (Liveness.tag_xmm v) with
+    | Some (Slot off) when X86.Reg.is_virtual v -> Some (Xmem (slot_mem off))
+    | _ -> None
+  in
+  match insn with
+  | Mov (d, Reg v) -> (
+    match fold_src v with Some s -> Mov (d, s) | None -> insn)
+  | Movzx (d, w, Reg v) -> (
+    match fold_src v with Some s -> Movzx (d, w, s) | None -> insn)
+  | Movsx (d, w, Reg v) -> (
+    match fold_src v with Some s -> Movsx (d, w, s) | None -> insn)
+  | Alu (op, d, Reg v) -> (
+    match fold_src v with Some s -> Alu (op, d, s) | None -> insn)
+  | Imul (d, Reg v) -> (
+    match fold_src v with Some s -> Imul (d, s) | None -> insn)
+  | Imul3 (d, Reg v, imm) -> (
+    match fold_src v with Some s -> Imul3 (d, s, imm) | None -> insn)
+  | Cmp (a, Reg v) -> (
+    match fold_src v with Some s -> Cmp (a, s) | None -> insn)
+  | Idiv (Reg v) -> (
+    match fold_src v with Some s -> Idiv s | None -> insn)
+  | Div (Reg v) -> (
+    match fold_src v with Some s -> Div s | None -> insn)
+  | Cvtsi2sd (d, Reg v) -> (
+    match fold_src v with Some s -> Cvtsi2sd (d, s) | None -> insn)
+  | Movsd (d, Xreg v) -> (
+    match fold_xsrc v with Some s -> Movsd (d, s) | None -> insn)
+  | Sse (op, d, Xreg v) -> (
+    match fold_xsrc v with Some s -> Sse (op, d, s) | None -> insn)
+  | Sqrtsd (d, Xreg v) -> (
+    match fold_xsrc v with Some s -> Sqrtsd (d, s) | None -> insn)
+  | Ucomisd (a, Xreg v) -> (
+    match fold_xsrc v with Some s -> Ucomisd (a, s) | None -> insn)
+  | _ -> insn
+
+exception Out_of_scratch
+
+(* Rewrite one instruction, materializing spilled registers through
+   scratch registers with reload-before / writeback-after moves. *)
+let rewrite_insn (res : result) insn =
+  let open X86.Insn in
+  let loc key = Hashtbl.find_opt res.locations key in
+  let insn = fold_spilled_src loc insn in
+  let gdefs, guses, xdefs, xuses = def_use insn in
+  let pre = ref [] and post = ref [] in
+  let gp_scratches = ref [ X86.Reg.scratch_gp; X86.Reg.scratch_gp2; X86.Reg.rcx ] in
+  let xmm_scratches = ref [ X86.Reg.scratch_xmm; 14 ] in
+  let assigned : (int, X86.Reg.t) Hashtbl.t = Hashtbl.create 4 in
+  let take scratches =
+    match !scratches with
+    | [] -> raise Out_of_scratch
+    | s :: rest ->
+      scratches := rest;
+      s
+  in
+  let slot_mem off = mem_base X86.Reg.rbp ~disp:off in
+  let map_with tag scratches ~load ~store defs uses r =
+    if not (X86.Reg.is_virtual r) then r
+    else
+      match loc (tag r) with
+      | Some (Phys p) -> p
+      | Some (Slot off) -> (
+        match Hashtbl.find_opt assigned (tag r) with
+        | Some s -> s
+        | None ->
+          let s = take scratches in
+          Hashtbl.replace assigned (tag r) s;
+          if List.mem r uses then pre := load s (slot_mem off) :: !pre;
+          if List.mem r defs then post := store (slot_mem off) s :: !post;
+          s)
+      | None ->
+        (* Never live: an unused definition — give it a scratch. *)
+        (match Hashtbl.find_opt assigned (tag r) with
+        | Some s -> s
+        | None ->
+          let s = take scratches in
+          Hashtbl.replace assigned (tag r) s;
+          s)
+  in
+  let gp =
+    map_with Liveness.tag_gp gp_scratches
+      ~load:(fun s m -> Mov (s, Mem m))
+      ~store:(fun m s -> Store (W64, m, s))
+      gdefs guses
+  in
+  let xmm =
+    map_with Liveness.tag_xmm xmm_scratches
+      ~load:(fun s m -> Movsd (s, Xmem m))
+      ~store:(fun m s -> Store_sd (m, s))
+      xdefs xuses
+  in
+  let rewritten = map_regs ~gp ~xmm insn in
+  List.rev !pre @ [ rewritten ] @ !post
+
+let is_self_move (insn : X86.Insn.t) =
+  match insn with
+  | X86.Insn.Mov (d, X86.Insn.Reg s) -> d = s
+  | X86.Insn.Movsd (d, X86.Insn.Xreg s) -> d = s
+  | _ -> false
+
+let apply (vf : Vfunc.t) (res : result) =
+  vf.Vfunc.vblocks <-
+    List.map
+      (fun (label, insns) ->
+        ( label,
+          List.concat_map (rewrite_insn res) insns
+          |> List.filter (fun insn -> not (is_self_move insn)) ))
+      vf.Vfunc.vblocks
+
+let run (vf : Vfunc.t) =
+  let info = Liveness.analyze vf in
+  let res = allocate vf info in
+  apply vf res;
+  res.used_callee_saved

@@ -1,0 +1,25 @@
+(** Linear-scan register allocation with spilling and copy coalescing.
+
+    Intervals crossing call sites may only take callee-saved GP
+    registers (there are no callee-saved XMM registers), producing the
+    spill traffic and callee-save push/pops that exist only at the
+    assembly level (paper Table I).  Move hints coalesce copies whose
+    source dies at the move; resulting self-moves are deleted. *)
+
+type location = Phys of X86.Reg.t | Slot of int  (** rbp-relative offset *)
+
+type result = {
+  locations : (int, location) Hashtbl.t;  (** tagged vreg -> location *)
+  used_callee_saved : X86.Reg.t list;
+}
+
+val allocate : Vfunc.t -> Liveness.info -> result
+
+val apply : Vfunc.t -> result -> unit
+(** Rewrite the function: physical registers substituted, spilled values
+    reloaded through scratch registers (or folded into memory operands),
+    self-moves removed. *)
+
+val run : Vfunc.t -> X86.Reg.t list
+(** [analyze] + [allocate] + [apply]; returns the callee-saved registers
+    the frame pass must save. *)

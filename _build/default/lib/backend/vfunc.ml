@@ -1,0 +1,51 @@
+(** The unit flowing through the backend: one function's worth of virtual
+    assembly, with unlimited virtual registers and per-block instruction
+    lists.  Register allocation rewrites it in place; the frame pass then
+    adds prologue/epilogue. *)
+
+type reg_class = Gp | Xm
+
+type t = {
+  vname : string;
+  mutable vblocks : (string * X86.Insn.t list) list;  (* label, body *)
+  mutable frame_bytes : int;  (* rbp-relative bytes used by allocas+spills *)
+  classes : (int, reg_class) Hashtbl.t;  (* virtual register -> class *)
+  mutable next_vreg : int;
+  (* statistics for the Table I report *)
+  mutable geps_folded : int;
+  mutable geps_arith : int;
+  mutable spill_slots : int;
+}
+
+let create vname =
+  {
+    vname;
+    vblocks = [];
+    frame_bytes = 0;
+    classes = Hashtbl.create 64;
+    next_vreg = X86.Reg.first_virtual;
+    geps_folded = 0;
+    geps_arith = 0;
+    spill_slots = 0;
+  }
+
+let fresh_vreg t cls =
+  let v = t.next_vreg in
+  t.next_vreg <- v + 1;
+  Hashtbl.replace t.classes v cls;
+  v
+
+let class_of t r =
+  match Hashtbl.find_opt t.classes r with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Vfunc.class_of: %d is not virtual" r)
+
+(* Allocate [bytes] in the frame, [align]-aligned; returns the
+   rbp-relative negative offset of the slot's low address. *)
+let alloc_frame t bytes align =
+  let used = (t.frame_bytes + bytes + align - 1) / align * align in
+  t.frame_bytes <- used;
+  -used
+
+let block_label fname blabel = Printf.sprintf "%s.%s" fname blabel
+let func_label fname = "fn_" ^ fname

@@ -1,0 +1,34 @@
+(** The unit flowing through the backend: one function's virtual
+    assembly, with unlimited virtual registers and per-block instruction
+    lists.  Register allocation rewrites it in place; the frame pass
+    then adds prologue/epilogue. *)
+
+type reg_class = Gp | Xm
+
+type t = {
+  vname : string;
+  mutable vblocks : (string * X86.Insn.t list) list;  (** label, body *)
+  mutable frame_bytes : int;
+  classes : (int, reg_class) Hashtbl.t;
+  mutable next_vreg : int;
+  mutable geps_folded : int;  (** Table I statistics *)
+  mutable geps_arith : int;
+  mutable spill_slots : int;
+}
+
+val create : string -> t
+
+val fresh_vreg : t -> reg_class -> int
+
+val class_of : t -> int -> reg_class
+(** @raise Invalid_argument for registers without a recorded class. *)
+
+val alloc_frame : t -> int -> int -> int
+(** [alloc_frame t bytes align] reserves frame space; returns the
+    rbp-relative (negative) offset of the slot. *)
+
+val block_label : string -> string -> string
+(** [block_label fname blabel] is the assembly label of an IR block. *)
+
+val func_label : string -> string
+(** The assembly entry label of a function. *)

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Backend Buffer Category Char Int64 Ir List Llfi Minic Opt Pinfi Printf String Support Verdict Workload

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Backend Category Ir Llfi Pinfi Support Verdict Workload

@@ -1,0 +1,1 @@
+lib/core/edc.ml: Buffer Float List Llfi String Support Vm

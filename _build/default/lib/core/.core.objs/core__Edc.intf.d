@@ -1,0 +1,1 @@
+lib/core/edc.mli: Category Llfi Support

@@ -1,0 +1,1 @@
+lib/core/llfi.ml: Array Category Fmt Ir List Support Vm

@@ -1,0 +1,1 @@
+lib/core/llfi.mli: Category Ir Support Vm

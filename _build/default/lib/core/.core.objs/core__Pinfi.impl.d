@@ -1,0 +1,1 @@
+lib/core/pinfi.ml: Array Backend Category Fmt List Support Vm X86

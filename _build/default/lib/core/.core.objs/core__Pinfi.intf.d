@@ -1,0 +1,1 @@
+lib/core/pinfi.mli: Backend Category Support Vm X86

@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Array Category Fmt Llfi Printf Support Verdict Vm

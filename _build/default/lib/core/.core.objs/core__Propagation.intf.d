@@ -1,0 +1,1 @@
+lib/core/propagation.mli: Category Format Llfi Support Verdict Vm

@@ -1,0 +1,1 @@
+lib/core/report.ml: Backend Campaign Category Hashtbl Ir List Llfi Option Paper_data Pinfi Printf Stats String Support Tabular Verdict Workload X86

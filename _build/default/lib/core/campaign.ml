@@ -1,0 +1,159 @@
+(** Campaign runner: the experimental procedure of paper §V.
+
+    For each benchmark x tool x category cell: profile the dynamic
+    population once, then run N independent single-bit-flip injections,
+    classifying each run against the golden output.  Everything is
+    deterministic in the configured seed. *)
+
+type tool = Llfi_tool | Pinfi_tool
+
+let tool_name = function Llfi_tool -> "LLFI" | Pinfi_tool -> "PINFI"
+
+type config = {
+  trials : int;
+  seed : int;
+  llfi : Llfi.config;
+  pinfi : Pinfi.config;
+  backend : Backend.config;
+}
+
+let default_config =
+  {
+    trials = 200;
+    seed = 2014;  (* the year the paper appeared, for luck *)
+    llfi = Llfi.default_config;
+    pinfi = Pinfi.default_config;
+    backend = Backend.default_config;
+  }
+
+(* The paper's configuration: 1000 injections per cell. *)
+let paper_config = { default_config with trials = 1000 }
+
+type prepared = {
+  workload : Workload.t;
+  prog : Ir.Prog.t;  (* optimized IR, shared by both tools *)
+  asm : Backend.Program.t;
+  llfi : Llfi.t;
+  pinfi : Pinfi.t;
+}
+
+type cell = {
+  c_workload : string;
+  c_tool : tool;
+  c_category : Category.t;
+  c_population : int;  (* dynamic instances profiled in this category *)
+  c_tally : Verdict.tally;
+}
+
+(* FNV-1a over a string, for deriving stable per-cell seeds. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let cell_rng config ~workload ~tool ~category =
+  let key =
+    Printf.sprintf "%d/%s/%s/%s" config.seed workload (tool_name tool)
+      (Category.name category)
+  in
+  Support.Rng.create (fnv1a key)
+
+let prepare config (w : Workload.t) =
+  let prog = Opt.optimize (Minic.compile w.Workload.source) in
+  let asm = Backend.compile ~config:config.backend prog in
+  let llfi = Llfi.prepare ~config:config.llfi ~inputs:w.Workload.inputs prog in
+  let pinfi = Pinfi.prepare ~config:config.pinfi ~inputs:w.Workload.inputs asm in
+  if not (String.equal llfi.Llfi.golden_output pinfi.Pinfi.golden_output) then
+    invalid_arg
+      (Printf.sprintf
+         "Campaign.prepare: %s produces different golden outputs at the two \
+          levels"
+         w.Workload.name);
+  { workload = w; prog; asm; llfi; pinfi }
+
+let run_cell ?on_trial config (p : prepared) tool category =
+  let population, golden, inject =
+    match tool with
+    | Llfi_tool ->
+      ( Llfi.dynamic_count p.llfi category,
+        p.llfi.Llfi.golden_output,
+        fun rng -> Llfi.inject p.llfi category rng )
+    | Pinfi_tool ->
+      ( Pinfi.dynamic_count p.pinfi category,
+        p.pinfi.Pinfi.golden_output,
+        fun rng -> Pinfi.inject p.pinfi category rng )
+  in
+  let tally = Verdict.fresh_tally () in
+  if population > 0 then begin
+    let master =
+      cell_rng config ~workload:p.workload.Workload.name ~tool ~category
+    in
+    for trial = 0 to config.trials - 1 do
+      let rng = Support.Rng.split master in
+      let stats = inject rng in
+      let verdict = Verdict.of_run ~golden_output:golden stats in
+      Verdict.add tally verdict;
+      match on_trial with Some f -> f trial verdict | None -> ()
+    done
+  end;
+  {
+    c_workload = p.workload.Workload.name;
+    c_tool = tool;
+    c_category = category;
+    c_population = population;
+    c_tally = tally;
+  }
+
+let run_workload ?on_cell ?(categories = Category.all) config (w : Workload.t) =
+  let p = prepare config w in
+  let cells =
+    List.concat_map
+      (fun tool ->
+        List.map
+          (fun category ->
+            let cell = run_cell config p tool category in
+            (match on_cell with Some f -> f cell | None -> ());
+            cell)
+          categories)
+      [ Llfi_tool; Pinfi_tool ]
+  in
+  (p, cells)
+
+let run_all ?on_cell ?categories config workloads =
+  List.concat_map
+    (fun w ->
+      let _, cells = run_workload ?on_cell ?categories config w in
+      cells)
+    workloads
+
+(* --- lookups over result sets --- *)
+
+let find cells ~workload ~tool ~category =
+  List.find_opt
+    (fun c ->
+      String.equal c.c_workload workload
+      && c.c_tool = tool
+      && c.c_category = category)
+    cells
+
+(* CSV export for offline analysis. *)
+let to_csv cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "workload,tool,category,population,trials,activated,benign,sdc,crash,hang,not_activated,not_injected\n";
+  List.iter
+    (fun c ->
+      let t = c.c_tally in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" c.c_workload
+           (tool_name c.c_tool)
+           (Category.name c.c_category)
+           c.c_population t.Verdict.trials (Verdict.activated t)
+           t.Verdict.benign t.Verdict.sdc t.Verdict.crash t.Verdict.hang
+           t.Verdict.not_activated t.Verdict.not_injected))
+    cells;
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** Campaign runner: the experimental procedure of paper §V.
+
+    For each benchmark x tool x category cell: profile the dynamic
+    population once, then run N independent single-bit-flip injections,
+    classifying each run against the golden output.  Deterministic in the
+    configured seed. *)
+
+type tool = Llfi_tool | Pinfi_tool
+
+val tool_name : tool -> string
+
+type config = {
+  trials : int;
+  seed : int;
+  llfi : Llfi.config;
+  pinfi : Pinfi.config;
+  backend : Backend.config;
+}
+
+val default_config : config
+(** 200 trials per cell, seed 2014, both tools' paper policies. *)
+
+val paper_config : config
+(** The paper's 1000 injections per cell. *)
+
+type prepared = {
+  workload : Workload.t;
+  prog : Ir.Prog.t;  (** optimized IR, shared by both tools *)
+  asm : Backend.Program.t;
+  llfi : Llfi.t;
+  pinfi : Pinfi.t;
+}
+
+type cell = {
+  c_workload : string;
+  c_tool : tool;
+  c_category : Category.t;
+  c_population : int;
+  c_tally : Verdict.tally;
+}
+
+val cell_rng : config -> workload:string -> tool:tool -> category:Category.t -> Support.Rng.t
+(** The deterministic per-cell random stream. *)
+
+val prepare : config -> Workload.t -> prepared
+(** Compile at both levels, golden-run both, profile both.
+    @raise Invalid_argument if the two levels' golden outputs differ. *)
+
+val run_cell :
+  ?on_trial:(int -> Verdict.t -> unit) -> config -> prepared -> tool -> Category.t -> cell
+
+val run_workload :
+  ?on_cell:(cell -> unit) -> ?categories:Category.t list -> config -> Workload.t ->
+  prepared * cell list
+
+val run_all :
+  ?on_cell:(cell -> unit) -> ?categories:Category.t list -> config -> Workload.t list ->
+  cell list
+
+val find : cell list -> workload:string -> tool:tool -> category:Category.t -> cell option
+
+val to_csv : cell list -> string

@@ -1,0 +1,69 @@
+(** Fault-injection instruction categories (paper Table III).
+
+    Both injectors classify every (IR or assembly) instruction into zero
+    or more of five categories; a campaign cell injects into one
+    category.  Categories are represented as bits so one profiling run
+    counts all of them at once. *)
+
+type t = Arithmetic | Cast | Cmp | Load | All
+
+let all = [ Arithmetic; Cast; Cmp; Load; All ]
+
+let count = List.length all
+
+let bit = function
+  | Arithmetic -> 0
+  | Cast -> 1
+  | Cmp -> 2
+  | Load -> 3
+  | All -> 4
+
+let mask c = 1 lsl bit c
+
+let name = function
+  | Arithmetic -> "arithmetic"
+  | Cast -> "cast"
+  | Cmp -> "cmp"
+  | Load -> "load"
+  | All -> "all"
+
+let of_string = function
+  | "arithmetic" -> Some Arithmetic
+  | "cast" -> Some Cast
+  | "cmp" -> Some Cmp
+  | "load" -> Some Load
+  | "all" -> Some All
+  | _ -> None
+
+let description = function
+  | Arithmetic -> "arithmetic and logic operations"
+  | Cast -> "type cast operations"
+  | Cmp -> "branch condition instructions"
+  | Load -> "memory load operations"
+  | All -> "all instructions"
+
+(* The selection criteria of Table III, for the report. *)
+let llfi_criterion = function
+  | Arithmetic -> "instructions that perform arithmetic or logical operations"
+  | Cast -> "instructions with 'cast' opcode (int/fp conversions only)"
+  | Cmp -> "'icmp'/'fcmp' instructions"
+  | Load -> "'load' instructions"
+  | All -> "'all' in the configuration (every used destination)"
+
+let pinfi_criterion = function
+  | Arithmetic -> "instructions that perform arithmetic or logical operations"
+  | Cast -> "instructions with 'convert' category (cvt*, cqo)"
+  | Cmp -> "instructions whose next instruction is a conditional branch"
+  | Load -> "'mov' instructions with memory source and register destination"
+  | All -> "'all' in the configuration (every written register)"
+
+(* Given per-mask dynamic counts (index = bitmask), the per-category
+   totals. *)
+let totals_of_mask_counts counts =
+  List.map
+    (fun c ->
+      let b = mask c in
+      let total = ref 0 in
+      Array.iteri (fun m n -> if m land b <> 0 then total := !total + n) counts;
+      (c, !total))
+    all

@@ -1,0 +1,28 @@
+(** Fault-injection instruction categories (paper Table III).
+
+    Both injectors classify every instruction into zero or more of five
+    categories, represented as bits so one profiling run counts all of
+    them at once. *)
+
+type t = Arithmetic | Cast | Cmp | Load | All
+
+val all : t list
+(** In bit order: arithmetic, cast, cmp, load, all. *)
+
+val count : int
+
+val bit : t -> int
+val mask : t -> int
+
+val name : t -> string
+val of_string : string -> t option
+val description : t -> string
+
+val llfi_criterion : t -> string
+(** Table III's LLFI selection criterion, for the report. *)
+
+val pinfi_criterion : t -> string
+
+val totals_of_mask_counts : int array -> (t * int) list
+(** Given dynamic counts indexed by category bitmask, the per-category
+    totals. *)

@@ -1,0 +1,125 @@
+(** Egregious Data Corruption (EDC) analysis — the extension the paper
+    discusses in related work (Thomas et al. [12]): for soft-computing
+    applications, not every SDC matters; what matters is whether the
+    output deviates *significantly*.
+
+    We compare outputs field by field: numeric tokens are paired
+    positionally and judged by relative deviation; any structural change
+    (different token count, different non-numeric text) is egregious by
+    definition. *)
+
+type token = Num of float | Text of string
+
+(* Split an output into numeric and non-numeric tokens.  Numbers may be
+   negative and fractional; everything else is compared verbatim. *)
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let flush_text buf =
+    if Buffer.length buf > 0 then begin
+      tokens := Text (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let text = Buffer.create 16 in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = s.[!i] in
+    let starts_number =
+      is_digit c
+      || (c = '-' && !i + 1 < n && is_digit s.[!i + 1])
+    in
+    if starts_number then begin
+      flush_text text;
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit s.[!i] do incr i done;
+      if !i + 1 < n && s.[!i] = '.' && is_digit s.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done
+      end;
+      let text_tok = String.sub s start (!i - start) in
+      tokens := Num (float_of_string text_tok) :: !tokens
+    end
+    else begin
+      Buffer.add_char text c;
+      incr i
+    end
+  done;
+  flush_text text;
+  List.rev !tokens
+
+type severity =
+  | Not_sdc  (** outputs identical *)
+  | Tolerable of float  (** max relative deviation, below the threshold *)
+  | Egregious of float option
+      (** structural change (None) or deviation beyond the threshold *)
+
+let default_threshold = 0.10
+
+(* Relative deviation with a graceful zero denominator. *)
+let relative_deviation golden observed =
+  if Float.is_nan observed || Float.is_nan golden then infinity
+  else if golden = 0.0 then if observed = 0.0 then 0.0 else infinity
+  else Float.abs ((observed -. golden) /. golden)
+
+let classify ?(threshold = default_threshold) ~golden ~observed () =
+  if String.equal golden observed then Not_sdc
+  else begin
+    let gt = tokenize golden and ot = tokenize observed in
+    if List.length gt <> List.length ot then Egregious None
+    else begin
+      let structural = ref false in
+      let max_dev = ref 0.0 in
+      List.iter2
+        (fun g o ->
+          match (g, o) with
+          | Text a, Text b -> if not (String.equal a b) then structural := true
+          | Num a, Num b -> max_dev := Float.max !max_dev (relative_deviation a b)
+          | Num _, Text _ | Text _, Num _ -> structural := true)
+        gt ot;
+      if !structural then Egregious None
+      else if !max_dev > threshold then Egregious (Some !max_dev)
+      else Tolerable !max_dev
+    end
+  end
+
+let is_egregious = function
+  | Egregious _ -> true
+  | Not_sdc | Tolerable _ -> false
+
+(** Tallied EDC study of one LLFI category. *)
+type study = {
+  s_trials : int;
+  s_sdc : int;
+  s_egregious : int;
+  s_tolerable : int;
+  s_max_tolerated : float;  (** worst deviation that still passed *)
+}
+
+let run_study ?(threshold = default_threshold) (llfi : Llfi.t) category ~trials
+    rng =
+  let sdc = ref 0 and egregious = ref 0 and tolerable = ref 0 in
+  let max_tolerated = ref 0.0 in
+  for _ = 1 to trials do
+    let stats = Llfi.inject llfi category (Support.Rng.split rng) in
+    match stats.Vm.Outcome.outcome with
+    | Vm.Outcome.Finished out
+      when not (String.equal out llfi.Llfi.golden_output) -> (
+      incr sdc;
+      match classify ~threshold ~golden:llfi.Llfi.golden_output ~observed:out () with
+      | Egregious _ -> incr egregious
+      | Tolerable d ->
+        incr tolerable;
+        max_tolerated := Float.max !max_tolerated d
+      | Not_sdc -> assert false)
+    | _ -> ()
+  done;
+  {
+    s_trials = trials;
+    s_sdc = !sdc;
+    s_egregious = !egregious;
+    s_tolerable = !tolerable;
+    s_max_tolerated = !max_tolerated;
+  }

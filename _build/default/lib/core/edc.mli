@@ -1,0 +1,36 @@
+(** Egregious Data Corruption (EDC) analysis — the soft-computing
+    extension the paper discusses in related work (Thomas et al. [12]):
+    SDCs whose output deviates significantly vs. those a lossy
+    application could tolerate. *)
+
+type token = Num of float | Text of string
+
+val tokenize : string -> token list
+(** Split an output into numeric tokens (signed, possibly fractional)
+    and verbatim text runs. *)
+
+type severity =
+  | Not_sdc  (** outputs identical *)
+  | Tolerable of float  (** max relative deviation, below the threshold *)
+  | Egregious of float option
+      (** structural change (None) or deviation beyond the threshold *)
+
+val default_threshold : float
+(** 10% relative deviation. *)
+
+val classify :
+  ?threshold:float -> golden:string -> observed:string -> unit -> severity
+
+val is_egregious : severity -> bool
+
+type study = {
+  s_trials : int;
+  s_sdc : int;
+  s_egregious : int;
+  s_tolerable : int;
+  s_max_tolerated : float;
+}
+
+val run_study :
+  ?threshold:float -> Llfi.t -> Category.t -> trials:int -> Support.Rng.t -> study
+(** Inject [trials] faults and grade every SDC's severity. *)

@@ -1,0 +1,47 @@
+(** LLFI: the IR-level fault injector (paper §III, Figure 1).
+
+    Step 1 — {!classify} selects instructions/operands per category,
+    pruning dead destinations (def-use activation guarantee) and
+    restricting casts to int/fp conversions; step 2 — {!prepare}
+    "instruments" by compiling the program once with the selector baked
+    in; step 3 — {!inject} flips one bit of the destination of a
+    uniformly chosen dynamic instance at runtime. *)
+
+type config = {
+  conversion_casts_only : bool;
+      (** restrict the cast category to trunc/zext/sext/fptosi/sitofp
+          (the paper's mitigation, Table I row 5) *)
+  include_pointer_instrs : bool;
+      (** let 'all' include gep/alloca results, as LLFI does *)
+  custom_selector : (Ir.Func.t -> Ir.Instr.t -> bool) option;
+      (** LLFI's custom instruction selectors (Figure 1, step 1): when
+          set, only accepted instructions are candidates *)
+}
+
+val default_config : config
+
+val in_functions : string list -> (Ir.Func.t -> Ir.Instr.t -> bool) option
+(** A ready-made selector restricting injection to the named functions. *)
+
+val classify : config -> Ir.Func.t -> Ir.Instr.t -> int
+(** Category bitmask of an instruction; 0 for non-candidates. *)
+
+type t = {
+  config : config;
+  compiled : Vm.Ir_exec.compiled;
+  golden_output : string;
+  golden_steps : int;
+  max_steps : int;  (** hang budget: 10x the golden run *)
+  dynamic_counts : (Category.t * int) list;
+  inputs : int array;
+}
+
+val prepare : ?config:config -> inputs:int array -> Ir.Prog.t -> t
+(** Golden run + profiling run.
+    @raise Invalid_argument if the golden run does not finish. *)
+
+val dynamic_count : t -> Category.t -> int
+
+val inject : t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
+(** One single-bit-flip injection run into the category.
+    @raise Invalid_argument on empty categories. *)

@@ -1,0 +1,37 @@
+(** The paper's published numbers, for side-by-side reporting: Tables IV
+    and V verbatim, plus the qualitative claims made about the figures. *)
+
+type counts_row = {
+  p_bench : string;
+  p_all : int * int;  (** (LLFI, PINFI) dynamic counts *)
+  p_arith : int * int;
+  p_cast : int * int;
+  p_cmp : int * int;
+  p_load : int * int;
+}
+
+val table4 : counts_row list
+
+type crash_row = {
+  c_bench : string;
+  c_all : int * int;  (** (LLFI, PINFI) crash percentages, 0..100 *)
+  c_arith : int * int;
+  c_cast : int * int;
+  c_cmp : int * int;
+  c_load : int * int;
+}
+
+val table5 : crash_row list
+
+val counts_for : string -> counts_row option
+val crash_for : string -> crash_row option
+
+val counts_cell : counts_row -> Category.t -> int * int
+val crash_cell : crash_row -> Category.t -> int * int
+
+val fig3_average_crash : float
+val fig3_average_sdc : float
+
+type claim = { claim_id : string; claim_text : string }
+
+val claims : claim list

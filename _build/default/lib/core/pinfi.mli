@@ -1,0 +1,34 @@
+(** PINFI: the assembly-level fault injector (paper §IV).
+
+    Classification happens at load time (as PIN instruments when the
+    program is loaded); injection corrupts the destination register of a
+    uniformly chosen dynamic instance.  The activation heuristics of
+    Figure 2 live in the policy and can be disabled for ablations.
+    [Syscall] pseudo-instructions (libc) are never candidates. *)
+
+type config = { policy : Vm.X86_exec.policy }
+
+val default_config : config
+(** The paper's policy: dependent flag bits + XMM low-64 pruning. *)
+
+val is_arithmetic : X86.Insn.t -> bool
+val is_convert : X86.Insn.t -> bool
+val is_mem_load : X86.Insn.t -> bool
+
+val classify : Backend.Program.t -> int -> X86.Insn.t -> int
+(** Category bitmask for the instruction at the given index ('cmp'
+    requires looking at the next instruction). *)
+
+type t = {
+  config : config;
+  loaded : Vm.X86_exec.loaded;
+  golden_output : string;
+  golden_steps : int;
+  max_steps : int;
+  dynamic_counts : (Category.t * int) list;
+  inputs : int array;
+}
+
+val prepare : ?config:config -> inputs:int array -> Backend.Program.t -> t
+val dynamic_count : t -> Category.t -> int
+val inject : t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats

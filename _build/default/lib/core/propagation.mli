@@ -1,0 +1,28 @@
+(** Error-propagation analysis: LLFI's tracing feature (paper §III).
+
+    A golden run and a fault-injection run both record fingerprints of
+    every value-producing instruction's result; aligning the two traces
+    shows how the corruption spread. *)
+
+type report = {
+  outcome : Verdict.t;
+  fault_note : string;
+  first_divergence : int option;
+      (** dynamic index of the first differing value; None = vanished *)
+  corrupted_values : int;
+      (** value mismatches while the instruction streams still agreed *)
+  control_flow_diverged_at : int option;
+      (** first position where the runs executed different instructions
+          (a truncated faulty trace — e.g. a crash — counts) *)
+  golden_length : int;
+  faulty_length : int;
+}
+
+val compare_traces :
+  Vm.Ir_exec.trace -> Vm.Ir_exec.trace -> int option * int * int option
+(** (first divergence, corrupted values, control-flow divergence). *)
+
+val analyze : Llfi.t -> Category.t -> Support.Rng.t -> report
+(** One traced injection aligned against a traced golden run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,478 @@
+(** Rendering of every table and figure of the paper from campaign data,
+    with the paper's published numbers alongside where they exist. *)
+
+open Support
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let pct1 x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let share part total =
+  if total = 0 then "0%"
+  else Printf.sprintf "%d%%" (int_of_float (100.0 *. float_of_int part /. float_of_int total +. 0.5))
+
+(* --- Table I: lowering effects (mechanical evidence) --- *)
+
+let table1 (prepared : Campaign.prepared list) =
+  print_endline
+    "Table I (mechanical evidence): IR constructs vs. their lowering.";
+  print_endline
+    "Per program: GEPs folded into addressing modes vs. lowered to address";
+  print_endline
+    "arithmetic; spill slots and callee-saved saves that exist only at the";
+  print_endline "assembly level.";
+  let t =
+    Tabular.create
+      ~headers:
+        [ "program"; "GEPs folded"; "GEPs to arithmetic"; "spill slots";
+          "callee-saved"; "asm instrs"; "IR instrs" ]
+  in
+  List.iter
+    (fun (p : Campaign.prepared) ->
+      let stats = p.asm.Backend.Program.stats in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+      let ir_instrs =
+        List.fold_left
+          (fun acc f -> acc + Ir.Func.fold_instrs (fun n _ -> n + 1) 0 f)
+          0 p.prog.Ir.Prog.funcs
+      in
+      Tabular.add_row t
+        [
+          p.workload.Workload.name;
+          string_of_int (sum (fun s -> s.Backend.Program.fs_geps_folded));
+          string_of_int (sum (fun s -> s.Backend.Program.fs_geps_arith));
+          string_of_int (sum (fun s -> s.Backend.Program.fs_spill_slots));
+          string_of_int (sum (fun s -> s.Backend.Program.fs_callee_saved));
+          string_of_int (sum (fun s -> s.Backend.Program.fs_insns));
+          string_of_int ir_instrs;
+        ])
+    prepared;
+  Tabular.print t
+
+(* --- Table II: benchmark characteristics --- *)
+
+let table2 (workloads : Workload.t list) =
+  print_endline "Table II: characteristics of benchmark programs.";
+  let t =
+    Tabular.create
+      ~headers:[ "benchmark"; "suite"; "description"; "LoC"; "input" ]
+  in
+  Tabular.set_aligns t
+    [ Tabular.Left; Tabular.Left; Tabular.Left; Tabular.Right; Tabular.Left ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let shorten s =
+        if String.length s <= 58 then s else String.sub s 0 55 ^ "..."
+      in
+      Tabular.add_row t
+        [
+          w.Workload.name;
+          w.suite;
+          shorten w.description;
+          string_of_int (Workload.lines_of_code w);
+          w.input_name;
+        ])
+    workloads;
+  Tabular.print t
+
+(* --- Table III: category definitions --- *)
+
+let table3 () =
+  print_endline "Table III: fault-injection instruction categories.";
+  let t =
+    Tabular.create
+      ~headers:[ "category"; "description"; "LLFI criterion"; "PINFI criterion" ]
+  in
+  Tabular.set_aligns t [ Tabular.Left; Tabular.Left; Tabular.Left; Tabular.Left ];
+  List.iter
+    (fun c ->
+      Tabular.add_row t
+        [
+          Category.name c;
+          Category.description c;
+          Category.llfi_criterion c;
+          Category.pinfi_criterion c;
+        ])
+    Category.all;
+  Tabular.print t
+
+(* --- Table IV: dynamic instruction counts --- *)
+
+let table4 ?(paper = true) (prepared : Campaign.prepared list) =
+  print_endline
+    "Table IV: dynamic (runtime) instructions per category, LLFI vs PINFI.";
+  print_endline
+    "Percentages are the category's share of that tool's 'all' population.";
+  (* Paper column order: All first, then the specific categories. *)
+  let columns =
+    [ Category.All; Category.Arithmetic; Category.Cast; Category.Cmp;
+      Category.Load ]
+  in
+  let t =
+    Tabular.create
+      ~headers:([ "program"; "tool" ] @ List.map Category.name columns)
+  in
+  List.iter
+    (fun (p : Campaign.prepared) ->
+      let llfi_all = Llfi.dynamic_count p.llfi Category.All in
+      let pinfi_all = Pinfi.dynamic_count p.pinfi Category.All in
+      let row tool count all =
+        [ p.workload.Workload.name; tool ]
+        @ List.map
+            (fun c ->
+              let n = count c in
+              if c = Category.All then string_of_int n
+              else Printf.sprintf "%d (%s)" n (share n all))
+            columns
+      in
+      Tabular.add_row t
+        (row "LLFI" (fun c -> Llfi.dynamic_count p.llfi c) llfi_all);
+      Tabular.add_row t
+        (row "PINFI" (fun c -> Pinfi.dynamic_count p.pinfi c) pinfi_all);
+      if paper then begin
+        match Paper_data.counts_for p.workload.Workload.name with
+        | Some r ->
+          let paper_row which pick =
+            [ ""; which ]
+            @ List.map
+                (fun c ->
+                  let v = pick (Paper_data.counts_cell r c) in
+                  Printf.sprintf "%d" v)
+                columns
+          in
+          Tabular.add_row t (paper_row "paper LLFI" fst);
+          Tabular.add_row t (paper_row "paper PINFI" snd);
+          Tabular.add_separator t
+        | None -> Tabular.add_separator t
+      end
+      else Tabular.add_separator t)
+    prepared;
+  Tabular.print t
+
+(* --- Figure 2: PINFI activation heuristics, demonstrated --- *)
+
+let figure2 () =
+  print_endline
+    "Figure 2: PINFI activation heuristics (dependent flag bits per";
+  print_endline "conditional jump; XMM injections restricted to the low 64 bits).";
+  let t = Tabular.create ~headers:[ "jcc"; "flag bits read"; "injected bits" ] in
+  Tabular.set_aligns t [ Tabular.Left; Tabular.Left; Tabular.Left ];
+  List.iter
+    (fun cond ->
+      let bits = X86.Flags.dependent_bits cond in
+      let names =
+        List.map
+          (fun b ->
+            if b = X86.Flags.cf_bit then "CF(0)"
+            else if b = X86.Flags.pf_bit then "PF(2)"
+            else if b = X86.Flags.zf_bit then "ZF(6)"
+            else if b = X86.Flags.sf_bit then "SF(7)"
+            else "OF(11)")
+          bits
+      in
+      Tabular.add_row t
+        [
+          "j" ^ X86.Flags.cond_name cond;
+          String.concat ", " names;
+          Printf.sprintf "only bits {%s}"
+            (String.concat "," (List.map string_of_int bits));
+        ])
+    [ X86.Flags.E; X86.Flags.NE; X86.Flags.L; X86.Flags.LE; X86.Flags.G;
+      X86.Flags.GE; X86.Flags.B; X86.Flags.BE; X86.Flags.A; X86.Flags.AE ];
+  Tabular.print t;
+  print_endline
+    "XMM destinations: double-precision scalar ops use only the low 64 of";
+  print_endline
+    "128 bits; PINFI prunes the injection space to bits 0..63 (ablation:";
+  print_endline "bench ablation:xmm-pruning).\n"
+
+(* --- Figure 3: aggregate outcome breakdown --- *)
+
+let bar width fraction =
+  let n = int_of_float (fraction *. float_of_int width +. 0.5) in
+  String.make (min width n) '#'
+
+let figure3 (cells : Campaign.cell list) =
+  print_endline
+    "Figure 3: aggregated fault-injection outcomes ('all' category),";
+  print_endline "percentages among activated faults.";
+  let t =
+    Tabular.create
+      ~headers:[ "benchmark"; "tool"; "crash"; "sdc"; "benign"; "hang"; "chart (crash|sdc)" ]
+  in
+  Tabular.set_aligns t
+    [ Tabular.Left; Tabular.Right; Tabular.Right; Tabular.Right; Tabular.Right;
+      Tabular.Right; Tabular.Left ];
+  let averages = Hashtbl.create 4 in
+  let add_avg tool (c, s, b) =
+    let cs, ss, bs, n =
+      Option.value ~default:(0.0, 0.0, 0.0, 0) (Hashtbl.find_opt averages tool)
+    in
+    Hashtbl.replace averages tool (cs +. c, ss +. s, bs +. b, n + 1)
+  in
+  List.iter
+    (fun (cell : Campaign.cell) ->
+      if cell.c_category = Category.All then begin
+        let tally = cell.c_tally in
+        let crash = Verdict.crash_rate tally in
+        let sdc = Verdict.sdc_rate tally in
+        let benign = Verdict.benign_rate tally in
+        add_avg cell.c_tool (crash, sdc, benign);
+        Tabular.add_row t
+          [
+            cell.c_workload;
+            Campaign.tool_name cell.c_tool;
+            pct crash;
+            pct sdc;
+            pct benign;
+            pct (Verdict.hang_rate tally);
+            Printf.sprintf "%-10s|%-6s" (bar 10 crash) (bar 6 sdc);
+          ]
+      end)
+    cells;
+  Tabular.add_separator t;
+  List.iter
+    (fun tool ->
+      match Hashtbl.find_opt averages tool with
+      | Some (cs, ss, bs, n) when n > 0 ->
+        let f = float_of_int n in
+        Tabular.add_row t
+          [
+            "average";
+            Campaign.tool_name tool;
+            pct (cs /. f);
+            pct (ss /. f);
+            pct (bs /. f);
+            "";
+            Printf.sprintf "paper: crash~%s sdc~%s"
+              (pct Paper_data.fig3_average_crash)
+              (pct Paper_data.fig3_average_sdc);
+          ]
+      | _ -> ())
+    [ Campaign.Llfi_tool; Campaign.Pinfi_tool ];
+  Tabular.print t
+
+(* --- Figure 4: SDC rates per category with confidence intervals --- *)
+
+let figure4 (cells : Campaign.cell list) =
+  print_endline
+    "Figure 4: SDC percentage (among activated faults) with 95% CIs.";
+  print_endline
+    "'agree' marks cells where the two tools' intervals overlap — the";
+  print_endline "paper's criterion for LLFI matching PINFI.";
+  List.iter
+    (fun category ->
+      Printf.printf "-- %s --\n" (Category.name category);
+      let t =
+        Tabular.create
+          ~headers:[ "benchmark"; "LLFI sdc [95% CI]"; "PINFI sdc [95% CI]"; "agree" ]
+      in
+      let workload_names =
+        List.sort_uniq compare
+          (List.map (fun (c : Campaign.cell) -> c.c_workload) cells)
+      in
+      List.iter
+        (fun name ->
+          match
+            ( Campaign.find cells ~workload:name ~tool:Campaign.Llfi_tool ~category,
+              Campaign.find cells ~workload:name ~tool:Campaign.Pinfi_tool ~category )
+          with
+          | Some lc, Some pc ->
+            let li = Verdict.sdc_interval lc.c_tally in
+            let pi = Verdict.sdc_interval pc.c_tally in
+            let fmt_cell (c : Campaign.cell) (i : Stats.interval) =
+              if Verdict.activated c.c_tally = 0 then "n/a (empty category)"
+              else
+                Printf.sprintf "%s [%s, %s]"
+                  (pct1 (Verdict.sdc_rate c.c_tally))
+                  (pct1 i.Stats.lower) (pct1 i.Stats.upper)
+            in
+            let agree =
+              if Verdict.activated lc.c_tally = 0 || Verdict.activated pc.c_tally = 0
+              then "-"
+              else if Stats.intervals_overlap li pi then "yes"
+              else "NO"
+            in
+            Tabular.add_row t [ name; fmt_cell lc li; fmt_cell pc pi; agree ]
+          | _ -> ())
+        workload_names;
+      Tabular.print t)
+    Category.all
+
+(* --- Table V: crash rates per category --- *)
+
+let table5 ?(paper = true) (cells : Campaign.cell list) =
+  print_endline "Table V: crash percentage (among activated faults).";
+  let t =
+    Tabular.create
+      ~headers:
+        ([ "benchmark"; "tool" ] @ List.map Category.name Category.all
+        @ [ "" ])
+  in
+  let workload_names =
+    List.sort_uniq compare (List.map (fun (c : Campaign.cell) -> c.c_workload) cells)
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun tool ->
+          let row =
+            List.map
+              (fun category ->
+                match Campaign.find cells ~workload:name ~tool ~category with
+                | Some c when Verdict.activated c.c_tally > 0 ->
+                  pct (Verdict.crash_rate c.c_tally)
+                | Some _ -> "-"
+                | None -> "?")
+              Category.all
+          in
+          Tabular.add_row t ([ name; Campaign.tool_name tool ] @ row @ [ "" ]))
+        [ Campaign.Llfi_tool; Campaign.Pinfi_tool ];
+      if paper then begin
+        match Paper_data.crash_for name with
+        | Some r ->
+          let paper_row which pick =
+            [ ""; which ]
+            @ List.map
+                (fun c -> Printf.sprintf "%d%%" (pick (Paper_data.crash_cell r c)))
+                Category.all
+            @ [ "" ]
+          in
+          Tabular.add_row t (paper_row "paper LLFI" fst);
+          Tabular.add_row t (paper_row "paper PINFI" snd)
+        | None -> ()
+      end;
+      Tabular.add_separator t)
+    workload_names;
+  Tabular.print t
+
+(* --- claim evaluation: the paper's headline findings on our data --- *)
+
+type verdict_on_claim = { claim : Paper_data.claim; holds : string; detail : string }
+
+let evaluate_claims (prepared : Campaign.prepared list) (cells : Campaign.cell list) =
+  let workloads = List.map (fun (p : Campaign.prepared) -> p.Campaign.workload.Workload.name) prepared in
+  let count_where pred =
+    List.length (List.filter pred prepared)
+  in
+  let n = List.length prepared in
+  let t4_all =
+    count_where (fun p ->
+        Llfi.dynamic_count p.Campaign.llfi Category.All
+        > Pinfi.dynamic_count p.Campaign.pinfi Category.All)
+  in
+  let t4_arith =
+    count_where (fun p ->
+        Llfi.dynamic_count p.Campaign.llfi Category.Arithmetic
+        < Pinfi.dynamic_count p.Campaign.pinfi Category.Arithmetic)
+  in
+  let t4_cast =
+    count_where (fun p ->
+        let llfi_cast = Llfi.dynamic_count p.Campaign.llfi Category.Cast in
+        let llfi_all = Llfi.dynamic_count p.Campaign.llfi Category.All in
+        llfi_cast * 10 <= llfi_all)
+  in
+  let t4_cmp =
+    count_where (fun p ->
+        let a = Llfi.dynamic_count p.Campaign.llfi Category.Cmp in
+        let b = Pinfi.dynamic_count p.Campaign.pinfi Category.Cmp in
+        let hi = max a b and lo = min a b in
+        lo * 10 >= hi * 8 (* within 20% *))
+  in
+  (* SDC agreement across all cells with data. *)
+  let sdc_cells, sdc_agree =
+    List.fold_left
+      (fun (total, agree) name ->
+        List.fold_left
+          (fun (total, agree) category ->
+            match
+              ( Campaign.find cells ~workload:name ~tool:Campaign.Llfi_tool ~category,
+                Campaign.find cells ~workload:name ~tool:Campaign.Pinfi_tool ~category )
+            with
+            | Some lc, Some pc
+              when Verdict.activated lc.c_tally > 0 && Verdict.activated pc.c_tally > 0 ->
+              let overlap =
+                Stats.intervals_overlap
+                  (Verdict.sdc_interval lc.c_tally)
+                  (Verdict.sdc_interval pc.c_tally)
+              in
+              (total + 1, if overlap then agree + 1 else agree)
+            | _ -> (total, agree))
+          (total, agree) Category.all)
+      (0, 0) workloads
+  in
+  (* Crash divergence: non-cmp cells where crash differs by > 10 points,
+     vs cmp cells where it stays within a few points. *)
+  let crash_gap category name =
+    match
+      ( Campaign.find cells ~workload:name ~tool:Campaign.Llfi_tool ~category,
+        Campaign.find cells ~workload:name ~tool:Campaign.Pinfi_tool ~category )
+    with
+    | Some lc, Some pc
+      when Verdict.activated lc.c_tally > 0 && Verdict.activated pc.c_tally > 0 ->
+      Some
+        (abs_float
+           (Verdict.crash_rate lc.c_tally -. Verdict.crash_rate pc.c_tally))
+    | _ -> None
+  in
+  let gaps category =
+    List.filter_map (crash_gap category) workloads
+  in
+  let max_noncmp_gap =
+    List.fold_left
+      (fun acc category ->
+        if category = Category.Cmp then acc
+        else List.fold_left max acc (gaps category))
+      0.0 Category.all
+  in
+  let max_cmp_gap = List.fold_left max 0.0 (gaps Category.Cmp) in
+  (* Aggregate rates. *)
+  let all_cells =
+    List.filter (fun (c : Campaign.cell) -> c.c_category = Category.All) cells
+  in
+  let avg f =
+    match all_cells with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun acc c -> acc +. f c.Campaign.c_tally) 0.0 all_cells
+      /. float_of_int (List.length all_cells)
+  in
+  let claim id = List.find (fun c -> c.Paper_data.claim_id = id) Paper_data.claims in
+  [
+    { claim = claim "T4-all";
+      holds = Printf.sprintf "%d/%d programs" t4_all n;
+      detail = "LLFI 'all' population vs PINFI 'all' population" };
+    { claim = claim "T4-arith";
+      holds = Printf.sprintf "%d/%d programs" t4_arith n;
+      detail = "LLFI arithmetic < PINFI arithmetic" };
+    { claim = claim "T4-cast";
+      holds = Printf.sprintf "%d/%d programs" t4_cast n;
+      detail = "cast <= 10% of 'all' at the IR level" };
+    { claim = claim "T4-cmp";
+      holds = Printf.sprintf "%d/%d programs" t4_cmp n;
+      detail = "cmp populations within 20% of each other" };
+    { claim = claim "F4-sdc";
+      holds = Printf.sprintf "%d/%d cells agree" sdc_agree sdc_cells;
+      detail = "95% CI overlap of SDC rates" };
+    { claim = claim "T5-crash";
+      holds =
+        Printf.sprintf "max gap %s outside cmp, %s within cmp"
+          (pct max_noncmp_gap) (pct max_cmp_gap);
+      detail = "crash-rate divergence by category" };
+    { claim = claim "F3-rates";
+      holds =
+        Printf.sprintf "avg crash %s, avg sdc %s" (pct (avg Verdict.crash_rate))
+          (pct (avg Verdict.sdc_rate));
+      detail = "paper ballpark: crash ~30%, sdc ~10%" };
+  ]
+
+let print_claims verdicts =
+  print_endline "Paper claims vs this reproduction:";
+  let t = Tabular.create ~headers:[ "claim"; "result"; "checks" ] in
+  Tabular.set_aligns t [ Tabular.Left; Tabular.Left; Tabular.Left ];
+  List.iter
+    (fun v ->
+      Tabular.add_row t
+        [ v.claim.Paper_data.claim_id ^ ": " ^ v.claim.Paper_data.claim_text;
+          v.holds; v.detail ])
+    verdicts;
+  Tabular.print t

@@ -1,0 +1,42 @@
+(** Rendering of every table and figure of the paper from campaign data,
+    with the paper's published numbers alongside where they exist.
+    Everything prints to stdout. *)
+
+val table1 : Campaign.prepared list -> unit
+(** Mechanical evidence for the IR-to-assembly mapping gaps: GEPs folded
+    vs lowered to arithmetic, spill slots, callee-saved saves. *)
+
+val table2 : Workload.t list -> unit
+(** Benchmark characteristics. *)
+
+val table3 : unit -> unit
+(** Category definitions for both tools. *)
+
+val table4 : ?paper:bool -> Campaign.prepared list -> unit
+(** Dynamic instruction populations per category. *)
+
+val figure2 : unit -> unit
+(** The PINFI activation heuristics: dependent flag bits per jcc, XMM
+    pruning. *)
+
+val figure3 : Campaign.cell list -> unit
+(** Aggregate crash/SDC/benign breakdown ('all' category). *)
+
+val figure4 : Campaign.cell list -> unit
+(** SDC rates with 95% CIs per category, with the paper's CI-overlap
+    agreement criterion per cell. *)
+
+val table5 : ?paper:bool -> Campaign.cell list -> unit
+(** Crash rates per category. *)
+
+type verdict_on_claim = {
+  claim : Paper_data.claim;
+  holds : string;
+  detail : string;
+}
+
+val evaluate_claims :
+  Campaign.prepared list -> Campaign.cell list -> verdict_on_claim list
+(** Check each of the paper's headline claims against this run. *)
+
+val print_claims : verdict_on_claim list -> unit

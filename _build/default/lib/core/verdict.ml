@@ -1,0 +1,75 @@
+(** Classification of a fault-injection run against the golden output
+    (paper §V, "Failure categorization"). *)
+
+type t = Benign | Sdc | Crash | Hang | Not_activated | Not_injected
+
+let of_run ~golden_output (stats : Vm.Outcome.stats) =
+  if not stats.Vm.Outcome.injected then Not_injected
+  else if not stats.Vm.Outcome.activated then Not_activated
+  else
+    match stats.Vm.Outcome.outcome with
+    | Vm.Outcome.Crashed _ -> Crash
+    | Vm.Outcome.Hung -> Hang
+    | Vm.Outcome.Finished out ->
+      if String.equal out golden_output then Benign else Sdc
+
+let name = function
+  | Benign -> "benign"
+  | Sdc -> "sdc"
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Not_activated -> "not-activated"
+  | Not_injected -> "not-injected"
+
+(** Tallies over one campaign cell. *)
+type tally = {
+  mutable trials : int;
+  mutable benign : int;
+  mutable sdc : int;
+  mutable crash : int;
+  mutable hang : int;
+  mutable not_activated : int;
+  mutable not_injected : int;
+}
+
+let fresh_tally () =
+  {
+    trials = 0;
+    benign = 0;
+    sdc = 0;
+    crash = 0;
+    hang = 0;
+    not_activated = 0;
+    not_injected = 0;
+  }
+
+let add tally = function
+  | Benign -> tally.trials <- tally.trials + 1; tally.benign <- tally.benign + 1
+  | Sdc -> tally.trials <- tally.trials + 1; tally.sdc <- tally.sdc + 1
+  | Crash -> tally.trials <- tally.trials + 1; tally.crash <- tally.crash + 1
+  | Hang -> tally.trials <- tally.trials + 1; tally.hang <- tally.hang + 1
+  | Not_activated ->
+    tally.trials <- tally.trials + 1;
+    tally.not_activated <- tally.not_activated + 1
+  | Not_injected ->
+    tally.trials <- tally.trials + 1;
+    tally.not_injected <- tally.not_injected + 1
+
+(* Rates are reported among activated faults only (paper §II-B). *)
+let activated tally =
+  tally.benign + tally.sdc + tally.crash + tally.hang
+
+let rate part tally =
+  let n = activated tally in
+  if n = 0 then 0.0 else float_of_int part /. float_of_int n
+
+let sdc_rate t = rate t.sdc t
+let crash_rate t = rate t.crash t
+let benign_rate t = rate t.benign t
+let hang_rate t = rate t.hang t
+
+let interval part tally =
+  Support.Stats.normal_interval ~successes:part ~trials:(activated tally) ()
+
+let sdc_interval t = interval t.sdc t
+let crash_interval t = interval t.crash t

@@ -1,0 +1,35 @@
+(** Classification of a fault-injection run against the golden output
+    (paper §V, "Failure categorization"), and per-cell tallies. *)
+
+type t = Benign | Sdc | Crash | Hang | Not_activated | Not_injected
+
+val of_run : golden_output:string -> Vm.Outcome.stats -> t
+
+val name : t -> string
+
+type tally = {
+  mutable trials : int;
+  mutable benign : int;
+  mutable sdc : int;
+  mutable crash : int;
+  mutable hang : int;
+  mutable not_activated : int;
+  mutable not_injected : int;
+}
+
+val fresh_tally : unit -> tally
+val add : tally -> t -> unit
+
+val activated : tally -> int
+(** benign + sdc + crash + hang: the denominator of every reported rate
+    (the paper considers only activated faults, §II-B). *)
+
+val sdc_rate : tally -> float
+val crash_rate : tally -> float
+val benign_rate : tally -> float
+val hang_rate : tally -> float
+
+val sdc_interval : tally -> Support.Stats.interval
+(** 95% normal-approximation CI, as the paper's error bars. *)
+
+val crash_interval : tally -> Support.Stats.interval

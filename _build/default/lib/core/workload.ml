@@ -1,0 +1,20 @@
+(** A benchmark program for the fault-injection study. *)
+
+type t = {
+  name : string;
+  suite : string;  (* the suite the paper's counterpart came from *)
+  description : string;
+  paper_counterpart : string;  (* which Table II program this stands in for *)
+  source : string;  (* MiniC source text *)
+  inputs : int array;  (* the run's input vector ("test"/"default" input) *)
+  input_name : string;
+}
+
+let lines_of_code w =
+  (* Count non-empty, non-comment-only source lines. *)
+  String.split_on_char '\n' w.source
+  |> List.filter (fun line ->
+         let t = String.trim line in
+         String.length t > 0
+         && not (String.length t >= 2 && String.sub t 0 2 = "//"))
+  |> List.length

@@ -1,0 +1,14 @@
+(** A benchmark program for the fault-injection study (paper Table II). *)
+
+type t = {
+  name : string;
+  suite : string;  (** the suite the paper's counterpart came from *)
+  description : string;
+  paper_counterpart : string;
+  source : string;  (** MiniC source text *)
+  inputs : int array;  (** the run's input vector ("test"/"default") *)
+  input_name : string;
+}
+
+val lines_of_code : t -> int
+(** Non-empty, non-comment-only source lines. *)

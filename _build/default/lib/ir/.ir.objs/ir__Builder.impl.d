@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func Instr Layout List Operand Printf Prog String Types Value

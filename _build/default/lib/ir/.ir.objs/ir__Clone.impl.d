@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Block Func List Prog

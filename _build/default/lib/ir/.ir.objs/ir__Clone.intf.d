@@ -1,0 +1,1 @@
+lib/ir/clone.mli: Block Func Prog

@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Hashtbl List Prog Types

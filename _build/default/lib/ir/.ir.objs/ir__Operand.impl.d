@@ -1,0 +1,1 @@
+lib/ir/operand.ml: Fmt Support Types Value

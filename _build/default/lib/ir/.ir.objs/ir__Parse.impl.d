@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Block Builder Fmt Func Hashtbl Instr List Operand Prog Scanf String Types Value

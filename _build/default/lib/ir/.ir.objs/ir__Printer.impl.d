@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Block Fmt Func Instr List Operand Prog Types Value

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Block Builder Cfg Fmt Func Hashtbl Instr List Operand Printf Prog String Types Value

@@ -1,0 +1,21 @@
+(** Basic blocks: a label, a straight-line instruction list and one
+    terminator.  Phi nodes, when present, must form a prefix of the
+    instruction list (enforced by the verifier). *)
+
+type t = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+let create ~label = { label; instrs = []; term = Instr.Ret None }
+
+let phis t =
+  let rec prefix = function
+    | ({ Instr.kind = Phi _; _ } as i) :: rest -> i :: prefix rest
+    | _ -> []
+  in
+  prefix t.instrs
+
+let non_phis t =
+  List.filter (fun i -> match i.Instr.kind with Phi _ -> false | _ -> true) t.instrs

@@ -1,0 +1,17 @@
+(** Basic blocks: a label, a straight-line instruction list and one
+    terminator.  Phi nodes, when present, must form a prefix of the
+    instruction list (enforced by the verifier). *)
+
+type t = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+val create : label:string -> t
+(** A fresh block terminated by [ret void] until a real terminator is set. *)
+
+val phis : t -> Instr.t list
+(** The phi prefix. *)
+
+val non_phis : t -> Instr.t list

@@ -1,0 +1,200 @@
+(** Imperative construction of IR functions, in the style of LLVM's
+    IRBuilder.  The builder assigns value ids, computes result types,
+    keeps labels unique, and appends to a current insertion block. *)
+
+type t = {
+  prog : Prog.t;
+  func : Func.t;
+  mutable current : Block.t option;
+  mutable label_counter : int;
+}
+
+let fresh_value b ~ty ~name =
+  let id = b.func.Func.next_value in
+  b.func.Func.next_value <- id + 1;
+  Value.v ~id ~ty ~name
+
+let start_function prog ~name ~params ~ret_ty =
+  (* Parameters get the first value ids, in order. *)
+  let param_values =
+    List.mapi
+      (fun id (pname, ty) ->
+        if not (Types.is_first_class ty) then
+          invalid_arg ("Builder: parameter " ^ pname ^ " is not first-class");
+        Value.v ~id ~ty ~name:pname)
+      params
+  in
+  let func = Func.create ~fname:name ~params:param_values ~ret_ty in
+  Prog.add_func prog func;
+  let b = { prog; func; current = None; label_counter = 0 } in
+  (b, List.map (fun v -> Operand.Var v) param_values)
+
+let func b = b.func
+
+let block b base =
+  let existing label =
+    List.exists (fun (blk : Block.t) -> String.equal blk.label label) b.func.blocks
+  in
+  let label =
+    if existing base then (
+      let rec pick () =
+        b.label_counter <- b.label_counter + 1;
+        let candidate = Printf.sprintf "%s.%d" base b.label_counter in
+        if existing candidate then pick () else candidate
+      in
+      pick ())
+    else base
+  in
+  let blk = Block.create ~label in
+  b.func.Func.blocks <- b.func.Func.blocks @ [ blk ];
+  blk
+
+let position_at_end b blk = b.current <- Some blk
+
+let insertion_block b =
+  match b.current with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no insertion block set"
+
+let next_instr_id b =
+  let id = b.func.Func.next_instr in
+  b.func.Func.next_instr <- id + 1;
+  id
+
+let append b instr =
+  let blk = insertion_block b in
+  blk.Block.instrs <- blk.Block.instrs @ [ instr ]
+
+let emit b ?(name = "") ~ty kind =
+  let result =
+    if Types.equal ty Types.Void then None else Some (fresh_value b ~ty ~name)
+  in
+  append b { Instr.iid = next_instr_id b; result; kind };
+  match result with
+  | Some v -> Operand.Var v
+  | None -> Operand.Null (Types.Ptr Types.I8) (* never read for void results *)
+
+(* --- value-producing instructions --- *)
+
+let binop b ?name op lhs rhs =
+  let ty = Operand.type_of lhs in
+  emit b ?name ~ty (Instr.Binop (op, lhs, rhs))
+
+let icmp b ?name pred lhs rhs =
+  emit b ?name ~ty:Types.I1 (Instr.Icmp (pred, lhs, rhs))
+
+let fcmp b ?name pred lhs rhs =
+  emit b ?name ~ty:Types.I1 (Instr.Fcmp (pred, lhs, rhs))
+
+let cast b ?name op value ~to_ =
+  emit b ?name ~ty:to_ (Instr.Cast (op, value, to_))
+
+let alloca b ?name ty =
+  emit b ?name ~ty:(Types.Ptr ty) (Instr.Alloca ty)
+
+(* Insert an alloca into a specific block (normally the function entry),
+   keeping all allocas grouped as a prefix of the block — the clang idiom
+   of hoisting stack slots to the entry block, which keeps stack usage
+   bounded for declarations inside loops and keeps the group intact when
+   later passes (e.g. the inliner) split the block. *)
+let insert_alloca_prefix (blk : Block.t) instr =
+  let rec insert = function
+    | ({ Instr.kind = Instr.Alloca _; _ } as a) :: rest -> a :: insert rest
+    | rest -> instr :: rest
+  in
+  blk.Block.instrs <- insert blk.Block.instrs
+
+let alloca_in b (blk : Block.t) ?(name = "") ty =
+  let result = fresh_value b ~ty:(Types.Ptr ty) ~name in
+  insert_alloca_prefix blk
+    { Instr.iid = next_instr_id b; result = Some result; kind = Instr.Alloca ty };
+  Operand.Var result
+
+let load b ?name ptr =
+  let ty = Types.pointee (Operand.type_of ptr) in
+  emit b ?name ~ty (Instr.Load ptr)
+
+let store b value ptr =
+  ignore (emit b ~ty:Types.Void (Instr.Store (value, ptr)))
+
+(* Result type of a GEP: first index steps over the pointee as a whole,
+   subsequent indices walk into aggregates. *)
+let gep_result_type prog base_ty indices =
+  let pointee = Types.pointee base_ty in
+  let rec walk ty = function
+    | [] -> ty
+    | idx :: rest -> (
+      match ty with
+      | Types.Arr (_, elt) -> walk elt rest
+      | Types.Struct sname -> (
+        match idx with
+        | Operand.Int (_, field) -> walk (Layout.field_type prog sname field) rest
+        | Operand.Var _ | Operand.Float _ | Operand.Null _ | Operand.Global _ ->
+          invalid_arg "Builder.gep: struct field index must be a constant int")
+      | Types.I1 | Types.I8 | Types.I16 | Types.I32 | Types.I64 | Types.F64
+      | Types.Ptr _ | Types.Void ->
+        invalid_arg "Builder.gep: cannot index into a scalar type")
+  in
+  match indices with
+  | [] -> invalid_arg "Builder.gep: at least one index required"
+  | _ :: rest -> Types.Ptr (walk pointee rest)
+
+let gep b ?name base indices =
+  let ty = gep_result_type b.prog (Operand.type_of base) indices in
+  emit b ?name ~ty (Instr.Gep (base, indices))
+
+let phi b ?name incoming =
+  match incoming with
+  | [] -> invalid_arg "Builder.phi: needs at least one incoming value"
+  | (first, _) :: _ ->
+    emit b ?name ~ty:(Operand.type_of first) (Instr.Phi incoming)
+
+(* LLVM's addIncoming: extend an existing phi with a new edge.  Needed
+   when building loops, where the back-edge value does not exist yet at
+   the point the phi is created. *)
+let add_phi_incoming b phi_op (value, (from : Block.t)) =
+  match phi_op with
+  | Operand.Var v ->
+    List.iter
+      (fun (blk : Block.t) ->
+        blk.Block.instrs <-
+          List.map
+            (fun (i : Instr.t) ->
+              match (i.result, i.kind) with
+              | Some r, Instr.Phi incoming when Value.equal r v ->
+                { i with kind = Instr.Phi (incoming @ [ (value, from.label) ]) }
+              | _ -> i)
+            blk.Block.instrs)
+      b.func.Func.blocks
+  | Operand.Int _ | Operand.Float _ | Operand.Null _ | Operand.Global _ ->
+    invalid_arg "Builder.add_phi_incoming: operand is not a phi value"
+
+let select b ?name cond if_true if_false =
+  emit b ?name ~ty:(Operand.type_of if_true) (Instr.Select (cond, if_true, if_false))
+
+let call b ?name callee args =
+  match Prog.find_func b.prog callee with
+  | None -> invalid_arg ("Builder.call: unknown function " ^ callee)
+  | Some f -> emit b ?name ~ty:f.Func.ret_ty (Instr.Call (callee, args))
+
+let intrinsic b ?name intr args =
+  let ty =
+    match intr with
+    | Instr.Print_i64 | Instr.Print_f64 | Instr.Print_char | Instr.Print_newline ->
+      Types.Void
+    | Instr.Heap_alloc -> Types.Ptr Types.I8
+    | Instr.Input_i64 -> Types.I64
+    | Instr.Sqrt | Instr.Fabs -> Types.F64
+  in
+  emit b ?name ~ty (Instr.Intrinsic (intr, args))
+
+(* --- terminators --- *)
+
+let set_term b term = (insertion_block b).Block.term <- term
+
+let ret b value = set_term b (Instr.Ret value)
+
+let br b (target : Block.t) = set_term b (Instr.Br target.label)
+
+let cond_br b cond (if_true : Block.t) (if_false : Block.t) =
+  set_term b (Instr.Cond_br (cond, if_true.label, if_false.label))

@@ -1,0 +1,68 @@
+(** Imperative construction of IR functions, in the style of LLVM's
+    IRBuilder: assigns value ids, computes result types, keeps labels
+    unique, and appends to a current insertion block. *)
+
+type t
+
+val start_function :
+  Prog.t -> name:string -> params:(string * Types.t) list -> ret_ty:Types.t ->
+  t * Operand.t list
+(** Registers an empty function in the program and returns a builder plus
+    the parameter operands. *)
+
+val func : t -> Func.t
+
+val block : t -> string -> Block.t
+(** Create and append a block; the label is uniquified if taken. *)
+
+val position_at_end : t -> Block.t -> unit
+val insertion_block : t -> Block.t
+
+(** {1 Value-producing instructions}
+
+    Each returns the result operand. *)
+
+val binop : t -> ?name:string -> Instr.binop -> Operand.t -> Operand.t -> Operand.t
+val icmp : t -> ?name:string -> Instr.icmp -> Operand.t -> Operand.t -> Operand.t
+val fcmp : t -> ?name:string -> Instr.fcmp -> Operand.t -> Operand.t -> Operand.t
+val cast : t -> ?name:string -> Instr.cast -> Operand.t -> to_:Types.t -> Operand.t
+val alloca : t -> ?name:string -> Types.t -> Operand.t
+
+val alloca_in : t -> Block.t -> ?name:string -> Types.t -> Operand.t
+(** Insert an alloca into the given block's alloca prefix regardless of
+    the insertion point — the clang idiom of hoisting stack slots to the
+    entry block. *)
+
+val insert_alloca_prefix : Block.t -> Instr.t -> unit
+(** Insert an existing alloca instruction after the block's leading
+    allocas (used by the inliner when migrating callee allocas). *)
+
+val load : t -> ?name:string -> Operand.t -> Operand.t
+val store : t -> Operand.t -> Operand.t -> unit
+
+val gep : t -> ?name:string -> Operand.t -> Operand.t list -> Operand.t
+(** LLVM getelementptr semantics: the first index scales by the pointee
+    size; later indices walk into arrays/structs (struct field indices
+    must be constant). *)
+
+val gep_result_type : Prog.t -> Types.t -> Operand.t list -> Types.t
+
+val phi : t -> ?name:string -> (Operand.t * string) list -> Operand.t
+
+val add_phi_incoming : t -> Operand.t -> Operand.t * Block.t -> unit
+(** LLVM's addIncoming: extend an existing phi with a new edge (needed
+    for loop back-edges whose values do not exist when the phi is made). *)
+
+val select : t -> ?name:string -> Operand.t -> Operand.t -> Operand.t -> Operand.t
+
+val call : t -> ?name:string -> string -> Operand.t list -> Operand.t
+(** @raise Invalid_argument if the callee is not yet in the program. *)
+
+val intrinsic : t -> ?name:string -> Instr.intrinsic -> Operand.t list -> Operand.t
+
+(** {1 Terminators} *)
+
+val set_term : t -> Instr.terminator -> unit
+val ret : t -> Operand.t option -> unit
+val br : t -> Block.t -> unit
+val cond_br : t -> Operand.t -> Block.t -> Block.t -> unit

@@ -1,0 +1,146 @@
+(** Control-flow graph utilities: block numbering, predecessors,
+    reverse postorder, dominator tree (Cooper–Harvey–Kennedy) and
+    dominance frontiers.  Used by the verifier, mem2reg and the backend. *)
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;            (* index -> block *)
+  index_of : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;                   (* reverse postorder of reachable blocks *)
+  rpo_number : int array;            (* block index -> position in rpo, -1 if unreachable *)
+  idom : int array;                  (* immediate dominator, -1 for entry/unreachable *)
+}
+
+let successors_of cfg i = cfg.succs.(i)
+let predecessors_of cfg i = cfg.preds.(i)
+let block_index cfg label =
+  match Hashtbl.find_opt cfg.index_of label with
+  | Some i -> i
+  | None -> invalid_arg ("Cfg: unknown block label " ^ label)
+
+let postorder blocks succs =
+  let n = Array.length blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs succs.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  (* !order is now reverse postorder (entry first). *)
+  Array.of_list !order
+
+let compute_idom blocks succs preds rpo rpo_number =
+  ignore succs;
+  let n = Array.length blocks in
+  let idom = Array.make n (-1) in
+  if Array.length rpo = 0 then idom
+  else begin
+    let entry = rpo.(0) in
+    idom.(entry) <- entry;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_number.(!a) > rpo_number.(!b) do a := idom.(!a) done;
+        while rpo_number.(!b) > rpo_number.(!a) do b := idom.(!b) done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> entry then begin
+            let processed_preds =
+              List.filter
+                (fun p -> rpo_number.(p) >= 0 && idom.(p) <> -1)
+                preds.(b)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done;
+    idom.(entry) <- -1;
+    idom
+  end
+
+let of_func (func : Func.t) =
+  let blocks = Array.of_list func.blocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (b : Block.t) -> Hashtbl.replace index_of b.label i) blocks;
+  let lookup label =
+    match Hashtbl.find_opt index_of label with
+    | Some i -> i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Cfg.of_func: %s branches to unknown label %s"
+           func.fname label)
+  in
+  let succs =
+    Array.map (fun (b : Block.t) -> List.map lookup (Instr.successors b.term)) blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  Array.iteri (fun i ps -> preds.(i) <- List.rev ps) preds;
+  let rpo = postorder blocks succs in
+  let rpo_number = Array.make n (-1) in
+  Array.iteri (fun pos b -> rpo_number.(b) <- pos) rpo;
+  let idom = compute_idom blocks succs preds rpo rpo_number in
+  { func; blocks; index_of; succs; preds; rpo; rpo_number; idom }
+
+let reachable cfg i = cfg.rpo_number.(i) >= 0
+
+(* [dominates cfg a b]: does block [a] dominate block [b]?  Walk b's
+   dominator chain; chains are short. *)
+let dominates cfg a b =
+  if not (reachable cfg a && reachable cfg b) then false
+  else begin
+    let rec walk b = if b = a then true else if cfg.idom.(b) = -1 then false else walk cfg.idom.(b) in
+    walk b
+  end
+
+(* Dominance frontiers, per Cooper-Harvey-Kennedy: for each join point,
+   walk up from each predecessor to the join's idom. *)
+let dominance_frontiers cfg =
+  let n = Array.length cfg.blocks in
+  let df = Array.make n [] in
+  for b = 0 to n - 1 do
+    if reachable cfg b && List.length cfg.preds.(b) >= 2 then
+      List.iter
+        (fun p ->
+          if reachable cfg p then begin
+            let runner = ref p in
+            while !runner <> cfg.idom.(b) do
+              if not (List.mem b df.(!runner)) then df.(!runner) <- b :: df.(!runner);
+              runner := cfg.idom.(!runner)
+            done
+          end)
+        cfg.preds.(b)
+  done;
+  df
+
+(* Children lists of the dominator tree. *)
+let dom_tree_children cfg =
+  let n = Array.length cfg.blocks in
+  let children = Array.make n [] in
+  for b = 0 to n - 1 do
+    let d = cfg.idom.(b) in
+    if d >= 0 then children.(d) <- b :: children.(d)
+  done;
+  Array.map List.rev children

@@ -1,0 +1,33 @@
+(** Control-flow graph utilities: block numbering, predecessors, reverse
+    postorder, dominator tree (Cooper–Harvey–Kennedy) and dominance
+    frontiers.  Used by the verifier, mem2reg and the backend. *)
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;  (** index -> block *)
+  index_of : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;  (** reverse postorder of reachable blocks *)
+  rpo_number : int array;  (** block index -> rpo position, -1 if unreachable *)
+  idom : int array;  (** immediate dominator, -1 for entry/unreachable *)
+}
+
+val of_func : Func.t -> t
+(** @raise Invalid_argument if a terminator targets an unknown label. *)
+
+val successors_of : t -> int -> int list
+val predecessors_of : t -> int -> int list
+
+val block_index : t -> string -> int
+(** @raise Invalid_argument on unknown labels. *)
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates cfg a b]: does block [a] dominate block [b]?  False if
+    either is unreachable. *)
+
+val dominance_frontiers : t -> int list array
+
+val dom_tree_children : t -> int list array

@@ -1,0 +1,26 @@
+(** Deep copy of IR programs.
+
+    The backend restructures the CFG (critical-edge splitting) before
+    lowering; cloning first guarantees the IR handed to the IR-level
+    injector is never perturbed by compiling the assembly-level build —
+    the two tools must see exactly the experiment the paper ran. *)
+
+let clone_block (b : Block.t) =
+  { Block.label = b.label; instrs = b.instrs; term = b.term }
+
+let clone_func (f : Func.t) =
+  {
+    Func.fname = f.fname;
+    params = f.params;
+    ret_ty = f.ret_ty;
+    blocks = List.map clone_block f.blocks;
+    next_value = f.next_value;
+    next_instr = f.next_instr;
+  }
+
+let clone_prog (p : Prog.t) =
+  {
+    Prog.structs = p.structs;
+    globals = p.globals;
+    funcs = List.map clone_func p.funcs;
+  }

@@ -1,0 +1,6 @@
+(** Deep copy of IR programs, so the backend can restructure the CFG
+    without perturbing the IR handed to the IR-level injector. *)
+
+val clone_block : Block.t -> Block.t
+val clone_func : Func.t -> Func.t
+val clone_prog : Prog.t -> Prog.t

@@ -1,0 +1,49 @@
+(** IR functions. *)
+
+type t = {
+  fname : string;
+  params : Value.t list;
+  ret_ty : Types.t;
+  mutable blocks : Block.t list;  (* entry block first *)
+  mutable next_value : int;  (* size of the SSA slot table *)
+  mutable next_instr : int;  (* function-unique instruction ids *)
+}
+
+let create ~fname ~params ~ret_ty =
+  let next_value =
+    List.fold_left (fun acc (v : Value.t) -> max acc (v.id + 1)) 0 params
+  in
+  { fname; params; ret_ty; blocks = []; next_value; next_instr = 0 }
+
+let entry t =
+  match t.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg ("Func.entry: function " ^ t.fname ^ " has no blocks")
+
+let find_block t label =
+  List.find_opt (fun (b : Block.t) -> String.equal b.label label) t.blocks
+
+let iter_instrs f t =
+  List.iter (fun (b : Block.t) -> List.iter f b.instrs) t.blocks
+
+let fold_instrs f acc t =
+  List.fold_left
+    (fun acc (b : Block.t) -> List.fold_left f acc b.instrs)
+    acc t.blocks
+
+(* Map from value id to the number of operand positions that read it,
+   including terminator reads.  This is the def-use information LLFI uses
+   to avoid injecting into dead destinations (paper §IV). *)
+let use_counts t =
+  let counts = Array.make t.next_value 0 in
+  let count_operand op =
+    match Operand.as_value op with
+    | Some v -> counts.(v.id) <- counts.(v.id) + 1
+    | None -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter (fun i -> List.iter count_operand (Instr.operands i)) b.instrs;
+      List.iter count_operand (Instr.terminator_operands b.term))
+    t.blocks;
+  counts

@@ -1,0 +1,25 @@
+(** IR functions. *)
+
+type t = {
+  fname : string;
+  params : Value.t list;
+  ret_ty : Types.t;
+  mutable blocks : Block.t list;  (** entry block first *)
+  mutable next_value : int;  (** size of the SSA slot table *)
+  mutable next_instr : int;  (** function-unique instruction id counter *)
+}
+
+val create : fname:string -> params:Value.t list -> ret_ty:Types.t -> t
+
+val entry : t -> Block.t
+(** @raise Invalid_argument if the function has no blocks. *)
+
+val find_block : t -> string -> Block.t option
+
+val iter_instrs : (Instr.t -> unit) -> t -> unit
+val fold_instrs : ('a -> Instr.t -> 'a) -> 'a -> t -> 'a
+
+val use_counts : t -> int array
+(** Per value id, the number of operand positions (including terminators)
+    that read it — the def-use information LLFI uses to avoid injecting
+    into dead destinations (paper §IV). *)

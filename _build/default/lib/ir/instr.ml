@@ -1,0 +1,146 @@
+(** Instructions of the IR.
+
+    The instruction set is the subset of LLVM relevant to the paper:
+    arithmetic/logic binops, integer and float comparisons, the full cast
+    family, memory access through [load]/[store], address computation
+    through [getelementptr] (a separate instruction — the central
+    discrepancy source of the study), [phi] nodes, [select], direct calls
+    and runtime intrinsics. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge | Iult | Iule | Iugt | Iuge
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+type cast =
+  | Trunc    (* integer truncation *)
+  | Zext     (* zero extension *)
+  | Sext     (* sign extension *)
+  | Fptosi   (* float -> signed int *)
+  | Sitofp   (* signed int -> float *)
+  | Bitcast  (* pointer reinterpretation *)
+  | Ptrtoint
+  | Inttoptr
+
+(* Runtime intrinsics stand in for libc / the OS in the sealed VM. *)
+type intrinsic =
+  | Print_i64      (* print integer, decimal, no newline *)
+  | Print_f64      (* print double with fixed %.6f formatting *)
+  | Print_char     (* print one byte *)
+  | Print_newline
+  | Heap_alloc     (* i64 byte count -> i8* fresh heap memory (zeroed) *)
+  | Input_i64      (* i64 index -> i64 value from the run's input vector *)
+  | Sqrt           (* f64 -> f64 *)
+  | Fabs           (* f64 -> f64 *)
+
+type kind =
+  | Binop of binop * Operand.t * Operand.t
+  | Icmp of icmp * Operand.t * Operand.t
+  | Fcmp of fcmp * Operand.t * Operand.t
+  | Cast of cast * Operand.t * Types.t
+  | Alloca of Types.t
+  | Load of Operand.t
+  | Store of Operand.t * Operand.t  (* value, pointer *)
+  | Gep of Operand.t * Operand.t list
+  | Phi of (Operand.t * string) list  (* incoming value, predecessor label *)
+  | Select of Operand.t * Operand.t * Operand.t
+  | Call of string * Operand.t list
+  | Intrinsic of intrinsic * Operand.t list
+
+type t = { iid : int; result : Value.t option; kind : kind }
+
+let binop_is_float = function
+  | Fadd | Fsub | Fmul | Fdiv -> true
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem | And | Or | Xor | Shl | Lshr
+  | Ashr ->
+    false
+
+let cast_is_conversion = function
+  | Trunc | Zext | Sext | Fptosi | Sitofp -> true
+  | Bitcast | Ptrtoint | Inttoptr -> false
+
+let operands t =
+  match t.kind with
+  | Binop (_, a, b) | Icmp (_, a, b) | Fcmp (_, a, b) | Store (a, b) -> [ a; b ]
+  | Cast (_, a, _) | Load a -> [ a ]
+  | Alloca _ -> []
+  | Gep (base, idx) -> base :: idx
+  | Phi incoming -> List.map fst incoming
+  | Select (c, a, b) -> [ c; a; b ]
+  | Call (_, args) | Intrinsic (_, args) -> args
+
+(* Replace every operand through [f]; used by optimization passes. *)
+let map_operands f t =
+  let kind =
+    match t.kind with
+    | Binop (op, a, b) -> Binop (op, f a, f b)
+    | Icmp (p, a, b) -> Icmp (p, f a, f b)
+    | Fcmp (p, a, b) -> Fcmp (p, f a, f b)
+    | Cast (c, a, ty) -> Cast (c, f a, ty)
+    | Alloca ty -> Alloca ty
+    | Load p -> Load (f p)
+    | Store (v, p) -> Store (f v, f p)
+    | Gep (base, idx) -> Gep (f base, List.map f idx)
+    | Phi incoming -> Phi (List.map (fun (v, l) -> (f v, l)) incoming)
+    | Select (c, a, b) -> Select (f c, f a, f b)
+    | Call (name, args) -> Call (name, List.map f args)
+    | Intrinsic (i, args) -> Intrinsic (i, List.map f args)
+  in
+  { t with kind }
+
+(* Stores and prints have side effects beyond their SSA result. *)
+let has_side_effect t =
+  match t.kind with
+  | Store _ | Call _ -> true
+  | Intrinsic (i, _) -> (
+    match i with
+    | Print_i64 | Print_f64 | Print_char | Print_newline | Heap_alloc -> true
+    | Input_i64 | Sqrt | Fabs -> false)
+  | Binop _ | Icmp _ | Fcmp _ | Cast _ | Alloca _ | Load _ | Gep _ | Phi _
+  | Select _ ->
+    false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | Udiv -> "udiv" | Urem -> "urem" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr"
+  | Ashr -> "ashr" | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let icmp_name = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle" | Isgt -> "sgt"
+  | Isge -> "sge" | Iult -> "ult" | Iule -> "ule" | Iugt -> "ugt" | Iuge -> "uge"
+
+let fcmp_name = function
+  | Feq -> "oeq" | Fne -> "one" | Flt -> "olt" | Fle -> "ole" | Fgt -> "ogt"
+  | Fge -> "oge"
+
+let cast_name = function
+  | Trunc -> "trunc" | Zext -> "zext" | Sext -> "sext" | Fptosi -> "fptosi"
+  | Sitofp -> "sitofp" | Bitcast -> "bitcast" | Ptrtoint -> "ptrtoint"
+  | Inttoptr -> "inttoptr"
+
+let intrinsic_name = function
+  | Print_i64 -> "print_i64" | Print_f64 -> "print_f64"
+  | Print_char -> "print_char" | Print_newline -> "print_newline"
+  | Heap_alloc -> "heap_alloc" | Input_i64 -> "input_i64"
+  | Sqrt -> "sqrt" | Fabs -> "fabs"
+
+type terminator =
+  | Ret of Operand.t option
+  | Br of string
+  | Cond_br of Operand.t * string * string  (* condition, then, else *)
+
+let terminator_operands = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Br _ -> []
+  | Cond_br (c, _, _) -> [ c ]
+
+let successors = function
+  | Ret _ -> []
+  | Br l -> [ l ]
+  | Cond_br (_, t, f) -> if String.equal t f then [ t ] else [ t; f ]

@@ -1,0 +1,86 @@
+(** Instructions of the IR: the subset of LLVM relevant to the paper.
+
+    [getelementptr] is a separate address-computation instruction — the
+    central discrepancy source of the study — and the cast family is
+    complete so LLFI's conversion-only pruning has something to prune. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge | Iult | Iule | Iugt | Iuge
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+(** Ordered float comparisons (false on NaN, except [Fne]). *)
+
+type cast =
+  | Trunc
+  | Zext
+  | Sext
+  | Fptosi
+  | Sitofp
+  | Bitcast
+  | Ptrtoint
+  | Inttoptr
+
+(** Runtime intrinsics stand in for libc / the OS in the sealed VM. *)
+type intrinsic =
+  | Print_i64
+  | Print_f64     (** fixed %.6f formatting *)
+  | Print_char
+  | Print_newline
+  | Heap_alloc    (** i64 byte count -> i8* fresh zeroed heap memory *)
+  | Input_i64     (** i64 index -> i64 from the run's input vector *)
+  | Sqrt
+  | Fabs
+
+type kind =
+  | Binop of binop * Operand.t * Operand.t
+  | Icmp of icmp * Operand.t * Operand.t
+  | Fcmp of fcmp * Operand.t * Operand.t
+  | Cast of cast * Operand.t * Types.t
+  | Alloca of Types.t
+  | Load of Operand.t
+  | Store of Operand.t * Operand.t  (** value, pointer *)
+  | Gep of Operand.t * Operand.t list  (** base pointer, indices *)
+  | Phi of (Operand.t * string) list  (** incoming value, predecessor label *)
+  | Select of Operand.t * Operand.t * Operand.t
+  | Call of string * Operand.t list  (** direct calls only *)
+  | Intrinsic of intrinsic * Operand.t list
+
+type t = {
+  iid : int;  (** function-unique instruction id *)
+  result : Value.t option;
+  kind : kind;
+}
+
+val binop_is_float : binop -> bool
+
+val cast_is_conversion : cast -> bool
+(** True for the int/fp conversions LLFI injects into (trunc/zext/sext/
+    fptosi/sitofp); false for the pointer reinterpretations it prunes. *)
+
+val operands : t -> Operand.t list
+
+val map_operands : (Operand.t -> Operand.t) -> t -> t
+(** Rewrite every operand; phi labels are untouched. *)
+
+val has_side_effect : t -> bool
+(** Stores, calls and output/allocation intrinsics; DCE must keep these. *)
+
+val binop_name : binop -> string
+val icmp_name : icmp -> string
+val fcmp_name : fcmp -> string
+val cast_name : cast -> string
+val intrinsic_name : intrinsic -> string
+
+type terminator =
+  | Ret of Operand.t option
+  | Br of string
+  | Cond_br of Operand.t * string * string  (** condition, then, else *)
+
+val terminator_operands : terminator -> Operand.t list
+
+val successors : terminator -> string list
+(** Distinct successor labels, in branch order. *)

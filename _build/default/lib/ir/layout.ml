@@ -1,0 +1,81 @@
+(** Data layout: sizes, alignments and field offsets.
+
+    Natural alignment for scalars (size = alignment), structs padded the
+    way a C compiler would pad them.  Both the IR interpreter's memory
+    accesses and the backend's address arithmetic use this single source
+    of truth, so the two execution levels agree on object layout. *)
+
+let pointer_size = 8
+
+let rec size_of prog (ty : Types.t) =
+  match ty with
+  | Types.I1 | Types.I8 -> 1
+  | Types.I16 -> 2
+  | Types.I32 -> 4
+  | Types.I64 -> 8
+  | Types.F64 -> 8
+  | Types.Ptr _ -> pointer_size
+  | Types.Arr (n, elt) -> n * size_of prog elt
+  | Types.Struct name ->
+    let fields = Prog.struct_fields prog name in
+    let size, align =
+      List.fold_left
+        (fun (off, align) fty ->
+          let falign = align_of prog fty in
+          let off = round_up off falign in
+          (off + size_of prog fty, max align falign))
+        (0, 1) fields
+    in
+    round_up size align
+  | Types.Void -> invalid_arg "Layout.size_of: void has no size"
+
+and align_of prog (ty : Types.t) =
+  match ty with
+  | Types.I1 | Types.I8 -> 1
+  | Types.I16 -> 2
+  | Types.I32 -> 4
+  | Types.I64 | Types.F64 | Types.Ptr _ -> 8
+  | Types.Arr (_, elt) -> align_of prog elt
+  | Types.Struct name ->
+    List.fold_left
+      (fun acc fty -> max acc (align_of prog fty))
+      1
+      (Prog.struct_fields prog name)
+  | Types.Void -> invalid_arg "Layout.align_of: void has no alignment"
+
+and round_up v align = (v + align - 1) / align * align
+
+(* Byte offset of field [index] within struct [name]. *)
+let field_offset prog name index =
+  let fields = Prog.struct_fields prog name in
+  if index < 0 || index >= List.length fields then
+    invalid_arg "Layout.field_offset: field index out of range";
+  let rec walk off i = function
+    | [] -> assert false
+    | fty :: rest ->
+      let off = round_up off (align_of prog fty) in
+      if i = index then off else walk (off + size_of prog fty) (i + 1) rest
+  in
+  walk 0 0 fields
+
+let field_type prog name index =
+  match List.nth_opt (Prog.struct_fields prog name) index with
+  | Some ty -> ty
+  | None -> invalid_arg "Layout.field_type: field index out of range"
+
+(* Assign addresses to the program's globals starting at [base].  Both
+   execution levels use this, so the IR interpreter and the generated
+   assembly agree on where every global lives. *)
+let layout_globals prog ~base =
+  let table = Hashtbl.create 16 in
+  let image = ref [] in
+  let cursor = ref base in
+  List.iter
+    (fun (g : Prog.global) ->
+      let align = align_of prog g.gty in
+      let addr = round_up !cursor align in
+      Hashtbl.replace table g.gname addr;
+      image := (addr, g.gty, g.ginit) :: !image;
+      cursor := addr + size_of prog g.gty)
+    prog.Prog.globals;
+  (table, List.rev !image, !cursor - base)

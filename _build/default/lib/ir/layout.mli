@@ -1,0 +1,26 @@
+(** Data layout: sizes, alignments, field offsets and global placement.
+
+    Natural alignment for scalars, C-style struct padding.  Both the IR
+    interpreter and the backend use this single source of truth, so the
+    two execution levels agree on object layout. *)
+
+val pointer_size : int
+
+val size_of : Prog.t -> Types.t -> int
+(** @raise Invalid_argument for [Void]. *)
+
+val align_of : Prog.t -> Types.t -> int
+
+val round_up : int -> int -> int
+(** [round_up v align] rounds [v] up to a multiple of [align]. *)
+
+val field_offset : Prog.t -> string -> int -> int
+(** Byte offset of a field within a named struct. *)
+
+val field_type : Prog.t -> string -> int -> Types.t
+
+val layout_globals :
+  Prog.t -> base:int -> (string, int) Hashtbl.t * (int * Types.t * Prog.init) list * int
+(** [layout_globals prog ~base] assigns an address to every global
+    starting at [base]; returns the name->address table, the
+    initialization image, and the total extent in bytes. *)

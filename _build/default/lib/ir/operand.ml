@@ -1,0 +1,36 @@
+(** Instruction operands: SSA values or immediate constants. *)
+
+type t =
+  | Var of Value.t
+  | Int of Types.t * int  (* signed-canonical for the given width *)
+  | Float of float
+  | Null of Types.t  (* a null pointer of the given pointer type *)
+  | Global of string * Types.t  (* address of a global; [ty] is pointer type *)
+
+let type_of = function
+  | Var v -> v.Value.ty
+  | Int (ty, _) -> ty
+  | Float _ -> Types.F64
+  | Null ty -> ty
+  | Global (_, ty) -> ty
+
+let i1 b = Int (Types.I1, if b then 1 else 0)
+let i8 v = Int (Types.I8, Support.Word.canon 8 v)
+let i32 v = Int (Types.I32, Support.Word.canon 32 v)
+let i64 v = Int (Types.I64, v)
+let f64 v = Float v
+
+let is_constant = function
+  | Var _ -> false
+  | Int _ | Float _ | Null _ | Global _ -> true
+
+let as_value = function
+  | Var v -> Some v
+  | Int _ | Float _ | Null _ | Global _ -> None
+
+let pp fmt = function
+  | Var v -> Value.pp fmt v
+  | Int (ty, v) -> Fmt.pf fmt "%a %d" Types.pp ty v
+  | Float f -> Fmt.pf fmt "f64 %h" f
+  | Null ty -> Fmt.pf fmt "%a null" Types.pp ty
+  | Global (name, _) -> Fmt.pf fmt "@%s" name

@@ -1,0 +1,25 @@
+(** Instruction operands: SSA values or immediate constants. *)
+
+type t =
+  | Var of Value.t
+  | Int of Types.t * int  (** signed-canonical for the given width *)
+  | Float of float
+  | Null of Types.t  (** a null pointer of the given pointer type *)
+  | Global of string * Types.t  (** address of a global; the type is the pointer type *)
+
+val type_of : t -> Types.t
+
+(** Shorthand constructors for common immediates. *)
+
+val i1 : bool -> t
+val i8 : int -> t
+val i32 : int -> t
+val i64 : int -> t
+val f64 : float -> t
+
+val is_constant : t -> bool
+
+val as_value : t -> Value.t option
+(** [as_value op] is [Some v] iff [op] is [Var v]. *)
+
+val pp : Format.formatter -> t -> unit

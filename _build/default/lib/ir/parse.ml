@@ -1,0 +1,560 @@
+(** Parser for the textual IR format emitted by {!Printer}.
+
+    [Parse.prog (Printer.prog_to_string p)] reconstructs a program that
+    verifies and behaves identically — serialization support for tooling
+    (dump, edit, reload) and a strong round-trip oracle for tests.  The
+    format is self-typed: every operand carries its type, so parsing
+    needs no inference beyond result-type computation. *)
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+(* --- a tiny cursor over one line --- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let cursor text = { text; pos = 0 }
+
+let peek_char c =
+  if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text
+    && (c.text.[c.pos] = ' ' || c.text.[c.pos] = '\t')
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek_char c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail "expected %C at %d in %S" ch c.pos c.text
+
+let try_char c ch =
+  skip_ws c;
+  match peek_char c with
+  | Some x when x = ch ->
+    c.pos <- c.pos + 1;
+    true
+  | _ -> false
+
+(* A token: letters, digits and the punctuation that appears inside
+   identifiers, numbers and hex floats. *)
+let token c =
+  skip_ws c;
+  let start = c.pos in
+  let is_tok ch =
+    match ch with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | '+' | '@' | '%' ->
+      true
+    | _ -> false
+  in
+  while c.pos < String.length c.text && is_tok c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail "expected a token at %d in %S" start c.text;
+  String.sub c.text start (c.pos - start)
+
+let word c = token c
+
+(* --- types --- *)
+
+let rec parse_type prog c =
+  skip_ws c;
+  let base =
+    if try_char c '[' then begin
+      let n = int_of_string (token c) in
+      let x = token c in
+      if x <> "x" then fail "expected 'x' in array type";
+      let elt = parse_type prog c in
+      expect c ']';
+      Types.Arr (n, elt)
+    end
+    else begin
+      let t = token c in
+      match t with
+      | "i1" -> Types.I1
+      | "i8" -> Types.I8
+      | "i16" -> Types.I16
+      | "i32" -> Types.I32
+      | "i64" -> Types.I64
+      | "f64" -> Types.F64
+      | "void" -> Types.Void
+      | s when String.length s > 1 && s.[0] = '%' ->
+        Types.Struct (String.sub s 1 (String.length s - 1))
+      | s -> fail "unknown type %S" s
+    end
+  in
+  let rec stars ty = if try_char c '*' then stars (Types.Ptr ty) else ty in
+  stars base
+
+(* --- values and operands --- *)
+
+(* "%name.id" or "%id" -> (name, id) *)
+let split_value_ref s =
+  if String.length s < 2 || s.[0] <> '%' then fail "not a value reference: %S" s;
+  let body = String.sub s 1 (String.length s - 1) in
+  match String.rindex_opt body '.' with
+  | Some k -> (
+    let name = String.sub body 0 k in
+    let id_text = String.sub body (k + 1) (String.length body - k - 1) in
+    match int_of_string_opt id_text with
+    | Some id -> (name, id)
+    | None -> fail "bad value id in %S" s)
+  | None -> (
+    match int_of_string_opt body with
+    | Some id -> ("", id)
+    | None -> fail "bad value reference %S" s)
+
+type env = {
+  prog : Prog.t;
+  global_types : (string, Types.t) Hashtbl.t;  (* name -> pointer type *)
+  mutable max_value : int;
+}
+
+let parse_operand env c =
+  skip_ws c;
+  match peek_char c with
+  | Some '@' ->
+    let t = token c in
+    let name = String.sub t 1 (String.length t - 1) in
+    let ty =
+      match Hashtbl.find_opt env.global_types name with
+      | Some ty -> ty
+      | None -> fail "unknown global %S" name
+    in
+    Operand.Global (name, ty)
+  | _ -> (
+    let ty = parse_type env.prog c in
+    skip_ws c;
+    match peek_char c with
+    | Some '%' ->
+      let name, id = split_value_ref (token c) in
+      env.max_value <- max env.max_value id;
+      Operand.Var (Value.v ~id ~ty ~name)
+    | _ -> (
+      let t = token c in
+      match t with
+      | "null" -> Operand.Null ty
+      | _ ->
+        if Types.is_float ty then Operand.Float (float_of_string t)
+        else Operand.Int (ty, int_of_string t)))
+
+(* --- instructions --- *)
+
+let intrinsic_of_name = function
+  | "print_i64" -> Instr.Print_i64
+  | "print_f64" -> Instr.Print_f64
+  | "print_char" -> Instr.Print_char
+  | "print_newline" -> Instr.Print_newline
+  | "heap_alloc" -> Instr.Heap_alloc
+  | "input_i64" -> Instr.Input_i64
+  | "sqrt" -> Instr.Sqrt
+  | "fabs" -> Instr.Fabs
+  | s -> fail "unknown intrinsic %S" s
+
+let binop_of_name = function
+  | "add" -> Some Instr.Add | "sub" -> Some Instr.Sub | "mul" -> Some Instr.Mul
+  | "sdiv" -> Some Instr.Sdiv | "srem" -> Some Instr.Srem
+  | "udiv" -> Some Instr.Udiv | "urem" -> Some Instr.Urem
+  | "and" -> Some Instr.And | "or" -> Some Instr.Or | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl | "lshr" -> Some Instr.Lshr
+  | "ashr" -> Some Instr.Ashr | "fadd" -> Some Instr.Fadd
+  | "fsub" -> Some Instr.Fsub | "fmul" -> Some Instr.Fmul
+  | "fdiv" -> Some Instr.Fdiv
+  | _ -> None
+
+let icmp_of_name = function
+  | "eq" -> Instr.Ieq | "ne" -> Instr.Ine | "slt" -> Instr.Islt
+  | "sle" -> Instr.Isle | "sgt" -> Instr.Isgt | "sge" -> Instr.Isge
+  | "ult" -> Instr.Iult | "ule" -> Instr.Iule | "ugt" -> Instr.Iugt
+  | "uge" -> Instr.Iuge
+  | s -> fail "unknown icmp predicate %S" s
+
+let fcmp_of_name = function
+  | "oeq" -> Instr.Feq | "one" -> Instr.Fne | "olt" -> Instr.Flt
+  | "ole" -> Instr.Fle | "ogt" -> Instr.Fgt | "oge" -> Instr.Fge
+  | s -> fail "unknown fcmp predicate %S" s
+
+let cast_of_name = function
+  | "trunc" -> Some Instr.Trunc | "zext" -> Some Instr.Zext
+  | "sext" -> Some Instr.Sext | "fptosi" -> Some Instr.Fptosi
+  | "sitofp" -> Some Instr.Sitofp | "bitcast" -> Some Instr.Bitcast
+  | "ptrtoint" -> Some Instr.Ptrtoint | "inttoptr" -> Some Instr.Inttoptr
+  | _ -> None
+
+let label_ref c =
+  let t = token c in
+  if String.length t < 2 || t.[0] <> '%' then fail "expected a label, got %S" t;
+  String.sub t 1 (String.length t - 1)
+
+(* Parse one instruction body (after any "%res = " prefix); returns the
+   kind and its result type (Void for none). *)
+let parse_kind env c =
+  let op = word c in
+  match binop_of_name op with
+  | Some bop ->
+    let a = parse_operand env c in
+    expect c ',';
+    let b = parse_operand env c in
+    (Instr.Binop (bop, a, b), Operand.type_of a)
+  | None -> (
+    match cast_of_name op with
+    | Some cop ->
+      let v = parse_operand env c in
+      let t = word c in
+      if t <> "to" then fail "expected 'to' in cast";
+      let ty = parse_type env.prog c in
+      (Instr.Cast (cop, v, ty), ty)
+    | None -> (
+      match op with
+      | "icmp" ->
+        let pred = icmp_of_name (word c) in
+        let a = parse_operand env c in
+        expect c ',';
+        let b = parse_operand env c in
+        (Instr.Icmp (pred, a, b), Types.I1)
+      | "fcmp" ->
+        let pred = fcmp_of_name (word c) in
+        let a = parse_operand env c in
+        expect c ',';
+        let b = parse_operand env c in
+        (Instr.Fcmp (pred, a, b), Types.I1)
+      | "alloca" ->
+        let ty = parse_type env.prog c in
+        (Instr.Alloca ty, Types.Ptr ty)
+      | "load" ->
+        let p = parse_operand env c in
+        (Instr.Load p, Types.pointee (Operand.type_of p))
+      | "store" ->
+        let v = parse_operand env c in
+        expect c ',';
+        let p = parse_operand env c in
+        (Instr.Store (v, p), Types.Void)
+      | "getelementptr" ->
+        let base = parse_operand env c in
+        let indices = ref [] in
+        while try_char c ',' do
+          indices := parse_operand env c :: !indices
+        done;
+        let indices = List.rev !indices in
+        ( Instr.Gep (base, indices),
+          Builder.gep_result_type env.prog (Operand.type_of base) indices )
+      | "phi" ->
+        let incoming = ref [] in
+        let parse_one () =
+          expect c '[';
+          let v = parse_operand env c in
+          expect c ',';
+          let l = label_ref c in
+          expect c ']';
+          incoming := (v, l) :: !incoming
+        in
+        parse_one ();
+        while try_char c ',' do
+          parse_one ()
+        done;
+        let incoming = List.rev !incoming in
+        let ty =
+          match incoming with
+          | (v, _) :: _ -> Operand.type_of v
+          | [] -> fail "phi without incoming values"
+        in
+        (Instr.Phi incoming, ty)
+      | "select" ->
+        let cond = parse_operand env c in
+        expect c ',';
+        let a = parse_operand env c in
+        expect c ',';
+        let b = parse_operand env c in
+        (Instr.Select (cond, a, b), Operand.type_of a)
+      | "call" ->
+        let callee_tok = token c in
+        if String.length callee_tok < 2 || callee_tok.[0] <> '@' then
+          fail "expected @callee, got %S" callee_tok;
+        let callee = String.sub callee_tok 1 (String.length callee_tok - 1) in
+        expect c '(';
+        let args = ref [] in
+        if not (try_char c ')') then begin
+          args := [ parse_operand env c ];
+          while try_char c ',' do
+            args := parse_operand env c :: !args
+          done;
+          expect c ')'
+        end;
+        let args = List.rev !args in
+        let ret_ty =
+          match Prog.find_func env.prog callee with
+          | Some f -> f.Func.ret_ty
+          | None -> fail "call to unknown function %S" callee
+        in
+        (Instr.Call (callee, args), ret_ty)
+      | "call.intrinsic" ->
+        let name_tok = token c in
+        if String.length name_tok < 2 || name_tok.[0] <> '@' then
+          fail "expected @intrinsic, got %S" name_tok;
+        let intr =
+          intrinsic_of_name (String.sub name_tok 1 (String.length name_tok - 1))
+        in
+        expect c '(';
+        let args = ref [] in
+        if not (try_char c ')') then begin
+          args := [ parse_operand env c ];
+          while try_char c ',' do
+            args := parse_operand env c :: !args
+          done;
+          expect c ')'
+        end;
+        let ty =
+          match intr with
+          | Instr.Print_i64 | Instr.Print_f64 | Instr.Print_char
+          | Instr.Print_newline ->
+            Types.Void
+          | Instr.Heap_alloc -> Types.Ptr Types.I8
+          | Instr.Input_i64 -> Types.I64
+          | Instr.Sqrt | Instr.Fabs -> Types.F64
+        in
+        (Instr.Intrinsic (intr, List.rev !args), ty)
+      | other -> fail "unknown instruction %S" other))
+
+let parse_terminator env c =
+  let op = word c in
+  match op with
+  | "ret" ->
+    skip_ws c;
+    if
+      c.pos + 4 <= String.length c.text
+      && String.sub c.text c.pos 4 = "void"
+      &&
+      (c.pos <- c.pos + 4;
+       true)
+    then Instr.Ret None
+    else Instr.Ret (Some (parse_operand env c))
+  | "br" -> (
+    skip_ws c;
+    (* Either "br %label" or "br <operand>, %t, %f". *)
+    let save = c.pos in
+    match peek_char c with
+    | Some '%' -> (
+      (* Could be a label or a typed operand can't start with % (types
+         are %struct...); disambiguate by what follows. *)
+      let t = token c in
+      skip_ws c;
+      match peek_char c with
+      | Some ',' | Some '%' when peek_char c = Some '%' ->
+        (* "%struct-type %value, ..." cannot occur for br; treat as label *)
+        c.pos <- save;
+        Instr.Br (label_ref c)
+      | Some ',' ->
+        (* a struct-typed condition is impossible; re-parse as operand *)
+        c.pos <- save;
+        let cond = parse_operand env c in
+        expect c ',';
+        let t' = label_ref c in
+        expect c ',';
+        let f' = label_ref c in
+        Instr.Cond_br (cond, t', f')
+      | _ ->
+        ignore t;
+        c.pos <- save;
+        Instr.Br (label_ref c))
+    | _ ->
+      let cond = parse_operand env c in
+      expect c ',';
+      let t = label_ref c in
+      expect c ',';
+      let f = label_ref c in
+      Instr.Cond_br (cond, t, f))
+  | other -> fail "unknown terminator %S" other
+
+(* --- top level --- *)
+
+let is_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Parse a global initializer. *)
+let parse_init gty c =
+  skip_ws c;
+  if try_char c 'c' then begin
+    (* c"...": the rest of the line is an OCaml-escaped string literal. *)
+    let rest = String.sub c.text c.pos (String.length c.text - c.pos) in
+    match Scanf.sscanf_opt rest "%S" (fun s -> s) with
+    | Some s -> Prog.Str s
+    | None -> fail "bad string initializer %S" rest
+  end
+  else if try_char c '[' then begin
+    let elem_is_float =
+      match gty with
+      | Types.Arr (_, Types.F64) | Types.F64 -> true
+      | _ -> false
+    in
+    let ints = ref [] and floats = ref [] in
+    if not (try_char c ']') then begin
+      let read_one () =
+        let t = token c in
+        if elem_is_float then floats := float_of_string t :: !floats
+        else ints := int_of_string t :: !ints
+      in
+      read_one ();
+      while try_char c ',' do
+        read_one ()
+      done;
+      expect c ']'
+    end;
+    if elem_is_float then Prog.Floats (List.rev !floats)
+    else Prog.Ints (List.rev !ints)
+  end
+  else begin
+    let t = token c in
+    if t = "zeroinitializer" then Prog.Zero else fail "bad initializer %S" t
+  end
+
+let prog (text : string) : Prog.t =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let prog = Prog.create () in
+  let global_types = Hashtbl.create 16 in
+  (* Phase 1: structs, globals and function headers. *)
+  let parse_header line =
+    (* "define TY @name(TY %p.0, ...) {" *)
+    let c = cursor line in
+    let _define = word c in
+    let ret_ty = parse_type prog c in
+    let name_tok = token c in
+    let fname = String.sub name_tok 1 (String.length name_tok - 1) in
+    expect c '(';
+    let params = ref [] in
+    if not (try_char c ')') then begin
+      let read_param () =
+        let ty = parse_type prog c in
+        let pname, id = split_value_ref (token c) in
+        params := Value.v ~id ~ty ~name:pname :: !params
+      in
+      read_param ();
+      while try_char c ',' do
+        read_param ()
+      done;
+      expect c ')'
+    end;
+    let f = Func.create ~fname ~params:(List.rev !params) ~ret_ty in
+    Prog.add_func prog f;
+    f
+  in
+  let pending_bodies = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | line :: rest when is_prefix "define " line ->
+      let f = parse_header line in
+      (* Collect lines until the closing brace. *)
+      let rec collect acc = function
+        | "}" :: rest -> (List.rev acc, rest)
+        | l :: rest -> collect (l :: acc) rest
+        | [] -> fail "unterminated function %s" f.Func.fname
+      in
+      let body, rest = collect [] rest in
+      pending_bodies := (f, body) :: !pending_bodies;
+      scan rest
+    | line :: rest when is_prefix "@" line ->
+      let c = cursor line in
+      let name_tok = token c in
+      let gname = String.sub name_tok 1 (String.length name_tok - 1) in
+      expect c '=';
+      let kw = word c in
+      if kw <> "global" then fail "expected 'global' in %S" line;
+      let gty = parse_type prog c in
+      let ginit = parse_init gty c in
+      Prog.add_global prog { Prog.gname; gty; ginit };
+      Hashtbl.replace global_types gname (Types.Ptr gty);
+      scan rest
+    | line :: rest when is_prefix "%" line && String.length line > 1 -> (
+      (* "%name = type { ... }" *)
+      let c = cursor line in
+      let name_tok = token c in
+      let sname = String.sub name_tok 1 (String.length name_tok - 1) in
+      expect c '=';
+      let kw = word c in
+      if kw <> "type" then fail "expected 'type' in %S" line;
+      expect c '{';
+      let fields = ref [] in
+      if not (try_char c '}') then begin
+        fields := [ parse_type prog c ];
+        while try_char c ',' do
+          fields := parse_type prog c :: !fields
+        done;
+        expect c '}'
+      end;
+      Prog.define_struct prog sname (List.rev !fields);
+      scan rest)
+    | line :: _ -> fail "unexpected top-level line %S" line
+  in
+  scan lines;
+  (* Phase 2: function bodies. *)
+  List.iter
+    (fun ((f : Func.t), body) ->
+      let env = { prog; global_types; max_value = 0 } in
+      List.iter
+        (fun (p : Value.t) -> env.max_value <- max env.max_value p.id)
+        f.params;
+      let current : Block.t option ref = ref None in
+      let finish () = current := None in
+      let iid = ref 0 in
+      let next_iid () =
+        let k = !iid in
+        incr iid;
+        k
+      in
+      List.iter
+        (fun line ->
+          if String.length line > 0 && line.[String.length line - 1] = ':' then begin
+            finish ();
+            let label = String.sub line 0 (String.length line - 1) in
+            let b = Block.create ~label in
+            f.Func.blocks <- f.Func.blocks @ [ b ];
+            current := Some b
+          end
+          else begin
+            let b =
+              match !current with
+              | Some b -> b
+              | None -> fail "instruction outside a block: %S" line
+            in
+            let c = cursor line in
+            skip_ws c;
+            if is_prefix "ret" line || is_prefix "br" line then
+              b.Block.term <- parse_terminator env c
+            else begin
+              (* Optional "%res = " prefix. *)
+              let result_ref =
+                let save = c.pos in
+                match peek_char c with
+                | Some '%' -> (
+                  let t = token c in
+                  if try_char c '=' then Some (split_value_ref t)
+                  else begin
+                    c.pos <- save;
+                    None
+                  end)
+                | _ -> None
+              in
+              let kind, ty = parse_kind env c in
+              let result =
+                match result_ref with
+                | Some (name, id) ->
+                  env.max_value <- max env.max_value id;
+                  Some (Value.v ~id ~ty ~name)
+                | None -> None
+              in
+              b.Block.instrs <-
+                b.Block.instrs @ [ { Instr.iid = next_iid (); result; kind } ]
+            end
+          end)
+        body;
+      f.Func.next_value <- env.max_value + 1;
+      f.Func.next_instr <- !iid)
+    (List.rev !pending_bodies);
+  prog

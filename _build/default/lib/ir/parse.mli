@@ -1,0 +1,11 @@
+(** Parser for the textual IR format emitted by {!Printer}.
+
+    [prog (Printer.prog_to_string p)] reconstructs a program that
+    verifies and behaves identically — serialization support for tooling
+    (dump, edit, reload) and a strong round-trip oracle for tests. *)
+
+exception Error of string
+
+val prog : string -> Prog.t
+(** @raise Error on malformed input.  The result is not implicitly
+    verified; run {!Verify.check_prog} if the text is untrusted. *)

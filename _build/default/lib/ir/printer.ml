@@ -1,0 +1,105 @@
+(** Textual form of IR programs, LLVM-flavoured.  Used by the CLI's
+    [emit] command, by tests, and by humans reading dumps.  The format is
+    self-typed (every operand carries its type) so {!Parse} can read it
+    back without inference. *)
+
+let pp_operand fmt (op : Operand.t) =
+  match op with
+  | Operand.Var v -> Fmt.pf fmt "%a %a" Types.pp v.Value.ty Value.pp v
+  | _ -> Operand.pp fmt op
+
+let pp_result fmt (r : Value.t option) =
+  match r with
+  | Some v -> Fmt.pf fmt "%a = " Value.pp v
+  | None -> ()
+
+let pp_instr fmt (i : Instr.t) =
+  let open Instr in
+  match i.kind with
+  | Binop (op, a, b) ->
+    Fmt.pf fmt "%a%s %a, %a" pp_result i.result (binop_name op) pp_operand a
+      pp_operand b
+  | Icmp (p, a, b) ->
+    Fmt.pf fmt "%aicmp %s %a, %a" pp_result i.result (icmp_name p) pp_operand a
+      pp_operand b
+  | Fcmp (p, a, b) ->
+    Fmt.pf fmt "%afcmp %s %a, %a" pp_result i.result (fcmp_name p) pp_operand a
+      pp_operand b
+  | Cast (c, a, ty) ->
+    Fmt.pf fmt "%a%s %a to %a" pp_result i.result (cast_name c) pp_operand a
+      Types.pp ty
+  | Alloca ty -> Fmt.pf fmt "%aalloca %a" pp_result i.result Types.pp ty
+  | Load p -> Fmt.pf fmt "%aload %a" pp_result i.result pp_operand p
+  | Store (v, p) -> Fmt.pf fmt "store %a, %a" pp_operand v pp_operand p
+  | Gep (base, idx) ->
+    Fmt.pf fmt "%agetelementptr %a%a" pp_result i.result pp_operand base
+      (Fmt.list ~sep:Fmt.nop (fun fmt op -> Fmt.pf fmt ", %a" pp_operand op))
+      idx
+  | Phi incoming ->
+    Fmt.pf fmt "%aphi %a" pp_result i.result
+      (Fmt.list ~sep:(Fmt.any ", ") (fun fmt (v, l) ->
+           Fmt.pf fmt "[ %a, %%%s ]" pp_operand v l))
+      incoming
+  | Select (c, a, b) ->
+    Fmt.pf fmt "%aselect %a, %a, %a" pp_result i.result pp_operand c pp_operand
+      a pp_operand b
+  | Call (callee, args) ->
+    Fmt.pf fmt "%acall @%s(%a)" pp_result i.result callee
+      (Fmt.list ~sep:(Fmt.any ", ") pp_operand)
+      args
+  | Intrinsic (intr, args) ->
+    Fmt.pf fmt "%acall.intrinsic @%s(%a)" pp_result i.result
+      (intrinsic_name intr)
+      (Fmt.list ~sep:(Fmt.any ", ") pp_operand)
+      args
+
+let pp_terminator fmt (t : Instr.terminator) =
+  match t with
+  | Ret None -> Fmt.string fmt "ret void"
+  | Ret (Some v) -> Fmt.pf fmt "ret %a" pp_operand v
+  | Br l -> Fmt.pf fmt "br %%%s" l
+  | Cond_br (c, t, f) -> Fmt.pf fmt "br %a, %%%s, %%%s" pp_operand c t f
+
+let pp_block fmt (b : Block.t) =
+  Fmt.pf fmt "%s:@." b.label;
+  List.iter (fun i -> Fmt.pf fmt "  %a@." pp_instr i) b.instrs;
+  Fmt.pf fmt "  %a@." pp_terminator b.term
+
+let pp_func fmt (f : Func.t) =
+  Fmt.pf fmt "define %a @%s(%a) {@." Types.pp f.ret_ty f.fname
+    (Fmt.list ~sep:(Fmt.any ", ") (fun fmt (v : Value.t) ->
+         Fmt.pf fmt "%a %a" Types.pp v.ty Value.pp v))
+    f.params;
+  List.iter (pp_block fmt) f.blocks;
+  Fmt.pf fmt "}@."
+
+let pp_global fmt (g : Prog.global) =
+  let pp_init fmt (init : Prog.init) =
+    match init with
+    | Prog.Zero -> Fmt.string fmt "zeroinitializer"
+    | Prog.Ints vs -> Fmt.pf fmt "[%a]" (Fmt.list ~sep:(Fmt.any ", ") Fmt.int) vs
+    | Prog.Floats vs ->
+      Fmt.pf fmt "[%a]"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun fmt v -> Fmt.pf fmt "%h" v))
+        vs
+    | Prog.Str s -> Fmt.pf fmt "c%S" s
+  in
+  Fmt.pf fmt "@%s = global %a %a@." g.gname Types.pp g.gty pp_init g.ginit
+
+let pp_prog fmt (p : Prog.t) =
+  List.iter
+    (fun (name, fields) ->
+      Fmt.pf fmt "%%%s = type { %a }@." name
+        (Fmt.list ~sep:(Fmt.any ", ") Types.pp)
+        fields)
+    p.structs;
+  List.iter (pp_global fmt) p.globals;
+  List.iter
+    (fun f ->
+      Fmt.pf fmt "@.";
+      pp_func fmt f)
+    p.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let prog_to_string p = Fmt.str "%a" pp_prog p
+let instr_to_string i = Fmt.str "%a" pp_instr i

@@ -1,0 +1,12 @@
+(** Textual form of IR programs, LLVM-flavoured. *)
+
+val pp_instr : Format.formatter -> Instr.t -> unit
+val pp_terminator : Format.formatter -> Instr.terminator -> unit
+val pp_block : Format.formatter -> Block.t -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_global : Format.formatter -> Prog.global -> unit
+val pp_prog : Format.formatter -> Prog.t -> unit
+
+val func_to_string : Func.t -> string
+val prog_to_string : Prog.t -> string
+val instr_to_string : Instr.t -> string

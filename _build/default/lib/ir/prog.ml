@@ -1,0 +1,49 @@
+(** A whole IR program (LLVM calls this a module): named struct types,
+    global variables and functions. *)
+
+type init =
+  | Zero
+  | Ints of int list    (* element values for integer scalars/arrays *)
+  | Floats of float list
+  | Str of string       (* byte contents for i8 arrays *)
+
+type global = { gname : string; gty : Types.t; ginit : init }
+
+type t = {
+  mutable structs : (string * Types.t list) list;
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+}
+
+let create () = { structs = []; globals = []; funcs = [] }
+
+let define_struct t name fields =
+  if List.mem_assoc name t.structs then
+    invalid_arg ("Prog.define_struct: duplicate struct " ^ name);
+  t.structs <- t.structs @ [ (name, fields) ]
+
+let struct_fields t name =
+  match List.assoc_opt name t.structs with
+  | Some fields -> fields
+  | None -> invalid_arg ("Prog.struct_fields: unknown struct " ^ name)
+
+let add_global t g =
+  if List.exists (fun g' -> String.equal g'.gname g.gname) t.globals then
+    invalid_arg ("Prog.add_global: duplicate global " ^ g.gname);
+  t.globals <- t.globals @ [ g ]
+
+let find_global t name =
+  List.find_opt (fun g -> String.equal g.gname name) t.globals
+
+let add_func t f =
+  if List.exists (fun (f' : Func.t) -> String.equal f'.fname f.Func.fname) t.funcs
+  then invalid_arg ("Prog.add_func: duplicate function " ^ f.Func.fname);
+  t.funcs <- t.funcs @ [ f ]
+
+let find_func t name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.fname name) t.funcs
+
+let main t =
+  match find_func t "main" with
+  | Some f -> f
+  | None -> invalid_arg "Prog.main: program has no main function"

@@ -1,0 +1,33 @@
+(** A whole IR program (LLVM calls this a module): named struct types,
+    global variables and functions. *)
+
+type init =
+  | Zero
+  | Ints of int list  (** element values for integer scalars/arrays *)
+  | Floats of float list
+  | Str of string  (** byte contents for i8 arrays *)
+
+type global = { gname : string; gty : Types.t; ginit : init }
+
+type t = {
+  mutable structs : (string * Types.t list) list;
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+}
+
+val create : unit -> t
+
+val define_struct : t -> string -> Types.t list -> unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val struct_fields : t -> string -> Types.t list
+(** @raise Invalid_argument on unknown structs. *)
+
+val add_global : t -> global -> unit
+val find_global : t -> string -> global option
+
+val add_func : t -> Func.t -> unit
+val find_func : t -> string -> Func.t option
+
+val main : t -> Func.t
+(** @raise Invalid_argument when the program has no [main]. *)

@@ -1,0 +1,76 @@
+(** Types of the intermediate representation.
+
+    The IR is strictly typed, mirroring LLVM: first-class integers of
+    several widths, double-precision floats, typed pointers, fixed-size
+    arrays and named structs.  Strict typing is load-bearing for the
+    study — it is what forces the many cast instructions that row 5 of the
+    paper's Table I discusses. *)
+
+type t =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Arr of int * t
+  | Struct of string
+  | Void
+
+let rec equal a b =
+  match (a, b) with
+  | I1, I1 | I8, I8 | I16, I16 | I32, I32 | I64, I64 | F64, F64 | Void, Void ->
+    true
+  | Ptr a, Ptr b -> equal a b
+  | Arr (n, a), Arr (m, b) -> n = m && equal a b
+  | Struct a, Struct b -> String.equal a b
+  | (I1 | I8 | I16 | I32 | I64 | F64 | Void | Ptr _ | Arr _ | Struct _), _ ->
+    false
+
+let is_integer = function
+  | I1 | I8 | I16 | I32 | I64 -> true
+  | F64 | Ptr _ | Arr _ | Struct _ | Void -> false
+
+let is_float = function
+  | F64 -> true
+  | I1 | I8 | I16 | I32 | I64 | Ptr _ | Arr _ | Struct _ | Void -> false
+
+let is_pointer = function
+  | Ptr _ -> true
+  | I1 | I8 | I16 | I32 | I64 | F64 | Arr _ | Struct _ | Void -> false
+
+let is_first_class = function
+  | I1 | I8 | I16 | I32 | I64 | F64 | Ptr _ -> true
+  | Arr _ | Struct _ | Void -> false
+
+(* Width in bits of an integer type.  i64 values are held in native OCaml
+   ints, hence [Word.width] rather than 64; see Support.Word. *)
+let bit_width = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> Support.Word.width
+  | F64 | Ptr _ | Arr _ | Struct _ | Void ->
+    invalid_arg "Types.bit_width: not an integer type"
+
+let pointee = function
+  | Ptr t -> t
+  | I1 | I8 | I16 | I32 | I64 | F64 | Arr _ | Struct _ | Void ->
+    invalid_arg "Types.pointee: not a pointer type"
+
+let rec pp fmt t =
+  match t with
+  | I1 -> Fmt.string fmt "i1"
+  | I8 -> Fmt.string fmt "i8"
+  | I16 -> Fmt.string fmt "i16"
+  | I32 -> Fmt.string fmt "i32"
+  | I64 -> Fmt.string fmt "i64"
+  | F64 -> Fmt.string fmt "f64"
+  | Ptr t -> Fmt.pf fmt "%a*" pp t
+  | Arr (n, t) -> Fmt.pf fmt "[%d x %a]" n pp t
+  | Struct name -> Fmt.pf fmt "%%%s" name
+  | Void -> Fmt.string fmt "void"
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,40 @@
+(** Types of the intermediate representation.
+
+    Strictly typed, mirroring LLVM: integers of several widths,
+    double-precision floats, typed pointers, fixed-size arrays and named
+    structs.  Strict typing is load-bearing for the study — it is what
+    forces the many cast instructions that row 5 of the paper's Table I
+    discusses. *)
+
+type t =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Arr of int * t
+  | Struct of string  (** a named struct; fields live in {!Prog.t} *)
+  | Void
+
+val equal : t -> t -> bool
+
+val is_integer : t -> bool
+val is_float : t -> bool
+val is_pointer : t -> bool
+
+val is_first_class : t -> bool
+(** First-class values fit in a register: integers, floats, pointers. *)
+
+val bit_width : t -> int
+(** Width in bits of an integer type.  [I64] values live in native OCaml
+    ints, so its width is {!Support.Word.width} (63), not 64.
+    @raise Invalid_argument on non-integer types. *)
+
+val pointee : t -> t
+(** [pointee (Ptr t)] is [t].
+    @raise Invalid_argument on non-pointer types. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+(** SSA values.
+
+    Every instruction that produces a result defines exactly one value;
+    function parameters are values too.  Values carry a function-unique
+    id (used as the interpreter's register-slot index), their type, and a
+    human-readable name preserved from the source program when one exists
+    — name preservation is one of the properties that make IR-level fault
+    injection attractive (paper §II-C). *)
+
+type t = { id : int; ty : Types.t; name : string }
+
+let v ~id ~ty ~name = { id; ty; name }
+
+let equal a b = a.id = b.id
+
+let compare a b = compare a.id b.id
+
+let pp fmt t =
+  if String.length t.name > 0 then Fmt.pf fmt "%%%s.%d" t.name t.id
+  else Fmt.pf fmt "%%%d" t.id

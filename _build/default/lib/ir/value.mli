@@ -1,0 +1,17 @@
+(** SSA values: the results of instructions and function parameters.
+
+    Values carry a function-unique id (the interpreter's register-slot
+    index), their type, and a human-readable name preserved from the
+    source program — name preservation is one of the properties that make
+    IR-level fault injection attractive (paper §II-C). *)
+
+type t = { id : int; ty : Types.t; name : string }
+
+val v : id:int -> ty:Types.t -> name:string -> t
+
+val equal : t -> t -> bool
+(** Identity is the id; names are cosmetic. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

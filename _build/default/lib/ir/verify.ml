@@ -1,0 +1,289 @@
+(** IR verifier: type-checks every instruction, checks CFG integrity and
+    SSA dominance.  The compiler pipeline runs this after lowering and
+    after every optimization pass, the same role LLVM's verifier plays. *)
+
+type error = { where : string; message : string }
+
+let err where fmt = Fmt.kstr (fun message -> { where; message }) fmt
+
+let pp_error fmt e = Fmt.pf fmt "%s: %s" e.where e.message
+
+(* Definition site of each value: either a parameter or (block, position). *)
+type def_site = Param | At of int * int (* block index, instruction position *)
+
+let check_func prog (f : Func.t) =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let where_block (b : Block.t) = Printf.sprintf "%s/%s" f.fname b.label in
+  (match f.blocks with
+  | [] -> add (err f.fname "function has no blocks")
+  | entry :: _ ->
+    if Block.phis entry <> [] then
+      add (err (where_block entry) "entry block must not contain phi nodes"));
+  match Cfg.of_func f with
+  | exception Invalid_argument msg ->
+    List.rev ({ where = f.fname; message = msg } :: !errors)
+  | cfg ->
+    let defs : (int, def_site) Hashtbl.t = Hashtbl.create 64 in
+    List.iter (fun (p : Value.t) -> Hashtbl.replace defs p.id Param) f.params;
+    (* Collect definitions, flag redefinitions. *)
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        List.iteri
+          (fun pos (i : Instr.t) ->
+            match i.result with
+            | None -> ()
+            | Some v ->
+              if Hashtbl.mem defs v.id then
+                add (err (where_block b) "value %a defined twice" Value.pp v)
+              else Hashtbl.replace defs v.id (At (bi, pos)))
+          b.instrs)
+      cfg.blocks;
+    (* A use at (block ub, position upos) of a def is legal iff the def is a
+       param, or defined earlier in the same block, or in a dominating block. *)
+    let def_visible ~use_block ~use_pos (v : Value.t) =
+      match Hashtbl.find_opt defs v.id with
+      | None -> `Undefined
+      | Some Param -> `Ok
+      | Some (At (db, dpos)) ->
+        if db = use_block then if dpos < use_pos then `Ok else `Later
+        else if Cfg.dominates cfg db use_block then `Ok
+        else `Not_dominating
+    in
+    let check_use b ~use_block ~use_pos op =
+      match Operand.as_value op with
+      | None -> ()
+      | Some v -> (
+        match def_visible ~use_block ~use_pos v with
+        | `Ok -> ()
+        | `Undefined ->
+          add (err (where_block b) "use of undefined value %a" Value.pp v)
+        | `Later | `Not_dominating ->
+          add
+            (err (where_block b) "use of %a does not satisfy dominance" Value.pp
+               v))
+    in
+    let expect_type b what expected actual =
+      if not (Types.equal expected actual) then
+        add
+          (err (where_block b) "%s: expected %a, got %a" what Types.pp expected
+             Types.pp actual)
+    in
+    let check_instr bi (b : Block.t) pos (i : Instr.t) =
+      let open Instr in
+      let result_ty () =
+        match i.result with
+        | Some v -> v.Value.ty
+        | None -> Types.Void
+      in
+      (* Non-phi operand uses must dominate; phi uses are checked against
+         the matching predecessor below. *)
+      (match i.kind with
+      | Phi _ -> ()
+      | _ -> List.iter (check_use b ~use_block:bi ~use_pos:pos) (operands i));
+      match i.kind with
+      | Binop (op, a, bb) ->
+        let ta = Operand.type_of a and tb = Operand.type_of bb in
+        if not (Types.equal ta tb) then
+          add (err (where_block b) "binop operand types differ");
+        if binop_is_float op then begin
+          if not (Types.is_float ta) then
+            add (err (where_block b) "float binop on non-float operands")
+        end
+        else if not (Types.is_integer ta) then
+          add (err (where_block b) "integer binop on non-integer operands");
+        expect_type b "binop result" ta (result_ty ())
+      | Icmp (_, a, bb) ->
+        let ta = Operand.type_of a and tb = Operand.type_of bb in
+        if not (Types.equal ta tb) then
+          add (err (where_block b) "icmp operand types differ");
+        if not (Types.is_integer ta || Types.is_pointer ta) then
+          add (err (where_block b) "icmp on non-integer, non-pointer operands");
+        expect_type b "icmp result" Types.I1 (result_ty ())
+      | Fcmp (_, a, bb) ->
+        if
+          (not (Types.is_float (Operand.type_of a)))
+          || not (Types.is_float (Operand.type_of bb))
+        then add (err (where_block b) "fcmp on non-float operands");
+        expect_type b "fcmp result" Types.I1 (result_ty ())
+      | Cast (c, v, to_) -> (
+        expect_type b "cast result" to_ (result_ty ());
+        let from = Operand.type_of v in
+        let bad reason = add (err (where_block b) "invalid %s: %s" (cast_name c) reason) in
+        match c with
+        | Trunc ->
+          if not (Types.is_integer from && Types.is_integer to_) then
+            bad "operands must be integers"
+          else if Types.bit_width from <= Types.bit_width to_ then
+            bad "source must be wider than destination"
+        | Zext | Sext ->
+          if not (Types.is_integer from && Types.is_integer to_) then
+            bad "operands must be integers"
+          else if Types.bit_width from >= Types.bit_width to_ then
+            bad "source must be narrower than destination"
+        | Fptosi ->
+          if not (Types.is_float from && Types.is_integer to_) then
+            bad "must convert float to integer"
+        | Sitofp ->
+          if not (Types.is_integer from && Types.is_float to_) then
+            bad "must convert integer to float"
+        | Bitcast ->
+          if not (Types.is_pointer from && Types.is_pointer to_) then
+            bad "both types must be pointers"
+        | Ptrtoint ->
+          if not (Types.is_pointer from && Types.equal to_ Types.I64) then
+            bad "must convert pointer to i64"
+        | Inttoptr ->
+          if not (Types.equal from Types.I64 && Types.is_pointer to_) then
+            bad "must convert i64 to pointer")
+      | Alloca ty -> expect_type b "alloca result" (Types.Ptr ty) (result_ty ())
+      | Load p -> (
+        match Operand.type_of p with
+        | Types.Ptr pointee ->
+          if not (Types.is_first_class pointee) then
+            add (err (where_block b) "load of non-first-class type");
+          expect_type b "load result" pointee (result_ty ())
+        | _ -> add (err (where_block b) "load from non-pointer operand"))
+      | Store (v, p) -> (
+        match Operand.type_of p with
+        | Types.Ptr pointee ->
+          expect_type b "store value" pointee (Operand.type_of v)
+        | _ -> add (err (where_block b) "store to non-pointer operand"))
+      | Gep (base, indices) -> (
+        if not (Types.is_pointer (Operand.type_of base)) then
+          add (err (where_block b) "gep base is not a pointer")
+        else
+          match Builder.gep_result_type prog (Operand.type_of base) indices with
+          | ty -> expect_type b "gep result" ty (result_ty ())
+          | exception Invalid_argument msg -> add (err (where_block b) "%s" msg));
+        List.iter
+          (fun idx ->
+            if not (Types.is_integer (Operand.type_of idx)) then
+              add (err (where_block b) "gep index is not an integer"))
+          indices
+      | Phi incoming ->
+        if pos > 0 then begin
+          let prev = List.nth b.instrs (pos - 1) in
+          match prev.kind with
+          | Phi _ -> ()
+          | _ ->
+            add (err (where_block b) "phi does not form a prefix of its block")
+        end;
+        let pred_labels =
+          List.map
+            (fun p -> cfg.blocks.(p).Block.label)
+            (Cfg.predecessors_of cfg bi)
+        in
+        let incoming_labels = List.map snd incoming in
+        List.iter
+          (fun l ->
+            if not (List.mem l incoming_labels) then
+              add
+                (err (where_block b) "phi is missing incoming value for %%%s" l))
+          pred_labels;
+        List.iter
+          (fun (v, l) ->
+            if not (List.mem l pred_labels) then
+              add
+                (err (where_block b) "phi has incoming value for non-pred %%%s" l)
+            else begin
+              expect_type b "phi incoming" (result_ty ()) (Operand.type_of v);
+              (* The use must be visible at the end of the predecessor. *)
+              match Operand.as_value v with
+              | None -> ()
+              | Some value -> (
+                let pred_index = Cfg.block_index cfg l in
+                match Hashtbl.find_opt defs value.id with
+                | None ->
+                  add
+                    (err (where_block b) "phi uses undefined value %a" Value.pp
+                       value)
+                | Some Param -> ()
+                | Some (At (db, _)) ->
+                  if not (db = pred_index || Cfg.dominates cfg db pred_index)
+                  then
+                    add
+                      (err (where_block b)
+                         "phi incoming %a does not dominate predecessor %%%s"
+                         Value.pp value l))
+            end)
+          incoming
+      | Select (c, x, y) ->
+        expect_type b "select condition" Types.I1 (Operand.type_of c);
+        if not (Types.equal (Operand.type_of x) (Operand.type_of y)) then
+          add (err (where_block b) "select arms have different types");
+        expect_type b "select result" (Operand.type_of x) (result_ty ())
+      | Call (callee, args) -> (
+        match Prog.find_func prog callee with
+        | None -> add (err (where_block b) "call to unknown function @%s" callee)
+        | Some target ->
+          let param_tys = List.map (fun (p : Value.t) -> p.ty) target.params in
+          if List.length param_tys <> List.length args then
+            add
+              (err (where_block b) "call to @%s with %d args, expected %d"
+                 callee (List.length args) (List.length param_tys))
+          else
+            List.iter2
+              (fun pty arg ->
+                expect_type b "call argument" pty (Operand.type_of arg))
+              param_tys args;
+          if not (Types.equal target.ret_ty Types.Void) then
+            expect_type b "call result" target.ret_ty (result_ty ()))
+      | Intrinsic (intr, args) -> (
+        let check_args expected =
+          let actual = List.map Operand.type_of args in
+          if
+            List.length actual <> List.length expected
+            || not (List.for_all2 Types.equal expected actual)
+          then
+            add
+              (err (where_block b) "bad arguments to intrinsic %s"
+                 (intrinsic_name intr))
+        in
+        match intr with
+        | Print_i64 -> check_args [ Types.I64 ]
+        | Print_f64 -> check_args [ Types.F64 ]
+        | Print_char -> check_args [ Types.I8 ]
+        | Print_newline -> check_args []
+        | Heap_alloc -> check_args [ Types.I64 ]
+        | Input_i64 -> check_args [ Types.I64 ]
+        | Sqrt | Fabs -> check_args [ Types.F64 ])
+    in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        List.iteri (fun pos i -> check_instr bi b pos i) b.instrs;
+        (* Terminator checks. *)
+        List.iter
+          (check_use b ~use_block:bi ~use_pos:(List.length b.instrs))
+          (Instr.terminator_operands b.term);
+        match b.term with
+        | Instr.Ret None ->
+          if not (Types.equal f.ret_ty Types.Void) then
+            add (err (where_block b) "ret void in non-void function")
+        | Instr.Ret (Some v) ->
+          if not (Types.equal (Operand.type_of v) f.ret_ty) then
+            add (err (where_block b) "ret type mismatch")
+        | Instr.Br _ -> ()
+        | Instr.Cond_br (c, _, _) ->
+          if not (Types.equal (Operand.type_of c) Types.I1) then
+            add (err (where_block b) "conditional branch on non-i1 value"))
+      cfg.blocks;
+    List.rev !errors
+
+let check_prog prog =
+  let global_errors =
+    List.concat_map
+      (fun (g : Prog.global) ->
+        match g.gty with
+        | Types.Void -> [ err g.gname "global of void type" ]
+        | _ -> [])
+      prog.Prog.globals
+  in
+  global_errors @ List.concat_map (check_func prog) prog.Prog.funcs
+
+let check_prog_exn prog =
+  match check_prog prog with
+  | [] -> ()
+  | errors ->
+    let msg = String.concat "\n" (List.map (Fmt.str "%a" pp_error) errors) in
+    invalid_arg ("IR verification failed:\n" ^ msg)

@@ -1,0 +1,13 @@
+(** IR verifier: type-checks every instruction, checks CFG integrity and
+    SSA dominance — the role LLVM's verifier plays.  The compiler
+    pipeline runs it after lowering and after every optimization pass. *)
+
+type error = { where : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_func : Prog.t -> Func.t -> error list
+val check_prog : Prog.t -> error list
+
+val check_prog_exn : Prog.t -> unit
+(** @raise Invalid_argument with all messages when verification fails. *)

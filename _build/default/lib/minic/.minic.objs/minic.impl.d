@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Compile Fmt Ir Lexer List Parser Printf String

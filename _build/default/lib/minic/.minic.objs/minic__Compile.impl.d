@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Char Fmt Hashtbl Ir Lexer List String

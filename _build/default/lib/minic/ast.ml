@@ -1,0 +1,77 @@
+(** Abstract syntax of MiniC. *)
+
+type pos = Lexer.pos
+
+type cty =
+  | Cint            (* 64-bit signed *)
+  | Cchar           (* 8-bit signed *)
+  | Cdouble
+  | Cvoid
+  | Cptr of cty
+  | Cstruct of string
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr
+  | Band | Bor | Bxor
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor  (* short-circuit logical *)
+
+type unop = Uneg | Unot (* ! *) | Ubnot (* ~ *)
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Echar of char
+  | Eident of string
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr        (* a[i] *)
+  | Efield of expr * string      (* s.f  *)
+  | Earrow of expr * string      (* p->f *)
+  | Ederef of expr               (* *p   *)
+  | Eaddr of expr                (* &lv  *)
+  | Ecast of cty * expr
+  | Estring of string            (* only as argument to print_str *)
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of cty * string * int option * expr option
+    (* type, name, array length, initializer *)
+  | Sassign of expr * expr  (* lvalue = expr *)
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type global_init = Ginit_scalar of expr | Ginit_list of expr list
+
+type top =
+  | Tstruct of string * (cty * string) list
+  | Tglobal of cty * string * int option * global_init option
+  | Tfunc of cty * string * (cty * string) list * stmt list
+
+type program = top list
+
+let rec cty_to_string = function
+  | Cint -> "int"
+  | Cchar -> "char"
+  | Cdouble -> "double"
+  | Cvoid -> "void"
+  | Cptr t -> cty_to_string t ^ "*"
+  | Cstruct s -> "struct " ^ s
+
+let rec cty_equal a b =
+  match (a, b) with
+  | Cint, Cint | Cchar, Cchar | Cdouble, Cdouble | Cvoid, Cvoid -> true
+  | Cptr a, Cptr b -> cty_equal a b
+  | Cstruct a, Cstruct b -> String.equal a b
+  | (Cint | Cchar | Cdouble | Cvoid | Cptr _ | Cstruct _), _ -> false

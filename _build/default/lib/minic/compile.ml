@@ -1,0 +1,776 @@
+(** Type checking and lowering of MiniC to the IR.
+
+    The checker and lowerer are fused: expressions are type-checked as
+    they are lowered, C-style.  All locals and parameters are allocated
+    with [alloca] and accessed through loads/stores (clang -O0 shape);
+    the mem2reg pass later promotes scalars to SSA registers, which is
+    what makes phi nodes and register-resident values appear — the same
+    pipeline the paper's benchmarks went through.
+
+    Implicit conversions follow C: char promotes to int in arithmetic,
+    int promotes to double when mixed with double, narrowing int->char is
+    implicit on assignment, but double->int requires an explicit cast.
+    Every implicit conversion materializes as a cast instruction, which
+    is why IR-level cast counts dwarf assembly-level ones (Table IV). *)
+
+open Ast
+
+exception Error of string * Lexer.pos
+
+let err pos fmt = Fmt.kstr (fun msg -> raise (Error (msg, pos))) fmt
+
+let rec ir_type pos = function
+  | Cint -> Ir.Types.I64
+  | Cchar -> Ir.Types.I8
+  | Cdouble -> Ir.Types.F64
+  | Cvoid -> Ir.Types.Void
+  | Cptr t -> Ir.Types.Ptr (ir_type pos t)
+  | Cstruct name -> Ir.Types.Struct name
+
+type binding =
+  | Local of Ir.Operand.t * cty  (* alloca'd pointer to the object *)
+  | Local_array of Ir.Operand.t * cty * int  (* pointer to [n x elt] *)
+  | Global_scalar of string * cty
+  | Global_array of string * cty * int
+
+type fsig = { params : cty list; ret : cty }
+
+type env = {
+  prog : Ir.Prog.t;
+  structs : (string, (cty * string) list) Hashtbl.t;
+  fsigs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string * binding) list list;
+  b : Ir.Builder.t;
+  entry_block : Ir.Block.t;  (* all allocas are hoisted here, clang-style *)
+  ret_ty : cty;
+  mutable terminated : bool;  (* current block already has its terminator *)
+  mutable break_targets : Ir.Block.t list;
+  mutable continue_targets : Ir.Block.t list;
+}
+
+let push_scope env = env.scopes <- [] :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let bind env name binding =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, binding) :: scope) :: rest
+  | [] -> assert false
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some b -> Some b
+      | None -> go rest)
+  in
+  go env.scopes
+
+let struct_field env pos sname fname =
+  match Hashtbl.find_opt env.structs sname with
+  | None -> err pos "unknown struct %s" sname
+  | Some fields -> (
+    let rec find k = function
+      | [] -> err pos "struct %s has no field %s" sname fname
+      | (fty, fn) :: rest -> if String.equal fn fname then (k, fty) else find (k + 1) rest
+    in
+    find 0 fields)
+
+let is_arith = function Cint | Cchar | Cdouble -> true | _ -> false
+let is_intlike = function Cint | Cchar -> true | _ -> false
+
+(* --- implicit conversions --- *)
+
+(* Convert [op] of C type [from] to C type [to_]; emits cast instructions. *)
+let coerce env pos (op, from) to_ =
+  if cty_equal from to_ then op
+  else
+    match (from, to_) with
+    | Cchar, Cint -> Ir.Builder.cast env.b Ir.Instr.Sext op ~to_:Ir.Types.I64
+    | Cint, Cchar -> Ir.Builder.cast env.b Ir.Instr.Trunc op ~to_:Ir.Types.I8
+    | Cint, Cdouble -> Ir.Builder.cast env.b Ir.Instr.Sitofp op ~to_:Ir.Types.F64
+    | Cchar, Cdouble ->
+      let wide = Ir.Builder.cast env.b Ir.Instr.Sext op ~to_:Ir.Types.I64 in
+      Ir.Builder.cast env.b Ir.Instr.Sitofp wide ~to_:Ir.Types.F64
+    | Cdouble, (Cint | Cchar) ->
+      err pos "implicit conversion from double to %s; use an explicit cast"
+        (cty_to_string to_)
+    | Cptr _, Cptr _ ->
+      err pos "implicit conversion between pointer types %s and %s"
+        (cty_to_string from) (cty_to_string to_)
+    | _ ->
+      err pos "cannot convert %s to %s" (cty_to_string from) (cty_to_string to_)
+
+(* Promote both operands of an arithmetic binop to a common type. *)
+let promote env pos (a, ta) (b, tb) =
+  match (ta, tb) with
+  | Cdouble, _ -> (a, coerce env pos (b, tb) Cdouble, Cdouble)
+  | _, Cdouble -> (coerce env pos (a, ta) Cdouble, b, Cdouble)
+  | _ ->
+    ( coerce env pos (a, ta) Cint,
+      coerce env pos (b, tb) Cint,
+      Cint )
+
+(* --- conditions: i1-valued lowering --- *)
+
+(* An i1 is materialized as an int (0/1) only when the surrounding
+   expression needs a value; branches consume the i1 directly. *)
+
+let bool_to_int env op =
+  Ir.Builder.cast env.b Ir.Instr.Zext op ~to_:Ir.Types.I64
+
+let int_to_bool env pos (op, ty) =
+  match ty with
+  | Cint | Cchar ->
+    Ir.Builder.icmp env.b Ir.Instr.Ine op
+      (Ir.Operand.Int (ir_type pos ty, 0))
+  | Cdouble -> Ir.Builder.fcmp env.b Ir.Instr.Fne op (Ir.Operand.f64 0.0)
+  | Cptr t -> Ir.Builder.icmp env.b Ir.Instr.Ine op (Ir.Operand.Null (Ir.Types.Ptr (ir_type pos t)))
+  | Cvoid | Cstruct _ -> err pos "%s is not a condition" (cty_to_string ty)
+
+(* --- lvalues: produce the address and the object's C type --- *)
+
+let rec lower_lvalue env (e : expr) : Ir.Operand.t * cty =
+  match e.desc with
+  | Eident name -> (
+    match lookup env name with
+    | Some (Local (addr, ty)) -> (addr, ty)
+    | Some (Local_array _ | Global_array _) ->
+      err e.pos "array %s is not assignable" name
+    | Some (Global_scalar (gname, ty)) ->
+      (Ir.Operand.Global (gname, Ir.Types.Ptr (ir_type e.pos ty)), ty)
+    | None -> err e.pos "unknown variable %s" name)
+  | Eindex (base, idx) ->
+    let ptr, elem_ty = lower_pointer_base env base in
+    let idx_op, idx_ty = lower_expr env idx in
+    let idx_op = coerce env idx.pos (idx_op, idx_ty) Cint in
+    (Ir.Builder.gep env.b ptr [ idx_op ], elem_ty)
+  | Ederef p -> (
+    let op, ty = lower_expr env p in
+    match ty with
+    | Cptr pointee -> (op, pointee)
+    | _ -> err e.pos "cannot dereference non-pointer %s" (cty_to_string ty))
+  | Efield (base, fname) -> (
+    let addr, ty = lower_lvalue env base in
+    match ty with
+    | Cstruct sname ->
+      let k, fty = struct_field env e.pos sname fname in
+      ( Ir.Builder.gep env.b addr
+          [ Ir.Operand.i64 0; Ir.Operand.Int (Ir.Types.I32, k) ],
+        fty )
+    | _ -> err e.pos "field access on non-struct %s" (cty_to_string ty))
+  | Earrow (base, fname) -> (
+    let op, ty = lower_expr env base in
+    match ty with
+    | Cptr (Cstruct sname) ->
+      let k, fty = struct_field env e.pos sname fname in
+      ( Ir.Builder.gep env.b op
+          [ Ir.Operand.i64 0; Ir.Operand.Int (Ir.Types.I32, k) ],
+        fty )
+    | _ -> err e.pos "-> on non-struct-pointer %s" (cty_to_string ty))
+  | _ -> err e.pos "expression is not an lvalue"
+
+(* Base of an indexing expression: a pointer value plus the element type.
+   Arrays decay to a pointer to their first element. *)
+and lower_pointer_base env (e : expr) : Ir.Operand.t * cty =
+  match e.desc with
+  | Eident name -> (
+    match lookup env name with
+    | Some (Local_array (addr, elem, _)) ->
+      (Ir.Builder.gep env.b addr [ Ir.Operand.i64 0; Ir.Operand.i64 0 ], elem)
+    | Some (Global_array (gname, elem, n)) ->
+      let arr_ty = Ir.Types.Arr (n, ir_type e.pos elem) in
+      ( Ir.Builder.gep env.b
+          (Ir.Operand.Global (gname, Ir.Types.Ptr arr_ty))
+          [ Ir.Operand.i64 0; Ir.Operand.i64 0 ],
+        elem )
+    | Some (Local _ | Global_scalar _) | None -> (
+      let op, ty = lower_expr env e in
+      match ty with
+      | Cptr pointee -> (op, pointee)
+      | _ -> err e.pos "cannot index non-pointer %s" (cty_to_string ty)))
+  | _ -> (
+    let op, ty = lower_expr env e in
+    match ty with
+    | Cptr pointee -> (op, pointee)
+    | _ -> err e.pos "cannot index non-pointer %s" (cty_to_string ty))
+
+(* --- expressions --- *)
+
+and lower_expr env (e : expr) : Ir.Operand.t * cty =
+  match e.desc with
+  | Eint v -> (Ir.Operand.i64 v, Cint)
+  | Efloat v -> (Ir.Operand.f64 v, Cdouble)
+  | Echar c -> (Ir.Operand.i8 (Char.code c), Cchar)
+  | Estring _ -> err e.pos "string literals may only appear in print_str"
+  | Eident name -> (
+    match lookup env name with
+    | Some (Local (addr, ty)) -> (Ir.Builder.load env.b addr, ty)
+    | Some (Local_array (addr, elem, _)) ->
+      (* Decay to pointer-to-first-element. *)
+      ( Ir.Builder.gep env.b addr [ Ir.Operand.i64 0; Ir.Operand.i64 0 ],
+        Cptr elem )
+    | Some (Global_scalar (gname, ty)) ->
+      ( Ir.Builder.load env.b
+          (Ir.Operand.Global (gname, Ir.Types.Ptr (ir_type e.pos ty))),
+        ty )
+    | Some (Global_array (gname, elem, n)) ->
+      let arr_ty = Ir.Types.Arr (n, ir_type e.pos elem) in
+      ( Ir.Builder.gep env.b
+          (Ir.Operand.Global (gname, Ir.Types.Ptr arr_ty))
+          [ Ir.Operand.i64 0; Ir.Operand.i64 0 ],
+        Cptr elem )
+    | None -> err e.pos "unknown variable %s" name)
+  | Ebinop ((Bland | Blor) as op, lhs, rhs) ->
+    (bool_to_int env (lower_short_circuit env op lhs rhs), Cint)
+  | Ebinop ((Blt | Ble | Bgt | Bge | Beq | Bne) as op, lhs, rhs) ->
+    (bool_to_int env (lower_comparison env e.pos op lhs rhs), Cint)
+  | Ebinop (op, lhs, rhs) -> lower_arith env e.pos op lhs rhs
+  | Eunop (Uneg, inner) -> (
+    let op, ty = lower_expr env inner in
+    match ty with
+    | Cdouble ->
+      (Ir.Builder.binop env.b Ir.Instr.Fsub (Ir.Operand.f64 0.0) op, Cdouble)
+    | Cint | Cchar ->
+      let op = coerce env e.pos (op, ty) Cint in
+      (Ir.Builder.binop env.b Ir.Instr.Sub (Ir.Operand.i64 0) op, Cint)
+    | _ -> err e.pos "cannot negate %s" (cty_to_string ty))
+  | Eunop (Unot, inner) ->
+    let cond = lower_cond env inner in
+    let negated =
+      Ir.Builder.binop env.b Ir.Instr.Xor cond (Ir.Operand.i1 true)
+    in
+    (bool_to_int env negated, Cint)
+  | Eunop (Ubnot, inner) ->
+    let op, ty = lower_expr env inner in
+    if not (is_intlike ty) then err e.pos "~ requires an integer";
+    let op = coerce env e.pos (op, ty) Cint in
+    (Ir.Builder.binop env.b Ir.Instr.Xor op (Ir.Operand.i64 (-1)), Cint)
+  | Ederef _ | Eindex _ | Efield _ | Earrow _ -> (
+    let addr, ty = lower_lvalue env e in
+    match ty with
+    | Cstruct _ -> err e.pos "struct values cannot be used directly"
+    | _ -> (Ir.Builder.load env.b addr, ty))
+  | Eaddr inner ->
+    let addr, ty = lower_lvalue env inner in
+    (addr, Cptr ty)
+  | Ecast (to_, inner) -> lower_cast env e.pos to_ inner
+  | Ecall (name, args) -> lower_call env e.pos name args
+
+and lower_arith env pos op lhs rhs =
+  let aop, aty = lower_expr env lhs in
+  let bop, bty = lower_expr env rhs in
+  (* Pointer arithmetic first. *)
+  match (op, aty, bty) with
+  | Badd, Cptr elem, (Cint | Cchar) ->
+    let idx = coerce env pos (bop, bty) Cint in
+    (Ir.Builder.gep env.b aop [ idx ], Cptr elem)
+  | Badd, (Cint | Cchar), Cptr elem ->
+    let idx = coerce env pos (aop, aty) Cint in
+    (Ir.Builder.gep env.b bop [ idx ], Cptr elem)
+  | Bsub, Cptr elem, (Cint | Cchar) ->
+    let idx = coerce env pos (bop, bty) Cint in
+    let neg = Ir.Builder.binop env.b Ir.Instr.Sub (Ir.Operand.i64 0) idx in
+    (Ir.Builder.gep env.b aop [ neg ], Cptr elem)
+  | Bsub, Cptr elem, Cptr elem' when cty_equal elem elem' ->
+    let ai = Ir.Builder.cast env.b Ir.Instr.Ptrtoint aop ~to_:Ir.Types.I64 in
+    let bi = Ir.Builder.cast env.b Ir.Instr.Ptrtoint bop ~to_:Ir.Types.I64 in
+    let diff = Ir.Builder.binop env.b Ir.Instr.Sub ai bi in
+    let size = Ir.Layout.size_of env.prog (ir_type pos elem) in
+    if size = 1 then (diff, Cint)
+    else
+      (Ir.Builder.binop env.b Ir.Instr.Sdiv diff (Ir.Operand.i64 size), Cint)
+  | _ ->
+    if not (is_arith aty && is_arith bty) then
+      err pos "invalid operands to arithmetic: %s and %s" (cty_to_string aty)
+        (cty_to_string bty);
+    let a, b, ty = promote env pos (aop, aty) (bop, bty) in
+    let ir_op =
+      match (op, ty) with
+      | Badd, Cdouble -> Ir.Instr.Fadd
+      | Bsub, Cdouble -> Ir.Instr.Fsub
+      | Bmul, Cdouble -> Ir.Instr.Fmul
+      | Bdiv, Cdouble -> Ir.Instr.Fdiv
+      | Bmod, Cdouble -> err pos "%% is not defined on double"
+      | Badd, _ -> Ir.Instr.Add
+      | Bsub, _ -> Ir.Instr.Sub
+      | Bmul, _ -> Ir.Instr.Mul
+      | Bdiv, _ -> Ir.Instr.Sdiv
+      | Bmod, _ -> Ir.Instr.Srem
+      | Bshl, _ -> Ir.Instr.Shl
+      | Bshr, _ -> Ir.Instr.Ashr
+      | Band, _ -> Ir.Instr.And
+      | Bor, _ -> Ir.Instr.Or
+      | Bxor, _ -> Ir.Instr.Xor
+      | (Blt | Ble | Bgt | Bge | Beq | Bne | Bland | Blor), _ -> assert false
+    in
+    (match (op, ty) with
+    | (Bshl | Bshr | Band | Bor | Bxor | Bmod), Cdouble ->
+      err pos "bitwise operation on double"
+    | _ -> ());
+    (Ir.Builder.binop env.b ir_op a b, ty)
+
+and lower_comparison env pos op lhs rhs =
+  let aop, aty = lower_expr env lhs in
+  let bop, bty = lower_expr env rhs in
+  match (aty, bty) with
+  | Cptr _, Cptr _ ->
+    if not (cty_equal aty bty) then err pos "comparing distinct pointer types";
+    let pred =
+      match op with
+      | Beq -> Ir.Instr.Ieq
+      | Bne -> Ir.Instr.Ine
+      | Blt -> Ir.Instr.Iult
+      | Ble -> Ir.Instr.Iule
+      | Bgt -> Ir.Instr.Iugt
+      | Bge -> Ir.Instr.Iuge
+      | _ -> assert false
+    in
+    Ir.Builder.icmp env.b pred aop bop
+  | _ ->
+    if not (is_arith aty && is_arith bty) then
+      err pos "invalid comparison between %s and %s" (cty_to_string aty)
+        (cty_to_string bty);
+    let a, b, ty = promote env pos (aop, aty) (bop, bty) in
+    if cty_equal ty Cdouble then
+      let pred =
+        match op with
+        | Blt -> Ir.Instr.Flt
+        | Ble -> Ir.Instr.Fle
+        | Bgt -> Ir.Instr.Fgt
+        | Bge -> Ir.Instr.Fge
+        | Beq -> Ir.Instr.Feq
+        | Bne -> Ir.Instr.Fne
+        | _ -> assert false
+      in
+      Ir.Builder.fcmp env.b pred a b
+    else
+      let pred =
+        match op with
+        | Blt -> Ir.Instr.Islt
+        | Ble -> Ir.Instr.Isle
+        | Bgt -> Ir.Instr.Isgt
+        | Bge -> Ir.Instr.Isge
+        | Beq -> Ir.Instr.Ieq
+        | Bne -> Ir.Instr.Ine
+        | _ -> assert false
+      in
+      Ir.Builder.icmp env.b pred a b
+
+(* Short-circuit && / || producing an i1 via control flow and a phi. *)
+and lower_short_circuit env op lhs rhs =
+  let lhs_val = lower_cond env lhs in
+  let lhs_end = Ir.Builder.insertion_block env.b in
+  let rhs_block = Ir.Builder.block env.b "sc.rhs" in
+  let join = Ir.Builder.block env.b "sc.join" in
+  (match op with
+  | Bland -> Ir.Builder.cond_br env.b lhs_val rhs_block join
+  | Blor -> Ir.Builder.cond_br env.b lhs_val join rhs_block
+  | _ -> assert false);
+  Ir.Builder.position_at_end env.b rhs_block;
+  let rhs_val = lower_cond env rhs in
+  let rhs_end = Ir.Builder.insertion_block env.b in
+  Ir.Builder.br env.b join;
+  Ir.Builder.position_at_end env.b join;
+  let short_val = Ir.Operand.i1 (match op with Blor -> true | _ -> false) in
+  Ir.Builder.phi env.b
+    [ (short_val, lhs_end.Ir.Block.label); (rhs_val, rhs_end.Ir.Block.label) ]
+
+(* Lower an expression used as a branch condition, producing an i1. *)
+and lower_cond env (e : expr) : Ir.Operand.t =
+  match e.desc with
+  | Ebinop ((Blt | Ble | Bgt | Bge | Beq | Bne) as op, lhs, rhs) ->
+    lower_comparison env e.pos op lhs rhs
+  | Ebinop ((Bland | Blor) as op, lhs, rhs) -> lower_short_circuit env op lhs rhs
+  | Eunop (Unot, inner) ->
+    let c = lower_cond env inner in
+    Ir.Builder.binop env.b Ir.Instr.Xor c (Ir.Operand.i1 true)
+  | _ ->
+    let op, ty = lower_expr env e in
+    int_to_bool env e.pos (op, ty)
+
+and lower_cast env pos to_ inner =
+  let op, from = lower_expr env inner in
+  if cty_equal from to_ then (op, to_)
+  else
+    let result =
+      match (from, to_) with
+      | Cchar, Cint -> Ir.Builder.cast env.b Ir.Instr.Sext op ~to_:Ir.Types.I64
+      | Cint, Cchar -> Ir.Builder.cast env.b Ir.Instr.Trunc op ~to_:Ir.Types.I8
+      | Cint, Cdouble -> Ir.Builder.cast env.b Ir.Instr.Sitofp op ~to_:Ir.Types.F64
+      | Cchar, Cdouble ->
+        let wide = Ir.Builder.cast env.b Ir.Instr.Sext op ~to_:Ir.Types.I64 in
+        Ir.Builder.cast env.b Ir.Instr.Sitofp wide ~to_:Ir.Types.F64
+      | Cdouble, Cint -> Ir.Builder.cast env.b Ir.Instr.Fptosi op ~to_:Ir.Types.I64
+      | Cdouble, Cchar ->
+        let wide = Ir.Builder.cast env.b Ir.Instr.Fptosi op ~to_:Ir.Types.I64 in
+        Ir.Builder.cast env.b Ir.Instr.Trunc wide ~to_:Ir.Types.I8
+      | Cptr _, Cptr t ->
+        Ir.Builder.cast env.b Ir.Instr.Bitcast op
+          ~to_:(Ir.Types.Ptr (ir_type pos t))
+      | Cptr _, Cint -> Ir.Builder.cast env.b Ir.Instr.Ptrtoint op ~to_:Ir.Types.I64
+      | Cint, Cptr t ->
+        Ir.Builder.cast env.b Ir.Instr.Inttoptr op
+          ~to_:(Ir.Types.Ptr (ir_type pos t))
+      | _ ->
+        err pos "invalid cast from %s to %s" (cty_to_string from)
+          (cty_to_string to_)
+    in
+    (result, to_)
+
+and lower_call env pos name args =
+  (* print_str consumes its string literal syntactically, before the
+     generic argument lowering (string literals are not values). *)
+  if String.equal name "print_str" then begin
+    match args with
+    | [ { desc = Estring s; _ } ] ->
+      String.iter
+        (fun c ->
+          ignore
+            (Ir.Builder.intrinsic env.b Ir.Instr.Print_char
+               [ Ir.Operand.i8 (Char.code c) ]))
+        s;
+      (Ir.Operand.i64 0, Cvoid)
+    | _ -> err pos "print_str takes a string literal"
+  end
+  else
+  let lowered = List.map (fun a -> (a.pos, lower_expr env a)) args in
+  let expect_n n =
+    if List.length lowered <> n then
+      err pos "%s expects %d argument(s), got %d" name n (List.length lowered)
+  in
+  let arg k = List.nth lowered k in
+  match name with
+  | "print_int" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cint in
+    ignore (Ir.Builder.intrinsic env.b Ir.Instr.Print_i64 [ op ]);
+    (Ir.Operand.i64 0, Cvoid)
+  | "print_char" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cchar in
+    ignore (Ir.Builder.intrinsic env.b Ir.Instr.Print_char [ op ]);
+    (Ir.Operand.i64 0, Cvoid)
+  | "print_double" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cdouble in
+    ignore (Ir.Builder.intrinsic env.b Ir.Instr.Print_f64 [ op ]);
+    (Ir.Operand.i64 0, Cvoid)
+  | "print_newline" ->
+    expect_n 0;
+    ignore (Ir.Builder.intrinsic env.b Ir.Instr.Print_newline []);
+    (Ir.Operand.i64 0, Cvoid)
+  | "alloc" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cint in
+    (Ir.Builder.intrinsic env.b Ir.Instr.Heap_alloc [ op ], Cptr Cchar)
+  | "input" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cint in
+    (Ir.Builder.intrinsic env.b Ir.Instr.Input_i64 [ op ], Cint)
+  | "sqrt" | "fabs" ->
+    expect_n 1;
+    let p, (op, ty) = arg 0 in
+    let op = coerce env p (op, ty) Cdouble in
+    let intr = if String.equal name "sqrt" then Ir.Instr.Sqrt else Ir.Instr.Fabs in
+    (Ir.Builder.intrinsic env.b intr [ op ], Cdouble)
+  | _ -> (
+    match Hashtbl.find_opt env.fsigs name with
+    | None -> err pos "unknown function %s" name
+    | Some { params; ret } ->
+      if List.length params <> List.length lowered then
+        err pos "%s expects %d argument(s), got %d" name (List.length params)
+          (List.length lowered);
+      let ops =
+        List.map2 (fun pty (p, (op, ty)) -> coerce env p (op, ty) pty) params
+          lowered
+      in
+      (Ir.Builder.call env.b name ops, ret))
+
+(* --- statements --- *)
+
+let alloca_local env pos ty name =
+  match ty with
+  | Cvoid -> err pos "cannot declare a void variable"
+  | _ ->
+    let addr = Ir.Builder.alloca_in env.b env.entry_block (ir_type pos ty) ~name in
+    bind env name (Local (addr, ty));
+    addr
+
+let rec lower_stmt env (s : stmt) =
+  if env.terminated then () (* dead code after return/break: dropped *)
+  else
+    match s.sdesc with
+    | Sdecl (ty, name, None, init) ->
+      let addr = alloca_local env s.spos ty name in
+      (match init with
+      | Some e ->
+        let op, ety = lower_expr env e in
+        let op = coerce env e.pos (op, ety) ty in
+        Ir.Builder.store env.b op addr
+      | None -> ())
+    | Sdecl (ty, name, Some n, init) ->
+      if init <> None then err s.spos "array declarations cannot have initializers";
+      if n <= 0 then err s.spos "array length must be positive";
+      let addr =
+        Ir.Builder.alloca_in env.b env.entry_block
+          (Ir.Types.Arr (n, ir_type s.spos ty))
+          ~name
+      in
+      bind env name (Local_array (addr, ty, n))
+    | Sassign (lhs, rhs) ->
+      let rop, rty = lower_expr env rhs in
+      let addr, lty = lower_lvalue env lhs in
+      let rop =
+        match (lty, rty) with
+        | Cptr _, Cptr _ when cty_equal lty rty -> rop
+        | _ -> coerce env rhs.pos (rop, rty) lty
+      in
+      Ir.Builder.store env.b rop addr
+    | Sexpr e -> ignore (lower_expr env e)
+    | Sif (cond, then_, else_) -> lower_if env cond then_ else_
+    | Swhile (cond, body) -> lower_while env cond body
+    | Sfor (init, cond, step, body) -> lower_for env init cond step body
+    | Sreturn v ->
+      (match (v, env.ret_ty) with
+      | None, Cvoid -> Ir.Builder.ret env.b None
+      | None, _ -> err s.spos "return without a value in a non-void function"
+      | Some _, Cvoid -> err s.spos "return with a value in a void function"
+      | Some e, ret ->
+        let op, ty = lower_expr env e in
+        let op = coerce env e.pos (op, ty) ret in
+        Ir.Builder.ret env.b (Some op));
+      env.terminated <- true
+    | Sbreak -> (
+      match env.break_targets with
+      | target :: _ ->
+        Ir.Builder.br env.b target;
+        env.terminated <- true
+      | [] -> err s.spos "break outside a loop")
+    | Scontinue -> (
+      match env.continue_targets with
+      | target :: _ ->
+        Ir.Builder.br env.b target;
+        env.terminated <- true
+      | [] -> err s.spos "continue outside a loop")
+    | Sblock body ->
+      push_scope env;
+      List.iter (lower_stmt env) body;
+      pop_scope env
+
+and lower_body env body =
+  push_scope env;
+  List.iter (lower_stmt env) body;
+  pop_scope env
+
+and lower_if env cond then_ else_ =
+  let c = lower_cond env cond in
+  let then_block = Ir.Builder.block env.b "if.then" in
+  let else_block = Ir.Builder.block env.b "if.else" in
+  let join = Ir.Builder.block env.b "if.end" in
+  Ir.Builder.cond_br env.b c then_block else_block;
+  Ir.Builder.position_at_end env.b then_block;
+  env.terminated <- false;
+  lower_body env then_;
+  if not env.terminated then Ir.Builder.br env.b join;
+  Ir.Builder.position_at_end env.b else_block;
+  env.terminated <- false;
+  lower_body env else_;
+  if not env.terminated then Ir.Builder.br env.b join;
+  Ir.Builder.position_at_end env.b join;
+  env.terminated <- false
+
+and lower_while env cond body =
+  let header = Ir.Builder.block env.b "while.cond" in
+  let body_block = Ir.Builder.block env.b "while.body" in
+  let exit_block = Ir.Builder.block env.b "while.end" in
+  Ir.Builder.br env.b header;
+  Ir.Builder.position_at_end env.b header;
+  env.terminated <- false;
+  let c = lower_cond env cond in
+  Ir.Builder.cond_br env.b c body_block exit_block;
+  Ir.Builder.position_at_end env.b body_block;
+  env.terminated <- false;
+  env.break_targets <- exit_block :: env.break_targets;
+  env.continue_targets <- header :: env.continue_targets;
+  lower_body env body;
+  env.break_targets <- List.tl env.break_targets;
+  env.continue_targets <- List.tl env.continue_targets;
+  if not env.terminated then Ir.Builder.br env.b header;
+  Ir.Builder.position_at_end env.b exit_block;
+  env.terminated <- false
+
+and lower_for env init cond step body =
+  push_scope env;
+  (match init with Some s -> lower_stmt env s | None -> ());
+  let header = Ir.Builder.block env.b "for.cond" in
+  let body_block = Ir.Builder.block env.b "for.body" in
+  let step_block = Ir.Builder.block env.b "for.step" in
+  let exit_block = Ir.Builder.block env.b "for.end" in
+  Ir.Builder.br env.b header;
+  Ir.Builder.position_at_end env.b header;
+  env.terminated <- false;
+  (match cond with
+  | Some c ->
+    let cv = lower_cond env c in
+    Ir.Builder.cond_br env.b cv body_block exit_block
+  | None -> Ir.Builder.br env.b body_block);
+  Ir.Builder.position_at_end env.b body_block;
+  env.terminated <- false;
+  env.break_targets <- exit_block :: env.break_targets;
+  env.continue_targets <- step_block :: env.continue_targets;
+  lower_body env body;
+  env.break_targets <- List.tl env.break_targets;
+  env.continue_targets <- List.tl env.continue_targets;
+  if not env.terminated then Ir.Builder.br env.b step_block;
+  Ir.Builder.position_at_end env.b step_block;
+  env.terminated <- false;
+  (match step with Some s -> lower_stmt env s | None -> ());
+  Ir.Builder.br env.b header;
+  Ir.Builder.position_at_end env.b exit_block;
+  env.terminated <- false
+
+(* --- top level --- *)
+
+let lower_global prog pos ty name array_len init =
+  let scalar_value (e : expr) =
+    match e.desc with
+    | Eint v -> `Int v
+    | Echar c -> `Int (Char.code c)
+    | Efloat v -> `Float v
+    | _ -> err e.pos "global initializer must be a constant literal"
+  in
+  let gty, ginit, binding =
+    match array_len with
+    | None -> (
+      let gty = ir_type pos ty in
+      match init with
+      | None -> (gty, Ir.Prog.Zero, Global_scalar (name, ty))
+      | Some (Ginit_scalar e) -> (
+        match (scalar_value e, ty) with
+        | `Int v, (Cint | Cchar) ->
+          (gty, Ir.Prog.Ints [ v ], Global_scalar (name, ty))
+        | `Int v, Cdouble ->
+          (gty, Ir.Prog.Floats [ float_of_int v ], Global_scalar (name, ty))
+        | `Float v, Cdouble -> (gty, Ir.Prog.Floats [ v ], Global_scalar (name, ty))
+        | `Float _, _ -> err pos "float initializer on integer global"
+        | `Int _, _ -> err pos "initializer on non-scalar global")
+      | Some (Ginit_list _) -> err pos "brace initializer on scalar global")
+    | Some n -> (
+      if n <= 0 then err pos "array length must be positive";
+      let elem = ir_type pos ty in
+      let gty = Ir.Types.Arr (n, elem) in
+      match init with
+      | None -> (gty, Ir.Prog.Zero, Global_array (name, ty, n))
+      | Some (Ginit_list es) ->
+        if List.length es > n then err pos "too many initializers";
+        let values = List.map scalar_value es in
+        let ginit =
+          match ty with
+          | Cdouble ->
+            Ir.Prog.Floats
+              (List.map
+                 (function `Float v -> v | `Int v -> float_of_int v)
+                 values)
+          | Cint | Cchar ->
+            Ir.Prog.Ints
+              (List.map
+                 (function
+                   | `Int v -> v
+                   | `Float _ -> err pos "float initializer on integer array")
+                 values)
+          | _ -> err pos "array of unsupported element type"
+        in
+        (gty, ginit, Global_array (name, ty, n))
+      | Some (Ginit_scalar _) -> err pos "array initializer must use braces")
+  in
+  Ir.Prog.add_global prog { Ir.Prog.gname = name; gty; ginit };
+  binding
+
+let dummy_pos = { Lexer.line = 0; col = 0 }
+
+let lower_program (tops : program) : Ir.Prog.t =
+  let prog = Ir.Prog.create () in
+  let structs = Hashtbl.create 8 in
+  let fsigs = Hashtbl.create 16 in
+  (* Pass 1: struct definitions (order matters for nested layout). *)
+  List.iter
+    (function
+      | Tstruct (name, fields) ->
+        if Hashtbl.mem structs name then
+          err dummy_pos "duplicate struct %s" name;
+        Hashtbl.replace structs name fields;
+        Ir.Prog.define_struct prog name
+          (List.map (fun (fty, _) -> ir_type dummy_pos fty) fields)
+      | Tglobal _ | Tfunc _ -> ())
+    tops;
+  (* Pass 2: globals and function shells (so calls resolve in any order). *)
+  let global_bindings = ref [] in
+  let builders = ref [] in
+  List.iter
+    (function
+      | Tstruct _ -> ()
+      | Tglobal (ty, name, array_len, init) ->
+        let binding = lower_global prog dummy_pos ty name array_len init in
+        global_bindings := (name, binding) :: !global_bindings
+      | Tfunc (ret, name, params, body) ->
+        if Hashtbl.mem fsigs name then err dummy_pos "duplicate function %s" name;
+        Hashtbl.replace fsigs name { params = List.map fst params; ret };
+        let b, args =
+          Ir.Builder.start_function prog ~name
+            ~params:
+              (List.map (fun (pty, pname) -> (pname, ir_type dummy_pos pty)) params)
+            ~ret_ty:(ir_type dummy_pos ret)
+        in
+        builders := (b, args, ret, params, body) :: !builders)
+    tops;
+  (* Pass 3: function bodies. *)
+  List.iter
+    (fun (b, args, ret, params, body) ->
+      let entry = Ir.Builder.block b "entry" in
+      Ir.Builder.position_at_end b entry;
+      let env =
+        {
+          prog;
+          structs;
+          fsigs;
+          scopes = [ !global_bindings ];
+          b;
+          entry_block = entry;
+          ret_ty = ret;
+          terminated = false;
+          break_targets = [];
+          continue_targets = [];
+        }
+      in
+      push_scope env;
+      (* Spill parameters to allocas, C-style. *)
+      List.iter2
+        (fun (pty, pname) arg ->
+          let addr = alloca_local env dummy_pos pty pname in
+          Ir.Builder.store b arg addr)
+        params args;
+      List.iter (lower_stmt env) body;
+      if not env.terminated then begin
+        match ret with
+        | Cvoid -> Ir.Builder.ret b None
+        | Cint | Cchar ->
+          Ir.Builder.ret b (Some (Ir.Operand.Int (ir_type dummy_pos ret, 0)))
+        | Cdouble -> Ir.Builder.ret b (Some (Ir.Operand.f64 0.0))
+        | Cptr t ->
+          Ir.Builder.ret b (Some (Ir.Operand.Null (Ir.Types.Ptr (ir_type dummy_pos t))))
+        | Cstruct _ -> err dummy_pos "functions cannot return structs"
+      end)
+    (List.rev !builders);
+  if Ir.Prog.find_func prog "main" = None then
+    err dummy_pos "program has no main function";
+  prog

@@ -1,0 +1,12 @@
+(** Type checking and lowering of MiniC to the IR (fused, C-style).
+
+    All locals and parameters are alloca'd in the entry block and
+    accessed through loads/stores (clang -O0 shape); mem2reg later
+    promotes scalars to SSA.  Implicit conversions follow C and
+    materialize as cast instructions — the reason IR-level cast counts
+    dwarf assembly-level ones (paper Table IV). *)
+
+exception Error of string * Lexer.pos
+
+val lower_program : Ast.program -> Ir.Prog.t
+(** @raise Error on type errors. *)

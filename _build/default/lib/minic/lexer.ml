@@ -1,0 +1,271 @@
+(** Lexer for MiniC, the miniature C-like source language the benchmark
+    programs are written in. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_DOUBLE | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { tok : token; pos : pos }
+
+exception Error of string * pos
+
+let error pos fmt = Fmt.kstr (fun msg -> raise (Error (msg, pos))) fmt
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "double" -> Some KW_DOUBLE
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let token_to_string = function
+  | INT_LIT v -> string_of_int v
+  | FLOAT_LIT v -> string_of_float v
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_CHAR -> "char" | KW_DOUBLE -> "double"
+  | KW_VOID -> "void" | KW_STRUCT -> "struct" | KW_IF -> "if"
+  | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | ARROW -> "->" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | SLASH -> "/" | PERCENT -> "%" | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+  | TILDE -> "~" | BANG -> "!" | SHL -> "<<" | SHR -> ">>" | LT -> "<"
+  | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | ASSIGN -> "=" | EOF -> "<eof>"
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let current_pos st = { line = st.line; col = st.offset - st.bol + 1 }
+
+let peek_char st =
+  if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek_char2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.offset + 1
+  | _ -> ());
+  st.offset <- st.offset + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek_char2 st = Some '/' ->
+    let rec to_eol () =
+      match peek_char st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek_char2 st = Some '*' ->
+    let pos = current_pos st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek_char st, peek_char2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error pos "unterminated block comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let pos = current_pos st in
+  let start = st.offset in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek_char st, peek_char2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek_char st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (match peek_char st with
+    | Some ('e' | 'E') ->
+      advance st;
+      (match peek_char st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    let text = String.sub st.src start (st.offset - start) in
+    { tok = FLOAT_LIT (float_of_string text); pos }
+  end
+  else
+    let text = String.sub st.src start (st.offset - start) in
+    match int_of_string_opt text with
+    | Some v -> { tok = INT_LIT v; pos }
+    | None -> error pos "integer literal out of range: %s" text
+
+let lex_escape st pos =
+  match peek_char st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error pos "unknown escape sequence \\%c" c
+  | None -> error pos "unterminated escape sequence"
+
+let lex_char st =
+  let pos = current_pos st in
+  advance st;
+  let c =
+    match peek_char st with
+    | Some '\\' ->
+      advance st;
+      lex_escape st pos
+    | Some c ->
+      advance st;
+      c
+    | None -> error pos "unterminated character literal"
+  in
+  (match peek_char st with
+  | Some '\'' -> advance st
+  | _ -> error pos "unterminated character literal");
+  { tok = CHAR_LIT c; pos }
+
+let lex_string st =
+  let pos = current_pos st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escape st pos);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | None -> error pos "unterminated string literal"
+  in
+  go ();
+  { tok = STRING_LIT (Buffer.contents buf); pos }
+
+let lex_ident st =
+  let pos = current_pos st in
+  let start = st.offset in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.offset - start) in
+  match keyword_of_string text with
+  | Some kw -> { tok = kw; pos }
+  | None -> { tok = IDENT text; pos }
+
+let next_token st =
+  skip_trivia st;
+  let pos = current_pos st in
+  let one tok = advance st; { tok; pos } in
+  let two tok = advance st; advance st; { tok; pos } in
+  match peek_char st with
+  | None -> { tok = EOF; pos }
+  | Some c -> (
+    match c with
+    | '0' .. '9' -> lex_number st
+    | '\'' -> lex_char st
+    | '"' -> lex_string st
+    | c when is_ident_start c -> lex_ident st
+    | '(' -> one LPAREN
+    | ')' -> one RPAREN
+    | '{' -> one LBRACE
+    | '}' -> one RBRACE
+    | '[' -> one LBRACKET
+    | ']' -> one RBRACKET
+    | ';' -> one SEMI
+    | ',' -> one COMMA
+    | '.' -> one DOT
+    | '+' -> one PLUS
+    | '-' -> if peek_char2 st = Some '>' then two ARROW else one MINUS
+    | '*' -> one STAR
+    | '/' -> one SLASH
+    | '%' -> one PERCENT
+    | '~' -> one TILDE
+    | '^' -> one CARET
+    | '&' -> if peek_char2 st = Some '&' then two ANDAND else one AMP
+    | '|' -> if peek_char2 st = Some '|' then two OROR else one PIPE
+    | '<' ->
+      if peek_char2 st = Some '<' then two SHL
+      else if peek_char2 st = Some '=' then two LE
+      else one LT
+    | '>' ->
+      if peek_char2 st = Some '>' then two SHR
+      else if peek_char2 st = Some '=' then two GE
+      else one GT
+    | '=' -> if peek_char2 st = Some '=' then two EQEQ else one ASSIGN
+    | '!' -> if peek_char2 st = Some '=' then two NEQ else one BANG
+    | c -> error pos "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.tok with
+    | EOF -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,33 @@
+(** Lexer for MiniC, the miniature C-like source language the benchmark
+    programs are written in. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_DOUBLE | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { tok : token; pos : pos }
+
+exception Error of string * pos
+
+val token_to_string : token -> string
+
+val tokenize : string -> located list
+(** The whole token stream, ending with [EOF].  Line ("//") and block
+    comments are skipped.
+    @raise Error on malformed input. *)

@@ -1,0 +1,35 @@
+(** MiniC: the miniature C-like source language of the benchmark programs.
+
+    This is the library's interface module; it re-exports the pipeline
+    stages and provides the one-call driver {!compile}. *)
+
+module Lexer = Lexer
+module Ast = Ast
+module Parser = Parser
+module Frontend = Compile
+
+exception Compile_error of string
+
+let frontend_error kind msg (pos : Lexer.pos) =
+  raise
+    (Compile_error (Printf.sprintf "%s error at %d:%d: %s" kind pos.line pos.col msg))
+
+(** [compile src] parses, type-checks and lowers [src], then runs the IR
+    verifier on the result.  Raises {!Compile_error} with a located
+    message on any front-end failure. *)
+let compile src =
+  match Parser.parse_program src with
+  | exception Lexer.Error (msg, pos) -> frontend_error "lex" msg pos
+  | exception Parser.Error (msg, pos) -> frontend_error "parse" msg pos
+  | ast -> (
+    match Compile.lower_program ast with
+    | exception Compile.Error (msg, pos) -> frontend_error "type" msg pos
+    | prog -> (
+      match Ir.Verify.check_prog prog with
+      | [] -> prog
+      | errors ->
+        raise
+          (Compile_error
+             ("lowering produced invalid IR (frontend bug):\n"
+             ^ String.concat "\n"
+                 (List.map (Fmt.str "%a" Ir.Verify.pp_error) errors)))))

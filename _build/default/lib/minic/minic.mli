@@ -1,0 +1,16 @@
+(** MiniC: the miniature C-like source language of the benchmark
+    programs.  This is the library's interface module; the pipeline
+    stages are re-exported for tests and tooling. *)
+
+module Lexer = Lexer
+module Ast = Ast
+module Parser = Parser
+module Frontend = Compile
+
+exception Compile_error of string
+
+val compile : string -> Ir.Prog.t
+(** Parse, type-check and lower the source, then run the IR verifier on
+    the result.
+    @raise Compile_error with a located message on any front-end
+    failure. *)

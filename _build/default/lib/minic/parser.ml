@@ -1,0 +1,560 @@
+(** Recursive-descent parser for MiniC. *)
+
+open Ast
+
+exception Error of string * Lexer.pos
+
+type state = { toks : Lexer.located array; mutable cursor : int }
+
+let error st fmt =
+  let pos = st.toks.(st.cursor).Lexer.pos in
+  Fmt.kstr (fun msg -> raise (Error (msg, pos))) fmt
+
+let peek st = st.toks.(st.cursor).Lexer.tok
+let peek2 st =
+  if st.cursor + 1 < Array.length st.toks then st.toks.(st.cursor + 1).Lexer.tok
+  else Lexer.EOF
+
+let pos st = st.toks.(st.cursor).Lexer.pos
+
+let advance st =
+  if st.cursor < Array.length st.toks - 1 then st.cursor <- st.cursor + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected %s but found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string (peek st))
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | t -> error st "expected identifier but found %s" (Lexer.token_to_string t)
+
+(* --- types --- *)
+
+let starts_type st =
+  match peek st with
+  | Lexer.KW_INT | Lexer.KW_CHAR | Lexer.KW_DOUBLE | Lexer.KW_VOID
+  | Lexer.KW_STRUCT ->
+    true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Lexer.KW_INT -> advance st; Cint
+  | Lexer.KW_CHAR -> advance st; Cchar
+  | Lexer.KW_DOUBLE -> advance st; Cdouble
+  | Lexer.KW_VOID -> advance st; Cvoid
+  | Lexer.KW_STRUCT ->
+    advance st;
+    Cstruct (eat_ident st)
+  | t -> error st "expected a type but found %s" (Lexer.token_to_string t)
+
+let parse_type st =
+  let base = parse_base_type st in
+  let rec stars ty =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      stars (Cptr ty)
+    end
+    else ty
+  in
+  stars base
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_logical_or st
+
+and parse_logical_or st =
+  let rec go lhs =
+    if peek st = Lexer.OROR then begin
+      let p = pos st in
+      advance st;
+      let rhs = parse_logical_and st in
+      go { desc = Ebinop (Blor, lhs, rhs); pos = p }
+    end
+    else lhs
+  in
+  go (parse_logical_and st)
+
+and parse_logical_and st =
+  let rec go lhs =
+    if peek st = Lexer.ANDAND then begin
+      let p = pos st in
+      advance st;
+      let rhs = parse_bitor st in
+      go { desc = Ebinop (Bland, lhs, rhs); pos = p }
+    end
+    else lhs
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go lhs =
+    if peek st = Lexer.PIPE then begin
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (Bor, lhs, parse_bitxor st); pos = p }
+    end
+    else lhs
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go lhs =
+    if peek st = Lexer.CARET then begin
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (Bxor, lhs, parse_bitand st); pos = p }
+    end
+    else lhs
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go lhs =
+    if peek st = Lexer.AMP then begin
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (Band, lhs, parse_equality st); pos = p }
+    end
+    else lhs
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.EQEQ ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (Beq, lhs, parse_relational st); pos = p }
+    | Lexer.NEQ ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (Bne, lhs, parse_relational st); pos = p }
+    | _ -> lhs
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | Lexer.LT -> Some Blt
+      | Lexer.LE -> Some Ble
+      | Lexer.GT -> Some Bgt
+      | Lexer.GE -> Some Bge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (op, lhs, parse_shift st); pos = p }
+    | None -> lhs
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | Lexer.SHL -> Some Bshl
+      | Lexer.SHR -> Some Bshr
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (op, lhs, parse_additive st); pos = p }
+    | None -> lhs
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | Lexer.PLUS -> Some Badd
+      | Lexer.MINUS -> Some Bsub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (op, lhs, parse_multiplicative st); pos = p }
+    | None -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | Lexer.STAR -> Some Bmul
+      | Lexer.SLASH -> Some Bdiv
+      | Lexer.PERCENT -> Some Bmod
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = pos st in
+      advance st;
+      go { desc = Ebinop (op, lhs, parse_unary st); pos = p }
+    | None -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let p = pos st in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    { desc = Eunop (Uneg, parse_unary st); pos = p }
+  | Lexer.BANG ->
+    advance st;
+    { desc = Eunop (Unot, parse_unary st); pos = p }
+  | Lexer.TILDE ->
+    advance st;
+    { desc = Eunop (Ubnot, parse_unary st); pos = p }
+  | Lexer.STAR ->
+    advance st;
+    { desc = Ederef (parse_unary st); pos = p }
+  | Lexer.AMP ->
+    advance st;
+    { desc = Eaddr (parse_unary st); pos = p }
+  | Lexer.LPAREN
+    when (match peek2 st with
+         | Lexer.KW_INT | Lexer.KW_CHAR | Lexer.KW_DOUBLE | Lexer.KW_VOID
+         | Lexer.KW_STRUCT ->
+           true
+         | _ -> false) ->
+    advance st;
+    let ty = parse_type st in
+    eat st Lexer.RPAREN;
+    { desc = Ecast (ty, parse_unary st); pos = p }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Lexer.LBRACKET ->
+      let p = pos st in
+      advance st;
+      let idx = parse_expr st in
+      eat st Lexer.RBRACKET;
+      go { desc = Eindex (e, idx); pos = p }
+    | Lexer.DOT ->
+      let p = pos st in
+      advance st;
+      go { desc = Efield (e, eat_ident st); pos = p }
+    | Lexer.ARROW ->
+      let p = pos st in
+      advance st;
+      go { desc = Earrow (e, eat_ident st); pos = p }
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | Lexer.INT_LIT v ->
+    advance st;
+    { desc = Eint v; pos = p }
+  | Lexer.FLOAT_LIT v ->
+    advance st;
+    { desc = Efloat v; pos = p }
+  | Lexer.CHAR_LIT c ->
+    advance st;
+    { desc = Echar c; pos = p }
+  | Lexer.STRING_LIT s ->
+    advance st;
+    { desc = Estring s; pos = p }
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Lexer.RPAREN then []
+        else
+          let rec go acc =
+            let arg = parse_expr st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              go (arg :: acc)
+            end
+            else List.rev (arg :: acc)
+          in
+          go []
+      in
+      eat st Lexer.RPAREN;
+      { desc = Ecall (name, args); pos = p }
+    end
+    else { desc = Eident name; pos = p }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    eat st Lexer.RPAREN;
+    e
+  | t -> error st "expected an expression but found %s" (Lexer.token_to_string t)
+
+(* --- statements --- *)
+
+let rec parse_stmt st =
+  let p = pos st in
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let body = parse_stmts_until_rbrace st in
+    { sdesc = Sblock body; spos = p }
+  | Lexer.KW_IF ->
+    advance st;
+    eat st Lexer.LPAREN;
+    let cond = parse_expr st in
+    eat st Lexer.RPAREN;
+    let then_ = parse_stmt_as_block st in
+    let else_ =
+      if peek st = Lexer.KW_ELSE then begin
+        advance st;
+        parse_stmt_as_block st
+      end
+      else []
+    in
+    { sdesc = Sif (cond, then_, else_); spos = p }
+  | Lexer.KW_WHILE ->
+    advance st;
+    eat st Lexer.LPAREN;
+    let cond = parse_expr st in
+    eat st Lexer.RPAREN;
+    { sdesc = Swhile (cond, parse_stmt_as_block st); spos = p }
+  | Lexer.KW_FOR ->
+    advance st;
+    eat st Lexer.LPAREN;
+    let init =
+      if peek st = Lexer.SEMI then None else Some (parse_simple_stmt st)
+    in
+    eat st Lexer.SEMI;
+    let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    eat st Lexer.SEMI;
+    let step =
+      if peek st = Lexer.RPAREN then None else Some (parse_simple_stmt st)
+    in
+    eat st Lexer.RPAREN;
+    { sdesc = Sfor (init, cond, step, parse_stmt_as_block st); spos = p }
+  | Lexer.KW_RETURN ->
+    advance st;
+    let v = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    eat st Lexer.SEMI;
+    { sdesc = Sreturn v; spos = p }
+  | Lexer.KW_BREAK ->
+    advance st;
+    eat st Lexer.SEMI;
+    { sdesc = Sbreak; spos = p }
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    eat st Lexer.SEMI;
+    { sdesc = Scontinue; spos = p }
+  | _ when starts_type st ->
+    let decl = parse_decl st in
+    eat st Lexer.SEMI;
+    decl
+  | _ ->
+    let s = parse_simple_stmt st in
+    eat st Lexer.SEMI;
+    s
+
+(* assignment or expression statement, without the trailing semicolon
+   (shared by for-headers and plain statements) *)
+and parse_simple_stmt st =
+  let p = pos st in
+  if starts_type st then parse_decl st
+  else
+    let lhs = parse_expr st in
+    if peek st = Lexer.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr st in
+      { sdesc = Sassign (lhs, rhs); spos = p }
+    end
+    else { sdesc = Sexpr lhs; spos = p }
+
+and parse_decl st =
+  let p = pos st in
+  let ty = parse_type st in
+  let name = eat_ident st in
+  let array_len =
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      let len =
+        match peek st with
+        | Lexer.INT_LIT v ->
+          advance st;
+          v
+        | t -> error st "expected array length, found %s" (Lexer.token_to_string t)
+      in
+      eat st Lexer.RBRACKET;
+      Some len
+    end
+    else None
+  in
+  let init =
+    if peek st = Lexer.ASSIGN then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  { sdesc = Sdecl (ty, name, array_len, init); spos = p }
+
+and parse_stmt_as_block st =
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    parse_stmts_until_rbrace st
+  | _ -> [ parse_stmt st ]
+
+and parse_stmts_until_rbrace st =
+  let rec go acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- top level --- *)
+
+let parse_const_scalar st =
+  (* Global initializers: literals with optional leading minus. *)
+  let p = pos st in
+  let negate e =
+    match e.desc with
+    | Eint v -> { desc = Eint (-v); pos = p }
+    | Efloat v -> { desc = Efloat (-.v); pos = p }
+    | _ -> error st "global initializer must be a literal"
+  in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    (match peek st with
+    | Lexer.INT_LIT v ->
+      advance st;
+      negate { desc = Eint v; pos = p }
+    | Lexer.FLOAT_LIT v ->
+      advance st;
+      negate { desc = Efloat v; pos = p }
+    | t -> error st "expected literal after '-', found %s" (Lexer.token_to_string t))
+  | Lexer.INT_LIT v ->
+    advance st;
+    { desc = Eint v; pos = p }
+  | Lexer.FLOAT_LIT v ->
+    advance st;
+    { desc = Efloat v; pos = p }
+  | Lexer.CHAR_LIT c ->
+    advance st;
+    { desc = Echar c; pos = p }
+  | t -> error st "expected constant initializer, found %s" (Lexer.token_to_string t)
+
+let parse_top st =
+  match peek st with
+  | Lexer.KW_STRUCT when peek2 st <> Lexer.EOF && (match st.toks.(st.cursor + 2).Lexer.tok with Lexer.LBRACE -> true | _ -> false) ->
+    advance st;
+    let name = eat_ident st in
+    eat st Lexer.LBRACE;
+    let rec fields acc =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let fty = parse_type st in
+        let fname = eat_ident st in
+        eat st Lexer.SEMI;
+        fields ((fty, fname) :: acc)
+      end
+    in
+    let fs = fields [] in
+    eat st Lexer.SEMI;
+    Tstruct (name, fs)
+  | _ -> (
+    let ty = parse_type st in
+    let name = eat_ident st in
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let params =
+        if peek st = Lexer.RPAREN then []
+        else
+          let rec go acc =
+            let pty = parse_type st in
+            let pname = eat_ident st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              go ((pty, pname) :: acc)
+            end
+            else List.rev ((pty, pname) :: acc)
+          in
+          go []
+      in
+      eat st Lexer.RPAREN;
+      eat st Lexer.LBRACE;
+      let body = parse_stmts_until_rbrace st in
+      Tfunc (ty, name, params, body)
+    | _ ->
+      let array_len =
+        if peek st = Lexer.LBRACKET then begin
+          advance st;
+          let len =
+            match peek st with
+            | Lexer.INT_LIT v ->
+              advance st;
+              v
+            | t ->
+              error st "expected array length, found %s" (Lexer.token_to_string t)
+          in
+          eat st Lexer.RBRACKET;
+          Some len
+        end
+        else None
+      in
+      let init =
+        if peek st = Lexer.ASSIGN then
+          if peek2 st = Lexer.EOF then error st "unterminated initializer"
+          else begin
+            advance st;
+            if peek st = Lexer.LBRACE then begin
+              advance st;
+              let rec go acc =
+                let e = parse_const_scalar st in
+                if peek st = Lexer.COMMA then begin
+                  advance st;
+                  go (e :: acc)
+                end
+                else begin
+                  eat st Lexer.RBRACE;
+                  List.rev (e :: acc)
+                end
+              in
+              Some (Ginit_list (go []))
+            end
+            else Some (Ginit_scalar (parse_const_scalar st))
+          end
+        else None
+      in
+      eat st Lexer.SEMI;
+      Tglobal (ty, name, array_len, init))
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cursor = 0 } in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc else go (parse_top st :: acc)
+  in
+  go []

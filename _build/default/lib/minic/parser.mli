@@ -1,0 +1,6 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Error of string * Lexer.pos
+
+val parse_program : string -> Ast.program
+(** @raise Error on syntax errors, {!Lexer.Error} on lexical ones. *)

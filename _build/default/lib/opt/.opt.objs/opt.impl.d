@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Constfold Cse Dce Inline Ir Mem2reg Minic Simplify

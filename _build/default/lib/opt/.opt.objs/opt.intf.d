@@ -1,0 +1,1 @@
+lib/opt/opt.mli: Constfold Cse Dce Inline Ir Mem2reg Simplify

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Bool Hashtbl Ir List Simplify Support Word

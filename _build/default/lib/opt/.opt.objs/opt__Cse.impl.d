@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Hashtbl Int64 Ir List Printf Simplify

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Hashtbl Ir List Option Printf String

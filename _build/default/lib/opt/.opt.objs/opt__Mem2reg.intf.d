@@ -1,0 +1,1 @@
+lib/opt/mem2reg.mli: Ir

@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Array Hashtbl Ir List Option String

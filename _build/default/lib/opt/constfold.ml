@@ -1,0 +1,139 @@
+(** Constant folding: evaluate instructions whose operands are all
+    constants, using exactly the arithmetic the interpreter uses (so the
+    fold can never change program behaviour).  Division by a constant
+    zero is deliberately NOT folded — it must still trap at runtime. *)
+
+open Support
+
+let fold_ibin op w x y =
+  let open Ir.Instr in
+  match op with
+  | Add -> Some (Word.canon w (x + y))
+  | Sub -> Some (Word.canon w (x - y))
+  | Mul -> Some (Word.canon w (x * y))
+  | Sdiv -> if y = 0 || (y = -1 && x = min_int) then None else Some (Word.canon w (x / y))
+  | Srem -> if y = 0 || (y = -1 && x = min_int) then None else Some (Word.canon w (x mod y))
+  | Udiv | Urem -> None  (* rare; leave to runtime *)
+  | And -> Some (x land y)
+  | Or -> Some (x lor y)
+  | Xor -> Some (x lxor y)
+  | Shl -> Some (Word.canon w (Word.shl x y))
+  | Lshr -> Some (Word.canon w (Word.lshr w x y))
+  | Ashr -> Some (Word.ashr x y)
+  | Fadd | Fsub | Fmul | Fdiv -> None
+
+let fold_fbin op x y =
+  let open Ir.Instr in
+  match op with
+  | Fadd -> Some (x +. y)
+  | Fsub -> Some (x -. y)
+  | Fmul -> Some (x *. y)
+  | Fdiv -> Some (x /. y)
+  | _ -> None
+
+let fold_icmp p w x y =
+  let open Ir.Instr in
+  let unsigned_cmp () =
+    if w >= Word.width then Word.ucompare x y
+    else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
+  in
+  let result =
+    match p with
+    | Ieq -> x = y
+    | Ine -> x <> y
+    | Islt -> x < y
+    | Isle -> x <= y
+    | Isgt -> x > y
+    | Isge -> x >= y
+    | Iult -> unsigned_cmp () < 0
+    | Iule -> unsigned_cmp () <= 0
+    | Iugt -> unsigned_cmp () > 0
+    | Iuge -> unsigned_cmp () >= 0
+  in
+  Bool.to_int result
+
+let fold_fcmp p x y =
+  let open Ir.Instr in
+  let result =
+    match p with
+    | Feq -> x = y
+    | Fne -> x < y || x > y
+    | Flt -> x < y
+    | Fle -> x <= y
+    | Fgt -> x > y
+    | Fge -> x >= y
+  in
+  Bool.to_int result
+
+let width_of (ty : Ir.Types.t) =
+  if Ir.Types.is_pointer ty then Word.width else Ir.Types.bit_width ty
+
+let run_function (f : Ir.Func.t) =
+  let changed = ref true in
+  let any = ref false in
+  while !changed do
+    changed := false;
+    let subst : (int, Ir.Operand.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Ir.Block.t) ->
+        List.iter
+          (fun (i : Ir.Instr.t) ->
+            match i.result with
+            | None -> ()
+            | Some r -> (
+              let record op = Hashtbl.replace subst r.Ir.Value.id op in
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Binop (op, Ir.Operand.Int (ty, x), Ir.Operand.Int (_, y)) -> (
+                match fold_ibin op (width_of ty) x y with
+                | Some v -> record (Ir.Operand.Int (ty, v))
+                | None -> ())
+              | Ir.Instr.Binop (op, Ir.Operand.Float x, Ir.Operand.Float y) -> (
+                match fold_fbin op x y with
+                | Some v -> record (Ir.Operand.Float v)
+                | None -> ())
+              | Ir.Instr.Icmp (p, Ir.Operand.Int (ty, x), Ir.Operand.Int (_, y)) ->
+                record (Ir.Operand.Int (Ir.Types.I1, fold_icmp p (width_of ty) x y))
+              | Ir.Instr.Fcmp (p, Ir.Operand.Float x, Ir.Operand.Float y) ->
+                record (Ir.Operand.Int (Ir.Types.I1, fold_fcmp p x y))
+              | Ir.Instr.Cast (c, Ir.Operand.Int (from_ty, x), to_) -> (
+                match c with
+                | Ir.Instr.Trunc ->
+                  record (Ir.Operand.Int (to_, Word.canon (width_of to_) x))
+                | Ir.Instr.Zext ->
+                  let w = width_of from_ty in
+                  let v = if w = 1 then x land 1 else Word.to_unsigned w x in
+                  record (Ir.Operand.Int (to_, v))
+                | Ir.Instr.Sext ->
+                  let v = if width_of from_ty = 1 then -(x land 1) else x in
+                  record (Ir.Operand.Int (to_, v))
+                | Ir.Instr.Sitofp -> record (Ir.Operand.Float (float_of_int x))
+                | Ir.Instr.Fptosi | Ir.Instr.Bitcast | Ir.Instr.Ptrtoint
+                | Ir.Instr.Inttoptr ->
+                  ())
+              | Ir.Instr.Cast (Ir.Instr.Sitofp, Ir.Operand.Float _, _) -> ()
+              | Ir.Instr.Select (Ir.Operand.Int (_, c), a, bb) ->
+                record (if c <> 0 then a else bb)
+              | _ -> ()))
+          b.instrs)
+      f.blocks;
+    if Hashtbl.length subst > 0 then begin
+      changed := true;
+      any := true;
+      (* Delete the folded instructions, then rewrite uses. *)
+      List.iter
+        (fun (b : Ir.Block.t) ->
+          b.instrs <-
+            List.filter
+              (fun (i : Ir.Instr.t) ->
+                match i.result with
+                | Some r -> not (Hashtbl.mem subst r.Ir.Value.id)
+                | None -> true)
+              b.instrs)
+        f.blocks;
+      Simplify.substitute f subst
+    end
+  done;
+  !any
+
+let run (prog : Ir.Prog.t) =
+  List.iter (fun f -> ignore (run_function f)) prog.Ir.Prog.funcs

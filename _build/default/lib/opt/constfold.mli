@@ -1,0 +1,8 @@
+(** Constant folding, using exactly the interpreter's arithmetic so the
+    fold can never change behaviour.  Division by a constant zero is
+    deliberately not folded — it must still trap at runtime. *)
+
+val run_function : Ir.Func.t -> bool
+(** Returns whether anything changed. *)
+
+val run : Ir.Prog.t -> unit

@@ -1,0 +1,90 @@
+(** Local common-subexpression elimination.
+
+    Within each basic block, pure value computations (arithmetic,
+    comparisons, casts, GEPs, selects) with structurally identical
+    operands are computed once.  Commutative operations are canonicalized
+    by operand order so [a+b] and [b+a] share.  Loads are not touched
+    (that would need memory dependence analysis); divisions are eligible
+    because both occurrences would execute and trap identically. *)
+
+let operand_key (op : Ir.Operand.t) =
+  match op with
+  | Ir.Operand.Var v -> Printf.sprintf "v%d" v.id
+  | Ir.Operand.Int (ty, c) -> Printf.sprintf "i%s:%d" (Ir.Types.to_string ty) c
+  | Ir.Operand.Float f -> Printf.sprintf "f%Lx" (Int64.bits_of_float f)
+  | Ir.Operand.Null _ -> "null"
+  | Ir.Operand.Global (name, _) -> "g" ^ name
+
+let commutative (op : Ir.Instr.binop) =
+  match op with
+  | Ir.Instr.Add | Ir.Instr.Mul | Ir.Instr.And | Ir.Instr.Or | Ir.Instr.Xor
+  | Ir.Instr.Fadd | Ir.Instr.Fmul ->
+    true
+  | _ -> false
+
+let key_of (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Binop (op, a, b) ->
+    let ka = operand_key a and kb = operand_key b in
+    let ka, kb = if commutative op && kb < ka then (kb, ka) else (ka, kb) in
+    Some (Printf.sprintf "bin:%s:%s:%s" (Ir.Instr.binop_name op) ka kb)
+  | Ir.Instr.Icmp (p, a, b) ->
+    Some
+      (Printf.sprintf "icmp:%s:%s:%s" (Ir.Instr.icmp_name p) (operand_key a)
+         (operand_key b))
+  | Ir.Instr.Fcmp (p, a, b) ->
+    Some
+      (Printf.sprintf "fcmp:%s:%s:%s" (Ir.Instr.fcmp_name p) (operand_key a)
+         (operand_key b))
+  | Ir.Instr.Cast (c, a, to_) ->
+    Some
+      (Printf.sprintf "cast:%s:%s:%s" (Ir.Instr.cast_name c) (operand_key a)
+         (Ir.Types.to_string to_))
+  (* GEPs are deliberately NOT CSE'd: merging address computations gives
+     them multiple uses, which defeats the backend's addressing-mode
+     folding and lengthens pointer live ranges.  LLVM can afford to CSE
+     them because CodeGenPrepare sinks the addresses back into the using
+     blocks before instruction selection; we model that by leaving GEPs
+     local in the first place. *)
+  | Ir.Instr.Select (c, a, b) ->
+    Some
+      (Printf.sprintf "sel:%s:%s:%s" (operand_key c) (operand_key a)
+         (operand_key b))
+  | Ir.Instr.Gep _ | Ir.Instr.Alloca _ | Ir.Instr.Load _ | Ir.Instr.Store _
+  | Ir.Instr.Phi _ | Ir.Instr.Call _ | Ir.Instr.Intrinsic _ ->
+    None
+
+let run_function (f : Ir.Func.t) =
+  let any = ref false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let subst : (int, Ir.Operand.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Ir.Block.t) ->
+        let available : (string, Ir.Value.t) Hashtbl.t = Hashtbl.create 16 in
+        b.instrs <-
+          List.filter
+            (fun (i : Ir.Instr.t) ->
+              match (key_of i, i.result) with
+              | Some key, Some r -> (
+                match Hashtbl.find_opt available key with
+                | Some earlier ->
+                  Hashtbl.replace subst r.Ir.Value.id (Ir.Operand.Var earlier);
+                  false
+                | None ->
+                  Hashtbl.replace available key r;
+                  true)
+              | _ -> true)
+            b.instrs)
+      f.blocks;
+    if Hashtbl.length subst > 0 then begin
+      changed := true;
+      any := true;
+      Simplify.substitute f subst
+    end
+  done;
+  !any
+
+let run (prog : Ir.Prog.t) =
+  List.iter (fun f -> ignore (run_function f)) prog.Ir.Prog.funcs

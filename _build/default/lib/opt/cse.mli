@@ -1,0 +1,9 @@
+(** Local common-subexpression elimination over pure value computations
+    (arithmetic, comparisons, casts, selects), with commutative
+    canonicalization.  Loads are untouched (no memory dependence
+    analysis) and GEPs are left duplicated so the backend's
+    addressing-mode folding keeps its single-use candidates (the role
+    LLVM's CodeGenPrepare plays). *)
+
+val run_function : Ir.Func.t -> bool
+val run : Ir.Prog.t -> unit

@@ -1,0 +1,31 @@
+(** Dead code elimination: remove side-effect-free instructions whose
+    results are never used.  Iterates to a fixpoint so chains of dead
+    computation disappear entirely. *)
+
+let run_function (f : Ir.Func.t) =
+  let any = ref false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let counts = Ir.Func.use_counts f in
+    List.iter
+      (fun (b : Ir.Block.t) ->
+        let before = List.length b.instrs in
+        b.instrs <-
+          List.filter
+            (fun (i : Ir.Instr.t) ->
+              match i.result with
+              | Some r when (not (Ir.Instr.has_side_effect i)) && counts.(r.Ir.Value.id) = 0 ->
+                false
+              | _ -> true)
+            b.instrs;
+        if List.length b.instrs <> before then begin
+          changed := true;
+          any := true
+        end)
+      f.blocks
+  done;
+  !any
+
+let run (prog : Ir.Prog.t) =
+  List.iter (fun f -> ignore (run_function f)) prog.Ir.Prog.funcs

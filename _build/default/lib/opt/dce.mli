@@ -1,0 +1,5 @@
+(** Dead code elimination: remove side-effect-free instructions whose
+    results are never used, to a fixpoint. *)
+
+val run_function : Ir.Func.t -> bool
+val run : Ir.Prog.t -> unit

@@ -1,0 +1,258 @@
+(** Function inlining.
+
+    Small non-recursive callees are spliced into their callers, the way
+    clang -O2 would inline them.  This matters to the study because call
+    overhead looks completely different at the two levels (one IR [call]
+    vs. push/call/param-load/ret sequences at the assembly level): without
+    inlining, helper-heavy benchmarks drown in call plumbing that LLVM's
+    output would not contain. *)
+
+let default_threshold = 260
+let caller_growth_cap = 12_000
+
+let function_size (f : Ir.Func.t) = Ir.Func.fold_instrs (fun n _ -> n + 1) 0 f
+
+(* Functions that can reach themselves through calls are recursive and
+   never inlined. *)
+let recursive_functions (prog : Ir.Prog.t) =
+  let callees_of (f : Ir.Func.t) =
+    Ir.Func.fold_instrs
+      (fun acc i ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Call (callee, _) ->
+          if List.mem callee acc then acc else callee :: acc
+        | _ -> acc)
+      [] f
+  in
+  let direct = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.Func.t) -> Hashtbl.replace direct f.fname (callees_of f))
+    prog.Ir.Prog.funcs;
+  let reaches_self start =
+    let visited = Hashtbl.create 16 in
+    let rec go name =
+      if Hashtbl.mem visited name then false
+      else begin
+        Hashtbl.replace visited name ();
+        let callees = Option.value ~default:[] (Hashtbl.find_opt direct name) in
+        List.exists (fun c -> String.equal c start || go c) callees
+      end
+    in
+    go start
+  in
+  let result = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      if reaches_self f.fname then Hashtbl.replace result f.fname ())
+    prog.Ir.Prog.funcs;
+  result
+
+type site = { block : Ir.Block.t; index : int; instr : Ir.Instr.t }
+
+let find_inlinable_site ~inlinable (f : Ir.Func.t) =
+  let rec scan_blocks = function
+    | [] -> None
+    | (b : Ir.Block.t) :: rest ->
+      let rec scan k = function
+        | [] -> scan_blocks rest
+        | (i : Ir.Instr.t) :: tail -> (
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Call (callee, _) when inlinable callee ->
+            Some { block = b; index = k; instr = i }
+          | _ -> scan (k + 1) tail)
+      in
+      scan 0 b.instrs
+  in
+  scan_blocks f.blocks
+
+let fresh_value (f : Ir.Func.t) (v : Ir.Value.t) =
+  let id = f.next_value in
+  f.next_value <- id + 1;
+  Ir.Value.v ~id ~ty:v.ty ~name:v.name
+
+let fresh_iid (f : Ir.Func.t) =
+  let id = f.next_instr in
+  f.next_instr <- id + 1;
+  id
+
+let unique_label (f : Ir.Func.t) base =
+  let existing label =
+    List.exists (fun (b : Ir.Block.t) -> String.equal b.label label) f.blocks
+  in
+  if not (existing base) then base
+  else begin
+    let k = ref 1 in
+    while existing (Printf.sprintf "%s.%d" base !k) do
+      incr k
+    done;
+    Printf.sprintf "%s.%d" base !k
+  end
+
+let mutable_counter = ref 0
+
+(* Splice one call to [callee] into [caller] at [site]. *)
+let inline_site (prog : Ir.Prog.t) (caller : Ir.Func.t) (callee : Ir.Func.t)
+    (site : site) args =
+  incr mutable_counter;
+  let tag = Printf.sprintf "inl%d" !mutable_counter in
+  (* Value substitution: parameters become the call arguments; every
+     other callee value gets a fresh id in the caller. *)
+  let value_map : (int, Ir.Operand.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter2
+    (fun (p : Ir.Value.t) arg -> Hashtbl.replace value_map p.id arg)
+    callee.params args;
+  let map_value (v : Ir.Value.t) =
+    match Hashtbl.find_opt value_map v.id with
+    | Some op -> op
+    | None ->
+      let fresh = fresh_value caller v in
+      Hashtbl.replace value_map v.id (Ir.Operand.Var fresh);
+      Ir.Operand.Var fresh
+  in
+  let map_operand (op : Ir.Operand.t) =
+    match op with
+    | Ir.Operand.Var v -> map_value v
+    | _ -> op
+  in
+  let label_map : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      Hashtbl.replace label_map b.label
+        (unique_label caller (Printf.sprintf "%s.%s" tag b.label)))
+    callee.blocks;
+  let map_label l = Hashtbl.find label_map l in
+  (* Continuation block: the remainder of the call block. *)
+  let b = site.block in
+  let before = List.filteri (fun k _ -> k < site.index) b.instrs in
+  let after = List.filteri (fun k _ -> k > site.index) b.instrs in
+  (* Truncate the call block immediately: the callee's allocas are about
+     to be appended to the caller's entry block, which may be [b] itself. *)
+  b.instrs <- before;
+  let cont_label = unique_label caller (tag ^ ".ret") in
+  let cont = Ir.Block.create ~label:cont_label in
+  cont.instrs <- after;
+  cont.term <- b.term;
+  (* Successor phis that named [b] now receive control from [cont]. *)
+  List.iter
+    (fun (blk : Ir.Block.t) ->
+      blk.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Phi incoming ->
+              {
+                i with
+                kind =
+                  Ir.Instr.Phi
+                    (List.map
+                       (fun (v, l) ->
+                         if String.equal l b.label then (v, cont_label) else (v, l))
+                       incoming);
+              }
+            | _ -> i)
+          blk.instrs)
+    caller.blocks;
+  (* Clone the callee's blocks.  Entry-block allocas migrate to the
+     caller's entry block, preserving bounded stack usage. *)
+  let caller_entry = Ir.Func.entry caller in
+  let returns = ref [] in
+  let cloned =
+    List.map
+      (fun (cb : Ir.Block.t) ->
+        let nb = Ir.Block.create ~label:(map_label cb.label) in
+        nb.instrs <-
+          List.filter_map
+            (fun (ci : Ir.Instr.t) ->
+              let result =
+                match ci.result with
+                | Some v -> (
+                  match map_value v with
+                  | Ir.Operand.Var fresh -> Some fresh
+                  | _ -> assert false)
+                | None -> None
+              in
+              let kind =
+                match ci.Ir.Instr.kind with
+                | Ir.Instr.Phi incoming ->
+                  Ir.Instr.Phi
+                    (List.map (fun (v, l) -> (map_operand v, map_label l)) incoming)
+                | k -> (Ir.Instr.map_operands map_operand { ci with kind = k }).kind
+              in
+              let instr = { Ir.Instr.iid = fresh_iid caller; result; kind } in
+              match kind with
+              | Ir.Instr.Alloca _ ->
+                Ir.Builder.insert_alloca_prefix caller_entry instr;
+                None
+              | _ -> Some instr)
+            cb.instrs;
+        nb.term <-
+          (match cb.term with
+          | Ir.Instr.Ret v ->
+            returns := (nb.label, Option.map map_operand v) :: !returns;
+            Ir.Instr.Br cont_label
+          | Ir.Instr.Br l -> Ir.Instr.Br (map_label l)
+          | Ir.Instr.Cond_br (c, t, e) ->
+            Ir.Instr.Cond_br (map_operand c, map_label t, map_label e));
+        nb)
+      callee.blocks
+  in
+  (* The call's result becomes a phi over the returned values. *)
+  (match (site.instr.result, !returns) with
+  | None, _ -> ()
+  | Some r, rets ->
+    let incoming =
+      List.map
+        (fun (label, v) ->
+          match v with
+          | Some op -> (op, label)
+          | None -> invalid_arg "Inline: void return for valued call")
+        (List.rev rets)
+    in
+    let phi = { Ir.Instr.iid = fresh_iid caller; result = Some r; kind = Ir.Instr.Phi incoming } in
+    cont.instrs <- phi :: cont.instrs);
+  (* Rewire the call block and register the new blocks. *)
+  b.term <- Ir.Instr.Br (map_label (Ir.Func.entry callee).label);
+  let rec insert_after = function
+    | [] -> []
+    | (blk : Ir.Block.t) :: rest ->
+      if blk == b then (blk :: cloned) @ (cont :: rest)
+      else blk :: insert_after rest
+  in
+  caller.blocks <- insert_after caller.blocks;
+  ignore prog
+
+let run ?(threshold = default_threshold) (prog : Ir.Prog.t) =
+  let recursive = recursive_functions prog in
+  let inlinable_fn name =
+    match Ir.Prog.find_func prog name with
+    | Some callee ->
+      (not (Hashtbl.mem recursive name)) && function_size callee <= threshold
+    | None -> false
+  in
+  List.iter
+    (fun (caller : Ir.Func.t) ->
+      let budget = ref 200 in
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 do
+        decr budget;
+        if function_size caller > caller_growth_cap then continue_ := false
+        else
+          match
+            find_inlinable_site
+              ~inlinable:(fun callee ->
+                (not (String.equal callee caller.fname)) && inlinable_fn callee)
+              caller
+          with
+          | Some site -> (
+            match site.instr.Ir.Instr.kind with
+            | Ir.Instr.Call (callee_name, args) ->
+              let callee =
+                match Ir.Prog.find_func prog callee_name with
+                | Some c -> c
+                | None -> assert false
+              in
+              inline_site prog caller callee site args
+            | _ -> assert false)
+          | None -> continue_ := false
+      done)
+    prog.Ir.Prog.funcs

@@ -1,0 +1,12 @@
+(** Function inlining: small non-recursive callees are spliced into
+    their callers, as clang -O2 would.  Call overhead looks completely
+    different at the two levels (one IR [call] vs push/param-load/ret
+    sequences), so LLVM-parity of the assembly populations requires this
+    pass (see the inlining ablation in bench/main.ml). *)
+
+val default_threshold : int
+(** Maximum callee size (IR instructions) considered for inlining. *)
+
+val function_size : Ir.Func.t -> int
+
+val run : ?threshold:int -> Ir.Prog.t -> unit

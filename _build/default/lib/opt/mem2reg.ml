@@ -1,0 +1,278 @@
+(** Promotion of stack slots to SSA registers (LLVM's mem2reg).
+
+    The frontend lowers every local to an [alloca] accessed through
+    loads and stores.  This pass rewrites scalar allocas whose address
+    never escapes into SSA values, inserting phi nodes at iterated
+    dominance frontiers and renaming along the dominator tree.  Running
+    it is what gives the IR its "optimized" shape: register-resident
+    values, phi nodes at joins, and far fewer loads — all of which the
+    paper's instruction-category counts depend on. *)
+
+(* An alloca is promotable when it holds a first-class scalar and every
+   use is a direct load or a store *to* it (its address is never stored,
+   compared, GEP'd or passed along). *)
+let promotable_allocas (f : Ir.Func.t) =
+  let candidates = Hashtbl.create 16 in
+  Ir.Func.iter_instrs
+    (fun i ->
+      match (i.Ir.Instr.kind, i.result) with
+      | Ir.Instr.Alloca ty, Some v when Ir.Types.is_first_class ty ->
+        Hashtbl.replace candidates v.Ir.Value.id ty
+      | _ -> ())
+    f;
+  let disqualify id = Hashtbl.remove candidates id in
+  Ir.Func.iter_instrs
+    (fun i ->
+      let check_operand_escapes op =
+        match Ir.Operand.as_value op with
+        | Some v -> disqualify v.Ir.Value.id
+        | None -> ()
+      in
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Load _ -> ()  (* load (Var a) is a direct, legal use *)
+      | Ir.Instr.Store (value, _ptr) ->
+        (* Storing the alloca's address somewhere else escapes it; the
+           pointer position is a legal use. *)
+        check_operand_escapes value
+      | _ -> List.iter check_operand_escapes (Ir.Instr.operands i))
+    f;
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      List.iter
+        (fun op ->
+          match Ir.Operand.as_value op with
+          | Some v -> disqualify v.Ir.Value.id
+          | None -> ())
+        (Ir.Instr.terminator_operands b.term))
+    f.blocks;
+  candidates
+
+let zero_of_type (ty : Ir.Types.t) =
+  match ty with
+  | Ir.Types.F64 -> Ir.Operand.Float 0.0
+  | Ir.Types.Ptr _ -> Ir.Operand.Null ty
+  | Ir.Types.I1 | Ir.Types.I8 | Ir.Types.I16 | Ir.Types.I32 | Ir.Types.I64 ->
+    Ir.Operand.Int (ty, 0)
+  | Ir.Types.Arr _ | Ir.Types.Struct _ | Ir.Types.Void ->
+    invalid_arg "Mem2reg: non-scalar zero"
+
+(* Remove phi nodes (inserted by this pass) that are transitively used
+   only by other such phis. *)
+let prune_dead_phis (f : Ir.Func.t) (inserted : (int, unit) Hashtbl.t) =
+  let live = Hashtbl.create 32 in
+  let worklist = ref [] in
+  let mark op =
+    match Ir.Operand.as_value op with
+    | Some v when Hashtbl.mem inserted v.Ir.Value.id && not (Hashtbl.mem live v.Ir.Value.id) ->
+      Hashtbl.replace live v.Ir.Value.id ();
+      worklist := v.Ir.Value.id :: !worklist
+    | _ -> ()
+  in
+  (* Roots: uses from non-inserted instructions and terminators. *)
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          let from_inserted =
+            match i.result with
+            | Some v -> Hashtbl.mem inserted v.Ir.Value.id
+            | None -> false
+          in
+          if not from_inserted then List.iter mark (Ir.Instr.operands i))
+        b.instrs;
+      List.iter mark (Ir.Instr.terminator_operands b.term))
+    f.blocks;
+  (* Propagate through the phi graph. *)
+  let phi_of_id = Hashtbl.create 32 in
+  Ir.Func.iter_instrs
+    (fun i ->
+      match i.result with
+      | Some v when Hashtbl.mem inserted v.Ir.Value.id ->
+        Hashtbl.replace phi_of_id v.Ir.Value.id i
+      | _ -> ())
+    f;
+  let rec drain () =
+    match !worklist with
+    | [] -> ()
+    | id :: rest ->
+      worklist := rest;
+      (match Hashtbl.find_opt phi_of_id id with
+      | Some i -> List.iter mark (Ir.Instr.operands i)
+      | None -> ());
+      drain ()
+  in
+  drain ();
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      b.instrs <-
+        List.filter
+          (fun (i : Ir.Instr.t) ->
+            match i.result with
+            | Some v when Hashtbl.mem inserted v.Ir.Value.id ->
+              Hashtbl.mem live v.Ir.Value.id
+            | _ -> true)
+          b.instrs)
+    f.blocks
+
+let run_function (f : Ir.Func.t) =
+  let allocas = promotable_allocas f in
+  if Hashtbl.length allocas = 0 then ()
+  else begin
+    let cfg = Ir.Cfg.of_func f in
+    let n = Array.length cfg.Ir.Cfg.blocks in
+    let df = Ir.Cfg.dominance_frontiers cfg in
+    let children = Ir.Cfg.dom_tree_children cfg in
+    (* Blocks containing a store to each alloca. *)
+    let def_blocks = Hashtbl.create 16 in
+    Array.iteri
+      (fun bi (b : Ir.Block.t) ->
+        List.iter
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Store (_, Ir.Operand.Var p) when Hashtbl.mem allocas p.Ir.Value.id ->
+              let existing =
+                Option.value ~default:[] (Hashtbl.find_opt def_blocks p.Ir.Value.id)
+              in
+              if not (List.mem bi existing) then
+                Hashtbl.replace def_blocks p.Ir.Value.id (bi :: existing)
+            | _ -> ())
+          b.instrs)
+      cfg.Ir.Cfg.blocks;
+    (* Insert phis at iterated dominance frontiers. *)
+    let inserted = Hashtbl.create 32 in  (* phi value id -> () *)
+    let phi_alloca = Hashtbl.create 32 in  (* phi value id -> alloca id *)
+    let has_phi_for = Hashtbl.create 32 in  (* (block, alloca) -> value *)
+    let fresh_value ty name =
+      let id = f.Ir.Func.next_value in
+      f.Ir.Func.next_value <- id + 1;
+      Ir.Value.v ~id ~ty ~name
+    in
+    let next_iid () =
+      let id = f.Ir.Func.next_instr in
+      f.Ir.Func.next_instr <- id + 1;
+      id
+    in
+    Hashtbl.iter
+      (fun alloca_id defs ->
+        let ty = Hashtbl.find allocas alloca_id in
+        let worklist = ref defs in
+        let placed = Array.make n false in
+        let rec go () =
+          match !worklist with
+          | [] -> ()
+          | bi :: rest ->
+            worklist := rest;
+            List.iter
+              (fun dfb ->
+                if not placed.(dfb) && Ir.Cfg.reachable cfg dfb then begin
+                  placed.(dfb) <- true;
+                  let v = fresh_value ty "m2r" in
+                  Hashtbl.replace inserted v.Ir.Value.id ();
+                  Hashtbl.replace phi_alloca v.Ir.Value.id alloca_id;
+                  Hashtbl.replace has_phi_for (dfb, alloca_id) v;
+                  (* Incoming edges are filled during renaming. *)
+                  let blk = cfg.Ir.Cfg.blocks.(dfb) in
+                  blk.Ir.Block.instrs <-
+                    { Ir.Instr.iid = next_iid (); result = Some v; kind = Ir.Instr.Phi [] }
+                    :: blk.Ir.Block.instrs;
+                  worklist := dfb :: !worklist
+                end)
+              df.(bi);
+            go ()
+        in
+        go ())
+      def_blocks;
+    (* Renaming along the dominator tree.  Replacements for deleted loads
+       are recorded in a function-global table and substituted into every
+       remaining instruction afterwards — uses may live in other blocks
+       (e.g. phis created by the inliner). *)
+    let stacks : (int, Ir.Operand.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter (fun id _ -> Hashtbl.replace stacks id (ref [])) allocas;
+    let current alloca_id =
+      match !(Hashtbl.find stacks alloca_id) with
+      | top :: _ -> top
+      | [] -> zero_of_type (Hashtbl.find allocas alloca_id)
+    in
+    let repl : (int, Ir.Operand.t) Hashtbl.t = Hashtbl.create 32 in
+    let rec resolve op =
+      match Ir.Operand.as_value op with
+      | Some v -> (
+        match Hashtbl.find_opt repl v.Ir.Value.id with
+        | Some op' -> resolve op'
+        | None -> op)
+      | None -> op
+    in
+    let rec rename bi =
+      let blk = cfg.Ir.Cfg.blocks.(bi) in
+      let pushes = ref [] in
+      let push alloca_id op =
+        let stack = Hashtbl.find stacks alloca_id in
+        stack := op :: !stack;
+        pushes := alloca_id :: !pushes
+      in
+      let new_instrs =
+        List.filter_map
+          (fun (i : Ir.Instr.t) ->
+            match (i.Ir.Instr.kind, i.result) with
+            | Ir.Instr.Phi _, Some v when Hashtbl.mem inserted v.Ir.Value.id ->
+              push (Hashtbl.find phi_alloca v.Ir.Value.id) (Ir.Operand.Var v);
+              Some i
+            | Ir.Instr.Alloca _, Some v when Hashtbl.mem allocas v.Ir.Value.id ->
+              None
+            | Ir.Instr.Load (Ir.Operand.Var p), Some v
+              when Hashtbl.mem allocas p.Ir.Value.id ->
+              Hashtbl.replace repl v.Ir.Value.id (current p.Ir.Value.id);
+              None
+            | Ir.Instr.Store (value, Ir.Operand.Var p), _
+              when Hashtbl.mem allocas p.Ir.Value.id ->
+              push p.Ir.Value.id (resolve value);
+              None
+            | _ -> Some i)
+          blk.instrs
+      in
+      blk.instrs <- new_instrs;
+      (* Fill successor phis with the values reaching along this edge. *)
+      List.iter
+        (fun succ ->
+          let sblk = cfg.Ir.Cfg.blocks.(succ) in
+          sblk.Ir.Block.instrs <-
+            List.map
+              (fun (i : Ir.Instr.t) ->
+                match (i.Ir.Instr.kind, i.result) with
+                | Ir.Instr.Phi incoming, Some v
+                  when Hashtbl.mem inserted v.Ir.Value.id ->
+                  let alloca_id = Hashtbl.find phi_alloca v.Ir.Value.id in
+                  {
+                    i with
+                    kind =
+                      Ir.Instr.Phi
+                        (incoming @ [ (current alloca_id, blk.Ir.Block.label) ]);
+                  }
+                | _ -> i)
+              sblk.Ir.Block.instrs)
+        (Ir.Cfg.successors_of cfg bi);
+      List.iter rename children.(bi);
+      (* Pop this block's definitions. *)
+      List.iter
+        (fun alloca_id ->
+          let stack = Hashtbl.find stacks alloca_id in
+          match !stack with
+          | _ :: rest -> stack := rest
+          | [] -> assert false)
+        !pushes
+    in
+    if n > 0 then rename 0;
+    (* Final substitution with the complete replacement table. *)
+    List.iter
+      (fun (blk : Ir.Block.t) ->
+        blk.instrs <- List.map (Ir.Instr.map_operands resolve) blk.instrs;
+        blk.term <-
+          (match blk.term with
+          | Ir.Instr.Ret v -> Ir.Instr.Ret (Option.map resolve v)
+          | Ir.Instr.Br _ as t -> t
+          | Ir.Instr.Cond_br (c, t, f_) -> Ir.Instr.Cond_br (resolve c, t, f_)))
+      f.blocks;
+    prune_dead_phis f inserted
+  end
+
+let run (prog : Ir.Prog.t) = List.iter run_function prog.Ir.Prog.funcs

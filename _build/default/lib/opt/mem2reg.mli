@@ -1,0 +1,8 @@
+(** Promotion of stack slots to SSA registers (LLVM's mem2reg): scalar
+    allocas whose address never escapes become SSA values, with phi nodes
+    inserted at iterated dominance frontiers and renaming along the
+    dominator tree.  This is the pass that makes register-resident values
+    and phi nodes exist at all — the IR shape the paper's counts rest on. *)
+
+val run_function : Ir.Func.t -> unit
+val run : Ir.Prog.t -> unit

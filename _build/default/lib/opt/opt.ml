@@ -1,0 +1,32 @@
+(** Pass manager.
+
+    [optimize] is the standard pipeline both fault injectors see — the
+    paper's "same standard optimizations enabled" (§V).  Each pass is
+    re-exported for targeted use and for the ablation benchmarks. *)
+
+module Mem2reg = Mem2reg
+module Constfold = Constfold
+module Dce = Dce
+module Simplify = Simplify
+module Inline = Inline
+module Cse = Cse
+
+(** The standard -O pipeline: clean the CFG, inline small helpers, build
+    SSA, fold, strip dead code, clean again.  Verifies the result; raises
+    [Invalid_argument] if a pass produced invalid IR (a bug in this
+    library, not the input). *)
+let optimize ?(inline = true) (prog : Ir.Prog.t) =
+  Simplify.run prog;
+  if inline then Inline.run prog;
+  Simplify.run prog;
+  Mem2reg.run prog;
+  Constfold.run prog;
+  Cse.run prog;
+  Dce.run prog;
+  Simplify.run prog;
+  Dce.run prog;
+  Ir.Verify.check_prog_exn prog;
+  prog
+
+(** Compile MiniC source all the way to optimized IR. *)
+let compile_optimized src = optimize (Minic.compile src)

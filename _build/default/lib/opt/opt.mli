@@ -1,0 +1,18 @@
+(** Pass manager: the "same standard optimizations" of paper §V. *)
+
+module Mem2reg = Mem2reg
+module Constfold = Constfold
+module Dce = Dce
+module Simplify = Simplify
+module Inline = Inline
+module Cse = Cse
+
+val optimize : ?inline:bool -> Ir.Prog.t -> Ir.Prog.t
+(** The standard -O pipeline: simplify, inline, simplify, mem2reg,
+    constant-fold, CSE, DCE, simplify, DCE; verifies the result.
+    Returns its (mutated) argument for convenience.
+    @raise Invalid_argument if a pass produced invalid IR (a library
+    bug, not bad input). *)
+
+val compile_optimized : string -> Ir.Prog.t
+(** MiniC source all the way to optimized IR. *)

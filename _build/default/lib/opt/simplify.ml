@@ -1,0 +1,201 @@
+(** CFG cleanups: constant-branch folding, unreachable-block removal,
+    single-incoming phi elimination and straight-line block merging. *)
+
+(* Replace every use of values in [subst] across the function. *)
+let substitute (f : Ir.Func.t) (subst : (int, Ir.Operand.t) Hashtbl.t) =
+  if Hashtbl.length subst > 0 then begin
+    let rec resolve op =
+      match Ir.Operand.as_value op with
+      | Some v -> (
+        match Hashtbl.find_opt subst v.Ir.Value.id with
+        | Some op' -> resolve op'
+        | None -> op)
+      | None -> op
+    in
+    List.iter
+      (fun (b : Ir.Block.t) ->
+        b.instrs <- List.map (Ir.Instr.map_operands resolve) b.instrs;
+        b.term <-
+          (match b.term with
+          | Ir.Instr.Ret v -> Ir.Instr.Ret (Option.map resolve v)
+          | Ir.Instr.Br _ as t -> t
+          | Ir.Instr.Cond_br (c, t, e) -> Ir.Instr.Cond_br (resolve c, t, e)))
+      f.blocks
+  end
+
+let fold_constant_branches (f : Ir.Func.t) =
+  let changed = ref false in
+  (* Losing an edge invalidates the dropped target's phi incomings. *)
+  let drop_edge ~from ~target =
+    match List.find_opt (fun (x : Ir.Block.t) -> String.equal x.label target) f.blocks with
+    | None -> ()
+    | Some blk ->
+      blk.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Phi incoming ->
+              {
+                i with
+                kind =
+                  Ir.Instr.Phi
+                    (List.filter (fun (_, l) -> not (String.equal l from)) incoming);
+              }
+            | _ -> i)
+          blk.instrs
+  in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      match b.term with
+      | Ir.Instr.Cond_br (Ir.Operand.Int (_, c), t, e) ->
+        let kept, dropped = if c <> 0 then (t, e) else (e, t) in
+        b.term <- Ir.Instr.Br kept;
+        if not (String.equal kept dropped) then drop_edge ~from:b.label ~target:dropped;
+        changed := true
+      | Ir.Instr.Cond_br (_, t, e) when String.equal t e ->
+        b.term <- Ir.Instr.Br t;
+        changed := true
+      | _ -> ())
+    f.blocks;
+  !changed
+
+let remove_unreachable (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> false
+  | _ ->
+    let cfg = Ir.Cfg.of_func f in
+    let reachable_labels = Hashtbl.create 16 in
+    Array.iteri
+      (fun bi (b : Ir.Block.t) ->
+        if Ir.Cfg.reachable cfg bi then Hashtbl.replace reachable_labels b.label ())
+      cfg.Ir.Cfg.blocks;
+    let removed = List.length f.blocks - Hashtbl.length reachable_labels in
+    if removed = 0 then false
+    else begin
+      f.blocks <-
+        List.filter
+          (fun (b : Ir.Block.t) -> Hashtbl.mem reachable_labels b.label)
+          f.blocks;
+      (* Drop phi incomings from deleted predecessors. *)
+      List.iter
+        (fun (b : Ir.Block.t) ->
+          b.instrs <-
+            List.map
+              (fun (i : Ir.Instr.t) ->
+                match i.Ir.Instr.kind with
+                | Ir.Instr.Phi incoming ->
+                  {
+                    i with
+                    kind =
+                      Ir.Instr.Phi
+                        (List.filter
+                           (fun (_, l) -> Hashtbl.mem reachable_labels l)
+                           incoming);
+                  }
+                | _ -> i)
+              b.instrs)
+        f.blocks;
+      true
+    end
+
+(* Phis with exactly one incoming value are copies. *)
+let eliminate_trivial_phis (f : Ir.Func.t) =
+  let subst = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      b.instrs <-
+        List.filter
+          (fun (i : Ir.Instr.t) ->
+            match (i.Ir.Instr.kind, i.result) with
+            | Ir.Instr.Phi [ (v, _) ], Some r ->
+              Hashtbl.replace subst r.Ir.Value.id v;
+              false
+            | _ -> true)
+          b.instrs)
+    f.blocks;
+  substitute f subst;
+  Hashtbl.length subst > 0
+
+(* Merge [b] with its unique successor [c] when [c] has no other
+   predecessors.  Phis in [c] must have a single incoming by then and are
+   handled by [eliminate_trivial_phis] first. *)
+let merge_straight_line (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> false
+  | _ ->
+    let cfg = Ir.Cfg.of_func f in
+    let changed = ref false in
+    let merged_into : (string, string) Hashtbl.t = Hashtbl.create 8 in
+    let rec final_label l =
+      match Hashtbl.find_opt merged_into l with
+      | Some l' -> final_label l'
+      | None -> l
+    in
+    Array.iteri
+      (fun bi (b : Ir.Block.t) ->
+        if Ir.Cfg.reachable cfg bi then
+          match b.term with
+          | Ir.Instr.Br succ_label -> (
+            let si = Ir.Cfg.block_index cfg succ_label in
+            let succ = cfg.Ir.Cfg.blocks.(si) in
+            let has_phis = Ir.Block.phis succ <> [] in
+            if
+              si <> 0 && si <> bi
+              && List.length (Ir.Cfg.predecessors_of cfg si) = 1
+              && not has_phis
+              && not (Hashtbl.mem merged_into succ.label)
+              && not (Hashtbl.mem merged_into b.label)
+            then begin
+              (* Only merge when b itself hasn't been consumed. *)
+              let target = final_label b.label in
+              let target_block =
+                List.find
+                  (fun (x : Ir.Block.t) -> String.equal x.label target)
+                  f.blocks
+              in
+              target_block.instrs <- target_block.instrs @ succ.instrs;
+              target_block.term <- succ.term;
+              Hashtbl.replace merged_into succ.label target;
+              changed := true
+            end)
+          | _ -> ())
+      cfg.Ir.Cfg.blocks;
+    if !changed then begin
+      f.blocks <-
+        List.filter
+          (fun (b : Ir.Block.t) -> not (Hashtbl.mem merged_into b.label))
+          f.blocks;
+      (* Phi incomings naming a merged block now arrive from its new home. *)
+      List.iter
+        (fun (b : Ir.Block.t) ->
+          b.instrs <-
+            List.map
+              (fun (i : Ir.Instr.t) ->
+                match i.Ir.Instr.kind with
+                | Ir.Instr.Phi incoming ->
+                  {
+                    i with
+                    kind =
+                      Ir.Instr.Phi
+                        (List.map (fun (v, l) -> (v, final_label l)) incoming);
+                  }
+                | _ -> i)
+              b.instrs)
+        f.blocks
+    end;
+    !changed
+
+let run_function (f : Ir.Func.t) =
+  let changed = ref true in
+  let any = ref false in
+  while !changed do
+    changed := false;
+    if fold_constant_branches f then changed := true;
+    if remove_unreachable f then changed := true;
+    if eliminate_trivial_phis f then changed := true;
+    if merge_straight_line f then changed := true;
+    if !changed then any := true
+  done;
+  !any
+
+let run (prog : Ir.Prog.t) = List.iter (fun f -> ignore (run_function f)) prog.Ir.Prog.funcs

@@ -1,0 +1,10 @@
+(** CFG cleanups: constant-branch folding (with phi-edge maintenance),
+    unreachable-block removal, single-incoming phi elimination and
+    straight-line block merging — iterated to a fixpoint. *)
+
+val substitute : Ir.Func.t -> (int, Ir.Operand.t) Hashtbl.t -> unit
+(** Replace every use of the mapped value ids across the function
+    (transitively); shared by other passes. *)
+
+val run_function : Ir.Func.t -> bool
+val run : Ir.Prog.t -> unit

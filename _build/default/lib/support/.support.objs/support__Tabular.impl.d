@@ -1,0 +1,1 @@
+lib/support/tabular.ml: Array Buffer List String

@@ -1,0 +1,52 @@
+let flip_int64 v bit =
+  if bit < 0 || bit > 63 then invalid_arg "Bits.flip_int64: bit out of range";
+  Int64.logxor v (Int64.shift_left 1L bit)
+
+let flip_int v bit =
+  if bit < 0 || bit > 62 then invalid_arg "Bits.flip_int: bit out of range";
+  v lxor (1 lsl bit)
+
+let flip_float v bit = Int64.float_of_bits (flip_int64 (Int64.bits_of_float v) bit)
+
+let test_int64 v bit =
+  if bit < 0 || bit > 63 then invalid_arg "Bits.test_int64: bit out of range";
+  Int64.compare (Int64.logand (Int64.shift_right_logical v bit) 1L) 0L <> 0
+
+let set_int64 v bit b =
+  let mask = Int64.shift_left 1L bit in
+  if b then Int64.logor v mask else Int64.logand v (Int64.lognot mask)
+
+let popcount v =
+  let rec loop v acc =
+    if Int64.compare v 0L = 0 then acc
+    else loop (Int64.logand v (Int64.sub v 1L)) (acc + 1)
+  in
+  loop v 0
+
+let mask_width w =
+  if w < 0 || w > 64 then invalid_arg "Bits.mask_width: width out of range";
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let truncate_to_width v w = Int64.logand v (mask_width w)
+
+let sign_extend v w =
+  if w <= 0 || w > 64 then invalid_arg "Bits.sign_extend: width out of range";
+  if w = 64 then v
+  else
+    let shift = 64 - w in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+type i128 = { hi : int64; lo : int64 }
+
+let i128_zero = { hi = 0L; lo = 0L }
+
+let flip_i128 v bit =
+  if bit < 0 || bit > 127 then invalid_arg "Bits.flip_i128: bit out of range";
+  if bit < 64 then { v with lo = flip_int64 v.lo bit }
+  else { v with hi = flip_int64 v.hi (bit - 64) }
+
+let i128_of_float f = { hi = 0L; lo = Int64.bits_of_float f }
+
+let float_of_i128 v = Int64.float_of_bits v.lo
+
+let i128_equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo

@@ -1,0 +1,50 @@
+(** Bit-level manipulation helpers used by the fault injectors.
+
+    The single-bit-flip fault model operates on the raw two's-complement /
+    IEEE-754 representation of values, so the injectors need uniform access
+    to the bit patterns of integers of every width, doubles, and 128-bit
+    SIMD registers (represented as a high/low [int64] pair). *)
+
+val flip_int64 : int64 -> int -> int64
+(** [flip_int64 v bit] flips bit [bit] (0 = least significant, < 64). *)
+
+val flip_int : int -> int -> int
+(** [flip_int v bit] flips bit [bit] of the native integer, [bit < 63]. *)
+
+val flip_float : float -> int -> float
+(** [flip_float v bit] flips bit [bit] of the IEEE-754 double encoding. *)
+
+val test_int64 : int64 -> int -> bool
+(** [test_int64 v bit] is [true] iff bit [bit] of [v] is set. *)
+
+val set_int64 : int64 -> int -> bool -> int64
+(** [set_int64 v bit b] returns [v] with bit [bit] forced to [b]. *)
+
+val popcount : int64 -> int
+(** [popcount v] counts set bits. *)
+
+val mask_width : int -> int64
+(** [mask_width w] is a mask of the [w] low bits, [0 <= w <= 64]. *)
+
+val truncate_to_width : int64 -> int -> int64
+(** [truncate_to_width v w] keeps the low [w] bits, zero-extending. *)
+
+val sign_extend : int64 -> int -> int64
+(** [sign_extend v w] interprets the low [w] bits of [v] as a signed
+    [w]-bit integer and widens it to 64 bits. *)
+
+type i128 = { hi : int64; lo : int64 }
+(** A 128-bit value, e.g. the contents of an XMM register. *)
+
+val i128_zero : i128
+val flip_i128 : i128 -> int -> i128
+(** [flip_i128 v bit] flips bit [bit] (0..127; bits 64..127 live in [hi]). *)
+
+val i128_of_float : float -> i128
+(** [i128_of_float f] places the double encoding in the low 64 bits,
+    mirroring how scalar SSE operations use XMM registers. *)
+
+val float_of_i128 : i128 -> float
+(** [float_of_i128 v] reads the low 64 bits as a double. *)
+
+val i128_equal : i128 -> i128 -> bool

@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+(* SplitMix64 finalizer: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* Mix once more so parent and child streams do not share prefixes. *)
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw exactly uniform. *)
+  let rec draw () =
+    let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let value = bits mod bound in
+    if bits - value + (bound - 1) < 0 then draw () else value
+  in
+  draw ()
+
+let int64_bound t bound =
+  if Int64.compare bound 0L <= 0 then
+    invalid_arg "Rng.int64_bound: bound must be positive";
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next_int64 t) 1 in
+    let value = Int64.rem bits bound in
+    if Int64.compare (Int64.add (Int64.sub bits value) (Int64.sub bound 1L)) 0L < 0
+    then draw ()
+    else value
+  in
+  draw ()
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.compare (Int64.logand (next_int64 t) 1L) 0L <> 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

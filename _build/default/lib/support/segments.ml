@@ -1,0 +1,12 @@
+(** Address-space layout shared by the memory model, the IR interpreter
+    and the backend/assembler.  See Vm.Memory for the semantics. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+let text_base = 0x0040_0000
+let text_limit = 0x0050_0000
+let globals_base = 0x0060_0000
+let heap_base = 0x1000_0000
+let stack_top = 0x7fff_f000
+let default_stack_bytes = 1 lsl 20

@@ -1,0 +1,12 @@
+(** Address-space layout shared by the memory model, the IR interpreter
+    and the backend/assembler; semantics documented in [Vm.Memory]. *)
+
+val page_bits : int
+val page_size : int
+
+val text_base : int
+val text_limit : int
+val globals_base : int
+val heap_base : int
+val stack_top : int
+val default_stack_bytes : int

@@ -1,0 +1,86 @@
+type interval = { lower : float; upper : float }
+
+let proportion ~successes ~trials =
+  if trials = 0 then 0.0 else float_of_int successes /. float_of_int trials
+
+(* Inverse of the standard normal CDF, Acklam's rational approximation.
+   Good to ~1e-9 over (0,1), far more than the reporting needs. *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.normal_quantile: p in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  else if p <= p_high then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))
+
+let z_of_confidence confidence =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.z_of_confidence: confidence in (0,1)";
+  normal_quantile (1.0 -. ((1.0 -. confidence) /. 2.0))
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let normal_interval ?(confidence = 0.95) ~successes ~trials () =
+  if trials = 0 then { lower = 0.0; upper = 1.0 }
+  else
+    let p = proportion ~successes ~trials in
+    let z = z_of_confidence confidence in
+    let n = float_of_int trials in
+    let half = z *. sqrt (p *. (1.0 -. p) /. n) in
+    { lower = clamp01 (p -. half); upper = clamp01 (p +. half) }
+
+let wilson_interval ?(confidence = 0.95) ~successes ~trials () =
+  if trials = 0 then { lower = 0.0; upper = 1.0 }
+  else
+    let p = proportion ~successes ~trials in
+    let z = z_of_confidence confidence in
+    let n = float_of_int trials in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    { lower = clamp01 (centre -. half); upper = clamp01 (centre +. half) }
+
+let intervals_overlap a b = a.lower <= b.upper && b.lower <= a.upper
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sum_sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sum_sq /. float_of_int (List.length xs - 1))

@@ -1,0 +1,32 @@
+(** Statistics for fault-injection campaigns.
+
+    The paper reports outcome rates as percentages with 95% confidence
+    intervals over 1000 Bernoulli trials.  We provide both the normal
+    approximation (what the paper's error bars use) and the Wilson score
+    interval (better behaved at extreme rates, used in reports). *)
+
+type interval = { lower : float; upper : float }
+(** A two-sided confidence interval on a proportion, both ends in [0,1]. *)
+
+val proportion : successes:int -> trials:int -> float
+(** [proportion ~successes ~trials] is the sample proportion; 0 if
+    [trials = 0]. *)
+
+val normal_interval : ?confidence:float -> successes:int -> trials:int -> unit -> interval
+(** Wald / normal-approximation interval, clamped to [0,1].
+    [confidence] defaults to 0.95. *)
+
+val wilson_interval : ?confidence:float -> successes:int -> trials:int -> unit -> interval
+(** Wilson score interval; never degenerate at p = 0 or 1. *)
+
+val intervals_overlap : interval -> interval -> bool
+(** [intervals_overlap a b] is true when the intervals share any point —
+    the paper's criterion for "LLFI and PINFI agree on this cell". *)
+
+val z_of_confidence : float -> float
+(** [z_of_confidence c] is the two-sided standard-normal quantile for
+    confidence level [c] (e.g. 1.96 for 0.95). *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for lists of length <2. *)

@@ -1,0 +1,83 @@
+type align = Left | Right | Centre
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  mutable rows : row list; (* reverse order *)
+  mutable aligns : align list;
+}
+
+let create ~headers = { headers; rows = []; aligns = [] }
+
+let set_aligns t aligns = t.aligns <- aligns
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_count t =
+  let row_len = function Cells cells -> List.length cells | Separator -> 0 in
+  List.fold_left
+    (fun acc row -> max acc (row_len row))
+    (List.length t.headers)
+    t.rows
+
+let cell_at cells i = match List.nth_opt cells i with Some c -> c | None -> ""
+
+let align_at t i =
+  match List.nth_opt t.aligns i with
+  | Some a -> a
+  | None -> if i = 0 then Left else Right
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let gap = width - len in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Centre ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+
+let render t =
+  let cols = column_count t in
+  let widths = Array.make cols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if i < cols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells cells -> measure cells | Separator -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cells =
+    Buffer.add_char buf '|';
+    for i = 0 to cols - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad (align_at t i) widths.(i) (cell_at cells i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_cells t.headers;
+  rule ();
+  List.iter
+    (function Cells cells -> emit_cells cells | Separator -> rule ())
+    (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment reports.
+
+    The campaign harness and the bench executable print the paper's tables
+    (Table II, IV, V) and figure data (Figures 3, 4) as aligned ASCII
+    tables on stdout; this module does the layout. *)
+
+type align = Left | Right | Centre
+
+type t
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table with one header row. *)
+
+val set_aligns : t -> align list -> unit
+(** [set_aligns t aligns] sets per-column alignment (default: first column
+    left, remaining columns right). Extra columns default to [Right]. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row. Short rows are padded with
+    empty cells; long rows extend the column count. *)
+
+val add_separator : t -> unit
+(** [add_separator t] inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+(** [render t] lays the table out with box-drawing rules. *)
+
+val print : t -> unit
+(** [print t] renders to stdout followed by a newline. *)

@@ -1,0 +1,40 @@
+let width = 63
+
+(* i1 is canonicalized to 0/1 (a boolean), wider types to their
+   sign-extension, so OCaml comparisons coincide with signed machine
+   comparisons. *)
+let canon w v =
+  if w >= width then v
+  else if w = 1 then v land 1
+  else
+    let shift = Sys.int_size - w in
+    (v lsl shift) asr shift
+
+let to_unsigned w v =
+  if w >= width then invalid_arg "Word.to_unsigned: width too large";
+  v land ((1 lsl w) - 1)
+
+(* Unsigned comparison of full words: flip the sign bit and compare signed. *)
+let ucompare a b = compare (a lxor min_int) (b lxor min_int)
+
+let flip_bit v bit =
+  if bit < 0 || bit >= width then invalid_arg "Word.flip_bit: bit out of range";
+  v lxor (1 lsl bit)
+
+let test_bit v bit = (v lsr bit) land 1 = 1
+
+let mask_amount amount = amount land 63
+
+let shl v amount =
+  let amount = mask_amount amount in
+  if amount >= width then 0 else v lsl amount
+
+let lshr w v amount =
+  let amount = mask_amount amount in
+  if amount >= w then 0
+  else if w >= width then v lsr amount
+  else to_unsigned w v lsr amount
+
+let ashr v amount =
+  let amount = mask_amount amount in
+  if amount >= width then v asr (width - 1) else v asr amount

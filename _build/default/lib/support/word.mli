@@ -1,0 +1,42 @@
+(** Machine words of the virtual machines.
+
+    Both the IR interpreter and the x86-like interpreter operate on native
+    OCaml integers.  The widest integer type is therefore [width] = 63 bits
+    rather than the 64 bits of real hardware; DESIGN.md documents this
+    substitution (fault-injection behaviour per bit position is preserved,
+    and bit index [width - 1] plays the role of the hardware sign bit).
+
+    Narrow integer types (i1/i8/i16/i32) are kept in *signed canonical
+    form*: the value is always the sign-extension of its low [w] bits, so
+    that OCaml's comparison and arithmetic coincide with signed machine
+    semantics, and unsigned operations mask explicitly. *)
+
+val width : int
+(** Number of bits in the widest integer type (63). *)
+
+val canon : int -> int -> int
+(** [canon w v] truncates [v] to [w] bits and sign-extends the result.
+    For [w = 1] the canonical form is 0/1 (booleans); for [w = width]
+    this is the identity. *)
+
+val to_unsigned : int -> int -> int
+(** [to_unsigned w v] is the low [w] bits of [v] as a non-negative value.
+    Requires [w < 63]; for [w = width] use {!ucompare} instead. *)
+
+val ucompare : int -> int -> int
+(** [ucompare a b] compares full-width words as unsigned quantities. *)
+
+val flip_bit : int -> int -> int
+(** [flip_bit v bit] flips bit [bit] (0 <= bit < width). *)
+
+val test_bit : int -> int -> bool
+
+val shl : int -> int -> int
+(** [shl v amount] logical shift left; shift amounts are masked to the
+    word size as on x86 ([amount land 63]), and shifts >= width yield 0. *)
+
+val lshr : int -> int -> int -> int
+(** [lshr w v amount] logical (zero-fill) shift right of a [w]-bit value. *)
+
+val ashr : int -> int -> int
+(** [ashr v amount] arithmetic shift right. *)

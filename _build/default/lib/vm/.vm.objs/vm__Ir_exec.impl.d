@@ -1,0 +1,1 @@
+lib/vm/ir_exec.ml: Array Bits Bool Buffer Char Float Hashtbl Int64 Ir List Memory Outcome Printf Rng String Support Trap Word

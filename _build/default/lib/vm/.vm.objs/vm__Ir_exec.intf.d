@@ -1,0 +1,1 @@
+lib/vm/ir_exec.mli: Ir Outcome Support

@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Char Hashtbl Int64 String Support Trap

@@ -1,0 +1,1 @@
+lib/vm/outcome.ml: Fmt String Trap

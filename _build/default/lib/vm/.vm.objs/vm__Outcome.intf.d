@@ -1,0 +1,1 @@
+lib/vm/outcome.mli: Format Trap

@@ -1,0 +1,1 @@
+lib/vm/x86_exec.ml: Array Backend Bits Bool Buffer Char Flags Float Insn Int64 Ir List Memory Outcome Printf Reg Rng String Support Sys Trap Word X86

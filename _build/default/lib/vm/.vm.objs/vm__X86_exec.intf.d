@@ -1,0 +1,1 @@
+lib/vm/x86_exec.mli: Backend Outcome Support X86

@@ -1,0 +1,778 @@
+(** IR-level interpreter with fault-injection hooks.
+
+    A program is compiled once into a dispatch-friendly form (operands
+    resolved to SSA slots or constants, GEPs flattened to base + scaled
+    indices + displacement, globals laid out at fixed addresses) and can
+    then be executed many times cheaply — once per fault-injection trial.
+
+    Three run modes:
+    - plain: golden runs;
+    - profile: count dynamic instances per category bitmask (paper step 1);
+    - inject: flip one bit of the destination of the [target]-th dynamic
+      instance of an instruction matching the category mask (paper step 3).
+
+    Category semantics are supplied by the caller as a [classify] function
+    so that the injector policy (Core.Llfi) stays outside the VM. *)
+
+open Support
+
+(* --- compiled form --- *)
+
+type cop = S of int | C of int  (* integer-class operand: slot or constant *)
+type fop = FS of int | FC of float
+
+type arg = AI of cop | AF of fop
+
+type dest =
+  | DNone
+  | DInt of int * int  (* slot, bit width *)
+  | DFloat of int
+
+type op_kind =
+  | Ibin of Ir.Instr.binop * cop * cop * int  (* width *)
+  | Fbin of Ir.Instr.binop * fop * fop
+  | Icmp_op of Ir.Instr.icmp * cop * cop * int  (* operand width *)
+  | Fcmp_op of Ir.Instr.fcmp * fop * fop
+  | Canon of cop * int  (* trunc to width *)
+  | Unsign of cop * int  (* zext from width *)
+  | Sext_i1 of cop
+  | Move_int of cop  (* sext (non-i1), bitcast, ptrtoint, inttoptr *)
+  | Fp_to_si of fop * int  (* to width *)
+  | Si_to_fp of cop
+  | Alloca_op of int * int  (* size, alignment *)
+  | Load_int of cop * int  (* address, width *)
+  | Load_f64 of cop
+  | Store_int of cop * cop * int  (* value, address, width *)
+  | Store_f64 of fop * cop
+  | Gep_op of cop * int * (cop * int) array  (* base, disp, scaled indices *)
+  | Select_int of cop * cop * cop
+  | Select_f64 of cop * fop * fop
+  | Call_op of int * arg array  (* function index *)
+  | Intr_op of Ir.Instr.intrinsic * arg array
+
+type cinstr = {
+  mask : int;  (* category bitmask; 0 = not an injection candidate *)
+  dest : dest;
+  op : op_kind;
+  meta : Ir.Instr.t;
+  gid : int;  (* program-wide instruction id, for propagation traces *)
+}
+
+type cphi = {
+  pdest : dest;
+  pmask : int;
+  psrcs_i : cop array;  (* indexed by predecessor ordinal; empty if float *)
+  psrcs_f : fop array;
+  pmeta : Ir.Instr.t;
+  pgid : int;
+}
+
+type cterm =
+  | Tret of arg option
+  | Tbr of int * int  (* target block, predecessor ordinal in target *)
+  | Tcond of cop * (int * int) * (int * int)
+
+type cblock = { phis : cphi array; body : cinstr array; term : cterm }
+
+type cfunc = {
+  cname : string;
+  nslots : int;
+  params : (int * bool) array;  (* slot, is_float *)
+  cblocks : cblock array;
+}
+
+type compiled = {
+  source : Ir.Prog.t;
+  cfuncs : cfunc array;
+  main_index : int;
+  global_addr : (string, int) Hashtbl.t;
+  global_image : (int * Ir.Types.t * Ir.Prog.init) list;
+  globals_len : int;
+}
+
+(* --- compilation --- *)
+
+let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
+  let global_addr, global_image, globals_len =
+    Ir.Layout.layout_globals prog ~base:Memory.globals_base
+  in
+  (* Program-wide instruction ids, used to align propagation traces. *)
+  let gid_counter = ref 0 in
+  let next_gid () =
+    let g = !gid_counter in
+    incr gid_counter;
+    g
+  in
+  let funcs = Array.of_list prog.Ir.Prog.funcs in
+  let func_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (f : Ir.Func.t) -> Hashtbl.replace func_index f.fname i)
+    funcs;
+  let compile_func (f : Ir.Func.t) =
+    let classify_instr = classify f in
+    let cfg = Ir.Cfg.of_func f in
+    let iop (op : Ir.Operand.t) =
+      match op with
+      | Ir.Operand.Var v -> S v.id
+      | Ir.Operand.Int (_, c) -> C c
+      | Ir.Operand.Null _ -> C 0
+      | Ir.Operand.Global (name, _) -> C (Hashtbl.find global_addr name)
+      | Ir.Operand.Float _ -> invalid_arg "Ir_exec: float operand in int position"
+    in
+    let fop (op : Ir.Operand.t) =
+      match op with
+      | Ir.Operand.Var v -> FS v.id
+      | Ir.Operand.Float f -> FC f
+      | Ir.Operand.Int _ | Ir.Operand.Null _ | Ir.Operand.Global _ ->
+        invalid_arg "Ir_exec: int operand in float position"
+    in
+    let arg_of op =
+      if Ir.Types.is_float (Ir.Operand.type_of op) then AF (fop op) else AI (iop op)
+    in
+    let width_of ty =
+      if Ir.Types.is_pointer ty then Word.width else Ir.Types.bit_width ty
+    in
+    let dest_of (i : Ir.Instr.t) =
+      match i.result with
+      | None -> DNone
+      | Some v ->
+        if Ir.Types.is_float v.ty then DFloat v.id
+        else DInt (v.id, width_of v.ty)
+    in
+    let compile_gep base indices =
+      let base_ty = Ir.Operand.type_of base in
+      let pointee = Ir.Types.pointee base_ty in
+      let disp = ref 0 in
+      let scaled = ref [] in
+      let add_index idx scale =
+        match idx with
+        | Ir.Operand.Int (_, c) -> disp := !disp + (c * scale)
+        | _ -> scaled := (iop idx, scale) :: !scaled
+      in
+      (match indices with
+      | [] -> invalid_arg "Ir_exec: gep without indices"
+      | first :: rest ->
+        add_index first (Ir.Layout.size_of prog pointee);
+        let rec walk ty = function
+          | [] -> ()
+          | idx :: rest -> (
+            match ty with
+            | Ir.Types.Arr (_, elt) ->
+              add_index idx (Ir.Layout.size_of prog elt);
+              walk elt rest
+            | Ir.Types.Struct sname -> (
+              match idx with
+              | Ir.Operand.Int (_, field) ->
+                disp := !disp + Ir.Layout.field_offset prog sname field;
+                walk (Ir.Layout.field_type prog sname field) rest
+              | _ -> invalid_arg "Ir_exec: dynamic struct field index")
+            | _ -> invalid_arg "Ir_exec: gep walks into scalar")
+        in
+        walk pointee rest);
+      Gep_op (iop base, !disp, Array.of_list (List.rev !scaled))
+    in
+    let compile_instr (i : Ir.Instr.t) =
+      let open Ir.Instr in
+      let op =
+        match i.kind with
+        | Binop (op, a, b) ->
+          if binop_is_float op then Fbin (op, fop a, fop b)
+          else Ibin (op, iop a, iop b, width_of (Ir.Operand.type_of a))
+        | Icmp (p, a, b) ->
+          Icmp_op (p, iop a, iop b, width_of (Ir.Operand.type_of a))
+        | Fcmp (p, a, b) -> Fcmp_op (p, fop a, fop b)
+        | Cast (c, v, to_) -> (
+          let from = Ir.Operand.type_of v in
+          match c with
+          | Trunc -> Canon (iop v, Ir.Types.bit_width to_)
+          | Zext ->
+            if Ir.Types.bit_width from = 1 then Move_int (iop v)
+            else Unsign (iop v, Ir.Types.bit_width from)
+          | Sext ->
+            if Ir.Types.bit_width from = 1 then Sext_i1 (iop v)
+            else Move_int (iop v)
+          | Fptosi -> Fp_to_si (fop v, Ir.Types.bit_width to_)
+          | Sitofp -> Si_to_fp (iop v)
+          | Bitcast | Ptrtoint | Inttoptr -> Move_int (iop v))
+        | Alloca ty ->
+          Alloca_op (Ir.Layout.size_of prog ty, Ir.Layout.align_of prog ty)
+        | Load p -> (
+          let pointee = Ir.Types.pointee (Ir.Operand.type_of p) in
+          match pointee with
+          | Ir.Types.F64 -> Load_f64 (iop p)
+          | ty -> Load_int (iop p, width_of ty))
+        | Store (v, p) -> (
+          let pointee = Ir.Types.pointee (Ir.Operand.type_of p) in
+          match pointee with
+          | Ir.Types.F64 -> Store_f64 (fop v, iop p)
+          | ty -> Store_int (iop v, iop p, width_of ty))
+        | Gep (base, indices) -> compile_gep base indices
+        | Phi _ -> invalid_arg "Ir_exec: phi outside block prefix"
+        | Select (c, a, b) ->
+          if Ir.Types.is_float (Ir.Operand.type_of a) then
+            Select_f64 (iop c, fop a, fop b)
+          else Select_int (iop c, iop a, iop b)
+        | Call (callee, args) ->
+          let idx =
+            match Hashtbl.find_opt func_index callee with
+            | Some i -> i
+            | None -> invalid_arg ("Ir_exec: call to unknown function " ^ callee)
+          in
+          Call_op (idx, Array.of_list (List.map arg_of args))
+        | Intrinsic (intr, args) ->
+          Intr_op (intr, Array.of_list (List.map arg_of args))
+      in
+      { mask = classify_instr i; dest = dest_of i; op; meta = i; gid = next_gid () }
+    in
+    let pred_ordinal target pred =
+      let preds = Ir.Cfg.predecessors_of cfg target in
+      let rec find k = function
+        | [] -> invalid_arg "Ir_exec: branch edge missing from CFG"
+        | p :: rest -> if p = pred then k else find (k + 1) rest
+      in
+      find 0 preds
+    in
+    let compile_block bi (b : Ir.Block.t) =
+      let phis =
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.kind with
+            | Ir.Instr.Phi incoming ->
+              let preds = Ir.Cfg.predecessors_of cfg bi in
+              let by_pred =
+                List.map
+                  (fun p ->
+                    let label = cfg.Ir.Cfg.blocks.(p).Ir.Block.label in
+                    match
+                      List.find_opt (fun (_, l) -> String.equal l label) incoming
+                    with
+                    | Some (v, _) -> v
+                    | None -> invalid_arg "Ir_exec: phi missing incoming value")
+                  preds
+              in
+              let is_float =
+                match i.result with
+                | Some v -> Ir.Types.is_float v.ty
+                | None -> false
+              in
+              {
+                pdest = dest_of i;
+                pmask = classify_instr i;
+                psrcs_i =
+                  (if is_float then [||] else Array.of_list (List.map iop by_pred));
+                psrcs_f =
+                  (if is_float then Array.of_list (List.map fop by_pred) else [||]);
+                pmeta = i;
+                pgid = next_gid ();
+              }
+            | _ -> invalid_arg "Ir_exec: non-phi in phi prefix")
+          (Ir.Block.phis b)
+      in
+      let body = List.map compile_instr (Ir.Block.non_phis b) in
+      let term =
+        match b.term with
+        | Ir.Instr.Ret None -> Tret None
+        | Ir.Instr.Ret (Some v) -> Tret (Some (arg_of v))
+        | Ir.Instr.Br l ->
+          let target = Ir.Cfg.block_index cfg l in
+          Tbr (target, pred_ordinal target bi)
+        | Ir.Instr.Cond_br (c, lt, lf) ->
+          let t = Ir.Cfg.block_index cfg lt and f = Ir.Cfg.block_index cfg lf in
+          Tcond (iop c, (t, pred_ordinal t bi), (f, pred_ordinal f bi))
+      in
+      { phis = Array.of_list phis; body = Array.of_list body; term }
+    in
+    {
+      cname = f.fname;
+      nslots = f.next_value;
+      params =
+        Array.of_list
+          (List.map
+             (fun (p : Ir.Value.t) -> (p.id, Ir.Types.is_float p.ty))
+             f.params);
+      cblocks = Array.of_list (List.mapi compile_block f.blocks);
+    }
+  in
+  let cfuncs = Array.map compile_func funcs in
+  let main_index =
+    match Hashtbl.find_opt func_index "main" with
+    | Some i -> i
+    | None -> invalid_arg "Ir_exec.compile: program has no main"
+  in
+  { source = prog; cfuncs; main_index; global_addr; global_image; globals_len }
+
+(* --- execution --- *)
+
+type mode =
+  | Plain
+  | Profile of int array  (* dynamic count per mask value *)
+  | Inject
+
+type plan = {
+  inj_mask : int;  (* category bit to match *)
+  target : int;  (* which dynamic instance to corrupt *)
+  rng : Rng.t;  (* chooses the bit to flip *)
+}
+
+(* A propagation trace: the fingerprint of every value-producing
+   instruction's result, in execution order.  Comparing a golden trace
+   with a faulty run's trace shows how far a fault spread (LLFI's
+   error-propagation analysis, paper SIII "Customizability and
+   Analysis"). *)
+type trace = {
+  mutable t_gids : int array;
+  mutable t_vals : int array;
+  mutable t_len : int;
+}
+
+let create_trace () =
+  { t_gids = Array.make 4096 0; t_vals = Array.make 4096 0; t_len = 0 }
+
+let trace_push tr gid v =
+  if tr.t_len = Array.length tr.t_gids then begin
+    let n = 2 * tr.t_len in
+    let gids = Array.make n 0 and vals = Array.make n 0 in
+    Array.blit tr.t_gids 0 gids 0 tr.t_len;
+    Array.blit tr.t_vals 0 vals 0 tr.t_len;
+    tr.t_gids <- gids;
+    tr.t_vals <- vals
+  end;
+  tr.t_gids.(tr.t_len) <- gid;
+  tr.t_vals.(tr.t_len) <- v;
+  tr.t_len <- tr.t_len + 1
+
+let float_fingerprint f = Int64.to_int (Int64.bits_of_float f)
+
+type state = {
+  mem : Memory.t;
+  out : Buffer.t;
+  inputs : int array;
+  max_steps : int;
+  mutable steps : int;
+  mutable sp : int;
+  mutable depth : int;
+  mode : mode;
+  mutable countdown : int;  (* inject mode: distance to target instance *)
+  inj_mask : int;
+  inj_rng : Rng.t;
+  mutable injected : bool;
+  mutable injected_step : int;
+  mutable fault_note : string;
+  trace : trace option;
+}
+
+type ret = RVoid | RI of int | RF of float
+
+let output_cap = 1 lsl 20
+let max_call_depth = 20_000
+
+let emit st s =
+  if Buffer.length st.out < output_cap then Buffer.add_string st.out s
+
+let inject_int st w v =
+  let bit = Rng.int st.inj_rng w in
+  st.injected <- true;
+  st.injected_step <- st.steps;
+  st.fault_note <- Printf.sprintf "bit %d of %d-bit result" bit w;
+  if w >= Word.width then Word.flip_bit v bit
+  else if w = 1 then v lxor 1
+  else Word.canon w (Word.to_unsigned w v lxor (1 lsl bit))
+
+let inject_float st f =
+  let bit = Rng.int st.inj_rng 64 in
+  st.injected <- true;
+  st.injected_step <- st.steps;
+  st.fault_note <- Printf.sprintf "bit %d of f64 result" bit;
+  Bits.flip_float f bit
+
+(* Called after the destination slot has been written. *)
+let post_exec st mask dest ienv fenv =
+  match st.mode with
+  | Plain -> ()
+  | Profile counts -> counts.(mask) <- counts.(mask) + 1
+  | Inject ->
+    if mask land st.inj_mask <> 0 then begin
+      if st.countdown = 0 then begin
+        match dest with
+        | DInt (slot, w) -> ienv.(slot) <- inject_int st w ienv.(slot)
+        | DFloat slot -> fenv.(slot) <- inject_float st fenv.(slot)
+        | DNone -> ()
+      end;
+      st.countdown <- st.countdown - 1
+    end
+
+let run_compiled (c : compiled) st =
+  let funcs = c.cfuncs in
+  let rec exec_func fidx (args : ret array) =
+    let f = funcs.(fidx) in
+    st.depth <- st.depth + 1;
+    if st.depth > max_call_depth then Trap.raise_trap Trap.Stack_overflow;
+    let ienv = Array.make f.nslots 0 in
+    let fenv = Array.make f.nslots 0.0 in
+    Array.iteri
+      (fun k (slot, is_float) ->
+        match args.(k) with
+        | RI v -> ienv.(slot) <- v
+        | RF v -> fenv.(slot) <- v
+        | RVoid -> ignore is_float)
+      f.params;
+    let saved_sp = st.sp in
+    let iv op = match op with S i -> ienv.(i) | C c -> c in
+    let fv op = match op with FS i -> fenv.(i) | FC c -> c in
+    let eval_arg = function AI op -> RI (iv op) | AF op -> RF (fv op) in
+    let result = ref RVoid in
+    let block = ref 0 in
+    let pred = ref 0 in
+    let running = ref true in
+    while !running do
+      let b = f.cblocks.(!block) in
+      (* Parallel phi evaluation: read all sources before writing. *)
+      let nphis = Array.length b.phis in
+      if nphis > 0 then begin
+        let tmp_i = Array.make nphis 0 in
+        let tmp_f = Array.make nphis 0.0 in
+        for k = 0 to nphis - 1 do
+          let p = b.phis.(k) in
+          if Array.length p.psrcs_f > 0 then tmp_f.(k) <- fv p.psrcs_f.(!pred)
+          else tmp_i.(k) <- iv p.psrcs_i.(!pred)
+        done;
+        for k = 0 to nphis - 1 do
+          let p = b.phis.(k) in
+          (match p.pdest with
+          | DInt (slot, _) -> ienv.(slot) <- tmp_i.(k)
+          | DFloat slot -> fenv.(slot) <- tmp_f.(k)
+          | DNone -> ());
+          st.steps <- st.steps + 1;
+          post_exec st p.pmask p.pdest ienv fenv;
+          match st.trace with
+          | Some tr -> (
+            match p.pdest with
+            | DInt (slot, _) -> trace_push tr p.pgid ienv.(slot)
+            | DFloat slot -> trace_push tr p.pgid (float_fingerprint fenv.(slot))
+            | DNone -> ())
+          | None -> ()
+        done
+      end;
+      if st.steps > st.max_steps then raise Outcome.Hang_limit;
+      let body = b.body in
+      for k = 0 to Array.length body - 1 do
+        let ci = body.(k) in
+        st.steps <- st.steps + 1;
+        (match ci.op with
+        | Ibin (op, a, bb, w) ->
+          let x = iv a and y = iv bb in
+          let v =
+            match op with
+            | Ir.Instr.Add -> Word.canon w (x + y)
+            | Ir.Instr.Sub -> Word.canon w (x - y)
+            | Ir.Instr.Mul -> Word.canon w (x * y)
+            | Ir.Instr.Sdiv ->
+              if y = 0 || (y = -1 && x = min_int) then
+                Trap.raise_trap Trap.Division_by_zero
+              else Word.canon w (x / y)
+            | Ir.Instr.Srem ->
+              if y = 0 || (y = -1 && x = min_int) then
+                Trap.raise_trap Trap.Division_by_zero
+              else Word.canon w (x mod y)
+            | Ir.Instr.Udiv ->
+              if y = 0 then Trap.raise_trap Trap.Division_by_zero
+              else if w < Word.width then
+                Word.canon w (Word.to_unsigned w x / Word.to_unsigned w y)
+              else
+                Int64.to_int
+                  (Int64.unsigned_div
+                     (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+                     (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
+            | Ir.Instr.Urem ->
+              if y = 0 then Trap.raise_trap Trap.Division_by_zero
+              else if w < Word.width then
+                Word.canon w (Word.to_unsigned w x mod Word.to_unsigned w y)
+              else
+                Int64.to_int
+                  (Int64.unsigned_rem
+                     (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+                     (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
+            | Ir.Instr.And -> x land y
+            | Ir.Instr.Or -> x lor y
+            | Ir.Instr.Xor -> x lxor y
+            | Ir.Instr.Shl -> Word.canon w (Word.shl x y)
+            | Ir.Instr.Lshr -> Word.canon w (Word.lshr w x y)
+            | Ir.Instr.Ashr -> Word.ashr x y
+            | Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv ->
+              assert false
+          in
+          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+        | Fbin (op, a, bb) ->
+          let x = fv a and y = fv bb in
+          let v =
+            match op with
+            | Ir.Instr.Fadd -> x +. y
+            | Ir.Instr.Fsub -> x -. y
+            | Ir.Instr.Fmul -> x *. y
+            | Ir.Instr.Fdiv -> x /. y
+            | _ -> assert false
+          in
+          (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
+        | Icmp_op (p, a, bb, w) ->
+          let x = iv a and y = iv bb in
+          let v =
+            match p with
+            | Ir.Instr.Ieq -> x = y
+            | Ir.Instr.Ine -> x <> y
+            | Ir.Instr.Islt -> x < y
+            | Ir.Instr.Isle -> x <= y
+            | Ir.Instr.Isgt -> x > y
+            | Ir.Instr.Isge -> x >= y
+            | Ir.Instr.Iult | Ir.Instr.Iule | Ir.Instr.Iugt | Ir.Instr.Iuge ->
+              let cmp =
+                if w >= Word.width then Word.ucompare x y
+                else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
+              in
+              (match p with
+              | Ir.Instr.Iult -> cmp < 0
+              | Ir.Instr.Iule -> cmp <= 0
+              | Ir.Instr.Iugt -> cmp > 0
+              | _ -> cmp >= 0)
+          in
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
+          | _ -> ())
+        | Fcmp_op (p, a, bb) ->
+          let x = fv a and y = fv bb in
+          let v =
+            match p with
+            | Ir.Instr.Feq -> x = y
+            | Ir.Instr.Fne -> x < y || x > y
+            | Ir.Instr.Flt -> x < y
+            | Ir.Instr.Fle -> x <= y
+            | Ir.Instr.Fgt -> x > y
+            | Ir.Instr.Fge -> x >= y
+          in
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
+          | _ -> ())
+        | Canon (a, w) ->
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- Word.canon w (iv a)
+          | _ -> ())
+        | Unsign (a, w) ->
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- Word.to_unsigned w (iv a)
+          | _ -> ())
+        | Sext_i1 a ->
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- -(iv a land 1)
+          | _ -> ())
+        | Move_int a ->
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- iv a
+          | _ -> ())
+        | Fp_to_si (a, w) ->
+          let f = fv a in
+          let v =
+            (* cvttsd2si semantics: out-of-range and NaN produce the
+               "integer indefinite" value (the minimum integer). *)
+            if Float.is_nan f || f >= 4.611686018427387904e18
+               || f <= -4.611686018427387904e18
+            then min_int
+            else Word.canon w (int_of_float f)
+          in
+          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+        | Si_to_fp a ->
+          (match ci.dest with
+          | DFloat slot -> fenv.(slot) <- float_of_int (iv a)
+          | _ -> ())
+        | Alloca_op (size, align) ->
+          let addr = (st.sp - size) land lnot (align - 1) in
+          if addr < Memory.stack_top - Memory.default_stack_bytes then
+            Trap.raise_trap Trap.Stack_overflow;
+          st.sp <- addr;
+          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
+        | Load_int (p, w) ->
+          let addr = iv p in
+          let v =
+            match w with
+            | 1 -> Memory.read_u8 st.mem addr land 1
+            | 8 -> Word.canon 8 (Memory.read_u8 st.mem addr)
+            | 16 -> Word.canon 16 (Memory.read_u16 st.mem addr)
+            | 32 -> Word.canon 32 (Memory.read_u32 st.mem addr)
+            | _ -> Memory.read_word st.mem addr
+          in
+          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+        | Load_f64 p ->
+          let v = Memory.read_f64 st.mem (iv p) in
+          (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
+        | Store_int (v, p, w) -> (
+          let addr = iv p and x = iv v in
+          match w with
+          | 1 | 8 -> Memory.write_u8 st.mem addr (x land 0xff)
+          | 16 -> Memory.write_u16 st.mem addr (x land 0xffff)
+          | 32 -> Memory.write_u32 st.mem addr (x land 0xffffffff)
+          | _ -> Memory.write_word st.mem addr x)
+        | Store_f64 (v, p) -> Memory.write_f64 st.mem (iv p) (fv v)
+        | Gep_op (base, disp, scaled) ->
+          let addr = ref (iv base + disp) in
+          for s = 0 to Array.length scaled - 1 do
+            let idx, scale = scaled.(s) in
+            addr := !addr + (iv idx * scale)
+          done;
+          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- !addr | _ -> ())
+        | Select_int (cond, a, bb) ->
+          (match ci.dest with
+          | DInt (slot, _) -> ienv.(slot) <- (if iv cond <> 0 then iv a else iv bb)
+          | _ -> ())
+        | Select_f64 (cond, a, bb) ->
+          (match ci.dest with
+          | DFloat slot -> fenv.(slot) <- (if iv cond <> 0 then fv a else fv bb)
+          | _ -> ())
+        | Call_op (fidx', args) -> (
+          let evaluated = Array.map eval_arg args in
+          match exec_func fidx' evaluated with
+          | RI v -> (
+            match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+          | RF v -> (
+            match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
+          | RVoid -> ())
+        | Intr_op (intr, args) -> (
+          let int_arg k = match args.(k) with AI op -> iv op | AF op -> int_of_float (fv op) in
+          let float_arg k = match args.(k) with AF op -> fv op | AI op -> float_of_int (iv op) in
+          match intr with
+          | Ir.Instr.Print_i64 -> emit st (string_of_int (int_arg 0))
+          | Ir.Instr.Print_f64 -> emit st (Printf.sprintf "%.6f" (float_arg 0))
+          | Ir.Instr.Print_char ->
+            emit st (String.make 1 (Char.chr (int_arg 0 land 0xff)))
+          | Ir.Instr.Print_newline -> emit st "\n"
+          | Ir.Instr.Heap_alloc ->
+            let n = int_arg 0 in
+            let n = if n < 0 || n > (1 lsl 30) then Trap.raise_trap (Trap.Unmapped_write (-1)) else n in
+            let addr = Memory.heap_alloc st.mem n in
+            (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
+          | Ir.Instr.Input_i64 ->
+            let k = int_arg 0 in
+            let v = if k >= 0 && k < Array.length st.inputs then st.inputs.(k) else 0 in
+            (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+          | Ir.Instr.Sqrt ->
+            (match ci.dest with
+            | DFloat slot -> fenv.(slot) <- sqrt (float_arg 0)
+            | _ -> ())
+          | Ir.Instr.Fabs ->
+            (match ci.dest with
+            | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
+            | _ -> ()))
+        );
+        if ci.mask <> 0 then post_exec st ci.mask ci.dest ienv fenv;
+        (match st.trace with
+        | Some tr -> (
+          match ci.dest with
+          | DInt (slot, _) -> trace_push tr ci.gid ienv.(slot)
+          | DFloat slot -> trace_push tr ci.gid (float_fingerprint fenv.(slot))
+          | DNone -> ())
+        | None -> ())
+      done;
+      if st.steps > st.max_steps then raise Outcome.Hang_limit;
+      st.steps <- st.steps + 1;
+      (match b.term with
+      | Tret arg ->
+        result := (match arg with None -> RVoid | Some a -> eval_arg a);
+        running := false
+      | Tbr (target, ord) ->
+        block := target;
+        pred := ord
+      | Tcond (c, (t, tord), (f_, ford)) ->
+        if iv c <> 0 then begin
+          block := t;
+          pred := tord
+        end
+        else begin
+          block := f_;
+          pred := ford
+        end)
+    done;
+    st.sp <- saved_sp;
+    st.depth <- st.depth - 1;
+    !result
+  in
+  exec_func c.main_index [||]
+
+let init_memory (c : compiled) =
+  let mem = Memory.create () in
+  if c.globals_len > 0 then
+    Memory.map_region mem ~addr:Memory.globals_base ~len:c.globals_len;
+  List.iter
+    (fun (addr, ty, init) ->
+      let scalar_write addr (ty : Ir.Types.t) v =
+        match ty with
+        | Ir.Types.I1 | Ir.Types.I8 -> Memory.write_u8 mem addr (v land 0xff)
+        | Ir.Types.I16 -> Memory.write_u16 mem addr (v land 0xffff)
+        | Ir.Types.I32 -> Memory.write_u32 mem addr (v land 0xffffffff)
+        | Ir.Types.I64 | Ir.Types.Ptr _ -> Memory.write_word mem addr v
+        | Ir.Types.F64 | Ir.Types.Arr _ | Ir.Types.Struct _ | Ir.Types.Void ->
+          invalid_arg "Ir_exec: non-integer scalar initializer"
+      in
+      match (init : Ir.Prog.init) with
+      | Ir.Prog.Zero -> ()
+      | Ir.Prog.Str s -> Memory.blit_string mem ~addr s
+      | Ir.Prog.Ints vs -> (
+        match ty with
+        | Ir.Types.Arr (_, elt) ->
+          let esize = Ir.Layout.size_of c.source elt in
+          List.iteri (fun k v -> scalar_write (addr + (k * esize)) elt v) vs
+        | scalar -> (
+          match vs with
+          | [ v ] -> scalar_write addr scalar v
+          | _ -> invalid_arg "Ir_exec: scalar global with multiple initializers"))
+      | Ir.Prog.Floats vs -> (
+        match ty with
+        | Ir.Types.Arr (_, Ir.Types.F64) ->
+          List.iteri (fun k v -> Memory.write_f64 mem (addr + (k * 8)) v) vs
+        | Ir.Types.F64 -> (
+          match vs with
+          | [ v ] -> Memory.write_f64 mem addr v
+          | _ -> invalid_arg "Ir_exec: scalar global with multiple initializers")
+        | _ -> invalid_arg "Ir_exec: float initializer on non-float global"))
+    c.global_image;
+  mem
+
+let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
+    ?trace (c : compiled) =
+  let mode, countdown, inj_mask, inj_rng =
+    match (plan, profile_masks) with
+    | Some _, Some _ -> invalid_arg "Ir_exec.run: profile and inject exclusive"
+    | Some p, None -> (Inject, p.target, p.inj_mask, p.rng)
+    | None, Some counts -> (Profile counts, -1, 0, Rng.of_int 0)
+    | None, None -> (Plain, -1, 0, Rng.of_int 0)
+  in
+  let st =
+    {
+      mem = init_memory c;
+      out = Buffer.create 4096;
+      inputs;
+      max_steps;
+      steps = 0;
+      sp = Memory.stack_top;
+      depth = 0;
+      mode;
+      countdown;
+      inj_mask;
+      inj_rng;
+      injected = false;
+      injected_step = -1;
+      fault_note = "";
+      trace;
+    }
+  in
+  let outcome =
+    match run_compiled c st with
+    | _ -> Outcome.Finished (Buffer.contents st.out)
+    | exception Trap.Trap t -> Outcome.Crashed t
+    | exception Outcome.Hang_limit -> Outcome.Hung
+    | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
+  in
+  {
+    Outcome.outcome;
+    steps = st.steps;
+    injected = st.injected;
+    activated = st.injected;
+    fault_note = st.fault_note;
+    injected_step = st.injected_step;
+  }

@@ -1,0 +1,56 @@
+(** IR-level interpreter with fault-injection hooks.
+
+    A program is {!compile}d once into a dispatch-friendly form and can
+    then be {!run} many times cheaply — once per fault-injection trial.
+
+    Run modes: plain (golden runs), profiling (count dynamic instances
+    per category bitmask — paper step 1), injection (flip one bit of the
+    destination of the [target]-th dynamic instance matching the category
+    mask — paper step 3), and optional propagation tracing.
+
+    Category semantics are supplied by the caller as a [classify]
+    function so the injector policy ({!Core.Llfi}) stays outside the VM. *)
+
+type compiled
+(** A compiled program; reusable across runs and thread-compatible for
+    sequential use. *)
+
+val compile : ?classify:(Ir.Func.t -> Ir.Instr.t -> int) -> Ir.Prog.t -> compiled
+(** [classify] assigns each instruction a category bitmask (0 = not an
+    injection candidate); defaults to all zeros.
+    @raise Invalid_argument if the program has no [main]. *)
+
+type plan = {
+  inj_mask : int;  (** category bit(s) to match *)
+  target : int;  (** which dynamic instance to corrupt *)
+  rng : Support.Rng.t;  (** chooses the bit to flip *)
+}
+
+(** A propagation trace: fingerprints of every value-producing
+    instruction's result, in execution order (LLFI's error-propagation
+    analysis). *)
+type trace = {
+  mutable t_gids : int array;  (** program-wide instruction ids *)
+  mutable t_vals : int array;  (** value fingerprints *)
+  mutable t_len : int;
+}
+
+val create_trace : unit -> trace
+val trace_push : trace -> int -> int -> unit
+
+val run :
+  ?plan:plan ->
+  ?inputs:int array ->
+  ?max_steps:int ->
+  ?profile_masks:int array ->
+  ?trace:trace ->
+  compiled ->
+  Outcome.stats
+(** Execute [main] on a fresh memory image.
+
+    - [plan]: perform one fault injection (exclusive with profiling);
+    - [inputs]: the vector served by the [input] intrinsic;
+    - [max_steps]: hang budget (default 10^8);
+    - [profile_masks]: array of length [2^categories] receiving dynamic
+      counts per category bitmask;
+    - [trace]: record a propagation trace into the given buffer. *)

@@ -1,0 +1,178 @@
+(** Sparse paged byte-addressable memory with trapping semantics.
+
+    The address space mirrors a Linux process closely enough for the
+    crash-rate experiments to be meaningful: a guard region at address 0,
+    a text segment (jump targets only), a globals segment, a heap that
+    grows up from a high base, and a stack that grows down from near the
+    top of a 2^40-byte space.  Accesses to unmapped pages trap — this is
+    what turns a bit-flipped pointer into the paper's "crash" outcome,
+    with flips in low address bits tending to stay inside a mapped page
+    and flips in high bits tending to escape it. *)
+
+let page_bits = Support.Segments.page_bits
+let page_size = Support.Segments.page_size
+
+(* Segment layout (byte addresses). *)
+let text_base = Support.Segments.text_base
+let text_limit = Support.Segments.text_limit
+let globals_base = Support.Segments.globals_base
+let heap_base = Support.Segments.heap_base
+let stack_top = Support.Segments.stack_top (* first address *above* the stack *)
+let default_stack_bytes = Support.Segments.default_stack_bytes
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_index : int;  (* one-entry page cache *)
+  mutable last_page : Bytes.t;
+  mutable heap_brk : int;    (* bump-allocator frontier *)
+}
+
+let unmapped = Bytes.create 0
+
+let create () =
+  {
+    pages = Hashtbl.create 256;
+    last_index = -1;
+    last_page = unmapped;
+    heap_brk = heap_base;
+  }
+
+let page_of_addr addr = addr lsr page_bits
+
+let map_page t index =
+  if not (Hashtbl.mem t.pages index) then
+    Hashtbl.replace t.pages index (Bytes.make page_size '\000')
+
+(* Map every page overlapping [addr, addr+len). *)
+let map_region t ~addr ~len =
+  if len > 0 then
+    for index = page_of_addr addr to page_of_addr (addr + len - 1) do
+      map_page t index
+    done
+
+let is_mapped t addr =
+  addr >= 0 && Hashtbl.mem t.pages (page_of_addr addr)
+
+(* Stack pages are demand-mapped, like an OS growing the stack on first
+   touch; everything else must have been mapped explicitly. *)
+let stack_auto_base = stack_top - default_stack_bytes
+
+let demand_map t addr index =
+  if addr >= stack_auto_base && addr < stack_top then begin
+    let page = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages index page;
+    Some page
+  end
+  else None
+
+let find_page_read t addr =
+  let index = page_of_addr addr in
+  if index = t.last_index then t.last_page
+  else
+    match Hashtbl.find_opt t.pages index with
+    | Some page ->
+      t.last_index <- index;
+      t.last_page <- page;
+      page
+    | None -> (
+      match demand_map t addr index with
+      | Some page ->
+        t.last_index <- index;
+        t.last_page <- page;
+        page
+      | None -> Trap.raise_trap (Trap.Unmapped_read addr))
+
+let find_page_write t addr =
+  let index = page_of_addr addr in
+  if index = t.last_index then t.last_page
+  else
+    match Hashtbl.find_opt t.pages index with
+    | Some page ->
+      t.last_index <- index;
+      t.last_page <- page;
+      page
+    | None -> (
+      match demand_map t addr index with
+      | Some page ->
+        t.last_index <- index;
+        t.last_page <- page;
+        page
+      | None -> Trap.raise_trap (Trap.Unmapped_write addr))
+
+let read_u8 t addr =
+  if addr < 0 then Trap.raise_trap (Trap.Unmapped_read addr);
+  let page = find_page_read t addr in
+  Char.code (Bytes.unsafe_get page (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  if addr < 0 then Trap.raise_trap (Trap.Unmapped_write addr);
+  let page = find_page_write t addr in
+  Bytes.unsafe_set page (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xff))
+
+(* Multi-byte little-endian accessors.  The common case — the whole value
+   inside one page — uses direct byte loads; page-straddling accesses fall
+   back to byte-at-a-time. *)
+
+let read_bytes_le t addr n =
+  let v = ref 0 in
+  for k = n - 1 downto 0 do
+    v := (!v lsl 8) lor read_u8 t (addr + k)
+  done;
+  !v
+
+let write_bytes_le t addr n v =
+  for k = 0 to n - 1 do
+    write_u8 t (addr + k) ((v lsr (8 * k)) land 0xff)
+  done
+
+let read_u16 t addr = read_bytes_le t addr 2
+let write_u16 t addr v = write_bytes_le t addr 2 v
+let read_u32 t addr = read_bytes_le t addr 4
+let write_u32 t addr v = write_bytes_le t addr 4 v
+
+(* 64-bit slots hold the VM's 63-bit words; the top bit of byte 7 stores
+   the sign so that signed round-trips are exact. *)
+let read_word t addr =
+  let lo = read_bytes_le t addr 7 in
+  let hi = read_u8 t (addr + 7) in
+  (* Reassemble 63 bits: 56 from lo, 7 from hi; sign bit is hi's bit 7. *)
+  let v = lo lor ((hi land 0x7f) lsl 56) in
+  if hi land 0x80 <> 0 then v lor min_int else v
+
+let write_word t addr v =
+  write_bytes_le t addr 7 v;
+  let hi = (v lsr 56) land 0x7f in
+  let hi = if v < 0 then hi lor 0x80 else hi in
+  write_u8 t (addr + 7) hi
+
+let read_f64 t addr =
+  let lo32 = read_u32 t addr in
+  let hi32 = read_u32 t (addr + 4) in
+  Int64.float_of_bits
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int hi32) 32)
+       (Int64.of_int lo32))
+
+let write_f64 t addr v =
+  let bits = Int64.bits_of_float v in
+  write_u32 t addr (Int64.to_int (Int64.logand bits 0xffff_ffffL));
+  write_u32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let blit_string t ~addr s =
+  String.iteri (fun k c -> write_u8 t (addr + k) (Char.code c)) s
+
+(* Bump allocation, 16-byte aligned.  The arena is mapped in 64 KiB
+   chunks, like an sbrk-grown malloc arena: there is always mapped slack
+   beyond the last allocation, so an off-by-a-few overrun reads garbage
+   (a silent corruption) rather than faulting — faults happen when an
+   access escapes the arena, as on a real heap. *)
+let arena_chunk = 1 lsl 16
+
+let heap_alloc t n =
+  if n < 0 then invalid_arg "Memory.heap_alloc: negative size";
+  let addr = t.heap_brk in
+  let len = max n 1 in
+  let mapped_end = (addr + len + arena_chunk - 1) / arena_chunk * arena_chunk in
+  map_region t ~addr ~len:(mapped_end - addr);
+  t.heap_brk <- (addr + len + 15) land lnot 15;
+  addr

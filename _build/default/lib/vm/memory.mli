@@ -1,0 +1,65 @@
+(** Sparse paged byte-addressable memory with trapping semantics.
+
+    The address space mirrors a Linux process closely enough for the
+    crash-rate experiments to be meaningful: a guard region at address 0,
+    a text segment (jump targets only), a globals segment, a chunked heap
+    arena, and a demand-mapped stack.  Accesses to unmapped pages raise
+    {!Trap.Trap} — this is what turns a bit-flipped pointer into the
+    paper's "crash" outcome: flips in low address bits tend to stay
+    inside a mapped region, flips in high bits tend to escape it. *)
+
+val page_bits : int
+val page_size : int
+
+(** Segment layout (byte addresses); see {!Support.Segments}. *)
+
+val text_base : int
+val text_limit : int
+val globals_base : int
+val heap_base : int
+
+val stack_top : int
+(** First address above the stack. *)
+
+val default_stack_bytes : int
+
+type t
+
+val create : unit -> t
+(** An empty address space: only stack pages (on demand) and explicitly
+    mapped regions are accessible. *)
+
+val map_region : t -> addr:int -> len:int -> unit
+(** Map (zeroed) every page overlapping [addr, addr+len). *)
+
+val is_mapped : t -> int -> bool
+
+(** {1 Accessors}
+
+    All raise {!Trap.Trap} on unmapped addresses.  Multi-byte accessors
+    are little-endian and may straddle pages. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+
+val read_word : t -> int -> int
+(** 64-bit slots holding the VM's 63-bit words; signed round-trips are
+    exact. *)
+
+val write_word : t -> int -> int -> unit
+
+val read_f64 : t -> int -> float
+(** Bit-exact IEEE-754 round-trips. *)
+
+val write_f64 : t -> int -> float -> unit
+
+val blit_string : t -> addr:int -> string -> unit
+
+val heap_alloc : t -> int -> int
+(** Bump allocation, 16-byte aligned.  The arena is mapped in 64 KiB
+    chunks like an sbrk-grown malloc arena, so small overruns read
+    zeroes (silent corruption) while far-out accesses trap. *)

@@ -1,0 +1,23 @@
+(** Raw result of one program execution under either interpreter. *)
+
+type t =
+  | Finished of string  (** the program's captured output *)
+  | Crashed of Trap.t
+  | Hung  (** exceeded its step budget *)
+
+exception Hang_limit
+(** Raised internally by the interpreters when the step budget runs out. *)
+
+type stats = {
+  outcome : t;
+  steps : int;  (** dynamic instructions executed *)
+  injected : bool;  (** the planned fault was actually inserted *)
+  activated : bool;  (** the corrupted state was subsequently read *)
+  fault_note : string;  (** human-readable fault-site description *)
+  injected_step : int;  (** dynamic step of the injection, -1 if none *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val equal_kind : t -> t -> bool
+(** Same constructor, payloads ignored. *)

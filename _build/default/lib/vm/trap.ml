@@ -1,0 +1,26 @@
+(** Hardware-visible failure conditions.
+
+    A trap is the VM-level analogue of the OS terminating the program with
+    an exception (SIGSEGV, SIGFPE, ...) — the paper's "crash" outcome. *)
+
+type t =
+  | Unmapped_read of int   (* load from an address with no mapped page *)
+  | Unmapped_write of int
+  | Division_by_zero
+  | Invalid_jump of int    (* control transfer outside the text segment *)
+  | Stack_overflow
+  | Unreachable_executed
+
+exception Trap of t
+
+let raise_trap t = raise (Trap t)
+
+let pp fmt = function
+  | Unmapped_read a -> Fmt.pf fmt "segmentation fault (read 0x%x)" a
+  | Unmapped_write a -> Fmt.pf fmt "segmentation fault (write 0x%x)" a
+  | Division_by_zero -> Fmt.string fmt "floating point exception (integer division by zero)"
+  | Invalid_jump a -> Fmt.pf fmt "illegal jump target (0x%x)" a
+  | Stack_overflow -> Fmt.string fmt "stack overflow"
+  | Unreachable_executed -> Fmt.string fmt "unreachable code executed"
+
+let to_string t = Fmt.str "%a" pp t

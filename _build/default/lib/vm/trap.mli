@@ -1,0 +1,17 @@
+(** Hardware-visible failure conditions — the VM analogue of the OS
+    killing the program with an exception (the paper's "crash" outcome). *)
+
+type t =
+  | Unmapped_read of int
+  | Unmapped_write of int
+  | Division_by_zero
+  | Invalid_jump of int  (** control transfer outside the text segment *)
+  | Stack_overflow
+  | Unreachable_executed
+
+exception Trap of t
+
+val raise_trap : t -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

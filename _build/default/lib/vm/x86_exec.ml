@@ -1,0 +1,485 @@
+(** x86-level interpreter with PIN-style fault-injection hooks.
+
+    Mirrors [Ir_exec] one level down: a program assembled by the backend
+    is "loaded" (each instruction classified into injection categories,
+    as PIN tools do at instrumentation time) and can then be executed
+    many times.  Injection corrupts the destination register of a chosen
+    dynamic instance; the two PINFI activation heuristics of the paper's
+    Figure 2 are policy switches:
+
+    - [flag_dependent_bits]: faults into compare instructions hit only
+      the flag bit(s) the following conditional jump reads;
+    - [xmm_low64_only]: faults into XMM destinations are restricted to
+      the low 64 bits used by scalar double arithmetic (flips of the
+      unused upper half are recorded as non-activated).
+
+    Activation is tracked architecturally: the corrupted register must be
+    read before being overwritten for the fault to count as activated. *)
+
+open Support
+open X86
+
+type loaded = {
+  program : Backend.Program.t;
+  masks : int array;  (* per-instruction category bitmask *)
+}
+
+let load ?(classify = fun _ _ _ -> 0) (program : Backend.Program.t) =
+  { program; masks = Array.mapi (classify program) program.insns }
+
+type policy = { flag_dependent_bits : bool; xmm_low64_only : bool }
+
+let paper_policy = { flag_dependent_bits = true; xmm_low64_only = true }
+
+type plan = { inj_mask : int; target : int; rng : Rng.t; policy : policy }
+
+type mode =
+  | Plain
+  | Profile of int array  (* dynamic count per category bitmask *)
+  | Profile_index of int array  (* dynamic count per instruction index *)
+  | Inject
+
+type watch = No_watch | Watch_gp of Reg.t | Watch_xmm of Reg.t | Watch_flags
+
+type machine = {
+  mem : Memory.t;
+  gp : int array;
+  xmm : float array;
+  mutable flags : int;
+  mutable rip : int;
+  out : Buffer.t;
+  inputs : int array;
+  max_steps : int;
+  mutable steps : int;
+  mode : mode;
+  mutable countdown : int;
+  inj_mask : int;
+  inj_rng : Rng.t;
+  policy : policy;
+  mutable injected : bool;
+  mutable injected_step : int;
+  mutable activated : bool;
+  mutable watch : watch;
+  mutable fault_note : string;
+}
+
+let output_cap = 1 lsl 20
+
+let emit m s = if Buffer.length m.out < output_cap then Buffer.add_string m.out s
+
+(* The destination register PINFI would corrupt: the primary written
+   register, or the flags for compare-class instructions. *)
+type dest = Dgp of Reg.t | Dxmm of Reg.t | Dflags | Dnone
+
+let primary_dest (insn : Insn.t) =
+  match insn with
+  | Insn.Mov (d, _) | Insn.Movzx (d, _, _) | Insn.Movsx (d, _, _)
+  | Insn.Lea (d, _)
+  | Insn.Alu (_, d, _)
+  | Insn.Imul (d, _)
+  | Insn.Neg d | Insn.Not d
+  | Insn.Setcc (_, d)
+  | Insn.Pop d
+  | Insn.Cvttsd2si (d, _) ->
+    Dgp d
+  | Insn.Shift (_, d, _) -> Dgp d
+  | Insn.Cqo -> Dgp Reg.rdx
+  | Insn.Idiv _ | Insn.Div _ -> Dgp Reg.rax
+  | Insn.Imul3 (d, _, _) -> Dgp d
+  | Insn.Push _ | Insn.Call _ | Insn.Ret -> Dgp Reg.rsp
+  | Insn.Movsd (d, _) | Insn.Sse (_, d, _) | Insn.Sqrtsd (d, _)
+  | Insn.Andpd_abs d
+  | Insn.Cvtsi2sd (d, _) ->
+    Dxmm d
+  | Insn.Cmp _ | Insn.Test _ | Insn.Ucomisd _ -> Dflags
+  | Insn.Store _ | Insn.Store_imm _ | Insn.Store_sd _ | Insn.Jmp _
+  | Insn.Jcc _ | Insn.Syscall _ | Insn.Label _ ->
+    Dnone
+
+exception Halt
+
+let effective_addr m (mem : Insn.mem) =
+  let base = match mem.base with Some r -> m.gp.(r) | None -> 0 in
+  let index = match mem.index with Some (r, s) -> m.gp.(r) * s | None -> 0 in
+  base + index + mem.disp
+
+let src_value m = function
+  | Insn.Reg r -> m.gp.(r)
+  | Insn.Imm c -> c
+  | Insn.Mem mem -> Memory.read_word m.mem (effective_addr m mem)
+
+let xsrc_value m = function
+  | Insn.Xreg r -> m.xmm.(r)
+  | Insn.Xmem mem -> Memory.read_f64 m.mem (effective_addr m mem)
+
+let narrow_read m w (s : Insn.src) ~signed =
+  match s with
+  | Insn.Reg r ->
+    let v = m.gp.(r) in
+    let bits = Insn.width_bits w in
+    if signed then Word.canon bits v else Word.to_unsigned bits v
+  | Insn.Imm c ->
+    let bits = Insn.width_bits w in
+    if signed then Word.canon bits c else Word.to_unsigned bits c
+  | Insn.Mem mem -> (
+    let addr = effective_addr m mem in
+    match w with
+    | Insn.W8 ->
+      let v = Memory.read_u8 m.mem addr in
+      if signed then Word.canon 8 v else v
+    | Insn.W16 ->
+      let v = Memory.read_u16 m.mem addr in
+      if signed then Word.canon 16 v else v
+    | Insn.W32 ->
+      let v = Memory.read_u32 m.mem addr in
+      if signed then Word.canon 32 v else v
+    | Insn.W64 -> Memory.read_word m.mem addr)
+
+let store_width m w mem v =
+  let addr = effective_addr m mem in
+  match w with
+  | Insn.W8 -> Memory.write_u8 m.mem addr (v land 0xff)
+  | Insn.W16 -> Memory.write_u16 m.mem addr (v land 0xffff)
+  | Insn.W32 -> Memory.write_u32 m.mem addr (v land 0xffffffff)
+  | Insn.W64 -> Memory.write_word m.mem addr v
+
+let fptosi_truncate f =
+  if Float.is_nan f || f >= 4.611686018427387904e18 || f <= -4.611686018427387904e18
+  then min_int
+  else int_of_float f
+
+(* --- fault insertion --- *)
+
+let inject m (loaded : loaded) insn =
+  m.injected <- true;
+  m.injected_step <- m.steps;
+  match primary_dest insn with
+  | Dgp r ->
+    let bit = Rng.int m.inj_rng Word.width in
+    m.gp.(r) <- Word.flip_bit m.gp.(r) bit;
+    m.watch <- Watch_gp r;
+    m.fault_note <- Printf.sprintf "bit %d of %s" bit Reg.gp_names.(r)
+  | Dxmm r ->
+    let range = if m.policy.xmm_low64_only then 64 else 128 in
+    let bit = Rng.int m.inj_rng range in
+    if bit < 64 then begin
+      m.xmm.(r) <- Bits.flip_float m.xmm.(r) bit;
+      m.watch <- Watch_xmm r;
+      m.fault_note <- Printf.sprintf "bit %d of xmm%d" bit r
+    end
+    else begin
+      (* Upper half of the XMM register: unused by scalar double code,
+         so the fault can never be activated. *)
+      m.watch <- No_watch;
+      m.fault_note <- Printf.sprintf "bit %d of xmm%d (upper half)" bit r
+    end
+  | Dflags ->
+    let candidates =
+      if m.policy.flag_dependent_bits then
+        (* The next instruction to execute (rip already advanced). *)
+        match
+          if m.rip >= 0 && m.rip < Array.length loaded.program.insns then
+            Some loaded.program.insns.(m.rip)
+          else None
+        with
+        | Some (Insn.Jcc (c, _)) -> Flags.dependent_bits c
+        | _ -> Flags.all_bits
+      else Flags.all_bits
+    in
+    let bit = List.nth candidates (Rng.int m.inj_rng (List.length candidates)) in
+    m.flags <- m.flags lxor (1 lsl bit);
+    m.watch <- Watch_flags;
+    m.fault_note <- Printf.sprintf "flag bit %d" bit
+  | Dnone -> m.watch <- No_watch
+
+(* Activation: the corrupted register is read before being rewritten. *)
+let update_watch m insn =
+  match m.watch with
+  | No_watch -> ()
+  | Watch_flags ->
+    if Insn.reads_flags insn then begin
+      m.activated <- true;
+      m.watch <- No_watch
+    end
+    else if Insn.writes_flags insn then m.watch <- No_watch
+  | Watch_gp r ->
+    let gd, gu, _, _ = Insn.def_use insn in
+    if List.mem r gu then begin
+      m.activated <- true;
+      m.watch <- No_watch
+    end
+    else if List.mem r gd then m.watch <- No_watch
+  | Watch_xmm r ->
+    let _, _, xd, xu = Insn.def_use insn in
+    if List.mem r xu then begin
+      m.activated <- true;
+      m.watch <- No_watch
+    end
+    else if List.mem r xd then m.watch <- No_watch
+
+(* --- main loop --- *)
+
+let exec_insn m (loaded : loaded) insn resolved_target =
+  let p = loaded.program in
+  match insn with
+  | Insn.Mov (d, s) -> m.gp.(d) <- src_value m s
+  | Insn.Movzx (d, w, s) -> m.gp.(d) <- narrow_read m w s ~signed:false
+  | Insn.Movsx (d, w, s) -> m.gp.(d) <- narrow_read m w s ~signed:true
+  | Insn.Store (w, mem, r) -> store_width m w mem m.gp.(r)
+  | Insn.Store_imm (w, mem, v) -> store_width m w mem v
+  | Insn.Lea (d, mem) -> m.gp.(d) <- effective_addr m mem
+  | Insn.Alu (op, d, s) -> (
+    let x = m.gp.(d) and y = src_value m s in
+    match op with
+    | Insn.Add ->
+      let r = x + y in
+      m.flags <- Flags.of_add Word.width x y r m.flags;
+      m.gp.(d) <- r
+    | Insn.Sub ->
+      let r = x - y in
+      m.flags <- Flags.of_sub Word.width x y r m.flags;
+      m.gp.(d) <- r
+    | Insn.And ->
+      let r = x land y in
+      m.flags <- Flags.of_logic Word.width r m.flags;
+      m.gp.(d) <- r
+    | Insn.Or ->
+      let r = x lor y in
+      m.flags <- Flags.of_logic Word.width r m.flags;
+      m.gp.(d) <- r
+    | Insn.Xor ->
+      let r = x lxor y in
+      m.flags <- Flags.of_logic Word.width r m.flags;
+      m.gp.(d) <- r)
+  | Insn.Imul (d, s) ->
+    let r = m.gp.(d) * src_value m s in
+    m.flags <- Flags.of_logic Word.width r m.flags;
+    m.gp.(d) <- r
+  | Insn.Imul3 (d, s, imm) ->
+    let r = src_value m s * imm in
+    m.flags <- Flags.of_logic Word.width r m.flags;
+    m.gp.(d) <- r
+  | Insn.Neg d ->
+    let x = m.gp.(d) in
+    let r = -x in
+    m.flags <- Flags.of_sub Word.width 0 x r m.flags;
+    m.gp.(d) <- r
+  | Insn.Not d -> m.gp.(d) <- lnot m.gp.(d)
+  | Insn.Cqo -> m.gp.(Reg.rdx) <- (if m.gp.(Reg.rax) < 0 then -1 else 0)
+  | Insn.Idiv s ->
+    let divisor = src_value m s in
+    let dividend = m.gp.(Reg.rax) in
+    if divisor = 0 || (divisor = -1 && dividend = min_int) then
+      Trap.raise_trap Trap.Division_by_zero;
+    m.gp.(Reg.rax) <- dividend / divisor;
+    m.gp.(Reg.rdx) <- dividend mod divisor
+  | Insn.Div s ->
+    (* Unsigned division of the 63-bit word. *)
+    let divisor = src_value m s in
+    if divisor = 0 then Trap.raise_trap Trap.Division_by_zero;
+    let mask = 0x7fffffffffffffffL in
+    let wide v = Int64.logand (Int64.of_int v) mask in
+    let dividend = m.gp.(Reg.rax) in
+    m.gp.(Reg.rax) <- Int64.to_int (Int64.unsigned_div (wide dividend) (wide divisor));
+    m.gp.(Reg.rdx) <- Int64.to_int (Int64.unsigned_rem (wide dividend) (wide divisor))
+  | Insn.Shift (op, d, amount) -> (
+    let a = match amount with Insn.ShImm n -> n | Insn.ShCl -> m.gp.(Reg.rcx) in
+    let x = m.gp.(d) in
+    let r =
+      match op with
+      | Insn.Shl -> Word.shl x a
+      | Insn.Shr -> Word.lshr Word.width x a
+      | Insn.Sar -> Word.ashr x a
+    in
+    m.flags <- Flags.of_logic Word.width r m.flags;
+    m.gp.(d) <- r)
+  | Insn.Cmp (a, s) ->
+    let x = m.gp.(a) and y = src_value m s in
+    m.flags <- Flags.of_sub Word.width x y (x - y) m.flags
+  | Insn.Test (a, b) ->
+    m.flags <- Flags.of_logic Word.width (m.gp.(a) land m.gp.(b)) m.flags
+  | Insn.Setcc (c, d) -> m.gp.(d) <- Bool.to_int (Flags.holds m.flags c)
+  | Insn.Jmp _ -> m.rip <- resolved_target
+  | Insn.Jcc (c, _) -> if Flags.holds m.flags c then m.rip <- resolved_target
+  | Insn.Call _ ->
+    let ret_addr = Backend.Program.addr_of_index p m.rip in
+    m.gp.(Reg.rsp) <- m.gp.(Reg.rsp) - 8;
+    Memory.write_word m.mem m.gp.(Reg.rsp) ret_addr;
+    m.rip <- resolved_target
+  | Insn.Ret -> (
+    let addr = Memory.read_word m.mem m.gp.(Reg.rsp) in
+    m.gp.(Reg.rsp) <- m.gp.(Reg.rsp) + 8;
+    if addr = Backend.Program.halt_addr p then raise Halt
+    else
+      match Backend.Program.index_of_addr p addr with
+      | Some idx -> m.rip <- idx
+      | None -> Trap.raise_trap (Trap.Invalid_jump addr))
+  | Insn.Push r ->
+    let v = m.gp.(r) in
+    m.gp.(Reg.rsp) <- m.gp.(Reg.rsp) - 8;
+    Memory.write_word m.mem m.gp.(Reg.rsp) v
+  | Insn.Pop r ->
+    let v = Memory.read_word m.mem m.gp.(Reg.rsp) in
+    m.gp.(Reg.rsp) <- m.gp.(Reg.rsp) + 8;
+    m.gp.(r) <- v
+  | Insn.Movsd (d, s) -> m.xmm.(d) <- xsrc_value m s
+  | Insn.Store_sd (mem, x) -> Memory.write_f64 m.mem (effective_addr m mem) m.xmm.(x)
+  | Insn.Sse (op, d, s) -> (
+    let x = m.xmm.(d) and y = xsrc_value m s in
+    m.xmm.(d) <-
+      (match op with
+      | Insn.Addsd -> x +. y
+      | Insn.Subsd -> x -. y
+      | Insn.Mulsd -> x *. y
+      | Insn.Divsd -> x /. y))
+  | Insn.Sqrtsd (d, s) -> m.xmm.(d) <- sqrt (xsrc_value m s)
+  | Insn.Andpd_abs d -> m.xmm.(d) <- abs_float m.xmm.(d)
+  | Insn.Ucomisd (a, s) ->
+    m.flags <- Flags.of_ucomisd m.xmm.(a) (xsrc_value m s) m.flags
+  | Insn.Cvtsi2sd (d, s) -> m.xmm.(d) <- float_of_int (src_value m s)
+  | Insn.Cvttsd2si (d, s) -> m.gp.(d) <- fptosi_truncate (xsrc_value m s)
+  | Insn.Syscall intr -> (
+    match intr with
+    | Ir.Instr.Print_i64 -> emit m (string_of_int m.gp.(Reg.rdi))
+    | Ir.Instr.Print_f64 -> emit m (Printf.sprintf "%.6f" m.xmm.(0))
+    | Ir.Instr.Print_char ->
+      emit m (String.make 1 (Char.chr (m.gp.(Reg.rdi) land 0xff)))
+    | Ir.Instr.Print_newline -> emit m "\n"
+    | Ir.Instr.Heap_alloc ->
+      let n = m.gp.(Reg.rdi) in
+      if n < 0 || n > 1 lsl 30 then Trap.raise_trap (Trap.Unmapped_write (-1));
+      m.gp.(Reg.rax) <- Memory.heap_alloc m.mem n
+    | Ir.Instr.Input_i64 ->
+      let k = m.gp.(Reg.rdi) in
+      m.gp.(Reg.rax) <-
+        (if k >= 0 && k < Array.length m.inputs then m.inputs.(k) else 0)
+    | Ir.Instr.Sqrt -> m.xmm.(0) <- sqrt m.xmm.(0)
+    | Ir.Instr.Fabs -> m.xmm.(0) <- abs_float m.xmm.(0))
+  | Insn.Label _ -> ()
+
+let init_memory (p : Backend.Program.t) =
+  let mem = Memory.create () in
+  let span = p.globals_len + p.consts_len + 16 in
+  if span > 0 then Memory.map_region mem ~addr:Memory.globals_base ~len:span;
+  List.iter
+    (fun (addr, ty, init) ->
+      let scalar_write addr (ty : Ir.Types.t) v =
+        match ty with
+        | Ir.Types.I1 | Ir.Types.I8 -> Memory.write_u8 mem addr (v land 0xff)
+        | Ir.Types.I16 -> Memory.write_u16 mem addr (v land 0xffff)
+        | Ir.Types.I32 -> Memory.write_u32 mem addr (v land 0xffffffff)
+        | Ir.Types.I64 | Ir.Types.Ptr _ -> Memory.write_word mem addr v
+        | _ -> invalid_arg "X86_exec: bad scalar initializer"
+      in
+      match (init : Ir.Prog.init) with
+      | Ir.Prog.Zero -> ()
+      | Ir.Prog.Str s -> Memory.blit_string mem ~addr s
+      | Ir.Prog.Ints vs -> (
+        match ty with
+        | Ir.Types.Arr (_, elt) ->
+          let esize = Ir.Layout.size_of p.source elt in
+          List.iteri (fun k v -> scalar_write (addr + (k * esize)) elt v) vs
+        | scalar -> (
+          match vs with
+          | [ v ] -> scalar_write addr scalar v
+          | _ -> invalid_arg "X86_exec: scalar global with several initializers"))
+      | Ir.Prog.Floats vs -> (
+        match ty with
+        | Ir.Types.Arr (_, Ir.Types.F64) ->
+          List.iteri (fun k v -> Memory.write_f64 mem (addr + (k * 8)) v) vs
+        | Ir.Types.F64 -> (
+          match vs with
+          | [ v ] -> Memory.write_f64 mem addr v
+          | _ -> invalid_arg "X86_exec: scalar global with several initializers")
+        | _ -> invalid_arg "X86_exec: float initializer on non-float global"))
+    p.global_image;
+  List.iter (fun (addr, f) -> Memory.write_f64 mem addr f) p.const_image;
+  mem
+
+let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
+    ?profile_index (loaded : loaded) =
+  let p = loaded.program in
+  let mode, countdown, inj_mask, inj_rng, policy =
+    match (plan, profile_masks, profile_index) with
+    | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      invalid_arg "X86_exec.run: profile and inject are mutually exclusive"
+    | Some pl, None, None -> (Inject, pl.target, pl.inj_mask, pl.rng, pl.policy)
+    | None, Some counts, None -> (Profile counts, -1, 0, Rng.of_int 0, paper_policy)
+    | None, None, Some counts ->
+      (Profile_index counts, -1, 0, Rng.of_int 0, paper_policy)
+    | None, None, None -> (Plain, -1, 0, Rng.of_int 0, paper_policy)
+  in
+  let m =
+    {
+      mem = init_memory p;
+      gp = Array.make 16 0;
+      xmm = Array.make 16 0.0;
+      flags = 0;
+      rip = p.entry;
+      out = Buffer.create 4096;
+      inputs;
+      max_steps;
+      steps = 0;
+      mode;
+      countdown;
+      inj_mask;
+      inj_rng;
+      policy;
+      injected = false;
+      injected_step = -1;
+      activated = false;
+      watch = No_watch;
+      fault_note = "";
+    }
+  in
+  (* Startup: rsp points at the pushed "halt" return address. *)
+  m.gp.(Reg.rsp) <- Memory.stack_top - 32;
+  Memory.write_word m.mem m.gp.(Reg.rsp) (Backend.Program.halt_addr p);
+  let insns = p.insns in
+  let resolved = p.resolved in
+  let masks = loaded.masks in
+  let n = Array.length insns in
+  let outcome =
+    try
+      while true do
+        let idx = m.rip in
+        if idx < 0 || idx >= n then
+          Trap.raise_trap (Trap.Invalid_jump (Backend.Program.addr_of_index p idx));
+        let insn = insns.(idx) in
+        m.steps <- m.steps + 1;
+        if m.steps > m.max_steps then raise Outcome.Hang_limit;
+        if m.watch <> No_watch then update_watch m insn;
+        m.rip <- idx + 1;
+        exec_insn m loaded insn resolved.(idx);
+        (match m.mode with
+        | Plain -> ()
+        | Profile counts ->
+          let mask = masks.(idx) in
+          counts.(mask) <- counts.(mask) + 1
+        | Profile_index counts -> counts.(idx) <- counts.(idx) + 1
+        | Inject ->
+          let mask = masks.(idx) in
+          if mask land m.inj_mask <> 0 then begin
+            if m.countdown = 0 then inject m loaded insn;
+            m.countdown <- m.countdown - 1
+          end)
+      done;
+      assert false
+    with
+    | Halt -> Outcome.Finished (Buffer.contents m.out)
+    | Trap.Trap t ->
+      if Sys.getenv_opt "FI_DEBUG_TRAP" <> None then
+        Printf.eprintf "[trap] %s at rip=%d: %s\n%!" (Trap.to_string t)
+          (m.rip - 1)
+          (X86.Printer.insn_to_string insns.(max 0 (m.rip - 1)));
+      Outcome.Crashed t
+    | Outcome.Hang_limit -> Outcome.Hung
+  in
+  {
+    Outcome.outcome;
+    steps = m.steps;
+    injected = m.injected;
+    activated = m.activated;
+    fault_note = m.fault_note;
+    injected_step = m.injected_step;
+  }

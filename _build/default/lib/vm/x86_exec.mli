@@ -1,0 +1,56 @@
+(** x86-level interpreter with PIN-style fault-injection hooks.
+
+    Mirrors {!Ir_exec} one level down: a program assembled by the
+    backend is {!load}ed (each instruction classified into injection
+    categories, as PIN tools do at instrumentation time) and can then be
+    executed many times.  Injection corrupts the destination register of
+    a chosen dynamic instance; the paper's two PINFI activation
+    heuristics (Figure 2) are {!policy} switches.  Activation is tracked
+    architecturally: the corrupted register must be read before being
+    overwritten. *)
+
+type loaded = {
+  program : Backend.Program.t;
+  masks : int array;  (** per-instruction category bitmask *)
+}
+
+val load :
+  ?classify:(Backend.Program.t -> int -> X86.Insn.t -> int) ->
+  Backend.Program.t -> loaded
+
+type policy = {
+  flag_dependent_bits : bool;
+      (** faults into compares hit only the flag bit(s) the following
+          conditional jump reads (Figure 2a) *)
+  xmm_low64_only : bool;
+      (** XMM faults restricted to the low 64 bits used by scalar double
+          code (Figure 2b); when off, upper-half flips are recorded as
+          injected-but-never-activated *)
+}
+
+val paper_policy : policy
+(** Both heuristics on, as in the paper. *)
+
+type plan = {
+  inj_mask : int;
+  target : int;
+  rng : Support.Rng.t;
+  policy : policy;
+}
+
+(** The destination register PINFI would corrupt. *)
+type dest = Dgp of X86.Reg.t | Dxmm of X86.Reg.t | Dflags | Dnone
+
+val primary_dest : X86.Insn.t -> dest
+
+val run :
+  ?plan:plan ->
+  ?inputs:int array ->
+  ?max_steps:int ->
+  ?profile_masks:int array ->
+  ?profile_index:int array ->
+  loaded ->
+  Outcome.stats
+(** Execute from the program entry on a fresh memory image.
+    [profile_index] counts executions per instruction index (for
+    hotspot analysis); otherwise as {!Ir_exec.run}. *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Bzip2_w Core Hmmer_w Libquantum_w List Mcf_w Ocean_w Raytrace_w String

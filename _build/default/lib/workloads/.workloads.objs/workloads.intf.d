@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Bzip2_w Core Hmmer_w Libquantum_w Mcf_w Ocean_w Raytrace_w

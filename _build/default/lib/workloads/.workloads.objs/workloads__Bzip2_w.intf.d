@@ -1,0 +1,1 @@
+lib/workloads/bzip2_w.mli: Core

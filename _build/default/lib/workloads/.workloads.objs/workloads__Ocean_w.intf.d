@@ -1,0 +1,1 @@
+lib/workloads/ocean_w.mli: Core

@@ -1,0 +1,1 @@
+lib/workloads/raytrace_w.mli: Core

@@ -1,0 +1,138 @@
+(** hmmer analogue: profile-HMM Viterbi database scan.
+
+    Mirrors SPEC hmmer: integer dynamic programming over score tables
+    (match/insert/delete states), table-lookup-heavy with max()
+    reductions — the integer DP mix of the original. *)
+
+let source =
+  {|
+// Viterbi scan of a 14-state profile HMM against 4 synthetic protein
+// sequences of length 44, integer log-odds scores.
+// Score tables and DP rows live on the heap behind global pointers,
+// as hmmer's P7 profile structures do.
+int *match_score;   // 14 states x 20 residues
+int *insert_score;
+int *seq;
+int *vm;  // match scores, column-rolled
+int *vi;
+int *vd;
+int *prev_vm;
+int *prev_vi;
+int *prev_vd;
+
+void allocate_tables() {
+  match_score = (int*) alloc(280 * 8);
+  insert_score = (int*) alloc(20 * 8);
+  seq = (int*) alloc(50 * 8);
+  vm = (int*) alloc(15 * 8);
+  vi = (int*) alloc(15 * 8);
+  vd = (int*) alloc(15 * 8);
+  prev_vm = (int*) alloc(15 * 8);
+  prev_vi = (int*) alloc(15 * 8);
+  prev_vd = (int*) alloc(15 * 8);
+}
+
+int model_len = 14;
+int seq_len = 44;
+
+int lcg = 1;
+int rnd() {
+  lcg = (lcg * 1103515245 + 12345) % 2147483648;
+  if (lcg < 0) { lcg = 0 - lcg; }
+  return lcg;
+}
+
+int max2(int a, int b) { if (a > b) { return a; } return b; }
+int max3(int a, int b, int c) { return max2(a, max2(b, c)); }
+
+void build_model() {
+  int s; int r;
+  for (s = 0; s < model_len; s = s + 1) {
+    int preferred = rnd() % 20;
+    for (r = 0; r < 20; r = r + 1) {
+      if (r == preferred) { match_score[s * 20 + r] = 5 + rnd() % 4; }
+      else { match_score[s * 20 + r] = (rnd() % 5) - 3; }
+    }
+  }
+  for (r = 0; r < 20; r = r + 1) { insert_score[r] = 0 - (1 + rnd() % 2); }
+}
+
+void build_sequence(int kind) {
+  int i;
+  for (i = 0; i < seq_len; i = i + 1) {
+    if (kind == 0) { seq[i] = rnd() % 20; }
+    else {
+      // planted: follow the model's preferred residues with noise
+      int s = i % model_len;
+      int best = 0;
+      int r;
+      for (r = 1; r < 20; r = r + 1) {
+        if (match_score[s * 20 + r] > match_score[s * 20 + best]) { best = r; }
+      }
+      if (rnd() % 4 == 0) { seq[i] = rnd() % 20; } else { seq[i] = best; }
+    }
+  }
+}
+
+int viterbi() {
+  int neg_inf = 0 - 100000;
+  int gap_open = 0 - 4;
+  int gap_extend = 0 - 1;
+  int s; int i;
+  for (s = 0; s <= model_len; s = s + 1) {
+    prev_vm[s] = neg_inf; prev_vi[s] = neg_inf; prev_vd[s] = neg_inf;
+  }
+  prev_vm[0] = 0;
+  int best = neg_inf;
+  for (i = 0; i < seq_len; i = i + 1) {
+    int residue = seq[i];
+    vm[0] = 0;  // local alignment: free restart
+    vi[0] = neg_inf;
+    vd[0] = neg_inf;
+    for (s = 1; s <= model_len; s = s + 1) {
+      int emit = match_score[(s - 1) * 20 + residue];
+      vm[s] = emit + max3(prev_vm[s - 1], prev_vi[s - 1], prev_vd[s - 1]);
+      if (vm[s] < emit) { vm[s] = emit; }  // restart
+      vi[s] = insert_score[residue]
+            + max2(prev_vm[s] + gap_open, prev_vi[s] + gap_extend);
+      vd[s] = max2(vm[s - 1] + gap_open, vd[s - 1] + gap_extend);
+      if (vm[s] > best) { best = vm[s]; }
+    }
+    for (s = 0; s <= model_len; s = s + 1) {
+      prev_vm[s] = vm[s]; prev_vi[s] = vi[s]; prev_vd[s] = vd[s];
+    }
+  }
+  return best;
+}
+
+void main() {
+  allocate_tables();
+  lcg = 9 + input(0);
+  build_model();
+  int total = 0;
+  int k;
+  for (k = 0; k < 4; k = k + 1) {
+    build_sequence(k % 2);
+    int score = viterbi();
+    print_str("seq"); print_int(k);
+    print_str(" score="); print_int(score);
+    print_char(' ');
+    total = total + score;
+  }
+  print_str("total="); print_int(total);
+  print_newline();
+}
+|}
+
+let workload =
+  {
+    Core.Workload.name = "hmmer";
+    suite = "SPEC";
+    description =
+      "Uses statistical description of a sequence family's consensus to do \
+       sensitive database searching";
+    paper_counterpart = "hmmer (SPEC CPU2006, test input)";
+    source;
+    inputs = [| 23 |];
+    input_name = "test";
+  }

@@ -1,0 +1,4 @@
+(** hmmer analogue; see the module implementation for the MiniC source. *)
+
+val source : string
+val workload : Core.Workload.t

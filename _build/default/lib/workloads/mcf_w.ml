@@ -1,0 +1,149 @@
+(** mcf analogue: single-depot vehicle scheduling as min-cost flow.
+
+    Mirrors SPEC mcf: successive-shortest-path min-cost-flow over a
+    pointer-linked network — struct/pointer chasing with integer
+    arithmetic and data-dependent branches. *)
+
+let source =
+  {|
+// Min-cost flow by successive shortest paths (Bellman-Ford) on a
+// timetable network: depot -> trips -> depot, with deadhead arcs.
+struct arc {
+  int from;
+  int to;
+  int cost;
+  int capacity;
+  int flow;
+  struct arc *next_out;  // next arc out of 'from'
+};
+
+struct node {
+  struct arc *first_out;
+  int dist;
+  int in_queue;
+  struct arc *pred;      // arc used to reach this node
+};
+
+struct node nodes[40];
+struct arc arcs[220];
+int queue[400];
+int n_nodes = 0;
+int n_arcs = 0;
+
+int lcg = 1;
+int rnd() {
+  lcg = (lcg * 1103515245 + 12345) % 2147483648;
+  if (lcg < 0) { lcg = 0 - lcg; }
+  return lcg;
+}
+
+void add_arc(int from, int to, int cost, int capacity) {
+  struct arc *a = &arcs[n_arcs];
+  a->from = from; a->to = to; a->cost = cost;
+  a->capacity = capacity; a->flow = 0;
+  a->next_out = nodes[from].first_out;
+  nodes[from].first_out = a;
+  n_arcs = n_arcs + 1;
+}
+
+// Build: node 0 = source depot, node 1 = sink depot, trips 2..n-1.
+void build_network(int trips) {
+  n_nodes = trips + 2;
+  int i;
+  for (i = 0; i < n_nodes; i = i + 1) {
+    nodes[i].first_out = (struct arc*)0;
+    nodes[i].dist = 0; nodes[i].in_queue = 0;
+    nodes[i].pred = (struct arc*)0;
+  }
+  for (i = 2; i < n_nodes; i = i + 1) {
+    add_arc(0, i, 10 + rnd() % 20, 1);   // pull-out
+    add_arc(i, 1, 10 + rnd() % 20, 1);   // pull-in
+  }
+  // deadhead connections between compatible trips
+  int j;
+  for (i = 2; i < n_nodes; i = i + 1) {
+    for (j = 2; j < n_nodes; j = j + 1) {
+      if (i != j && rnd() % 3 == 0 && n_arcs < 210) {
+        add_arc(i, j, 1 + rnd() % 8, 1);
+      }
+    }
+  }
+}
+
+// Bellman-Ford (SPFA flavour) over arcs with residual capacity.
+int shortest_path() {
+  int inf = 1000000;
+  int i;
+  for (i = 0; i < n_nodes; i = i + 1) {
+    nodes[i].dist = inf;
+    nodes[i].in_queue = 0;
+    nodes[i].pred = (struct arc*)0;
+  }
+  nodes[0].dist = 0;
+  int head = 0; int tail = 0;
+  queue[tail] = 0; tail = tail + 1;
+  nodes[0].in_queue = 1;
+  while (head < tail && tail < 390) {
+    int u = queue[head]; head = head + 1;
+    nodes[u].in_queue = 0;
+    struct arc *a = nodes[u].first_out;
+    while (a != (struct arc*)0) {
+      if (a->flow < a->capacity) {
+        int nd = nodes[u].dist + a->cost;
+        if (nd < nodes[a->to].dist) {
+          nodes[a->to].dist = nd;
+          nodes[a->to].pred = a;
+          if (nodes[a->to].in_queue == 0 && tail < 390) {
+            queue[tail] = a->to; tail = tail + 1;
+            nodes[a->to].in_queue = 1;
+          }
+        }
+      }
+      a = a->next_out;
+    }
+  }
+  if (nodes[1].dist >= inf) { return 0 - 1; }
+  return nodes[1].dist;
+}
+
+// Push one unit along the found path.
+void augment() {
+  struct arc *a = nodes[1].pred;
+  while (a != (struct arc*)0) {
+    a->flow = a->flow + 1;
+    a = nodes[a->from].pred;
+  }
+}
+
+void main() {
+  lcg = 5 + input(0);
+  int trips = 14;
+  build_network(trips);
+  int total_cost = 0;
+  int vehicles = 0;
+  int k;
+  for (k = 0; k < trips; k = k + 1) {
+    int d = shortest_path();
+    if (d < 0) { break; }
+    augment();
+    total_cost = total_cost + d;
+    vehicles = vehicles + 1;
+  }
+  print_str("vehicles="); print_int(vehicles);
+  print_str(" cost="); print_int(total_cost);
+  print_str(" arcs="); print_int(n_arcs);
+  print_newline();
+}
+|}
+
+let workload =
+  {
+    Core.Workload.name = "mcf";
+    suite = "SPEC";
+    description =
+      "Solves single-depot vehicle scheduling problems planning transportation";
+    paper_counterpart = "mcf (SPEC CPU2006, test input)";
+    source;
+    inputs = [| 11 |];
+    input_name = "test";
+  }

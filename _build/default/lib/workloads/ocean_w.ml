@@ -1,0 +1,105 @@
+(** ocean analogue: red-black Gauss-Seidel relaxation on a 2D grid.
+
+    Mirrors SPLASH-2 ocean: floating-point stencil sweeps over a grid
+    with strided index arithmetic — FP-arithmetic heavy with a high
+    proportion of address computation, the mix behind ocean's
+    arithmetic-category numbers in the paper. *)
+
+let source =
+  {|
+// Red-black Gauss-Seidel solver for a Poisson-like equation on an
+// 18x18 grid (16x16 interior), fixed iteration count.  Like the
+// original SPLASH-2 code, the grids are two-dimensional arrays of row
+// pointers, so every access chases a pointer loaded from memory.
+double *grid[18];
+double *rhs[18];
+
+int n = 18;
+
+void allocate_grids() {
+  int r;
+  for (r = 0; r < n; r = r + 1) {
+    grid[r] = (double*) alloc(18 * 8);
+    rhs[r] = (double*) alloc(18 * 8);
+  }
+}
+
+void init_fields(int seed) {
+  int r; int c;
+  int state = seed;
+  for (r = 0; r < n; r = r + 1) {
+    for (c = 0; c < n; c = c + 1) {
+      grid[r][c] = 0.0;
+      state = (state * 1103515245 + 12345) % 2147483648;
+      if (state < 0) { state = 0 - state; }
+      rhs[r][c] = (double)(state % 1000) / 500.0 - 1.0;
+    }
+  }
+  // boundary: fixed eddy currents along the edges
+  for (c = 0; c < n; c = c + 1) {
+    grid[0][c] = 1.0;
+    grid[n - 1][c] = 0.0 - 1.0;
+  }
+  for (r = 0; r < n; r = r + 1) {
+    grid[r][0] = 0.5;
+    grid[r][n - 1] = 0.0 - 0.5;
+  }
+}
+
+// One red-black sweep; colour selects the checkerboard parity.
+void sweep(int colour) {
+  int r; int c;
+  for (r = 1; r < n - 1; r = r + 1) {
+    for (c = 1; c < n - 1; c = c + 1) {
+      if ((r + c) % 2 == colour) {
+        double neighbours = grid[r - 1][c] + grid[r + 1][c]
+                          + grid[r][c - 1] + grid[r][c + 1];
+        grid[r][c] = (neighbours - rhs[r][c]) * 0.25;
+      }
+    }
+  }
+}
+
+double residual() {
+  double acc = 0.0;
+  int r; int c;
+  for (r = 1; r < n - 1; r = r + 1) {
+    for (c = 1; c < n - 1; c = c + 1) {
+      double lap = grid[r - 1][c] + grid[r + 1][c]
+                 + grid[r][c - 1] + grid[r][c + 1]
+                 - 4.0 * grid[r][c];
+      double e = lap - rhs[r][c];
+      acc = acc + fabs(e);
+    }
+  }
+  return acc;
+}
+
+void main() {
+  allocate_grids();
+  init_fields(7 + input(0));
+  int iter;
+  for (iter = 0; iter < 14; iter = iter + 1) {
+    sweep(0);
+    sweep(1);
+  }
+  double res = residual();
+  print_str("residual="); print_double(res);
+  print_str(" c55="); print_double(grid[5][5]);
+  print_str(" c99="); print_double(grid[9][9]);
+  print_newline();
+}
+|}
+
+let workload =
+  {
+    Core.Workload.name = "ocean";
+    suite = "SPLASH-2";
+    description =
+      "Large-scale ocean movements simulation based on eddy and boundary \
+       currents";
+    paper_counterpart = "ocean (SPLASH-2, default input)";
+    source;
+    inputs = [| 3 |];
+    input_name = "default";
+  }

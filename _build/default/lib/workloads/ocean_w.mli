@@ -1,0 +1,4 @@
+(** ocean analogue; see the module implementation for the MiniC source. *)
+
+val source : string
+val workload : Core.Workload.t

@@ -1,0 +1,150 @@
+(** raytrace analogue: recursive sphere-scene ray tracer.
+
+    Mirrors SPLASH-2 raytrace: double-precision vector geometry,
+    sqrt-based intersection tests, struct-heavy scene data and
+    data-dependent control flow per pixel. *)
+
+let source =
+  {|
+// Ray tracer: 16x16 image, 5 spheres, one point light, one bounce of
+// reflection, Lambertian shading; prints a checksum of the image.
+struct sphere {
+  double cx; double cy; double cz;
+  double radius;
+  double reflect;     // 0..1
+  int shade;          // base brightness 0..9
+};
+
+// The scene is an array of pointers to heap-allocated spheres, like
+// the original's linked object lists: every intersection test chases a
+// loaded object pointer.
+struct sphere *scene[5];
+int *image;  // frame buffer, heap-allocated as in the original
+
+double eps = 0.001;
+
+void build_scene() {
+  int k;
+  for (k = 0; k < 5; k = k + 1) { scene[k] = (struct sphere*) alloc(48); }
+  scene[0]->cx = 0.0;  scene[0]->cy = -100.5; scene[0]->cz = -1.0;
+  scene[0]->radius = 100.0; scene[0]->reflect = 0.2; scene[0]->shade = 3;
+  scene[1]->cx = 0.0;  scene[1]->cy = 0.0;  scene[1]->cz = -1.0;
+  scene[1]->radius = 0.5;  scene[1]->reflect = 0.5; scene[1]->shade = 7;
+  scene[2]->cx = -1.0; scene[2]->cy = 0.0;  scene[2]->cz = -1.2;
+  scene[2]->radius = 0.4;  scene[2]->reflect = 0.0; scene[2]->shade = 5;
+  scene[3]->cx = 1.0;  scene[3]->cy = -0.1; scene[3]->cz = -0.9;
+  scene[3]->radius = 0.35; scene[3]->reflect = 0.8; scene[3]->shade = 8;
+  scene[4]->cx = 0.3;  scene[4]->cy = 0.6;  scene[4]->cz = -1.4;
+  scene[4]->radius = 0.3;  scene[4]->reflect = 0.1; scene[4]->shade = 6;
+}
+
+// Nearest intersection of the ray (ox,oy,oz)+(dx,dy,dz)t with sphere k;
+// negative when missed.
+double hit_sphere(int k, double ox, double oy, double oz,
+                  double dx, double dy, double dz) {
+  double lx = ox - scene[k]->cx;
+  double ly = oy - scene[k]->cy;
+  double lz = oz - scene[k]->cz;
+  double a = dx * dx + dy * dy + dz * dz;
+  double b = 2.0 * (lx * dx + ly * dy + lz * dz);
+  double c = lx * lx + ly * ly + lz * lz - scene[k]->radius * scene[k]->radius;
+  double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) { return 0.0 - 1.0; }
+  double s = sqrt(disc);
+  double t = (0.0 - b - s) / (2.0 * a);
+  if (t > eps) { return t; }
+  t = (0.0 - b + s) / (2.0 * a);
+  if (t > eps) { return t; }
+  return 0.0 - 1.0;
+}
+
+int nearest(double ox, double oy, double oz,
+            double dx, double dy, double dz, double *t_out) {
+  int best = 0 - 1;
+  double best_t = 1000000.0;
+  int k;
+  for (k = 0; k < 5; k = k + 1) {
+    double t = hit_sphere(k, ox, oy, oz, dx, dy, dz);
+    if (t > 0.0 && t < best_t) { best_t = t; best = k; }
+  }
+  *t_out = best_t;
+  return best;
+}
+
+// Brightness 0..9 for the ray, with one reflective bounce.
+int trace(double ox, double oy, double oz,
+          double dx, double dy, double dz, int depth) {
+  double t = 0.0;
+  int k = nearest(ox, oy, oz, dx, dy, dz, &t);
+  if (k < 0) { return 1; }  // sky
+  double px = ox + dx * t;
+  double py = oy + dy * t;
+  double pz = oz + dz * t;
+  double nx = (px - scene[k]->cx) / scene[k]->radius;
+  double ny = (py - scene[k]->cy) / scene[k]->radius;
+  double nz = (pz - scene[k]->cz) / scene[k]->radius;
+  // light at (2, 3, 0)
+  double tolx = 2.0 - px; double toly = 3.0 - py; double tolz = 0.0 - pz;
+  double len = sqrt(tolx * tolx + toly * toly + tolz * tolz);
+  tolx = tolx / len; toly = toly / len; tolz = tolz / len;
+  double diffuse = nx * tolx + ny * toly + nz * tolz;
+  if (diffuse < 0.0) { diffuse = 0.0; }
+  // shadow ray
+  double st = 0.0;
+  int blocker = nearest(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                        tolx, toly, tolz, &st);
+  if (blocker >= 0 && st < len) { diffuse = diffuse * 0.2; }
+  double brightness = (double)scene[k]->shade * (0.35 + 0.65 * diffuse);
+  if (depth > 0 && scene[k]->reflect > 0.0) {
+    double dot = dx * nx + dy * ny + dz * nz;
+    double rx = dx - 2.0 * dot * nx;
+    double ry = dy - 2.0 * dot * ny;
+    double rz = dz - 2.0 * dot * nz;
+    int bounce = trace(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                       rx, ry, rz, depth - 1);
+    brightness = brightness * (1.0 - scene[k]->reflect)
+               + (double)bounce * scene[k]->reflect;
+  }
+  int level = (int)brightness;
+  if (level > 9) { level = 9; }
+  if (level < 0) { level = 0; }
+  return level;
+}
+
+void main() {
+  image = (int*) alloc(256 * 8);
+  build_scene();
+  int width = 16;
+  int height = 16;
+  int jitter = input(0) % 7;
+  int y; int x;
+  int checksum = 0;
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      double u = ((double)x + 0.5) / 16.0 * 2.0 - 1.0;
+      double v = 1.0 - ((double)y + 0.5) / 16.0 * 2.0;
+      double dx = u + (double)jitter * 0.001;
+      double dy = v;
+      double dz = 0.0 - 1.0;
+      int level = trace(0.0, 0.2, 1.0, dx, dy, dz, 1);
+      image[y * 16 + x] = level;
+      checksum = (checksum * 31 + level) % 1000000007;
+    }
+  }
+  print_str("crc="); print_int(checksum);
+  print_str(" mid="); print_int(image[8 * 16 + 8]);
+  print_str(" corner="); print_int(image[0]);
+  print_newline();
+}
+|}
+
+let workload =
+  {
+    Core.Workload.name = "raytrace";
+    suite = "SPLASH-2";
+    description = "Renders a three-dimensional scene using ray tracing";
+    paper_counterpart = "raytrace (SPLASH-2, default input)";
+    source;
+    inputs = [| 2 |];
+    input_name = "default";
+  }

@@ -1,0 +1,26 @@
+(** Registry of the six benchmark programs (paper Table II analogues). *)
+
+module Bzip2_w = Bzip2_w
+module Libquantum_w = Libquantum_w
+module Ocean_w = Ocean_w
+module Hmmer_w = Hmmer_w
+module Mcf_w = Mcf_w
+module Raytrace_w = Raytrace_w
+
+let bzip2 = Bzip2_w.workload
+let libquantum = Libquantum_w.workload
+let ocean = Ocean_w.workload
+let hmmer = Hmmer_w.workload
+let mcf = Mcf_w.workload
+let raytrace = Raytrace_w.workload
+
+(* Table II order. *)
+let all = [ bzip2; libquantum; ocean; hmmer; mcf; raytrace ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Core.Workload.name name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find_exn: unknown workload " ^ name)

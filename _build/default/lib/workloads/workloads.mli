@@ -1,0 +1,23 @@
+(** Registry of the six benchmark programs (paper Table II analogues). *)
+
+module Bzip2_w = Bzip2_w
+module Libquantum_w = Libquantum_w
+module Ocean_w = Ocean_w
+module Hmmer_w = Hmmer_w
+module Mcf_w = Mcf_w
+module Raytrace_w = Raytrace_w
+
+val bzip2 : Core.Workload.t
+val libquantum : Core.Workload.t
+val ocean : Core.Workload.t
+val hmmer : Core.Workload.t
+val mcf : Core.Workload.t
+val raytrace : Core.Workload.t
+
+val all : Core.Workload.t list
+(** In the paper's Table II order. *)
+
+val find : string -> Core.Workload.t option
+
+val find_exn : string -> Core.Workload.t
+(** @raise Invalid_argument on unknown names. *)

@@ -1,0 +1,1 @@
+lib/x86/printer.ml: Flags Fmt Insn Ir List Reg String

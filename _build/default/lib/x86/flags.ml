@@ -1,0 +1,114 @@
+(** The RFLAGS register, with the real x86 bit layout for the bits the
+    study exercises.  PINFI's key activation heuristic — inject only into
+    the flag bit(s) a following conditional jump actually reads (paper
+    Figure 2a) — depends on this layout and on the per-condition
+    dependent-bit sets below. *)
+
+let cf_bit = 0   (* carry *)
+let pf_bit = 2   (* parity *)
+let zf_bit = 6   (* zero *)
+let sf_bit = 7   (* sign *)
+let of_bit = 11  (* overflow *)
+
+let all_bits = [ cf_bit; pf_bit; zf_bit; sf_bit; of_bit ]
+
+type cond = E | NE | L | LE | G | GE | B | BE | A | AE
+
+let cond_name = function
+  | E -> "e" | NE -> "ne" | L -> "l" | LE -> "le" | G -> "g" | GE -> "ge"
+  | B -> "b" | BE -> "be" | A -> "a" | AE -> "ae"
+
+(* Which flag bits a conditional jump reads: the example in the paper is
+   jl reading only OF — more precisely SF and OF, whose disagreement is
+   the "less" condition.  We use the architecturally exact sets. *)
+let dependent_bits = function
+  | E | NE -> [ zf_bit ]
+  | L | GE -> [ sf_bit; of_bit ]
+  | LE | G -> [ zf_bit; sf_bit; of_bit ]
+  | B | AE -> [ cf_bit ]
+  | BE | A -> [ cf_bit; zf_bit ]
+
+let test flags bit = (flags lsr bit) land 1 = 1
+
+let set flags bit value =
+  if value then flags lor (1 lsl bit) else flags land lnot (1 lsl bit)
+
+let holds flags = function
+  | E -> test flags zf_bit
+  | NE -> not (test flags zf_bit)
+  | L -> test flags sf_bit <> test flags of_bit
+  | GE -> test flags sf_bit = test flags of_bit
+  | LE -> test flags zf_bit || test flags sf_bit <> test flags of_bit
+  | G -> (not (test flags zf_bit)) && test flags sf_bit = test flags of_bit
+  | B -> test flags cf_bit
+  | AE -> not (test flags cf_bit)
+  | BE -> test flags cf_bit || test flags zf_bit
+  | A -> (not (test flags cf_bit)) && not (test flags zf_bit)
+
+let negate = function
+  | E -> NE | NE -> E | L -> GE | GE -> L | LE -> G | G -> LE
+  | B -> AE | AE -> B | BE -> A | A -> BE
+
+(* Parity of the low byte, as x86 defines PF (set when even). *)
+let parity_even v =
+  let b = v land 0xff in
+  let b = b lxor (b lsr 4) in
+  let b = b lxor (b lsr 2) in
+  let b = b lxor (b lsr 1) in
+  b land 1 = 0
+
+(* Flag computation for the ALU.  [w] is the operand width in bits. *)
+let of_add w x y result flags =
+  let sign v = Support.Word.test_bit (Support.Word.canon w v) (min (w - 1) 62) in
+  let flags = set flags zf_bit (Support.Word.canon w result = 0) in
+  let flags = set flags sf_bit (sign result) in
+  let flags = set flags pf_bit (parity_even result) in
+  (* carry: unsigned overflow *)
+  let ux = if w >= Support.Word.width then x else Support.Word.to_unsigned w x in
+  let uy = if w >= Support.Word.width then y else Support.Word.to_unsigned w y in
+  let carry =
+    if w >= Support.Word.width then Support.Word.ucompare (x + y) x < 0 && y <> 0
+    else ux + uy >= 1 lsl w
+  in
+  let flags = set flags cf_bit carry in
+  (* overflow: signed overflow *)
+  let sx = sign x and sy = sign y and sr = sign result in
+  set flags of_bit (sx = sy && sr <> sx)
+
+let of_sub w x y result flags =
+  let sign v = Support.Word.test_bit (Support.Word.canon w v) (min (w - 1) 62) in
+  let flags = set flags zf_bit (Support.Word.canon w result = 0) in
+  let flags = set flags sf_bit (sign result) in
+  let flags = set flags pf_bit (parity_even result) in
+  let borrow =
+    if w >= Support.Word.width then Support.Word.ucompare x y < 0
+    else Support.Word.to_unsigned w x < Support.Word.to_unsigned w y
+  in
+  let flags = set flags cf_bit borrow in
+  let sx = sign x and sy = sign y and sr = sign result in
+  set flags of_bit (sx <> sy && sr <> sx)
+
+let of_logic w result flags =
+  let flags = set flags zf_bit (Support.Word.canon w result = 0) in
+  let flags =
+    set flags sf_bit
+      (Support.Word.test_bit (Support.Word.canon w result) (min (w - 1) 62))
+  in
+  let flags = set flags pf_bit (parity_even result) in
+  let flags = set flags cf_bit false in
+  set flags of_bit false
+
+(* ucomisd: unordered sets ZF=PF=CF=1; a>b clears all; a<b sets CF; equal
+   sets ZF. *)
+let of_ucomisd x y flags =
+  let zf, pf, cf =
+    if Float.is_nan x || Float.is_nan y then (true, true, true)
+    else if x > y then (false, false, false)
+    else if x < y then (false, false, true)
+    else (true, false, false)
+  in
+  let flags = set flags zf_bit zf in
+  let flags = set flags pf_bit pf in
+  let flags = set flags cf_bit cf in
+  let flags = set flags sf_bit false in
+  set flags of_bit false

@@ -1,0 +1,44 @@
+(** The RFLAGS register, with the real x86 bit layout for the bits the
+    study exercises.  PINFI's key activation heuristic — inject only the
+    flag bit(s) a following conditional jump reads (paper Figure 2a) —
+    rests on {!dependent_bits}. *)
+
+val cf_bit : int  (* 0 *)
+val pf_bit : int  (* 2 *)
+val zf_bit : int  (* 6 *)
+val sf_bit : int  (* 7 *)
+val of_bit : int  (* 11 *)
+
+val all_bits : int list
+
+type cond = E | NE | L | LE | G | GE | B | BE | A | AE
+
+val cond_name : cond -> string
+
+val dependent_bits : cond -> int list
+(** The architecturally exact set of flag bits the condition reads. *)
+
+val test : int -> int -> bool
+(** [test flags bit]. *)
+
+val set : int -> int -> bool -> int
+(** [set flags bit value]. *)
+
+val holds : int -> cond -> bool
+(** Evaluate a condition against a flag state. *)
+
+val negate : cond -> cond
+
+val parity_even : int -> bool
+(** x86 PF: parity of the result's low byte (set when even). *)
+
+(** {1 Flag computation}
+
+    Each takes operand(s), the raw result and the previous flag state;
+    [w] is the operand width in bits. *)
+
+val of_add : int -> int -> int -> int -> int -> int
+val of_sub : int -> int -> int -> int -> int -> int
+val of_logic : int -> int -> int -> int
+val of_ucomisd : float -> float -> int -> int
+(** Unordered double compare: NaN sets ZF=PF=CF. *)

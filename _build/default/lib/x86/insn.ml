@@ -1,0 +1,192 @@
+(** The instruction set of the virtual x86-64-flavoured machine.
+
+    The set is the subset of x86-64 a compiler for MiniC needs: 64-bit GP
+    moves with the full addressing-mode family, narrow sign/zero-extending
+    loads, two-address ALU ops that set RFLAGS, imul/idiv/cqo, shifts,
+    cmp/test + setcc/jcc, push/pop/call/ret with the return address on the
+    machine stack, scalar-double SSE (movsd/addsd/..., ucomisd, conversions),
+    and a [Syscall] pseudo-instruction standing in for the C library
+    (print, heap allocation, input) which PIN-style tools do not
+    instrument. *)
+
+type width = W8 | W16 | W32 | W64
+
+let width_bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+(* base + index*scale + disp; [disp] doubles as the absolute address for
+   globals when base and index are absent. *)
+type mem = { base : Reg.t option; index : (Reg.t * int) option; disp : int }
+
+let mem_base ?(disp = 0) base = { base = Some base; index = None; disp }
+let mem_abs disp = { base = None; index = None; disp }
+
+type src = Reg of Reg.t | Imm of int | Mem of mem
+
+type xsrc = Xreg of Reg.t | Xmem of mem
+
+type aluop = Add | Sub | And | Or | Xor
+
+let aluop_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+
+type shiftop = Shl | Shr | Sar
+
+let shiftop_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+type shift_amount = ShImm of int | ShCl
+
+type sseop = Addsd | Subsd | Mulsd | Divsd
+
+let sseop_name = function
+  | Addsd -> "addsd" | Subsd -> "subsd" | Mulsd -> "mulsd" | Divsd -> "divsd"
+
+type t =
+  (* data movement *)
+  | Mov of Reg.t * src            (* 64-bit move; Mem source = a load *)
+  | Movzx of Reg.t * width * src  (* zero-extending narrow move/load *)
+  | Movsx of Reg.t * width * src  (* sign-extending narrow move/load *)
+  | Store of width * mem * Reg.t
+  | Store_imm of width * mem * int
+  | Lea of Reg.t * mem
+  (* ALU; all set flags *)
+  | Alu of aluop * Reg.t * src
+  | Imul of Reg.t * src
+  | Imul3 of Reg.t * src * int  (* d = src * imm, three-operand form *)
+  | Neg of Reg.t
+  | Not of Reg.t                  (* does not set flags, as on x86 *)
+  | Cqo                           (* sign-extend rax into rdx ("convert") *)
+  | Idiv of src                   (* rdx:rax / src -> rax=quot, rdx=rem *)
+  | Div of src                    (* unsigned divide, same register roles *)
+  | Shift of shiftop * Reg.t * shift_amount
+  | Cmp of Reg.t * src
+  | Test of Reg.t * Reg.t
+  | Setcc of Flags.cond * Reg.t
+  (* control flow *)
+  | Jmp of string
+  | Jcc of Flags.cond * string
+  | Call of string
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  (* scalar double SSE *)
+  | Movsd of Reg.t * xsrc         (* xmm <- xmm/mem *)
+  | Store_sd of mem * Reg.t
+  | Sse of sseop * Reg.t * xsrc
+  | Sqrtsd of Reg.t * xsrc
+  | Andpd_abs of Reg.t            (* clear the sign bit: fabs *)
+  | Ucomisd of Reg.t * xsrc
+  | Cvtsi2sd of Reg.t * src       (* xmm <- int *)
+  | Cvttsd2si of Reg.t * xsrc     (* int <- xmm, truncating *)
+  (* runtime interface *)
+  | Syscall of Ir.Instr.intrinsic
+    (* args in rdi / xmm0, results in rax / xmm0 *)
+  | Label of string               (* pseudo: no execution effect *)
+
+(* --- register def/use sets, used by liveness, regalloc and the
+   activation-tracking injector.  GP and XMM registers are reported
+   separately because they live in different namespaces. --- *)
+
+let mem_uses m =
+  let base = match m.base with Some r -> [ r ] | None -> [] in
+  match m.index with Some (r, _) -> r :: base | None -> base
+
+let src_uses = function Reg r -> [ r ] | Imm _ -> [] | Mem m -> mem_uses m
+let xsrc_gp_uses = function Xreg _ -> [] | Xmem m -> mem_uses m
+let xsrc_xmm_uses = function Xreg r -> [ r ] | Xmem _ -> []
+
+(* (gp defs, gp uses, xmm defs, xmm uses) *)
+let def_use = function
+  | Mov (d, s) -> ([ d ], src_uses s, [], [])
+  | Movzx (d, _, s) | Movsx (d, _, s) -> ([ d ], src_uses s, [], [])
+  | Store (_, m, r) -> ([], r :: mem_uses m, [], [])
+  | Store_imm (_, m, _) -> ([], mem_uses m, [], [])
+  | Lea (d, m) -> ([ d ], mem_uses m, [], [])
+  | Alu (_, d, s) -> ([ d ], d :: src_uses s, [], [])
+  | Imul (d, s) -> ([ d ], d :: src_uses s, [], [])
+  | Imul3 (d, s, _) -> ([ d ], src_uses s, [], [])
+  | Neg d | Not d -> ([ d ], [ d ], [], [])
+  | Cqo -> ([ Reg.rdx ], [ Reg.rax ], [], [])
+  | Idiv s | Div s ->
+    ([ Reg.rax; Reg.rdx ], Reg.rax :: Reg.rdx :: src_uses s, [], [])
+  | Shift (_, d, a) ->
+    ([ d ], (match a with ShCl -> [ d; Reg.rcx ] | ShImm _ -> [ d ]), [], [])
+  | Cmp (a, s) -> ([], a :: src_uses s, [], [])
+  | Test (a, b) -> ([], [ a; b ], [], [])
+  | Setcc (_, d) -> ([ d ], [], [], [])
+  | Jmp _ | Jcc _ -> ([], [], [], [])
+  | Call _ -> ([ Reg.rsp ], [ Reg.rsp ], [], [])
+  | Ret -> ([ Reg.rsp ], [ Reg.rsp ], [], [])
+  | Push r -> ([ Reg.rsp ], [ r; Reg.rsp ], [], [])
+  | Pop r -> ([ r; Reg.rsp ], [ Reg.rsp ], [], [])
+  | Movsd (d, s) -> ([], xsrc_gp_uses s, [ d ], xsrc_xmm_uses s)
+  | Store_sd (m, x) -> ([], mem_uses m, [], [ x ])
+  | Sse (_, d, s) -> ([], xsrc_gp_uses s, [ d ], d :: xsrc_xmm_uses s)
+  | Sqrtsd (d, s) -> ([], xsrc_gp_uses s, [ d ], xsrc_xmm_uses s)
+  | Andpd_abs d -> ([], [], [ d ], [ d ])
+  | Ucomisd (a, s) -> ([], xsrc_gp_uses s, [], a :: xsrc_xmm_uses s)
+  | Cvtsi2sd (d, s) -> ([], src_uses s, [ d ], [])
+  | Cvttsd2si (d, s) -> ([ d ], xsrc_gp_uses s, [], xsrc_xmm_uses s)
+  | Syscall _ -> ([ Reg.rax ], [ Reg.rdi ], [ 0 ], [ 0 ])
+  | Label _ -> ([], [], [], [])
+
+(* Does the instruction write the flags register? *)
+let writes_flags = function
+  | Alu _ | Imul _ | Imul3 _ | Neg _ | Idiv _ | Div _ | Shift _ | Cmp _
+  | Test _ | Ucomisd _ ->
+    true
+  | Mov _ | Movzx _ | Movsx _ | Store _ | Store_imm _ | Lea _ | Not _ | Cqo
+  | Setcc _ | Jmp _ | Jcc _ | Call _ | Ret | Push _ | Pop _ | Movsd _
+  | Store_sd _ | Sse _ | Sqrtsd _ | Andpd_abs _ | Cvtsi2sd _ | Cvttsd2si _
+  | Syscall _ | Label _ ->
+    false
+
+let reads_flags = function
+  | Setcc _ | Jcc _ -> true
+  | _ -> false
+
+(* Rewrite registers through class-specific substitutions. *)
+let map_regs ~gp ~xmm insn =
+  let m (mem : mem) =
+    {
+      mem with
+      base = Option.map gp mem.base;
+      index = Option.map (fun (r, s) -> (gp r, s)) mem.index;
+    }
+  in
+  let s = function Reg r -> Reg (gp r) | Imm i -> Imm i | Mem mm -> Mem (m mm) in
+  let xs = function Xreg r -> Xreg (xmm r) | Xmem mm -> Xmem (m mm) in
+  match insn with
+  | Mov (d, src) -> Mov (gp d, s src)
+  | Movzx (d, w, src) -> Movzx (gp d, w, s src)
+  | Movsx (d, w, src) -> Movsx (gp d, w, s src)
+  | Store (w, mm, r) -> Store (w, m mm, gp r)
+  | Store_imm (w, mm, i) -> Store_imm (w, m mm, i)
+  | Lea (d, mm) -> Lea (gp d, m mm)
+  | Alu (op, d, src) -> Alu (op, gp d, s src)
+  | Imul (d, src) -> Imul (gp d, s src)
+  | Imul3 (d, src, imm) -> Imul3 (gp d, s src, imm)
+  | Neg d -> Neg (gp d)
+  | Not d -> Not (gp d)
+  | Cqo -> Cqo
+  | Idiv src -> Idiv (s src)
+  | Div src -> Div (s src)
+  | Shift (op, d, a) -> Shift (op, gp d, a)
+  | Cmp (a, src) -> Cmp (gp a, s src)
+  | Test (a, b) -> Test (gp a, gp b)
+  | Setcc (c, d) -> Setcc (c, gp d)
+  | Jmp l -> Jmp l
+  | Jcc (c, l) -> Jcc (c, l)
+  | Call f -> Call f
+  | Ret -> Ret
+  | Push r -> Push (gp r)
+  | Pop r -> Pop (gp r)
+  | Movsd (d, src) -> Movsd (xmm d, xs src)
+  | Store_sd (mm, x) -> Store_sd (m mm, xmm x)
+  | Sse (op, d, src) -> Sse (op, xmm d, xs src)
+  | Sqrtsd (d, src) -> Sqrtsd (xmm d, xs src)
+  | Andpd_abs d -> Andpd_abs (xmm d)
+  | Ucomisd (a, src) -> Ucomisd (xmm a, xs src)
+  | Cvtsi2sd (d, src) -> Cvtsi2sd (xmm d, s src)
+  | Cvttsd2si (d, src) -> Cvttsd2si (gp d, xs src)
+  | Syscall i -> Syscall i
+  | Label l -> Label l

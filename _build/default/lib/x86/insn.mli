@@ -1,0 +1,88 @@
+(** The instruction set of the virtual x86-64-flavoured machine: 64-bit
+    GP moves with the full addressing-mode family, narrow sign/zero-
+    extending loads, two-address flag-setting ALU ops, imul/idiv/div/cqo,
+    shifts, cmp/test + setcc/jcc, push/pop/call/ret with the return
+    address on the machine stack, scalar-double SSE, and a [Syscall]
+    pseudo-instruction standing in for the C library (which PIN-style
+    tools do not instrument). *)
+
+type width = W8 | W16 | W32 | W64
+
+val width_bits : width -> int
+
+type mem = { base : Reg.t option; index : (Reg.t * int) option; disp : int }
+(** base + index*scale + disp; [disp] doubles as the absolute address for
+    globals when base and index are absent. *)
+
+val mem_base : ?disp:int -> Reg.t -> mem
+val mem_abs : int -> mem
+
+type src = Reg of Reg.t | Imm of int | Mem of mem
+type xsrc = Xreg of Reg.t | Xmem of mem
+
+type aluop = Add | Sub | And | Or | Xor
+
+val aluop_name : aluop -> string
+
+type shiftop = Shl | Shr | Sar
+
+val shiftop_name : shiftop -> string
+
+type shift_amount = ShImm of int | ShCl
+
+type sseop = Addsd | Subsd | Mulsd | Divsd
+
+val sseop_name : sseop -> string
+
+type t =
+  | Mov of Reg.t * src  (** 64-bit move; Mem source = a load *)
+  | Movzx of Reg.t * width * src
+  | Movsx of Reg.t * width * src
+  | Store of width * mem * Reg.t
+  | Store_imm of width * mem * int
+  | Lea of Reg.t * mem
+  | Alu of aluop * Reg.t * src  (** two-address; sets flags *)
+  | Imul of Reg.t * src
+  | Imul3 of Reg.t * src * int  (** d = src * imm, three-operand form *)
+  | Neg of Reg.t
+  | Not of Reg.t  (** does not set flags, as on x86 *)
+  | Cqo  (** sign-extend rax into rdx *)
+  | Idiv of src  (** rdx:rax / src -> rax=quot, rdx=rem; traps on 0 *)
+  | Div of src  (** unsigned divide, same register roles *)
+  | Shift of shiftop * Reg.t * shift_amount
+  | Cmp of Reg.t * src
+  | Test of Reg.t * Reg.t
+  | Setcc of Flags.cond * Reg.t
+  | Jmp of string
+  | Jcc of Flags.cond * string
+  | Call of string
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Movsd of Reg.t * xsrc  (** xmm <- xmm/mem *)
+  | Store_sd of mem * Reg.t
+  | Sse of sseop * Reg.t * xsrc
+  | Sqrtsd of Reg.t * xsrc
+  | Andpd_abs of Reg.t  (** clear the sign bit: fabs *)
+  | Ucomisd of Reg.t * xsrc
+  | Cvtsi2sd of Reg.t * src
+  | Cvttsd2si of Reg.t * xsrc
+  | Syscall of Ir.Instr.intrinsic
+      (** args in rdi / xmm0, results in rax / xmm0 *)
+  | Label of string  (** pseudo: removed at assembly *)
+
+val mem_uses : mem -> Reg.t list
+val src_uses : src -> Reg.t list
+val xsrc_gp_uses : xsrc -> Reg.t list
+val xsrc_xmm_uses : xsrc -> Reg.t list
+
+val def_use : t -> Reg.t list * Reg.t list * Reg.t list * Reg.t list
+(** (gp defs, gp uses, xmm defs, xmm uses); GP and XMM are separate
+    namespaces. *)
+
+val writes_flags : t -> bool
+val reads_flags : t -> bool
+
+val map_regs : gp:(Reg.t -> Reg.t) -> xmm:(Reg.t -> Reg.t) -> t -> t
+(** Rewrite registers through class-specific substitutions (register
+    allocation). *)

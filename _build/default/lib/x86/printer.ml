@@ -1,0 +1,89 @@
+(** AT&T-ish textual form of the virtual assembly (destination last is
+    NOT used — we print Intel-style, destination first, which reads
+    better next to the IR dumps). *)
+
+let pp_mem fmt (m : Insn.mem) =
+  let parts = ref [] in
+  (match m.index with
+  | Some (r, s) -> parts := Fmt.str "%a*%d" Reg.pp_gp r s :: !parts
+  | None -> ());
+  (match m.base with
+  | Some r -> parts := Fmt.str "%a" Reg.pp_gp r :: !parts
+  | None -> ());
+  let body = String.concat " + " !parts in
+  if body = "" then Fmt.pf fmt "[0x%x]" m.disp
+  else if m.disp = 0 then Fmt.pf fmt "[%s]" body
+  else if m.disp > 0 then Fmt.pf fmt "[%s + %d]" body m.disp
+  else Fmt.pf fmt "[%s - %d]" body (-m.disp)
+
+let pp_src fmt = function
+  | Insn.Reg r -> Reg.pp_gp fmt r
+  | Insn.Imm i -> Fmt.pf fmt "$%d" i
+  | Insn.Mem m -> pp_mem fmt m
+
+let pp_xsrc fmt = function
+  | Insn.Xreg r -> Reg.pp_xmm fmt r
+  | Insn.Xmem m -> pp_mem fmt m
+
+let width_suffix = function
+  | Insn.W8 -> "b"
+  | Insn.W16 -> "w"
+  | Insn.W32 -> "l"
+  | Insn.W64 -> "q"
+
+let pp_insn fmt (i : Insn.t) =
+  match i with
+  | Insn.Mov (d, s) -> Fmt.pf fmt "mov %a, %a" Reg.pp_gp d pp_src s
+  | Insn.Movzx (d, w, s) ->
+    Fmt.pf fmt "movzx%s %a, %a" (width_suffix w) Reg.pp_gp d pp_src s
+  | Insn.Movsx (d, w, s) ->
+    Fmt.pf fmt "movsx%s %a, %a" (width_suffix w) Reg.pp_gp d pp_src s
+  | Insn.Store (w, m, r) ->
+    Fmt.pf fmt "mov%s %a, %a" (width_suffix w) pp_mem m Reg.pp_gp r
+  | Insn.Store_imm (w, m, v) ->
+    Fmt.pf fmt "mov%s %a, $%d" (width_suffix w) pp_mem m v
+  | Insn.Lea (d, m) -> Fmt.pf fmt "lea %a, %a" Reg.pp_gp d pp_mem m
+  | Insn.Alu (op, d, s) ->
+    Fmt.pf fmt "%s %a, %a" (Insn.aluop_name op) Reg.pp_gp d pp_src s
+  | Insn.Imul (d, s) -> Fmt.pf fmt "imul %a, %a" Reg.pp_gp d pp_src s
+  | Insn.Imul3 (d, s, imm) ->
+    Fmt.pf fmt "imul %a, %a, $%d" Reg.pp_gp d pp_src s imm
+  | Insn.Neg d -> Fmt.pf fmt "neg %a" Reg.pp_gp d
+  | Insn.Not d -> Fmt.pf fmt "not %a" Reg.pp_gp d
+  | Insn.Cqo -> Fmt.string fmt "cqo"
+  | Insn.Idiv s -> Fmt.pf fmt "idiv %a" pp_src s
+  | Insn.Div s -> Fmt.pf fmt "div %a" pp_src s
+  | Insn.Shift (op, d, Insn.ShImm n) ->
+    Fmt.pf fmt "%s %a, $%d" (Insn.shiftop_name op) Reg.pp_gp d n
+  | Insn.Shift (op, d, Insn.ShCl) ->
+    Fmt.pf fmt "%s %a, %%cl" (Insn.shiftop_name op) Reg.pp_gp d
+  | Insn.Cmp (a, s) -> Fmt.pf fmt "cmp %a, %a" Reg.pp_gp a pp_src s
+  | Insn.Test (a, b) -> Fmt.pf fmt "test %a, %a" Reg.pp_gp a Reg.pp_gp b
+  | Insn.Setcc (c, d) -> Fmt.pf fmt "set%s %a" (Flags.cond_name c) Reg.pp_gp d
+  | Insn.Jmp l -> Fmt.pf fmt "jmp %s" l
+  | Insn.Jcc (c, l) -> Fmt.pf fmt "j%s %s" (Flags.cond_name c) l
+  | Insn.Call f -> Fmt.pf fmt "call %s" f
+  | Insn.Ret -> Fmt.string fmt "ret"
+  | Insn.Push r -> Fmt.pf fmt "push %a" Reg.pp_gp r
+  | Insn.Pop r -> Fmt.pf fmt "pop %a" Reg.pp_gp r
+  | Insn.Movsd (d, s) -> Fmt.pf fmt "movsd %a, %a" Reg.pp_xmm d pp_xsrc s
+  | Insn.Store_sd (m, x) -> Fmt.pf fmt "movsd %a, %a" pp_mem m Reg.pp_xmm x
+  | Insn.Sse (op, d, s) ->
+    Fmt.pf fmt "%s %a, %a" (Insn.sseop_name op) Reg.pp_xmm d pp_xsrc s
+  | Insn.Sqrtsd (d, s) -> Fmt.pf fmt "sqrtsd %a, %a" Reg.pp_xmm d pp_xsrc s
+  | Insn.Andpd_abs d -> Fmt.pf fmt "andpd %a, [abs_mask]" Reg.pp_xmm d
+  | Insn.Ucomisd (a, s) -> Fmt.pf fmt "ucomisd %a, %a" Reg.pp_xmm a pp_xsrc s
+  | Insn.Cvtsi2sd (d, s) -> Fmt.pf fmt "cvtsi2sd %a, %a" Reg.pp_xmm d pp_src s
+  | Insn.Cvttsd2si (d, s) -> Fmt.pf fmt "cvttsd2si %a, %a" Reg.pp_gp d pp_xsrc s
+  | Insn.Syscall intr -> Fmt.pf fmt "syscall @%s" (Ir.Instr.intrinsic_name intr)
+  | Insn.Label l -> Fmt.pf fmt "%s:" l
+
+let insn_to_string i = Fmt.str "%a" pp_insn i
+
+let pp_listing fmt insns =
+  List.iter
+    (fun i ->
+      match i with
+      | Insn.Label _ -> Fmt.pf fmt "%a@." pp_insn i
+      | _ -> Fmt.pf fmt "  %a@." pp_insn i)
+    insns

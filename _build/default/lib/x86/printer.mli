@@ -1,0 +1,11 @@
+(** Textual form of the virtual assembly (Intel-style, destination
+    first). *)
+
+val pp_mem : Format.formatter -> Insn.mem -> unit
+val pp_src : Format.formatter -> Insn.src -> unit
+val pp_xsrc : Format.formatter -> Insn.xsrc -> unit
+val pp_insn : Format.formatter -> Insn.t -> unit
+val insn_to_string : Insn.t -> string
+
+val pp_listing : Format.formatter -> Insn.t list -> unit
+(** Labels flush left, instructions indented. *)

@@ -1,0 +1,56 @@
+(** Registers of the virtual x86-64-flavoured ISA.
+
+    General-purpose registers and XMM registers live in separate
+    namespaces, both indexed 0..15 for the physical file.  During
+    instruction selection the same integer space also carries virtual
+    registers (ids >= 16); register allocation maps them down. *)
+
+type t = int
+
+let rax = 0
+let rbx = 1
+let rcx = 2
+let rdx = 3
+let rsi = 4
+let rdi = 5
+let rbp = 6
+let rsp = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+let num_physical = 16
+
+let is_virtual r = r >= num_physical
+
+let first_virtual = num_physical
+
+let gp_names =
+  [| "rax"; "rbx"; "rcx"; "rdx"; "rsi"; "rdi"; "rbp"; "rsp"; "r8"; "r9";
+     "r10"; "r11"; "r12"; "r13"; "r14"; "r15" |]
+
+let pp_gp fmt r =
+  if is_virtual r then Fmt.pf fmt "%%v%d" r else Fmt.pf fmt "%%%s" gp_names.(r)
+
+let pp_xmm fmt r =
+  if is_virtual r then Fmt.pf fmt "%%vx%d" r else Fmt.pf fmt "%%xmm%d" r
+
+(* System V callee-saved general-purpose registers (rbp/rsp handled by the
+   frame, so not listed). *)
+let callee_saved = [ rbx; r12; r13; r14 ]
+
+(* Pools handed to the register allocator.  rax/rcx/rdx are reserved for
+   division, shifts and return values; rdi carries intrinsic arguments;
+   r15 is the spill scratch.  xmm0 carries float intrinsic args/returns;
+   xmm14/15 are scratch. *)
+let allocatable_gp = [ rbx; rsi; r8; r9; r10; r11; r12; r13; r14 ]
+let allocatable_xmm = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13 ]
+
+let scratch_gp = r15
+let scratch_gp2 = rax
+let scratch_xmm = 15

@@ -1,0 +1,50 @@
+(** Registers of the virtual x86-64-flavoured ISA.
+
+    General-purpose and XMM registers live in separate namespaces, both
+    indexed 0..15 for the physical file.  During instruction selection
+    the same integer space also carries virtual registers (ids >= 16);
+    register allocation maps them down. *)
+
+type t = int
+
+val rax : t
+val rbx : t
+val rcx : t
+val rdx : t
+val rsi : t
+val rdi : t
+val rbp : t
+val rsp : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+val r13 : t
+val r14 : t
+val r15 : t
+
+val num_physical : int
+val is_virtual : t -> bool
+val first_virtual : t
+
+val gp_names : string array
+
+val pp_gp : Format.formatter -> t -> unit
+val pp_xmm : Format.formatter -> t -> unit
+
+val callee_saved : t list
+(** System V callee-saved GP registers (without rbp/rsp, which the frame
+    manages). *)
+
+val allocatable_gp : t list
+(** The register-allocator pool; excludes rax/rcx/rdx (division, shifts,
+    returns), rdi (intrinsic argument) and r15 (spill scratch). *)
+
+val allocatable_xmm : t list
+(** xmm1..xmm13; xmm0 carries float intrinsic arguments/results,
+    xmm14/15 are spill scratch. *)
+
+val scratch_gp : t
+val scratch_gp2 : t
+val scratch_xmm : t

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Backend Core Fmt Ir List Minic Opt String Test_progs Vm Workloads X86

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Backend Core Hashtbl Ir Lazy List Minic Opt Printf QCheck QCheck_alcotest Str String Support Vm Workloads X86

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Core Fmt Ir List Minic Opt String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Char Int64 List Memory QCheck QCheck_alcotest Trap Vm

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Fmt List Minic String Vm

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Fmt Ir List Minic Opt String Test_progs Vm

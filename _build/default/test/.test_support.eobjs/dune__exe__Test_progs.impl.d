@@ -1,0 +1,1 @@
+test/test_progs.ml: Buffer Printf Support

@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Core Float Lazy List Support Workloads

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bits Int64 List Option QCheck QCheck_alcotest Rng Stats String Support Tabular Word

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Fmt Ir List String Support Vm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Backend Core List Minic Opt String Vm Workloads

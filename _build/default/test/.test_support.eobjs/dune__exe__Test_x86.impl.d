@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Backend Core Flags Float Insn Lazy List Minic Opt Printer QCheck QCheck_alcotest Scanf Support Vm Workloads X86

@@ -1,0 +1,145 @@
+(* Tests for the sparse paged memory model: mapping, traps, word
+   round-trips, the demand-mapped stack and the chunked heap arena. *)
+
+open Vm
+
+let test_unmapped_traps () =
+  let mem = Memory.create () in
+  (try
+     ignore (Memory.read_u8 mem 0x1234);
+     Alcotest.fail "read of unmapped address did not trap"
+   with Trap.Trap (Trap.Unmapped_read 0x1234) -> ());
+  try
+    Memory.write_u8 mem 0x1234 7;
+    Alcotest.fail "write to unmapped address did not trap"
+  with Trap.Trap (Trap.Unmapped_write 0x1234) -> ()
+
+let test_negative_address_traps () =
+  let mem = Memory.create () in
+  try
+    ignore (Memory.read_u8 mem (-8));
+    Alcotest.fail "negative address did not trap"
+  with Trap.Trap (Trap.Unmapped_read _) -> ()
+
+let test_byte_roundtrip () =
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:Memory.globals_base ~len:64;
+  for k = 0 to 63 do
+    Memory.write_u8 mem (Memory.globals_base + k) (k * 5)
+  done;
+  for k = 0 to 63 do
+    Alcotest.(check int) "byte" (k * 5 land 0xff)
+      (Memory.read_u8 mem (Memory.globals_base + k))
+  done
+
+let test_word_roundtrip =
+  QCheck.Test.make ~name:"63-bit word round-trips through memory" ~count:500
+    QCheck.int
+    (fun v ->
+      let mem = Memory.create () in
+      Memory.map_region mem ~addr:Memory.globals_base ~len:16;
+      Memory.write_word mem Memory.globals_base v;
+      Memory.read_word mem Memory.globals_base = v)
+
+let test_f64_roundtrip =
+  QCheck.Test.make ~name:"f64 round-trips bit-exactly" ~count:500 QCheck.float
+    (fun v ->
+      let mem = Memory.create () in
+      Memory.map_region mem ~addr:Memory.globals_base ~len:16;
+      Memory.write_f64 mem Memory.globals_base v;
+      Int64.equal
+        (Int64.bits_of_float (Memory.read_f64 mem Memory.globals_base))
+        (Int64.bits_of_float v))
+
+let test_cross_page_access () =
+  let mem = Memory.create () in
+  let boundary = Memory.globals_base + Memory.page_size in
+  Memory.map_region mem ~addr:(boundary - 16) ~len:32;
+  let addr = boundary - 3 in
+  Memory.write_word mem addr 0x123456789abcd;
+  Alcotest.(check int) "straddling word" 0x123456789abcd (Memory.read_word mem addr)
+
+let test_narrow_roundtrips () =
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:Memory.globals_base ~len:16;
+  Memory.write_u16 mem Memory.globals_base 0xbeef;
+  Alcotest.(check int) "u16" 0xbeef (Memory.read_u16 mem Memory.globals_base);
+  Memory.write_u32 mem Memory.globals_base 0xdeadbeef;
+  Alcotest.(check int) "u32" 0xdeadbeef (Memory.read_u32 mem Memory.globals_base)
+
+let test_stack_demand_mapping () =
+  let mem = Memory.create () in
+  (* Stack pages appear on first touch... *)
+  let addr = Memory.stack_top - 4096 in
+  Memory.write_word mem addr 99;
+  Alcotest.(check int) "stack write visible" 99 (Memory.read_word mem addr);
+  (* ...but only inside the stack region. *)
+  try
+    ignore (Memory.read_u8 mem (Memory.stack_top - Memory.default_stack_bytes - 64));
+    Alcotest.fail "below-stack access did not trap"
+  with Trap.Trap (Trap.Unmapped_read _) -> ()
+
+let test_heap_alloc_distinct_and_aligned () =
+  let mem = Memory.create () in
+  let a = Memory.heap_alloc mem 24 in
+  let b = Memory.heap_alloc mem 100 in
+  Alcotest.(check bool) "aligned" true (a land 15 = 0 && b land 15 = 0);
+  Alcotest.(check bool) "disjoint" true (b >= a + 24);
+  Memory.write_word mem a 1;
+  Memory.write_word mem b 2;
+  Alcotest.(check int) "no aliasing" 1 (Memory.read_word mem a)
+
+let test_heap_arena_slack () =
+  let mem = Memory.create () in
+  let a = Memory.heap_alloc mem 8 in
+  (* Overruns within the 64 KiB arena chunk read zeroes (silent), as on a
+     malloc'd heap with slack... *)
+  Alcotest.(check int) "slack reads zero" 0 (Memory.read_u8 mem (a + 64));
+  (* ...but escaping the arena entirely still traps. *)
+  try
+    ignore (Memory.read_u8 mem (a + (1 lsl 22)));
+    Alcotest.fail "far heap overrun did not trap"
+  with Trap.Trap (Trap.Unmapped_read _) -> ()
+
+let test_blit_string () =
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:Memory.globals_base ~len:32;
+  Memory.blit_string mem ~addr:Memory.globals_base "hello";
+  Alcotest.(check int) "h" (Char.code 'h') (Memory.read_u8 mem Memory.globals_base);
+  Alcotest.(check int) "o" (Char.code 'o') (Memory.read_u8 mem (Memory.globals_base + 4))
+
+let test_segment_layout_sanity () =
+  (* The crash model depends on segments being far apart: a high-bit flip
+     of a pointer must leave every mapped region. *)
+  Alcotest.(check bool) "text < globals < heap < stack" true
+    (Memory.text_base < Memory.globals_base
+    && Memory.globals_base < Memory.heap_base
+    && Memory.heap_base < Memory.stack_top - Memory.default_stack_bytes);
+  Alcotest.(check bool) "null page unmapped by construction" true
+    (Memory.text_base > Memory.page_size)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "traps",
+        [
+          ("unmapped", `Quick, test_unmapped_traps);
+          ("negative address", `Quick, test_negative_address_traps);
+        ] );
+      ( "roundtrips",
+        [
+          ("bytes", `Quick, test_byte_roundtrip);
+          ("cross-page", `Quick, test_cross_page_access);
+          ("narrow", `Quick, test_narrow_roundtrips);
+          ("blit string", `Quick, test_blit_string);
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ test_word_roundtrip; test_f64_roundtrip ] );
+      ( "regions",
+        [
+          ("stack demand mapping", `Quick, test_stack_demand_mapping);
+          ("heap alloc", `Quick, test_heap_alloc_distinct_and_aligned);
+          ("heap arena slack", `Quick, test_heap_arena_slack);
+          ("segment layout", `Quick, test_segment_layout_sanity);
+        ] );
+    ]

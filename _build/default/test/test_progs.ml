@@ -1,0 +1,105 @@
+(* Shared random-program generators for differential testing of the
+   optimizer and the backend. *)
+
+(* A richer generator: helper functions, global arrays, doubles,
+   pointer reads/writes, nested control flow.  Programs are closed
+   (no inputs) and always terminate (bounded loops). *)
+let random_rich_program seed =
+  let rng = Support.Rng.of_int seed in
+  let buf = Buffer.create 1024 in
+  let rnd n = Support.Rng.int rng n in
+  let arr_len = 8 + rnd 8 in
+  Buffer.add_string buf (Printf.sprintf "int data[%d];\n" arr_len);
+  Buffer.add_string buf "double acc = 0.5;\n";
+  (* A pure helper and an array-mutating helper. *)
+  let iop () = match rnd 5 with 0 -> "+" | 1 -> "-" | 2 -> "*" | 3 -> "&" | _ -> "^" in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "int mix(int a, int b) { return (a %s b) %s (a %s %d); }\n"
+       (iop ()) (iop ()) (iop ()) (1 + rnd 9));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "void scatter(int k, int v) { data[(k %% %d + %d) %% %d] = v; }\n"
+       arr_len arr_len arr_len);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "double smooth(double x) { return x * 0.5 + %d.25; }\n" (rnd 4));
+  Buffer.add_string buf "void main() {\n  int i;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  for (i = 0; i < %d; i = i + 1) { data[i] = mix(i, %d); }\n"
+       arr_len (rnd 50));
+  let n_stmts = 4 + rnd 6 in
+  for k = 0 to n_stmts - 1 do
+    match rnd 5 with
+    | 0 ->
+      Buffer.add_string buf
+        (Printf.sprintf "  scatter(%d, mix(data[%d], %d));\n" (rnd 20)
+           (rnd arr_len) (rnd 30))
+    | 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  for (i = 0; i < %d; i = i + 1) { acc = smooth(acc + (double)data[i %% %d]); }\n"
+           (2 + rnd 6) arr_len)
+    | 2 ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  if (data[%d] > data[%d] && data[%d] != %d) { scatter(%d, %d); } else { acc = acc * 1.5; }\n"
+           (rnd arr_len) (rnd arr_len) (rnd arr_len) (rnd 40) (rnd 10) (rnd 100))
+    | 3 ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { int *p = &data[%d]; *p = *p %s %d; }\n" (rnd arr_len) (iop ())
+           (1 + rnd 9))
+    | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { int t%d = 0; while (t%d < %d) { t%d = t%d + 1; if (t%d == %d) { break; } } data[%d] = t%d; }\n"
+           k k (3 + rnd 9) k k k (rnd 6) (rnd arr_len) k)
+  done;
+  Buffer.add_string buf "  int sum = 0;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  for (i = 0; i < %d; i = i + 1) { sum = sum + data[i] * (i + 1); }\n"
+       arr_len);
+  Buffer.add_string buf "  print_int(sum); print_char(' '); print_double(acc);\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let random_program seed =
+  let rng = Support.Rng.of_int seed in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "void main() {\n";
+  let n_vars = 3 + Support.Rng.int rng 3 in
+  for v = 0 to n_vars - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  int v%d = %d;\n" v (Support.Rng.int rng 100 - 50))
+  done;
+  let var () = Printf.sprintf "v%d" (Support.Rng.int rng n_vars) in
+  let op () =
+    match Support.Rng.int rng 6 with
+    | 0 -> "+" | 1 -> "-" | 2 -> "*" | 3 -> "&" | 4 -> "|" | _ -> "^"
+  in
+  let n_stmts = 5 + Support.Rng.int rng 10 in
+  for _ = 1 to n_stmts do
+    match Support.Rng.int rng 3 with
+    | 0 ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s = %s %s %s;\n" (var ()) (var ()) (op ()) (var ()))
+    | 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "  if (%s < %s) { %s = %s %s %d; }\n" (var ()) (var ())
+           (var ()) (var ()) (op ())
+           (Support.Rng.int rng 20))
+    | _ ->
+      let v = var () in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { int k; for (k = 0; k < %d; k = k + 1) { %s = %s %s %d; } }\n"
+           (Support.Rng.int rng 8 + 1)
+           v v (op ())
+           (Support.Rng.int rng 9 + 1))
+  done;
+  for v = 0 to n_vars - 1 do
+    Buffer.add_string buf (Printf.sprintf "  print_int(v%d); print_char(' ');\n" v)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,138 @@
+(* Integration regression test: the paper's headline findings must hold
+   on a small deterministic campaign.  Uses two benchmarks and modest
+   trial counts to stay fast while still being statistically meaningful
+   for the coarse assertions below. *)
+
+let config = { Core.Campaign.default_config with trials = 120; seed = 7 }
+
+let campaign =
+  lazy
+    (let workloads = [ Workloads.find_exn "mcf"; Workloads.find_exn "libquantum" ] in
+     let prepared = List.map (Core.Campaign.prepare config) workloads in
+     let cells =
+       List.concat_map
+         (fun p ->
+           List.concat_map
+             (fun tool ->
+               List.map
+                 (fun c -> Core.Campaign.run_cell config p tool c)
+                 Core.Category.all)
+             [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+         prepared
+     in
+     (prepared, cells))
+
+let get_cell name tool category =
+  let _, cells = Lazy.force campaign in
+  match Core.Campaign.find cells ~workload:name ~tool ~category with
+  | Some c -> c
+  | None -> Alcotest.failf "missing cell %s" name
+
+let rate_pair name category f =
+  let l = get_cell name Core.Campaign.Llfi_tool category in
+  let p = get_cell name Core.Campaign.Pinfi_tool category in
+  (f l.Core.Campaign.c_tally, f p.Core.Campaign.c_tally)
+
+(* T4-arith: LLFI's arithmetic population excludes address computation. *)
+let test_arithmetic_population_gap () =
+  let prepared, _ = Lazy.force campaign in
+  List.iter
+    (fun (p : Core.Campaign.prepared) ->
+      let llfi = Core.Llfi.dynamic_count p.llfi Core.Category.Arithmetic in
+      let pinfi = Core.Pinfi.dynamic_count p.pinfi Core.Category.Arithmetic in
+      if llfi >= pinfi then
+        Alcotest.failf "%s: LLFI arithmetic %d >= PINFI %d"
+          p.workload.Core.Workload.name llfi pinfi)
+    prepared
+
+(* T4-cmp: populations nearly equal. *)
+let test_cmp_population_agreement () =
+  let prepared, _ = Lazy.force campaign in
+  List.iter
+    (fun (p : Core.Campaign.prepared) ->
+      let llfi = Core.Llfi.dynamic_count p.llfi Core.Category.Cmp in
+      let pinfi = Core.Pinfi.dynamic_count p.pinfi Core.Category.Cmp in
+      let hi = max llfi pinfi and lo = min llfi pinfi in
+      if lo * 10 < hi * 8 then
+        Alcotest.failf "%s: cmp populations differ beyond 20%% (%d vs %d)"
+          p.workload.Core.Workload.name llfi pinfi)
+    prepared
+
+(* F4: SDC rates of the two tools agree within CIs for the 'all' and
+   'cmp' categories (the paper's strongest cells). *)
+let test_sdc_agreement () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun category ->
+          let l = get_cell name Core.Campaign.Llfi_tool category in
+          let p = get_cell name Core.Campaign.Pinfi_tool category in
+          let li = Core.Verdict.sdc_interval l.Core.Campaign.c_tally in
+          let pi = Core.Verdict.sdc_interval p.Core.Campaign.c_tally in
+          if not (Support.Stats.intervals_overlap li pi) then
+            Alcotest.failf "%s/%s: SDC CIs disjoint" name
+              (Core.Category.name category))
+        [ Core.Category.All; Core.Category.Cmp ])
+    [ "mcf"; "libquantum" ]
+
+(* T5: cmp crash rates are tiny and agree; some other category shows a
+   substantial divergence. *)
+let test_crash_shape () =
+  List.iter
+    (fun name ->
+      let lc, pc = rate_pair name Core.Category.Cmp Core.Verdict.crash_rate in
+      if lc > 0.15 || pc > 0.15 then
+        Alcotest.failf "%s: cmp crash rates too high (%.2f / %.2f)" name lc pc;
+      if Float.abs (lc -. pc) > 0.10 then
+        Alcotest.failf "%s: cmp crash rates diverge (%.2f / %.2f)" name lc pc)
+    [ "mcf"; "libquantum" ];
+  (* mcf arithmetic: the address-computation divergence. *)
+  let lc, pc = rate_pair "mcf" Core.Category.Arithmetic Core.Verdict.crash_rate in
+  if Float.abs (lc -. pc) < 0.15 then
+    Alcotest.failf
+      "mcf arithmetic crash rates unexpectedly close (%.2f / %.2f): the \
+       address-computation divergence vanished"
+      lc pc
+
+(* F3: hangs are negligible; crash rates live in a plausible band. *)
+let test_aggregate_band () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun tool ->
+          let c = get_cell name tool Core.Category.All in
+          let t = c.Core.Campaign.c_tally in
+          let crash = Core.Verdict.crash_rate t in
+          if crash < 0.05 || crash > 0.75 then
+            Alcotest.failf "%s %s: crash rate %.2f outside plausible band" name
+              (Core.Campaign.tool_name tool)
+              crash;
+          if Core.Verdict.hang_rate t > 0.10 then
+            Alcotest.failf "%s: hangs are not negligible" name)
+        [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+    [ "mcf"; "libquantum" ]
+
+(* Golden outputs at both levels agreed during preparation (checked by
+   Campaign.prepare); re-assert to make the invariant visible here. *)
+let test_cross_level_golden () =
+  let prepared, _ = Lazy.force campaign in
+  List.iter
+    (fun (p : Core.Campaign.prepared) ->
+      Alcotest.(check string)
+        (p.workload.Core.Workload.name ^ " golden")
+        p.llfi.Core.Llfi.golden_output p.pinfi.Core.Pinfi.golden_output)
+    prepared
+
+let () =
+  Alcotest.run "reproduction"
+    [
+      ( "paper shape",
+        [
+          ("arithmetic population gap", `Slow, test_arithmetic_population_gap);
+          ("cmp population agreement", `Slow, test_cmp_population_agreement);
+          ("sdc agreement", `Slow, test_sdc_agreement);
+          ("crash shape", `Slow, test_crash_shape);
+          ("aggregate band", `Slow, test_aggregate_band);
+          ("cross-level golden", `Slow, test_cross_level_golden);
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for Support: PRNG, bit manipulation, statistics, tables, words. *)
+
+open Support
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.of_int 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_int64_bounds () =
+  let rng = Rng.of_int 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int64_bound rng 1000L in
+    if Int64.compare v 0L < 0 || Int64.compare v 1000L >= 0 then
+      Alcotest.failf "out of bounds: %Ld" v
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.of_int 3 in
+  let child = Rng.split parent in
+  let a = Rng.next_int64 parent and b = Rng.next_int64 child in
+  Alcotest.(check bool) "streams differ" false (Int64.equal a b)
+
+let test_rng_float_range () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_uniformity =
+  QCheck.Test.make ~name:"rng int is roughly uniform" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let buckets = Array.make 10 0 in
+      let n = 10_000 in
+      for _ = 1 to n do
+        let v = Rng.int rng 10 in
+        buckets.(v) <- buckets.(v) + 1
+      done;
+      Array.for_all (fun c -> c > n / 20 && c < n / 5) buckets)
+
+let test_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.of_int seed in
+      let a = Array.of_list xs in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* --- Bits --- *)
+
+let test_flip_int64_involution =
+  QCheck.Test.make ~name:"flip_int64 is an involution" ~count:500
+    QCheck.(pair int64 (int_range 0 63))
+    (fun (v, bit) -> Int64.equal (Bits.flip_int64 (Bits.flip_int64 v bit) bit) v)
+
+let test_flip_changes_exactly_one_bit =
+  QCheck.Test.make ~name:"flip changes exactly one bit" ~count:500
+    QCheck.(pair int64 (int_range 0 63))
+    (fun (v, bit) ->
+      Bits.popcount (Int64.logxor v (Bits.flip_int64 v bit)) = 1)
+
+let test_flip_float_involution =
+  QCheck.Test.make ~name:"flip_float is an involution" ~count:500
+    QCheck.(pair float (int_range 0 63))
+    (fun (v, bit) ->
+      let flipped = Bits.flip_float (Bits.flip_float v bit) bit in
+      Int64.equal (Int64.bits_of_float flipped) (Int64.bits_of_float v))
+
+let test_sign_extend () =
+  Alcotest.(check int64) "extend negative" (-1L) (Bits.sign_extend 0xffL 8);
+  Alcotest.(check int64) "extend positive" 127L (Bits.sign_extend 0x7fL 8);
+  Alcotest.(check int64) "width 64 identity" (-5L) (Bits.sign_extend (-5L) 64)
+
+let test_mask_width () =
+  Alcotest.(check int64) "mask 0" 0L (Bits.mask_width 0);
+  Alcotest.(check int64) "mask 8" 0xffL (Bits.mask_width 8);
+  Alcotest.(check int64) "mask 64" (-1L) (Bits.mask_width 64)
+
+let test_i128_flip =
+  QCheck.Test.make ~name:"i128 flip involution across halves" ~count:500
+    QCheck.(pair (pair int64 int64) (int_range 0 127))
+    (fun ((hi, lo), bit) ->
+      let v = { Bits.hi; lo } in
+      Bits.i128_equal (Bits.flip_i128 (Bits.flip_i128 v bit) bit) v)
+
+let test_i128_halves () =
+  let v = Bits.flip_i128 Bits.i128_zero 64 in
+  Alcotest.(check int64) "bit 64 lands in hi" 1L v.Bits.hi;
+  Alcotest.(check int64) "lo untouched" 0L v.Bits.lo
+
+(* --- Word --- *)
+
+let test_word_canon () =
+  Alcotest.(check int) "i8 wrap" (-128) (Word.canon 8 128);
+  Alcotest.(check int) "i8 id" 127 (Word.canon 8 127);
+  Alcotest.(check int) "i1 true" 1 (Word.canon 1 3);
+  Alcotest.(check int) "i1 false" 0 (Word.canon 1 2);
+  Alcotest.(check int) "i32 wrap" (-0x8000_0000) (Word.canon 32 0x8000_0000);
+  Alcotest.(check int) "full width id" max_int (Word.canon Word.width max_int)
+
+let test_word_canon_idempotent =
+  QCheck.Test.make ~name:"canon idempotent" ~count:500
+    QCheck.(pair (int_range 1 63) int)
+    (fun (w, v) -> Word.canon w (Word.canon w v) = Word.canon w v)
+
+let test_word_unsigned () =
+  Alcotest.(check int) "to_unsigned i8" 255 (Word.to_unsigned 8 (-1));
+  Alcotest.(check bool) "ucompare max < -1" true (Word.ucompare max_int (-1) < 0);
+  Alcotest.(check bool) "ucompare 0 < 1" true (Word.ucompare 0 1 < 0)
+
+let test_word_shifts () =
+  Alcotest.(check int) "shl small" 8 (Word.shl 1 3);
+  Alcotest.(check int) "shl overflow" 0 (Word.shl 1 63);
+  Alcotest.(check int) "lshr full width" 1 (Word.lshr Word.width min_int 62);
+  Alcotest.(check int) "lshr narrow" 127 (Word.lshr 8 (-1) 1);
+  Alcotest.(check int) "ashr" (-1) (Word.ashr (-2) 1);
+  (* Shift amounts are masked to 6 bits, as on x86: 70 land 63 = 6. *)
+  Alcotest.(check int) "ashr masks amount" (min_int asr 6) (Word.ashr min_int 70)
+
+(* --- Stats --- *)
+
+let test_proportion () =
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Stats.proportion ~successes:50 ~trials:100);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.proportion ~successes:0 ~trials:0)
+
+let test_z_score () =
+  Alcotest.(check (float 1e-3)) "z(95%)" 1.96 (Stats.z_of_confidence 0.95);
+  Alcotest.(check (float 1e-3)) "z(99%)" 2.576 (Stats.z_of_confidence 0.99)
+
+let test_normal_interval () =
+  let i = Stats.normal_interval ~successes:100 ~trials:1000 () in
+  Alcotest.(check bool) "contains p" true (i.Stats.lower < 0.1 && 0.1 < i.Stats.upper);
+  Alcotest.(check (float 1e-3)) "half width ~1.86%" 0.0186
+    ((i.Stats.upper -. i.Stats.lower) /. 2.0)
+
+let test_wilson_interval_never_degenerate () =
+  let i = Stats.wilson_interval ~successes:0 ~trials:1000 () in
+  Alcotest.(check bool) "upper > 0 at p=0" true (i.Stats.upper > 0.0);
+  let j = Stats.wilson_interval ~successes:1000 ~trials:1000 () in
+  Alcotest.(check bool) "lower < 1 at p=1" true (j.Stats.lower < 1.0)
+
+let test_interval_bounds =
+  QCheck.Test.make ~name:"intervals stay in [0,1] and contain p" ~count:500
+    QCheck.(pair (int_range 0 100) (int_range 1 100))
+    (fun (s, extra) ->
+      let trials = s + extra in
+      let p = Stats.proportion ~successes:s ~trials in
+      let check (i : Stats.interval) =
+        i.lower >= 0.0 && i.upper <= 1.0 && i.lower <= p +. 1e-9
+        && p -. 1e-9 <= i.upper
+      in
+      check (Stats.normal_interval ~successes:s ~trials ())
+      && check (Stats.wilson_interval ~successes:s ~trials ()))
+
+let test_overlap () =
+  let a = { Stats.lower = 0.1; upper = 0.3 } in
+  let b = { Stats.lower = 0.25; upper = 0.5 } in
+  let c = { Stats.lower = 0.31; upper = 0.4 } in
+  Alcotest.(check bool) "overlapping" true (Stats.intervals_overlap a b);
+  Alcotest.(check bool) "disjoint" false (Stats.intervals_overlap a c)
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5.0 ])
+
+(* --- Tabular --- *)
+
+let test_table_render () =
+  let t = Tabular.create ~headers:[ "name"; "value" ] in
+  Tabular.add_row t [ "alpha"; "1" ];
+  Tabular.add_row t [ "beta"; "22" ];
+  let s = Tabular.render t in
+  Alcotest.(check bool) "mentions alpha" true
+    (String.length s > 0 && Option.is_some (String.index_opt s 'a'));
+  (* All lines equally wide. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_ragged_rows () =
+  let t = Tabular.create ~headers:[ "a" ] in
+  Tabular.add_row t [ "x"; "y"; "z" ];
+  Tabular.add_separator t;
+  Tabular.add_row t [];
+  let s = Tabular.render t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "rectangular despite ragged input" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "rng",
+        [
+          ("deterministic", `Quick, test_rng_deterministic);
+          ("bounds", `Quick, test_rng_bounds);
+          ("int64 bounds", `Quick, test_rng_int64_bounds);
+          ("split independence", `Quick, test_rng_split_independent);
+          ("float range", `Quick, test_rng_float_range);
+        ]
+        @ qsuite [ test_rng_uniformity; test_shuffle_is_permutation ] );
+      ( "bits",
+        [
+          ("sign extend", `Quick, test_sign_extend);
+          ("mask width", `Quick, test_mask_width);
+          ("i128 halves", `Quick, test_i128_halves);
+        ]
+        @ qsuite
+            [
+              test_flip_int64_involution;
+              test_flip_changes_exactly_one_bit;
+              test_flip_float_involution;
+              test_i128_flip;
+            ] );
+      ( "word",
+        [
+          ("canon", `Quick, test_word_canon);
+          ("unsigned", `Quick, test_word_unsigned);
+          ("shifts", `Quick, test_word_shifts);
+        ]
+        @ qsuite [ test_word_canon_idempotent ] );
+      ( "stats",
+        [
+          ("proportion", `Quick, test_proportion);
+          ("z score", `Quick, test_z_score);
+          ("normal interval", `Quick, test_normal_interval);
+          ("wilson never degenerate", `Quick, test_wilson_interval_never_degenerate);
+          ("overlap", `Quick, test_overlap);
+          ("mean stddev", `Quick, test_mean_stddev);
+        ]
+        @ qsuite [ test_interval_bounds ] );
+      ( "tabular",
+        [
+          ("render", `Quick, test_table_render);
+          ("ragged rows", `Quick, test_table_ragged_rows);
+        ] );
+    ]
