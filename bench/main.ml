@@ -18,8 +18,21 @@ let trials =
 
 let config = { Core.Campaign.default_config with trials }
 
+let jobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> Engine.Pool.default_size ())
+  | None -> Engine.Pool.default_size ()
+
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* Every top-level part is timed so a full run doubles as a wall-clock
+   profile of the harness itself. *)
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "\n[wall-clock] %s: %.1fs\n%!" name (Unix.gettimeofday () -. t0);
+  r
 
 (* ----------------------------------------------------------------- *)
 (* Part 1: the paper's tables and figures                            *)
@@ -29,23 +42,15 @@ let run_campaign () =
   section
     (Printf.sprintf
        "Reproduction campaign: 6 benchmarks x 2 tools x 5 categories x %d \
-        injections"
-       trials);
+        injections (%d jobs)"
+       trials jobs);
   let t0 = Unix.gettimeofday () in
-  let prepared = List.map (Core.Campaign.prepare config) Workloads.all in
-  let cells =
-    List.concat_map
-      (fun p ->
-        Printf.printf "  injecting into %s...\n%!"
-          p.Core.Campaign.workload.Core.Workload.name;
-        List.concat_map
-          (fun tool ->
-            List.map
-              (fun category -> Core.Campaign.run_cell config p tool category)
-              Core.Category.all)
-          [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
-      prepared
+  let result =
+    Engine.Scheduler.run ~jobs ~progress:(Engine.Progress.create ()) config
+      Workloads.all
   in
+  let prepared = result.Engine.Scheduler.prepared in
+  let cells = result.Engine.Scheduler.cells in
   Printf.printf "  campaign wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0);
   section "Table II — benchmark characteristics";
   Core.Report.table2 Workloads.all;
@@ -66,6 +71,42 @@ let run_campaign () =
   section "Paper claims, evaluated on this run";
   Core.Report.print_claims (Core.Report.evaluate_claims prepared cells);
   (prepared, cells)
+
+(* ----------------------------------------------------------------- *)
+(* Part 1b: the execution engine vs the sequential baseline           *)
+(* ----------------------------------------------------------------- *)
+
+(* Same cells, one domain vs a pool: the per-cell RNG streams make the
+   outputs byte-identical, so this both benchmarks the engine and
+   re-checks its determinism guarantee on every bench run. *)
+let engine_speedup () =
+  section
+    (Printf.sprintf "Execution engine: sequential baseline vs %d-domain pool"
+       jobs);
+  let subset = [ Workloads.find_exn "mcf"; Workloads.find_exn "libquantum" ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_cells, seq_s = time (fun () -> Core.Campaign.run_all config subset) in
+  let par, par_s =
+    time (fun () -> Engine.Scheduler.run ~jobs config subset)
+  in
+  let seq_csv = Core.Campaign.to_csv seq_cells in
+  let par_csv = Core.Campaign.to_csv par.Engine.Scheduler.cells in
+  if not (String.equal seq_csv par_csv) then
+    failwith "engine_speedup: parallel CSV diverges from sequential baseline";
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  Printf.printf "  sequential (jobs=1): %6.1fs\n" seq_s;
+  Printf.printf "  engine    (jobs=%d): %6.1fs\n" jobs par_s;
+  Printf.printf "  speedup: %.2fx — CSV byte-identical\n" speedup;
+  (* Machine-readable summary, BENCH_*.json style. *)
+  Printf.printf
+    "BENCH_ENGINE {\"workloads\": %d, \"trials\": %d, \"jobs\": %d, \
+     \"seq_s\": %.3f, \"par_s\": %.3f, \"speedup\": %.3f, \"identical\": \
+     true}\n"
+    (List.length subset) trials jobs seq_s par_s speedup
 
 (* ----------------------------------------------------------------- *)
 (* Part 2: ablations of the design choices in DESIGN.md              *)
@@ -392,14 +433,15 @@ let bechamel_suite () =
     tests
 
 let () =
-  run_campaign () |> ignore;
-  ablation_gep_folding ();
-  ablation_flag_bits ();
-  ablation_xmm_pruning ();
-  ablation_cast_pruning ();
-  ablation_inlining ();
-  extension_crash_latency ();
-  robustness_inputs ();
-  extension_edc ();
-  bechamel_suite ();
+  timed "reproduction campaign" run_campaign |> ignore;
+  timed "engine speedup" engine_speedup;
+  timed "ablation: gep folding" ablation_gep_folding;
+  timed "ablation: flag bits" ablation_flag_bits;
+  timed "ablation: xmm pruning" ablation_xmm_pruning;
+  timed "ablation: cast pruning" ablation_cast_pruning;
+  timed "ablation: inlining" ablation_inlining;
+  timed "extension: crash latency" extension_crash_latency;
+  timed "robustness: inputs" robustness_inputs;
+  timed "extension: edc" extension_edc;
+  timed "bechamel micro-benchmarks" bechamel_suite;
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured analysis."

@@ -101,6 +101,42 @@ let trials_arg default =
 let config_of ~trials ~seed =
   { Core.Campaign.default_config with trials; seed }
 
+(* --- execution-engine flags (campaign, inject) --- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the execution engine.  1 (the default) runs \
+           sequentially on the calling domain; 0 uses the \
+           runtime-recommended domain count.  Results are byte-identical \
+           for every value of $(docv).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Checkpoint file: append every completed campaign cell so an \
+           interrupted run can be resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the $(b,--journal) file, skipping cells it already \
+           contains.")
+
+let resolve_jobs jobs = if jobs <= 0 then Engine.Pool.default_size () else jobs
+
+let check_engine_flags ~journal ~resume =
+  if resume && journal = None then
+    `Error (true, "--resume requires --journal PATH")
+  else `Ok ()
+
 (* --- list --- *)
 
 let list_cmd =
@@ -182,7 +218,11 @@ let profile_cmd =
 (* --- inject --- *)
 
 let inject_cmd =
-  let run (w : Core.Workload.t) tool category trials seed functions =
+  let run (w : Core.Workload.t) tool category trials seed functions jobs
+      journal resume =
+    match check_engine_flags ~journal ~resume with
+    | `Error _ as e -> e
+    | `Ok () ->
     let config = config_of ~trials ~seed in
     let config =
       match functions with
@@ -194,13 +234,20 @@ let inject_cmd =
             { config.llfi with Core.Llfi.custom_selector = Core.Llfi.in_functions names };
         }
     in
-    let p = Core.Campaign.prepare config w in
     let tool =
       match tool with
       | `Llfi -> Core.Campaign.Llfi_tool
       | `Pinfi -> Core.Campaign.Pinfi_tool
     in
-    let cell = Core.Campaign.run_cell config p tool category in
+    (* A single cell run through the engine: with --jobs N the cell is
+       split into N trial ranges; the tally is identical either way. *)
+    match
+      Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ?journal ~resume
+        ~tools:[ tool ] ~categories:[ category ] config [ w ]
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | result ->
+    let cell = List.hd result.Engine.Scheduler.cells in
     let t = cell.Core.Campaign.c_tally in
     Fmt.pr "workload=%s tool=%s category=%s population=%d@." w.name
       (Core.Campaign.tool_name tool)
@@ -217,7 +264,7 @@ let inject_cmd =
       (100.0 *. Core.Verdict.benign_rate t)
       t.hang;
     if t.not_activated > 0 then Fmt.pr "not activated: %d@." t.not_activated;
-    0
+    `Ok 0
   in
   let tool_arg =
     Arg.(
@@ -243,8 +290,9 @@ let inject_cmd =
   Cmd.v
     (Cmd.info "inject" ~doc:"Run one fault-injection cell and print the tally.")
     Term.(
-      const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200 $ seed_arg
-      $ functions_arg)
+      ret
+        (const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200
+       $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg))
 
 (* --- propagate --- *)
 
@@ -377,30 +425,32 @@ let edc_cmd =
 (* --- campaign --- *)
 
 let campaign_cmd =
-  let run trials seed csv_file workload_filter =
+  let run trials seed csv_file workload_filter jobs journal resume =
+    match check_engine_flags ~journal ~resume with
+    | `Error _ as e -> e
+    | `Ok () ->
+    let jobs = resolve_jobs jobs in
     let config = config_of ~trials ~seed in
     let workloads =
       match workload_filter with
       | [] -> Workloads.all
       | names -> List.map Workloads.find_exn names
     in
-    Fmt.pr "Running campaign: %d workloads x 2 tools x %d categories x %d trials@."
+    Fmt.pr
+      "Running campaign: %d workloads x 2 tools x %d categories x %d trials \
+       (%d job%s)@."
       (List.length workloads)
       (List.length Core.Category.all)
-      trials;
-    let prepared = List.map (Core.Campaign.prepare config) workloads in
-    let cells =
-      List.concat_map
-        (fun p ->
-          Fmt.pr "  %s...@." p.Core.Campaign.workload.Core.Workload.name;
-          List.concat_map
-            (fun tool ->
-              List.map
-                (fun category -> Core.Campaign.run_cell config p tool category)
-                Core.Category.all)
-            [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
-        prepared
-    in
+      trials jobs
+      (if jobs = 1 then "" else "s");
+    match
+      Engine.Scheduler.run ~jobs ?journal ~resume
+        ~progress:(Engine.Progress.create ()) config workloads
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | result ->
+    let prepared = result.Engine.Scheduler.prepared in
+    let cells = result.Engine.Scheduler.cells in
     print_newline ();
     Core.Report.table2 workloads;
     print_newline ();
@@ -425,7 +475,7 @@ let campaign_cmd =
       close_out oc;
       Fmt.pr "Raw results written to %s@." path
     | None -> ());
-    0
+    `Ok 0
   in
   let csv_arg =
     Arg.(
@@ -443,8 +493,12 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Run the full study and print every table and figure of the paper \
-          (paper values alongside).")
-    Term.(const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg)
+          (paper values alongside).  With $(b,--jobs) the cells run on a \
+          domain pool; output is byte-identical to a sequential run.")
+    Term.(
+      ret
+        (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
+       $ jobs_arg $ journal_arg $ resume_arg))
 
 let main_cmd =
   let doc =

@@ -9,6 +9,11 @@ type tool = Llfi_tool | Pinfi_tool
 
 let tool_name = function Llfi_tool -> "LLFI" | Pinfi_tool -> "PINFI"
 
+let tool_of_name = function
+  | "LLFI" -> Some Llfi_tool
+  | "PINFI" -> Some Pinfi_tool
+  | _ -> None
+
 type config = {
   trials : int;
   seed : int;
@@ -75,7 +80,13 @@ let prepare config (w : Workload.t) =
          w.Workload.name);
   { workload = w; prog; asm; llfi; pinfi }
 
-let run_cell ?on_trial config (p : prepared) tool category =
+(* Trial [k] of a cell always draws its stream as the [k]-th split of
+   the cell's master RNG, so a contiguous range of trials can run
+   anywhere (another domain, a resumed process) and still see the exact
+   stream the sequential runner would have given it. *)
+let run_cell_range ?on_trial config (p : prepared) tool category ~first ~count =
+  if first < 0 || count < 0 then
+    invalid_arg "Campaign.run_cell_range: negative trial range";
   let population, golden, inject =
     match tool with
     | Llfi_tool ->
@@ -92,7 +103,8 @@ let run_cell ?on_trial config (p : prepared) tool category =
     let master =
       cell_rng config ~workload:p.workload.Workload.name ~tool ~category
     in
-    for trial = 0 to config.trials - 1 do
+    Support.Rng.advance master first;
+    for trial = first to first + count - 1 do
       let rng = Support.Rng.split master in
       let stats = inject rng in
       let verdict = Verdict.of_run ~golden_output:golden stats in
@@ -107,6 +119,9 @@ let run_cell ?on_trial config (p : prepared) tool category =
     c_population = population;
     c_tally = tally;
   }
+
+let run_cell ?on_trial config p tool category =
+  run_cell_range ?on_trial config p tool category ~first:0 ~count:config.trials
 
 let run_workload ?on_cell ?(categories = Category.all) config (w : Workload.t) =
   let p = prepare config w in

@@ -9,6 +9,9 @@ type tool = Llfi_tool | Pinfi_tool
 
 val tool_name : tool -> string
 
+val tool_of_name : string -> tool option
+(** Inverse of {!tool_name}; [None] for unknown names. *)
+
 type config = {
   trials : int;
   seed : int;
@@ -46,8 +49,18 @@ val prepare : config -> Workload.t -> prepared
 (** Compile at both levels, golden-run both, profile both.
     @raise Invalid_argument if the two levels' golden outputs differ. *)
 
+val run_cell_range :
+  ?on_trial:(int -> Verdict.t -> unit) ->
+  config -> prepared -> tool -> Category.t -> first:int -> count:int -> cell
+(** Run trials [first .. first+count-1] of a cell.  Trial [k] always
+    draws the [k]-th split of the cell's master stream, so disjoint
+    ranges computed in any order (or on any domain) merge — via
+    {!Verdict.merge} — into exactly the tally a single sequential
+    [run_cell] would produce. *)
+
 val run_cell :
   ?on_trial:(int -> Verdict.t -> unit) -> config -> prepared -> tool -> Category.t -> cell
+(** [run_cell_range ~first:0 ~count:config.trials]. *)
 
 val run_workload :
   ?on_cell:(cell -> unit) -> ?categories:Category.t list -> config -> Workload.t ->

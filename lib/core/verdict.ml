@@ -55,6 +55,17 @@ let add tally = function
     tally.trials <- tally.trials + 1;
     tally.not_injected <- tally.not_injected + 1
 
+let merge a b =
+  {
+    trials = a.trials + b.trials;
+    benign = a.benign + b.benign;
+    sdc = a.sdc + b.sdc;
+    crash = a.crash + b.crash;
+    hang = a.hang + b.hang;
+    not_activated = a.not_activated + b.not_activated;
+    not_injected = a.not_injected + b.not_injected;
+  }
+
 (* Rates are reported among activated faults only (paper §II-B). *)
 let activated tally =
   tally.benign + tally.sdc + tally.crash + tally.hang

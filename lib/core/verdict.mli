@@ -20,6 +20,10 @@ type tally = {
 val fresh_tally : unit -> tally
 val add : tally -> t -> unit
 
+val merge : tally -> tally -> tally
+(** Field-wise sum of two tallies.  Used to reassemble a cell run as
+    independent trial chunks; merging is order-insensitive. *)
+
 val activated : tally -> int
 (** benign + sdc + crash + hang: the denominator of every reported rate
     (the paper considers only activated faults, §II-B). *)

@@ -1,0 +1,105 @@
+(** Line-delimited campaign journal; see the .mli for the format. *)
+
+type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+let header (config : Core.Campaign.config) =
+  Printf.sprintf "# fi-journal v1 seed=%d trials=%d" config.seed config.trials
+
+let cell_line (c : Core.Campaign.cell) =
+  let t = c.c_tally in
+  Printf.sprintf "cell %s %s %s %d %d %d %d %d %d %d %d" c.c_workload
+    (Core.Campaign.tool_name c.c_tool)
+    (Core.Category.name c.c_category)
+    c.c_population t.Core.Verdict.trials t.benign t.sdc t.crash t.hang
+    t.not_activated t.not_injected
+
+let parse_cell line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "cell"; workload; tool; category; population; trials; benign; sdc;
+      crash; hang; not_activated; not_injected ] -> (
+    match
+      ( Core.Campaign.tool_of_name tool,
+        Core.Category.of_string category,
+        List.map int_of_string_opt
+          [ population; trials; benign; sdc; crash; hang; not_activated;
+            not_injected ] )
+    with
+    | Some tool, Some category,
+      [ Some population; Some trials; Some benign; Some sdc; Some crash;
+        Some hang; Some not_activated; Some not_injected ] ->
+      Some
+        {
+          Core.Campaign.c_workload = workload;
+          c_tool = tool;
+          c_category = category;
+          c_population = population;
+          c_tally =
+            {
+              Core.Verdict.trials;
+              benign;
+              sdc;
+              crash;
+              hang;
+              not_activated;
+              not_injected;
+            };
+        }
+    | _ -> None)
+  | _ -> None
+
+let load ~path (config : Core.Campaign.config) =
+  In_channel.with_open_text path (fun ic ->
+      match In_channel.input_line ic with
+      | None -> []
+      | Some first ->
+        if not (String.equal (String.trim first) (header config)) then
+          invalid_arg
+            (Printf.sprintf
+               "Journal.load: %s was written for a different campaign \
+                (header %S, expected %S)"
+               path (String.trim first) (header config));
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line -> (
+            (* Skip anything unparseable: a line truncated by a crash
+               mid-append must not poison the rest of the journal. *)
+            match parse_cell line with
+            | Some cell -> go (cell :: acc)
+            | None -> go acc)
+        in
+        go [])
+
+let start ~path ~resume config =
+  let existing =
+    if resume && Sys.file_exists path then load ~path config else []
+  in
+  let oc =
+    if existing <> [] then
+      open_out_gen [ Open_append; Open_creat ] 0o644 path
+    else begin
+      let oc = open_out path in
+      output_string oc (header config);
+      output_char oc '\n';
+      flush oc;
+      oc
+    end
+  in
+  ({ oc; mutex = Mutex.create (); closed = false }, existing)
+
+let record t cell =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    output_string t.oc (cell_line cell);
+    output_char t.oc '\n';
+    flush t.oc
+  end;
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,98 @@
+(** Fixed-size domain pool over a Mutex/Condition MPMC queue. *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled on push and on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_size () = max 1 (Domain.recommended_domain_count ())
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec take () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.closing then None
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        take ()
+      end
+    in
+    let task = take () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      next ()
+  in
+  next ()
+
+let create ?size () =
+  let size = match size with Some n -> max 1 n | None -> default_size () in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closing then Mutex.unlock t.mutex
+  else begin
+    t.closing <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = match f x with v -> Ok v | exception e -> Error e in
+            Mutex.lock t.mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast all_done;
+            Mutex.unlock t.mutex))
+      items;
+    Mutex.lock t.mutex;
+    while !remaining > 0 do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

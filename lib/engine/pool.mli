@@ -1,0 +1,44 @@
+(** A fixed-size domain pool with a shared MPMC task queue.
+
+    Workers are spawned once at {!create} and pull closures off a
+    [Mutex]/[Condition]-protected queue until {!shutdown}.  There is no
+    work stealing: the queue is the single point of coordination, which
+    is ample for campaign-sized tasks (each worth milliseconds to
+    seconds of interpretation).
+
+    Thread-safety contract for submitted tasks: they run on arbitrary
+    domains, concurrently with each other and with the submitter, so
+    they must only share immutable data or synchronize on their own
+    locks.  The prepared campaign structures ({!Core.Llfi.t},
+    {!Core.Pinfi.t}, the compiled programs) are read-only after
+    preparation and safe to share; every VM [run] builds its own
+    run-local machine state. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()] — one worker per hardware
+    thread the runtime recommends. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn a pool of [size] worker domains (default {!default_size};
+    clamped to at least 1). *)
+
+val size : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task.  Tasks must not raise — wrap fallible work in
+    {!map}, which captures exceptions.
+    @raise Invalid_argument if the pool is shut down. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f items] runs [f] on every element on the pool's workers and
+    blocks until all are done.  Results come back in input order.  If
+    any application raised, the lowest-indexed exception is re-raised
+    after {e all} tasks have finished (so partial side effects such as
+    journal appends are complete and no worker still touches shared
+    state). *)
+
+val shutdown : t -> unit
+(** Drain remaining queued tasks, then join all workers.  Idempotent.
+    [submit] after shutdown raises. *)

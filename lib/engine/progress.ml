@@ -1,0 +1,92 @@
+type t = {
+  channel : out_channel;
+  quiet : bool;
+  mutex : Mutex.t;
+  mutable started : float;  (* wall-clock at [plan] *)
+  mutable planned : int;
+  mutable skipped : int;
+  mutable completed : int;
+  mutable trials : int;
+  mutable busy : float;  (* summed worker seconds across cells *)
+}
+
+let create ?(channel = stderr) ?(quiet = false) () =
+  {
+    channel;
+    quiet;
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    planned = 0;
+    skipped = 0;
+    completed = 0;
+    trials = 0;
+    busy = 0.0;
+  }
+
+let say t fmt =
+  Printf.ksprintf
+    (fun s ->
+      if not t.quiet then begin
+        output_string t.channel s;
+        output_char t.channel '\n';
+        flush t.channel
+      end)
+    fmt
+
+let pp_duration s =
+  if s < 60.0 then Printf.sprintf "%.0fs" s
+  else if s < 3600.0 then
+    Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+let plan t ~cells ~skipped =
+  Mutex.lock t.mutex;
+  t.started <- Unix.gettimeofday ();
+  t.planned <- cells;
+  t.skipped <- skipped;
+  Mutex.unlock t.mutex;
+  if skipped > 0 then
+    say t "engine: %d cell(s) restored from journal, %d to run" skipped cells
+
+let cell_done t (cell : Core.Campaign.cell) ~elapsed =
+  Mutex.lock t.mutex;
+  t.completed <- t.completed + 1;
+  t.trials <- t.trials + cell.c_tally.Core.Verdict.trials;
+  t.busy <- t.busy +. elapsed;
+  let completed = t.completed and planned = t.planned in
+  let wall = Unix.gettimeofday () -. t.started in
+  Mutex.unlock t.mutex;
+  let rate =
+    if elapsed > 0.0 then
+      float_of_int cell.c_tally.Core.Verdict.trials /. elapsed
+    else 0.0
+  in
+  let eta =
+    (* Extrapolate from mean wall-clock per completed cell. *)
+    if completed = 0 then 0.0
+    else wall /. float_of_int completed *. float_of_int (planned - completed)
+  in
+  say t "  [%3d/%d] %-12s %-5s %-10s %5d trials  %6.2fs  %7.0f trials/s  eta %s"
+    completed planned cell.c_workload
+    (Core.Campaign.tool_name cell.c_tool)
+    (Core.Category.name cell.c_category)
+    cell.c_tally.Core.Verdict.trials elapsed rate (pp_duration eta)
+
+let finish t =
+  Mutex.lock t.mutex;
+  let wall = Unix.gettimeofday () -. t.started in
+  let completed = t.completed and trials = t.trials and busy = t.busy in
+  Mutex.unlock t.mutex;
+  if completed > 0 then
+    say t
+      "engine: %d cell(s), %d trials in %s wall-clock (%.0f trials/s; %.1fx \
+       core utilisation)"
+      completed trials (pp_duration wall)
+      (if wall > 0.0 then float_of_int trials /. wall else 0.0)
+      (if wall > 0.0 then busy /. wall else 0.0)
+
+let total_trials t =
+  Mutex.lock t.mutex;
+  let n = t.trials in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,28 @@
+(** Live campaign progress: per-cell timing, throughput, ETA.
+
+    The reporter is created before the run, told the plan size with
+    {!plan}, then fed one {!cell_done} per completed cell (from any
+    domain — updates are serialized internally).  Output goes to
+    [channel] (default [stderr], keeping stdout clean for tables and
+    CSV). *)
+
+type t
+
+val create : ?channel:out_channel -> ?quiet:bool -> unit -> t
+(** [quiet] swallows all output but still tracks totals (useful under
+    tests). *)
+
+val plan : t -> cells:int -> skipped:int -> unit
+(** Announce the run shape: [cells] to execute this run, of which
+    [skipped] more were restored from a journal. *)
+
+val cell_done : t -> Core.Campaign.cell -> elapsed:float -> unit
+(** One cell finished, taking [elapsed] wall-clock seconds of worker
+    time; prints a progress line with trials/sec and an ETA
+    extrapolated from mean cell wall-clock so far. *)
+
+val finish : t -> unit
+(** Print the run summary (total wall-clock, aggregate trials/sec). *)
+
+val total_trials : t -> int
+(** Trials executed so far (sum of completed cells' tallies). *)

@@ -1,0 +1,182 @@
+type result = {
+  prepared : Core.Campaign.prepared list;
+  cells : Core.Campaign.cell list;
+  resumed : int;
+}
+
+type task = {
+  t_workload : Core.Workload.t;
+  t_tool : Core.Campaign.tool;
+  t_category : Core.Category.t;
+}
+
+let matches (t : task) (c : Core.Campaign.cell) =
+  String.equal c.c_workload t.t_workload.Core.Workload.name
+  && c.c_tool = t.t_tool
+  && c.c_category = t.t_category
+
+(* Canonical cell order: workload x tool x category, exactly as
+   Campaign.run_all produces it. *)
+let canonical_tasks ~tools ~categories workloads =
+  List.concat_map
+    (fun w ->
+      List.concat_map
+        (fun tool ->
+          List.map
+            (fun category -> { t_workload = w; t_tool = tool; t_category = category })
+            categories)
+        tools)
+    workloads
+
+(* Trial ranges for one cell: whole by default, chunks of [chunk] when
+   splitting.  trials=0 still yields one empty range so the cell (and
+   its population) is produced. *)
+let ranges ~chunk trials =
+  match chunk with
+  | None -> [ (0, trials) ]
+  | Some n ->
+    if trials <= 0 then [ (0, trials) ]
+    else
+      List.init
+        ((trials + n - 1) / n)
+        (fun k -> (k * n, min n (trials - (k * n))))
+
+let merge_parts parts =
+  match Array.to_list parts with
+  | [] -> invalid_arg "Scheduler: cell with no chunks"
+  | Some (first : Core.Campaign.cell) :: rest ->
+    let tally =
+      List.fold_left
+        (fun acc part ->
+          match part with
+          | Some (c : Core.Campaign.cell) -> Core.Verdict.merge acc c.c_tally
+          | None -> assert false)
+        first.c_tally rest
+    in
+    { first with c_tally = tally }
+  | None :: _ -> assert false
+
+let run ?(jobs = 1) ?journal:journal_path ?(resume = false) ?progress
+    ?(tools = [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+    ?(categories = Core.Category.all) ?chunk (config : Core.Campaign.config)
+    workloads =
+  let tasks = canonical_tasks ~tools ~categories workloads in
+  let journal, journaled =
+    match journal_path with
+    | None -> (None, [])
+    | Some path ->
+      let j, cells = Journal.start ~path ~resume config in
+      (Some j, cells)
+  in
+  let restored t = List.find_opt (matches t) journaled in
+  let pending =
+    Array.of_list (List.filter (fun t -> restored t = None) tasks)
+  in
+  let pool = if jobs > 1 then Some (Pool.create ~size:jobs ()) else None in
+  let map_parallel : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
+   fun f arr ->
+    match pool with None -> Array.map f arr | Some p -> Pool.map p f arr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match pool with Some p -> Pool.shutdown p | None -> ());
+      match journal with Some j -> Journal.close j | None -> ())
+    (fun () ->
+      (* Compile + golden-run + profile each workload once; the prepared
+         structures are immutable afterwards and shared by every worker. *)
+      let prepared_arr =
+        map_parallel (Core.Campaign.prepare config) (Array.of_list workloads)
+      in
+      let prepared_for (w : Core.Workload.t) =
+        let rec find k =
+          if k >= Array.length prepared_arr then
+            invalid_arg ("Scheduler: unprepared workload " ^ w.name)
+          else if
+            String.equal
+              prepared_arr.(k).Core.Campaign.workload.Core.Workload.name w.name
+          then prepared_arr.(k)
+          else find (k + 1)
+        in
+        find 0
+      in
+      (* Task granularity: cells, split into trial ranges only when the
+         grid is too small to feed every domain. *)
+      let chunk =
+        match chunk with
+        | Some n ->
+          if n <= 0 then invalid_arg "Scheduler.run: chunk must be positive";
+          Some n
+        | None ->
+          if jobs > 1 && Array.length pending < jobs && config.trials > 1 then
+            Some (max 1 ((config.trials + jobs - 1) / jobs))
+          else None
+      in
+      let task_ranges = ranges ~chunk config.trials in
+      let nranges = List.length task_ranges in
+      let subtasks =
+        Array.concat
+          (List.map
+             (fun ti ->
+               Array.of_list
+                 (List.mapi (fun ri (first, count) -> (ti, ri, first, count)) task_ranges))
+             (List.init (Array.length pending) Fun.id))
+      in
+      let parts =
+        Array.init (Array.length pending) (fun _ -> Array.make nranges None)
+      in
+      let chunks_left = Array.make (Array.length pending) nranges in
+      let cell_seconds = Array.make (Array.length pending) 0.0 in
+      let merged = Array.make (Array.length pending) None in
+      let state_mutex = Mutex.create () in
+      (match progress with
+      | Some pr ->
+        Progress.plan pr ~cells:(Array.length pending)
+          ~skipped:(List.length tasks - Array.length pending)
+      | None -> ());
+      let run_subtask (ti, ri, first, count) =
+        let t = pending.(ti) in
+        let p = prepared_for t.t_workload in
+        let t0 = Unix.gettimeofday () in
+        let cell =
+          Core.Campaign.run_cell_range config p t.t_tool t.t_category ~first
+            ~count
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Mutex.lock state_mutex;
+        parts.(ti).(ri) <- Some cell;
+        cell_seconds.(ti) <- cell_seconds.(ti) +. dt;
+        chunks_left.(ti) <- chunks_left.(ti) - 1;
+        let finished = chunks_left.(ti) = 0 in
+        if finished then merged.(ti) <- Some (merge_parts parts.(ti));
+        let elapsed = cell_seconds.(ti) in
+        Mutex.unlock state_mutex;
+        if finished then begin
+          let cell = Option.get merged.(ti) in
+          (match journal with Some j -> Journal.record j cell | None -> ());
+          match progress with
+          | Some pr -> Progress.cell_done pr cell ~elapsed
+          | None -> ()
+        end
+      in
+      ignore (map_parallel run_subtask subtasks);
+      (match progress with Some pr -> Progress.finish pr | None -> ());
+      (* [pending] is the in-order sublist of [tasks] that was not
+         restored, so walking both with one cursor re-interleaves
+         journaled and freshly computed cells canonically. *)
+      let cells =
+        let next = ref 0 in
+        List.map
+          (fun t ->
+            match restored t with
+            | Some cell -> cell
+            | None ->
+              let cell = Option.get merged.(!next) in
+              incr next;
+              cell)
+          tasks
+      in
+      {
+        prepared = Array.to_list prepared_arr;
+        cells;
+        resumed = List.length tasks - Array.length pending;
+      })

@@ -1,0 +1,57 @@
+(** Campaign execution policy: split a campaign into cell tasks, run
+    them on a {!Pool}, and reassemble results in canonical order.
+
+    [Core.Campaign] stays the pure experiment definition — what a cell
+    is and how one trial runs.  This module owns {e how} the ~60k-run
+    study executes: on how many domains, in what task granularity, with
+    which checkpoints.  Because every cell (and every trial within a
+    cell, see {!Core.Campaign.run_cell_range}) draws from its own
+    deterministic RNG stream, execution order is free: the returned
+    cell list — and hence {!Core.Campaign.to_csv} — is byte-identical
+    whatever [jobs] is, and identical to the sequential
+    {!Core.Campaign.run_all}.
+
+    Workloads are {!Core.Campaign.prepare}d once each (compile + golden
+    runs + profiles) and the resulting read-only structures are shared
+    across domains. *)
+
+type result = {
+  prepared : Core.Campaign.prepared list;
+      (** one per workload, in input order *)
+  cells : Core.Campaign.cell list;
+      (** canonical order: workload x tool x category, as
+          {!Core.Campaign.run_all} *)
+  resumed : int;  (** cells restored from the journal, not re-run *)
+}
+
+val run :
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?progress:Progress.t ->
+  ?tools:Core.Campaign.tool list ->
+  ?categories:Core.Category.t list ->
+  ?chunk:int ->
+  Core.Campaign.config ->
+  Core.Workload.t list ->
+  result
+(** Run the campaign.
+
+    - [jobs] (default 1): worker domains.  [jobs <= 1] runs inline on
+      the calling domain with no pool — exactly the sequential runner.
+    - [journal]: path of a checkpoint file; every completed cell is
+      appended and flushed (see {!Journal}).
+    - [resume] (default false): skip cells already present in
+      [journal] instead of truncating it.
+    - [tools] / [categories]: restrict the cell grid (defaults: both
+      tools, all categories) — this is how [fi inject] runs a single
+      cell through the engine.
+    - [chunk]: maximum trials per scheduled task.  By default cells are
+      scheduled whole, except when there are fewer cells than [jobs],
+      where each cell is split into [jobs] trial ranges so a
+      single-cell run still uses every domain.
+
+    @raise Invalid_argument on a journal/config mismatch, and
+    re-raises the first (in canonical order) exception of any failed
+    cell after all in-flight work has drained — completed cells are
+    already journaled, so a crashed campaign resumes where it died. *)

@@ -23,6 +23,12 @@ let split t =
 
 let copy t = { state = t.state }
 
+let advance t n =
+  if n < 0 then invalid_arg "Rng.advance: negative count";
+  (* Each next_int64/split adds one golden gamma to the state, so n draws
+     can be skipped in O(1). *)
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int n) golden_gamma)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits keeps the draw exactly uniform. *)

@@ -21,6 +21,14 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing it. *)
 
+val advance : t -> int -> unit
+(** [advance t n] skips exactly [n] draws in O(1): the state afterwards
+    equals the state after [n] calls to {!next_int64} (or {!split}).
+    This lets a consumer of one draw per trial jump straight to trial
+    [n]'s position — the basis for splitting a campaign cell into
+    trial chunks without replaying the stream.  [n] must be
+    non-negative. *)
+
 val next_int64 : t -> int64
 (** [next_int64 t] returns 64 uniformly random bits. *)
 

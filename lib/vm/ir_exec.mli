@@ -12,8 +12,15 @@
     function so the injector policy ({!Core.Llfi}) stays outside the VM. *)
 
 type compiled
-(** A compiled program; reusable across runs and thread-compatible for
-    sequential use. *)
+(** A compiled program; reusable across runs.
+
+    Thread-safety contract: [compiled] is immutable once {!compile}
+    returns, and every {!run} allocates its own run-local machine state
+    (memory image, output buffer, step counters, injection bookkeeping),
+    so concurrent [run]s of the same [compiled] value from multiple
+    domains are safe.  The mutable values a run does touch are the ones
+    passed in — [plan.rng], [profile_masks], [trace] — which therefore
+    must not be shared between concurrent runs. *)
 
 val compile : ?classify:(Ir.Func.t -> Ir.Instr.t -> int) -> Ir.Prog.t -> compiled
 (** [classify] assigns each instruction a category bitmask (0 = not an

@@ -9,6 +9,11 @@
     architecturally: the corrupted register must be read before being
     overwritten. *)
 
+(** Thread-safety contract: as {!Ir_exec.compiled} — [loaded] is
+    immutable once {!load} returns ([masks] is written only at load
+    time) and each {!run} builds a fresh machine record, so concurrent
+    runs of one [loaded] program are safe provided the [plan.rng] and
+    profile arrays passed to each run are not shared. *)
 type loaded = {
   program : Backend.Program.t;
   masks : int array;  (** per-instruction category bitmask *)

@@ -1,0 +1,219 @@
+(* Tests for the execution engine: the domain pool, the jobs=1 vs
+   jobs=N determinism guarantee, and journal checkpoint/resume. *)
+
+let mcf = Workloads.find_exn "mcf"
+let libquantum = Workloads.find_exn "libquantum"
+
+let small_config = { Core.Campaign.default_config with trials = 12 }
+
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  let pool = Engine.Pool.create ~size:4 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let input = Array.init 32 Fun.id in
+      (* Early tasks sleep so later ones finish first: order of the
+         result array must follow submission, not completion. *)
+      let out =
+        Engine.Pool.map pool
+          (fun i ->
+            if i < 8 then Unix.sleepf 0.005;
+            i * i)
+          input
+      in
+      Alcotest.(check (array int)) "squares in input order"
+        (Array.map (fun i -> i * i) input)
+        out)
+
+let test_pool_exception_propagates () =
+  let pool = Engine.Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let ran = Atomic.make 0 in
+      (match
+         Engine.Pool.map pool
+           (fun i ->
+             Atomic.incr ran;
+             if i = 5 then failwith "task 5 exploded";
+             i)
+           (Array.init 16 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg ->
+        Alcotest.(check string) "task error surfaces" "task 5 exploded" msg);
+      (* All tasks still ran to completion before the re-raise... *)
+      Alcotest.(check int) "no task dropped" 16 (Atomic.get ran);
+      (* ...and the pool survives for further use. *)
+      let out = Engine.Pool.map pool (fun i -> i + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool usable after error" [| 2; 3; 4 |] out)
+
+let test_pool_shutdown () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Engine.Pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Engine.Pool.shutdown pool;
+  Alcotest.(check int) "shutdown drains the queue" 50 (Atomic.get counter);
+  Engine.Pool.shutdown pool;  (* idempotent *)
+  (match Engine.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "size" 2 (Engine.Pool.size pool)
+
+(* --- Determinism: jobs=1 vs jobs=N --- *)
+
+let test_jobs_determinism () =
+  let workloads = [ mcf; libquantum ] in
+  let seq = Core.Campaign.run_all small_config workloads in
+  let par = Engine.Scheduler.run ~jobs:4 small_config workloads in
+  Alcotest.(check string) "csv identical to sequential runner"
+    (Core.Campaign.to_csv seq)
+    (Core.Campaign.to_csv par.Engine.Scheduler.cells)
+
+let test_chunked_cell_determinism () =
+  (* One cell, four domains: the scheduler splits it into trial ranges;
+     the merged tally must equal the straight-line run. *)
+  let p = Core.Campaign.prepare small_config mcf in
+  let seq =
+    Core.Campaign.run_cell small_config p Core.Campaign.Llfi_tool
+      Core.Category.Load
+  in
+  let par =
+    Engine.Scheduler.run ~jobs:4 ~tools:[ Core.Campaign.Llfi_tool ]
+      ~categories:[ Core.Category.Load ] small_config [ mcf ]
+  in
+  Alcotest.(check string) "chunked cell csv"
+    (Core.Campaign.to_csv [ seq ])
+    (Core.Campaign.to_csv par.Engine.Scheduler.cells)
+
+let test_explicit_chunk_sizes () =
+  (* Any chunk size must give the same answer. *)
+  let baseline =
+    Engine.Scheduler.run ~jobs:1 small_config [ libquantum ]
+  in
+  List.iter
+    (fun chunk ->
+      let r = Engine.Scheduler.run ~jobs:2 ~chunk small_config [ libquantum ] in
+      Alcotest.(check string)
+        (Printf.sprintf "chunk=%d" chunk)
+        (Core.Campaign.to_csv baseline.Engine.Scheduler.cells)
+        (Core.Campaign.to_csv r.Engine.Scheduler.cells))
+    [ 1; 5; 7; 100 ]
+
+(* --- Journal --- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "fi_journal" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_file (fun path ->
+      let run = Engine.Scheduler.run ~journal:path small_config [ libquantum ] in
+      let cells = run.Engine.Scheduler.cells in
+      (* Every cell round-trips through its line format... *)
+      List.iter
+        (fun cell ->
+          match Engine.Journal.parse_cell (Engine.Journal.cell_line cell) with
+          | Some cell' ->
+            Alcotest.(check string) "roundtrip"
+              (Core.Campaign.to_csv [ cell ])
+              (Core.Campaign.to_csv [ cell' ])
+          | None -> Alcotest.fail "cell line did not parse back")
+        cells;
+      (* ...and the journal file holds the whole campaign. *)
+      let loaded = Engine.Journal.load ~path small_config in
+      Alcotest.(check int) "all cells journaled" (List.length cells)
+        (List.length loaded);
+      (* A garbage/truncated trailing line is ignored on load. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "cell mcf LLFI load 12 tru";
+      close_out oc;
+      Alcotest.(check int) "truncated tail skipped" (List.length cells)
+        (List.length (Engine.Journal.load ~path small_config));
+      (* A journal for another config is rejected. *)
+      match
+        Engine.Journal.load ~path { small_config with seed = 999 }
+      with
+      | _ -> Alcotest.fail "mismatched header must be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_journal_resume_skips_completed () =
+  with_temp_file (fun path ->
+      let full = Engine.Scheduler.run ~journal:path small_config [ mcf ] in
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      (* Simulate a run killed after three cells: header + 3 records. *)
+      let truncated = List.filteri (fun i _ -> i < 4) lines in
+      (* Poison the surviving tallies so a re-run of those cells would be
+         detectable: resume must carry these through verbatim. *)
+      let poisoned =
+        List.map
+          (fun line ->
+            match Engine.Journal.parse_cell line with
+            | None -> line  (* header *)
+            | Some cell ->
+              Engine.Journal.cell_line
+                {
+                  cell with
+                  c_tally =
+                    { cell.c_tally with Core.Verdict.benign = 4242 };
+                })
+          truncated
+      in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Printf.fprintf oc "%s\n" l) poisoned);
+      let resumed =
+        Engine.Scheduler.run ~jobs:2 ~journal:path ~resume:true small_config
+          [ mcf ]
+      in
+      Alcotest.(check int) "three cells restored, not re-run" 3
+        resumed.Engine.Scheduler.resumed;
+      let poison_seen =
+        List.filter
+          (fun (c : Core.Campaign.cell) ->
+            c.c_tally.Core.Verdict.benign = 4242)
+          resumed.Engine.Scheduler.cells
+      in
+      Alcotest.(check int) "journaled tallies used verbatim" 3
+        (List.length poison_seen);
+      (* The cells that were NOT journaled match the uninterrupted run. *)
+      List.iteri
+        (fun i (cell : Core.Campaign.cell) ->
+          if i >= 3 then
+            Alcotest.(check string)
+              (Printf.sprintf "cell %d recomputed identically" i)
+              (Core.Campaign.to_csv [ List.nth full.Engine.Scheduler.cells i ])
+              (Core.Campaign.to_csv [ cell ]))
+        resumed.Engine.Scheduler.cells;
+      (* After the resumed run the journal is complete: resuming again
+         runs nothing. *)
+      let again =
+        Engine.Scheduler.run ~journal:path ~resume:true small_config [ mcf ]
+      in
+      Alcotest.(check int) "second resume re-runs nothing" 10
+        again.Engine.Scheduler.resumed)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          ("map preserves order", `Quick, test_pool_map_order);
+          ("exception propagation", `Quick, test_pool_exception_propagates);
+          ("shutdown", `Quick, test_pool_shutdown);
+        ] );
+      ( "determinism",
+        [
+          ("jobs=1 vs jobs=4 csv", `Slow, test_jobs_determinism);
+          ("chunked single cell", `Slow, test_chunked_cell_determinism);
+          ("explicit chunk sizes", `Slow, test_explicit_chunk_sizes);
+        ] );
+      ( "journal",
+        [
+          ("roundtrip + header check", `Slow, test_journal_roundtrip);
+          ("resume skips completed", `Slow, test_journal_resume_skips_completed);
+        ] );
+    ]
