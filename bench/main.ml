@@ -109,6 +109,68 @@ let engine_speedup () =
     (List.length subset) trials jobs seq_s par_s speedup
 
 (* ----------------------------------------------------------------- *)
+(* Part 1c: diagnosis capture overhead                                *)
+(* ----------------------------------------------------------------- *)
+
+(* Failures collected here turn into a non-zero exit at the end, so CI
+   can gate on bench regressions without parsing the report. *)
+let bench_failures : string list ref = ref []
+
+(* The diagnosis hooks must be free when disabled: the sequential
+   baseline (no hooks reachable) and the scheduler with capture off
+   run the same interpreter path, so any gap beyond noise means the
+   track_use branches leak into the hot loop.  Gate at 2%. *)
+let diagnose_overhead () =
+  section "Diagnosis capture: overhead disabled vs enabled";
+  let subset = [ Workloads.find_exn "mcf" ] in
+  let cfg = { config with trials = max 30 (trials / 3) } in
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      Unix.gettimeofday () -. t0
+    in
+    min (once ()) (min (once ()) (once ()))
+  in
+  let base_s = best_of_3 (fun () -> Core.Campaign.run_all cfg subset) in
+  let off_s =
+    best_of_3 (fun () -> Engine.Scheduler.run ~jobs:1 cfg subset)
+  in
+  let on_s =
+    best_of_3 (fun () ->
+        let sink = Diagnose.Sink.create () in
+        let r =
+          Engine.Scheduler.run ~jobs:1
+            ~observe:(fun ~workload ~tool ~category ~trial verdict stats ->
+              Diagnose.Sink.add sink
+                (Diagnose.Record.of_stats ~workload ~tool ~category ~trial
+                   verdict stats))
+            ~track_use:true cfg subset
+        in
+        ignore (Diagnose.Sink.to_string sink);
+        r)
+  in
+  let ratio_off = if base_s > 0.0 then off_s /. base_s else 1.0 in
+  let ratio_on = if base_s > 0.0 then on_s /. base_s else 1.0 in
+  Printf.printf "  baseline  (no hooks):        %6.2fs\n" base_s;
+  Printf.printf "  capture disabled:            %6.2fs  (%.3fx)\n" off_s
+    ratio_off;
+  Printf.printf "  capture enabled:             %6.2fs  (%.3fx)\n" on_s
+    ratio_on;
+  Printf.printf
+    "BENCH_DIAGNOSE {\"trials\": %d, \"base_s\": %.3f, \"disabled_s\": %.3f, \
+     \"enabled_s\": %.3f, \"disabled_ratio\": %.3f, \"enabled_ratio\": %.3f, \
+     \"gate\": 1.02}\n"
+    cfg.Core.Campaign.trials base_s off_s on_s ratio_off ratio_on;
+  if ratio_off > 1.02 then
+    bench_failures :=
+      Printf.sprintf
+        "diagnose_overhead: capture-disabled path is %.1f%% slower than the \
+         baseline (gate: 2%%)"
+        ((ratio_off -. 1.0) *. 100.0)
+      :: !bench_failures
+
+(* ----------------------------------------------------------------- *)
 (* Part 2: ablations of the design choices in DESIGN.md              *)
 (* ----------------------------------------------------------------- *)
 
@@ -435,6 +497,7 @@ let bechamel_suite () =
 let () =
   timed "reproduction campaign" run_campaign |> ignore;
   timed "engine speedup" engine_speedup;
+  timed "diagnosis overhead" diagnose_overhead;
   timed "ablation: gep folding" ablation_gep_folding;
   timed "ablation: flag bits" ablation_flag_bits;
   timed "ablation: xmm pruning" ablation_xmm_pruning;
@@ -444,4 +507,9 @@ let () =
   timed "robustness: inputs" robustness_inputs;
   timed "extension: edc" extension_edc;
   timed "bechamel micro-benchmarks" bechamel_suite;
-  print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured analysis."
+  print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured analysis.";
+  match !bench_failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "BENCH FAILURE: %s\n" f) fs;
+    exit 1

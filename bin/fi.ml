@@ -10,6 +10,8 @@
      edc        grade SDC severity (egregious vs tolerable corruption)
      check      parse/verify/execute a textual IR dump
      campaign   run the full study and print every table and figure
+     diagnose   crash-cause analysis: first-use classes, crash latency,
+                LLFI-vs-PINFI divergence attribution
 *)
 
 open Cmdliner
@@ -424,8 +426,25 @@ let edc_cmd =
 
 (* --- campaign --- *)
 
+(* Glue between the scheduler's per-trial observation hook and the
+   diagnosis record sink. *)
+let sink_observer sink ~workload ~tool ~category ~trial verdict stats =
+  Diagnose.Sink.add sink
+    (Diagnose.Record.of_stats ~workload ~tool ~category ~trial verdict stats)
+
+let records_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "records" ] ~docv:"PATH"
+        ~doc:
+          "Capture one diagnosis record per trial (fault site, first use \
+           of the corrupted value, trap, crash latency) and write them to \
+           $(docv); also prints the crash-cause analysis.  Byte-identical \
+           for every $(b,--jobs) value.")
+
 let campaign_cmd =
-  let run trials seed csv_file workload_filter jobs journal resume =
+  let run trials seed csv_file workload_filter jobs journal resume records =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
@@ -443,9 +462,12 @@ let campaign_cmd =
       (List.length Core.Category.all)
       trials jobs
       (if jobs = 1 then "" else "s");
+    let sink = Option.map (fun _ -> Diagnose.Sink.create ()) records in
     match
       Engine.Scheduler.run ~jobs ?journal ~resume
-        ~progress:(Engine.Progress.create ()) config workloads
+        ~progress:(Engine.Progress.create ())
+        ?observe:(Option.map sink_observer sink)
+        ~track_use:(sink <> None) config workloads
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | result ->
@@ -468,6 +490,13 @@ let campaign_cmd =
     Core.Report.table5 cells;
     print_newline ();
     Core.Report.print_claims (Core.Report.evaluate_claims prepared cells);
+    (match (sink, records) with
+    | Some sink, Some path ->
+      print_newline ();
+      print_string (Diagnose.Summary.render (Diagnose.Sink.records sink));
+      Diagnose.Sink.write sink path;
+      Fmt.pr "Diagnosis records written to %s@." path
+    | _ -> ());
     (match csv_file with
     | Some path ->
       let oc = open_out path in
@@ -498,7 +527,110 @@ let campaign_cmd =
     Term.(
       ret
         (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
-       $ jobs_arg $ journal_arg $ resume_arg))
+       $ jobs_arg $ journal_arg $ resume_arg $ records_arg))
+
+(* --- diagnose --- *)
+
+let diagnose_cmd =
+  let run workload_filter tools categories trials seed from records csv_file
+      jobs =
+    match from with
+    | Some path -> (
+      (* Consume an existing record file instead of running anything. *)
+      match Diagnose.Sink.load path with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | rs ->
+        print_string (Diagnose.Summary.render rs);
+        `Ok 0)
+    | None ->
+      let config = config_of ~trials ~seed in
+      let workloads =
+        match workload_filter with
+        | [] -> Workloads.all
+        | names -> List.map Workloads.find_exn names
+      in
+      let tools =
+        match tools with
+        | [] -> [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
+        | l ->
+          List.map
+            (function
+              | `Llfi -> Core.Campaign.Llfi_tool
+              | `Pinfi -> Core.Campaign.Pinfi_tool)
+            l
+      in
+      let categories =
+        match categories with [] -> Core.Category.all | l -> l
+      in
+      let sink = Diagnose.Sink.create () in
+      (match
+         Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ~tools ~categories
+           ~observe:(sink_observer sink) ~track_use:true config workloads
+       with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | result ->
+        print_string (Diagnose.Summary.render (Diagnose.Sink.records sink));
+        (match records with
+        | Some path ->
+          Diagnose.Sink.write sink path;
+          Fmt.pr "Diagnosis records written to %s@." path
+        | None -> ());
+        (match csv_file with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Core.Campaign.to_csv result.Engine.Scheduler.cells);
+          close_out oc;
+          Fmt.pr "Raw results written to %s@." path
+        | None -> ());
+        `Ok 0)
+  in
+  let filter_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Restrict the analysis to the named workloads.")
+  in
+  let tools_arg =
+    Arg.(
+      value
+      & opt_all (enum [ ("llfi", `Llfi); ("pinfi", `Pinfi) ]) []
+      & info [ "t"; "tool" ] ~docv:"TOOL"
+          ~doc:"Injector to diagnose (repeatable; default: both).")
+  in
+  let cats_arg =
+    Arg.(
+      value & opt_all category_conv []
+      & info [ "c"; "category" ] ~docv:"CAT"
+          ~doc:"Instruction category (repeatable; default: all five).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"PATH"
+          ~doc:
+            "Analyse an existing record file (written by $(b,--records)) \
+             instead of running a campaign.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write raw cell tallies as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Run an injection campaign with per-trial diagnosis capture and \
+          print the crash-cause analysis: what corrupted values flow into \
+          first (address / control / stack / data), crash-latency \
+          distributions, and the attribution of the LLFI-vs-PINFI \
+          crash-rate gap to those cause classes.")
+    Term.(
+      ret
+        (const run $ filter_arg $ tools_arg $ cats_arg $ trials_arg 200
+       $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg))
 
 let main_cmd =
   let doc =
@@ -507,6 +639,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "fi" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd ]
+    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd; diagnose_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

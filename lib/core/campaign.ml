@@ -84,7 +84,8 @@ let prepare config (w : Workload.t) =
    the cell's master RNG, so a contiguous range of trials can run
    anywhere (another domain, a resumed process) and still see the exact
    stream the sequential runner would have given it. *)
-let run_cell_range ?on_trial config (p : prepared) tool category ~first ~count =
+let run_cell_range ?on_trial ?on_stats ?(track_use = false) config
+    (p : prepared) tool category ~first ~count =
   if first < 0 || count < 0 then
     invalid_arg "Campaign.run_cell_range: negative trial range";
   let population, golden, inject =
@@ -92,11 +93,11 @@ let run_cell_range ?on_trial config (p : prepared) tool category ~first ~count =
     | Llfi_tool ->
       ( Llfi.dynamic_count p.llfi category,
         p.llfi.Llfi.golden_output,
-        fun rng -> Llfi.inject p.llfi category rng )
+        fun rng -> Llfi.inject ~track_use p.llfi category rng )
     | Pinfi_tool ->
       ( Pinfi.dynamic_count p.pinfi category,
         p.pinfi.Pinfi.golden_output,
-        fun rng -> Pinfi.inject p.pinfi category rng )
+        fun rng -> Pinfi.inject ~track_use p.pinfi category rng )
   in
   let tally = Verdict.fresh_tally () in
   if population > 0 then begin
@@ -109,6 +110,7 @@ let run_cell_range ?on_trial config (p : prepared) tool category ~first ~count =
       let stats = inject rng in
       let verdict = Verdict.of_run ~golden_output:golden stats in
       Verdict.add tally verdict;
+      (match on_stats with Some f -> f trial verdict stats | None -> ());
       match on_trial with Some f -> f trial verdict | None -> ()
     done
   end;
@@ -120,8 +122,9 @@ let run_cell_range ?on_trial config (p : prepared) tool category ~first ~count =
     c_tally = tally;
   }
 
-let run_cell ?on_trial config p tool category =
-  run_cell_range ?on_trial config p tool category ~first:0 ~count:config.trials
+let run_cell ?on_trial ?on_stats ?track_use config p tool category =
+  run_cell_range ?on_trial ?on_stats ?track_use config p tool category ~first:0
+    ~count:config.trials
 
 let run_workload ?on_cell ?(categories = Category.all) config (w : Workload.t) =
   let p = prepare config w in

@@ -51,15 +51,25 @@ val prepare : config -> Workload.t -> prepared
 
 val run_cell_range :
   ?on_trial:(int -> Verdict.t -> unit) ->
+  ?on_stats:(int -> Verdict.t -> Vm.Outcome.stats -> unit) ->
+  ?track_use:bool ->
   config -> prepared -> tool -> Category.t -> first:int -> count:int -> cell
 (** Run trials [first .. first+count-1] of a cell.  Trial [k] always
     draws the [k]-th split of the cell's master stream, so disjoint
     ranges computed in any order (or on any domain) merge — via
     {!Verdict.merge} — into exactly the tally a single sequential
-    [run_cell] would produce. *)
+    [run_cell] would produce.
+
+    [on_stats] observes each trial's full {!Vm.Outcome.stats} (for the
+    diagnosis record stream); [track_use] turns on first-consumer
+    classification in the interpreters.  Neither consumes randomness, so
+    tallies are unchanged by either. *)
 
 val run_cell :
-  ?on_trial:(int -> Verdict.t -> unit) -> config -> prepared -> tool -> Category.t -> cell
+  ?on_trial:(int -> Verdict.t -> unit) ->
+  ?on_stats:(int -> Verdict.t -> Vm.Outcome.stats -> unit) ->
+  ?track_use:bool ->
+  config -> prepared -> tool -> Category.t -> cell
 (** [run_cell_range ~first:0 ~count:config.trials]. *)
 
 val run_workload :

@@ -109,11 +109,12 @@ let dynamic_count t category = List.assoc category t.dynamic_counts
 
 (** One fault-injection run: pick a dynamic instance uniformly from the
     category's population, flip one bit of its destination. *)
-let inject t category (rng : Support.Rng.t) =
+let inject ?(track_use = false) t category (rng : Support.Rng.t) =
   let population = dynamic_count t category in
   if population = 0 then invalid_arg "Llfi.inject: empty category";
   let target = Support.Rng.int rng population in
   let plan =
     { Vm.Ir_exec.inj_mask = Category.mask category; target; rng }
   in
-  Vm.Ir_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps t.compiled
+  Vm.Ir_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
+    t.compiled

@@ -42,6 +42,10 @@ val prepare : ?config:config -> inputs:int array -> Ir.Prog.t -> t
 
 val dynamic_count : t -> Category.t -> int
 
-val inject : t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
-(** One single-bit-flip injection run into the category.
+val inject :
+  ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
+(** One single-bit-flip injection run into the category.  [track_use]
+    additionally classifies the corrupted value's first consumer
+    (see {!Vm.Ir_exec.run}); it draws nothing from the RNG, so results
+    are bit-identical with it on or off.
     @raise Invalid_argument on empty categories. *)

@@ -107,7 +107,7 @@ let prepare ?(config = default_config) ~inputs (program : Backend.Program.t) =
 
 let dynamic_count t category = List.assoc category t.dynamic_counts
 
-let inject t category (rng : Support.Rng.t) =
+let inject ?(track_use = false) t category (rng : Support.Rng.t) =
   let population = dynamic_count t category in
   if population = 0 then invalid_arg "Pinfi.inject: empty category";
   let target = Support.Rng.int rng population in
@@ -119,4 +119,5 @@ let inject t category (rng : Support.Rng.t) =
       policy = t.config.policy;
     }
   in
-  Vm.X86_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps t.loaded
+  Vm.X86_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
+    t.loaded

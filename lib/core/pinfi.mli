@@ -31,4 +31,7 @@ type t = {
 
 val prepare : ?config:config -> inputs:int array -> Backend.Program.t -> t
 val dynamic_count : t -> Category.t -> int
-val inject : t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
+val inject :
+  ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
+(** As {!Llfi.inject}: [track_use] classifies the corrupted register's
+    first consumer without consuming randomness. *)

@@ -21,6 +21,15 @@ let name = function
   | Not_activated -> "not-activated"
   | Not_injected -> "not-injected"
 
+let of_name = function
+  | "benign" -> Some Benign
+  | "sdc" -> Some Sdc
+  | "crash" -> Some Crash
+  | "hang" -> Some Hang
+  | "not-activated" -> Some Not_activated
+  | "not-injected" -> Some Not_injected
+  | _ -> None
+
 (** Tallies over one campaign cell. *)
 type tally = {
   mutable trials : int;

@@ -7,6 +7,9 @@ val of_run : golden_output:string -> Vm.Outcome.stats -> t
 
 val name : t -> string
 
+val of_name : string -> t option
+(** Inverse of {!name}; [None] for unknown names. *)
+
 type tally = {
   mutable trials : int;
   mutable benign : int;

@@ -1,0 +1,120 @@
+(** One structured per-trial diagnosis record; see the interface. *)
+
+type t = {
+  workload : string;
+  tool : Core.Campaign.tool;
+  category : Core.Category.t;
+  trial : int;
+  verdict : Core.Verdict.t;
+  fault_site : int;
+  injected_step : int;
+  steps : int;
+  trap : Vm.Trap.t option;
+  first_use : Vm.First_use.t;
+}
+
+let crash_latency r =
+  match r.verdict with
+  | Core.Verdict.Crash when r.injected_step >= 0 ->
+    Some (r.steps - r.injected_step)
+  | _ -> None
+
+let of_stats ~workload ~tool ~category ~trial verdict (s : Vm.Outcome.stats) =
+  {
+    workload;
+    tool;
+    category;
+    trial;
+    verdict;
+    fault_site = s.Vm.Outcome.fault_site;
+    injected_step = s.Vm.Outcome.injected_step;
+    steps = s.Vm.Outcome.steps;
+    trap =
+      (match s.Vm.Outcome.outcome with
+      | Vm.Outcome.Crashed t -> Some t
+      | Vm.Outcome.Finished _ | Vm.Outcome.Hung -> None);
+    first_use = s.Vm.Outcome.first_use;
+  }
+
+(* Line format, 10 space-separated tokens:
+     workload tool category trial verdict site inj_step steps trap use
+   Workload names contain no whitespace by construction; a missing trap
+   is written as "-". *)
+
+let to_line r =
+  Printf.sprintf "%s %s %s %d %s %d %d %d %s %s" r.workload
+    (Core.Campaign.tool_name r.tool)
+    (Core.Category.name r.category)
+    r.trial
+    (Core.Verdict.name r.verdict)
+    r.fault_site r.injected_step r.steps
+    (match r.trap with Some t -> Vm.Trap.tag t | None -> "-")
+    (Vm.First_use.name r.first_use)
+
+let of_line line =
+  let fail what = Error (Printf.sprintf "%s in record line %S" what line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ workload; tool; category; trial; verdict; site; inj; steps; trap; use ]
+    -> (
+    match
+      ( Core.Campaign.tool_of_name tool,
+        Core.Category.of_string category,
+        Core.Verdict.of_name verdict,
+        int_of_string_opt trial,
+        int_of_string_opt site,
+        int_of_string_opt inj,
+        int_of_string_opt steps,
+        (if trap = "-" then Some None
+         else Option.map Option.some (Vm.Trap.of_tag trap)),
+        Vm.First_use.of_name use )
+    with
+    | ( Some tool,
+        Some category,
+        Some verdict,
+        Some trial,
+        Some fault_site,
+        Some injected_step,
+        Some steps,
+        Some trap,
+        Some first_use ) ->
+      Ok
+        {
+          workload;
+          tool;
+          category;
+          trial;
+          verdict;
+          fault_site;
+          injected_step;
+          steps;
+          trap;
+          first_use;
+        }
+    | None, _, _, _, _, _, _, _, _ -> fail "unknown tool"
+    | _, None, _, _, _, _, _, _, _ -> fail "unknown category"
+    | _, _, None, _, _, _, _, _, _ -> fail "unknown verdict"
+    | _, _, _, _, _, _, _, None, _ -> fail "unknown trap tag"
+    | _, _, _, _, _, _, _, _, None -> fail "unknown first-use class"
+    | _ -> fail "malformed integer field")
+  | _ -> fail "wrong field count"
+
+let tool_rank = function
+  | Core.Campaign.Llfi_tool -> 0
+  | Core.Campaign.Pinfi_tool -> 1
+
+let category_rank c =
+  let rec index k = function
+    | [] -> invalid_arg "Record.category_rank"
+    | c' :: rest -> if c = c' then k else index (k + 1) rest
+  in
+  index 0 Core.Category.all
+
+let compare a b =
+  let c = String.compare a.workload b.workload in
+  if c <> 0 then c
+  else
+    let c = Int.compare (tool_rank a.tool) (tool_rank b.tool) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (category_rank a.category) (category_rank b.category) in
+      if c <> 0 then c else Int.compare a.trial b.trial

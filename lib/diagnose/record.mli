@@ -1,0 +1,49 @@
+(** One structured per-trial diagnosis record.
+
+    A record captures everything the crash-cause analysis (paper §V)
+    needs about a single injection trial: where the fault landed, what
+    the corrupted value flowed into first, how the run ended, and — for
+    crashes — the latency from injection to trap in dynamic
+    instructions. *)
+
+type t = {
+  workload : string;
+  tool : Core.Campaign.tool;
+  category : Core.Category.t;
+  trial : int;  (** trial index within its cell *)
+  verdict : Core.Verdict.t;
+  fault_site : int;
+      (** static id of the injected instruction (IR gid / assembly
+          index), -1 if the fault was never inserted *)
+  injected_step : int;  (** dynamic step of the injection, -1 if none *)
+  steps : int;  (** dynamic instructions executed in total *)
+  trap : Vm.Trap.t option;  (** the trap, for crashed runs *)
+  first_use : Vm.First_use.t;
+      (** first consumer of the corrupted value (requires the campaign
+          to have run with use tracking; [Unone] otherwise) *)
+}
+
+val crash_latency : t -> int option
+(** Dynamic instructions from injection to the trap; [None] unless the
+    trial crashed after an actual injection. *)
+
+val of_stats :
+  workload:string ->
+  tool:Core.Campaign.tool ->
+  category:Core.Category.t ->
+  trial:int ->
+  Core.Verdict.t ->
+  Vm.Outcome.stats ->
+  t
+
+val to_line : t -> string
+(** One space-separated line, no newline.  Round-trips through
+    {!of_line} except for trap payloads (addresses), which are not
+    encoded. *)
+
+val of_line : string -> (t, string) result
+
+val compare : t -> t -> int
+(** Canonical record order: workload name, then tool (LLFI first), then
+    category (in {!Core.Category.all} order), then trial index.
+    Independent of execution order, hence of [--jobs]. *)

@@ -1,0 +1,55 @@
+(** Thread-safe collector for diagnosis records; see the interface. *)
+
+type t = { mutex : Mutex.t; mutable records : Record.t list }
+
+let create () = { mutex = Mutex.create (); records = [] }
+
+let add t r =
+  Mutex.lock t.mutex;
+  t.records <- r :: t.records;
+  Mutex.unlock t.mutex
+
+let records t =
+  Mutex.lock t.mutex;
+  let rs = t.records in
+  Mutex.unlock t.mutex;
+  List.sort Record.compare rs
+
+let header = "# fi-records v1"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Record.to_line r);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+          else
+            match Record.of_line trimmed with
+            | Ok r -> go (lineno + 1) (r :: acc)
+            | Error msg ->
+              invalid_arg
+                (Printf.sprintf "Sink.load: %s:%d: %s" path lineno msg)
+      in
+      go 1 [])

@@ -1,0 +1,28 @@
+(** Thread-safe collector for diagnosis records.
+
+    Campaign workers append records in whatever order the scheduler
+    runs trials; the sink re-establishes the canonical
+    {!Record.compare} order before anything is written, so the output
+    file is byte-identical for every [--jobs] setting. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Record.t -> unit
+(** Safe to call concurrently from several domains. *)
+
+val records : t -> Record.t list
+(** All collected records, in canonical order. *)
+
+val to_string : t -> string
+(** Header line plus one {!Record.to_line} per record, canonical
+    order. *)
+
+val write : t -> string -> unit
+(** [write t path] writes {!to_string} to [path]. *)
+
+val load : string -> Record.t list
+(** Parse a file written by {!write}; blank and [#] comment lines are
+    skipped.
+    @raise Invalid_argument on a malformed line, with its number. *)

@@ -1,0 +1,176 @@
+(** Aggregation of diagnosis records; see the interface. *)
+
+open Core
+
+let tools = [ Campaign.Llfi_tool; Campaign.Pinfi_tool ]
+
+let workloads records =
+  List.sort_uniq String.compare
+    (List.map (fun r -> r.Record.workload) records)
+
+let is_activated r =
+  match r.Record.verdict with
+  | Verdict.Benign | Verdict.Sdc | Verdict.Crash | Verdict.Hang -> true
+  | Verdict.Not_activated | Verdict.Not_injected -> false
+
+let is_crash r = r.Record.verdict = Verdict.Crash
+
+let count pred records = List.length (List.filter pred records)
+
+let pct x = Printf.sprintf "%.1f" (100.0 *. x)
+
+(* --- crash causes --- *)
+
+let crash_cause_table records =
+  let table =
+    Support.Tabular.create
+      ~headers:
+        ([ "tool"; "category"; "crashes" ]
+        @ List.map Vm.First_use.name Vm.First_use.all)
+  in
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun category ->
+          let cell =
+            List.filter
+              (fun r ->
+                r.Record.tool = tool && r.Record.category = category)
+              records
+          in
+          if cell <> [] then begin
+            let crashes = List.filter is_crash cell in
+            Support.Tabular.add_row table
+              ([
+                 Campaign.tool_name tool;
+                 Category.name category;
+                 string_of_int (List.length crashes);
+               ]
+              @ List.map
+                  (fun use ->
+                    string_of_int
+                      (count (fun r -> r.Record.first_use = use) crashes))
+                  Vm.First_use.all)
+          end)
+        Category.all)
+    tools;
+  Support.Tabular.render table
+
+(* --- crash latency --- *)
+
+(* Nearest-rank percentile of a sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let latency_table records =
+  let table =
+    Support.Tabular.create
+      ~headers:
+        [ "workload"; "tool"; "crashes"; "min"; "p50"; "p90"; "max" ]
+  in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun tool ->
+          let latencies =
+            List.filter_map Record.crash_latency
+              (List.filter
+                 (fun r -> r.Record.workload = w && r.Record.tool = tool)
+                 records)
+          in
+          if latencies <> [] then begin
+            let sorted = Array.of_list latencies in
+            Array.sort Int.compare sorted;
+            Support.Tabular.add_row table
+              [
+                w;
+                Campaign.tool_name tool;
+                string_of_int (Array.length sorted);
+                string_of_int sorted.(0);
+                string_of_int (percentile sorted 0.5);
+                string_of_int (percentile sorted 0.9);
+                string_of_int sorted.(Array.length sorted - 1);
+              ]
+          end)
+        tools)
+    (workloads records);
+  Support.Tabular.render table
+
+(* --- divergence attribution --- *)
+
+(* Crash share of one first-use class among a tool's activated trials:
+   crashes first consumed as [use] / all activated trials.  Summed over
+   classes this is the tool's crash rate, so per-class share differences
+   between the tools sum to the crash-rate gap. *)
+let crash_share cell use =
+  let activated = count is_activated cell in
+  if activated = 0 then 0.0
+  else
+    float_of_int
+      (count (fun r -> is_crash r && r.Record.first_use = use) cell)
+    /. float_of_int activated
+
+let divergence_table records =
+  let all_cat = List.filter (fun r -> r.Record.category = Category.All) records in
+  let table =
+    Support.Tabular.create
+      ~headers:
+        ([ "workload"; "llfi-crash%"; "pinfi-crash%"; "gap" ]
+        @ List.map (fun u -> "d-" ^ Vm.First_use.name u) Vm.First_use.all)
+  in
+  List.iter
+    (fun w ->
+      let cell tool =
+        List.filter
+          (fun r -> r.Record.workload = w && r.Record.tool = tool)
+          all_cat
+      in
+      let llfi = cell Campaign.Llfi_tool and pinfi = cell Campaign.Pinfi_tool in
+      if llfi <> [] && pinfi <> [] then begin
+        let rate c =
+          let activated = count is_activated c in
+          if activated = 0 then 0.0
+          else float_of_int (count is_crash c) /. float_of_int activated
+        in
+        Support.Tabular.add_row table
+          ([
+             w;
+             pct (rate llfi);
+             pct (rate pinfi);
+             pct (rate pinfi -. rate llfi);
+           ]
+          @ List.map
+              (fun use -> pct (crash_share pinfi use -. crash_share llfi use))
+              Vm.First_use.all)
+      end)
+    (workloads all_cat);
+  Support.Tabular.render table
+
+let render records =
+  let buf = Buffer.create 4096 in
+  let section title body =
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf body;
+    Buffer.add_char buf '\n'
+  in
+  if records = [] then Buffer.add_string buf "no diagnosis records\n"
+  else begin
+    if List.for_all (fun r -> r.Record.first_use = Vm.First_use.Unone) records
+    then
+      Buffer.add_string buf
+        "note: no first-use classes recorded (campaign ran without use \
+         tracking)\n\n";
+    section "Crash causes by first use of the corrupted value"
+      (crash_cause_table records);
+    Buffer.add_char buf '\n';
+    section "Crash latency (dynamic instructions from injection to trap)"
+      (latency_table records);
+    Buffer.add_char buf '\n';
+    section
+      "LLFI vs PINFI crash-rate divergence by cause class ('all' category)"
+      (divergence_table records)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Aggregation of diagnosis records into the crash-cause analysis of
+    the paper's §V: what the corrupted values flowed into, how long
+    crashes took to surface, and which cause classes account for the
+    LLFI-vs-PINFI crash-rate divergence. *)
+
+val crash_cause_table : Record.t list -> string
+(** Per tool x category histogram over {!Vm.First_use} classes among
+    crashed trials. *)
+
+val latency_table : Record.t list -> string
+(** Crash-latency distribution (dynamic instructions from injection to
+    trap): min / p50 / p90 / max per workload x tool. *)
+
+val divergence_table : Record.t list -> string
+(** Per benchmark, the crash-rate gap between PINFI and LLFI in the
+    'all' category, attributed to first-use cause classes: column
+    [d-<class>] is PINFI's crash share through that class minus LLFI's,
+    in percentage points; the class columns sum to the gap. *)
+
+val render : Record.t list -> string
+(** All three tables with section headings. *)

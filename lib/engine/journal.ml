@@ -2,8 +2,17 @@
 
 type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
 
-let header (config : Core.Campaign.config) =
-  Printf.sprintf "# fi-journal v1 seed=%d trials=%d" config.seed config.trials
+let grid ~workloads ~tools ~categories =
+  String.concat "|"
+    [
+      String.concat "," workloads;
+      String.concat "," (List.map Core.Campaign.tool_name tools);
+      String.concat "," (List.map Core.Category.name categories);
+    ]
+
+let header ~grid:g (config : Core.Campaign.config) =
+  Printf.sprintf "# fi-journal v2 seed=%d trials=%d grid=%s" config.seed
+    config.trials g
 
 let cell_line (c : Core.Campaign.cell) =
   let t = c.c_tally in
@@ -47,17 +56,21 @@ let parse_cell line =
     | _ -> None)
   | _ -> None
 
-let load ~path (config : Core.Campaign.config) =
+let load ~path ~grid (config : Core.Campaign.config) =
   In_channel.with_open_text path (fun ic ->
       match In_channel.input_line ic with
       | None -> []
       | Some first ->
-        if not (String.equal (String.trim first) (header config)) then
+        if not (String.equal (String.trim first) (header ~grid config)) then
           invalid_arg
             (Printf.sprintf
-               "Journal.load: %s was written for a different campaign \
-                (header %S, expected %S)"
-               path (String.trim first) (header config));
+               "Journal.load: %s was written for a different campaign.\n\
+               \  journal:    %s\n\
+               \  invocation: %s\n\
+                Resume with the original seed, trials, workloads, tools and \
+                categories, or start a fresh journal path."
+               path (String.trim first)
+               (header ~grid config));
         let rec go acc =
           match In_channel.input_line ic with
           | None -> List.rev acc
@@ -70,16 +83,16 @@ let load ~path (config : Core.Campaign.config) =
         in
         go [])
 
-let start ~path ~resume config =
+let start ~path ~resume ~grid config =
   let existing =
-    if resume && Sys.file_exists path then load ~path config else []
+    if resume && Sys.file_exists path then load ~path ~grid config else []
   in
   let oc =
     if existing <> [] then
       open_out_gen [ Open_append; Open_creat ] 0o644 path
     else begin
       let oc = open_out path in
-      output_string oc (header config);
+      output_string oc (header ~grid config);
       output_char oc '\n';
       flush oc;
       oc

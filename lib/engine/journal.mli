@@ -1,9 +1,10 @@
 (** Campaign journal: checkpoint/resume for long-running campaigns.
 
     A journal is a plain-text, line-delimited file: one header line
-    binding the file to a campaign configuration (seed and trials —
-    the two knobs that change cell tallies), then one [cell] line per
-    completed campaign cell.  Appends are flushed per cell, so a run
+    binding the file to a campaign invocation (seed, trials and the
+    cell grid — everything that changes which cells exist and what
+    their tallies are), then one [cell] line per completed campaign
+    cell.  Appends are flushed per cell, so a run
     killed mid-campaign loses at most the cell in flight; a resumed run
     {!load}s the file, skips every journaled cell, and re-runs only the
     remainder.  The deterministic per-cell RNG streams make the merged
@@ -15,13 +16,25 @@
 
 type t
 
-val start : path:string -> resume:bool -> Core.Campaign.config -> t * Core.Campaign.cell list
+val grid :
+  workloads:string list ->
+  tools:Core.Campaign.tool list ->
+  categories:Core.Category.t list ->
+  string
+(** Canonical description of the cell grid for the header:
+    comma-separated workload, tool and category names joined with
+    [|]. *)
+
+val start :
+  path:string -> resume:bool -> grid:string -> Core.Campaign.config ->
+  t * Core.Campaign.cell list
 (** Open a journal at [path].  With [resume=false] (or no existing
     file) the file is truncated and a fresh header written; the cell
     list is empty.  With [resume=true] and an existing file, previously
     completed cells are returned and subsequent {!record}s append.
     @raise Invalid_argument if resuming against a journal whose header
-    does not match [config] (different seed or trials). *)
+    does not match this invocation (different seed, trials or cell
+    grid); the error shows both headers. *)
 
 val record : t -> Core.Campaign.cell -> unit
 (** Append one completed cell and flush.  Thread-safe. *)
@@ -30,7 +43,9 @@ val close : t -> unit
 
 (** {2 Plumbing, exposed for tests} *)
 
-val load : path:string -> Core.Campaign.config -> Core.Campaign.cell list
+val load :
+  path:string -> grid:string -> Core.Campaign.config ->
+  Core.Campaign.cell list
 (** Parse a journal file; validates the header like {!start}. *)
 
 val cell_line : Core.Campaign.cell -> string

@@ -58,14 +58,19 @@ let merge_parts parts =
 
 let run ?(jobs = 1) ?journal:journal_path ?(resume = false) ?progress
     ?(tools = [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
-    ?(categories = Core.Category.all) ?chunk (config : Core.Campaign.config)
-    workloads =
+    ?(categories = Core.Category.all) ?chunk ?observe ?(track_use = false)
+    (config : Core.Campaign.config) workloads =
   let tasks = canonical_tasks ~tools ~categories workloads in
   let journal, journaled =
     match journal_path with
     | None -> (None, [])
     | Some path ->
-      let j, cells = Journal.start ~path ~resume config in
+      let grid =
+        Journal.grid
+          ~workloads:(List.map (fun (w : Core.Workload.t) -> w.name) workloads)
+          ~tools ~categories
+      in
+      let j, cells = Journal.start ~path ~resume ~grid config in
       (Some j, cells)
   in
   let restored t = List.find_opt (matches t) journaled in
@@ -137,9 +142,16 @@ let run ?(jobs = 1) ?journal:journal_path ?(resume = false) ?progress
         let t = pending.(ti) in
         let p = prepared_for t.t_workload in
         let t0 = Unix.gettimeofday () in
+        let on_stats =
+          Option.map
+            (fun f trial verdict stats ->
+              f ~workload:t.t_workload.Core.Workload.name ~tool:t.t_tool
+                ~category:t.t_category ~trial verdict stats)
+            observe
+        in
         let cell =
-          Core.Campaign.run_cell_range config p t.t_tool t.t_category ~first
-            ~count
+          Core.Campaign.run_cell_range ?on_stats ~track_use config p t.t_tool
+            t.t_category ~first ~count
         in
         let dt = Unix.gettimeofday () -. t0 in
         Mutex.lock state_mutex;

@@ -32,6 +32,15 @@ val run :
   ?tools:Core.Campaign.tool list ->
   ?categories:Core.Category.t list ->
   ?chunk:int ->
+  ?observe:
+    (workload:string ->
+    tool:Core.Campaign.tool ->
+    category:Core.Category.t ->
+    trial:int ->
+    Core.Verdict.t ->
+    Vm.Outcome.stats ->
+    unit) ->
+  ?track_use:bool ->
   Core.Campaign.config ->
   Core.Workload.t list ->
   result
@@ -50,6 +59,14 @@ val run :
       scheduled whole, except when there are fewer cells than [jobs],
       where each cell is split into [jobs] trial ranges so a
       single-cell run still uses every domain.
+    - [observe]: called once per executed trial with its verdict and
+      full {!Vm.Outcome.stats} (the diagnosis record stream).  Called
+      from worker domains in scheduling order — the observer must be
+      thread-safe and order-insensitive, like {!Diagnose.Sink}-style
+      collectors that re-sort.  Cells restored from a resumed journal
+      are not re-run and produce no observations.
+    - [track_use] (default false): run the interpreters with
+      first-consumer classification on (see {!Core.Campaign.run_cell_range}).
 
     @raise Invalid_argument on a journal/config mismatch, and
     re-raises the first (in canonical order) exception of any failed

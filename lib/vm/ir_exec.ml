@@ -343,6 +343,14 @@ let trace_push tr gid v =
 
 let float_fingerprint f = Int64.to_int (Int64.bits_of_float f)
 
+(* First-use watch for the corrupted destination.  The frame's slot
+   array is captured by identity so slot numbers in other frames (every
+   call allocates fresh envs) can never match by accident. *)
+type fu_watch =
+  | FU_off
+  | FU_int of int array * int  (* frame env, slot *)
+  | FU_float of float array * int
+
 type state = {
   mem : Memory.t;
   out : Buffer.t;
@@ -359,6 +367,10 @@ type state = {
   mutable injected_step : int;
   mutable fault_note : string;
   trace : trace option;
+  track_use : bool;  (* classify the corrupted value's first consumer *)
+  mutable fu_watch : fu_watch;
+  mutable first_use : First_use.t;
+  mutable fault_site : int;  (* gid of the injected instruction *)
 }
 
 type ret = RVoid | RI of int | RF of float
@@ -386,7 +398,7 @@ let inject_float st f =
   Bits.flip_float f bit
 
 (* Called after the destination slot has been written. *)
-let post_exec st mask dest ienv fenv =
+let post_exec st mask gid dest ienv fenv =
   match st.mode with
   | Plain -> ()
   | Profile counts -> counts.(mask) <- counts.(mask) + 1
@@ -394,11 +406,170 @@ let post_exec st mask dest ienv fenv =
     if mask land st.inj_mask <> 0 then begin
       if st.countdown = 0 then begin
         match dest with
-        | DInt (slot, w) -> ienv.(slot) <- inject_int st w ienv.(slot)
-        | DFloat slot -> fenv.(slot) <- inject_float st fenv.(slot)
+        | DInt (slot, w) ->
+          ienv.(slot) <- inject_int st w ienv.(slot);
+          st.fault_site <- gid;
+          if st.track_use then st.fu_watch <- FU_int (ienv, slot)
+        | DFloat slot ->
+          fenv.(slot) <- inject_float st fenv.(slot);
+          st.fault_site <- gid;
+          if st.track_use then st.fu_watch <- FU_float (fenv, slot)
         | DNone -> ()
       end;
       st.countdown <- st.countdown - 1
+    end
+
+(* --- first-use classification (diagnosis hooks) ---
+
+   Only consulted between the injection and the corrupted slot's first
+   consumer, and only when [track_use] is on: the per-instruction cost
+   when disabled is a single tag check on [fu_watch]. *)
+
+(* Role of the first instruction reading the watched integer slot. *)
+let fu_classify_int slot (op : op_kind) =
+  let r = function S s -> s = slot | C _ -> false in
+  match op with
+  | Ibin (_, a, b, _) ->
+    if r a || r b then Some First_use.Udata else None
+  | Icmp_op (_, a, b, _) ->
+    if r a || r b then Some First_use.Ucontrol else None
+  | Canon (a, _) | Unsign (a, _) | Sext_i1 a | Move_int a | Si_to_fp a ->
+    if r a then Some First_use.Udata else None
+  | Load_int (p, _) | Load_f64 p ->
+    if r p then Some First_use.Uaddr else None
+  | Store_int (v, p, _) ->
+    if r p then Some First_use.Uaddr
+    else if r v then Some First_use.Udata
+    else None
+  | Store_f64 (_, p) -> if r p then Some First_use.Uaddr else None
+  | Gep_op (base, _, scaled) ->
+    if r base || Array.exists (fun (idx, _) -> r idx) scaled then
+      Some First_use.Uaddr
+    else None
+  | Select_int (c, a, b) ->
+    if r c then Some First_use.Ucontrol
+    else if r a || r b then Some First_use.Udata
+    else None
+  | Select_f64 (c, _, _) -> if r c then Some First_use.Ucontrol else None
+  | Call_op (_, args) | Intr_op (_, args) ->
+    if Array.exists (function AI op -> r op | AF _ -> false) args then
+      Some First_use.Udata
+    else None
+  | Fbin _ | Fcmp_op _ | Fp_to_si _ | Alloca_op _ -> None
+
+let fu_classify_float slot (op : op_kind) =
+  let r = function FS s -> s = slot | FC _ -> false in
+  match op with
+  | Fbin (_, a, b) -> if r a || r b then Some First_use.Udata else None
+  | Fcmp_op (_, a, b) -> if r a || r b then Some First_use.Ucontrol else None
+  | Fp_to_si (a, _) -> if r a then Some First_use.Udata else None
+  | Store_f64 (v, _) -> if r v then Some First_use.Udata else None
+  | Select_f64 (_, a, b) ->
+    if r a || r b then Some First_use.Udata else None
+  | Call_op (_, args) | Intr_op (_, args) ->
+    if Array.exists (function AF op -> r op | AI _ -> false) args then
+      Some First_use.Udata
+    else None
+  | Ibin _ | Icmp_op _ | Canon _ | Unsign _ | Sext_i1 _ | Move_int _
+  | Si_to_fp _ | Alloca_op _ | Load_int _ | Load_f64 _ | Store_int _
+  | Gep_op _ | Select_int _ ->
+    None
+
+(* Scan one body instruction: a read settles the classification; an
+   overwrite without a read kills the watch (the fault vanished). *)
+let fu_scan_instr st (ci : cinstr) ienv fenv =
+  match st.fu_watch with
+  | FU_off -> ()
+  | FU_int (env, slot) ->
+    if env == ienv then begin
+      match fu_classify_int slot ci.op with
+      | Some use ->
+        st.first_use <- use;
+        st.fu_watch <- FU_off
+      | None -> (
+        match ci.dest with
+        | DInt (d, _) when d = slot -> st.fu_watch <- FU_off
+        | _ -> ())
+    end
+  | FU_float (env, slot) ->
+    if env == fenv then begin
+      match fu_classify_float slot ci.op with
+      | Some use ->
+        st.first_use <- use;
+        st.fu_watch <- FU_off
+      | None -> (
+        match ci.dest with
+        | DFloat d when d = slot -> st.fu_watch <- FU_off
+        | _ -> ())
+    end
+
+(* Scan a block's phi prefix: sources selected by [pred] are the reads
+   (all before any write, matching the parallel evaluation), then phi
+   destinations may overwrite the slot. *)
+let fu_scan_phis st (phis : cphi array) pred ienv fenv =
+  match st.fu_watch with
+  | FU_off -> ()
+  | FU_int (env, slot) ->
+    if env == ienv then begin
+      let read =
+        Array.exists
+          (fun p ->
+            Array.length p.psrcs_i > 0
+            && match p.psrcs_i.(pred) with S s -> s = slot | C _ -> false)
+          phis
+      in
+      if read then begin
+        st.first_use <- First_use.Udata;
+        st.fu_watch <- FU_off
+      end
+      else if
+        Array.exists
+          (fun p -> match p.pdest with DInt (d, _) -> d = slot | _ -> false)
+          phis
+      then st.fu_watch <- FU_off
+    end
+  | FU_float (env, slot) ->
+    if env == fenv then begin
+      let read =
+        Array.exists
+          (fun p ->
+            Array.length p.psrcs_f > 0
+            && match p.psrcs_f.(pred) with FS s -> s = slot | FC _ -> false)
+          phis
+      in
+      if read then begin
+        st.first_use <- First_use.Udata;
+        st.fu_watch <- FU_off
+      end
+      else if
+        Array.exists
+          (fun p -> match p.pdest with DFloat d -> d = slot | _ -> false)
+          phis
+      then st.fu_watch <- FU_off
+    end
+
+let fu_scan_term st term ienv fenv =
+  match st.fu_watch with
+  | FU_off -> ()
+  | FU_int (env, slot) ->
+    if env == ienv then begin
+      let r = function S s -> s = slot | C _ -> false in
+      match term with
+      | Tcond (c, _, _) when r c ->
+        st.first_use <- First_use.Ucontrol;
+        st.fu_watch <- FU_off
+      | Tret (Some (AI op)) when r op ->
+        st.first_use <- First_use.Udata;
+        st.fu_watch <- FU_off
+      | _ -> ()
+    end
+  | FU_float (env, slot) ->
+    if env == fenv then begin
+      match term with
+      | Tret (Some (AF (FS s))) when s = slot ->
+        st.first_use <- First_use.Udata;
+        st.fu_watch <- FU_off
+      | _ -> ()
     end
 
 let run_compiled (c : compiled) st =
@@ -429,6 +600,7 @@ let run_compiled (c : compiled) st =
       (* Parallel phi evaluation: read all sources before writing. *)
       let nphis = Array.length b.phis in
       if nphis > 0 then begin
+        fu_scan_phis st b.phis !pred ienv fenv;
         let tmp_i = Array.make nphis 0 in
         let tmp_f = Array.make nphis 0.0 in
         for k = 0 to nphis - 1 do
@@ -443,7 +615,7 @@ let run_compiled (c : compiled) st =
           | DFloat slot -> fenv.(slot) <- tmp_f.(k)
           | DNone -> ());
           st.steps <- st.steps + 1;
-          post_exec st p.pmask p.pdest ienv fenv;
+          post_exec st p.pmask p.pgid p.pdest ienv fenv;
           match st.trace with
           | Some tr -> (
             match p.pdest with
@@ -458,6 +630,7 @@ let run_compiled (c : compiled) st =
       for k = 0 to Array.length body - 1 do
         let ci = body.(k) in
         st.steps <- st.steps + 1;
+        fu_scan_instr st ci ienv fenv;
         (match ci.op with
         | Ibin (op, a, bb, w) ->
           let x = iv a and y = iv bb in
@@ -660,7 +833,7 @@ let run_compiled (c : compiled) st =
             | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
             | _ -> ()))
         );
-        if ci.mask <> 0 then post_exec st ci.mask ci.dest ienv fenv;
+        if ci.mask <> 0 then post_exec st ci.mask ci.gid ci.dest ienv fenv;
         (match st.trace with
         | Some tr -> (
           match ci.dest with
@@ -671,6 +844,7 @@ let run_compiled (c : compiled) st =
       done;
       if st.steps > st.max_steps then raise Outcome.Hang_limit;
       st.steps <- st.steps + 1;
+      fu_scan_term st b.term ienv fenv;
       (match b.term with
       | Tret arg ->
         result := (match arg with None -> RVoid | Some a -> eval_arg a);
@@ -734,7 +908,7 @@ let init_memory (c : compiled) =
   mem
 
 let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?trace (c : compiled) =
+    ?trace ?(track_use = false) (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
     match (plan, profile_masks) with
     | Some _, Some _ -> invalid_arg "Ir_exec.run: profile and inject exclusive"
@@ -759,6 +933,10 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
       injected_step = -1;
       fault_note = "";
       trace;
+      track_use;
+      fu_watch = FU_off;
+      first_use = First_use.Unone;
+      fault_site = -1;
     }
   in
   let outcome =
@@ -775,4 +953,6 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
     activated = st.injected;
     fault_note = st.fault_note;
     injected_step = st.injected_step;
+    fault_site = st.fault_site;
+    first_use = st.first_use;
   }

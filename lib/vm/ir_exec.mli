@@ -51,6 +51,7 @@ val run :
   ?max_steps:int ->
   ?profile_masks:int array ->
   ?trace:trace ->
+  ?track_use:bool ->
   compiled ->
   Outcome.stats
 (** Execute [main] on a fresh memory image.
@@ -60,4 +61,7 @@ val run :
     - [max_steps]: hang budget (default 10^8);
     - [profile_masks]: array of length [2^categories] receiving dynamic
       counts per category bitmask;
-    - [trace]: record a propagation trace into the given buffer. *)
+    - [trace]: record a propagation trace into the given buffer;
+    - [track_use] (default false): classify what the corrupted value
+      flows into first ({!First_use.t}); reported in
+      [stats.first_use].  Adds no per-instruction work when off. *)

@@ -14,6 +14,8 @@ type stats = {
   activated : bool;  (* the corrupted state was subsequently read *)
   fault_note : string;  (* human-readable description of the fault site *)
   injected_step : int;  (* dynamic step of the injection, -1 if none *)
+  fault_site : int;  (* static id of the injected instruction, -1 if none *)
+  first_use : First_use.t;  (* first consumer class, Unone unless tracked *)
 }
 
 let pp fmt = function

@@ -15,6 +15,13 @@ type stats = {
   activated : bool;  (** the corrupted state was subsequently read *)
   fault_note : string;  (** human-readable fault-site description *)
   injected_step : int;  (** dynamic step of the injection, -1 if none *)
+  fault_site : int;
+      (** static id of the injected instruction (IR gid / assembly index),
+          -1 if no fault was inserted *)
+  first_use : First_use.t;
+      (** what the corrupted value flowed into first; always [Unone]
+          unless the run tracked uses (see the interpreters'
+          [track_use]) *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -24,3 +24,21 @@ let pp fmt = function
   | Unreachable_executed -> Fmt.string fmt "unreachable code executed"
 
 let to_string t = Fmt.str "%a" pp t
+
+(* Compact single-token tags for line-delimited record files. *)
+let tag = function
+  | Unmapped_read _ -> "segv-read"
+  | Unmapped_write _ -> "segv-write"
+  | Division_by_zero -> "div0"
+  | Invalid_jump _ -> "bad-jump"
+  | Stack_overflow -> "stack-overflow"
+  | Unreachable_executed -> "unreachable"
+
+let of_tag = function
+  | "segv-read" -> Some (Unmapped_read 0)
+  | "segv-write" -> Some (Unmapped_write 0)
+  | "div0" -> Some Division_by_zero
+  | "bad-jump" -> Some (Invalid_jump 0)
+  | "stack-overflow" -> Some Stack_overflow
+  | "unreachable" -> Some Unreachable_executed
+  | _ -> None

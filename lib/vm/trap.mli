@@ -15,3 +15,10 @@ val raise_trap : t -> 'a
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val tag : t -> string
+(** Compact single-token tag ("segv-read", "div0", ...) for record
+    files.  Address/target payloads are not encoded. *)
+
+val of_tag : string -> t option
+(** Inverse of {!tag} up to payloads (which parse as 0). *)

@@ -61,6 +61,9 @@ type machine = {
   mutable activated : bool;
   mutable watch : watch;
   mutable fault_note : string;
+  track_use : bool;  (* classify the corrupted value's first consumer *)
+  mutable first_use : First_use.t;
+  mutable fault_site : int;  (* instruction index of the injection *)
 }
 
 let output_cap = 1 lsl 20
@@ -192,6 +195,80 @@ let inject m (loaded : loaded) insn =
     m.fault_note <- Printf.sprintf "flag bit %d" bit
   | Dnone -> m.watch <- No_watch
 
+(* --- first-use classification (the paper's Section V cause classes) ---
+
+   When [track_use] is on, the activating read below is additionally
+   classified by the role the corrupted value plays in its first
+   consumer: memory address, control flow, stack-frame traffic
+   (spill / push-pop / rsp-rbp-relative slot), or plain data.  The
+   classification looks only at the one consuming instruction — no
+   transitive tracking — and costs nothing when activation tracking
+   already decided the watch is dead. *)
+
+let is_frame_reg r = r = Reg.rsp || r = Reg.rbp
+
+(* The (at most one) memory operand of an instruction.  Lea counts: its
+   address arithmetic is the assembly face of an IR gep. *)
+let insn_mem (insn : Insn.t) =
+  match insn with
+  | Insn.Mov (_, Insn.Mem m)
+  | Insn.Movzx (_, _, Insn.Mem m)
+  | Insn.Movsx (_, _, Insn.Mem m)
+  | Insn.Alu (_, _, Insn.Mem m)
+  | Insn.Imul (_, Insn.Mem m)
+  | Insn.Imul3 (_, Insn.Mem m, _)
+  | Insn.Idiv (Insn.Mem m)
+  | Insn.Div (Insn.Mem m)
+  | Insn.Cmp (_, Insn.Mem m)
+  | Insn.Cvtsi2sd (_, Insn.Mem m)
+  | Insn.Store (_, m, _)
+  | Insn.Store_imm (_, m, _)
+  | Insn.Lea (_, m)
+  | Insn.Store_sd (m, _)
+  | Insn.Movsd (_, Insn.Xmem m)
+  | Insn.Sse (_, _, Insn.Xmem m)
+  | Insn.Sqrtsd (_, Insn.Xmem m)
+  | Insn.Ucomisd (_, Insn.Xmem m)
+  | Insn.Cvttsd2si (_, Insn.Xmem m) ->
+    Some m
+  | _ -> None
+
+(* Role of GP register [r] in the instruction that first reads it.
+   Priority: address use > control > stack-value > data. *)
+let classify_gp_use r (insn : Insn.t) =
+  let used_as_address =
+    match insn_mem insn with
+    | Some m -> List.mem r (Insn.mem_uses m)
+    | None -> false
+  in
+  if used_as_address then
+    if is_frame_reg r then First_use.Ustack else First_use.Uaddr
+  else
+    match insn with
+    | Insn.Cmp (a, s) ->
+      if a = r || s = Insn.Reg r then First_use.Ucontrol else First_use.Udata
+    | Insn.Test (a, b) ->
+      if a = r || b = r then First_use.Ucontrol else First_use.Udata
+    | Insn.Push x when x = r -> First_use.Ustack
+    | Insn.Push _ | Insn.Pop _ | Insn.Call _ | Insn.Ret ->
+      (* outside their memory operand these only read rsp *)
+      if r = Reg.rsp then First_use.Ustack else First_use.Udata
+    | Insn.Store (_, m, src) when src = r -> (
+      match m.Insn.base with
+      | Some b when is_frame_reg b -> First_use.Ustack (* spill *)
+      | _ -> First_use.Udata)
+    | _ -> First_use.Udata
+
+let classify_xmm_use r (insn : Insn.t) =
+  match insn with
+  | Insn.Ucomisd (a, s) ->
+    if a = r || s = Insn.Xreg r then First_use.Ucontrol else First_use.Udata
+  | Insn.Store_sd (m, x) when x = r -> (
+    match m.Insn.base with
+    | Some b when is_frame_reg b -> First_use.Ustack
+    | _ -> First_use.Udata)
+  | _ -> First_use.Udata
+
 (* Activation: the corrupted register is read before being rewritten. *)
 let update_watch m insn =
   match m.watch with
@@ -199,6 +276,7 @@ let update_watch m insn =
   | Watch_flags ->
     if Insn.reads_flags insn then begin
       m.activated <- true;
+      if m.track_use then m.first_use <- First_use.Ucontrol;
       m.watch <- No_watch
     end
     else if Insn.writes_flags insn then m.watch <- No_watch
@@ -206,6 +284,7 @@ let update_watch m insn =
     let gd, gu, _, _ = Insn.def_use insn in
     if List.mem r gu then begin
       m.activated <- true;
+      if m.track_use then m.first_use <- classify_gp_use r insn;
       m.watch <- No_watch
     end
     else if List.mem r gd then m.watch <- No_watch
@@ -213,6 +292,7 @@ let update_watch m insn =
     let _, _, xd, xu = Insn.def_use insn in
     if List.mem r xu then begin
       m.activated <- true;
+      if m.track_use then m.first_use <- classify_xmm_use r insn;
       m.watch <- No_watch
     end
     else if List.mem r xd then m.watch <- No_watch
@@ -397,7 +477,7 @@ let init_memory (p : Backend.Program.t) =
   mem
 
 let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?profile_index (loaded : loaded) =
+    ?profile_index ?(track_use = false) (loaded : loaded) =
   let p = loaded.program in
   let mode, countdown, inj_mask, inj_rng, policy =
     match (plan, profile_masks, profile_index) with
@@ -430,6 +510,9 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
       activated = false;
       watch = No_watch;
       fault_note = "";
+      track_use;
+      first_use = First_use.Unone;
+      fault_site = -1;
     }
   in
   (* Startup: rsp points at the pushed "halt" return address. *)
@@ -460,7 +543,10 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
         | Inject ->
           let mask = masks.(idx) in
           if mask land m.inj_mask <> 0 then begin
-            if m.countdown = 0 then inject m loaded insn;
+            if m.countdown = 0 then begin
+              m.fault_site <- idx;
+              inject m loaded insn
+            end;
             m.countdown <- m.countdown - 1
           end)
       done;
@@ -482,4 +568,6 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
     activated = m.activated;
     fault_note = m.fault_note;
     injected_step = m.injected_step;
+    fault_site = m.fault_site;
+    first_use = m.first_use;
   }

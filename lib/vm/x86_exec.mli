@@ -54,8 +54,13 @@ val run :
   ?max_steps:int ->
   ?profile_masks:int array ->
   ?profile_index:int array ->
+  ?track_use:bool ->
   loaded ->
   Outcome.stats
 (** Execute from the program entry on a fresh memory image.
     [profile_index] counts executions per instruction index (for
-    hotspot analysis); otherwise as {!Ir_exec.run}. *)
+    hotspot analysis); [track_use] (default false) classifies the
+    corrupted register's first consumer into a {!First_use.t} —
+    address, control, stack (spill / push-pop / rsp-rbp-relative),
+    or data — reported in [stats.first_use]; otherwise as
+    {!Ir_exec.run}. *)

@@ -1,0 +1,50 @@
+#!/bin/sh
+# CI entry point: build, full test suite, then a determinism smoke test
+# of the parallel engine + diagnosis capture.
+#
+# The smoke campaign runs one workload x one tool x two categories (a
+# 2-cell grid) twice — sequentially and with two worker domains — and
+# requires the CSV and the per-trial record file to be byte-identical.
+# This is the engine's core guarantee (README "Determinism guarantee")
+# exercised end-to-end through the installed CLI, records included.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== determinism smoke: 2-cell campaign, --jobs 1 vs --jobs 2 =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+smoke() {
+    jobs=$1
+    dune exec --no-build bin/fi.exe -- diagnose mcf \
+        --tool llfi -c load -c cmp -n 40 --seed 7 \
+        --jobs "$jobs" \
+        --csv "$tmp/cells-$jobs.csv" \
+        --records "$tmp/records-$jobs.txt" \
+        > "$tmp/report-$jobs.txt"
+}
+
+smoke 1
+smoke 2
+
+cmp "$tmp/cells-1.csv" "$tmp/cells-2.csv" || {
+    echo "FAIL: campaign CSV differs between --jobs 1 and --jobs 2" >&2
+    exit 1
+}
+cmp "$tmp/records-1.txt" "$tmp/records-2.txt" || {
+    echo "FAIL: diagnosis records differ between --jobs 1 and --jobs 2" >&2
+    exit 1
+}
+grep -q '^# fi-records v1' "$tmp/records-1.txt" || {
+    echo "FAIL: record file missing its format header" >&2
+    exit 1
+}
+
+echo "OK: CSV and records byte-identical across --jobs values"

@@ -160,7 +160,9 @@ let test_pinfi_classify () =
 
 let stats outcome ~injected ~activated =
   { Vm.Outcome.outcome; steps = 1; injected; activated; fault_note = "";
-    injected_step = (if injected then 0 else -1) }
+    injected_step = (if injected then 0 else -1);
+    fault_site = (if injected then 0 else -1);
+    first_use = Vm.First_use.Unone }
 
 let test_verdict_classification () =
   let golden_output = "expected" in

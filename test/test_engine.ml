@@ -110,6 +110,14 @@ let with_temp_file f =
   let path = Filename.temp_file "fi_journal" ".log" in
   Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
 
+(* The grid Scheduler.run derives for a default-tools, all-categories
+   invocation over [workloads]. *)
+let grid_for workloads =
+  Engine.Journal.grid
+    ~workloads:(List.map (fun (w : Core.Workload.t) -> w.name) workloads)
+    ~tools:[ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
+    ~categories:Core.Category.all
+
 let test_journal_roundtrip () =
   with_temp_file (fun path ->
       let run = Engine.Scheduler.run ~journal:path small_config [ libquantum ] in
@@ -125,7 +133,8 @@ let test_journal_roundtrip () =
           | None -> Alcotest.fail "cell line did not parse back")
         cells;
       (* ...and the journal file holds the whole campaign. *)
-      let loaded = Engine.Journal.load ~path small_config in
+      let grid = grid_for [ libquantum ] in
+      let loaded = Engine.Journal.load ~path ~grid small_config in
       Alcotest.(check int) "all cells journaled" (List.length cells)
         (List.length loaded);
       (* A garbage/truncated trailing line is ignored on load. *)
@@ -133,12 +142,40 @@ let test_journal_roundtrip () =
       output_string oc "cell mcf LLFI load 12 tru";
       close_out oc;
       Alcotest.(check int) "truncated tail skipped" (List.length cells)
-        (List.length (Engine.Journal.load ~path small_config));
+        (List.length (Engine.Journal.load ~path ~grid small_config));
       (* A journal for another config is rejected. *)
       match
-        Engine.Journal.load ~path { small_config with seed = 999 }
+        Engine.Journal.load ~path ~grid { small_config with seed = 999 }
       with
       | _ -> Alcotest.fail "mismatched header must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* Regression: --resume against a journal recorded for a different cell
+   grid (here: another workload set) must be refused with an error that
+   names both invocations, not silently mix tallies. *)
+let test_journal_grid_mismatch_refused () =
+  with_temp_file (fun path ->
+      ignore (Engine.Scheduler.run ~journal:path small_config [ libquantum ]);
+      (match
+         Engine.Scheduler.run ~journal:path ~resume:true small_config [ mcf ]
+       with
+      | _ -> Alcotest.fail "resume with a different workload grid must raise"
+      | exception Invalid_argument msg ->
+        let mentions needle =
+          let n = String.length needle and h = String.length msg in
+          let rec at i =
+            i + n <= h && (String.sub msg i n = needle || at (i + 1))
+          in
+          at 0
+        in
+        Alcotest.(check bool) "error names the grids" true
+          (mentions "libquantum" && mentions "mcf"));
+      (* Same workloads but a restricted category grid: also refused. *)
+      match
+        Engine.Scheduler.run ~journal:path ~resume:true
+          ~categories:[ Core.Category.Load ] small_config [ libquantum ]
+      with
+      | _ -> Alcotest.fail "resume with a different category grid must raise"
       | exception Invalid_argument _ -> ())
 
 let test_journal_resume_skips_completed () =
@@ -215,5 +252,6 @@ let () =
         [
           ("roundtrip + header check", `Slow, test_journal_roundtrip);
           ("resume skips completed", `Slow, test_journal_resume_skips_completed);
+          ("grid mismatch refused", `Slow, test_journal_grid_mismatch_refused);
         ] );
     ]

@@ -60,6 +60,19 @@ let test_shuffle_is_permutation =
       Rng.shuffle rng a;
       List.sort compare (Array.to_list a) = List.sort compare xs)
 
+(* The O(1) skip must land on exactly the state n sequential draws
+   reach — the engine's trial-chunking correctness rests on this. *)
+let test_rng_advance_equals_draws =
+  QCheck.Test.make ~name:"advance n = n sequential draws" ~count:200
+    QCheck.(pair int (int_range 0 500))
+    (fun (seed, n) ->
+      let jumped = Rng.of_int seed and stepped = Rng.of_int seed in
+      Rng.advance jumped n;
+      for _ = 1 to n do
+        ignore (Rng.next_int64 stepped)
+      done;
+      Int64.equal (Rng.next_int64 jumped) (Rng.next_int64 stepped))
+
 (* --- Bits --- *)
 
 let test_flip_int64_involution =
@@ -178,6 +191,50 @@ let test_mean_stddev () =
   Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5.0 ])
 
+(* --- Verdict tallies (merge algebra) --- *)
+
+(* Scheduler chunk-merging reassembles a cell tally from parts in
+   whatever order chunks finish, starting from a fresh tally — sound
+   only because merge is a commutative monoid. *)
+let tally_arb =
+  QCheck.make
+    ~print:(fun (t : Core.Verdict.tally) ->
+      Printf.sprintf "{trials=%d benign=%d sdc=%d crash=%d hang=%d na=%d ni=%d}"
+        t.trials t.benign t.sdc t.crash t.hang t.not_activated t.not_injected)
+    QCheck.Gen.(
+      map
+        (fun (b, s, c, (h, na, ni)) ->
+          {
+            Core.Verdict.trials = b + s + c + h + na + ni;
+            benign = b;
+            sdc = s;
+            crash = c;
+            hang = h;
+            not_activated = na;
+            not_injected = ni;
+          })
+        (quad small_nat small_nat small_nat
+           (triple small_nat small_nat small_nat)))
+
+let test_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative" ~count:200
+    QCheck.(pair tally_arb tally_arb)
+    (fun (a, b) -> Core.Verdict.merge a b = Core.Verdict.merge b a)
+
+let test_merge_associative =
+  QCheck.Test.make ~name:"merge associative" ~count:200
+    QCheck.(triple tally_arb tally_arb tally_arb)
+    (fun (a, b, c) ->
+      Core.Verdict.merge a (Core.Verdict.merge b c)
+      = Core.Verdict.merge (Core.Verdict.merge a b) c)
+
+let test_merge_identity =
+  QCheck.Test.make ~name:"fresh tally is the merge identity" ~count:200
+    tally_arb
+    (fun a ->
+      Core.Verdict.merge (Core.Verdict.fresh_tally ()) a = a
+      && Core.Verdict.merge a (Core.Verdict.fresh_tally ()) = a)
+
 (* --- Tabular --- *)
 
 let test_table_render () =
@@ -217,7 +274,12 @@ let () =
           ("split independence", `Quick, test_rng_split_independent);
           ("float range", `Quick, test_rng_float_range);
         ]
-        @ qsuite [ test_rng_uniformity; test_shuffle_is_permutation ] );
+        @ qsuite
+            [
+              test_rng_uniformity;
+              test_shuffle_is_permutation;
+              test_rng_advance_equals_draws;
+            ] );
       ( "bits",
         [
           ("sign extend", `Quick, test_sign_extend);
@@ -248,6 +310,13 @@ let () =
           ("mean stddev", `Quick, test_mean_stddev);
         ]
         @ qsuite [ test_interval_bounds ] );
+      ( "verdict-merge",
+        qsuite
+          [
+            test_merge_commutative;
+            test_merge_associative;
+            test_merge_identity;
+          ] );
       ( "tabular",
         [
           ("render", `Quick, test_table_render);
