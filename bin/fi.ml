@@ -100,10 +100,20 @@ let trials_arg default =
     & info [ "n"; "trials" ] ~docv:"N"
         ~doc:"Fault injections per benchmark x tool x category cell.")
 
-let config_of ~trials ~seed =
-  { Core.Campaign.default_config with trials; seed }
+let config_of ?(no_snapshot = false) ~trials ~seed () =
+  { Core.Campaign.default_config with trials; seed; snapshot = not no_snapshot }
 
 (* --- execution-engine flags (campaign, inject) --- *)
+
+let no_snapshot_arg =
+  Arg.(
+    value & flag
+    & info [ "no-snapshot" ]
+        ~doc:
+          "Disable the snapshot/fast-forward executor and re-run every \
+           trial from instruction 0.  Results are byte-identical either \
+           way; this is the reference path, kept as an escape hatch and \
+           benchmarking baseline.")
 
 let jobs_arg =
   Arg.(
@@ -221,11 +231,11 @@ let profile_cmd =
 
 let inject_cmd =
   let run (w : Core.Workload.t) tool category trials seed functions jobs
-      journal resume =
+      journal resume no_snapshot =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
-    let config = config_of ~trials ~seed in
+    let config = config_of ~no_snapshot ~trials ~seed () in
     let config =
       match functions with
       | [] -> config
@@ -294,7 +304,8 @@ let inject_cmd =
     Term.(
       ret
         (const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200
-       $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg))
+       $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg
+       $ no_snapshot_arg))
 
 (* --- propagate --- *)
 
@@ -444,12 +455,13 @@ let records_arg =
            for every $(b,--jobs) value.")
 
 let campaign_cmd =
-  let run trials seed csv_file workload_filter jobs journal resume records =
+  let run trials seed csv_file workload_filter jobs journal resume records
+      no_snapshot =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
     let jobs = resolve_jobs jobs in
-    let config = config_of ~trials ~seed in
+    let config = config_of ~no_snapshot ~trials ~seed () in
     let workloads =
       match workload_filter with
       | [] -> Workloads.all
@@ -527,13 +539,13 @@ let campaign_cmd =
     Term.(
       ret
         (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
-       $ jobs_arg $ journal_arg $ resume_arg $ records_arg))
+       $ jobs_arg $ journal_arg $ resume_arg $ records_arg $ no_snapshot_arg))
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
   let run workload_filter tools categories trials seed from records csv_file
-      jobs =
+      jobs no_snapshot =
     match from with
     | Some path -> (
       (* Consume an existing record file instead of running anything. *)
@@ -543,7 +555,7 @@ let diagnose_cmd =
         print_string (Diagnose.Summary.render rs);
         `Ok 0)
     | None ->
-      let config = config_of ~trials ~seed in
+      let config = config_of ~no_snapshot ~trials ~seed () in
       let workloads =
         match workload_filter with
         | [] -> Workloads.all
@@ -630,7 +642,8 @@ let diagnose_cmd =
     Term.(
       ret
         (const run $ filter_arg $ tools_arg $ cats_arg $ trials_arg 200
-       $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg))
+       $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg
+       $ no_snapshot_arg))
 
 let main_cmd =
   let doc =

@@ -20,6 +20,7 @@ type config = {
   llfi : Llfi.config;
   pinfi : Pinfi.config;
   backend : Backend.config;
+  snapshot : bool;  (* plan targets, execute sorted via fast-forward *)
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     llfi = Llfi.default_config;
     pinfi = Pinfi.default_config;
     backend = Backend.default_config;
+    snapshot = true;
   }
 
 (* The paper's configuration: 1000 injections per cell. *)
@@ -80,24 +82,57 @@ let prepare config (w : Workload.t) =
          w.Workload.name);
   { workload = w; prog; asm; llfi; pinfi }
 
+(* A per-cell fast-forward machine, reusable across trial ranges of the
+   same cell (the scheduler caches one per domain).  The [r_prepared]
+   and cell identity are kept so a stale runner can never silently
+   serve another cell's trials. *)
+type runner_impl = Lrun of Llfi.runner | Prun of Pinfi.runner
+
+type runner = {
+  r_prepared : prepared;
+  r_tool : tool;
+  r_category : Category.t;
+  r_impl : runner_impl;
+}
+
+let runner (p : prepared) tool category =
+  let impl =
+    match tool with
+    | Llfi_tool -> Lrun (Llfi.runner p.llfi category)
+    | Pinfi_tool -> Prun (Pinfi.runner p.pinfi category)
+  in
+  { r_prepared = p; r_tool = tool; r_category = category; r_impl = impl }
+
+let runner_matches r (p : prepared) tool category =
+  r.r_prepared == p && r.r_tool = tool && r.r_category = category
+
 (* Trial [k] of a cell always draws its stream as the [k]-th split of
    the cell's master RNG, so a contiguous range of trials can run
    anywhere (another domain, a resumed process) and still see the exact
-   stream the sequential runner would have given it. *)
-let run_cell_range ?on_trial ?on_stats ?(track_use = false) config
-    (p : prepared) tool category ~first ~count =
+   stream the sequential runner would have given it.
+
+   With [config.snapshot] on, the range is executed out of order: all
+   targets are planned first (the target draw is the first draw of each
+   trial stream, so planning changes no stream), trials run sorted by
+   target so the fast-forward machine only ever advances, and results
+   are buffered back into trial order before tallying — making the
+   tally, callbacks and records byte-identical to the direct path. *)
+let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
+    ?(track_use = false) config (p : prepared) tool category ~first ~count =
   if first < 0 || count < 0 then
     invalid_arg "Campaign.run_cell_range: negative trial range";
-  let population, golden, inject =
+  let population, golden, inject, plan =
     match tool with
     | Llfi_tool ->
       ( Llfi.dynamic_count p.llfi category,
         p.llfi.Llfi.golden_output,
-        fun rng -> Llfi.inject ~track_use p.llfi category rng )
+        (fun rng -> Llfi.inject ~track_use p.llfi category rng),
+        fun rng -> Llfi.plan_target p.llfi category rng )
     | Pinfi_tool ->
       ( Pinfi.dynamic_count p.pinfi category,
         p.pinfi.Pinfi.golden_output,
-        fun rng -> Pinfi.inject ~track_use p.pinfi category rng )
+        (fun rng -> Pinfi.inject ~track_use p.pinfi category rng),
+        fun rng -> Pinfi.plan_target p.pinfi category rng )
   in
   let tally = Verdict.fresh_tally () in
   if population > 0 then begin
@@ -105,14 +140,51 @@ let run_cell_range ?on_trial ?on_stats ?(track_use = false) config
       cell_rng config ~workload:p.workload.Workload.name ~tool ~category
     in
     Support.Rng.advance master first;
-    for trial = first to first + count - 1 do
-      let rng = Support.Rng.split master in
-      let stats = inject rng in
-      let verdict = Verdict.of_run ~golden_output:golden stats in
+    let consume trial verdict stats =
       Verdict.add tally verdict;
       (match on_stats with Some f -> f trial verdict stats | None -> ());
       match on_trial with Some f -> f trial verdict | None -> ()
-    done
+    in
+    if config.snapshot then begin
+      let r =
+        match r0 with
+        | Some r ->
+          if not (runner_matches r p tool category) then
+            invalid_arg "Campaign.run_cell_range: runner from another cell";
+          r
+        | None -> runner p tool category
+      in
+      let inject_at =
+        match r.r_impl with
+        | Lrun lr -> fun ~target rng -> Llfi.inject_at ~track_use lr ~target rng
+        | Prun pr -> fun ~target rng -> Pinfi.inject_at ~track_use pr ~target rng
+      in
+      let rngs = Array.init count (fun _ -> Support.Rng.split master) in
+      let targets = Array.map (fun rng -> plan rng) rngs in
+      let order = Array.init count (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let c = compare targets.(a) targets.(b) in
+          if c <> 0 then c else compare a b)
+        order;
+      let results = Array.make count None in
+      Array.iter
+        (fun i -> results.(i) <- Some (inject_at ~target:targets.(i) rngs.(i)))
+        order;
+      Array.iteri
+        (fun i stats ->
+          let stats = Option.get stats in
+          let verdict = Verdict.of_run ~golden_output:golden stats in
+          consume (first + i) verdict stats)
+        results
+    end
+    else
+      for trial = first to first + count - 1 do
+        let rng = Support.Rng.split master in
+        let stats = inject rng in
+        let verdict = Verdict.of_run ~golden_output:golden stats in
+        consume trial verdict stats
+      done
   end;
   {
     c_workload = p.workload.Workload.name;
@@ -122,9 +194,9 @@ let run_cell_range ?on_trial ?on_stats ?(track_use = false) config
     c_tally = tally;
   }
 
-let run_cell ?on_trial ?on_stats ?track_use config p tool category =
-  run_cell_range ?on_trial ?on_stats ?track_use config p tool category ~first:0
-    ~count:config.trials
+let run_cell ?runner ?on_trial ?on_stats ?track_use config p tool category =
+  run_cell_range ?runner ?on_trial ?on_stats ?track_use config p tool category
+    ~first:0 ~count:config.trials
 
 let run_workload ?on_cell ?(categories = Category.all) config (w : Workload.t) =
   let p = prepare config w in

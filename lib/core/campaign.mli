@@ -18,10 +18,17 @@ type config = {
   llfi : Llfi.config;
   pinfi : Pinfi.config;
   backend : Backend.config;
+  snapshot : bool;
+      (** plan every trial's target first, execute sorted by target on a
+          rolling fast-forward machine, and re-emit results in trial
+          order.  Output is byte-identical either way; off is the
+          straight-line reference path (the [--no-snapshot] escape
+          hatch). *)
 }
 
 val default_config : config
-(** 200 trials per cell, seed 2014, both tools' paper policies. *)
+(** 200 trials per cell, seed 2014, both tools' paper policies,
+    snapshot execution on. *)
 
 val paper_config : config
 (** The paper's 1000 injections per cell. *)
@@ -49,7 +56,21 @@ val prepare : config -> Workload.t -> prepared
 (** Compile at both levels, golden-run both, profile both.
     @raise Invalid_argument if the two levels' golden outputs differ. *)
 
+type runner
+(** A per-cell fast-forward machine (see {!Vm.Ir_exec.ff}), reusable
+    across successive trial ranges of the same cell.  Mutable — use one
+    per domain. *)
+
+val runner : prepared -> tool -> Category.t -> runner
+
+val runner_matches : runner -> prepared -> tool -> Category.t -> bool
+(** Whether the runner was built by {!runner} on this same [prepared]
+    value (physical equality), tool and category — i.e. whether
+    {!run_cell_range} would accept it.  Lets callers that cache runners
+    (the scheduler keeps one per domain) validate before reuse. *)
+
 val run_cell_range :
+  ?runner:runner ->
   ?on_trial:(int -> Verdict.t -> unit) ->
   ?on_stats:(int -> Verdict.t -> Vm.Outcome.stats -> unit) ->
   ?track_use:bool ->
@@ -60,12 +81,21 @@ val run_cell_range :
     {!Verdict.merge} — into exactly the tally a single sequential
     [run_cell] would produce.
 
+    With [config.snapshot] on, the range's targets are planned first
+    and executed sorted on a fast-forward machine ([runner], or a fresh
+    one), with results re-emitted in trial order; every observable —
+    tally, callbacks, stats — is byte-identical to the direct path.
+    A supplied [runner] must come from {!runner} on the same [prepared]
+    value, tool and category ([Invalid_argument] otherwise); it is
+    ignored when [config.snapshot] is off.
+
     [on_stats] observes each trial's full {!Vm.Outcome.stats} (for the
     diagnosis record stream); [track_use] turns on first-consumer
     classification in the interpreters.  Neither consumes randomness, so
     tallies are unchanged by either. *)
 
 val run_cell :
+  ?runner:runner ->
   ?on_trial:(int -> Verdict.t -> unit) ->
   ?on_stats:(int -> Verdict.t -> Vm.Outcome.stats -> unit) ->
   ?track_use:bool ->

@@ -107,14 +107,36 @@ let prepare ?(config = default_config) ~inputs (prog : Ir.Prog.t) =
 
 let dynamic_count t category = List.assoc category t.dynamic_counts
 
+(* The target draw is the first thing a trial takes from its rng; both
+   [inject] and the planning path below must keep it that way so that
+   planning all of a cell's targets up front leaves every stream
+   positioned exactly as the direct path would. *)
+let draw_target t category rng =
+  let population = dynamic_count t category in
+  if population = 0 then invalid_arg "Llfi.inject: empty category";
+  Support.Rng.int rng population
+
 (** One fault-injection run: pick a dynamic instance uniformly from the
     category's population, flip one bit of its destination. *)
 let inject ?(track_use = false) t category (rng : Support.Rng.t) =
-  let population = dynamic_count t category in
-  if population = 0 then invalid_arg "Llfi.inject: empty category";
-  let target = Support.Rng.int rng population in
+  let target = draw_target t category rng in
   let plan =
     { Vm.Ir_exec.inj_mask = Category.mask category; target; rng }
   in
   Vm.Ir_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
     t.compiled
+
+let plan_target = draw_target
+
+type runner = { r_t : t; r_ff : Vm.Ir_exec.ff }
+
+let runner t category =
+  {
+    r_t = t;
+    r_ff =
+      Vm.Ir_exec.ff_create t.compiled ~inputs:t.inputs
+        ~inj_mask:(Category.mask category);
+  }
+
+let inject_at ?(track_use = false) r ~target rng =
+  Vm.Ir_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps ~rng

@@ -49,3 +49,24 @@ val inject :
     (see {!Vm.Ir_exec.run}); it draws nothing from the RNG, so results
     are bit-identical with it on or off.
     @raise Invalid_argument on empty categories. *)
+
+(** {1 Planned execution (snapshot/fast-forward path)} *)
+
+val plan_target : t -> Category.t -> Support.Rng.t -> int
+(** Draw a trial's injection target without running it — exactly the
+    first draw {!inject} would make, so [plan_target] followed by
+    {!inject_at} on the same rng reproduces {!inject} bit for bit.
+    @raise Invalid_argument on empty categories. *)
+
+type runner
+(** A reusable fast-forward machine for one (prepared program,
+    category) pair: see {!Vm.Ir_exec.ff}.  Mutable — use one per
+    domain; cheapest when targets arrive in ascending order. *)
+
+val runner : t -> Category.t -> runner
+
+val inject_at :
+  ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats
+(** Run one injection at a planned [target], resuming from the runner's
+    rolling snapshot.  Stats are bit-identical to the {!inject} the rng
+    came from. *)

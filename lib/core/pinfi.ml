@@ -107,10 +107,15 @@ let prepare ?(config = default_config) ~inputs (program : Backend.Program.t) =
 
 let dynamic_count t category = List.assoc category t.dynamic_counts
 
-let inject ?(track_use = false) t category (rng : Support.Rng.t) =
+(* As in [Llfi]: the target draw must stay the first thing a trial
+   takes from its rng, for the plan-then-execute-sorted path. *)
+let draw_target t category rng =
   let population = dynamic_count t category in
   if population = 0 then invalid_arg "Pinfi.inject: empty category";
-  let target = Support.Rng.int rng population in
+  Support.Rng.int rng population
+
+let inject ?(track_use = false) t category (rng : Support.Rng.t) =
+  let target = draw_target t category rng in
   let plan =
     {
       Vm.X86_exec.inj_mask = Category.mask category;
@@ -121,3 +126,19 @@ let inject ?(track_use = false) t category (rng : Support.Rng.t) =
   in
   Vm.X86_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
     t.loaded
+
+let plan_target = draw_target
+
+type runner = { r_t : t; r_ff : Vm.X86_exec.ff }
+
+let runner t category =
+  {
+    r_t = t;
+    r_ff =
+      Vm.X86_exec.ff_create t.loaded ~policy:t.config.policy ~inputs:t.inputs
+        ~inj_mask:(Category.mask category) ();
+  }
+
+let inject_at ?(track_use = false) r ~target rng =
+  Vm.X86_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps
+    ~rng

@@ -35,3 +35,16 @@ val inject :
   ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
 (** As {!Llfi.inject}: [track_use] classifies the corrupted register's
     first consumer without consuming randomness. *)
+
+(** {1 Planned execution (snapshot/fast-forward path)}
+
+    Mirrors {!Llfi.plan_target}/{!Llfi.runner}/{!Llfi.inject_at}. *)
+
+val plan_target : t -> Category.t -> Support.Rng.t -> int
+
+type runner
+
+val runner : t -> Category.t -> runner
+
+val inject_at :
+  ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats

@@ -41,6 +41,27 @@ let ranges ~chunk trials =
         ((trials + n - 1) / n)
         (fun k -> (k * n, min n (trials - (k * n))))
 
+(* One cached fast-forward runner per domain: consecutive trial-range
+   subtasks of the same cell landing on the same worker reuse the rolling
+   machine instead of rebuilding it from scratch.  Validated by physical
+   equality on [prepared] (plus tool/category), so a runner can never
+   leak across cells or across [run] invocations — a fresh run prepares
+   fresh values and the stale cache entry simply misses. *)
+let runner_cache : Core.Campaign.runner option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let cached_runner (config : Core.Campaign.config) p tool category =
+  if not config.Core.Campaign.snapshot then None
+  else begin
+    let cache = Domain.DLS.get runner_cache in
+    match !cache with
+    | Some r when Core.Campaign.runner_matches r p tool category -> Some r
+    | _ ->
+      let r = Core.Campaign.runner p tool category in
+      cache := Some r;
+      Some r
+  end
+
 let merge_parts parts =
   match Array.to_list parts with
   | [] -> invalid_arg "Scheduler: cell with no chunks"
@@ -149,9 +170,10 @@ let run ?(jobs = 1) ?journal:journal_path ?(resume = false) ?progress
                 ~category:t.t_category ~trial verdict stats)
             observe
         in
+        let runner = cached_runner config p t.t_tool t.t_category in
         let cell =
-          Core.Campaign.run_cell_range ?on_stats ~track_use config p t.t_tool
-            t.t_category ~first ~count
+          Core.Campaign.run_cell_range ?runner ?on_stats ~track_use config p
+            t.t_tool t.t_category ~first ~count
         in
         let dt = Unix.gettimeofday () -. t0 in
         Mutex.lock state_mutex;

@@ -307,6 +307,7 @@ type mode =
   | Plain
   | Profile of int array  (* dynamic count per mask value *)
   | Inject
+  | Forward  (* fast-forward: count matching instances, pause at ff_stop *)
 
 type plan = {
   inj_mask : int;  (* category bit to match *)
@@ -351,6 +352,23 @@ type fu_watch =
   | FU_int of int array * int  (* frame env, slot *)
   | FU_float of float array * int
 
+(* One activation record of the explicit call stack.  Keeping frames as
+   data (instead of OCaml recursion) is what makes the machine
+   snapshotable mid-run: the fast-forward executor copies the frame list
+   and resumes it against a copy-on-write view of memory.
+   [pos] = -1 means the current block's phi prefix has not run yet;
+   [pos] = length of the block body means the terminator is next. *)
+type frame = {
+  func : cfunc;
+  ienv : int array;
+  fenv : float array;
+  mutable fblock : int;  (* current block index *)
+  mutable pred : int;  (* predecessor ordinal, selects phi sources *)
+  mutable pos : int;
+  saved_sp : int;
+  ret_instr : cinstr option;  (* the call awaiting this frame's result *)
+}
+
 type state = {
   mem : Memory.t;
   out : Buffer.t;
@@ -371,6 +389,9 @@ type state = {
   mutable fu_watch : fu_watch;
   mutable first_use : First_use.t;
   mutable fault_site : int;  (* gid of the injected instruction *)
+  mutable stack : frame list;  (* top frame first *)
+  mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
+  mutable matched : int;  (* forward mode: matching instances executed *)
 }
 
 type ret = RVoid | RI of int | RF of float
@@ -397,11 +418,16 @@ let inject_float st f =
   st.fault_note <- Printf.sprintf "bit %d of f64 result" bit;
   Bits.flip_float f bit
 
-(* Called after the destination slot has been written. *)
+(* Called after the destination slot has been written.  The Forward
+   branch counts exactly the instances the Inject countdown would see,
+   so a machine paused at [matched = m] resumes a trial on instance
+   [target] with [countdown = target - m]. *)
 let post_exec st mask gid dest ienv fenv =
   match st.mode with
   | Plain -> ()
   | Profile counts -> counts.(mask) <- counts.(mask) + 1
+  | Forward ->
+    if mask land st.inj_mask <> 0 then st.matched <- st.matched + 1
   | Inject ->
     if mask land st.inj_mask <> 0 then begin
       if st.countdown = 0 then begin
@@ -572,301 +598,435 @@ let fu_scan_term st term ienv fenv =
       | _ -> ()
     end
 
-let run_compiled (c : compiled) st =
-  let funcs = c.cfuncs in
-  let rec exec_func fidx (args : ret array) =
-    let f = funcs.(fidx) in
-    st.depth <- st.depth + 1;
-    if st.depth > max_call_depth then Trap.raise_trap Trap.Stack_overflow;
-    let ienv = Array.make f.nslots 0 in
-    let fenv = Array.make f.nslots 0.0 in
-    Array.iteri
-      (fun k (slot, is_float) ->
-        match args.(k) with
-        | RI v -> ienv.(slot) <- v
-        | RF v -> fenv.(slot) <- v
-        | RVoid -> ignore is_float)
-      f.params;
-    let saved_sp = st.sp in
-    let iv op = match op with S i -> ienv.(i) | C c -> c in
-    let fv op = match op with FS i -> fenv.(i) | FC c -> c in
-    let eval_arg = function AI op -> RI (iv op) | AF op -> RF (fv op) in
-    let result = ref RVoid in
-    let block = ref 0 in
-    let pred = ref 0 in
-    let running = ref true in
-    while !running do
-      let b = f.cblocks.(!block) in
-      (* Parallel phi evaluation: read all sources before writing. *)
-      let nphis = Array.length b.phis in
-      if nphis > 0 then begin
-        fu_scan_phis st b.phis !pred ienv fenv;
-        let tmp_i = Array.make nphis 0 in
-        let tmp_f = Array.make nphis 0.0 in
-        for k = 0 to nphis - 1 do
-          let p = b.phis.(k) in
-          if Array.length p.psrcs_f > 0 then tmp_f.(k) <- fv p.psrcs_f.(!pred)
-          else tmp_i.(k) <- iv p.psrcs_i.(!pred)
-        done;
-        for k = 0 to nphis - 1 do
-          let p = b.phis.(k) in
-          (match p.pdest with
-          | DInt (slot, _) -> ienv.(slot) <- tmp_i.(k)
-          | DFloat slot -> fenv.(slot) <- tmp_f.(k)
-          | DNone -> ());
-          st.steps <- st.steps + 1;
-          post_exec st p.pmask p.pgid p.pdest ienv fenv;
-          match st.trace with
-          | Some tr -> (
-            match p.pdest with
-            | DInt (slot, _) -> trace_push tr p.pgid ienv.(slot)
-            | DFloat slot -> trace_push tr p.pgid (float_fingerprint fenv.(slot))
-            | DNone -> ())
-          | None -> ()
-        done
-      end;
-      if st.steps > st.max_steps then raise Outcome.Hang_limit;
-      let body = b.body in
-      for k = 0 to Array.length body - 1 do
-        let ci = body.(k) in
-        st.steps <- st.steps + 1;
-        fu_scan_instr st ci ienv fenv;
-        (match ci.op with
-        | Ibin (op, a, bb, w) ->
-          let x = iv a and y = iv bb in
-          let v =
-            match op with
-            | Ir.Instr.Add -> Word.canon w (x + y)
-            | Ir.Instr.Sub -> Word.canon w (x - y)
-            | Ir.Instr.Mul -> Word.canon w (x * y)
-            | Ir.Instr.Sdiv ->
-              if y = 0 || (y = -1 && x = min_int) then
-                Trap.raise_trap Trap.Division_by_zero
-              else Word.canon w (x / y)
-            | Ir.Instr.Srem ->
-              if y = 0 || (y = -1 && x = min_int) then
-                Trap.raise_trap Trap.Division_by_zero
-              else Word.canon w (x mod y)
-            | Ir.Instr.Udiv ->
-              if y = 0 then Trap.raise_trap Trap.Division_by_zero
-              else if w < Word.width then
-                Word.canon w (Word.to_unsigned w x / Word.to_unsigned w y)
-              else
-                Int64.to_int
-                  (Int64.unsigned_div
-                     (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
-                     (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
-            | Ir.Instr.Urem ->
-              if y = 0 then Trap.raise_trap Trap.Division_by_zero
-              else if w < Word.width then
-                Word.canon w (Word.to_unsigned w x mod Word.to_unsigned w y)
-              else
-                Int64.to_int
-                  (Int64.unsigned_rem
-                     (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
-                     (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
-            | Ir.Instr.And -> x land y
-            | Ir.Instr.Or -> x lor y
-            | Ir.Instr.Xor -> x lxor y
-            | Ir.Instr.Shl -> Word.canon w (Word.shl x y)
-            | Ir.Instr.Lshr -> Word.canon w (Word.lshr w x y)
-            | Ir.Instr.Ashr -> Word.ashr x y
-            | Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv ->
-              assert false
-          in
-          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
-        | Fbin (op, a, bb) ->
-          let x = fv a and y = fv bb in
-          let v =
-            match op with
-            | Ir.Instr.Fadd -> x +. y
-            | Ir.Instr.Fsub -> x -. y
-            | Ir.Instr.Fmul -> x *. y
-            | Ir.Instr.Fdiv -> x /. y
-            | _ -> assert false
-          in
-          (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
-        | Icmp_op (p, a, bb, w) ->
-          let x = iv a and y = iv bb in
-          let v =
-            match p with
-            | Ir.Instr.Ieq -> x = y
-            | Ir.Instr.Ine -> x <> y
-            | Ir.Instr.Islt -> x < y
-            | Ir.Instr.Isle -> x <= y
-            | Ir.Instr.Isgt -> x > y
-            | Ir.Instr.Isge -> x >= y
-            | Ir.Instr.Iult | Ir.Instr.Iule | Ir.Instr.Iugt | Ir.Instr.Iuge ->
-              let cmp =
-                if w >= Word.width then Word.ucompare x y
-                else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
-              in
-              (match p with
-              | Ir.Instr.Iult -> cmp < 0
-              | Ir.Instr.Iule -> cmp <= 0
-              | Ir.Instr.Iugt -> cmp > 0
-              | _ -> cmp >= 0)
-          in
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
-          | _ -> ())
-        | Fcmp_op (p, a, bb) ->
-          let x = fv a and y = fv bb in
-          let v =
-            match p with
-            | Ir.Instr.Feq -> x = y
-            | Ir.Instr.Fne -> x < y || x > y
-            | Ir.Instr.Flt -> x < y
-            | Ir.Instr.Fle -> x <= y
-            | Ir.Instr.Fgt -> x > y
-            | Ir.Instr.Fge -> x >= y
-          in
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
-          | _ -> ())
-        | Canon (a, w) ->
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- Word.canon w (iv a)
-          | _ -> ())
-        | Unsign (a, w) ->
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- Word.to_unsigned w (iv a)
-          | _ -> ())
-        | Sext_i1 a ->
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- -(iv a land 1)
-          | _ -> ())
-        | Move_int a ->
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- iv a
-          | _ -> ())
-        | Fp_to_si (a, w) ->
-          let f = fv a in
-          let v =
-            (* cvttsd2si semantics: out-of-range and NaN produce the
-               "integer indefinite" value (the minimum integer). *)
-            if Float.is_nan f || f >= 4.611686018427387904e18
-               || f <= -4.611686018427387904e18
-            then min_int
-            else Word.canon w (int_of_float f)
-          in
-          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
-        | Si_to_fp a ->
-          (match ci.dest with
-          | DFloat slot -> fenv.(slot) <- float_of_int (iv a)
-          | _ -> ())
-        | Alloca_op (size, align) ->
-          let addr = (st.sp - size) land lnot (align - 1) in
-          if addr < Memory.stack_top - Memory.default_stack_bytes then
-            Trap.raise_trap Trap.Stack_overflow;
-          st.sp <- addr;
-          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
-        | Load_int (p, w) ->
-          let addr = iv p in
-          let v =
-            match w with
-            | 1 -> Memory.read_u8 st.mem addr land 1
-            | 8 -> Word.canon 8 (Memory.read_u8 st.mem addr)
-            | 16 -> Word.canon 16 (Memory.read_u16 st.mem addr)
-            | 32 -> Word.canon 32 (Memory.read_u32 st.mem addr)
-            | _ -> Memory.read_word st.mem addr
-          in
-          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
-        | Load_f64 p ->
-          let v = Memory.read_f64 st.mem (iv p) in
-          (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
-        | Store_int (v, p, w) -> (
-          let addr = iv p and x = iv v in
-          match w with
-          | 1 | 8 -> Memory.write_u8 st.mem addr (x land 0xff)
-          | 16 -> Memory.write_u16 st.mem addr (x land 0xffff)
-          | 32 -> Memory.write_u32 st.mem addr (x land 0xffffffff)
-          | _ -> Memory.write_word st.mem addr x)
-        | Store_f64 (v, p) -> Memory.write_f64 st.mem (iv p) (fv v)
-        | Gep_op (base, disp, scaled) ->
-          let addr = ref (iv base + disp) in
-          for s = 0 to Array.length scaled - 1 do
-            let idx, scale = scaled.(s) in
-            addr := !addr + (iv idx * scale)
-          done;
-          (match ci.dest with DInt (slot, _) -> ienv.(slot) <- !addr | _ -> ())
-        | Select_int (cond, a, bb) ->
-          (match ci.dest with
-          | DInt (slot, _) -> ienv.(slot) <- (if iv cond <> 0 then iv a else iv bb)
-          | _ -> ())
-        | Select_f64 (cond, a, bb) ->
-          (match ci.dest with
-          | DFloat slot -> fenv.(slot) <- (if iv cond <> 0 then fv a else fv bb)
-          | _ -> ())
-        | Call_op (fidx', args) -> (
-          let evaluated = Array.map eval_arg args in
-          match exec_func fidx' evaluated with
-          | RI v -> (
-            match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
-          | RF v -> (
-            match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
-          | RVoid -> ())
-        | Intr_op (intr, args) -> (
-          let int_arg k = match args.(k) with AI op -> iv op | AF op -> int_of_float (fv op) in
-          let float_arg k = match args.(k) with AF op -> fv op | AI op -> float_of_int (iv op) in
-          match intr with
-          | Ir.Instr.Print_i64 -> emit st (string_of_int (int_arg 0))
-          | Ir.Instr.Print_f64 -> emit st (Printf.sprintf "%.6f" (float_arg 0))
-          | Ir.Instr.Print_char ->
-            emit st (String.make 1 (Char.chr (int_arg 0 land 0xff)))
-          | Ir.Instr.Print_newline -> emit st "\n"
-          | Ir.Instr.Heap_alloc ->
-            let n = int_arg 0 in
-            let n = if n < 0 || n > (1 lsl 30) then Trap.raise_trap (Trap.Unmapped_write (-1)) else n in
-            let addr = Memory.heap_alloc st.mem n in
-            (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
-          | Ir.Instr.Input_i64 ->
-            let k = int_arg 0 in
-            let v = if k >= 0 && k < Array.length st.inputs then st.inputs.(k) else 0 in
-            (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
-          | Ir.Instr.Sqrt ->
-            (match ci.dest with
-            | DFloat slot -> fenv.(slot) <- sqrt (float_arg 0)
-            | _ -> ())
-          | Ir.Instr.Fabs ->
-            (match ci.dest with
-            | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
-            | _ -> ()))
-        );
-        if ci.mask <> 0 then post_exec st ci.mask ci.gid ci.dest ienv fenv;
-        (match st.trace with
-        | Some tr -> (
-          match ci.dest with
-          | DInt (slot, _) -> trace_push tr ci.gid ienv.(slot)
-          | DFloat slot -> trace_push tr ci.gid (float_fingerprint fenv.(slot))
-          | DNone -> ())
-        | None -> ())
-      done;
-      if st.steps > st.max_steps then raise Outcome.Hang_limit;
-      st.steps <- st.steps + 1;
-      fu_scan_term st b.term ienv fenv;
-      (match b.term with
-      | Tret arg ->
-        result := (match arg with None -> RVoid | Some a -> eval_arg a);
-        running := false
-      | Tbr (target, ord) ->
-        block := target;
-        pred := ord
-      | Tcond (c, (t, tord), (f_, ford)) ->
-        if iv c <> 0 then begin
-          block := t;
-          pred := tord
-        end
-        else begin
-          block := f_;
-          pred := ford
-        end)
+let iv ienv op = match op with S i -> ienv.(i) | C c -> c
+let fv fenv op = match op with FS i -> fenv.(i) | FC c -> c
+
+let eval_arg ienv fenv = function
+  | AI op -> RI (iv ienv op)
+  | AF op -> RF (fv fenv op)
+
+let push_frame st (f : cfunc) (args : ret array) ret_instr =
+  st.depth <- st.depth + 1;
+  if st.depth > max_call_depth then Trap.raise_trap Trap.Stack_overflow;
+  let ienv = Array.make f.nslots 0 in
+  let fenv = Array.make f.nslots 0.0 in
+  Array.iteri
+    (fun k (slot, is_float) ->
+      match args.(k) with
+      | RI v -> ienv.(slot) <- v
+      | RF v -> fenv.(slot) <- v
+      | RVoid -> ignore is_float)
+    f.params;
+  st.stack <-
+    {
+      func = f;
+      ienv;
+      fenv;
+      fblock = 0;
+      pred = 0;
+      pos = -1;
+      saved_sp = st.sp;
+      ret_instr;
+    }
+    :: st.stack
+
+let copy_frame fr =
+  { fr with ienv = Array.copy fr.ienv; fenv = Array.copy fr.fenv }
+
+(* Execute one non-call body instruction. *)
+let exec_op st (ci : cinstr) ienv fenv =
+  match ci.op with
+  | Ibin (op, a, bb, w) ->
+    let x = iv ienv a and y = iv ienv bb in
+    let v =
+      match op with
+      | Ir.Instr.Add -> Word.canon w (x + y)
+      | Ir.Instr.Sub -> Word.canon w (x - y)
+      | Ir.Instr.Mul -> Word.canon w (x * y)
+      | Ir.Instr.Sdiv ->
+        if y = 0 || (y = -1 && x = min_int) then
+          Trap.raise_trap Trap.Division_by_zero
+        else Word.canon w (x / y)
+      | Ir.Instr.Srem ->
+        if y = 0 || (y = -1 && x = min_int) then
+          Trap.raise_trap Trap.Division_by_zero
+        else Word.canon w (x mod y)
+      | Ir.Instr.Udiv ->
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else if w < Word.width then
+          Word.canon w (Word.to_unsigned w x / Word.to_unsigned w y)
+        else
+          Int64.to_int
+            (Int64.unsigned_div
+               (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+               (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
+      | Ir.Instr.Urem ->
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else if w < Word.width then
+          Word.canon w (Word.to_unsigned w x mod Word.to_unsigned w y)
+        else
+          Int64.to_int
+            (Int64.unsigned_rem
+               (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+               (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL))
+      | Ir.Instr.And -> x land y
+      | Ir.Instr.Or -> x lor y
+      | Ir.Instr.Xor -> x lxor y
+      | Ir.Instr.Shl -> Word.canon w (Word.shl x y)
+      | Ir.Instr.Lshr -> Word.canon w (Word.lshr w x y)
+      | Ir.Instr.Ashr -> Word.ashr x y
+      | Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv ->
+        assert false
+    in
+    (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+  | Fbin (op, a, bb) ->
+    let x = fv fenv a and y = fv fenv bb in
+    let v =
+      match op with
+      | Ir.Instr.Fadd -> x +. y
+      | Ir.Instr.Fsub -> x -. y
+      | Ir.Instr.Fmul -> x *. y
+      | Ir.Instr.Fdiv -> x /. y
+      | _ -> assert false
+    in
+    (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
+  | Icmp_op (p, a, bb, w) ->
+    let x = iv ienv a and y = iv ienv bb in
+    let v =
+      match p with
+      | Ir.Instr.Ieq -> x = y
+      | Ir.Instr.Ine -> x <> y
+      | Ir.Instr.Islt -> x < y
+      | Ir.Instr.Isle -> x <= y
+      | Ir.Instr.Isgt -> x > y
+      | Ir.Instr.Isge -> x >= y
+      | Ir.Instr.Iult | Ir.Instr.Iule | Ir.Instr.Iugt | Ir.Instr.Iuge ->
+        let cmp =
+          if w >= Word.width then Word.ucompare x y
+          else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
+        in
+        (match p with
+        | Ir.Instr.Iult -> cmp < 0
+        | Ir.Instr.Iule -> cmp <= 0
+        | Ir.Instr.Iugt -> cmp > 0
+        | _ -> cmp >= 0)
+    in
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
+    | _ -> ())
+  | Fcmp_op (p, a, bb) ->
+    let x = fv fenv a and y = fv fenv bb in
+    let v =
+      match p with
+      | Ir.Instr.Feq -> x = y
+      | Ir.Instr.Fne -> x < y || x > y
+      | Ir.Instr.Flt -> x < y
+      | Ir.Instr.Fle -> x <= y
+      | Ir.Instr.Fgt -> x > y
+      | Ir.Instr.Fge -> x >= y
+    in
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
+    | _ -> ())
+  | Canon (a, w) ->
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- Word.canon w (iv ienv a)
+    | _ -> ())
+  | Unsign (a, w) ->
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- Word.to_unsigned w (iv ienv a)
+    | _ -> ())
+  | Sext_i1 a ->
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- -(iv ienv a land 1)
+    | _ -> ())
+  | Move_int a ->
+    (match ci.dest with
+    | DInt (slot, _) -> ienv.(slot) <- iv ienv a
+    | _ -> ())
+  | Fp_to_si (a, w) ->
+    let f = fv fenv a in
+    let v =
+      (* cvttsd2si semantics: out-of-range and NaN produce the
+         "integer indefinite" value (the minimum integer). *)
+      if Float.is_nan f || f >= 4.611686018427387904e18
+         || f <= -4.611686018427387904e18
+      then min_int
+      else Word.canon w (int_of_float f)
+    in
+    (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+  | Si_to_fp a ->
+    (match ci.dest with
+    | DFloat slot -> fenv.(slot) <- float_of_int (iv ienv a)
+    | _ -> ())
+  | Alloca_op (size, align) ->
+    let addr = (st.sp - size) land lnot (align - 1) in
+    if addr < Memory.stack_top - Memory.default_stack_bytes then
+      Trap.raise_trap Trap.Stack_overflow;
+    st.sp <- addr;
+    (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
+  | Load_int (p, w) ->
+    let addr = iv ienv p in
+    let v =
+      match w with
+      | 1 -> Memory.read_u8 st.mem addr land 1
+      | 8 -> Word.canon 8 (Memory.read_u8 st.mem addr)
+      | 16 -> Word.canon 16 (Memory.read_u16 st.mem addr)
+      | 32 -> Word.canon 32 (Memory.read_u32 st.mem addr)
+      | _ -> Memory.read_word st.mem addr
+    in
+    (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+  | Load_f64 p ->
+    let v = Memory.read_f64 st.mem (iv ienv p) in
+    (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
+  | Store_int (v, p, w) -> (
+    let addr = iv ienv p and x = iv ienv v in
+    match w with
+    | 1 | 8 -> Memory.write_u8 st.mem addr (x land 0xff)
+    | 16 -> Memory.write_u16 st.mem addr (x land 0xffff)
+    | 32 -> Memory.write_u32 st.mem addr (x land 0xffffffff)
+    | _ -> Memory.write_word st.mem addr x)
+  | Store_f64 (v, p) -> Memory.write_f64 st.mem (iv ienv p) (fv fenv v)
+  | Gep_op (base, disp, scaled) ->
+    let addr = ref (iv ienv base + disp) in
+    for s = 0 to Array.length scaled - 1 do
+      let idx, scale = scaled.(s) in
+      addr := !addr + (iv ienv idx * scale)
     done;
-    st.sp <- saved_sp;
-    st.depth <- st.depth - 1;
-    !result
-  in
-  exec_func c.main_index [||]
+    (match ci.dest with DInt (slot, _) -> ienv.(slot) <- !addr | _ -> ())
+  | Select_int (cond, a, bb) ->
+    (match ci.dest with
+    | DInt (slot, _) ->
+      ienv.(slot) <- (if iv ienv cond <> 0 then iv ienv a else iv ienv bb)
+    | _ -> ())
+  | Select_f64 (cond, a, bb) ->
+    (match ci.dest with
+    | DFloat slot ->
+      fenv.(slot) <- (if iv ienv cond <> 0 then fv fenv a else fv fenv bb)
+    | _ -> ())
+  | Call_op _ -> assert false (* handled by the dispatch loop *)
+  | Intr_op (intr, args) -> (
+    let int_arg k =
+      match args.(k) with AI op -> iv ienv op | AF op -> int_of_float (fv fenv op)
+    in
+    let float_arg k =
+      match args.(k) with AF op -> fv fenv op | AI op -> float_of_int (iv ienv op)
+    in
+    match intr with
+    | Ir.Instr.Print_i64 -> emit st (string_of_int (int_arg 0))
+    | Ir.Instr.Print_f64 -> emit st (Printf.sprintf "%.6f" (float_arg 0))
+    | Ir.Instr.Print_char ->
+      emit st (String.make 1 (Char.chr (int_arg 0 land 0xff)))
+    | Ir.Instr.Print_newline -> emit st "\n"
+    | Ir.Instr.Heap_alloc ->
+      let n = int_arg 0 in
+      let n =
+        if n < 0 || n > 1 lsl 30 then
+          Trap.raise_trap (Trap.Unmapped_write (-1))
+        else n
+      in
+      let addr = Memory.heap_alloc st.mem n in
+      (match ci.dest with DInt (slot, _) -> ienv.(slot) <- addr | _ -> ())
+    | Ir.Instr.Input_i64 ->
+      let k = int_arg 0 in
+      let v =
+        if k >= 0 && k < Array.length st.inputs then st.inputs.(k) else 0
+      in
+      (match ci.dest with DInt (slot, _) -> ienv.(slot) <- v | _ -> ())
+    | Ir.Instr.Sqrt ->
+      (match ci.dest with
+      | DFloat slot -> fenv.(slot) <- sqrt (float_arg 0)
+      | _ -> ())
+    | Ir.Instr.Fabs ->
+      (match ci.dest with
+      | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
+      | _ -> ()))
+
+(* The dispatch loop over the explicit frame stack.  Instruction order,
+   step counting, hang checks, [post_exec] and trace points are
+   identical to the recursive interpreter this replaces; a call
+   instruction's own instance (post_exec/trace on its destination)
+   fires when its frame pops, i.e. after the callee returned — exactly
+   where the recursive version ran it.
+
+   Returns [true] when the program ran to completion (stack empty) and
+   [false] when a Forward-mode machine paused: paused just before the
+   execution unit (phi prefix, body instruction, or returning call)
+   that contains the first matching instance that would make [matched]
+   exceed [ff_stop].  A paused machine can be resumed by calling again
+   with a larger [ff_stop]. *)
+let exec_frames (c : compiled) st =
+  let funcs = c.cfuncs in
+  let forward = match st.mode with Forward -> true | _ -> false in
+  let finished = ref false in
+  let running = ref true in
+  while !running do
+    match st.stack with
+    | [] ->
+      finished := true;
+      running := false
+    | fr :: rest ->
+      let b = fr.func.cblocks.(fr.fblock) in
+      let ienv = fr.ienv and fenv = fr.fenv in
+      if fr.pos < 0 then begin
+        (* Phi prefix: evaluated in parallel (all reads before any
+           write), hence treated as one atomic unit — Forward pauses
+           before the whole prefix when the target instance is inside. *)
+        let nphis = Array.length b.phis in
+        let nmatch =
+          if forward && nphis > 0 then begin
+            let n = ref 0 in
+            for k = 0 to nphis - 1 do
+              if b.phis.(k).pmask land st.inj_mask <> 0 then incr n
+            done;
+            !n
+          end
+          else 0
+        in
+        if nmatch > 0 && st.matched + nmatch > st.ff_stop then
+          running := false
+        else begin
+          if nphis > 0 then begin
+            fu_scan_phis st b.phis fr.pred ienv fenv;
+            let tmp_i = Array.make nphis 0 in
+            let tmp_f = Array.make nphis 0.0 in
+            for k = 0 to nphis - 1 do
+              let p = b.phis.(k) in
+              if Array.length p.psrcs_f > 0 then
+                tmp_f.(k) <- fv fenv p.psrcs_f.(fr.pred)
+              else tmp_i.(k) <- iv ienv p.psrcs_i.(fr.pred)
+            done;
+            for k = 0 to nphis - 1 do
+              let p = b.phis.(k) in
+              (match p.pdest with
+              | DInt (slot, _) -> ienv.(slot) <- tmp_i.(k)
+              | DFloat slot -> fenv.(slot) <- tmp_f.(k)
+              | DNone -> ());
+              st.steps <- st.steps + 1;
+              post_exec st p.pmask p.pgid p.pdest ienv fenv;
+              match st.trace with
+              | Some tr -> (
+                match p.pdest with
+                | DInt (slot, _) -> trace_push tr p.pgid ienv.(slot)
+                | DFloat slot ->
+                  trace_push tr p.pgid (float_fingerprint fenv.(slot))
+                | DNone -> ())
+              | None -> ()
+            done
+          end;
+          if st.steps > st.max_steps then raise Outcome.Hang_limit;
+          fr.pos <- 0
+        end
+      end
+      else begin
+        let body = b.body in
+        let n = Array.length body in
+        let k = ref fr.pos in
+        let dispatch = ref true in
+        while !dispatch && !k < n do
+          let ci = body.(!k) in
+          let is_call = match ci.op with Call_op _ -> true | _ -> false in
+          if
+            forward && (not is_call)
+            && ci.mask land st.inj_mask <> 0
+            && st.matched >= st.ff_stop
+          then begin
+            (* Pause before the instance that would overrun the stop. *)
+            fr.pos <- !k;
+            dispatch := false;
+            running := false
+          end
+          else begin
+            st.steps <- st.steps + 1;
+            fu_scan_instr st ci ienv fenv;
+            match ci.op with
+            | Call_op (fidx', args) ->
+              let evaluated = Array.map (eval_arg ienv fenv) args in
+              fr.pos <- !k + 1;
+              dispatch := false;
+              push_frame st funcs.(fidx') evaluated (Some ci)
+            | _ ->
+              exec_op st ci ienv fenv;
+              if ci.mask <> 0 then
+                post_exec st ci.mask ci.gid ci.dest ienv fenv;
+              (match st.trace with
+              | Some tr -> (
+                match ci.dest with
+                | DInt (slot, _) -> trace_push tr ci.gid ienv.(slot)
+                | DFloat slot ->
+                  trace_push tr ci.gid (float_fingerprint fenv.(slot))
+                | DNone -> ())
+              | None -> ());
+              incr k
+          end
+        done;
+        if !dispatch then begin
+          fr.pos <- n;
+          (* A returning call is itself an instance (of its mask): in
+             Forward mode pause before the terminator of a frame whose
+             ret pops into a matching call instruction. *)
+          let term_pause =
+            forward
+            && (match (b.term, fr.ret_instr) with
+               | Tret _, Some ci ->
+                 ci.mask land st.inj_mask <> 0 && st.matched >= st.ff_stop
+               | _ -> false)
+          in
+          if term_pause then running := false
+          else begin
+            if st.steps > st.max_steps then raise Outcome.Hang_limit;
+            st.steps <- st.steps + 1;
+            fu_scan_term st b.term ienv fenv;
+            match b.term with
+            | Tret arg ->
+              let result =
+                match arg with None -> RVoid | Some a -> eval_arg ienv fenv a
+              in
+              st.sp <- fr.saved_sp;
+              st.depth <- st.depth - 1;
+              st.stack <- rest;
+              (match (rest, fr.ret_instr) with
+              | parent :: _, Some ci ->
+                (match result with
+                | RI v -> (
+                  match ci.dest with
+                  | DInt (slot, _) -> parent.ienv.(slot) <- v
+                  | _ -> ())
+                | RF v -> (
+                  match ci.dest with
+                  | DFloat slot -> parent.fenv.(slot) <- v
+                  | _ -> ())
+                | RVoid -> ());
+                if ci.mask <> 0 then
+                  post_exec st ci.mask ci.gid ci.dest parent.ienv parent.fenv;
+                (match st.trace with
+                | Some tr -> (
+                  match ci.dest with
+                  | DInt (slot, _) -> trace_push tr ci.gid parent.ienv.(slot)
+                  | DFloat slot ->
+                    trace_push tr ci.gid (float_fingerprint parent.fenv.(slot))
+                  | DNone -> ())
+                | None -> ())
+              | _ -> ())
+            | Tbr (target, ord) ->
+              fr.fblock <- target;
+              fr.pred <- ord;
+              fr.pos <- -1
+            | Tcond (cnd, (t, tord), (f_, ford)) ->
+              (if iv ienv cnd <> 0 then begin
+                 fr.fblock <- t;
+                 fr.pred <- tord
+               end
+               else begin
+                 fr.fblock <- f_;
+                 fr.pred <- ford
+               end);
+              fr.pos <- -1
+          end
+        end
+      end
+  done;
+  !finished
 
 let init_memory (c : compiled) =
   let mem = Memory.create () in
@@ -907,6 +1067,25 @@ let init_memory (c : compiled) =
     c.global_image;
   mem
 
+let exec_to_stats (c : compiled) st =
+  let outcome =
+    match exec_frames c st with
+    | _ -> Outcome.Finished (Buffer.contents st.out)
+    | exception Trap.Trap t -> Outcome.Crashed t
+    | exception Outcome.Hang_limit -> Outcome.Hung
+    | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
+  in
+  {
+    Outcome.outcome;
+    steps = st.steps;
+    injected = st.injected;
+    activated = st.injected;
+    fault_note = st.fault_note;
+    injected_step = st.injected_step;
+    fault_site = st.fault_site;
+    first_use = st.first_use;
+  }
+
 let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
     ?trace ?(track_use = false) (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
@@ -937,22 +1116,105 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
       fu_watch = FU_off;
       first_use = First_use.Unone;
       fault_site = -1;
+      stack = [];
+      ff_stop = -1;
+      matched = 0;
     }
   in
-  let outcome =
-    match run_compiled c st with
-    | _ -> Outcome.Finished (Buffer.contents st.out)
-    | exception Trap.Trap t -> Outcome.Crashed t
-    | exception Outcome.Hang_limit -> Outcome.Hung
-    | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
+  push_frame st c.cfuncs.(c.main_index) [||] None;
+  exec_to_stats c st
+
+(* --- snapshot / fast-forward executor ---
+
+   One rolling Forward-mode machine per (program, category) pair.  For
+   trial [target], the rolling machine advances fault-free until it
+   pauses just before the target's execution unit; its machine state
+   (frames, counters, output) is copied and its memory frozen into a
+   copy-on-write view, and the copy runs the faulty remainder in Inject
+   mode with [countdown = target - matched].  Sorted targets make the
+   whole cell cost about one golden run of forward progress instead of
+   one golden-run prefix per trial. *)
+
+type ff = {
+  ff_c : compiled;
+  ff_inputs : int array;
+  ff_mask : int;
+  mutable ff_st : state;
+}
+
+let forward_state (c : compiled) ~inputs ~inj_mask =
+  let st =
+    {
+      mem = init_memory c;
+      out = Buffer.create 4096;
+      inputs;
+      max_steps = max_int;
+      steps = 0;
+      sp = Memory.stack_top;
+      depth = 0;
+      mode = Forward;
+      countdown = -1;
+      inj_mask;
+      inj_rng = Rng.of_int 0;
+      injected = false;
+      injected_step = -1;
+      fault_note = "";
+      trace = None;
+      track_use = false;
+      fu_watch = FU_off;
+      first_use = First_use.Unone;
+      fault_site = -1;
+      stack = [];
+      ff_stop = -1;
+      matched = 0;
+    }
   in
+  push_frame st c.cfuncs.(c.main_index) [||] None;
+  st
+
+let ff_create (c : compiled) ~inputs ~inj_mask =
   {
-    Outcome.outcome;
-    steps = st.steps;
-    injected = st.injected;
-    activated = st.injected;
-    fault_note = st.fault_note;
-    injected_step = st.injected_step;
-    fault_site = st.fault_site;
-    first_use = st.first_use;
+    ff_c = c;
+    ff_inputs = inputs;
+    ff_mask = inj_mask;
+    ff_st = forward_state c ~inputs ~inj_mask;
   }
+
+let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
+  if target < 0 then invalid_arg "Ir_exec.ff_trial: negative target";
+  (* Monotonic fast path; a smaller target restarts the rolling run. *)
+  if target < ff.ff_st.matched then
+    ff.ff_st <- forward_state ff.ff_c ~inputs:ff.ff_inputs ~inj_mask:ff.ff_mask;
+  let roll = ff.ff_st in
+  roll.ff_stop <- target;
+  if exec_frames ff.ff_c roll then
+    invalid_arg "Ir_exec.ff_trial: target beyond the category's population";
+  let out = Buffer.create (Buffer.length roll.out + 1024) in
+  Buffer.add_buffer out roll.out;
+  let st =
+    {
+      mem = Memory.resume (Memory.freeze roll.mem);
+      out;
+      inputs = roll.inputs;
+      max_steps;
+      steps = roll.steps;
+      sp = roll.sp;
+      depth = roll.depth;
+      mode = Inject;
+      countdown = target - roll.matched;
+      inj_mask = ff.ff_mask;
+      inj_rng = rng;
+      injected = false;
+      injected_step = -1;
+      fault_note = "";
+      trace = None;
+      track_use;
+      fu_watch = FU_off;
+      first_use = First_use.Unone;
+      fault_site = -1;
+      stack = List.map copy_frame roll.stack;
+      ff_stop = -1;
+      matched = 0;
+    }
+  in
+  exec_to_stats ff.ff_c st

@@ -65,3 +65,39 @@ val run :
     - [track_use] (default false): classify what the corrupted value
       flows into first ({!First_use.t}); reported in
       [stats.first_use].  Adds no per-instruction work when off. *)
+
+(** {1 Snapshot / fast-forward execution}
+
+    A rolling fault-free machine per (program, category): for each
+    trial it advances monotonically to just before the target dynamic
+    instance, snapshots its state (explicit call stack, counters,
+    output, copy-on-write memory view) and runs only the faulty
+    remainder.  With targets sorted ascending a whole cell costs about
+    one golden run of forward progress instead of one golden-run
+    prefix per trial, and each trial's result is bit-identical to
+    {!run} with the same plan.
+
+    Thread-safety: an [ff] value is a mutable machine — use one per
+    domain. *)
+
+type ff
+
+val ff_create : compiled -> inputs:int array -> inj_mask:int -> ff
+(** A rolling machine at step 0.  [inj_mask] fixes the category whose
+    dynamic instances [target] indexes. *)
+
+val ff_trial :
+  ?track_use:bool ->
+  ff ->
+  target:int ->
+  max_steps:int ->
+  rng:Support.Rng.t ->
+  Outcome.stats
+(** Run one injection trial against the [target]-th matching dynamic
+    instance, resuming from the rolling machine.  [rng] must be
+    positioned exactly as {!run}'s [plan.rng] would be (it only draws
+    the bit to flip).  Targets may arrive in any order — a smaller
+    target than an earlier one restarts the rolling run from step 0 —
+    but ascending order is the fast path.
+    @raise Invalid_argument if [target] is negative or at least the
+    category's dynamic population. *)

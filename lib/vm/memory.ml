@@ -7,7 +7,14 @@
     top of a 2^40-byte space.  Accesses to unmapped pages trap — this is
     what turns a bit-flipped pointer into the paper's "crash" outcome,
     with flips in low address bits tending to stay inside a mapped page
-    and flips in high bits tending to escape it. *)
+    and flips in high bits tending to escape it.
+
+    The page store is layered to support the snapshot/fast-forward
+    executor: {!freeze} captures the current pages as a shared base
+    layer, and {!resume} builds a copy-on-write view over it — reads
+    fall through to the base, the first write to a page clones it into
+    the view's private top layer.  A freshly {!create}d memory has a
+    single private layer and pays no COW cost. *)
 
 let page_bits = Support.Segments.page_bits
 let page_size = Support.Segments.page_size
@@ -20,27 +27,57 @@ let heap_base = Support.Segments.heap_base
 let stack_top = Support.Segments.stack_top (* first address *above* the stack *)
 let default_stack_bytes = Support.Segments.default_stack_bytes
 
+type layer = (int, Bytes.t) Hashtbl.t
+
 type t = {
-  pages : (int, Bytes.t) Hashtbl.t;
+  pages : layer;  (* private, writable top layer *)
+  below : layer list;  (* shared, read-only base layers (outermost first) *)
   mutable last_index : int;  (* one-entry page cache *)
   mutable last_page : Bytes.t;
-  mutable heap_brk : int;    (* bump-allocator frontier *)
+  mutable last_writable : bool;  (* cached page is in [pages] *)
+  mutable heap_brk : int;  (* bump-allocator frontier *)
 }
+
+type snapshot = { snap_layers : layer list; snap_brk : int }
 
 let unmapped = Bytes.create 0
 
 let create () =
   {
     pages = Hashtbl.create 256;
+    below = [];
     last_index = -1;
     last_page = unmapped;
+    last_writable = false;
     heap_brk = heap_base;
+  }
+
+let freeze t = { snap_layers = t.pages :: t.below; snap_brk = t.heap_brk }
+
+let resume s =
+  {
+    pages = Hashtbl.create 64;
+    below = s.snap_layers;
+    last_index = -1;
+    last_page = unmapped;
+    last_writable = false;
+    heap_brk = s.snap_brk;
   }
 
 let page_of_addr addr = addr lsr page_bits
 
+let rec find_below index = function
+  | [] -> None
+  | (l : layer) :: ls -> (
+    match Hashtbl.find_opt l index with
+    | Some page -> Some page
+    | None -> find_below index ls)
+
+let any_layer_has t index =
+  Hashtbl.mem t.pages index || find_below index t.below <> None
+
 let map_page t index =
-  if not (Hashtbl.mem t.pages index) then
+  if not (any_layer_has t index) then
     Hashtbl.replace t.pages index (Bytes.make page_size '\000')
 
 (* Map every page overlapping [addr, addr+len). *)
@@ -50,8 +87,7 @@ let map_region t ~addr ~len =
       map_page t index
     done
 
-let is_mapped t addr =
-  addr >= 0 && Hashtbl.mem t.pages (page_of_addr addr)
+let is_mapped t addr = addr >= 0 && any_layer_has t (page_of_addr addr)
 
 (* Stack pages are demand-mapped, like an OS growing the stack on first
    touch; everything else must have been mapped explicitly. *)
@@ -65,39 +101,53 @@ let demand_map t addr index =
   end
   else None
 
+let cache_page t index page ~writable =
+  t.last_index <- index;
+  t.last_page <- page;
+  t.last_writable <- writable
+
 let find_page_read t addr =
   let index = page_of_addr addr in
   if index = t.last_index then t.last_page
   else
     match Hashtbl.find_opt t.pages index with
     | Some page ->
-      t.last_index <- index;
-      t.last_page <- page;
+      cache_page t index page ~writable:true;
       page
     | None -> (
-      match demand_map t addr index with
+      match find_below index t.below with
       | Some page ->
-        t.last_index <- index;
-        t.last_page <- page;
+        cache_page t index page ~writable:false;
         page
-      | None -> Trap.raise_trap (Trap.Unmapped_read addr))
+      | None -> (
+        match demand_map t addr index with
+        | Some page ->
+          cache_page t index page ~writable:true;
+          page
+        | None -> Trap.raise_trap (Trap.Unmapped_read addr)))
 
 let find_page_write t addr =
   let index = page_of_addr addr in
-  if index = t.last_index then t.last_page
+  if index = t.last_index && t.last_writable then t.last_page
   else
     match Hashtbl.find_opt t.pages index with
     | Some page ->
-      t.last_index <- index;
-      t.last_page <- page;
+      cache_page t index page ~writable:true;
       page
     | None -> (
-      match demand_map t addr index with
+      match find_below index t.below with
       | Some page ->
-        t.last_index <- index;
-        t.last_page <- page;
-        page
-      | None -> Trap.raise_trap (Trap.Unmapped_write addr))
+        (* Copy-on-write: clone the shared page into the top layer. *)
+        let copy = Bytes.copy page in
+        Hashtbl.replace t.pages index copy;
+        cache_page t index copy ~writable:true;
+        copy
+      | None -> (
+        match demand_map t addr index with
+        | Some page ->
+          cache_page t index page ~writable:true;
+          page
+        | None -> Trap.raise_trap (Trap.Unmapped_write addr)))
 
 let read_u8 t addr =
   if addr < 0 then Trap.raise_trap (Trap.Unmapped_read addr);

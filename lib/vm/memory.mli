@@ -29,6 +29,29 @@ val create : unit -> t
 (** An empty address space: only stack pages (on demand) and explicitly
     mapped regions are accessible. *)
 
+(** {1 Snapshots}
+
+    A {!snapshot} is a copy-on-write {e view}, not a deep copy: it
+    shares page storage with the memory it was taken from.  The
+    intended protocol (the snapshot/fast-forward executor's) is
+    strictly sequential: freeze the rolling machine's memory, run any
+    number of {!resume}d trial memories {e to completion}, and only
+    then let the frozen memory execute again.  Writes through a resumed
+    view clone the touched page into the view's private layer and never
+    disturb the frozen memory; writes by the frozen memory after the
+    protocol window would be visible through still-live views, so don't
+    interleave. *)
+
+type snapshot
+
+val freeze : t -> snapshot
+(** Capture the current pages and heap frontier as a shared base
+    layer.  O(1): no page is copied. *)
+
+val resume : snapshot -> t
+(** A fresh copy-on-write memory over the snapshot: reads fall through
+    to the captured pages, the first write to a page clones it. *)
+
 val map_region : t -> addr:int -> len:int -> unit
 (** Map (zeroed) every page overlapping [addr, addr+len). *)
 

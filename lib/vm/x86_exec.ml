@@ -38,6 +38,7 @@ type mode =
   | Profile of int array  (* dynamic count per category bitmask *)
   | Profile_index of int array  (* dynamic count per instruction index *)
   | Inject
+  | Forward  (* fast-forward: count matching instances, pause at ff_stop *)
 
 type watch = No_watch | Watch_gp of Reg.t | Watch_xmm of Reg.t | Watch_flags
 
@@ -64,6 +65,8 @@ type machine = {
   track_use : bool;  (* classify the corrupted value's first consumer *)
   mutable first_use : First_use.t;
   mutable fault_site : int;  (* instruction index of the injection *)
+  mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
+  mutable matched : int;  (* forward mode: matching instances executed *)
 }
 
 let output_cap = 1 lsl 20
@@ -476,19 +479,82 @@ let init_memory (p : Backend.Program.t) =
   List.iter (fun (addr, f) -> Memory.write_f64 mem addr f) p.const_image;
   mem
 
-let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?profile_index ?(track_use = false) (loaded : loaded) =
+(* The fetch-execute loop.  Returns normally only when a Forward-mode
+   machine pauses: just before the matching instruction that would make
+   [matched] exceed [ff_stop] ([rip] still points at it, nothing about
+   the pending instruction has executed).  All other exits are
+   exceptions: [Halt], [Trap.Trap], [Outcome.Hang_limit]. *)
+let run_machine (loaded : loaded) m =
   let p = loaded.program in
-  let mode, countdown, inj_mask, inj_rng, policy =
-    match (plan, profile_masks, profile_index) with
-    | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
-      invalid_arg "X86_exec.run: profile and inject are mutually exclusive"
-    | Some pl, None, None -> (Inject, pl.target, pl.inj_mask, pl.rng, pl.policy)
-    | None, Some counts, None -> (Profile counts, -1, 0, Rng.of_int 0, paper_policy)
-    | None, None, Some counts ->
-      (Profile_index counts, -1, 0, Rng.of_int 0, paper_policy)
-    | None, None, None -> (Plain, -1, 0, Rng.of_int 0, paper_policy)
+  let insns = p.insns in
+  let resolved = p.resolved in
+  let masks = loaded.masks in
+  let n = Array.length insns in
+  let forward = match m.mode with Forward -> true | _ -> false in
+  let paused = ref false in
+  while not !paused do
+    let idx = m.rip in
+    if idx < 0 || idx >= n then
+      Trap.raise_trap (Trap.Invalid_jump (Backend.Program.addr_of_index p idx));
+    if forward && masks.(idx) land m.inj_mask <> 0 && m.matched >= m.ff_stop
+    then paused := true
+    else begin
+      let insn = insns.(idx) in
+      m.steps <- m.steps + 1;
+      if m.steps > m.max_steps then raise Outcome.Hang_limit;
+      if m.watch <> No_watch then update_watch m insn;
+      m.rip <- idx + 1;
+      exec_insn m loaded insn resolved.(idx);
+      match m.mode with
+      | Plain -> ()
+      | Forward ->
+        if masks.(idx) land m.inj_mask <> 0 then m.matched <- m.matched + 1
+      | Profile counts ->
+        let mask = masks.(idx) in
+        counts.(mask) <- counts.(mask) + 1
+      | Profile_index counts -> counts.(idx) <- counts.(idx) + 1
+      | Inject ->
+        let mask = masks.(idx) in
+        if mask land m.inj_mask <> 0 then begin
+          if m.countdown = 0 then begin
+            m.fault_site <- idx;
+            inject m loaded insn
+          end;
+          m.countdown <- m.countdown - 1
+        end
+    end
+  done
+
+(* Run [m] to completion and package the result. *)
+let finish_machine (loaded : loaded) m =
+  let outcome =
+    try
+      run_machine loaded m;
+      assert false
+    with
+    | Halt -> Outcome.Finished (Buffer.contents m.out)
+    | Trap.Trap t ->
+      if Sys.getenv_opt "FI_DEBUG_TRAP" <> None then
+        Printf.eprintf "[trap] %s at rip=%d: %s\n%!" (Trap.to_string t)
+          (m.rip - 1)
+          (X86.Printer.insn_to_string loaded.program.insns.(max 0 (m.rip - 1)));
+      Outcome.Crashed t
+    | Outcome.Hang_limit -> Outcome.Hung
   in
+  {
+    Outcome.outcome;
+    steps = m.steps;
+    injected = m.injected;
+    activated = m.activated;
+    fault_note = m.fault_note;
+    injected_step = m.injected_step;
+    fault_site = m.fault_site;
+    first_use = m.first_use;
+  }
+
+let make_machine (loaded : loaded) ~inputs ~max_steps ~mode ~countdown
+    ~inj_mask ~inj_rng ~policy ~track_use =
+  let p = loaded.program in
   let m =
     {
       mem = init_memory p;
@@ -513,61 +579,101 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
       track_use;
       first_use = First_use.Unone;
       fault_site = -1;
+      ff_stop = -1;
+      matched = 0;
     }
   in
   (* Startup: rsp points at the pushed "halt" return address. *)
   m.gp.(Reg.rsp) <- Memory.stack_top - 32;
   Memory.write_word m.mem m.gp.(Reg.rsp) (Backend.Program.halt_addr p);
-  let insns = p.insns in
-  let resolved = p.resolved in
-  let masks = loaded.masks in
-  let n = Array.length insns in
-  let outcome =
-    try
-      while true do
-        let idx = m.rip in
-        if idx < 0 || idx >= n then
-          Trap.raise_trap (Trap.Invalid_jump (Backend.Program.addr_of_index p idx));
-        let insn = insns.(idx) in
-        m.steps <- m.steps + 1;
-        if m.steps > m.max_steps then raise Outcome.Hang_limit;
-        if m.watch <> No_watch then update_watch m insn;
-        m.rip <- idx + 1;
-        exec_insn m loaded insn resolved.(idx);
-        (match m.mode with
-        | Plain -> ()
-        | Profile counts ->
-          let mask = masks.(idx) in
-          counts.(mask) <- counts.(mask) + 1
-        | Profile_index counts -> counts.(idx) <- counts.(idx) + 1
-        | Inject ->
-          let mask = masks.(idx) in
-          if mask land m.inj_mask <> 0 then begin
-            if m.countdown = 0 then begin
-              m.fault_site <- idx;
-              inject m loaded insn
-            end;
-            m.countdown <- m.countdown - 1
-          end)
-      done;
-      assert false
-    with
-    | Halt -> Outcome.Finished (Buffer.contents m.out)
-    | Trap.Trap t ->
-      if Sys.getenv_opt "FI_DEBUG_TRAP" <> None then
-        Printf.eprintf "[trap] %s at rip=%d: %s\n%!" (Trap.to_string t)
-          (m.rip - 1)
-          (X86.Printer.insn_to_string insns.(max 0 (m.rip - 1)));
-      Outcome.Crashed t
-    | Outcome.Hang_limit -> Outcome.Hung
+  m
+
+let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
+    ?profile_index ?(track_use = false) (loaded : loaded) =
+  let mode, countdown, inj_mask, inj_rng, policy =
+    match (plan, profile_masks, profile_index) with
+    | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      invalid_arg "X86_exec.run: profile and inject are mutually exclusive"
+    | Some pl, None, None -> (Inject, pl.target, pl.inj_mask, pl.rng, pl.policy)
+    | None, Some counts, None -> (Profile counts, -1, 0, Rng.of_int 0, paper_policy)
+    | None, None, Some counts ->
+      (Profile_index counts, -1, 0, Rng.of_int 0, paper_policy)
+    | None, None, None -> (Plain, -1, 0, Rng.of_int 0, paper_policy)
   in
+  let m =
+    make_machine loaded ~inputs ~max_steps ~mode ~countdown ~inj_mask ~inj_rng
+      ~policy ~track_use
+  in
+  finish_machine loaded m
+
+(* --- snapshot / fast-forward executor ---
+
+   One rolling Forward-mode machine per (program, category) pair: for
+   trial [target] it advances fault-free until it pauses just before
+   the target's dynamic instance, then a copy of the register file and
+   a copy-on-write view of its memory run the faulty remainder in
+   Inject mode.  Sorted targets make a whole cell cost about one golden
+   run of forward progress instead of one golden-run prefix per
+   trial. *)
+
+type ff = {
+  ff_loaded : loaded;
+  ff_policy : policy;
+  mutable ff_m : machine;
+}
+
+let forward_machine (loaded : loaded) ~inputs ~inj_mask =
+  make_machine loaded ~inputs ~max_steps:max_int ~mode:Forward ~countdown:(-1)
+    ~inj_mask ~inj_rng:(Rng.of_int 0) ~policy:paper_policy ~track_use:false
+
+let ff_create (loaded : loaded) ?(policy = paper_policy) ~inputs ~inj_mask () =
   {
-    Outcome.outcome;
-    steps = m.steps;
-    injected = m.injected;
-    activated = m.activated;
-    fault_note = m.fault_note;
-    injected_step = m.injected_step;
-    fault_site = m.fault_site;
-    first_use = m.first_use;
+    ff_loaded = loaded;
+    ff_policy = policy;
+    ff_m = forward_machine loaded ~inputs ~inj_mask;
   }
+
+let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
+  if target < 0 then invalid_arg "X86_exec.ff_trial: negative target";
+  (* Monotonic fast path; a smaller target restarts the rolling run. *)
+  if target < ff.ff_m.matched then
+    ff.ff_m <-
+      forward_machine ff.ff_loaded ~inputs:ff.ff_m.inputs
+        ~inj_mask:ff.ff_m.inj_mask;
+  let roll = ff.ff_m in
+  roll.ff_stop <- target;
+  (match run_machine ff.ff_loaded roll with
+  | () -> ()
+  | exception Halt ->
+    invalid_arg "X86_exec.ff_trial: target beyond the category's population");
+  let out = Buffer.create (Buffer.length roll.out + 1024) in
+  Buffer.add_buffer out roll.out;
+  let m =
+    {
+      mem = Memory.resume (Memory.freeze roll.mem);
+      gp = Array.copy roll.gp;
+      xmm = Array.copy roll.xmm;
+      flags = roll.flags;
+      rip = roll.rip;
+      out;
+      inputs = roll.inputs;
+      max_steps;
+      steps = roll.steps;
+      mode = Inject;
+      countdown = target - roll.matched;
+      inj_mask = roll.inj_mask;
+      inj_rng = rng;
+      policy = ff.ff_policy;
+      injected = false;
+      injected_step = -1;
+      activated = false;
+      watch = No_watch;
+      fault_note = "";
+      track_use;
+      first_use = First_use.Unone;
+      fault_site = -1;
+      ff_stop = -1;
+      matched = 0;
+    }
+  in
+  finish_machine ff.ff_loaded m

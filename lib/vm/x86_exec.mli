@@ -64,3 +64,27 @@ val run :
     address, control, stack (spill / push-pop / rsp-rbp-relative),
     or data — reported in [stats.first_use]; otherwise as
     {!Ir_exec.run}. *)
+
+(** {1 Snapshot / fast-forward execution}
+
+    Same contract as {!Ir_exec.ff_trial}: a rolling fault-free machine
+    advances monotonically to just before the target dynamic instance;
+    each trial runs only the faulty remainder on a copied register file
+    and a copy-on-write memory view, producing stats bit-identical to
+    {!run} with the same plan.  An [ff] value is a mutable machine —
+    use one per domain. *)
+
+type ff
+
+val ff_create :
+  loaded -> ?policy:policy -> inputs:int array -> inj_mask:int -> unit -> ff
+
+val ff_trial :
+  ?track_use:bool ->
+  ff ->
+  target:int ->
+  max_steps:int ->
+  rng:Support.Rng.t ->
+  Outcome.stats
+(** @raise Invalid_argument if [target] is negative or at least the
+    category's dynamic population. *)

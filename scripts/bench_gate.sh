@@ -1,0 +1,106 @@
+#!/bin/sh
+# Performance gate: run the gated bench sections (engine, diagnose,
+# snapshot) at a small trial count and compare the resulting BENCH_*
+# JSON summaries against the committed baselines at the repo root
+# (BENCH_ENGINE.json, BENCH_DIAGNOSE.json, BENCH_SNAPSHOT.json).
+#
+# Only *ratios* are gated — speedups and overhead ratios are stable
+# across machines, wall-clock seconds are not.  Tolerances are generous
+# because CI runners are noisy; a real regression (snapshot executor
+# losing its advantage, diagnosis hooks leaking into the hot loop,
+# engine no longer scaling) moves the ratios far beyond them.
+#
+# Refresh the baselines after an intentional performance change with:
+#   scripts/bench_gate.sh --update
+set -eu
+
+cd "$(dirname "$0")/.."
+
+update=no
+[ "${1:-}" = "--update" ] && update=yes
+
+# 120 trials is the smallest count where per-trial work (what the gates
+# measure) still dominates the fixed prepare/profile cost per workload.
+TRIALS=${BENCH_TRIALS:-120}
+JOBS=${BENCH_JOBS:-2}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== bench (engine,diagnose,snapshot) at $TRIALS trials, $JOBS jobs =="
+BENCH_ONLY=engine,diagnose,snapshot BENCH_TRIALS="$TRIALS" \
+    BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$tmp" \
+    dune exec bench/main.exe > "$tmp/bench.log" 2>&1 || {
+    # The bench gates itself (determinism + hard ratio floors) and
+    # exits non-zero on failure; surface its report.
+    tail -n 40 "$tmp/bench.log" >&2
+    echo "FAIL: bench run failed its internal gates" >&2
+    exit 1
+}
+grep '^BENCH_' "$tmp/bench.log"
+
+if [ "$update" = yes ]; then
+    for s in ENGINE DIAGNOSE SNAPSHOT; do
+        cp "$tmp/BENCH_$s.json" "BENCH_$s.json"
+    done
+    echo "Baselines refreshed; commit the BENCH_*.json files."
+    exit 0
+fi
+
+# field FILE KEY -> numeric value of "KEY": N
+field() {
+    sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1"
+}
+
+fail=0
+
+# gate_min SECTION KEY FACTOR: current >= baseline * FACTOR
+gate_min() {
+    cur=$(field "$tmp/BENCH_$1.json" "$2")
+    base=$(field "BENCH_$1.json" "$2")
+    if awk -v c="$cur" -v b="$base" -v f="$3" 'BEGIN { exit !(c >= b * f) }'
+    then
+        echo "ok   $1.$2: $cur (baseline $base, floor ${3}x)"
+    else
+        echo "FAIL $1.$2: $cur regressed below baseline $base * $3" >&2
+        fail=1
+    fi
+}
+
+# gate_max SECTION KEY FACTOR: current <= baseline * FACTOR
+gate_max() {
+    cur=$(field "$tmp/BENCH_$1.json" "$2")
+    base=$(field "BENCH_$1.json" "$2")
+    if awk -v c="$cur" -v b="$base" -v f="$3" 'BEGIN { exit !(c <= b * f) }'
+    then
+        echo "ok   $1.$2: $cur (baseline $base, ceiling ${3}x)"
+    else
+        echo "FAIL $1.$2: $cur regressed above baseline $base * $3" >&2
+        fail=1
+    fi
+}
+
+echo "== ratio gates against committed baselines =="
+for s in ENGINE DIAGNOSE SNAPSHOT; do
+    [ -f "BENCH_$s.json" ] || {
+        echo "FAIL: missing baseline BENCH_$s.json" >&2
+        exit 1
+    }
+done
+
+# Determinism is non-negotiable: the bench re-checks byte-identity and
+# records it in the summary.
+for s in ENGINE SNAPSHOT; do
+    grep -q '"identical": true' "$tmp/BENCH_$s.json" || {
+        echo "FAIL: $s summary does not attest byte-identical output" >&2
+        fail=1
+    }
+done
+
+gate_min ENGINE speedup 0.5        # parallel engine must still scale
+gate_max DIAGNOSE disabled_ratio 1.10  # hooks must stay free when off
+gate_max DIAGNOSE enabled_ratio 1.25   # capture overhead must stay modest
+gate_min SNAPSHOT speedup 0.7      # fast-forward must keep its advantage
+
+[ "$fail" = 0 ] || exit 1
+echo "OK: all bench ratios within tolerance of the committed baselines"

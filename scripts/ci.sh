@@ -1,12 +1,16 @@
 #!/bin/sh
-# CI entry point: build, full test suite, then a determinism smoke test
-# of the parallel engine + diagnosis capture.
+# CI entry point: build, full test suite, then determinism smoke tests
+# of the parallel engine, the snapshot executor and the resume journal.
 #
 # The smoke campaign runs one workload x one tool x two categories (a
 # 2-cell grid) twice — sequentially and with two worker domains — and
 # requires the CSV and the per-trial record file to be byte-identical.
 # This is the engine's core guarantee (README "Determinism guarantee")
 # exercised end-to-end through the installed CLI, records included.
+# The same grid is then re-run with --no-snapshot: the snapshot
+# executor must change no byte of any output.  Finally a journaled
+# campaign is interrupted (journal truncated mid-grid) and resumed,
+# and a resume against a mismatched journal header must be refused.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,3 +52,57 @@ grep -q '^# fi-records v1' "$tmp/records-1.txt" || {
 }
 
 echo "OK: CSV and records byte-identical across --jobs values"
+
+echo "== determinism smoke: snapshot executor vs --no-snapshot =="
+dune exec --no-build bin/fi.exe -- diagnose mcf \
+    --tool llfi -c load -c cmp -n 40 --seed 7 \
+    --no-snapshot \
+    --csv "$tmp/cells-nosnap.csv" \
+    --records "$tmp/records-nosnap.txt" \
+    > "$tmp/report-nosnap.txt"
+
+cmp "$tmp/cells-1.csv" "$tmp/cells-nosnap.csv" || {
+    echo "FAIL: campaign CSV differs between snapshot and --no-snapshot" >&2
+    exit 1
+}
+cmp "$tmp/records-1.txt" "$tmp/records-nosnap.txt" || {
+    echo "FAIL: diagnosis records differ between snapshot and --no-snapshot" >&2
+    exit 1
+}
+
+echo "OK: snapshot executor output byte-identical to the straight-line path"
+
+echo "== resume smoke: interrupted journal, then --resume =="
+camp() {
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        -n 20 --seed 11 --jobs 2 "$@" > /dev/null
+}
+
+camp --journal "$tmp/journal-full" --csv "$tmp/camp-full.csv"
+
+# Interrupt: keep the header plus the first three completed cells, as if
+# the process had been killed mid-grid, then resume into a fresh CSV.
+head -n 4 "$tmp/journal-full" > "$tmp/journal-cut"
+camp --journal "$tmp/journal-cut" --resume --csv "$tmp/camp-resumed.csv"
+
+cmp "$tmp/camp-full.csv" "$tmp/camp-resumed.csv" || {
+    echo "FAIL: resumed campaign CSV differs from the uninterrupted run" >&2
+    exit 1
+}
+
+echo "OK: resumed campaign CSV byte-identical to the uninterrupted run"
+
+echo "== resume smoke: mismatched journal header must be refused =="
+if dune exec --no-build bin/fi.exe -- campaign mcf \
+    -n 20 --seed 12 --journal "$tmp/journal-cut" --resume \
+    > "$tmp/mismatch-out.txt" 2> "$tmp/mismatch-err.txt"; then
+    echo "FAIL: --resume accepted a journal from a different campaign" >&2
+    exit 1
+fi
+grep -q "different campaign" "$tmp/mismatch-err.txt" || {
+    echo "FAIL: header-mismatch refusal did not explain itself" >&2
+    cat "$tmp/mismatch-err.txt" >&2
+    exit 1
+}
+
+echo "OK: mismatched journal refused with a diagnostic"

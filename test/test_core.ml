@@ -408,6 +408,96 @@ let test_custom_selector_restricts () =
   let r = Core.Llfi.dynamic_count restricted Core.Category.All in
   Alcotest.(check bool) "restriction shrinks the population" true (0 < r && r < f)
 
+(* --- snapshot executor --- *)
+
+(* The snapshot/fast-forward path must be invisible: same tallies, same
+   per-trial verdicts, same full stats stream, per cell, for both
+   tools. *)
+let test_snapshot_matches_direct () =
+  let p = Lazy.force prepared in
+  let collect cfg tool category =
+    let acc = ref [] in
+    let cell =
+      Core.Campaign.run_cell
+        ~on_stats:(fun trial v st -> acc := (trial, v, st) :: !acc)
+        cfg p tool category
+    in
+    (cell.Core.Campaign.c_tally, List.rev !acc)
+  in
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun category ->
+          let t_on, s_on =
+            collect { small_config with snapshot = true } tool category
+          in
+          let t_off, s_off =
+            collect { small_config with snapshot = false } tool category
+          in
+          let name =
+            Printf.sprintf "%s/%s"
+              (Core.Campaign.tool_name tool)
+              (Core.Category.name category)
+          in
+          Alcotest.(check bool) (name ^ " tally") true (t_on = t_off);
+          Alcotest.(check bool) (name ^ " stats stream") true (s_on = s_off))
+        Core.Category.all)
+    [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
+
+(* A runner reused across successive ranges (the scheduler's per-domain
+   cache) must merge to exactly the single-shot cell, and a runner from
+   another cell must be rejected. *)
+let test_snapshot_runner_reuse () =
+  let p = Lazy.force prepared in
+  let tool = Core.Campaign.Llfi_tool in
+  let category = Core.Category.All in
+  let whole = Core.Campaign.run_cell small_config p tool category in
+  let r = Core.Campaign.runner p tool category in
+  let h1 =
+    Core.Campaign.run_cell_range ~runner:r small_config p tool category
+      ~first:0 ~count:13
+  in
+  let h2 =
+    Core.Campaign.run_cell_range ~runner:r small_config p tool category
+      ~first:13 ~count:(small_config.Core.Campaign.trials - 13)
+  in
+  Alcotest.(check bool) "halves merge to the whole" true
+    (Core.Verdict.merge h1.Core.Campaign.c_tally h2.Core.Campaign.c_tally
+    = whole.Core.Campaign.c_tally);
+  match
+    Core.Campaign.run_cell_range ~runner:r small_config p
+      Core.Campaign.Pinfi_tool category ~first:0 ~count:1
+  with
+  | _ -> Alcotest.fail "runner from another cell was accepted"
+  | exception Invalid_argument _ -> ()
+
+(* plan_target + inject_at must reproduce inject bit-for-bit even when
+   the targets are visited in a hostile (descending) order — the
+   fast-forward machine rebuilds itself on non-monotonic targets. *)
+let test_ff_trial_any_order () =
+  let p = Lazy.force prepared in
+  let llfi = p.Core.Campaign.llfi in
+  let category = Core.Category.All in
+  let rngs () =
+    let m = Support.Rng.of_int 99 in
+    Array.init 12 (fun _ -> Support.Rng.split m)
+  in
+  let reference = Array.map (Core.Llfi.inject llfi category) (rngs ()) in
+  let r = Core.Llfi.runner llfi category in
+  let rngs2 = rngs () in
+  let replayed = Array.make (Array.length rngs2) None in
+  for i = Array.length rngs2 - 1 downto 0 do
+    let target = Core.Llfi.plan_target llfi category rngs2.(i) in
+    replayed.(i) <- Some (Core.Llfi.inject_at r ~target rngs2.(i))
+  done;
+  Array.iteri
+    (fun i stats ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trial %d" i)
+        true
+        (Some stats = replayed.(i)))
+    reference
+
 (* --- EDC severity --- *)
 
 let test_edc_tokenize () =
@@ -545,6 +635,12 @@ let () =
           ("pinfi activation high", `Quick, test_pinfi_activation_high);
           ("injected step recorded", `Quick, test_injected_step_recorded);
           ("custom selector restricts", `Quick, test_custom_selector_restricts);
+        ] );
+      ( "snapshot",
+        [
+          ("matches direct execution", `Quick, test_snapshot_matches_direct);
+          ("runner reuse + rejection", `Quick, test_snapshot_runner_reuse);
+          ("any target order", `Quick, test_ff_trial_any_order);
         ] );
       ( "edc",
         [

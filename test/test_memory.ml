@@ -108,6 +108,98 @@ let test_blit_string () =
   Alcotest.(check int) "h" (Char.code 'h') (Memory.read_u8 mem Memory.globals_base);
   Alcotest.(check int) "o" (Char.code 'o') (Memory.read_u8 mem (Memory.globals_base + 4))
 
+(* --- snapshots: copy-on-write views must equal deep-copy semantics --- *)
+
+(* Arbitrary write sequences over a two-page globals window plus the top
+   stack page: bytes, straddling words, and demand-mapped stack bytes,
+   so COW cloning, multi-layer fall-through and demand mapping all get
+   exercised. *)
+let region_len = (2 * Memory.page_size) + 16
+
+let apply mem ws =
+  List.iter
+    (fun (off, v) ->
+      match v land 3 with
+      | 0 | 1 -> Memory.write_u8 mem (Memory.globals_base + off) (v land 0xff)
+      | 2 ->
+        Memory.write_word mem (Memory.globals_base + (off land lnot 7)) v
+      | _ ->
+        Memory.write_u8 mem
+          (Memory.stack_top - Memory.page_size + (off land (Memory.page_size - 1)))
+          (v land 0xff))
+    ws
+
+(* The deep-copy reference: a fresh memory with the same writes replayed. *)
+let replay ws =
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:Memory.globals_base ~len:region_len;
+  apply mem ws;
+  mem
+
+let equal_mems a b =
+  let ok = ref true in
+  for off = 0 to region_len - 1 do
+    if Memory.read_u8 a (Memory.globals_base + off)
+       <> Memory.read_u8 b (Memory.globals_base + off)
+    then ok := false
+  done;
+  for off = 0 to Memory.page_size - 1 do
+    let addr = Memory.stack_top - Memory.page_size + off in
+    if Memory.read_u8 a addr <> Memory.read_u8 b addr then ok := false
+  done;
+  !ok
+
+let writes_gen =
+  QCheck.(
+    list_of_size
+      Gen.(0 -- 40)
+      (pair (int_bound ((2 * Memory.page_size) - 1)) int))
+
+let test_snapshot_cow_isolation =
+  QCheck.Test.make ~name:"resumed views behave like deep copies" ~count:100
+    QCheck.(pair writes_gen writes_gen)
+    (fun (w1, w2) ->
+      let mem = replay w1 in
+      let snap = Memory.freeze mem in
+      let a = Memory.resume snap in
+      let b = Memory.resume snap in
+      apply a w2;
+      (* Writes through [a] are invisible to its sibling view and to the
+         frozen memory, and [a] itself reads as if the combined sequence
+         had been applied to a private deep copy. *)
+      equal_mems b (replay w1)
+      && equal_mems mem (replay w1)
+      && equal_mems a (replay (w1 @ w2)))
+
+let test_snapshot_chain =
+  QCheck.Test.make
+    ~name:"chained freeze/resume reproduces sequential execution" ~count:100
+    QCheck.(triple writes_gen writes_gen writes_gen)
+    (fun (w1, w2, w3) ->
+      let mem = replay w1 in
+      let v1 = Memory.resume (Memory.freeze mem) in
+      apply v1 w2;
+      let v2 = Memory.resume (Memory.freeze v1) in
+      apply v2 w3;
+      (* Each layer of the chain equals the straight-line replay of its
+         prefix, however the pages are shared underneath. *)
+      equal_mems v2 (replay (w1 @ w2 @ w3))
+      && equal_mems v1 (replay (w1 @ w2))
+      && equal_mems mem (replay w1))
+
+let test_snapshot_traps_preserved () =
+  (* A resumed view has the same mapping as the frozen memory: unmapped
+     addresses still trap. *)
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:Memory.globals_base ~len:16;
+  let v = Memory.resume (Memory.freeze mem) in
+  Alcotest.(check int) "mapped reads through" 0
+    (Memory.read_u8 v Memory.globals_base);
+  try
+    ignore (Memory.read_u8 v 0x1234);
+    Alcotest.fail "unmapped read through a view did not trap"
+  with Trap.Trap (Trap.Unmapped_read 0x1234) -> ()
+
 let test_segment_layout_sanity () =
   (* The crash model depends on segments being far apart: a high-bit flip
      of a pointer must leave every mapped region. *)
@@ -142,4 +234,8 @@ let () =
           ("heap arena slack", `Quick, test_heap_arena_slack);
           ("segment layout", `Quick, test_segment_layout_sanity);
         ] );
+      ( "snapshots",
+        [ ("traps preserved", `Quick, test_snapshot_traps_preserved) ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ test_snapshot_cow_isolation; test_snapshot_chain ] );
     ]
