@@ -572,6 +572,42 @@ let bechamel_suite () =
         results)
     tests
 
+(* ----------------------------------------------------------------- *)
+(* Differential fuzzing throughput                                    *)
+(* ----------------------------------------------------------------- *)
+
+(* Informational (not ratio-gated): how fast the differential oracle
+   chews through generated programs — the number that decides how
+   large a FUZZ_BUDGET the CI fuzz smoke can afford.  Any divergence
+   or invalid program here is a hard failure: the campaign at these
+   seeds is clean on a healthy build (test_fuzz.ml checks the same
+   property over its own seed range). *)
+let fuzz_throughput () =
+  section "Differential fuzzing: oracle throughput";
+  let count =
+    match Sys.getenv_opt "BENCH_FUZZ_N" with
+    | Some s -> (try max 10 (int_of_string s) with _ -> 100)
+    | None -> 100
+  in
+  let t0 = Unix.gettimeofday () in
+  let summary = Fuzz.campaign ~seed:0 ~count () in
+  let secs = Unix.gettimeofday () -. t0 in
+  let per_sec = float_of_int count /. secs in
+  Printf.printf
+    "  %d programs (%d MiniC, %d IR), %d stage comparisons in %.2fs (%.0f \
+     programs/s)\n"
+    count summary.Fuzz.s_minic summary.Fuzz.s_ir summary.Fuzz.s_stages secs
+    per_sec;
+  if summary.Fuzz.s_findings <> [] then
+    bench_failures := "fuzz: generated programs diverged on HEAD" :: !bench_failures;
+  if summary.Fuzz.s_invalid > 0 then
+    bench_failures := "fuzz: generator produced invalid programs" :: !bench_failures;
+  bench_json "FUZZ"
+    (Printf.sprintf
+       "{\"programs\": %d, \"stages\": %d, \"secs\": %.3f, \
+        \"programs_per_sec\": %.1f}"
+       count summary.Fuzz.s_stages secs per_sec)
+
 (* BENCH_ONLY=engine,snapshot selects sections by key; unset runs
    everything.  scripts/bench_gate.sh uses it to run just the gated,
    JSON-emitting sections at a small trial count. *)
@@ -589,6 +625,7 @@ let parts : (string * string * (unit -> unit)) list =
     ("latency", "extension: crash latency", extension_crash_latency);
     ("inputs", "robustness: inputs", robustness_inputs);
     ("edc", "extension: edc", extension_edc);
+    ("fuzz", "fuzzing: oracle throughput", fuzz_throughput);
     ("micro", "bechamel micro-benchmarks", bechamel_suite);
   ]
 

@@ -645,6 +645,110 @@ let diagnose_cmd =
        $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg
        $ no_snapshot_arg))
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let run seed count coverage trials jobs workload_filter mutate corpus
+      max_repros =
+    let mutate =
+      match mutate with
+      | None -> `Ok None
+      | Some name -> (
+        match Fuzz.Mutate.of_name name with
+        | Some m -> `Ok (Some m)
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown mutation %S (try: %s)" name
+                (String.concat ", "
+                   (List.map Fuzz.Mutate.name Fuzz.Mutate.all)) ))
+    in
+    match mutate with
+    | `Error _ as e -> e
+    | `Ok mutate ->
+      if coverage then begin
+        let workloads =
+          match workload_filter with
+          | [] -> Workloads.all
+          | names -> List.map Workloads.find_exn names
+        in
+        let report =
+          Fuzz.Coverage.measure ~jobs:(resolve_jobs jobs) ~workloads ~trials
+            ~seed ()
+        in
+        print_string (Fuzz.Coverage.render report);
+        `Ok 0
+      end
+      else begin
+        let summary = Fuzz.campaign ?mutate ~max_repros ~seed ~count () in
+        print_string (Fuzz.render_summary ?mutate summary);
+        (match corpus with
+        | Some dir when summary.Fuzz.s_findings <> [] ->
+          let paths = Fuzz.write_corpus ~dir summary in
+          List.iter (fun p -> Fmt.pr "repro written to %s@." p) paths
+        | _ -> ());
+        `Ok (if summary.Fuzz.s_findings = [] then 0 else 1)
+      end
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let coverage_arg =
+    Arg.(
+      value & flag
+      & info [ "coverage" ]
+          ~doc:
+            "Print the injection-space coverage report instead of fuzzing: \
+             per workload x tool x category, the static sites and bit \
+             positions the samplers can reach vs what $(b,--trials) \
+             injections visit.  Byte-identical for every $(b,--jobs) value.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"BUG"
+          ~doc:
+            "Plant a known compiler bug (add-to-sub, cmp-flip, drop-store) \
+             into the optimization pipeline; the fuzzer must find and \
+             minimize it.  Exit status is then expected to be nonzero.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write minimized repros for any divergence found into $(docv).")
+  in
+  let max_repros_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-repros" ] ~docv:"N"
+          ~doc:"Minimize at most $(docv) divergent programs (minimization \
+                dominates runtime once a bug is present).")
+  in
+  let filter_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Restrict $(b,--coverage) to the named workloads (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing of the pipeline itself: random MiniC and IR \
+          programs are run through every optimization pass, the full \
+          pipeline and the backend, and all levels must agree with the \
+          unoptimized reference.  Exit status 1 if any divergence is found. \
+          With $(b,--coverage), report injection-space coverage of the \
+          LLFI/PINFI samplers instead.")
+    Term.(
+      ret
+        (const run $ seed_arg $ count_arg $ coverage_arg $ trials_arg 200
+       $ jobs_arg $ filter_arg $ mutate_arg $ corpus_arg $ max_repros_arg))
+
 let main_cmd =
   let doc =
     "reproduction of 'Quantifying the Accuracy of High-Level Fault Injection \
@@ -652,6 +756,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "fi" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd; diagnose_cmd ]
+    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd; diagnose_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

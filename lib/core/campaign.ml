@@ -69,6 +69,15 @@ let cell_rng config ~workload ~tool ~category =
   in
   Support.Rng.create (fnv1a key)
 
+(* The injection-target draw is always draw #[target_draw] = #0 of a
+   trial's stream: [Llfi.plan_target] / [Pinfi.plan_target] make exactly
+   the draw(s) [inject] would make first, nothing before them.  Both the
+   snapshot planner below and [Fuzz.Coverage] position trial streams
+   with [Rng.advance]/[split] and then read the target as the stream's
+   first draw, so this offset is part of the reproducibility contract;
+   test_fuzz.ml asserts it behaviorally for both injectors. *)
+let target_draw = 0
+
 let prepare config (w : Workload.t) =
   let prog = Opt.optimize (Minic.compile w.Workload.source) in
   let asm = Backend.compile ~config:config.backend prog in
@@ -112,8 +121,8 @@ let runner_matches r (p : prepared) tool category =
    stream the sequential runner would have given it.
 
    With [config.snapshot] on, the range is executed out of order: all
-   targets are planned first (the target draw is the first draw of each
-   trial stream, so planning changes no stream), trials run sorted by
+   targets are planned first (the target draw is draw #[target_draw]
+   of each trial stream, so planning changes no stream), trials run sorted by
    target so the fast-forward machine only ever advances, and results
    are buffered back into trial order before tallying — making the
    tally, callbacks and records byte-identical to the direct path. *)

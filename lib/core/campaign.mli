@@ -52,6 +52,16 @@ type cell = {
 val cell_rng : config -> workload:string -> tool:tool -> category:Category.t -> Support.Rng.t
 (** The deterministic per-cell random stream. *)
 
+val target_draw : int
+(** The index of the injection-target draw within a trial's RNG stream:
+    always [0], i.e. the target is the {e first} thing a trial draws
+    (the bit position comes later, inside the interpreter).  This single
+    definition is the authority both consumers rely on — the snapshot
+    planner in {!run_cell_range} (plan all targets up front, leaving
+    every stream positioned exactly as the direct path would) and the
+    injection-space coverage report ([fi fuzz --coverage]).  Asserted
+    behaviorally, for both injectors, by test_fuzz.ml. *)
+
 val prepare : config -> Workload.t -> prepared
 (** Compile at both levels, golden-run both, profile both.
     @raise Invalid_argument if the two levels' golden outputs differ. *)

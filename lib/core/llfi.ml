@@ -110,7 +110,9 @@ let dynamic_count t category = List.assoc category t.dynamic_counts
 (* The target draw is the first thing a trial takes from its rng; both
    [inject] and the planning path below must keep it that way so that
    planning all of a cell's targets up front leaves every stream
-   positioned exactly as the direct path would. *)
+   positioned exactly as the direct path would.  The authoritative
+   statement of this contract is [Campaign.target_draw] (= 0), which
+   the snapshot planner and the fuzz coverage report both rely on. *)
 let draw_target t category rng =
   let population = dynamic_count t category in
   if population = 0 then invalid_arg "Llfi.inject: empty category";

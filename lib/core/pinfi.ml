@@ -108,7 +108,8 @@ let prepare ?(config = default_config) ~inputs (program : Backend.Program.t) =
 let dynamic_count t category = List.assoc category t.dynamic_counts
 
 (* As in [Llfi]: the target draw must stay the first thing a trial
-   takes from its rng, for the plan-then-execute-sorted path. *)
+   takes from its rng — draw #[Campaign.target_draw] — for the
+   plan-then-execute-sorted path and the fuzz coverage report. *)
 let draw_target t category rng =
   let population = dynamic_count t category in
   if population = 0 then invalid_arg "Pinfi.inject: empty category";

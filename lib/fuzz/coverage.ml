@@ -1,0 +1,270 @@
+module Campaign = Core.Campaign
+module Category = Core.Category
+
+type cell = {
+  cov_workload : string;
+  cov_tool : Campaign.tool;
+  cov_category : Category.t;
+  cov_static : int;
+  cov_reachable : int;
+  cov_selected : int;
+  cov_bit_space : int;
+  cov_bits_hit : int;
+  cov_population : int;
+  cov_trials : int;
+  cov_top_share : float;
+  cov_top_expected : float;
+}
+
+type report = { cells : cell list; dead : (string * string * string) list }
+
+(* --- static fault-space enumeration --- *)
+
+(* Flippable bits of an IR injection site: the width [Ir_exec.inject_int]
+   / [inject_float] draws from. *)
+let ir_site_bits (site : Vm.Ir_exec.site) =
+  match site.Vm.Ir_exec.site_instr.Ir.Instr.result with
+  | None -> 0
+  | Some v ->
+    let ty = v.Ir.Value.ty in
+    if Ir.Types.is_float ty then 64
+    else if Ir.Types.is_pointer ty then Support.Word.width
+    else Ir.Types.bit_width ty
+
+(* Flippable bits of an x86 site under the given policy: what
+   [X86_exec.inject] draws from. *)
+let x86_site_bits (policy : Vm.X86_exec.policy) (program : Backend.Program.t)
+    index =
+  match Vm.X86_exec.primary_dest program.Backend.Program.insns.(index) with
+  | Vm.X86_exec.Dgp _ -> Support.Word.width
+  | Vm.X86_exec.Dxmm _ -> if policy.Vm.X86_exec.xmm_low64_only then 64 else 128
+  | Vm.X86_exec.Dflags ->
+    let dependent =
+      policy.Vm.X86_exec.flag_dependent_bits
+      && index + 1 < Array.length program.Backend.Program.insns
+    in
+    List.length
+      (match program.Backend.Program.insns.(index + 1) with
+      | X86.Insn.Jcc (c, _) when dependent -> X86.Flags.dependent_bits c
+      | _ -> X86.Flags.all_bits
+      | exception Invalid_argument _ -> X86.Flags.all_bits)
+  | Vm.X86_exec.Dnone -> 0
+
+(* Static sites of one cell: (site id, flippable bits, dynamic count). *)
+let llfi_sites (p : Campaign.prepared) category dyn =
+  let cmask = Category.mask category in
+  Array.to_list (Vm.Ir_exec.sites p.Campaign.llfi.Core.Llfi.compiled)
+  |> List.filter_map (fun (s : Vm.Ir_exec.site) ->
+         if s.Vm.Ir_exec.site_mask land cmask <> 0 then
+           Some (s.Vm.Ir_exec.site_gid, ir_site_bits s, dyn s.Vm.Ir_exec.site_gid)
+         else None)
+
+let pinfi_sites (p : Campaign.prepared) category dyn =
+  let cmask = Category.mask category in
+  let loaded = p.Campaign.pinfi.Core.Pinfi.loaded in
+  let policy = p.Campaign.pinfi.Core.Pinfi.config.Core.Pinfi.policy in
+  let out = ref [] in
+  Array.iteri
+    (fun idx mask ->
+      if mask land cmask <> 0 then
+        out :=
+          (idx, x86_site_bits policy loaded.Vm.X86_exec.program idx, dyn idx)
+          :: !out)
+    loaded.Vm.X86_exec.masks;
+  List.rev !out
+
+(* Per-site dynamic execution counts from one profiling run. *)
+let llfi_dyn (p : Campaign.prepared) =
+  let compiled = p.Campaign.llfi.Core.Llfi.compiled in
+  let counts = Array.make (Vm.Ir_exec.gid_limit compiled) 0 in
+  ignore
+    (Vm.Ir_exec.run
+       ~inputs:p.Campaign.llfi.Core.Llfi.inputs
+       ~profile_sites:counts compiled);
+  fun gid -> counts.(gid)
+
+let pinfi_dyn (p : Campaign.prepared) =
+  let loaded = p.Campaign.pinfi.Core.Pinfi.loaded in
+  let counts = Array.make (Array.length loaded.Vm.X86_exec.masks) 0 in
+  ignore
+    (Vm.X86_exec.run
+       ~inputs:p.Campaign.pinfi.Core.Pinfi.inputs
+       ~profile_index:counts loaded);
+  fun idx -> counts.(idx)
+
+(* --- trial sampling --- *)
+
+(* "bit 17 of i64 result" / "bit 3 of rax" / "flag bit 6" -> bit id *)
+let bit_of_note note =
+  let num_at i =
+    let j = ref i in
+    let n = String.length note in
+    while !j < n && note.[!j] >= '0' && note.[!j] <= '9' do
+      incr j
+    done;
+    if !j = i then None else Some (int_of_string (String.sub note i (!j - i)))
+  in
+  if String.length note >= 9 && String.sub note 0 9 = "flag bit " then num_at 9
+  else if String.length note >= 4 && String.sub note 0 4 = "bit " then num_at 4
+  else None
+
+type tally = {
+  site_hits : (int, int) Hashtbl.t;
+  bits : (int * int, unit) Hashtbl.t;
+  mutable observed : int;
+}
+
+let measure ?(jobs = 1) ?(workloads = Workloads.all) ~trials ~seed () =
+  let config = { Campaign.default_config with trials; seed } in
+  let mutex = Mutex.create () in
+  let tallies : (string * string * string, tally) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let observe ~workload ~tool ~category ~trial:_ _verdict
+      (stats : Vm.Outcome.stats) =
+    Mutex.lock mutex;
+    let key = (workload, Campaign.tool_name tool, Category.name category) in
+    let t =
+      match Hashtbl.find_opt tallies key with
+      | Some t -> t
+      | None ->
+        let t =
+          {
+            site_hits = Hashtbl.create 64;
+            bits = Hashtbl.create 256;
+            observed = 0;
+          }
+        in
+        Hashtbl.add tallies key t;
+        t
+    in
+    t.observed <- t.observed + 1;
+    let site = stats.Vm.Outcome.fault_site in
+    if site >= 0 then begin
+      Hashtbl.replace t.site_hits site
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.site_hits site));
+      match bit_of_note stats.Vm.Outcome.fault_note with
+      | Some bit -> Hashtbl.replace t.bits (site, bit) ()
+      | None -> ()
+    end;
+    Mutex.unlock mutex
+  in
+  let result = Engine.Scheduler.run ~jobs ~observe config workloads in
+  let cells = ref [] in
+  let dead = ref [] in
+  List.iter
+    (fun (p : Campaign.prepared) ->
+      let llfi_dyn = llfi_dyn p in
+      let pinfi_dyn = pinfi_dyn p in
+      List.iter
+        (fun tool ->
+          List.iter
+            (fun category ->
+              let wname = p.Campaign.workload.Core.Workload.name in
+              let population =
+                match tool with
+                | Campaign.Llfi_tool ->
+                  Core.Llfi.dynamic_count p.Campaign.llfi category
+                | Campaign.Pinfi_tool ->
+                  Core.Pinfi.dynamic_count p.Campaign.pinfi category
+              in
+              let sites =
+                match tool with
+                | Campaign.Llfi_tool -> llfi_sites p category llfi_dyn
+                | Campaign.Pinfi_tool -> pinfi_sites p category pinfi_dyn
+              in
+              if population = 0 then
+                dead :=
+                  (wname, Campaign.tool_name tool, Category.name category)
+                  :: !dead
+              else begin
+                let key =
+                  (wname, Campaign.tool_name tool, Category.name category)
+                in
+                let t =
+                  match Hashtbl.find_opt tallies key with
+                  | Some t -> t
+                  | None ->
+                    {
+                      site_hits = Hashtbl.create 1;
+                      bits = Hashtbl.create 1;
+                      observed = 0;
+                    }
+                in
+                let reachable =
+                  List.filter (fun (_, _, d) -> d > 0) sites
+                in
+                let top_site, top_hits =
+                  Hashtbl.fold
+                    (fun site n (bs, bn) ->
+                      if n > bn || (n = bn && site < bs) then (site, n)
+                      else (bs, bn))
+                    t.site_hits (-1, 0)
+                in
+                let top_expected =
+                  if top_site < 0 then 0.0
+                  else
+                    match
+                      List.find_opt (fun (s, _, _) -> s = top_site) sites
+                    with
+                    | Some (_, _, d) -> float_of_int d /. float_of_int population
+                    | None -> 0.0
+                in
+                cells :=
+                  {
+                    cov_workload = wname;
+                    cov_tool = tool;
+                    cov_category = category;
+                    cov_static = List.length sites;
+                    cov_reachable = List.length reachable;
+                    cov_selected = Hashtbl.length t.site_hits;
+                    cov_bit_space =
+                      List.fold_left (fun a (_, b, _) -> a + b) 0 reachable;
+                    cov_bits_hit = Hashtbl.length t.bits;
+                    cov_population = population;
+                    cov_trials = t.observed;
+                    cov_top_share =
+                      (if t.observed = 0 then 0.0
+                       else float_of_int top_hits /. float_of_int t.observed);
+                    cov_top_expected = top_expected;
+                  }
+                  :: !cells
+              end)
+            Category.all)
+        [ Campaign.Llfi_tool; Campaign.Pinfi_tool ])
+    result.Engine.Scheduler.prepared;
+  { cells = List.rev !cells; dead = List.rev !dead }
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let render report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Injection-space coverage (static sites the samplers can reach vs what \
+     the trials visited)\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-6s %-11s %7s %6s %5s %9s %10s %9s %8s %15s\n"
+       "workload" "tool" "category" "static" "reach" "sel" "site-cov" "bit-space"
+       "bits-hit" "bit-cov" "top obs/exp");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-12s %-6s %-11s %7d %6d %5d %8.1f%% %10d %9d %7.1f%% %7.3f/%.3f\n"
+           c.cov_workload
+           (Campaign.tool_name c.cov_tool)
+           (Category.name c.cov_category)
+           c.cov_static c.cov_reachable c.cov_selected
+           (pct c.cov_selected c.cov_reachable)
+           c.cov_bit_space c.cov_bits_hit
+           (pct c.cov_bits_hit c.cov_bit_space)
+           c.cov_top_share c.cov_top_expected))
+    report.cells;
+  if report.dead <> [] then begin
+    Buffer.add_string buf "\ndead cells (no dynamic instances, never injectable):\n";
+    List.iter
+      (fun (w, t, c) ->
+        Buffer.add_string buf (Printf.sprintf "  %s/%s/%s\n" w t c))
+      report.dead
+  end;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Injection-space coverage: how much of the fault space the samplers
+    can ever reach, and how much N trials actually visit.
+
+    For every workload x tool x category cell this reports:
+
+    - {e static sites}: instructions the tool's classifier accepts for
+      the category (LLFI: IR instructions with a nonzero mask; PINFI:
+      loaded x86 instructions);
+    - {e reachable sites}: static sites with at least one dynamic
+      instance on the golden run — only these can ever be selected,
+      because both samplers draw uniformly over {e dynamic} instances;
+    - {e selected sites / bits}: what the cell's first N trials — the
+      exact trial streams a campaign with the same seed would use, per
+      the {!Core.Campaign.target_draw} contract — actually hit, at
+      site and (site, bit-position) granularity;
+    - the most-sampled site's observed share against its expected
+      share (its fraction of the dynamic population), surfacing
+      sampler bias toward hot code;
+    - dead cells (categories with no dynamic instances), which a
+      campaign silently skips.
+
+    The report is byte-identical for every [jobs] value: trials are
+    collected through {!Engine.Scheduler.run}'s observer into
+    commutative per-cell tables and rendered in canonical order. *)
+
+type cell = {
+  cov_workload : string;
+  cov_tool : Core.Campaign.tool;
+  cov_category : Core.Category.t;
+  cov_static : int;  (** classifier-accepted static sites *)
+  cov_reachable : int;  (** static sites with dynamic instances *)
+  cov_selected : int;  (** distinct sites hit in the trials *)
+  cov_bit_space : int;  (** sum of reachable sites' flippable widths *)
+  cov_bits_hit : int;  (** distinct (site, bit) pairs hit *)
+  cov_population : int;  (** dynamic instances in the category *)
+  cov_trials : int;
+  cov_top_share : float;  (** observed share of the most-hit site *)
+  cov_top_expected : float;  (** that site's dynamic-population share *)
+}
+
+type report = { cells : cell list; dead : (string * string * string) list }
+
+val measure :
+  ?jobs:int ->
+  ?workloads:Core.Workload.t list ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  report
+(** Runs the covered cells' trials through the engine (defaults: all
+    registered workloads, both tools, all categories). *)
+
+val render : report -> string
+(** The textual report [fi fuzz --coverage] prints. *)

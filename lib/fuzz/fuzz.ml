@@ -1,0 +1,153 @@
+module Pp = Pp
+module Gen = Gen
+module Gen_ir = Gen_ir
+module Oracle = Oracle
+module Mutate = Mutate
+module Minimize = Minimize
+module Coverage = Coverage
+
+type finding = {
+  f_seed : int;
+  f_kind : [ `Minic | `Ir ];
+  f_divergences : Oracle.divergence list;
+  f_source : string;
+  f_minimized : string option;
+  f_minimize_tests : int;
+}
+
+type summary = {
+  s_programs : int;
+  s_minic : int;
+  s_ir : int;
+  s_stages : int;
+  s_invalid : int;
+  s_findings : finding list;
+}
+
+let subject_of_seed seed =
+  if seed mod 4 = 3 then (`Ir, Oracle.Ir_src (Gen_ir.text ~seed ()))
+  else (`Minic, Oracle.Minic_src (Gen.source ~seed ()))
+
+(* Minimization keep-predicate.  With a planted mutation the shrink
+   must keep BOTH properties — diverges with the mutation, agrees
+   without it — or deletion could drift onto some unrelated
+   behaviour difference and produce a repro that fails on a healthy
+   compiler. *)
+let keep_predicate ?mutate () ast =
+  let subject = Oracle.Minic_src (Pp.program ast) in
+  match mutate with
+  | None -> Oracle.diverges subject
+  | Some m -> (
+    Oracle.diverges ~mutate:m subject
+    && match Oracle.run subject with Oracle.Agree _ -> true | _ -> false)
+
+let campaign ?mutate ?(max_repros = 5) ?(minimize_budget = 800) ~seed ~count ()
+    =
+  let minic = ref 0 and ir = ref 0 and stages = ref 0 and invalid = ref 0 in
+  let findings = ref [] in
+  let minimized = ref 0 in
+  for s = seed to seed + count - 1 do
+    let kind, subject = subject_of_seed s in
+    (match kind with `Minic -> incr minic | `Ir -> incr ir);
+    match Oracle.run ?mutate subject with
+    | Oracle.Agree n -> stages := !stages + n
+    | Oracle.Invalid _ -> incr invalid
+    | Oracle.Diverged ds ->
+      let source =
+        match subject with Oracle.Minic_src s | Oracle.Ir_src s -> s
+      in
+      let minimized_src, tests =
+        match kind with
+        | `Ir -> (None, 0)
+        | `Minic ->
+          if !minimized >= max_repros then (None, 0)
+          else begin
+            incr minimized;
+            let ast = Minic.Parser.parse_program source in
+            let small, tests =
+              Minimize.minimize
+                ~keep:(keep_predicate ?mutate ())
+                ~max_tests:minimize_budget ast
+            in
+            (Some (Pp.program small), tests)
+          end
+      in
+      findings :=
+        {
+          f_seed = s;
+          f_kind = kind;
+          f_divergences = ds;
+          f_source = source;
+          f_minimized = minimized_src;
+          f_minimize_tests = tests;
+        }
+        :: !findings
+  done;
+  {
+    s_programs = count;
+    s_minic = !minic;
+    s_ir = !ir;
+    s_stages = !stages;
+    s_invalid = !invalid;
+    s_findings = List.rev !findings;
+  }
+
+let render_summary ?mutate s =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match mutate with
+  | Some m -> add "fuzz (planted bug: %s): " (Mutate.name m)
+  | None -> add "fuzz: ");
+  add "%d programs (%d MiniC, %d IR), %d stage comparisons, %d divergent\n"
+    s.s_programs s.s_minic s.s_ir s.s_stages
+    (List.length s.s_findings);
+  if s.s_invalid > 0 then
+    add "WARNING: %d invalid programs (generator artifacts)\n" s.s_invalid;
+  List.iter
+    (fun f ->
+      add "\nseed %d (%s):\n" f.f_seed
+        (match f.f_kind with `Minic -> "MiniC" | `Ir -> "IR");
+      List.iter
+        (fun (d : Oracle.divergence) ->
+          add "  stage %-10s expected %s\n  %-16s      got %s\n" d.Oracle.d_stage
+            d.Oracle.d_expected "" d.Oracle.d_got)
+        f.f_divergences;
+      match f.f_minimized with
+      | Some src ->
+        add "  minimized to %d lines (%d predicate tests):\n" (Pp.line_count src)
+          f.f_minimize_tests;
+        String.split_on_char '\n' src
+        |> List.iter (fun l -> if l <> "" then add "    %s\n" l)
+      | None -> ())
+    s.s_findings;
+  Buffer.contents buf
+
+let write_corpus ~dir s =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun f ->
+      let ext = match f.f_kind with `Minic -> "c" | `Ir -> "ll" in
+      let path = Filename.concat dir (Printf.sprintf "seed-%04d.%s" f.f_seed ext) in
+      let content = Option.value ~default:f.f_source f.f_minimized in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc content);
+      path)
+    s.s_findings
+
+let check_corpus_file path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let subject =
+    if Filename.check_suffix path ".ll" then Oracle.Ir_src text
+    else Oracle.Minic_src text
+  in
+  match Oracle.run subject with
+  | Oracle.Agree n -> Ok n
+  | Oracle.Invalid msg -> Error ("invalid: " ^ msg)
+  | Oracle.Diverged ds ->
+    Error
+      (String.concat "; "
+         (List.map
+            (fun (d : Oracle.divergence) ->
+              Printf.sprintf "%s: expected %s, got %s" d.Oracle.d_stage
+                d.Oracle.d_expected d.Oracle.d_got)
+            ds))

@@ -1,0 +1,60 @@
+(** Differential fuzzing driver: generate, compare, minimize, report.
+
+    Library interface module; the pieces are re-exported for tests and
+    the [fi fuzz] subcommand. *)
+
+module Pp = Pp
+module Gen = Gen
+module Gen_ir = Gen_ir
+module Oracle = Oracle
+module Mutate = Mutate
+module Minimize = Minimize
+module Coverage = Coverage
+
+type finding = {
+  f_seed : int;
+  f_kind : [ `Minic | `Ir ];
+  f_divergences : Oracle.divergence list;
+  f_source : string;  (** the program as generated *)
+  f_minimized : string option;  (** MiniC findings only *)
+  f_minimize_tests : int;
+}
+
+type summary = {
+  s_programs : int;
+  s_minic : int;
+  s_ir : int;
+  s_stages : int;  (** total stage comparisons performed *)
+  s_invalid : int;  (** generator artifacts (should stay 0) *)
+  s_findings : finding list;
+}
+
+val subject_of_seed : int -> [ `Minic | `Ir ] * Oracle.subject
+(** The deterministic seed -> program mapping of the campaign: every
+    fourth program is generated directly at the IR level, the rest
+    through the MiniC grammar. *)
+
+val campaign :
+  ?mutate:Mutate.t ->
+  ?max_repros:int ->
+  ?minimize_budget:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Run programs [seed .. seed+count-1] through the oracle.  The first
+    [max_repros] (default 5) divergent MiniC programs are minimized —
+    with the keep-predicate "still diverges, and still agrees without
+    the planted mutation" when [mutate] is set, so shrinking cannot
+    drift off the planted bug. *)
+
+val render_summary : ?mutate:Mutate.t -> summary -> string
+
+val write_corpus : dir:string -> summary -> string list
+(** Write each finding's minimized (or, failing that, original) form
+    under [dir] as [seed-NNNN.c] / [seed-NNNN.ll]; returns the paths.
+    Creates [dir] if needed. *)
+
+val check_corpus_file : string -> (int, string) Stdlib.result
+(** Replay one corpus file ([.c] -> MiniC subject, [.ll] -> IR subject)
+    through every oracle stage; [Ok stages] when all agree. *)

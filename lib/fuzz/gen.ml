@@ -1,0 +1,386 @@
+(* Random well-formed MiniC programs.  The generator is deliberately
+   conservative: every construct it emits is safe by construction (see
+   the .mli), so any cross-level disagreement the oracle finds is a
+   compiler/interpreter bug, never a generator artifact like an
+   uninitialized read or an unbounded loop. *)
+
+open Minic.Ast
+module Rng = Support.Rng
+
+let pos = { Minic.Lexer.line = 0; col = 0 }
+let e desc = { desc; pos }
+let s sdesc = { sdesc; spos = pos }
+
+let eint v = e (Eint v)
+let efloat f = e (Efloat f)
+let eid x = e (Eident x)
+let ebin op a b = e (Ebinop (op, a, b))
+let ecall f args = e (Ecall (f, args))
+
+(* --- generator state --- *)
+
+type var = {
+  vname : string;
+  vty : cty;
+  vlen : int option;  (* Some n: array of length n (a power of two) *)
+  vmut : bool;  (* loop indices and fuel counters are read-only *)
+}
+
+type helper = { hname : string; hret : cty; hparams : cty list }
+
+type ctx = {
+  rng : Rng.t;
+  mutable fresh : int;
+  mutable helpers : helper list;  (* earliest first; callees precede callers *)
+}
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let pick ctx arr = arr.(Rng.int ctx.rng (Array.length arr))
+let chance ctx pct = Rng.int ctx.rng 100 < pct
+
+let scalars env ty =
+  List.filter (fun v -> v.vlen = None && cty_equal v.vty ty) env
+
+let mutables env ty =
+  List.filter (fun v -> v.vmut && v.vlen = None && cty_equal v.vty ty) env
+
+let arrays env ty =
+  List.filter (fun v -> v.vlen <> None && cty_equal v.vty ty) env
+
+let pick_var ctx vars = List.nth vars (Rng.int ctx.rng (List.length vars))
+
+(* --- expressions --- *)
+
+let int_literal ctx =
+  let interesting = [| 0; 1; 2; 3; 7; 8; 10; 15; 100; 255; 1024; 65535 |] in
+  if chance ctx 50 then eint (Rng.int ctx.rng 64)
+  else if chance ctx 25 then eint (- Rng.int ctx.rng 64)
+  else eint (pick ctx interesting * if chance ctx 20 then -1 else 1)
+
+(* Dyadic rationals: exactly representable, so folding can't round. *)
+let dbl_literal ctx = efloat (float_of_int (Rng.int ctx.rng 129 - 64) /. 16.0)
+
+let char_literal ctx =
+  e (Echar (Char.chr (32 + Rng.int ctx.rng 95)))
+
+(* Subscripts are always masked to the power-of-two length. *)
+let index_of v idx_expr =
+  let len = Option.get v.vlen in
+  e (Eindex (eid v.vname, ebin Band idx_expr (eint (len - 1))))
+
+let rec int_expr ctx env depth =
+  let leaf () =
+    let vars = scalars env Cint in
+    let choices =
+      (if vars <> [] then [ `Var ] else [])
+      @ (if arrays env Cint <> [] && depth > 0 then [ `Arr ] else [])
+      @ [ `Lit; `Lit ]
+    in
+    match pick ctx (Array.of_list choices) with
+    | `Var -> eid (pick_var ctx vars).vname
+    | `Arr ->
+      let v = pick_var ctx (arrays env Cint) in
+      index_of v (int_expr ctx env 0)
+    | `Lit -> int_literal ctx
+  in
+  if depth <= 0 then leaf ()
+  else
+    let sub () = int_expr ctx env (depth - 1) in
+    match Rng.int ctx.rng 100 with
+    | n when n < 20 -> leaf ()
+    | n when n < 45 ->
+      ebin (pick ctx [| Badd; Bsub; Bmul; Band; Bor; Bxor |]) (sub ()) (sub ())
+    | n when n < 55 ->
+      (* guarded division: the divisor is always in [1, 16] *)
+      let div = ebin Badd (ebin Band (sub ()) (eint 15)) (eint 1) in
+      ebin (if chance ctx 50 then Bdiv else Bmod) (sub ()) div
+    | n when n < 62 ->
+      ebin (if chance ctx 50 then Bshl else Bshr) (sub ()) (eint (Rng.int ctx.rng 8))
+    | n when n < 70 ->
+      e (Eunop (pick ctx [| Uneg; Ubnot; Unot |], sub ()))
+    | n when n < 80 ->
+      ebin (pick ctx [| Blt; Ble; Bgt; Bge; Beq; Bne |]) (sub ()) (sub ())
+    | n when n < 86 ->
+      ebin (if chance ctx 50 then Bland else Blor) (sub ()) (sub ())
+    | n when n < 92 -> e (Ecast (Cint, dbl_expr ctx env (depth - 1)))
+    | _ -> (
+      let hs = List.filter (fun h -> cty_equal h.hret Cint) ctx.helpers in
+      match hs with
+      | [] -> leaf ()
+      | hs ->
+        let h = List.nth hs (Rng.int ctx.rng (List.length hs)) in
+        ecall h.hname (List.map (fun ty -> arg_expr ctx env (depth - 1) ty) h.hparams))
+
+and dbl_expr ctx env depth =
+  let leaf () =
+    let vars = scalars env Cdouble in
+    if vars <> [] && chance ctx 50 then eid (pick_var ctx vars).vname
+    else dbl_literal ctx
+  in
+  if depth <= 0 then leaf ()
+  else
+    let sub () = dbl_expr ctx env (depth - 1) in
+    match Rng.int ctx.rng 100 with
+    | n when n < 25 -> leaf ()
+    | n when n < 55 ->
+      ebin (pick ctx [| Badd; Bsub; Bmul |]) (sub ()) (sub ())
+    | n when n < 63 ->
+      (* guarded: |divisor| >= 1 *)
+      ebin Bdiv (sub ()) (ebin Badd (ecall "fabs" [ sub () ]) (efloat 1.0))
+    | n when n < 72 -> ecall "sqrt" [ ecall "fabs" [ sub () ] ]
+    | n when n < 80 -> ecall "fabs" [ sub () ]
+    | n when n < 95 -> e (Ecast (Cdouble, int_expr ctx env (depth - 1)))
+    | _ -> (
+      let hs = List.filter (fun h -> cty_equal h.hret Cdouble) ctx.helpers in
+      match hs with
+      | [] -> leaf ()
+      | hs ->
+        let h = List.nth hs (Rng.int ctx.rng (List.length hs)) in
+        ecall h.hname (List.map (fun ty -> arg_expr ctx env (depth - 1) ty) h.hparams))
+
+and arg_expr ctx env depth ty =
+  match ty with
+  | Cdouble -> dbl_expr ctx env depth
+  | _ -> int_expr ctx env depth
+
+let char_expr ctx env =
+  let vars = scalars env Cchar in
+  if vars <> [] && chance ctx 60 then eid (pick_var ctx vars).vname
+  else if chance ctx 50 then char_literal ctx
+  else
+    (* printable by construction: 32 + (e & 63) is in [32, 95] *)
+    e (Ecast (Cchar, ebin Badd (ebin Band (int_expr ctx env 1) (eint 63)) (eint 32)))
+
+let cond_expr ctx env depth =
+  if scalars env Cdouble <> [] && chance ctx 25 then
+    ebin
+      (pick ctx [| Blt; Ble; Bgt; Bge |])
+      (dbl_expr ctx env depth) (dbl_expr ctx env depth)
+  else
+    ebin
+      (pick ctx [| Blt; Ble; Bgt; Bge; Beq; Bne |])
+      (int_expr ctx env depth) (int_expr ctx env depth)
+
+(* --- statements ---
+
+   [gen_block] threads the environment through declarations so later
+   statements can use earlier variables; it returns the statements in
+   order.  [budget] counts statements at this nesting level. *)
+
+let acc_update ctx env =
+  let mix = int_expr ctx env 2 in
+  s
+    (Sassign
+       ( eid "acc",
+         ebin Bxor
+           (ebin Badd (ebin Bmul (eid "acc") (eint 31)) mix)
+           (ebin Bshr (eid "acc") (eint 3)) ))
+
+let print_stmt ctx env =
+  let call =
+    if scalars env Cdouble <> [] && chance ctx 25 then
+      ecall "print_double" [ dbl_expr ctx env 2 ]
+    else if scalars env Cchar <> [] && chance ctx 20 then
+      ecall "print_char" [ char_expr ctx env ]
+    else ecall "print_int" [ int_expr ctx env 2 ]
+  in
+  [ s (Sexpr call); s (Sexpr (ecall "print_newline" [])) ]
+
+let rec gen_stmts ctx env ~budget ~depth ~loops =
+  if budget <= 0 then []
+  else
+    let stmts, env' = gen_stmt ctx env ~depth ~loops in
+    stmts @ gen_stmts ctx env' ~budget:(budget - 1) ~depth ~loops
+
+and gen_stmt ctx env ~depth ~loops =
+  let roll = Rng.int ctx.rng 100 in
+  match roll with
+  | n when n < 18 ->
+    (* scalar declaration *)
+    let ty = pick ctx [| Cint; Cint; Cint; Cdouble; Cchar |] in
+    let name = fresh ctx "v" in
+    let init =
+      match ty with
+      | Cdouble -> dbl_expr ctx env 2
+      | Cchar -> char_expr ctx env
+      | _ -> int_expr ctx env 2
+    in
+    ( [ s (Sdecl (ty, name, None, Some init)) ],
+      { vname = name; vty = ty; vlen = None; vmut = true } :: env )
+  | n when n < 24 && depth > 0 ->
+    (* array declaration + initialization loop *)
+    let len = pick ctx [| 4; 8; 16 |] in
+    let ty = if chance ctx 75 then Cint else Cdouble in
+    let name = fresh ctx "a" in
+    let i = fresh ctx "i" in
+    let fill =
+      match ty with
+      | Cdouble -> ebin Bmul (e (Ecast (Cdouble, eid i))) (dbl_literal ctx)
+      | _ -> ebin Bxor (ebin Bmul (eid i) (int_literal ctx)) (int_literal ctx)
+    in
+    let v = { vname = name; vty = ty; vlen = Some len; vmut = true } in
+    ( [
+        s (Sdecl (ty, name, Some len, None));
+        s
+          (Sfor
+             ( Some (s (Sdecl (Cint, i, None, Some (eint 0)))),
+               Some (ebin Blt (eid i) (eint len)),
+               Some (s (Sassign (eid i, ebin Badd (eid i) (eint 1)))),
+               [ s (Sassign (e (Eindex (eid name, eid i)), fill)) ] ));
+      ],
+      v :: env )
+  | n when n < 40 ->
+    (* assignment to a mutable scalar *)
+    let ty = pick ctx [| Cint; Cint; Cdouble |] in
+    (match mutables env ty with
+    | [] -> ([ acc_update ctx env ], env)
+    | vars ->
+      let v = pick_var ctx vars in
+      let rhs =
+        match ty with
+        | Cdouble -> dbl_expr ctx env 2
+        | _ -> int_expr ctx env 2
+      in
+      ([ s (Sassign (eid v.vname, rhs)) ], env))
+  | n when n < 48 -> (
+    (* array element store *)
+    match arrays env Cint @ arrays env Cdouble with
+    | [] -> ([ acc_update ctx env ], env)
+    | arrs ->
+      let v = pick_var ctx arrs in
+      let lhs = index_of v (int_expr ctx env 1) in
+      let rhs =
+        if cty_equal v.vty Cdouble then dbl_expr ctx env 2
+        else int_expr ctx env 2
+      in
+      ([ s (Sassign (lhs, rhs)) ], env))
+  | n when n < 62 && depth > 0 ->
+    (* if/else *)
+    let c = cond_expr ctx env 2 in
+    let then_ =
+      gen_stmts ctx env ~budget:(1 + Rng.int ctx.rng 3) ~depth:(depth - 1) ~loops
+    in
+    let else_ =
+      if chance ctx 50 then
+        gen_stmts ctx env ~budget:(1 + Rng.int ctx.rng 2) ~depth:(depth - 1)
+          ~loops
+      else []
+    in
+    ([ s (Sif (c, then_, else_)) ], env)
+  | n when n < 74 && depth > 0 && loops > 0 ->
+    (* bounded for: fresh read-only index, constant trip count *)
+    let i = fresh ctx "i" in
+    let trips = 1 + Rng.int ctx.rng 8 in
+    let env_in = { vname = i; vty = Cint; vlen = None; vmut = false } :: env in
+    let body =
+      gen_stmts ctx env_in ~budget:(1 + Rng.int ctx.rng 3) ~depth:(depth - 1)
+        ~loops:(loops - 1)
+    in
+    ( [
+        s
+          (Sfor
+             ( Some (s (Sdecl (Cint, i, None, Some (eint 0)))),
+               Some (ebin Blt (eid i) (eint trips)),
+               Some (s (Sassign (eid i, ebin Badd (eid i) (eint 1)))),
+               body ));
+      ],
+      env )
+  | n when n < 80 && depth > 0 && loops > 0 ->
+    (* fueled while: terminates whatever the data condition does *)
+    let fuel = fresh ctx "f" in
+    let units = 2 + Rng.int ctx.rng 7 in
+    let env_in =
+      { vname = fuel; vty = Cint; vlen = None; vmut = false } :: env
+    in
+    let body =
+      gen_stmts ctx env_in ~budget:(1 + Rng.int ctx.rng 3) ~depth:(depth - 1)
+        ~loops:(loops - 1)
+    in
+    let c = ebin Bland (ebin Bgt (eid fuel) (eint 0)) (cond_expr ctx env_in 1) in
+    ( [
+        s (Sdecl (Cint, fuel, None, Some (eint units)));
+        s
+          (Swhile
+             (c, s (Sassign (eid fuel, ebin Bsub (eid fuel) (eint 1))) :: body));
+      ],
+      env )
+  | n when n < 88 -> (print_stmt ctx env, env)
+  | _ -> ([ acc_update ctx env ], env)
+
+(* --- top level --- *)
+
+let gen_helper ctx idx =
+  let ret = if chance ctx 70 then Cint else Cdouble in
+  let nparams = 1 + Rng.int ctx.rng 3 in
+  let params =
+    List.init nparams (fun _ -> if chance ctx 70 then Cint else Cdouble)
+  in
+  let name = Printf.sprintf "h%d" idx in
+  let pvars =
+    List.mapi
+      (fun i ty ->
+        { vname = Printf.sprintf "p%d" i; vty = ty; vlen = None; vmut = true })
+      params
+  in
+  let body =
+    gen_stmts ctx pvars ~budget:(2 + Rng.int ctx.rng 4) ~depth:2 ~loops:1
+  in
+  let env = pvars in
+  let ret_expr =
+    match ret with
+    | Cdouble -> dbl_expr ctx env 2
+    | _ -> int_expr ctx env 2
+  in
+  let top =
+    Tfunc
+      ( ret,
+        name,
+        List.mapi (fun i ty -> (ty, Printf.sprintf "p%d" i)) params,
+        body @ [ s (Sreturn (Some ret_expr)) ] )
+  in
+  ctx.helpers <- ctx.helpers @ [ { hname = name; hret = ret; hparams = params } ];
+  top
+
+let generate ~seed ?(size = 14) () =
+  let ctx = { rng = Rng.of_int seed; fresh = 0; helpers = [] } in
+  let globals =
+    let gs = ref [ Tglobal (Cint, "acc", None, Some (Ginit_scalar (eint 0))) ] in
+    let genv = ref [ { vname = "acc"; vty = Cint; vlen = None; vmut = true } ] in
+    if chance ctx 60 then begin
+      gs := Tglobal (Cint, "g0", None, Some (Ginit_scalar (int_literal ctx))) :: !gs;
+      genv := { vname = "g0"; vty = Cint; vlen = None; vmut = true } :: !genv
+    end;
+    if chance ctx 40 then begin
+      gs := Tglobal (Cdouble, "g1", None, Some (Ginit_scalar (dbl_literal ctx))) :: !gs;
+      genv := { vname = "g1"; vty = Cdouble; vlen = None; vmut = true } :: !genv
+    end;
+    if chance ctx 35 then begin
+      let len = pick ctx [| 4; 8 |] in
+      let init =
+        if chance ctx 50 then None
+        else
+          Some
+            (Ginit_list (List.init len (fun _ -> int_literal ctx)))
+      in
+      gs := Tglobal (Cint, "ga", Some len, init) :: !gs;
+      genv := { vname = "ga"; vty = Cint; vlen = Some len; vmut = true } :: !genv
+    end;
+    (List.rev !gs, !genv)
+  in
+  let gtops, genv = globals in
+  let helpers = List.init (Rng.int ctx.rng 4) (fun i -> gen_helper ctx i) in
+  let main_body =
+    gen_stmts ctx genv ~budget:size ~depth:3 ~loops:2
+    @ [
+        s (Sexpr (ecall "print_int" [ eid "acc" ]));
+        s (Sexpr (ecall "print_newline" []));
+        s (Sreturn (Some (eint 0)));
+      ]
+  in
+  gtops @ helpers @ [ Tfunc (Cint, "main", [], main_body) ]
+
+let source ~seed ?size () = Pp.program (generate ~seed ?size ())

@@ -1,0 +1,27 @@
+(** Seeded random MiniC program generator.
+
+    Programs are well-formed and always terminating by construction:
+
+    - every division/modulus divisor is forced positive ([(e & 15) + 1]
+      or a positive constant), so no division traps or [min_int / -1]
+      overflow;
+    - shift amounts are constants in [0, 7];
+    - array subscripts are masked to the (power-of-two) array length;
+    - [for] loops run a constant number of iterations over a fresh
+      index variable the body can never reassign; [while] loops carry
+      an explicit fuel counter decremented first thing in the body;
+    - helper functions only call helpers generated before them, so the
+      call graph is acyclic;
+    - no [input()] calls — programs run on an empty input vector.
+
+    Observability: a global [acc] checksum is threaded through the
+    statements and printed at the end of [main], alongside scattered
+    [print_int]/[print_double]/[print_char] statements, so silent
+    miscompilations surface as output differences. *)
+
+val generate : seed:int -> ?size:int -> unit -> Minic.Ast.program
+(** Deterministic in [seed].  [size] scales the statement budget of
+    [main] (default 14). *)
+
+val source : seed:int -> ?size:int -> unit -> string
+(** [Pp.program (generate ~seed ())]. *)

@@ -1,0 +1,134 @@
+(* Direct IR construction for the differential oracle.  The program
+   shape is a fixed, known-terminating skeleton (a data loop over a
+   global array feeding a helper, an i8 narrowing chain, a select
+   ladder, a pointer round-trip); the rng picks every constant, array
+   content, binop and comparison inside it. *)
+
+module B = Ir.Builder
+module Rng = Support.Rng
+open Ir
+
+let safe_binops =
+  [| Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Or; Instr.Xor |]
+
+let ucmp = [| Instr.Iult; Instr.Iule; Instr.Iugt; Instr.Iuge |]
+let scmp = [| Instr.Islt; Instr.Isle; Instr.Isgt; Instr.Isge; Instr.Ieq; Instr.Ine |]
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+(* A divisor that can never be zero: (x & 15) + 1. *)
+let guarded_divisor b x =
+  let m = B.binop b Instr.And x (Operand.i64 15) in
+  B.binop b Instr.Add m (Operand.i64 1)
+
+(* mix(a, x): unsigned ops, a diamond with a phi, a select. *)
+let build_mix rng prog =
+  let b, params =
+    B.start_function prog ~name:"mix"
+      ~params:[ ("a", Types.I64); ("x", Types.I64) ]
+      ~ret_ty:Types.I64
+  in
+  let a, x = (List.nth params 0, List.nth params 1) in
+  let entry = B.block b "entry" in
+  let odd = B.block b "odd" in
+  let even = B.block b "even" in
+  let join = B.block b "join" in
+  B.position_at_end b entry;
+  let d = guarded_divisor b x in
+  let q =
+    B.binop b (if Rng.bool rng then Instr.Udiv else Instr.Sdiv) a d
+  in
+  let r =
+    B.binop b (if Rng.bool rng then Instr.Urem else Instr.Srem) x d
+  in
+  let parity = B.binop b Instr.And x (Operand.i64 1) in
+  let c = B.icmp b Instr.Ieq parity (Operand.i64 1) in
+  B.cond_br b c odd even;
+  B.position_at_end b odd;
+  let vo = B.binop b (pick rng safe_binops) q (Operand.i64 (Rng.int rng 1024)) in
+  B.br b join;
+  B.position_at_end b even;
+  let ve = B.binop b (pick rng safe_binops) r a in
+  B.br b join;
+  B.position_at_end b join;
+  let m = B.phi b [ (vo, odd.Block.label); (ve, even.Block.label) ] in
+  let sh = B.binop b Instr.Lshr m (Operand.i64 (Rng.int rng 8)) in
+  let cu = B.icmp b (pick rng ucmp) sh a in
+  let sel = B.select b cu sh (B.binop b (pick rng safe_binops) m x) in
+  B.ret b (Some sel)
+
+let generate ~seed () =
+  let rng = Rng.of_int seed in
+  let prog = Prog.create () in
+  let len = if Rng.bool rng then 8 else 16 in
+  let data = List.init len (fun _ -> Rng.int rng 100_000) in
+  Prog.add_global prog
+    {
+      Prog.gname = "gdata";
+      gty = Types.Arr (len, Types.I64);
+      ginit = Prog.Ints data;
+    };
+  build_mix rng prog;
+  let b, _ = B.start_function prog ~name:"main" ~params:[] ~ret_ty:Types.I64 in
+  let entry = B.block b "entry" in
+  let loop = B.block b "loop" in
+  let after = B.block b "after" in
+  B.position_at_end b entry;
+  (* a local array seeded from an i8 chain through the global data *)
+  let arr_len = 8 in
+  let arr = B.alloca b (Types.Arr (arr_len, Types.I64)) in
+  (* initialize every slot so the masked stores below can't leave the
+     round-trip load reading unwritten memory *)
+  for j = 0 to arr_len - 1 do
+    let jp = B.gep b arr [ Operand.i64 0; Operand.i64 j ] in
+    B.store b (Operand.i64 (Rng.int rng 64)) jp
+  done;
+  B.br b loop;
+  B.position_at_end b loop;
+  let gbase = Operand.Global ("gdata", Types.Ptr (Types.Arr (len, Types.I64))) in
+  let i = B.phi b [ (Operand.i64 0, entry.Block.label) ] ~name:"i" in
+  let acc = B.phi b [ (Operand.i64 (Rng.int rng 1000), entry.Block.label) ] ~name:"acc" in
+  let p = B.gep b gbase [ Operand.i64 0; i ] in
+  let v = B.load b p in
+  let mixed = B.call b "mix" [ acc; v ] in
+  (* i8 narrowing chain: wraparound at 8 bits is the point *)
+  let narrow = B.cast b Instr.Trunc mixed ~to_:Types.I8 in
+  let bumped =
+    B.binop b (pick rng [| Instr.Add; Instr.Mul; Instr.Xor |]) narrow
+      (Operand.i8 (Rng.int rng 256 - 128))
+  in
+  let wide = B.cast b (if Rng.bool rng then Instr.Zext else Instr.Sext) bumped ~to_:Types.I64 in
+  let acc' = B.binop b (pick rng safe_binops) mixed wide in
+  (* store into the local array at a masked slot *)
+  let slot = B.binop b Instr.And acc' (Operand.i64 (arr_len - 1)) in
+  let ep = B.gep b arr [ Operand.i64 0; slot ] in
+  B.store b acc' ep;
+  let i' = B.binop b Instr.Add i (Operand.i64 1) in
+  B.add_phi_incoming b i (i', B.insertion_block b);
+  B.add_phi_incoming b acc (acc', B.insertion_block b);
+  let c = B.icmp b Instr.Islt i' (Operand.i64 len) in
+  B.cond_br b c loop after;
+  B.position_at_end b after;
+  (* pointer round-trip: ptrtoint/inttoptr must preserve the address *)
+  let k = Rng.int rng arr_len in
+  let kp = B.gep b arr [ Operand.i64 0; Operand.i64 k ] in
+  let ki = B.cast b Instr.Ptrtoint kp ~to_:Types.I64 in
+  let kp' = B.cast b Instr.Inttoptr ki ~to_:(Types.Ptr Types.I64) in
+  let kv = B.load b kp' in
+  (* select ladder over signed/unsigned comparisons of the results *)
+  let x = ref (B.binop b (pick rng safe_binops) acc' kv) in
+  for _ = 1 to 2 + Rng.int rng 3 do
+    let cmp_kind = if Rng.bool rng then pick rng scmp else pick rng ucmp in
+    let c = B.icmp b cmp_kind !x (Operand.i64 (Rng.int rng 4096)) in
+    let alt = B.binop b (pick rng safe_binops) !x (Operand.i64 (Rng.int rng 512)) in
+    x := B.select b c alt !x
+  done;
+  ignore (B.intrinsic b Instr.Print_i64 [ !x ]);
+  ignore (B.intrinsic b Instr.Print_newline []);
+  ignore (B.intrinsic b Instr.Print_i64 [ kv ]);
+  ignore (B.intrinsic b Instr.Print_newline []);
+  B.ret b (Some (Operand.i64 0));
+  Verify.check_prog_exn prog;
+  prog
+
+let text ~seed () = Printer.prog_to_string (generate ~seed ())

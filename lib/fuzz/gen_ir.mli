@@ -1,0 +1,20 @@
+(** Seeded direct-to-IR program generator.
+
+    Complements {!Gen} with constructs MiniC cannot express: unsigned
+    arithmetic ([udiv]/[urem]/[lshr]), unsigned comparisons, [select]
+    on freshly computed [i1]s, narrow [i8] arithmetic chains through
+    [trunc]/[zext], and [ptrtoint]/[inttoptr] round-trips — exercising
+    optimizer and backend paths the source-level fuzzer never reaches.
+
+    Same safety guarantees as {!Gen}: divisors are forced nonzero, loop
+    trip counts are constants, all memory traffic stays inside
+    generator-allocated objects, and a checksum is printed so silent
+    miscompilation is observable. *)
+
+val generate : seed:int -> unit -> Ir.Prog.t
+(** Deterministic in [seed]; the result passes {!Ir.Verify.check_prog}. *)
+
+val text : seed:int -> unit -> string
+(** [Ir.Printer.prog_to_string (generate ~seed ())] — the serialized
+    form the oracle re-parses per stage (optimization passes mutate
+    their input in place). *)

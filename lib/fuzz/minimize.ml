@@ -1,0 +1,142 @@
+open Minic.Ast
+
+let pos = { Minic.Lexer.line = 0; col = 0 }
+let e desc = { desc; pos }
+
+(* --- expression shrinks --- *)
+
+let literal_shrinks (x : expr) =
+  match x.desc with
+  | Eint v when v <> 0 ->
+    [ e (Eint 0) ] @ (if abs v > 2 then [ e (Eint (v / 2)) ] else [])
+  | Efloat f when f <> 0.0 -> [ e (Efloat 0.0) ]
+  | _ -> []
+
+let rec expr_variants (x : expr) : expr list =
+  let rebuild mk kids =
+    List.concat
+      (List.mapi
+         (fun i k ->
+           List.map
+             (fun k' -> mk (List.mapi (fun j k0 -> if i = j then k' else k0) kids))
+             (expr_variants k))
+         kids)
+  in
+  let subexprs, rebuilt =
+    match x.desc with
+    | Ebinop (op, a, b) ->
+      ( [ a; b ],
+        rebuild
+          (function [ a'; b' ] -> e (Ebinop (op, a', b')) | _ -> x)
+          [ a; b ] )
+    | Eunop (op, a) ->
+      ([ a ], rebuild (function [ a' ] -> e (Eunop (op, a')) | _ -> x) [ a ])
+    | Ecast (ty, a) ->
+      ([ a ], rebuild (function [ a' ] -> e (Ecast (ty, a')) | _ -> x) [ a ])
+    | Eindex (a, i) ->
+      ([], rebuild (function [ i' ] -> e (Eindex (a, i')) | _ -> x) [ i ])
+    | Ecall (f, args) ->
+      ( args,
+        rebuild (fun args' -> e (Ecall (f, args'))) args )
+    | Ederef a | Eaddr a -> ([ a ], [])
+    | _ -> ([], [])
+  in
+  subexprs @ literal_shrinks x @ rebuilt
+
+(* --- statement shrinks --- *)
+
+(* Replacements of one statement by zero or more simpler ones. *)
+let stmt_inline (s : stmt) : stmt list list =
+  match s.sdesc with
+  | Sif (_, then_, else_) ->
+    [ then_ ] @ (if else_ <> [] then [ else_ ] else [])
+  | Swhile (_, body) -> [ body ]
+  | Sfor (init, _, _, body) ->
+    [ (match init with Some i -> [ i ] | None -> []) @ body ]
+  | Sblock body -> [ body ]
+  | _ -> []
+
+let rec stmt_variants (s : stmt) : stmt list =
+  let w sdesc = { s with sdesc } in
+  match s.sdesc with
+  | Sdecl (ty, n, len, Some init) ->
+    w (Sdecl (ty, n, len, None))
+    :: List.map (fun i' -> w (Sdecl (ty, n, len, Some i'))) (expr_variants init)
+  | Sassign (lhs, rhs) ->
+    List.map (fun r' -> w (Sassign (lhs, r'))) (expr_variants rhs)
+  | Sexpr x -> List.map (fun x' -> w (Sexpr x')) (expr_variants x)
+  | Sif (c, then_, else_) ->
+    List.map (fun c' -> w (Sif (c', then_, else_))) (expr_variants c)
+    @ List.map (fun t' -> w (Sif (c, t', else_))) (stmts_variants then_)
+    @ List.map (fun e' -> w (Sif (c, then_, e'))) (stmts_variants else_)
+  | Swhile (c, body) ->
+    List.map (fun c' -> w (Swhile (c', body))) (expr_variants c)
+    @ List.map (fun b' -> w (Swhile (c, b'))) (stmts_variants body)
+  | Sfor (init, cond, step, body) ->
+    (match cond with
+    | Some c ->
+      List.map (fun c' -> w (Sfor (init, Some c', step, body))) (expr_variants c)
+    | None -> [])
+    @ List.map (fun b' -> w (Sfor (init, cond, step, b'))) (stmts_variants body)
+  | Sreturn (Some x) ->
+    List.map (fun x' -> w (Sreturn (Some x'))) (expr_variants x)
+  | Sblock body -> List.map (fun b' -> w (Sblock b')) (stmts_variants body)
+  | Sdecl (_, _, _, None) | Sreturn None | Sbreak | Scontinue -> []
+
+and stmts_variants (ss : stmt list) : stmt list list =
+  match ss with
+  | [] -> []
+  | x :: rest ->
+    [ rest ]  (* drop the statement entirely: the most aggressive shrink *)
+    @ List.map (fun repl -> repl @ rest) (stmt_inline x)
+    @ List.map (fun rest' -> x :: rest') (stmts_variants rest)
+    @ List.map (fun x' -> x' :: rest) (stmt_variants x)
+
+(* --- program shrinks --- *)
+
+let variants (prog : program) : program list =
+  let drop_tops =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           match t with
+           | Tfunc (_, "main", _, _) -> []
+           | _ -> [ List.filteri (fun j _ -> j <> i) prog ])
+         prog)
+  in
+  let body_edits =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           match t with
+           | Tfunc (ret, name, params, body) ->
+             List.map
+               (fun b' ->
+                 List.mapi
+                   (fun j t' ->
+                     if i = j then Tfunc (ret, name, params, b') else t')
+                   prog)
+               (stmts_variants body)
+           | _ -> [])
+         prog)
+  in
+  drop_tops @ body_edits
+
+let minimize ~keep ?(max_tests = 800) prog0 =
+  let tests = ref 0 in
+  let try_keep p =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      keep p
+    end
+  in
+  let rec go prog =
+    if !tests >= max_tests then prog
+    else
+      match List.find_opt try_keep (variants prog) with
+      | Some smaller -> go smaller
+      | None -> prog
+  in
+  let result = go prog0 in
+  (result, !tests)

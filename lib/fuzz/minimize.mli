@@ -1,0 +1,25 @@
+(** Greedy test-case minimization for MiniC subjects.
+
+    Classic delta-debugging flavour: enumerate single-step shrinks of
+    the AST (drop a top-level item, delete a statement at any depth,
+    replace a conditional/loop by its body, replace an expression by a
+    subexpression or a small literal, halve an integer constant), keep
+    the first shrink the predicate still accepts, restart.  Candidates
+    that fail to compile are rejected by the predicate naturally, so
+    the shrinks don't need to be type-aware.
+
+    [keep] is typically {!Oracle.diverges} composed with {!Pp.program}
+    — "the divergence is still there". *)
+
+val variants : Minic.Ast.program -> Minic.Ast.program list
+(** All single-step shrinks, most aggressive first. *)
+
+val minimize :
+  keep:(Minic.Ast.program -> bool) ->
+  ?max_tests:int ->
+  Minic.Ast.program ->
+  Minic.Ast.program * int
+(** Greedy fixpoint; returns the shrunk program and the number of
+    predicate evaluations spent.  [max_tests] (default 800) bounds the
+    total predicate budget so minimization stays interactive even on
+    stubborn inputs. *)

@@ -1,0 +1,66 @@
+type t = Add_to_sub | Cmp_flip | Drop_store
+
+let all = [ Add_to_sub; Cmp_flip; Drop_store ]
+
+let name = function
+  | Add_to_sub -> "add-to-sub"
+  | Cmp_flip -> "cmp-flip"
+  | Drop_store -> "drop-store"
+
+let of_name s = List.find_opt (fun m -> String.equal (name m) s) all
+
+let negate_icmp (c : Ir.Instr.icmp) =
+  match c with
+  | Ir.Instr.Ieq -> Ir.Instr.Ine
+  | Ir.Instr.Ine -> Ir.Instr.Ieq
+  | Ir.Instr.Islt -> Ir.Instr.Isge
+  | Ir.Instr.Isle -> Ir.Instr.Isgt
+  | Ir.Instr.Isgt -> Ir.Instr.Isle
+  | Ir.Instr.Isge -> Ir.Instr.Islt
+  | Ir.Instr.Iult -> Ir.Instr.Iuge
+  | Ir.Instr.Iule -> Ir.Instr.Iugt
+  | Ir.Instr.Iugt -> Ir.Instr.Iule
+  | Ir.Instr.Iuge -> Ir.Instr.Iult
+
+(* Rewrite the first instruction [f] accepts, anywhere in [funcs]. *)
+let rewrite_first funcs f =
+  let hit = ref false in
+  List.iter
+    (fun (fn : Ir.Func.t) ->
+      if not !hit then
+        List.iter
+          (fun (b : Ir.Block.t) ->
+            if not !hit then
+              b.Ir.Block.instrs <-
+                List.concat_map
+                  (fun (i : Ir.Instr.t) ->
+                    if !hit then [ i ]
+                    else
+                      match f i with
+                      | None -> [ i ]
+                      | Some repl ->
+                        hit := true;
+                        repl)
+                  b.Ir.Block.instrs)
+          fn.Ir.Func.blocks)
+    funcs;
+  !hit
+
+let apply m (prog : Ir.Prog.t) =
+  let funcs =
+    match m with
+    | Drop_store ->
+      (* dropping a store only in main keeps the repro's story simple *)
+      (match Ir.Prog.find_func prog "main" with
+      | Some f -> [ f ]
+      | None -> prog.Ir.Prog.funcs)
+    | _ -> prog.Ir.Prog.funcs
+  in
+  rewrite_first funcs (fun (i : Ir.Instr.t) ->
+      match (m, i.Ir.Instr.kind) with
+      | Add_to_sub, Ir.Instr.Binop (Ir.Instr.Add, a, b) ->
+        Some [ { i with Ir.Instr.kind = Ir.Instr.Binop (Ir.Instr.Sub, a, b) } ]
+      | Cmp_flip, Ir.Instr.Icmp (c, a, b) ->
+        Some [ { i with Ir.Instr.kind = Ir.Instr.Icmp (negate_icmp c, a, b) } ]
+      | Drop_store, Ir.Instr.Store _ -> Some []
+      | _ -> None)

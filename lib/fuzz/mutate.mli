@@ -1,0 +1,19 @@
+(** Planted compiler bugs, for validating the differential oracle.
+
+    Each mutation is a small, type-preserving IR rewrite applied after
+    the optimization pipeline — a stand-in for a real miscompilation.
+    [fi fuzz --mutate NAME] must then find and minimize a divergence;
+    scripts/ci.sh runs exactly that as its mutation smoke test. *)
+
+type t =
+  | Add_to_sub  (** first integer [add] becomes [sub] *)
+  | Cmp_flip  (** first signed [icmp] predicate is negated *)
+  | Drop_store  (** first [store] in [main] is deleted *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+val apply : t -> Ir.Prog.t -> bool
+(** Mutate the program in place; [false] if no applicable site exists.
+    The result still passes {!Ir.Verify.check_prog}. *)

@@ -1,0 +1,44 @@
+(** The differential/metamorphic oracle.
+
+    One subject program is run through every level of the pipeline —
+
+    - [ref]: MiniC (or parsed IR) lowered without optimization,
+      interpreted at the IR level: the reference behaviour;
+    - one stage per optimization pass ([simplify], [mem2reg],
+      [constfold], [cse], [dce], [inline]): a fresh lowering with just
+      that pass applied (passes mutate IR in place, so every stage
+      re-lowers from source);
+    - [opt]: the full standard pipeline;
+    - [asm]: full pipeline, backend code generation, x86 interpreter
+
+    — and every stage's behaviour must equal the reference (the
+    metamorphic property: optimization and lowering preserve
+    semantics).  Behaviours compare as: exact output bytes for finished
+    runs, the {!Vm.Trap.tag} for crashes (trap {e payloads} such as
+    addresses legitimately differ across levels), and a [hang] marker
+    for exceeded step budgets (10x the reference run at the IR level,
+    40x for the assembly level's finer-grained instructions). *)
+
+type subject =
+  | Minic_src of string  (** MiniC source text *)
+  | Ir_src of string  (** textual IR, {!Ir.Parse} format *)
+
+type divergence = { d_stage : string; d_expected : string; d_got : string }
+
+type result =
+  | Agree of int  (** number of stages compared *)
+  | Diverged of divergence list
+  | Invalid of string
+      (** the subject itself doesn't compile/verify/terminate — a
+          generator or minimizer artifact, not a finding *)
+
+val stage_names : string list
+
+val run : ?mutate:Mutate.t -> subject -> result
+(** [mutate] plants the given bug into the [opt] stage (only), so a
+    divergence report names the stage that carries it. *)
+
+val diverges : ?mutate:Mutate.t -> subject -> bool
+(** [run] yields [Diverged _] — the minimizer's keep-predicate. *)
+
+val pp_result : Format.formatter -> result -> unit

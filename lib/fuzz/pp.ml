@@ -1,0 +1,188 @@
+(* MiniC AST -> source text.  Everything the generator and minimizer can
+   build must survive a parse round-trip, so the printer leans on the
+   lexer's exact literal grammar: floats always carry a [digits.digits]
+   mantissa (the lexer requires a digit on both sides of the dot), chars
+   use only the lexer's escape set, and negative literals are spelled as
+   arithmetic (the lexer has no signed literals outside global
+   initializers). *)
+
+open Minic.Ast
+
+let rec float_lit f =
+  if Float.is_nan f then "(0.0 / 0.0)"
+  else if f = Float.infinity then "(1.0 / 0.0)"
+  else if f = Float.neg_infinity then "(0.0 - (1.0 / 0.0))"
+  else if f < 0.0 || (f = 0.0 && 1.0 /. f < 0.0) then
+    Printf.sprintf "(0.0 - %s)" (float_lit (-.f))
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    (* "%.17g" may print "1e+30" or "42"; the lexer needs d.d[e..]. *)
+    if String.contains s '.' then s
+    else
+      match String.index_opt s 'e' with
+      | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+      | None -> s ^ ".0"
+  end
+
+let char_lit c =
+  let body =
+    match c with
+    | '\n' -> "\\n"
+    | '\t' -> "\\t"
+    | '\r' -> "\\r"
+    | '\000' -> "\\0"
+    | '\\' -> "\\\\"
+    | '\'' -> "\\'"
+    | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+    | c -> Printf.sprintf "\\%c" c (* out of the lexer's set; not generated *)
+  in
+  "'" ^ body ^ "'"
+
+let string_lit s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let binop_token = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Beq -> "=="
+  | Bne -> "!="
+  | Bland -> "&&"
+  | Blor -> "||"
+
+let unop_token = function Uneg -> "-" | Unot -> "!" | Ubnot -> "~"
+
+(* Fully parenthesized; only primaries and postfix forms print bare. *)
+let rec expr (e : expr) =
+  match e.desc with
+  | Eint v ->
+    if v >= 0 then string_of_int v
+    else if v = min_int then
+      Printf.sprintf "((0 - %d) - 1)" max_int
+    else Printf.sprintf "(0 - %d)" (-v)
+  | Efloat f -> float_lit f
+  | Echar c -> char_lit c
+  | Eident x -> x
+  | Estring s -> string_lit s
+  | Ebinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_token op) (expr b)
+  | Eunop (op, a) -> Printf.sprintf "(%s%s)" (unop_token op) (expr a)
+  | Ecall (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Eindex (a, i) -> Printf.sprintf "%s[%s]" (expr a) (expr i)
+  | Efield (a, f) -> Printf.sprintf "%s.%s" (expr a) f
+  | Earrow (a, f) -> Printf.sprintf "%s->%s" (expr a) f
+  | Ederef a -> Printf.sprintf "(*%s)" (expr a)
+  | Eaddr a -> Printf.sprintf "(&%s)" (expr a)
+  | Ecast (ty, a) -> Printf.sprintf "((%s)%s)" (cty_to_string ty) (expr a)
+
+let decl_string ty name len init =
+  let dims = match len with Some n -> Printf.sprintf "[%d]" n | None -> "" in
+  let rhs = match init with Some e -> " = " ^ expr e | None -> "" in
+  Printf.sprintf "%s %s%s%s" (cty_to_string ty) name dims rhs
+
+(* For-headers use the statement grammar without the trailing ';'. *)
+let simple_stmt (s : stmt) =
+  match s.sdesc with
+  | Sdecl (ty, name, len, init) -> decl_string ty name len init
+  | Sassign (l, r) -> Printf.sprintf "%s = %s" (expr l) (expr r)
+  | Sexpr e -> expr e
+  | _ -> invalid_arg "Pp.simple_stmt: not a simple statement"
+
+let rec stmt ?(indent = 0) (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Sdecl _ | Sassign _ | Sexpr _ -> pad ^ simple_stmt s ^ ";"
+  | Sif (c, then_, []) ->
+    Printf.sprintf "%sif (%s) {\n%s%s}" pad (expr c)
+      (body ~indent then_) pad
+  | Sif (c, then_, else_) ->
+    Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}" pad (expr c)
+      (body ~indent then_) pad (body ~indent else_) pad
+  | Swhile (c, b) ->
+    Printf.sprintf "%swhile (%s) {\n%s%s}" pad (expr c) (body ~indent b) pad
+  | Sfor (init, cond, step, b) ->
+    Printf.sprintf "%sfor (%s; %s; %s) {\n%s%s}" pad
+      (match init with Some s -> simple_stmt s | None -> "")
+      (match cond with Some e -> expr e | None -> "")
+      (match step with Some s -> simple_stmt s | None -> "")
+      (body ~indent b) pad
+  | Sreturn None -> pad ^ "return;"
+  | Sreturn (Some e) -> pad ^ "return " ^ expr e ^ ";"
+  | Sbreak -> pad ^ "break;"
+  | Scontinue -> pad ^ "continue;"
+  | Sblock b -> Printf.sprintf "%s{\n%s%s}" pad (body ~indent b) pad
+
+and body ~indent stmts =
+  String.concat ""
+    (List.map (fun s -> stmt ~indent:(indent + 2) s ^ "\n") stmts)
+
+(* Global initializers are literal-only in the grammar (an optional
+   leading minus, no parentheses), so they bypass [expr]. *)
+let global_scalar (e : expr) =
+  match e.desc with
+  | Eint v -> string_of_int v
+  | Efloat f -> if f < 0.0 then "-" ^ float_lit (-.f) else float_lit f
+  | Echar c -> char_lit c
+  | Eunop (Uneg, { desc = Eint v; _ }) -> "-" ^ string_of_int v
+  | Eunop (Uneg, { desc = Efloat f; _ }) -> "-" ^ float_lit f
+  | _ -> invalid_arg "Pp.global_scalar: global initializers must be literals"
+
+let top (t : top) =
+  match t with
+  | Tstruct (name, fields) ->
+    Printf.sprintf "struct %s {\n%s};" name
+      (String.concat ""
+         (List.map
+            (fun (ty, f) -> Printf.sprintf "  %s %s;\n" (cty_to_string ty) f)
+            fields))
+  | Tglobal (ty, name, len, init) ->
+    let dims = match len with Some n -> Printf.sprintf "[%d]" n | None -> "" in
+    let rhs =
+      match init with
+      | None -> ""
+      | Some (Ginit_scalar e) -> " = " ^ global_scalar e
+      | Some (Ginit_list es) ->
+        " = { " ^ String.concat ", " (List.map global_scalar es) ^ " }"
+    in
+    Printf.sprintf "%s %s%s%s;" (cty_to_string ty) name dims rhs
+  | Tfunc (ret, name, params, b) ->
+    Printf.sprintf "%s %s(%s) {\n%s}" (cty_to_string ret) name
+      (String.concat ", "
+         (List.map
+            (fun (ty, p) -> Printf.sprintf "%s %s" (cty_to_string ty) p)
+            params))
+      (body ~indent:0 b)
+
+let program (p : program) =
+  String.concat "\n\n" (List.map top p) ^ "\n"
+
+let line_count s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,20 @@
+(** MiniC pretty-printer: AST back to parseable source text.
+
+    The inverse of {!Minic.Parser.parse_program}, up to formatting:
+    [parse_program (program p)] succeeds for every AST the fuzzer's
+    generator or minimizer produces and denotes the same program.
+    Expressions are printed fully parenthesized so no precedence
+    reconstruction is needed; printing is a fixpoint after one
+    round-trip ([program (parse (program p)) = program (parse ...)]),
+    which test_fuzz.ml checks. *)
+
+val expr : Minic.Ast.expr -> string
+val stmt : ?indent:int -> Minic.Ast.stmt -> string
+val top : Minic.Ast.top -> string
+
+val program : Minic.Ast.program -> string
+(** The whole translation unit, one top-level item per paragraph. *)
+
+val line_count : string -> int
+(** Non-blank lines — the size metric the minimizer reports and the
+    repro-size acceptance bound uses. *)

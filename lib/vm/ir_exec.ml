@@ -301,11 +301,47 @@ let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
   in
   { source = prog; cfuncs; main_index; global_addr; global_image; globals_len }
 
+(* --- static injection-site enumeration (coverage tooling) --- *)
+
+type site = {
+  site_gid : int;
+  site_mask : int;
+  site_func : string;
+  site_instr : Ir.Instr.t;
+}
+
+let iter_compiled c f =
+  Array.iter
+    (fun cf ->
+      Array.iter
+        (fun b ->
+          Array.iter (fun p -> f cf.cname p.pgid p.pmask p.pmeta) b.phis;
+          Array.iter (fun ci -> f cf.cname ci.gid ci.mask ci.meta) b.body)
+        cf.cblocks)
+    c.cfuncs
+
+let sites c =
+  let acc = ref [] in
+  iter_compiled c (fun cname gid mask meta ->
+      if mask <> 0 then
+        acc :=
+          { site_gid = gid; site_mask = mask; site_func = cname; site_instr = meta }
+          :: !acc);
+  let arr = Array.of_list !acc in
+  Array.sort (fun a b -> compare a.site_gid b.site_gid) arr;
+  arr
+
+let gid_limit c =
+  let m = ref 0 in
+  iter_compiled c (fun _ gid _ _ -> if gid >= !m then m := gid + 1);
+  !m
+
 (* --- execution --- *)
 
 type mode =
   | Plain
-  | Profile of int array  (* dynamic count per mask value *)
+  | Profile of int array * int array option
+      (* dynamic count per mask value; per-gid counts of candidate sites *)
   | Inject
   | Forward  (* fast-forward: count matching instances, pause at ff_stop *)
 
@@ -425,7 +461,9 @@ let inject_float st f =
 let post_exec st mask gid dest ienv fenv =
   match st.mode with
   | Plain -> ()
-  | Profile counts -> counts.(mask) <- counts.(mask) + 1
+  | Profile (counts, sites) ->
+    counts.(mask) <- counts.(mask) + 1;
+    (match sites with Some s -> s.(gid) <- s.(gid) + 1 | None -> ())
   | Forward ->
     if mask land st.inj_mask <> 0 then st.matched <- st.matched + 1
   | Inject ->
@@ -1087,13 +1125,17 @@ let exec_to_stats (c : compiled) st =
   }
 
 let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?trace ?(track_use = false) (c : compiled) =
+    ?profile_sites ?trace ?(track_use = false) (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
-    match (plan, profile_masks) with
-    | Some _, Some _ -> invalid_arg "Ir_exec.run: profile and inject exclusive"
-    | Some p, None -> (Inject, p.target, p.inj_mask, p.rng)
-    | None, Some counts -> (Profile counts, -1, 0, Rng.of_int 0)
-    | None, None -> (Plain, -1, 0, Rng.of_int 0)
+    match (plan, profile_masks, profile_sites) with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+      invalid_arg "Ir_exec.run: profile and inject exclusive"
+    | Some p, None, None -> (Inject, p.target, p.inj_mask, p.rng)
+    | None, Some counts, sites -> (Profile (counts, sites), -1, 0, Rng.of_int 0)
+    | None, None, Some sites ->
+      (* Site counts alone: feed the mask histogram to a scratch array. *)
+      (Profile (Array.make (1 lsl 8) 0, Some sites), -1, 0, Rng.of_int 0)
+    | None, None, None -> (Plain, -1, 0, Rng.of_int 0)
   in
   let st =
     {

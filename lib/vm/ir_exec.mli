@@ -27,6 +27,26 @@ val compile : ?classify:(Ir.Func.t -> Ir.Instr.t -> int) -> Ir.Prog.t -> compile
     injection candidate); defaults to all zeros.
     @raise Invalid_argument if the program has no [main]. *)
 
+(** {1 Static injection-site enumeration}
+
+    Read-only views of the compiled program used by coverage tooling
+    (which static instructions can a sampler ever pick, and with what
+    category mask). *)
+
+type site = {
+  site_gid : int;  (** program-wide instruction id, as [stats.fault_site] *)
+  site_mask : int;  (** category bitmask assigned by [classify] *)
+  site_func : string;
+  site_instr : Ir.Instr.t;
+}
+
+val sites : compiled -> site array
+(** Every injection candidate (nonzero mask), in ascending gid order. *)
+
+val gid_limit : compiled -> int
+(** One past the largest program-wide instruction id — the length to
+    allocate for a [profile_sites] array. *)
+
 type plan = {
   inj_mask : int;  (** category bit(s) to match *)
   target : int;  (** which dynamic instance to corrupt *)
@@ -50,6 +70,7 @@ val run :
   ?inputs:int array ->
   ?max_steps:int ->
   ?profile_masks:int array ->
+  ?profile_sites:int array ->
   ?trace:trace ->
   ?track_use:bool ->
   compiled ->
@@ -61,6 +82,10 @@ val run :
     - [max_steps]: hang budget (default 10^8);
     - [profile_masks]: array of length [2^categories] receiving dynamic
       counts per category bitmask;
+    - [profile_sites]: array of length {!gid_limit} receiving dynamic
+      execution counts per static instruction (gid), for injection
+      candidates and phis — the per-site population the coverage report
+      rests on.  Profiling-mode only, like [profile_masks];
     - [trace]: record a propagation trace into the given buffer;
     - [track_use] (default false): classify what the corrupted value
       flows into first ({!First_use.t}); reported in

@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI entry point: build, full test suite, then determinism smoke tests
-# of the parallel engine, the snapshot executor and the resume journal.
+# of the parallel engine, the snapshot executor, the resume journal,
+# and a bounded differential-fuzzing pass (FUZZ_BUDGET programs,
+# default 200, fixed seeds) with a planted-bug detection check.
 #
 # The smoke campaign runs one workload x one tool x two categories (a
 # 2-cell grid) twice — sequentially and with two worker domains — and
@@ -106,3 +108,49 @@ grep -q "different campaign" "$tmp/mismatch-err.txt" || {
 }
 
 echo "OK: mismatched journal refused with a diagnostic"
+
+echo "== fuzz smoke: differential oracle on generated programs =="
+# FUZZ_BUDGET scales the bounded fuzz pass (default 200 programs);
+# fixed seed so failures are reproducible with the printed command.
+FUZZ_N=${FUZZ_BUDGET:-200}
+dune exec --no-build bin/fi.exe -- fuzz --seed 0 --count "$FUZZ_N" \
+    > "$tmp/fuzz-clean.txt" || {
+    echo "FAIL: fi fuzz --seed 0 --count $FUZZ_N found a divergence" >&2
+    cat "$tmp/fuzz-clean.txt" >&2
+    exit 1
+}
+
+echo "OK: $FUZZ_N generated programs agree across all pipeline stages"
+
+echo "== fuzz smoke: planted bug must be caught and minimized =="
+# A deliberately broken opt stage (first add rewritten to sub): the
+# fuzzer must exit nonzero and shrink some finding to <= 20 lines.
+if dune exec --no-build bin/fi.exe -- fuzz --mutate add-to-sub \
+    --seed 0 --count 120 --max-repros 1 > "$tmp/fuzz-mutate.txt"; then
+    echo "FAIL: planted add-to-sub miscompilation not detected" >&2
+    exit 1
+fi
+grep -q 'minimized to' "$tmp/fuzz-mutate.txt" || {
+    echo "FAIL: planted-bug finding was not minimized" >&2
+    cat "$tmp/fuzz-mutate.txt" >&2
+    exit 1
+}
+lines=$(sed -n 's/.*minimized to \([0-9]*\) lines.*/\1/p' "$tmp/fuzz-mutate.txt" | head -n 1)
+[ "$lines" -le 20 ] || {
+    echo "FAIL: minimized repro is $lines lines (> 20)" >&2
+    exit 1
+}
+
+echo "OK: planted bug caught and minimized to $lines lines"
+
+echo "== fuzz smoke: coverage report byte-identical across --jobs =="
+dune exec --no-build bin/fi.exe -- fuzz --coverage -n 40 -w mcf -w libquantum \
+    --jobs 1 > "$tmp/cov-1.txt"
+dune exec --no-build bin/fi.exe -- fuzz --coverage -n 40 -w mcf -w libquantum \
+    --jobs 2 > "$tmp/cov-2.txt"
+cmp "$tmp/cov-1.txt" "$tmp/cov-2.txt" || {
+    echo "FAIL: coverage report differs between --jobs 1 and --jobs 2" >&2
+    exit 1
+}
+
+echo "OK: coverage report byte-identical across --jobs values"

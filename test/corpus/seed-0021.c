@@ -1,0 +1,6 @@
+int acc = 0;
+
+int main() {
+  acc = (acc + ((int)3.8125));
+  print_int(acc);
+}

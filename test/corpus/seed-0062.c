@@ -1,0 +1,6 @@
+int main() {
+  int a11[8];
+  for (int i12 = 0; 2; i12 = (i12 + 1)) {
+    a11[i12] = i12;
+  }
+}

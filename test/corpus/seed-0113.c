@@ -1,0 +1,6 @@
+int acc = 0;
+
+int main() {
+  acc = (acc + 1);
+  print_int(acc);
+}

@@ -1,0 +1,6 @@
+int acc = 0;
+
+int main() {
+  acc = (acc < 0);
+  print_int(acc);
+}

@@ -1,0 +1,7 @@
+int g0 = 2;
+
+int main() {
+  if (g0) {
+    print_newline();
+  }
+}

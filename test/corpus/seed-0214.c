@@ -1,0 +1,8 @@
+int acc = 0;
+
+int g0 = 51;
+
+int main() {
+  acc = (g0 == g0);
+  print_int(acc);
+}

@@ -1,0 +1,80 @@
+@gdata = global [16 x i64] [81087, 16090, 75386, 87790, 2935, 47208, 31172, 57295, 51344, 3572, 45406, 71895, 36584, 66048, 75111, 27864]
+
+define i64 @mix(i64 %a.0, i64 %x.1) {
+entry:
+  %2 = and i64 %x.1, i64 15
+  %3 = add i64 %2, i64 1
+  %4 = sdiv i64 %a.0, i64 %3
+  %5 = srem i64 %x.1, i64 %3
+  %6 = and i64 %x.1, i64 1
+  %7 = icmp eq i64 %6, i64 1
+  br i1 %7, %odd, %even
+odd:
+  %8 = mul i64 %4, i64 472
+  br %join
+even:
+  %9 = and i64 %5, i64 %a.0
+  br %join
+join:
+  %10 = phi [ i64 %8, %odd ], [ i64 %9, %even ]
+  %11 = lshr i64 %10, i64 2
+  %12 = icmp ult i64 %11, i64 %a.0
+  %13 = and i64 %10, i64 %x.1
+  %14 = select i1 %12, i64 %11, i64 %13
+  ret i64 %14
+}
+
+define i64 @main() {
+entry:
+  %0 = alloca [8 x i64]
+  %1 = getelementptr [8 x i64]* %0, i64 0, i64 0
+  store i64 40, i64* %1
+  %2 = getelementptr [8 x i64]* %0, i64 0, i64 1
+  store i64 19, i64* %2
+  %3 = getelementptr [8 x i64]* %0, i64 0, i64 2
+  store i64 59, i64* %3
+  %4 = getelementptr [8 x i64]* %0, i64 0, i64 3
+  store i64 63, i64* %4
+  %5 = getelementptr [8 x i64]* %0, i64 0, i64 4
+  store i64 34, i64* %5
+  %6 = getelementptr [8 x i64]* %0, i64 0, i64 5
+  store i64 52, i64* %6
+  %7 = getelementptr [8 x i64]* %0, i64 0, i64 6
+  store i64 49, i64* %7
+  %8 = getelementptr [8 x i64]* %0, i64 0, i64 7
+  store i64 52, i64* %8
+  br %loop
+loop:
+  %i.9 = phi [ i64 0, %entry ], [ i64 %20, %loop ]
+  %acc.10 = phi [ i64 904, %entry ], [ i64 %17, %loop ]
+  %11 = getelementptr @gdata, i64 0, i64 %i.9
+  %12 = load i64* %11
+  %13 = call @mix(i64 %acc.10, i64 %12)
+  %14 = trunc i64 %13 to i8
+  %15 = xor i8 %14, i8 -83
+  %16 = sext i8 %15 to i64
+  %17 = xor i64 %13, i64 %16
+  %18 = and i64 %17, i64 7
+  %19 = getelementptr [8 x i64]* %0, i64 0, i64 %18
+  store i64 %17, i64* %19
+  %20 = add i64 %i.9, i64 1
+  %21 = icmp slt i64 %20, i64 16
+  br i1 %21, %loop, %after
+after:
+  %22 = getelementptr [8 x i64]* %0, i64 0, i64 0
+  %23 = ptrtoint i64* %22 to i64
+  %24 = inttoptr i64 %23 to i64*
+  %25 = load i64* %24
+  %26 = sub i64 %17, i64 %25
+  %27 = icmp slt i64 %26, i64 3782
+  %28 = mul i64 %26, i64 405
+  %29 = select i1 %27, i64 %28, i64 %26
+  %30 = icmp uge i64 %29, i64 2906
+  %31 = add i64 %29, i64 59
+  %32 = select i1 %30, i64 %31, i64 %29
+  call.intrinsic @print_i64(i64 %32)
+  call.intrinsic @print_newline()
+  call.intrinsic @print_i64(i64 %25)
+  call.intrinsic @print_newline()
+  ret i64 0
+}

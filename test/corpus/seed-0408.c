@@ -1,0 +1,6 @@
+int acc = 0;
+
+int main() {
+  acc = 2;
+  print_int(acc);
+}

@@ -1,0 +1,36 @@
+(* Replay every checked-in corpus file through the full differential
+   oracle.  The corpus holds minimized repros of previously planted (or
+   found) miscompilations: each file must compile and agree across all
+   pipeline stages on a healthy compiler, so a regression that
+   re-introduces one of these bugs fails here with the offending stage
+   named.
+
+   Files land in test/corpus/ via
+     fi fuzz --mutate NAME --corpus test/corpus
+   (.c replays as a MiniC subject, .ll as textual IR). *)
+
+(* dune runtest runs us inside test/; a bare [dune exec] runs from the
+   project root. *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f ->
+         Filename.check_suffix f ".c" || Filename.check_suffix f ".ll")
+  |> List.sort compare
+
+let replay file () =
+  match Fuzz.check_corpus_file (Filename.concat corpus_dir file) with
+  | Ok stages ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: compared every stage" file)
+      true
+      (stages = List.length Fuzz.Oracle.stage_names)
+  | Error msg -> Alcotest.failf "%s: %s" file msg
+
+let () =
+  let files = corpus_files () in
+  if files = [] then failwith "test/corpus is empty — corpus not checked in?";
+  Alcotest.run "corpus"
+    [ ("replay", List.map (fun f -> (f, `Quick, replay f)) files) ]

@@ -53,6 +53,95 @@ let test_record_roundtrip () =
           (Diagnose.Record.compare r r'))
     records
 
+(* QCheck: the line format round-trips for *arbitrary* records, not
+   just ones a campaign happens to produce.  Trap payloads (addresses)
+   are deliberately not encoded, so equality is at the line level. *)
+let record_arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* workload = oneofl [ "mcf"; "nw"; "libquantum"; "w"; "x0" ] in
+    let* tool = oneofl [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ] in
+    let* category = oneofl Core.Category.all in
+    let* trial = small_nat in
+    let* verdict =
+      oneofl
+        Core.Verdict.
+          [ Benign; Sdc; Crash; Hang; Not_activated; Not_injected ]
+    in
+    let* fault_site = map (fun n -> n - 1) small_nat in
+    let* injected_step = map (fun n -> n - 1) small_nat in
+    let* steps = small_nat in
+    let* payload = small_nat in
+    let* trap =
+      oneofl
+        Vm.Trap.
+          [
+            None;
+            Some (Unmapped_read payload);
+            Some (Unmapped_write payload);
+            Some Division_by_zero;
+            Some (Invalid_jump payload);
+            Some Stack_overflow;
+            Some Unreachable_executed;
+          ]
+    in
+    let* first_use = oneofl Vm.First_use.all in
+    return
+      {
+        Diagnose.Record.workload;
+        tool;
+        category;
+        trial;
+        verdict;
+        fault_site;
+        injected_step;
+        steps;
+        trap;
+        first_use;
+      }
+  in
+  QCheck.make ~print:Diagnose.Record.to_line gen
+
+let test_record_roundtrip_property =
+  QCheck.Test.make ~name:"any record round-trips through its line" ~count:300
+    record_arbitrary (fun r ->
+      let line = Diagnose.Record.to_line r in
+      match Diagnose.Record.of_line line with
+      | Error _ -> false
+      | Ok r' ->
+        Diagnose.Record.to_line r' = line && Diagnose.Record.compare r r' = 0)
+
+(* QCheck: writing any batch of records through a sink and loading the
+   file back yields the same records in canonical order, regardless of
+   insertion order. *)
+let test_sink_roundtrip_property =
+  QCheck.Test.make ~name:"sink write/load round-trips any batch" ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 12) record_arbitrary)
+    (fun records ->
+      let sink = Diagnose.Sink.create () in
+      List.iter (Diagnose.Sink.add sink) records;
+      let path = Filename.temp_file "sink_prop" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Diagnose.Sink.write sink path;
+          let loaded = Diagnose.Sink.load path in
+          let lines = List.map Diagnose.Record.to_line in
+          (* Exactly what the sink holds, in its canonical order... *)
+          lines loaded = lines (Diagnose.Sink.records sink)
+          (* ...which is sorted, and loses/invents nothing (records
+             with equal sort keys may tie-break arbitrarily, so the
+             content check is as a multiset). *)
+          && List.sort compare (lines loaded)
+             = List.sort compare (lines records)
+          &&
+          let rec sorted = function
+            | a :: b :: tl ->
+              Diagnose.Record.compare a b <= 0 && sorted (b :: tl)
+            | _ -> true
+          in
+          sorted loaded))
+
 let test_record_rejects_garbage () =
   List.iter
     (fun line ->
@@ -176,6 +265,8 @@ let () =
         [
           ("line roundtrip", `Slow, test_record_roundtrip);
           ("garbage rejected", `Quick, test_record_rejects_garbage);
+          QCheck_alcotest.to_alcotest test_record_roundtrip_property;
+          QCheck_alcotest.to_alcotest test_sink_roundtrip_property;
         ] );
       ( "sink",
         [

@@ -104,6 +104,51 @@ let test_explicit_chunk_sizes () =
         (Core.Campaign.to_csv r.Engine.Scheduler.cells))
     [ 1; 5; 7; 100 ]
 
+(* QCheck: the scheduler's chunk-reassembly is only sound because tally
+   merging is associative (and starts from a zero tally) — any chunking
+   of a cell's trials folds to the same totals.  Check that algebra on
+   arbitrary tallies. *)
+let tally_arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    map
+      (fun l ->
+        match l with
+        | [ a; b; c; d; e; f ] ->
+          {
+            Core.Verdict.trials = a + b + c + d + e + f;
+            benign = a;
+            sdc = b;
+            crash = c;
+            hang = d;
+            not_activated = e;
+            not_injected = f;
+          }
+        | _ -> assert false)
+      (flatten_l (List.init 6 (fun _ -> small_nat)))
+  in
+  let print (t : Core.Verdict.tally) =
+    Printf.sprintf "{trials=%d benign=%d sdc=%d crash=%d hang=%d na=%d ni=%d}"
+      t.trials t.benign t.sdc t.crash t.hang t.not_activated t.not_injected
+  in
+  QCheck.make ~print gen
+
+let tally_equal (a : Core.Verdict.tally) (b : Core.Verdict.tally) =
+  a.trials = b.trials && a.benign = b.benign && a.sdc = b.sdc
+  && a.crash = b.crash && a.hang = b.hang
+  && a.not_activated = b.not_activated
+  && a.not_injected = b.not_injected
+
+let test_merge_associative_property =
+  QCheck.Test.make ~name:"Verdict.merge is associative and commutative"
+    ~count:300
+    (QCheck.triple tally_arbitrary tally_arbitrary tally_arbitrary)
+    (fun (a, b, c) ->
+      let open Core.Verdict in
+      tally_equal (merge a (merge b c)) (merge (merge a b) c)
+      && tally_equal (merge a b) (merge b a)
+      && tally_equal (merge a (fresh_tally ())) a)
+
 (* --- Journal --- *)
 
 let with_temp_file f =
@@ -247,6 +292,7 @@ let () =
           ("jobs=1 vs jobs=4 csv", `Slow, test_jobs_determinism);
           ("chunked single cell", `Slow, test_chunked_cell_determinism);
           ("explicit chunk sizes", `Slow, test_explicit_chunk_sizes);
+          QCheck_alcotest.to_alcotest test_merge_associative_property;
         ] );
       ( "journal",
         [
