@@ -149,6 +149,80 @@ let check_engine_flags ~journal ~resume =
     `Error (true, "--resume requires --journal PATH")
   else `Ok ()
 
+(* --- observability flags (campaign, inject, diagnose, fuzz) ---
+
+   All telemetry notices and tables go to stderr: stdout must stay
+   byte-identical with telemetry on or off (ci.sh smokes this). *)
+
+type obs_opts = {
+  o_trace : string option;
+  o_metrics : bool;
+  o_manifest : string option;
+}
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record spans (scheduler tasks, fast-forward / checkpoint / \
+           trial phases) and write a Chrome trace_event JSON file to \
+           $(docv) — open it in chrome://tracing or Perfetto.  The span \
+           tree is identical for every $(b,--jobs) value.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the merged metrics table to stderr when the run ends.")
+
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"PATH"
+        ~doc:
+          "Write a run manifest (config, environment, per-section \
+           wall-clock, metrics, output digests) to $(docv).  On by \
+           default for $(b,campaign) (fi-manifest.json); see \
+           $(b,--no-manifest).")
+
+let no_manifest_arg =
+  Arg.(
+    value & flag
+    & info [ "no-manifest" ] ~doc:"Do not write a run manifest.")
+
+(* The tracer needs spans recorded as they happen, so enabling is part
+   of argument resolution; metrics piggyback on any telemetry consumer
+   (the manifest embeds a metrics snapshot). *)
+let obs_resolve ~manifest_default trace metrics manifest no_manifest =
+  let manifest =
+    if no_manifest then None
+    else match manifest with Some p -> Some p | None -> manifest_default
+  in
+  if trace <> None then Obs.Trace.enable ();
+  if trace <> None || metrics || manifest <> None then Obs.Metrics.enable ();
+  { o_trace = trace; o_metrics = metrics; o_manifest = manifest }
+
+let obs_term ~manifest_default =
+  Term.(
+    const (obs_resolve ~manifest_default)
+    $ trace_arg $ metrics_arg $ manifest_arg $ no_manifest_arg)
+
+let obs_finish ?manifest o =
+  (match o.o_trace with
+  | Some path ->
+    Obs.Trace.write path;
+    Fmt.epr "Trace written to %s@." path
+  | None -> ());
+  (match (o.o_manifest, manifest) with
+  | Some path, Some m ->
+    Obs.Manifest.write m ~path;
+    if path <> "/dev/null" then Fmt.epr "Run manifest written to %s@." path
+  | _ -> ());
+  if o.o_metrics then prerr_string (Obs.Metrics.render ())
+
 (* --- list --- *)
 
 let list_cmd =
@@ -231,7 +305,7 @@ let profile_cmd =
 
 let inject_cmd =
   let run (w : Core.Workload.t) tool category trials seed functions jobs
-      journal resume no_snapshot =
+      journal resume no_snapshot obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
@@ -251,9 +325,27 @@ let inject_cmd =
       | `Llfi -> Core.Campaign.Llfi_tool
       | `Pinfi -> Core.Campaign.Pinfi_tool
     in
+    let manifest =
+      Option.map (fun _ -> Obs.Manifest.create ~command:"inject") obs.o_manifest
+    in
+    (match manifest with
+    | Some m ->
+      Obs.Manifest.set m "workload" (Obs.Json.Str w.name);
+      Obs.Manifest.set m "tool" (Obs.Json.Str (Core.Campaign.tool_name tool));
+      Obs.Manifest.set m "category"
+        (Obs.Json.Str (Core.Category.name category));
+      Obs.Manifest.set m "seed" (Obs.Json.Int seed);
+      Obs.Manifest.set m "trials" (Obs.Json.Int trials);
+      Obs.Manifest.set m "jobs" (Obs.Json.Int (resolve_jobs jobs));
+      Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot))
+    | None -> ());
+    let in_section name f =
+      match manifest with Some m -> Obs.Manifest.section m name f | None -> f ()
+    in
     (* A single cell run through the engine: with --jobs N the cell is
        split into N trial ranges; the tally is identical either way. *)
     match
+      in_section "execute" @@ fun () ->
       Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ?journal ~resume
         ~tools:[ tool ] ~categories:[ category ] config [ w ]
     with
@@ -276,6 +368,7 @@ let inject_cmd =
       (100.0 *. Core.Verdict.benign_rate t)
       t.hang;
     if t.not_activated > 0 then Fmt.pr "not activated: %d@." t.not_activated;
+    obs_finish ?manifest obs;
     `Ok 0
   in
   let tool_arg =
@@ -305,7 +398,7 @@ let inject_cmd =
       ret
         (const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200
        $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg
-       $ no_snapshot_arg))
+       $ no_snapshot_arg $ obs_term ~manifest_default:None))
 
 (* --- propagate --- *)
 
@@ -456,7 +549,7 @@ let records_arg =
 
 let campaign_cmd =
   let run trials seed csv_file workload_filter jobs journal resume records
-      no_snapshot =
+      no_snapshot obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
@@ -467,6 +560,23 @@ let campaign_cmd =
       | [] -> Workloads.all
       | names -> List.map Workloads.find_exn names
     in
+    let manifest =
+      Option.map (fun _ -> Obs.Manifest.create ~command:"campaign") obs.o_manifest
+    in
+    (match manifest with
+    | Some m ->
+      Obs.Manifest.set m "seed" (Obs.Json.Int seed);
+      Obs.Manifest.set m "trials" (Obs.Json.Int trials);
+      Obs.Manifest.set m "jobs" (Obs.Json.Int jobs);
+      Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot));
+      Obs.Manifest.set m "journal" (Obs.Json.Bool (journal <> None));
+      Obs.Manifest.set m "records" (Obs.Json.Bool (records <> None));
+      Obs.Manifest.set m "workloads"
+        (Obs.Json.List
+           (List.map
+              (fun (w : Core.Workload.t) -> Obs.Json.Str w.name)
+              workloads))
+    | None -> ());
     Fmt.pr
       "Running campaign: %d workloads x 2 tools x %d categories x %d trials \
        (%d job%s)@."
@@ -475,7 +585,11 @@ let campaign_cmd =
       trials jobs
       (if jobs = 1 then "" else "s");
     let sink = Option.map (fun _ -> Diagnose.Sink.create ()) records in
+    let in_section name f =
+      match manifest with Some m -> Obs.Manifest.section m name f | None -> f ()
+    in
     match
+      in_section "execute" @@ fun () ->
       Engine.Scheduler.run ~jobs ?journal ~resume
         ~progress:(Engine.Progress.create ())
         ?observe:(Option.map sink_observer sink)
@@ -485,23 +599,24 @@ let campaign_cmd =
     | result ->
     let prepared = result.Engine.Scheduler.prepared in
     let cells = result.Engine.Scheduler.cells in
-    print_newline ();
-    Core.Report.table2 workloads;
-    print_newline ();
-    Core.Report.table3 ();
-    print_newline ();
-    Core.Report.table1 prepared;
-    print_newline ();
-    Core.Report.figure2 ();
-    Core.Report.table4 prepared;
-    print_newline ();
-    Core.Report.figure3 cells;
-    print_newline ();
-    Core.Report.figure4 cells;
-    print_newline ();
-    Core.Report.table5 cells;
-    print_newline ();
-    Core.Report.print_claims (Core.Report.evaluate_claims prepared cells);
+    (in_section "report" @@ fun () ->
+     print_newline ();
+     Core.Report.table2 workloads;
+     print_newline ();
+     Core.Report.table3 ();
+     print_newline ();
+     Core.Report.table1 prepared;
+     print_newline ();
+     Core.Report.figure2 ();
+     Core.Report.table4 prepared;
+     print_newline ();
+     Core.Report.figure3 cells;
+     print_newline ();
+     Core.Report.figure4 cells;
+     print_newline ();
+     Core.Report.table5 cells;
+     print_newline ();
+     Core.Report.print_claims (Core.Report.evaluate_claims prepared cells));
     (match (sink, records) with
     | Some sink, Some path ->
       print_newline ();
@@ -509,13 +624,18 @@ let campaign_cmd =
       Diagnose.Sink.write sink path;
       Fmt.pr "Diagnosis records written to %s@." path
     | _ -> ());
+    let csv = Core.Campaign.to_csv cells in
+    (match manifest with
+    | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
+    | None -> ());
     (match csv_file with
     | Some path ->
       let oc = open_out path in
-      output_string oc (Core.Campaign.to_csv cells);
+      output_string oc csv;
       close_out oc;
       Fmt.pr "Raw results written to %s@." path
     | None -> ());
+    obs_finish ?manifest obs;
     `Ok 0
   in
   let csv_arg =
@@ -539,13 +659,14 @@ let campaign_cmd =
     Term.(
       ret
         (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
-       $ jobs_arg $ journal_arg $ resume_arg $ records_arg $ no_snapshot_arg))
+       $ jobs_arg $ journal_arg $ resume_arg $ records_arg $ no_snapshot_arg
+       $ obs_term ~manifest_default:(Some "fi-manifest.json")))
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
   let run workload_filter tools categories trials seed from records csv_file
-      jobs no_snapshot =
+      jobs no_snapshot obs =
     match from with
     | Some path -> (
       (* Consume an existing record file instead of running anything. *)
@@ -575,7 +696,25 @@ let diagnose_cmd =
         match categories with [] -> Core.Category.all | l -> l
       in
       let sink = Diagnose.Sink.create () in
+      let manifest =
+        Option.map
+          (fun _ -> Obs.Manifest.create ~command:"diagnose")
+          obs.o_manifest
+      in
+      (match manifest with
+      | Some m ->
+        Obs.Manifest.set m "seed" (Obs.Json.Int seed);
+        Obs.Manifest.set m "trials" (Obs.Json.Int trials);
+        Obs.Manifest.set m "jobs" (Obs.Json.Int (resolve_jobs jobs));
+        Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot))
+      | None -> ());
+      let in_section name f =
+        match manifest with
+        | Some m -> Obs.Manifest.section m name f
+        | None -> f ()
+      in
       (match
+         in_section "execute" @@ fun () ->
          Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ~tools ~categories
            ~observe:(sink_observer sink) ~track_use:true config workloads
        with
@@ -587,14 +726,18 @@ let diagnose_cmd =
           Diagnose.Sink.write sink path;
           Fmt.pr "Diagnosis records written to %s@." path
         | None -> ());
+        let csv = Core.Campaign.to_csv result.Engine.Scheduler.cells in
+        (match manifest with
+        | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
+        | None -> ());
         (match csv_file with
         | Some path ->
           let oc = open_out path in
-          output_string oc
-            (Core.Campaign.to_csv result.Engine.Scheduler.cells);
+          output_string oc csv;
           close_out oc;
           Fmt.pr "Raw results written to %s@." path
         | None -> ());
+        obs_finish ?manifest obs;
         `Ok 0)
   in
   let filter_arg =
@@ -643,13 +786,13 @@ let diagnose_cmd =
       ret
         (const run $ filter_arg $ tools_arg $ cats_arg $ trials_arg 200
        $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg
-       $ no_snapshot_arg))
+       $ no_snapshot_arg $ obs_term ~manifest_default:None))
 
 (* --- fuzz --- *)
 
 let fuzz_cmd =
   let run seed count coverage trials jobs workload_filter mutate corpus
-      max_repros =
+      max_repros obs =
     let mutate =
       match mutate with
       | None -> `Ok None
@@ -666,6 +809,20 @@ let fuzz_cmd =
     match mutate with
     | `Error _ as e -> e
     | `Ok mutate ->
+      let manifest =
+        Option.map (fun _ -> Obs.Manifest.create ~command:"fuzz") obs.o_manifest
+      in
+      (match manifest with
+      | Some m ->
+        Obs.Manifest.set m "seed" (Obs.Json.Int seed);
+        Obs.Manifest.set m "count" (Obs.Json.Int count);
+        Obs.Manifest.set m "coverage" (Obs.Json.Bool coverage)
+      | None -> ());
+      let in_section name f =
+        match manifest with
+        | Some m -> Obs.Manifest.section m name f
+        | None -> f ()
+      in
       if coverage then begin
         let workloads =
           match workload_filter with
@@ -673,20 +830,26 @@ let fuzz_cmd =
           | names -> List.map Workloads.find_exn names
         in
         let report =
+          in_section "coverage" @@ fun () ->
           Fuzz.Coverage.measure ~jobs:(resolve_jobs jobs) ~workloads ~trials
             ~seed ()
         in
         print_string (Fuzz.Coverage.render report);
+        obs_finish ?manifest obs;
         `Ok 0
       end
       else begin
-        let summary = Fuzz.campaign ?mutate ~max_repros ~seed ~count () in
+        let summary =
+          in_section "fuzz" @@ fun () ->
+          Fuzz.campaign ?mutate ~max_repros ~seed ~count ()
+        in
         print_string (Fuzz.render_summary ?mutate summary);
         (match corpus with
         | Some dir when summary.Fuzz.s_findings <> [] ->
           let paths = Fuzz.write_corpus ~dir summary in
           List.iter (fun p -> Fmt.pr "repro written to %s@." p) paths
         | _ -> ());
+        obs_finish ?manifest obs;
         `Ok (if summary.Fuzz.s_findings = [] then 0 else 1)
       end
   in
@@ -747,7 +910,8 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_arg $ count_arg $ coverage_arg $ trials_arg 200
-       $ jobs_arg $ filter_arg $ mutate_arg $ corpus_arg $ max_repros_arg))
+       $ jobs_arg $ filter_arg $ mutate_arg $ corpus_arg $ max_repros_arg
+       $ obs_term ~manifest_default:None))
 
 let main_cmd =
   let doc =

@@ -78,7 +78,29 @@ let cell_rng config ~workload ~tool ~category =
    test_fuzz.ml asserts it behaviorally for both injectors. *)
 let target_draw = 0
 
+(* Telemetry (lib/obs).  Verdict counters are registered up front so
+   the table renders all six rows even for an all-benign run. *)
+let m_trials = Obs.Metrics.counter "campaign.trials"
+let m_cells = Obs.Metrics.counter "campaign.cells"
+
+let m_verdicts =
+  List.map
+    (fun v -> (v, Obs.Metrics.counter ("campaign.verdict." ^ Verdict.name v)))
+    [
+      Verdict.Benign;
+      Verdict.Sdc;
+      Verdict.Crash;
+      Verdict.Hang;
+      Verdict.Not_activated;
+      Verdict.Not_injected;
+    ]
+
+let count_verdict v = Obs.Metrics.incr (List.assoc v m_verdicts)
+
 let prepare config (w : Workload.t) =
+  Obs.Trace.span "prepare"
+    ~args:[ ("workload", w.Workload.name) ]
+  @@ fun () ->
   let prog = Opt.optimize (Minic.compile w.Workload.source) in
   let asm = Backend.compile ~config:config.backend prog in
   let llfi = Llfi.prepare ~config:config.llfi ~inputs:w.Workload.inputs prog in
@@ -151,6 +173,8 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
     Support.Rng.advance master first;
     let consume trial verdict stats =
       Verdict.add tally verdict;
+      Obs.Metrics.incr m_trials;
+      count_verdict verdict;
       (match on_stats with Some f -> f trial verdict stats | None -> ());
       match on_trial with Some f -> f trial verdict | None -> ()
     in
@@ -168,18 +192,23 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
         | Lrun lr -> fun ~target rng -> Llfi.inject_at ~track_use lr ~target rng
         | Prun pr -> fun ~target rng -> Pinfi.inject_at ~track_use pr ~target rng
       in
-      let rngs = Array.init count (fun _ -> Support.Rng.split master) in
-      let targets = Array.map (fun rng -> plan rng) rngs in
-      let order = Array.init count (fun i -> i) in
-      Array.sort
-        (fun a b ->
-          let c = compare targets.(a) targets.(b) in
-          if c <> 0 then c else compare a b)
-        order;
+      let rngs, targets, order =
+        Obs.Trace.span "plan-targets" @@ fun () ->
+        let rngs = Array.init count (fun _ -> Support.Rng.split master) in
+        let targets = Array.map (fun rng -> plan rng) rngs in
+        let order = Array.init count (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            let c = compare targets.(a) targets.(b) in
+            if c <> 0 then c else compare a b)
+          order;
+        (rngs, targets, order)
+      in
       let results = Array.make count None in
-      Array.iter
-        (fun i -> results.(i) <- Some (inject_at ~target:targets.(i) rngs.(i)))
-        order;
+      (Obs.Trace.span "run-trials" @@ fun () ->
+       Array.iter
+         (fun i -> results.(i) <- Some (inject_at ~target:targets.(i) rngs.(i)))
+         order);
       Array.iteri
         (fun i stats ->
           let stats = Option.get stats in
@@ -188,6 +217,7 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
         results
     end
     else
+      Obs.Trace.span "run-trials" @@ fun () ->
       for trial = first to first + count - 1 do
         let rng = Support.Rng.split master in
         let stats = inject rng in
@@ -195,6 +225,7 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
         consume trial verdict stats
       done
   end;
+  Obs.Metrics.incr m_cells;
   {
     c_workload = p.workload.Workload.name;
     c_tool = tool;

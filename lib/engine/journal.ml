@@ -100,12 +100,15 @@ let start ~path ~resume ~grid config =
   in
   ({ oc; mutex = Mutex.create (); closed = false }, existing)
 
+let m_flushes = Obs.Metrics.counter "engine.journal.flushes"
+
 let record t cell =
   Mutex.lock t.mutex;
   if not t.closed then begin
     output_string t.oc (cell_line cell);
     output_char t.oc '\n';
-    flush t.oc
+    flush t.oc;
+    Obs.Metrics.incr m_flushes
   end;
   Mutex.unlock t.mutex
 

@@ -47,7 +47,10 @@ let create ?size () =
 
 let size t = Array.length t.workers
 
+let m_submitted = Obs.Metrics.counter "engine.pool.tasks"
+
 let submit t task =
+  Obs.Metrics.incr m_submitted;
   Mutex.lock t.mutex;
   if t.closing then begin
     Mutex.unlock t.mutex;

@@ -48,7 +48,10 @@ let plan t ~cells ~skipped =
   if skipped > 0 then
     say t "engine: %d cell(s) restored from journal, %d to run" skipped cells
 
+let m_cells_done = Obs.Metrics.counter "engine.cells_done"
+
 let cell_done t (cell : Core.Campaign.cell) ~elapsed =
+  Obs.Metrics.incr m_cells_done;
   Mutex.lock t.mutex;
   t.completed <- t.completed + 1;
   t.trials <- t.trials + cell.c_tally.Core.Verdict.trials;

@@ -41,6 +41,14 @@ let ranges ~chunk trials =
         ((trials + n - 1) / n)
         (fun k -> (k * n, min n (trials - (k * n))))
 
+(* Telemetry (lib/obs).  Note that [run] itself is deliberately not
+   wrapped in a span: with jobs=1 the task spans would nest under it
+   while pool workers would root theirs elsewhere, breaking the
+   jobs-invariant canonical forest (see Obs.Trace). *)
+let m_tasks = Obs.Metrics.counter "engine.tasks"
+let m_cache_hits = Obs.Metrics.counter "engine.runner_cache.hits"
+let m_cache_misses = Obs.Metrics.counter "engine.runner_cache.misses"
+
 (* One cached fast-forward runner per domain: consecutive trial-range
    subtasks of the same cell landing on the same worker reuse the rolling
    machine instead of rebuilding it from scratch.  Validated by physical
@@ -55,9 +63,15 @@ let cached_runner (config : Core.Campaign.config) p tool category =
   else begin
     let cache = Domain.DLS.get runner_cache in
     match !cache with
-    | Some r when Core.Campaign.runner_matches r p tool category -> Some r
+    | Some r when Core.Campaign.runner_matches r p tool category ->
+      Obs.Metrics.incr m_cache_hits;
+      Some r
     | _ ->
-      let r = Core.Campaign.runner p tool category in
+      Obs.Metrics.incr m_cache_misses;
+      let r =
+        Obs.Trace.span "runner-build" (fun () ->
+            Core.Campaign.runner p tool category)
+      in
       cache := Some r;
       Some r
   end
@@ -161,6 +175,25 @@ let run ?(jobs = 1) ?journal:journal_path ?(resume = false) ?progress
       | None -> ());
       let run_subtask (ti, ri, first, count) =
         let t = pending.(ti) in
+        Obs.Metrics.incr m_tasks;
+        let in_span f =
+          (* Root span of each unit of scheduled work.  The args make the
+             root key unique across the whole grid, which is what lets
+             Obs.Trace.forest sort roots canonically for any [jobs]. *)
+          if Obs.Trace.on () then
+            Obs.Trace.span "task"
+              ~args:
+                [
+                  ("workload", t.t_workload.Core.Workload.name);
+                  ("tool", Core.Campaign.tool_name t.t_tool);
+                  ("category", Core.Category.name t.t_category);
+                  ("first", string_of_int first);
+                  ("count", string_of_int count);
+                ]
+              f
+          else f ()
+        in
+        in_span @@ fun () ->
         let p = prepared_for t.t_workload in
         let t0 = Unix.gettimeofday () in
         let on_stats =

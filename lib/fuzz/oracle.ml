@@ -59,7 +59,20 @@ let guard stage f =
   | exception Minic.Compile_error msg ->
     Printf.sprintf "error in %s: %s" stage msg
 
+(* Telemetry (lib/obs): one program / one comparison per stage, so the
+   counters are exact even when a stage errors out. *)
+let m_programs = Obs.Metrics.counter "fuzz.programs"
+let m_stage_comparisons = Obs.Metrics.counter "fuzz.stage_comparisons"
+let m_divergences = Obs.Metrics.counter "fuzz.divergences"
+
+let staged stage f =
+  Obs.Metrics.incr m_stage_comparisons;
+  if Obs.Trace.on () then
+    Obs.Trace.span "stage" ~args:[ ("stage", stage) ] f
+  else f ()
+
 let run ?mutate subject =
+  Obs.Metrics.incr m_programs;
   match lower subject with
   | exception Minic.Compile_error msg -> Invalid msg
   | exception Ir.Parse.Error msg -> Invalid msg
@@ -77,29 +90,32 @@ let run ?mutate subject =
         List.map
           (fun (stage, pass) ->
             ( stage,
-              guard stage (fun () ->
-                  let p = lower subject in
-                  pass p;
-                  verify_or_fail stage p;
-                  ir_behaviour ~budget p) ))
+              staged stage (fun () ->
+                  guard stage (fun () ->
+                      let p = lower subject in
+                      pass p;
+                      verify_or_fail stage p;
+                      ir_behaviour ~budget p)) ))
           passes
         @ [
             ( "opt",
-              guard "opt" (fun () ->
-                  let p = Opt.optimize (lower subject) in
-                  (match mutate with
-                  | Some m ->
-                    ignore (Mutate.apply m p);
-                    verify_or_fail "mutation" p
-                  | None -> ());
-                  ir_behaviour ~budget p) );
+              staged "opt" (fun () ->
+                  guard "opt" (fun () ->
+                      let p = Opt.optimize (lower subject) in
+                      (match mutate with
+                      | Some m ->
+                        ignore (Mutate.apply m p);
+                        verify_or_fail "mutation" p
+                      | None -> ());
+                      ir_behaviour ~budget p)) );
             ( "asm",
-              guard "asm" (fun () ->
-                  let p = Opt.optimize (lower subject) in
-                  let asm = Backend.compile p in
-                  render
-                    (Vm.X86_exec.run ~max_steps:asm_budget
-                       (Vm.X86_exec.load asm))) );
+              staged "asm" (fun () ->
+                  guard "asm" (fun () ->
+                      let p = Opt.optimize (lower subject) in
+                      let asm = Backend.compile p in
+                      render
+                        (Vm.X86_exec.run ~max_steps:asm_budget
+                           (Vm.X86_exec.load asm)))) );
           ]
       in
       let diffs =
@@ -109,6 +125,7 @@ let run ?mutate subject =
             else Some { d_stage = stage; d_expected = expected; d_got = got })
           stage_behaviours
       in
+      if diffs <> [] then Obs.Metrics.incr m_divergences;
       if diffs = [] then Agree (List.length stage_behaviours)
       else Diverged diffs)
 

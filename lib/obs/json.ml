@@ -1,0 +1,233 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing --- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* %.17g round-trips any finite double; values that print with no
+   fractional marker get one appended so the parser reads them back as
+   floats, not ints. *)
+let float_repr f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s
+  else s ^ ".0"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> add_escaped buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        add buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let error cur msg =
+  failwith (Printf.sprintf "Json.of_string: %s at offset %d" msg cur.pos)
+
+let peek cur = if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> cur.pos <- cur.pos + 1
+  | _ -> error cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  if
+    cur.pos + String.length word <= String.length cur.text
+    && String.sub cur.text cur.pos (String.length word) = word
+  then begin
+    cur.pos <- cur.pos + String.length word;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> cur.pos <- cur.pos + 1
+    | Some '\\' ->
+      cur.pos <- cur.pos + 1;
+      (match peek cur with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if cur.pos + 4 >= String.length cur.text then
+          error cur "truncated \\u escape";
+        let hex = String.sub cur.text (cur.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> error cur "bad \\u escape"
+        in
+        (* Telemetry strings are ASCII; escapes above 0xff are not
+           produced by [to_string] and are rejected rather than
+           half-decoded. *)
+        if code > 0xff then error cur "non-latin \\u escape"
+        else Buffer.add_char buf (Char.chr code);
+        cur.pos <- cur.pos + 4
+      | _ -> error cur "bad escape");
+      cur.pos <- cur.pos + 1;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      cur.pos <- cur.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while match peek cur with Some c when is_num_char c -> true | _ -> false do
+    cur.pos <- cur.pos + 1
+  done;
+  let s = String.sub cur.text start (cur.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error cur "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> error cur "bad number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some '[' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      cur.pos <- cur.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          cur.pos <- cur.pos + 1;
+          List.rev (v :: acc)
+        | _ -> error cur "expected , or ]"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      cur.pos <- cur.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          fields (f :: acc)
+        | Some '}' ->
+          cur.pos <- cur.pos + 1;
+          List.rev (f :: acc)
+        | _ -> error cur "expected , or }"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> error cur (Printf.sprintf "unexpected %C" c)
+
+let of_string text =
+  let cur = { text; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length text then error cur "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Minimal JSON values for telemetry artifacts.
+
+    Just enough JSON for the run manifest and the Chrome trace export:
+    a value type, a compact deterministic printer (object fields in the
+    order given, no whitespace beyond what the caller embeds), and a
+    strict parser for round-tripping manifests in tests and tooling.
+
+    Floats print with enough digits ([%.17g]) that
+    [of_string (to_string v)] reconstructs [v] exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; field order is preserved, so equal values render
+    to equal strings. *)
+
+val of_string : string -> t
+(** Strict parse of one JSON document (trailing whitespace allowed).
+    Numbers without [.], [e] or [E] become [Int], others [Float].
+    @raise Failure on malformed input. *)
+
+val member : string -> t -> t option
+(** First field of that name, when the value is an object. *)

@@ -1,0 +1,80 @@
+type t = {
+  command : string;
+  started : float;  (* Unix.gettimeofday at create *)
+  environment : (string * Json.t) list;
+  mutable config : (string * Json.t) list;  (* reversed *)
+  mutable sections : (string * float) list;  (* reversed *)
+  mutable digests : (string * string) list;  (* reversed *)
+}
+
+(* Best-effort git revision: CI exports it, a work tree answers
+   rev-parse, anything else reports "unknown".  Never fails. *)
+let git_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+    match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+    | exception _ -> "unknown"
+    | ic -> (
+      let line = try In_channel.input_line ic with _ -> None in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (
+        match line with Some rev when rev <> "" -> rev | _ -> "unknown")
+      | _ -> "unknown"
+      | exception _ -> "unknown"))
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+let create ~command =
+  {
+    command;
+    started = Unix.gettimeofday ();
+    environment =
+      [
+        ("ocaml", Json.Str Sys.ocaml_version);
+        ("os", Json.Str Sys.os_type);
+        ("word_size", Json.Int Sys.word_size);
+        ("host", Json.Str (hostname ()));
+        ("git_rev", Json.Str (git_rev ()));
+      ];
+    config = [];
+    sections = [];
+    digests = [];
+  }
+
+let set t key v = t.config <- (key, v) :: t.config
+
+let section t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.sections <- (name, Unix.gettimeofday () -. t0) :: t.sections)
+    f
+
+let add_digest t name ~payload =
+  t.digests <- (name, Digest.to_hex (Digest.string payload)) :: t.digests
+
+let to_json ?(metrics = true) t =
+  Json.Obj
+    [
+      ("fi_manifest", Json.Int 1);
+      ("command", Json.Str t.command);
+      ("config", Json.Obj (List.rev t.config));
+      ("environment", Json.Obj t.environment);
+      ( "sections",
+        Json.List
+          (List.rev_map
+             (fun (name, s) ->
+               Json.Obj [ ("name", Json.Str name); ("seconds", Json.Float s) ])
+             t.sections) );
+      ("metrics", if metrics then Metrics.to_json () else Json.Obj []);
+      ( "digests",
+        Json.Obj (List.rev_map (fun (k, d) -> (k, Json.Str d)) t.digests) );
+      ("wall_seconds", Json.Float (Unix.gettimeofday () -. t.started));
+    ]
+
+let write ?metrics t ~path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json ?metrics t));
+  output_char oc '\n';
+  close_out oc

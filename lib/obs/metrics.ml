@@ -1,0 +1,187 @@
+(* Counters + power-of-two-bucket histograms over per-domain shards;
+   see the .mli for the threading contract. *)
+
+module Hist = struct
+  let buckets = 64
+
+  (* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i, with the top
+     bucket absorbing everything beyond. *)
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+      min (buckets - 1) (bits v 0)
+    end
+
+  (* [1 lsl (Sys.int_size - 1)] wraps negative, so bounds past the
+     largest representable power of two saturate to [max_int] — the
+     bucket holding [max_int] absorbs up to it inclusive. *)
+  let lower_bound i =
+    if i <= 0 then min_int
+    else if i - 1 >= Sys.int_size - 1 then max_int
+    else 1 lsl (i - 1)
+
+  let merge a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i ->
+        (if i < Array.length a then a.(i) else 0)
+        + if i < Array.length b then b.(i) else 0)
+end
+
+type kind = K_counter | K_hist
+
+type metric = { m_name : string; m_kind : kind; m_off : int }
+
+type counter = metric
+type histogram = metric
+
+(* Shard slot layout: a counter owns one slot; a histogram owns
+   [2 + buckets] slots (count, sum, then the buckets). *)
+let hist_slots = 2 + Hist.buckets
+
+let enabled = ref false
+
+let registry : metric list ref = ref []
+let next_off = ref 0
+
+type shard = { mutable arr : int array }
+
+let shards : shard list ref = ref []
+let reg_mutex = Mutex.create ()
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { arr = Array.make (max 64 !next_off) 0 } in
+      Mutex.lock reg_mutex;
+      shards := s :: !shards;
+      Mutex.unlock reg_mutex;
+      s)
+
+let on () = !enabled
+let enable () = enabled := true
+
+let reset () =
+  enabled := false;
+  Mutex.lock reg_mutex;
+  List.iter (fun s -> Array.fill s.arr 0 (Array.length s.arr) 0) !shards;
+  Mutex.unlock reg_mutex
+
+let register name kind slots =
+  Mutex.lock reg_mutex;
+  let m =
+    match List.find_opt (fun m -> String.equal m.m_name name) !registry with
+    | Some m ->
+      if m.m_kind <> kind then begin
+        Mutex.unlock reg_mutex;
+        invalid_arg ("Metrics: " ^ name ^ " re-registered with another kind")
+      end;
+      m
+    | None ->
+      let m = { m_name = name; m_kind = kind; m_off = !next_off } in
+      next_off := !next_off + slots;
+      registry := m :: !registry;
+      m
+  in
+  Mutex.unlock reg_mutex;
+  m
+
+let counter name = register name K_counter 1
+let histogram name = register name K_hist hist_slots
+
+(* The shard array only grows when a metric registered after the shard
+   was created is first written through it. *)
+let slots_for last =
+  let s = Domain.DLS.get shard_key in
+  if last >= Array.length s.arr then begin
+    let n = Array.make (max (last + 1) (2 * Array.length s.arr)) 0 in
+    Array.blit s.arr 0 n 0 (Array.length s.arr);
+    s.arr <- n
+  end;
+  s.arr
+
+let incr ?(by = 1) (c : counter) =
+  if !enabled then begin
+    let a = slots_for c.m_off in
+    a.(c.m_off) <- a.(c.m_off) + by
+  end
+
+let observe (h : histogram) v =
+  if !enabled then begin
+    let a = slots_for (h.m_off + hist_slots - 1) in
+    a.(h.m_off) <- a.(h.m_off) + 1;
+    a.(h.m_off + 1) <- a.(h.m_off + 1) + v;
+    let b = h.m_off + 2 + Hist.bucket_of v in
+    a.(b) <- a.(b) + 1
+  end
+
+type value =
+  | Count of int
+  | Histo of { count : int; sum : int; buckets : int array }
+
+let snapshot () =
+  Mutex.lock reg_mutex;
+  let metrics = !registry and shard_list = !shards in
+  Mutex.unlock reg_mutex;
+  let sum_slot off =
+    List.fold_left
+      (fun acc s -> if off < Array.length s.arr then acc + s.arr.(off) else acc)
+      0 shard_list
+  in
+  metrics
+  |> List.map (fun m ->
+         match m.m_kind with
+         | K_counter -> (m.m_name, Count (sum_slot m.m_off))
+         | K_hist ->
+           ( m.m_name,
+             Histo
+               {
+                 count = sum_slot m.m_off;
+                 sum = sum_slot (m.m_off + 1);
+                 buckets = Array.init Hist.buckets (fun i -> sum_slot (m.m_off + 2 + i));
+               } ))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "metrics:\n";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count n -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name n)
+      | Histo { count; sum; buckets } ->
+        let mean = if count > 0 then float_of_int sum /. float_of_int count else 0.0 in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s count=%d sum=%d mean=%.1f\n" name count sum
+             mean);
+        Array.iteri
+          (fun i n ->
+            if n > 0 then
+              Buffer.add_string buf
+                (Printf.sprintf "  %-32s   [%s, %s): %d\n" ""
+                   (if i = 0 then "-inf" else string_of_int (Hist.lower_bound i))
+                   (if i >= Hist.buckets - 1 then "inf"
+                    else string_of_int (Hist.lower_bound (i + 1)))
+                   n))
+          buckets)
+    (snapshot ());
+  Buffer.contents buf
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         match v with
+         | Count n -> (name, Json.Int n)
+         | Histo { count; sum; buckets } ->
+           let nonzero = ref [] in
+           Array.iteri
+             (fun i n -> if n > 0 then nonzero := (string_of_int i, Json.Int n) :: !nonzero)
+             buckets;
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int count);
+                 ("sum", Json.Int sum);
+                 ("buckets", Json.Obj (List.rev !nonzero));
+               ] ))
+       (snapshot ()))

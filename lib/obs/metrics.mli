@@ -1,0 +1,75 @@
+(** Metrics registry: counters and fixed-bucket histograms, zero-cost
+    when disabled.
+
+    Instrumented modules register their metrics once (typically in a
+    top-level [let]); {!incr} and {!observe} are a boolean load when
+    metrics are off.  When on, each domain writes to its own shard (a
+    plain int array, registered once per domain under a mutex and then
+    written lock-free), and {!snapshot} merges the shards by summation
+    — an order-independent reduction, so the merged values for
+    deterministic quantities (trials executed, verdicts, interpreter
+    steps) are identical for every [--jobs].  Scheduling-dependent
+    quantities (pool tasks, runner-cache hits) are still reported, and
+    simply vary with the execution plan.
+
+    Call {!snapshot} only after the work being measured has completed
+    (e.g. after {!Engine.Scheduler.run} returns): shard writes are not
+    synchronised with snapshot reads. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+
+val reset : unit -> unit
+(** Switch off and zero every shard.  Registrations survive — metric
+    handles in instrumented modules stay valid. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) the counter of that name. *)
+
+val histogram : string -> histogram
+(** Register (or look up) the histogram of that name.  Buckets are
+    fixed powers of two: bucket [i] counts values [v] with
+    [2^(i-1) <= v < 2^i] (bucket 0: [v <= 0]); see {!Hist}. *)
+
+val incr : ?by:int -> counter -> unit
+val observe : histogram -> int -> unit
+
+(** Pure bucket arithmetic, exposed for property tests and for tools
+    that merge histograms from several snapshots. *)
+module Hist : sig
+  val buckets : int
+  (** Number of buckets (64). *)
+
+  val bucket_of : int -> int
+  (** Monotone: [v <= w] implies [bucket_of v <= bucket_of w]. *)
+
+  val lower_bound : int -> int
+  (** Smallest value the bucket counts ([lower_bound 0 = min_int]).
+      Saturates to [max_int] for buckets beyond the largest
+      representable power of two: a bucket whose upper neighbour
+      saturates absorbs values up to [max_int] inclusive. *)
+
+  val merge : int array -> int array -> int array
+  (** Pointwise sum, padding the shorter array with zeros.  Associative
+    and commutative with [[||]] as identity (QCheck-tested). *)
+end
+
+type value =
+  | Count of int
+  | Histo of { count : int; sum : int; buckets : int array }
+      (** [buckets] has {!Hist.buckets} entries. *)
+
+val snapshot : unit -> (string * value) list
+(** Merged view of every registered metric, sorted by name.  Metrics
+    never touched report [Count 0] / empty histograms. *)
+
+val render : unit -> string
+(** Human-readable table of {!snapshot} (histograms as count / sum /
+    mean plus their non-empty buckets). *)
+
+val to_json : unit -> Json.t
+(** {!snapshot} as a JSON object keyed by metric name, for the run
+    manifest. *)

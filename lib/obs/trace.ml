@@ -1,0 +1,158 @@
+(* Per-domain span buffers merged canonically; see the .mli for the
+   determinism contract. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+type node = {
+  n_name : string;
+  n_args : (string * string) list;
+  n_start : int64;
+  mutable n_dur : int64;
+  mutable n_children : node list;  (* reversed while building *)
+}
+
+type buffer = {
+  mutable open_spans : node list;  (* innermost first *)
+  mutable roots : node list;  (* completed, reversed *)
+}
+
+(* [enabled] is written only from the orchestrating domain, before any
+   worker that traces is spawned; workers only read it. *)
+let enabled = ref false
+
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { open_spans = []; roots = [] } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let on () = !enabled
+let enable () = enabled := true
+
+let reset () =
+  enabled := false;
+  Mutex.lock buffers_mutex;
+  (* Buffers stay registered (their domains may still hold them via
+     DLS); emptying them is enough to drop the recorded spans. *)
+  List.iter
+    (fun b ->
+      b.open_spans <- [];
+      b.roots <- [])
+    !buffers;
+  Mutex.unlock buffers_mutex
+
+let span ?(args = []) name f =
+  if not !enabled then f ()
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let node =
+      { n_name = name; n_args = args; n_start = now_ns (); n_dur = 0L;
+        n_children = [] }
+    in
+    b.open_spans <- node :: b.open_spans;
+    Fun.protect
+      ~finally:(fun () ->
+        node.n_dur <- Int64.sub (now_ns ()) node.n_start;
+        (match b.open_spans with
+        | n :: rest when n == node -> b.open_spans <- rest
+        | _ ->
+          (* A span escaped its bracket — impossible with [span], which
+             is the only writer.  Drop the whole stack rather than emit
+             a malformed tree. *)
+          b.open_spans <- []);
+        match b.open_spans with
+        | parent :: _ -> parent.n_children <- node :: parent.n_children
+        | [] -> b.roots <- node :: b.roots)
+      f
+  end
+
+type tree = {
+  t_name : string;
+  t_args : (string * string) list;
+  t_start_ns : int64;
+  t_dur_ns : int64;
+  t_children : tree list;
+}
+
+let rec freeze (n : node) =
+  {
+    t_name = n.n_name;
+    t_args = n.n_args;
+    t_start_ns = n.n_start;
+    t_dur_ns = n.n_dur;
+    (* [n_children] is reversed (latest first); rev_map restores
+       execution order. *)
+    t_children = List.rev_map freeze n.n_children;
+  }
+
+let forest () =
+  Mutex.lock buffers_mutex;
+  let roots =
+    List.concat_map (fun b -> List.rev_map freeze b.roots) !buffers
+  in
+  Mutex.unlock buffers_mutex;
+  (* Canonical order: by (name, args) only — never by time or domain,
+     so the order is the same whatever domain ran what when.  Stable, so
+     equal-keyed roots from one sequential domain keep execution order. *)
+  List.stable_sort
+    (fun a b ->
+      match compare a.t_name b.t_name with
+      | 0 -> compare a.t_args b.t_args
+      | c -> c)
+    roots
+
+let skeleton trees =
+  let buf = Buffer.create 1024 in
+  let rec go depth t =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf t.t_name;
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+      t.t_args;
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) t.t_children
+  in
+  List.iter (go 0) trees;
+  Buffer.contents buf
+
+let to_chrome trees =
+  let base =
+    List.fold_left
+      (fun acc t -> if t.t_start_ns < acc then t.t_start_ns else acc)
+      Int64.max_int trees
+  in
+  let usec ns =
+    if base = Int64.max_int then 0.0
+    else Int64.to_float (Int64.sub ns base) /. 1000.0
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  let first = ref true in
+  let rec emit tid t =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    let args =
+      Json.to_string (Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.t_args))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%s,\"cat\":\"fi\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+         (Json.to_string (Json.Str t.t_name))
+         tid (usec t.t_start_ns)
+         (Int64.to_float t.t_dur_ns /. 1000.0)
+         args);
+    List.iter (emit tid) t.t_children
+  in
+  List.iteri emit trees;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_chrome (forest ()));
+  close_out oc

@@ -1105,6 +1105,14 @@ let init_memory (c : compiled) =
     c.global_image;
   mem
 
+(* Telemetry (lib/obs): a boolean load per completed run / ff trial
+   when disabled — nothing per interpreted instruction, so the
+   BENCH_OBS disabled-path gate holds. *)
+let m_run_steps = Obs.Metrics.histogram "vm.ir.run_steps"
+let m_ff_trials = Obs.Metrics.counter "vm.ir.ff_trials"
+let m_ff_rebuilds = Obs.Metrics.counter "vm.ir.ff_rebuilds"
+let m_checkpoint_depth = Obs.Metrics.histogram "vm.ir.checkpoint_depth"
+
 let exec_to_stats (c : compiled) st =
   let outcome =
     match exec_frames c st with
@@ -1113,6 +1121,7 @@ let exec_to_stats (c : compiled) st =
     | exception Outcome.Hang_limit -> Outcome.Hung
     | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
   in
+  Obs.Metrics.observe m_run_steps st.steps;
   {
     Outcome.outcome;
     steps = st.steps;
@@ -1224,18 +1233,32 @@ let ff_create (c : compiled) ~inputs ~inj_mask =
 
 let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
   if target < 0 then invalid_arg "Ir_exec.ff_trial: negative target";
+  Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
-  if target < ff.ff_st.matched then
-    ff.ff_st <- forward_state ff.ff_c ~inputs:ff.ff_inputs ~inj_mask:ff.ff_mask;
+  if target < ff.ff_st.matched then begin
+    Obs.Metrics.incr m_ff_rebuilds;
+    ff.ff_st <- forward_state ff.ff_c ~inputs:ff.ff_inputs ~inj_mask:ff.ff_mask
+  end;
   let roll = ff.ff_st in
   roll.ff_stop <- target;
-  if exec_frames ff.ff_c roll then
-    invalid_arg "Ir_exec.ff_trial: target beyond the category's population";
+  let advance () =
+    if exec_frames ff.ff_c roll then
+      invalid_arg "Ir_exec.ff_trial: target beyond the category's population"
+  in
+  (* Explicit guard (not just [span]'s own) so the disabled path
+     allocates no argument list per trial. *)
+  if Obs.Trace.on () then
+    Obs.Trace.span "ff-advance"
+      ~args:[ ("target", string_of_int target) ]
+      advance
+  else advance ();
+  let snap = Memory.freeze roll.mem in
+  Obs.Metrics.observe m_checkpoint_depth (Memory.snapshot_depth snap);
   let out = Buffer.create (Buffer.length roll.out + 1024) in
   Buffer.add_buffer out roll.out;
   let st =
     {
-      mem = Memory.resume (Memory.freeze roll.mem);
+      mem = Memory.resume snap;
       out;
       inputs = roll.inputs;
       max_steps;
@@ -1259,4 +1282,8 @@ let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
       matched = 0;
     }
   in
-  exec_to_stats ff.ff_c st
+  if Obs.Trace.on () then
+    Obs.Trace.span "trial-run"
+      ~args:[ ("target", string_of_int target) ]
+      (fun () -> exec_to_stats ff.ff_c st)
+  else exec_to_stats ff.ff_c st

@@ -54,6 +54,8 @@ let create () =
 
 let freeze t = { snap_layers = t.pages :: t.below; snap_brk = t.heap_brk }
 
+let snapshot_depth s = List.length s.snap_layers
+
 let resume s =
   {
     pages = Hashtbl.create 64;

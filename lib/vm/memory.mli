@@ -52,6 +52,11 @@ val resume : snapshot -> t
 (** A fresh copy-on-write memory over the snapshot: reads fall through
     to the captured pages, the first write to a page clones it. *)
 
+val snapshot_depth : snapshot -> int
+(** Number of page layers the snapshot stacks (>= 1) — the checkpoint
+    depth reported by the {!Obs.Metrics} [vm.*.checkpoint_depth]
+    histograms. *)
+
 val map_region : t -> addr:int -> len:int -> unit
 (** Map (zeroed) every page overlapping [addr, addr+len). *)
 

@@ -526,6 +526,13 @@ let run_machine (loaded : loaded) m =
   done
 
 (* Run [m] to completion and package the result. *)
+(* Telemetry (lib/obs): boundary-only, like Ir_exec — one boolean load
+   per completed run when disabled, never per instruction. *)
+let m_run_steps = Obs.Metrics.histogram "vm.x86.run_steps"
+let m_ff_trials = Obs.Metrics.counter "vm.x86.ff_trials"
+let m_ff_rebuilds = Obs.Metrics.counter "vm.x86.ff_rebuilds"
+let m_checkpoint_depth = Obs.Metrics.histogram "vm.x86.checkpoint_depth"
+
 let finish_machine (loaded : loaded) m =
   let outcome =
     try
@@ -541,6 +548,7 @@ let finish_machine (loaded : loaded) m =
       Outcome.Crashed t
     | Outcome.Hang_limit -> Outcome.Hung
   in
+  Obs.Metrics.observe m_run_steps m.steps;
   {
     Outcome.outcome;
     steps = m.steps;
@@ -635,22 +643,34 @@ let ff_create (loaded : loaded) ?(policy = paper_policy) ~inputs ~inj_mask () =
 
 let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
   if target < 0 then invalid_arg "X86_exec.ff_trial: negative target";
+  Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
-  if target < ff.ff_m.matched then
+  if target < ff.ff_m.matched then begin
+    Obs.Metrics.incr m_ff_rebuilds;
     ff.ff_m <-
       forward_machine ff.ff_loaded ~inputs:ff.ff_m.inputs
-        ~inj_mask:ff.ff_m.inj_mask;
+        ~inj_mask:ff.ff_m.inj_mask
+  end;
   let roll = ff.ff_m in
   roll.ff_stop <- target;
-  (match run_machine ff.ff_loaded roll with
-  | () -> ()
-  | exception Halt ->
-    invalid_arg "X86_exec.ff_trial: target beyond the category's population");
+  let advance () =
+    match run_machine ff.ff_loaded roll with
+    | () -> ()
+    | exception Halt ->
+      invalid_arg "X86_exec.ff_trial: target beyond the category's population"
+  in
+  (* Guarded so the disabled path allocates no argument list. *)
+  if Obs.Trace.on () then
+    Obs.Trace.span "ff-advance" ~args:[ ("target", string_of_int target) ]
+      advance
+  else advance ();
+  let snap = Memory.freeze roll.mem in
+  Obs.Metrics.observe m_checkpoint_depth (Memory.snapshot_depth snap);
   let out = Buffer.create (Buffer.length roll.out + 1024) in
   Buffer.add_buffer out roll.out;
   let m =
     {
-      mem = Memory.resume (Memory.freeze roll.mem);
+      mem = Memory.resume snap;
       gp = Array.copy roll.gp;
       xmm = Array.copy roll.xmm;
       flags = roll.flags;
@@ -676,4 +696,8 @@ let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
       matched = 0;
     }
   in
-  finish_machine ff.ff_loaded m
+  if Obs.Trace.on () then
+    Obs.Trace.span "trial-run"
+      ~args:[ ("target", string_of_int target) ]
+      (fun () -> finish_machine ff.ff_loaded m)
+  else finish_machine ff.ff_loaded m

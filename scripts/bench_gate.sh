@@ -1,8 +1,9 @@
 #!/bin/sh
 # Performance gate: run the gated bench sections (engine, diagnose,
-# snapshot) at a small trial count and compare the resulting BENCH_*
-# JSON summaries against the committed baselines at the repo root
-# (BENCH_ENGINE.json, BENCH_DIAGNOSE.json, BENCH_SNAPSHOT.json).
+# snapshot, obs) at a small trial count and compare the resulting
+# BENCH_* JSON summaries against the committed baselines at the repo
+# root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json, BENCH_SNAPSHOT.json,
+# BENCH_OBS.json).
 #
 # Only *ratios* are gated — speedups and overhead ratios are stable
 # across machines, wall-clock seconds are not.  Tolerances are generous
@@ -19,6 +20,18 @@ cd "$(dirname "$0")/.."
 update=no
 [ "${1:-}" = "--update" ] && update=yes
 
+# --update overwrites committed baselines, so refuse to mix that with
+# unrelated uncommitted work: the refreshed BENCH_*.json must land in a
+# commit of their own (or of the change that moved them).
+if [ "$update" = yes ]; then
+    dirty=$(git status --porcelain 2>/dev/null | grep -v ' BENCH_[A-Z]*\.json$' || true)
+    if [ -n "$dirty" ]; then
+        echo "FAIL: --update needs a clean working tree (only BENCH_*.json may differ):" >&2
+        echo "$dirty" >&2
+        exit 1
+    fi
+fi
+
 # 120 trials is the smallest count where per-trial work (what the gates
 # measure) still dominates the fixed prepare/profile cost per workload.
 TRIALS=${BENCH_TRIALS:-120}
@@ -27,9 +40,14 @@ JOBS=${BENCH_JOBS:-2}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
-echo "== bench (engine,diagnose,snapshot) at $TRIALS trials, $JOBS jobs =="
-BENCH_ONLY=engine,diagnose,snapshot BENCH_TRIALS="$TRIALS" \
-    BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$tmp" \
+# Fresh summaries land in BENCH_JSON_DIR when the caller sets one (CI
+# uploads them as artifacts); otherwise in the throwaway tempdir.
+out=${BENCH_JSON_DIR:-$tmp}
+mkdir -p "$out"
+
+echo "== bench (engine,diagnose,snapshot,obs) at $TRIALS trials, $JOBS jobs =="
+BENCH_ONLY=engine,diagnose,snapshot,obs BENCH_TRIALS="$TRIALS" \
+    BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$out" \
     dune exec bench/main.exe > "$tmp/bench.log" 2>&1 || {
     # The bench gates itself (determinism + hard ratio floors) and
     # exits non-zero on failure; surface its report.
@@ -40,8 +58,8 @@ BENCH_ONLY=engine,diagnose,snapshot BENCH_TRIALS="$TRIALS" \
 grep '^BENCH_' "$tmp/bench.log"
 
 if [ "$update" = yes ]; then
-    for s in ENGINE DIAGNOSE SNAPSHOT; do
-        cp "$tmp/BENCH_$s.json" "BENCH_$s.json"
+    for s in ENGINE DIAGNOSE SNAPSHOT OBS; do
+        cp "$out/BENCH_$s.json" "BENCH_$s.json"
     done
     echo "Baselines refreshed; commit the BENCH_*.json files."
     exit 0
@@ -56,7 +74,7 @@ fail=0
 
 # gate_min SECTION KEY FACTOR: current >= baseline * FACTOR
 gate_min() {
-    cur=$(field "$tmp/BENCH_$1.json" "$2")
+    cur=$(field "$out/BENCH_$1.json" "$2")
     base=$(field "BENCH_$1.json" "$2")
     if awk -v c="$cur" -v b="$base" -v f="$3" 'BEGIN { exit !(c >= b * f) }'
     then
@@ -69,7 +87,7 @@ gate_min() {
 
 # gate_max SECTION KEY FACTOR: current <= baseline * FACTOR
 gate_max() {
-    cur=$(field "$tmp/BENCH_$1.json" "$2")
+    cur=$(field "$out/BENCH_$1.json" "$2")
     base=$(field "BENCH_$1.json" "$2")
     if awk -v c="$cur" -v b="$base" -v f="$3" 'BEGIN { exit !(c <= b * f) }'
     then
@@ -81,7 +99,7 @@ gate_max() {
 }
 
 echo "== ratio gates against committed baselines =="
-for s in ENGINE DIAGNOSE SNAPSHOT; do
+for s in ENGINE DIAGNOSE SNAPSHOT OBS; do
     [ -f "BENCH_$s.json" ] || {
         echo "FAIL: missing baseline BENCH_$s.json" >&2
         exit 1
@@ -91,7 +109,7 @@ done
 # Determinism is non-negotiable: the bench re-checks byte-identity and
 # records it in the summary.
 for s in ENGINE SNAPSHOT; do
-    grep -q '"identical": true' "$tmp/BENCH_$s.json" || {
+    grep -q '"identical": true' "$out/BENCH_$s.json" || {
         echo "FAIL: $s summary does not attest byte-identical output" >&2
         fail=1
     }
@@ -101,6 +119,8 @@ gate_min ENGINE speedup 0.5        # parallel engine must still scale
 gate_max DIAGNOSE disabled_ratio 1.10  # hooks must stay free when off
 gate_max DIAGNOSE enabled_ratio 1.25   # capture overhead must stay modest
 gate_min SNAPSHOT speedup 0.7      # fast-forward must keep its advantage
+gate_max OBS disabled_ratio 1.10       # telemetry must stay free when off
+gate_max OBS enabled_ratio 1.25        # recording overhead must stay modest
 
 [ "$fail" = 0 ] || exit 1
 echo "OK: all bench ratios within tolerance of the committed baselines"

@@ -77,7 +77,7 @@ echo "OK: snapshot executor output byte-identical to the straight-line path"
 echo "== resume smoke: interrupted journal, then --resume =="
 camp() {
     dune exec --no-build bin/fi.exe -- campaign mcf \
-        -n 20 --seed 11 --jobs 2 "$@" > /dev/null
+        -n 20 --seed 11 --jobs 2 --no-manifest "$@" > /dev/null
 }
 
 camp --journal "$tmp/journal-full" --csv "$tmp/camp-full.csv"
@@ -108,6 +108,67 @@ grep -q "different campaign" "$tmp/mismatch-err.txt" || {
 }
 
 echo "OK: mismatched journal refused with a diagnostic"
+
+echo "== trace smoke: span tree identical across --jobs and across runs =="
+# Same seed, --jobs 1 / --jobs 4 / --jobs 4 again: after stripping the
+# ts/dur timestamp fields (one trace_event per line, so sed suffices),
+# all three Chrome traces must be byte-identical — the span-tree half
+# of the determinism guarantee.  The run manifests must agree on the
+# campaign CSV digest for the same reason.
+trace_run() {
+    tag=$1; jobs=$2
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        -n 20 --seed 11 --jobs "$jobs" \
+        --trace "$tmp/trace-$tag.json" \
+        --manifest "$tmp/manifest-$tag.json" \
+        > /dev/null 2> /dev/null
+    sed -E 's/"ts":[0-9.]+/"ts":_/g; s/"dur":[0-9.]+/"dur":_/g' \
+        "$tmp/trace-$tag.json" > "$tmp/trace-$tag.norm"
+}
+trace_run j1 1
+trace_run j4 4
+trace_run j4b 4
+
+cmp "$tmp/trace-j1.norm" "$tmp/trace-j4.norm" || {
+    echo "FAIL: span tree differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+cmp "$tmp/trace-j4.norm" "$tmp/trace-j4b.norm" || {
+    echo "FAIL: span tree differs between two identical --jobs 4 runs" >&2
+    exit 1
+}
+
+digest_of() {
+    sed -n 's/.*"digests":{[^}]*"csv":"\([0-9a-f]*\)".*/\1/p' "$1"
+}
+d1=$(digest_of "$tmp/manifest-j1.json")
+d4=$(digest_of "$tmp/manifest-j4.json")
+[ -n "$d1" ] || {
+    echo "FAIL: manifest has no csv digest" >&2
+    exit 1
+}
+[ "$d1" = "$d4" ] || {
+    echo "FAIL: manifest CSV digest differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+
+echo "OK: span trees identical modulo timestamps; manifest digests agree"
+
+echo "== telemetry smoke: disabled path changes no output byte =="
+# stdout with every telemetry consumer on (notices go to stderr) must
+# equal stdout with telemetry off entirely.
+dune exec --no-build bin/fi.exe -- campaign mcf -n 20 --seed 11 \
+    --no-manifest > "$tmp/plain-stdout.txt" 2> /dev/null
+dune exec --no-build bin/fi.exe -- campaign mcf -n 20 --seed 11 \
+    --manifest /dev/null --trace /dev/null --metrics \
+    > "$tmp/telem-stdout.txt" 2> /dev/null
+
+cmp "$tmp/plain-stdout.txt" "$tmp/telem-stdout.txt" || {
+    echo "FAIL: telemetry flags changed campaign stdout" >&2
+    exit 1
+}
+
+echo "OK: campaign stdout byte-identical with telemetry on and off"
 
 echo "== fuzz smoke: differential oracle on generated programs =="
 # FUZZ_BUDGET scales the bounded fuzz pass (default 200 programs);
