@@ -260,6 +260,88 @@ let snapshot_speedup () =
       :: !bench_failures
 
 (* ----------------------------------------------------------------- *)
+(* Part 1d': exhaustive campaign — enumeration and pruning            *)
+(* ----------------------------------------------------------------- *)
+
+(* One bounded exact cell: how fast the instrumented golden run
+   enumerates the (instance, bit) space, how much of it the pruning
+   rules settle without execution, and the headline ratio of faults
+   covered per fault executed (pruning plus the Chernoff-bounded
+   residual sampler).  The survivor count is reported separately so the
+   two effects are never conflated.  The cell runs twice — one domain
+   vs a pool — and the exact-rate CSV must be byte-identical. *)
+let exhaust_ratio () =
+  section "Exhaustive campaign: enumeration throughput and pruning ratio";
+  let w = Workloads.find_exn "mcf" in
+  let p = Core.Campaign.prepare config w in
+  let tool = Core.Campaign.Llfi_tool in
+  let category = Core.Category.Arithmetic in
+  let bound =
+    match Sys.getenv_opt "BENCH_EXHAUST_BOUND" with
+    | Some s -> (try max 100 (int_of_string s) with _ -> 2000)
+    | None -> 2000
+  in
+  let cfg = { Exhaust.default_config with sample_bound = bound } in
+  let t0 = Unix.gettimeofday () in
+  let instances = Core.Campaign.enumerate p tool category in
+  let enum_s = Unix.gettimeofday () -. t0 in
+  let enumerated =
+    Array.fold_left
+      (fun acc (i : Vm.Fault_space.instance) -> acc + i.Vm.Fault_space.width)
+      0 instances
+  in
+  let t1 = Unix.gettimeofday () in
+  let seq = Exhaust.run_cell cfg p tool category in
+  let cell_s = Unix.gettimeofday () -. t1 in
+  let pool = Engine.Pool.create ~size:jobs () in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Engine.Pool.shutdown pool)
+      (fun () -> Exhaust.run_cell ~pool cfg p tool category)
+  in
+  if
+    not
+      (String.equal
+         (Core.Campaign.exact_to_csv [ seq ])
+         (Core.Campaign.exact_to_csv [ par ]))
+  then failwith "exhaust_ratio: exact cell diverges between 1 domain and pool";
+  let settled =
+    seq.Core.Campaign.e_pruned_dead + seq.Core.Campaign.e_pruned_masked
+    + seq.Core.Campaign.e_pruned_equiv
+  in
+  let survivors = seq.Core.Campaign.e_enumerated - settled in
+  let ratio = Core.Campaign.pruning_ratio seq in
+  let per_s = if enum_s > 0.0 then float_of_int enumerated /. enum_s else 0.0 in
+  Printf.printf "  cell: mcf x LLFI x arithmetic (sample bound %d)\n" bound;
+  Printf.printf "  enumerated %d faults in %.2fs (%.0f faults/s)\n" enumerated
+    enum_s per_s;
+  Printf.printf
+    "  settled by pruning: %d (%.1f%%) — %d survivors, %d executed in %.2fs\n"
+    settled
+    (100.0 *. float_of_int settled /. float_of_int enumerated)
+    survivors seq.Core.Campaign.e_executed cell_s;
+  Printf.printf
+    "  %.1f faults covered per fault executed (rates certified to ±%.4f%%) — \
+     CSV byte-identical\n"
+    ratio
+    (100.0 *. seq.Core.Campaign.e_bound);
+  bench_json "EXHAUST"
+    (Printf.sprintf
+       "{\"workload\": \"mcf\", \"tool\": \"LLFI\", \"category\": \
+        \"arithmetic\", \"enumerated\": %d, \"settled\": %d, \"survivors\": \
+        %d, \"sample_bound\": %d, \"executed\": %d, \"pruning_ratio\": %.3f, \
+        \"error_bound\": %.6f, \"enum_s\": %.3f, \"faults_per_s\": %.1f, \
+        \"gate\": 5.0, \"identical\": true}"
+       enumerated settled survivors bound seq.Core.Campaign.e_executed ratio
+       seq.Core.Campaign.e_bound enum_s per_s);
+  if ratio < 5.0 then
+    bench_failures :=
+      Printf.sprintf
+        "exhaust_ratio: %.1f faults covered per fault executed (gate: 5.0)"
+        ratio
+      :: !bench_failures
+
+(* ----------------------------------------------------------------- *)
 (* Part 1e: telemetry (lib/obs) overhead                              *)
 (* ----------------------------------------------------------------- *)
 
@@ -708,6 +790,7 @@ let parts : (string * string * (unit -> unit)) list =
     ("engine", "engine speedup", engine_speedup);
     ("diagnose", "diagnosis overhead", diagnose_overhead);
     ("snapshot", "snapshot speedup", snapshot_speedup);
+    ("exhaust", "exhaustive pruning ratio", exhaust_ratio);
     ("obs", "telemetry overhead", obs_overhead);
     ("gep", "ablation: gep folding", ablation_gep_folding);
     ("flags", "ablation: flag bits", ablation_flag_bits);

@@ -260,6 +260,94 @@ let run_all ?on_cell ?categories config workloads =
       cells)
     workloads
 
+(* --- exhaustive campaigns (lib/exhaust) --- *)
+
+let population (p : prepared) tool category =
+  match tool with
+  | Llfi_tool -> Llfi.dynamic_count p.llfi category
+  | Pinfi_tool -> Pinfi.dynamic_count p.pinfi category
+
+let golden_output (p : prepared) tool =
+  match tool with
+  | Llfi_tool -> p.llfi.Llfi.golden_output
+  | Pinfi_tool -> p.pinfi.Pinfi.golden_output
+
+let enumerate (p : prepared) tool category =
+  match tool with
+  | Llfi_tool -> Llfi.enumerate p.llfi category
+  | Pinfi_tool -> Pinfi.enumerate p.pinfi category
+
+let inject_bit r ~target ~bit =
+  match r.r_impl with
+  | Lrun lr -> Llfi.inject_bit lr ~target ~bit
+  | Prun pr -> Pinfi.inject_bit pr ~target ~bit
+
+(* An exact (exhaustive or pruned-exhaustive) cell.  The tally is in
+   weight units: the sampler draws an instance uniformly and then a bit
+   uniformly within it, so fault (i, b) has probability
+   1/(population * width_i); with [e_unit] = lcm of the distinct widths,
+   the integer weight of each fault is [e_unit / width_i] and the whole
+   space weighs population * e_unit.  Rates over the weighted tally are
+   therefore the sampler's exact outcome probabilities. *)
+type exact_cell = {
+  e_workload : string;
+  e_tool : tool;
+  e_category : Category.t;
+  e_population : int;  (* dynamic instances *)
+  e_enumerated : int;  (* individual (instance, bit) faults *)
+  e_pruned_dead : int;  (* faults settled by the dead-destination rule *)
+  e_pruned_masked : int;  (* faults settled by the masked-bit rule *)
+  e_pruned_equiv : int;  (* faults settled by equivalence classes *)
+  e_executed : int;  (* trials actually run *)
+  e_unit : int;  (* weight of a width-[e_unit] fault's bit: see above *)
+  e_tally : Verdict.tally;  (* weighted; trials = population * e_unit *)
+  e_bound : float;  (* certified |rate error|; 0 when fully exact *)
+}
+
+let pruning_ratio e =
+  if e.e_executed = 0 then infinity
+  else float_of_int e.e_enumerated /. float_of_int e.e_executed
+
+let exact_rate part e =
+  let n = Verdict.activated e.e_tally in
+  if n = 0 then 0.0 else float_of_int part /. float_of_int n
+
+let exact_sdc_rate e = exact_rate e.e_tally.Verdict.sdc e
+let exact_crash_rate e = exact_rate e.e_tally.Verdict.crash e
+let exact_benign_rate e = exact_rate e.e_tally.Verdict.benign e
+let exact_hang_rate e = exact_rate e.e_tally.Verdict.hang e
+
+let find_exact cells ~workload ~tool ~category =
+  List.find_opt
+    (fun e ->
+      String.equal e.e_workload workload
+      && e.e_tool = tool
+      && e.e_category = category)
+    cells
+
+let exact_to_csv cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "workload,tool,category,population,enumerated,pruned_dead,pruned_masked,\
+     pruned_equiv,executed,weight_unit,activated_w,benign_w,sdc_w,crash_w,\
+     hang_w,not_activated_w,benign_rate,sdc_rate,crash_rate,hang_rate,\
+     error_bound\n";
+  List.iter
+    (fun e ->
+      let t = e.e_tally in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.9f,%.9f,%.9f,%.9f,%.9f\n"
+           e.e_workload (tool_name e.e_tool)
+           (Category.name e.e_category)
+           e.e_population e.e_enumerated e.e_pruned_dead e.e_pruned_masked
+           e.e_pruned_equiv e.e_executed e.e_unit (Verdict.activated t)
+           t.Verdict.benign t.Verdict.sdc t.Verdict.crash t.Verdict.hang
+           t.Verdict.not_activated (exact_benign_rate e) (exact_sdc_rate e)
+           (exact_crash_rate e) (exact_hang_rate e) e.e_bound))
+    cells;
+  Buffer.contents buf
+
 (* --- lookups over result sets --- *)
 
 let find cells ~workload ~tool ~category =

@@ -123,3 +123,58 @@ val run_all :
 val find : cell list -> workload:string -> tool:tool -> category:Category.t -> cell option
 
 val to_csv : cell list -> string
+
+(** {1 Exhaustive campaigns (lib/exhaust)}
+
+    Tool-dispatching accessors the exact-campaign planner builds on,
+    plus the exact result record.  The weighted-tally convention: the
+    Monte-Carlo sampler draws an instance uniformly, then a bit
+    uniformly within its width, so fault [(i, b)] has probability
+    [1 / (population * width i)].  With [e_unit] the lcm of the distinct
+    instance widths in the cell, each fault carries integer weight
+    [e_unit / width i] and the whole space weighs
+    [population * e_unit]; rates over the weighted tally are the
+    sampler's exact outcome probabilities, free of sampling error. *)
+
+val population : prepared -> tool -> Category.t -> int
+val golden_output : prepared -> tool -> string
+
+val enumerate : prepared -> tool -> Category.t -> Vm.Fault_space.instance array
+(** The exhaustive pre-pass ({!Llfi.enumerate} / {!Pinfi.enumerate}). *)
+
+val inject_bit : runner -> target:int -> bit:int -> Vm.Outcome.stats
+(** Deterministic replay of one (instance, bit) fault; consumes no
+    randomness ({!Llfi.inject_bit} / {!Pinfi.inject_bit}). *)
+
+type exact_cell = {
+  e_workload : string;
+  e_tool : tool;
+  e_category : Category.t;
+  e_population : int;  (** dynamic instances *)
+  e_enumerated : int;  (** individual (instance, bit) faults *)
+  e_pruned_dead : int;  (** settled by the dead-destination rule *)
+  e_pruned_masked : int;  (** settled by the masked-bit rule *)
+  e_pruned_equiv : int;  (** settled by golden-key observation equivalence *)
+  e_executed : int;  (** trials actually run *)
+  e_unit : int;  (** weight unit (lcm of instance widths) *)
+  e_tally : Verdict.tally;  (** weighted; [trials = population * e_unit] *)
+  e_bound : float;
+      (** certified absolute error bound on the reported rates: [0.]
+          when every surviving fault was executed, the Chernoff bound
+          of the residual sampler otherwise *)
+}
+
+val pruning_ratio : exact_cell -> float
+(** enumerated / executed; [infinity] for a fully pruned cell. *)
+
+val exact_sdc_rate : exact_cell -> float
+val exact_crash_rate : exact_cell -> float
+val exact_benign_rate : exact_cell -> float
+val exact_hang_rate : exact_cell -> float
+(** Rates among activated weight, as {!Verdict.sdc_rate} etc. *)
+
+val find_exact :
+  exact_cell list ->
+  workload:string -> tool:tool -> category:Category.t -> exact_cell option
+
+val exact_to_csv : exact_cell list -> string

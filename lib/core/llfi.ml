@@ -142,3 +142,16 @@ let runner t category =
 
 let inject_at ?(track_use = false) r ~target rng =
   Vm.Ir_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps ~rng
+
+(* --- exhaustive campaigns (lib/exhaust) --- *)
+
+let enumerate t category =
+  Vm.Ir_exec.enumerate t.compiled ~inputs:t.inputs
+    ~inj_mask:(Category.mask category) ~max_steps:t.max_steps
+
+let inject_bit ?(track_use = false) r ~target ~bit =
+  (* With [forced_bit] set, the trial draws nothing from its rng: the
+     target is supplied and the bit is pinned, so a constant dummy
+     stream keeps the result a pure function of (target, bit). *)
+  Vm.Ir_exec.ff_trial ~track_use ~forced_bit:bit r.r_ff ~target
+    ~max_steps:r.r_t.max_steps ~rng:(Support.Rng.create 0L)

@@ -70,3 +70,16 @@ val inject_at :
 (** Run one injection at a planned [target], resuming from the runner's
     rolling snapshot.  Stats are bit-identical to the {!inject} the rng
     came from. *)
+
+(** {1 Exhaustive campaigns (lib/exhaust)} *)
+
+val enumerate : t -> Category.t -> Vm.Fault_space.instance array
+(** One instrumented golden run describing every dynamic instance of
+    the category, in target order — the pre-pass an exact campaign
+    prunes from (see {!Vm.Ir_exec.enumerate}). *)
+
+val inject_bit :
+  ?track_use:bool -> runner -> target:int -> bit:int -> Vm.Outcome.stats
+(** Deterministic single-fault replay: inject into instance [target]
+    with the flipped bit pinned to [bit].  Consumes no randomness —
+    the result is a pure function of (target, bit). *)

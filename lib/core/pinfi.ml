@@ -143,3 +143,17 @@ let runner t category =
 let inject_at ?(track_use = false) r ~target rng =
   Vm.X86_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps
     ~rng
+
+(* --- exhaustive campaigns (lib/exhaust) --- *)
+
+let enumerate t category =
+  Vm.X86_exec.enumerate ~policy:t.config.policy ~inputs:t.inputs
+    ~inj_mask:(Category.mask category) ~max_steps:t.max_steps t.loaded
+
+let inject_bit ?(track_use = false) r ~target ~bit =
+  (* As [Llfi.inject_bit]: forced-bit trials draw nothing from the rng,
+     so a constant dummy stream keeps results a pure function of
+     (target, bit).  For a flags destination [bit] indexes the
+     candidate bit list, matching the enumerated instance width. *)
+  Vm.X86_exec.ff_trial ~track_use ~forced_bit:bit r.r_ff ~target
+    ~max_steps:r.r_t.max_steps ~rng:(Support.Rng.create 0L)

@@ -48,3 +48,15 @@ val runner : t -> Category.t -> runner
 
 val inject_at :
   ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats
+
+(** {1 Exhaustive campaigns (lib/exhaust)}
+
+    Mirrors {!Llfi.enumerate}/{!Llfi.inject_bit}.  Instance widths
+    follow the sampler's bit spaces under the configured policy; for a
+    flags destination the enumerated/forced "bit" is an index into the
+    candidate bit list (see {!Vm.X86_exec.enumerate}). *)
+
+val enumerate : t -> Category.t -> Vm.Fault_space.instance array
+
+val inject_bit :
+  ?track_use:bool -> runner -> target:int -> bit:int -> Vm.Outcome.stats

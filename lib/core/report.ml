@@ -476,3 +476,79 @@ let print_claims verdicts =
           v.holds; v.detail ])
     verdicts;
   Tabular.print t
+
+(* --- Exact vs sampled: validating the Monte-Carlo estimates --- *)
+
+let exact_vs_sampled (exact : Campaign.exact_cell list)
+    (sampled : Campaign.cell list) =
+  print_endline
+    "Exact vs sampled: exhaustive (CI-free) outcome rates beside the";
+  print_endline
+    "Monte-Carlo estimates and the paper's published crash numbers.";
+  print_endline
+    "'OUTSIDE' marks an outcome whose exact rate falls outside the";
+  print_endline "sampled 95% CI (widened by any certified exact-side bound).";
+  let t =
+    Tabular.create
+      ~headers:
+        [ "benchmark"; "tool"; "category"; "outcome"; "exact";
+          "sampled [95% CI]"; "paper"; "exact vs CI" ]
+  in
+  List.iteri
+    (fun cell_index (e : Campaign.exact_cell) ->
+      if cell_index > 0 then Tabular.add_separator t;
+      let sc =
+        Campaign.find sampled ~workload:e.e_workload ~tool:e.e_tool
+          ~category:e.e_category
+      in
+      let paper_crash =
+        match Paper_data.crash_for e.e_workload with
+        | Some r ->
+          let l, p = Paper_data.crash_cell r e.e_category in
+          Some
+            (match e.e_tool with
+            | Campaign.Llfi_tool -> l
+            | Campaign.Pinfi_tool -> p)
+        | None -> None
+      in
+      List.iteri
+        (fun i (label, exact_rate, part) ->
+          let exact_txt =
+            if Verdict.activated e.e_tally = 0 then "n/a"
+            else pct1 (exact_rate e)
+          in
+          let sampled_txt, flag =
+            match sc with
+            | Some c when Verdict.activated c.c_tally > 0 ->
+              let n = Verdict.activated c.c_tally in
+              let k = part c.c_tally in
+              let iv = Stats.normal_interval ~successes:k ~trials:n () in
+              ( Printf.sprintf "%s [%s, %s]"
+                  (pct1 (float_of_int k /. float_of_int n))
+                  (pct1 iv.Stats.lower) (pct1 iv.Stats.upper),
+                if Verdict.activated e.e_tally = 0 then "-"
+                else
+                  let r = exact_rate e in
+                  if
+                    r >= iv.Stats.lower -. e.e_bound
+                    && r <= iv.Stats.upper +. e.e_bound
+                  then "within"
+                  else "OUTSIDE" )
+            | _ -> ("-", "-")
+          in
+          let paper_txt =
+            match (label, paper_crash) with
+            | "crash", Some p -> Printf.sprintf "%d%%" p
+            | _ -> "-"
+          in
+          Tabular.add_row t
+            [ (if i = 0 then e.e_workload else "");
+              (if i = 0 then Campaign.tool_name e.e_tool else "");
+              (if i = 0 then Category.name e.e_category else "");
+              label; exact_txt; sampled_txt; paper_txt; flag ])
+        [ ("crash", Campaign.exact_crash_rate,
+           fun (tl : Verdict.tally) -> tl.Verdict.crash);
+          ("sdc", Campaign.exact_sdc_rate, fun tl -> tl.Verdict.sdc);
+          ("benign", Campaign.exact_benign_rate, fun tl -> tl.Verdict.benign) ])
+    exact;
+  Tabular.print t

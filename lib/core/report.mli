@@ -29,6 +29,13 @@ val figure4 : Campaign.cell list -> unit
 val table5 : ?paper:bool -> Campaign.cell list -> unit
 (** Crash rates per category. *)
 
+val exact_vs_sampled : Campaign.exact_cell list -> Campaign.cell list -> unit
+(** The validation table for exhaustive campaigns: each exact cell's
+    CI-free crash/SDC/benign rates beside the matching Monte-Carlo
+    cell's estimate and 95% CI (and the paper's published crash number
+    where one exists), flagging outcomes whose exact rate falls outside
+    the sampled interval. *)
+
 type verdict_on_claim = {
   claim : Paper_data.claim;
   holds : string;

@@ -64,6 +64,19 @@ let add tally = function
     tally.trials <- tally.trials + 1;
     tally.not_injected <- tally.not_injected + 1
 
+(* Weighted add, for exact campaigns: one executed (or pruned)
+   equivalence class stands for [n] individual (instance, bit) faults,
+   all provably sharing this verdict. *)
+let add_n tally v n =
+  tally.trials <- tally.trials + n;
+  match v with
+  | Benign -> tally.benign <- tally.benign + n
+  | Sdc -> tally.sdc <- tally.sdc + n
+  | Crash -> tally.crash <- tally.crash + n
+  | Hang -> tally.hang <- tally.hang + n
+  | Not_activated -> tally.not_activated <- tally.not_activated + n
+  | Not_injected -> tally.not_injected <- tally.not_injected + n
+
 let merge a b =
   {
     trials = a.trials + b.trials;

@@ -23,6 +23,12 @@ type tally = {
 val fresh_tally : unit -> tally
 val add : tally -> t -> unit
 
+val add_n : tally -> t -> int -> unit
+(** [add_n tally v n] records [n] faults of verdict [v] at once — the
+    weighted form used by exact campaigns, where one representative
+    execution (or one pruning proof) stands for a whole equivalence
+    class of (instance, bit) faults. *)
+
 val merge : tally -> tally -> tally
 (** Field-wise sum of two tallies.  Used to reassemble a cell run as
     independent trial chunks; merging is order-insensitive. *)

@@ -56,43 +56,46 @@ let parse_cell line =
     | _ -> None)
   | _ -> None
 
-let load ~path ~grid (config : Core.Campaign.config) =
+(* Shared machinery: both journal flavors are a validated header line
+   plus parseable cell lines, appended and flushed one at a time. *)
+
+let load_gen ~path ~expect ~parse =
   In_channel.with_open_text path (fun ic ->
       match In_channel.input_line ic with
       | None -> []
       | Some first ->
-        if not (String.equal (String.trim first) (header ~grid config)) then
+        if not (String.equal (String.trim first) expect) then
           invalid_arg
             (Printf.sprintf
                "Journal.load: %s was written for a different campaign.\n\
                \  journal:    %s\n\
                \  invocation: %s\n\
-                Resume with the original seed, trials, workloads, tools and \
-                categories, or start a fresh journal path."
-               path (String.trim first)
-               (header ~grid config));
+                Resume with the original configuration, or start a fresh \
+                journal path."
+               path (String.trim first) expect);
         let rec go acc =
           match In_channel.input_line ic with
           | None -> List.rev acc
           | Some line -> (
             (* Skip anything unparseable: a line truncated by a crash
                mid-append must not poison the rest of the journal. *)
-            match parse_cell line with
+            match parse line with
             | Some cell -> go (cell :: acc)
             | None -> go acc)
         in
         go [])
 
-let start ~path ~resume ~grid config =
+let start_gen ~path ~resume ~expect ~parse =
   let existing =
-    if resume && Sys.file_exists path then load ~path ~grid config else []
+    if resume && Sys.file_exists path then load_gen ~path ~expect ~parse
+    else []
   in
   let oc =
     if existing <> [] then
       open_out_gen [ Open_append; Open_creat ] 0o644 path
     else begin
       let oc = open_out path in
-      output_string oc (header ~grid config);
+      output_string oc expect;
       output_char oc '\n';
       flush oc;
       oc
@@ -102,15 +105,23 @@ let start ~path ~resume ~grid config =
 
 let m_flushes = Obs.Metrics.counter "engine.journal.flushes"
 
-let record t cell =
+let record_line t line =
   Mutex.lock t.mutex;
   if not t.closed then begin
-    output_string t.oc (cell_line cell);
+    output_string t.oc line;
     output_char t.oc '\n';
     flush t.oc;
     Obs.Metrics.incr m_flushes
   end;
   Mutex.unlock t.mutex
+
+let load ~path ~grid config =
+  load_gen ~path ~expect:(header ~grid config) ~parse:parse_cell
+
+let start ~path ~resume ~grid config =
+  start_gen ~path ~resume ~expect:(header ~grid config) ~parse:parse_cell
+
+let record t cell = record_line t (cell_line cell)
 
 let close t =
   Mutex.lock t.mutex;
@@ -119,3 +130,78 @@ let close t =
     close_out t.oc
   end;
   Mutex.unlock t.mutex
+
+(* --- exhaust journals --- *)
+
+let xheader ~grid:g ~seed ~prune ~sample_bound =
+  Printf.sprintf "# fi-exhaust-journal v1 seed=%d prune=%b bound=%d grid=%s"
+    seed prune sample_bound g
+
+let xcell_line (e : Core.Campaign.exact_cell) =
+  let t = e.e_tally in
+  Printf.sprintf "xcell %s %s %s %d %d %d %d %d %d %d %d %d %d %d %d %d %d %h"
+    e.e_workload
+    (Core.Campaign.tool_name e.e_tool)
+    (Core.Category.name e.e_category)
+    e.e_population e.e_enumerated e.e_pruned_dead e.e_pruned_masked
+    e.e_pruned_equiv e.e_executed e.e_unit t.Core.Verdict.trials t.benign
+    t.sdc t.crash t.hang t.not_activated t.not_injected e.e_bound
+
+let parse_xcell line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "xcell"; workload; tool; category; population; enumerated; pruned_dead;
+      pruned_masked; pruned_equiv; executed; unit_; trials; benign; sdc;
+      crash; hang; not_activated; not_injected; bound ] -> (
+    match
+      ( Core.Campaign.tool_of_name tool,
+        Core.Category.of_string category,
+        List.map int_of_string_opt
+          [ population; enumerated; pruned_dead; pruned_masked; pruned_equiv;
+            executed; unit_; trials; benign; sdc; crash; hang; not_activated;
+            not_injected ],
+        float_of_string_opt bound )
+    with
+    | Some tool, Some category,
+      [ Some population; Some enumerated; Some pruned_dead; Some pruned_masked;
+        Some pruned_equiv; Some executed; Some unit_; Some trials; Some benign;
+        Some sdc; Some crash; Some hang; Some not_activated;
+        Some not_injected ],
+      Some bound ->
+      Some
+        {
+          Core.Campaign.e_workload = workload;
+          e_tool = tool;
+          e_category = category;
+          e_population = population;
+          e_enumerated = enumerated;
+          e_pruned_dead = pruned_dead;
+          e_pruned_masked = pruned_masked;
+          e_pruned_equiv = pruned_equiv;
+          e_executed = executed;
+          e_unit = unit_;
+          e_tally =
+            {
+              Core.Verdict.trials;
+              benign;
+              sdc;
+              crash;
+              hang;
+              not_activated;
+              not_injected;
+            };
+          e_bound = bound;
+        }
+    | _ -> None)
+  | _ -> None
+
+let xload ~path ~grid ~seed ~prune ~sample_bound =
+  load_gen ~path
+    ~expect:(xheader ~grid ~seed ~prune ~sample_bound)
+    ~parse:parse_xcell
+
+let xstart ~path ~resume ~grid ~seed ~prune ~sample_bound =
+  start_gen ~path ~resume
+    ~expect:(xheader ~grid ~seed ~prune ~sample_bound)
+    ~parse:parse_xcell
+
+let xrecord t e = record_line t (xcell_line e)

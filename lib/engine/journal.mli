@@ -50,3 +50,29 @@ val load :
 
 val cell_line : Core.Campaign.cell -> string
 val parse_cell : string -> Core.Campaign.cell option
+
+(** {2 Exhaust journals}
+
+    The same checkpoint/resume discipline for exact campaigns: one
+    [xcell] line per completed exact cell.  The header binds the file
+    to everything that changes an exact result — seed (used only by
+    the bounded residual sampler), pruning on/off, the sample bound and
+    the cell grid.  The error bound is written as a hex float so
+    resumed cells reload bit-identically. *)
+
+val xstart :
+  path:string -> resume:bool -> grid:string ->
+  seed:int -> prune:bool -> sample_bound:int ->
+  t * Core.Campaign.exact_cell list
+(** As {!start}; [sample_bound] 0 means unbounded (fully exact).
+    @raise Invalid_argument on a header mismatch, as {!start}. *)
+
+val xrecord : t -> Core.Campaign.exact_cell -> unit
+(** Append one completed exact cell and flush.  Thread-safe. *)
+
+val xload :
+  path:string -> grid:string -> seed:int -> prune:bool -> sample_bound:int ->
+  Core.Campaign.exact_cell list
+
+val xcell_line : Core.Campaign.exact_cell -> string
+val parse_xcell : string -> Core.Campaign.exact_cell option

@@ -344,6 +344,7 @@ type mode =
       (* dynamic count per mask value; per-gid counts of candidate sites *)
   | Inject
   | Forward  (* fast-forward: count matching instances, pause at ff_stop *)
+  | Enumerate  (* fault-space pre-pass: per-instance Fault_space records *)
 
 type plan = {
   inj_mask : int;  (* category bit to match *)
@@ -403,6 +404,8 @@ type frame = {
   mutable pos : int;
   saved_sp : int;
   ret_instr : cinstr option;  (* the call awaiting this frame's result *)
+  e_env : Fault_space.builder option array;
+      (* Enumerate mode: live fault-space builder per slot; [||] otherwise *)
 }
 
 type state = {
@@ -428,6 +431,8 @@ type state = {
   mutable stack : frame list;  (* top frame first *)
   mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
   mutable matched : int;  (* forward mode: matching instances executed *)
+  forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
+  mutable enum_rev : Fault_space.builder list;  (* Enumerate accumulator *)
 }
 
 type ret = RVoid | RI of int | RF of float
@@ -438,27 +443,64 @@ let max_call_depth = 20_000
 let emit st s =
   if Buffer.length st.out < output_cap then Buffer.add_string st.out s
 
-let inject_int st w v =
-  let bit = Rng.int st.inj_rng w in
-  st.injected <- true;
-  st.injected_step <- st.steps;
-  st.fault_note <- Printf.sprintf "bit %d of %d-bit result" bit w;
+(* The exact bit-flip the sampler applies, also used by the enumeration
+   pre-pass to evaluate compare funnels and by exhaustive replay. *)
+let flip_int w v bit =
   if w >= Word.width then Word.flip_bit v bit
   else if w = 1 then v lxor 1
   else Word.canon w (Word.to_unsigned w v lxor (1 lsl bit))
 
+let inject_int st w v =
+  let bit =
+    if st.forced_bit >= 0 then st.forced_bit else Rng.int st.inj_rng w
+  in
+  st.injected <- true;
+  st.injected_step <- st.steps;
+  st.fault_note <- Printf.sprintf "bit %d of %d-bit result" bit w;
+  flip_int w v bit
+
 let inject_float st f =
-  let bit = Rng.int st.inj_rng 64 in
+  let bit =
+    if st.forced_bit >= 0 then st.forced_bit else Rng.int st.inj_rng 64
+  in
   st.injected <- true;
   st.injected_step <- st.steps;
   st.fault_note <- Printf.sprintf "bit %d of f64 result" bit;
   Bits.flip_float f bit
 
+let icmp_eval (p : Ir.Instr.icmp) w x y =
+  match p with
+  | Ir.Instr.Ieq -> x = y
+  | Ir.Instr.Ine -> x <> y
+  | Ir.Instr.Islt -> x < y
+  | Ir.Instr.Isle -> x <= y
+  | Ir.Instr.Isgt -> x > y
+  | Ir.Instr.Isge -> x >= y
+  | Ir.Instr.Iult | Ir.Instr.Iule | Ir.Instr.Iugt | Ir.Instr.Iuge ->
+    let cmp =
+      if w >= Word.width then Word.ucompare x y
+      else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
+    in
+    (match p with
+    | Ir.Instr.Iult -> cmp < 0
+    | Ir.Instr.Iule -> cmp <= 0
+    | Ir.Instr.Iugt -> cmp > 0
+    | _ -> cmp >= 0)
+
+let fcmp_eval (p : Ir.Instr.fcmp) x y =
+  match p with
+  | Ir.Instr.Feq -> x = y
+  | Ir.Instr.Fne -> x < y || x > y
+  | Ir.Instr.Flt -> x < y
+  | Ir.Instr.Fle -> x <= y
+  | Ir.Instr.Fgt -> x > y
+  | Ir.Instr.Fge -> x >= y
+
 (* Called after the destination slot has been written.  The Forward
    branch counts exactly the instances the Inject countdown would see,
    so a machine paused at [matched = m] resumes a trial on instance
    [target] with [countdown = target - m]. *)
-let post_exec st mask gid dest ienv fenv =
+let post_exec st mask gid dest ienv fenv e_env =
   match st.mode with
   | Plain -> ()
   | Profile (counts, sites) ->
@@ -466,6 +508,20 @@ let post_exec st mask gid dest ienv fenv =
     (match sites with Some s -> s.(gid) <- s.(gid) + 1 | None -> ())
   | Forward ->
     if mask land st.inj_mask <> 0 then st.matched <- st.matched + 1
+  | Enumerate ->
+    (* Start tracking this instance's destination; instances accumulate
+       in exactly the order the Inject countdown meets them, so index k
+       of the finished array is the fault [target = k] corrupts. *)
+    if mask land st.inj_mask <> 0 then begin
+      let width =
+        match dest with DInt (_, w) -> w | DFloat _ -> 64 | DNone -> 1
+      in
+      let b = Fault_space.create ~width in
+      st.enum_rev <- b :: st.enum_rev;
+      match dest with
+      | DInt (slot, _) | DFloat slot -> e_env.(slot) <- Some b
+      | DNone -> ()
+    end
   | Inject ->
     if mask land st.inj_mask <> 0 then begin
       if st.countdown = 0 then begin
@@ -639,6 +695,183 @@ let fu_scan_term st term ienv fenv =
 let iv ienv op = match op with S i -> ienv.(i) | C c -> c
 let fv fenv op = match op with FS i -> fenv.(i) | FC c -> c
 
+(* --- fault-space enumeration scans (Enumerate mode only) ---
+
+   Mirror of the first-use scans, but tracking EVERY live candidate
+   destination at once via the frame-local [e_env], classifying each
+   read (full / masked-bits / compare funnel) into the slot's
+   Fault_space builder, and ending a value's record when its slot is
+   overwritten.  Soundness of the refinements rests on the single-fault
+   induction: up to each read, all machine state except the corrupted
+   slot equals the golden run, so current env values ARE the values the
+   faulty trial would observe for every other operand. *)
+
+let enum_read_i (e_env : Fault_space.builder option array) op k =
+  match op with
+  | S s -> ( match e_env.(s) with Some b -> k b | None -> ())
+  | C _ -> ()
+
+let enum_read_f (e_env : Fault_space.builder option array) op k =
+  match op with
+  | FS s -> ( match e_env.(s) with Some b -> k b | None -> ())
+  | FC _ -> ()
+
+let enum_scan_instr (ci : cinstr) e_env ienv fenv =
+  let full op = enum_read_i e_env op Fault_space.read_full in
+  let fullf op = enum_read_f e_env op Fault_space.read_full in
+  (match ci.op with
+  | Ibin (op, a, b, w) -> (
+    (* Logic/shift with one constant consume only some result-visible
+       bits; anything else reads every bit of both operands. *)
+    let masked s mask =
+      match e_env.(s) with
+      | Some bld -> Fault_space.read_bits bld ~mask
+      | None -> ()
+    in
+    match (op, a, b) with
+    | (Ir.Instr.And | Ir.Instr.Or), S s, C c when w < Word.width ->
+      let u = Word.to_unsigned w c in
+      let mask =
+        match op with
+        | Ir.Instr.And -> u
+        | _ -> ((1 lsl w) - 1) land lnot u
+      in
+      masked s mask
+    | (Ir.Instr.And | Ir.Instr.Or), C c, S s when w < Word.width ->
+      let u = Word.to_unsigned w c in
+      let mask =
+        match op with
+        | Ir.Instr.And -> u
+        | _ -> ((1 lsl w) - 1) land lnot u
+      in
+      masked s mask
+    | (Ir.Instr.Shl | Ir.Instr.Lshr | Ir.Instr.Ashr), S s, C k
+      when w < Word.width && k > 0 && k < w ->
+      let mask =
+        match op with
+        | Ir.Instr.Shl -> (1 lsl (w - k)) - 1
+        | _ -> ((1 lsl (w - k)) - 1) lsl k
+      in
+      masked s mask
+    | _ ->
+      full a;
+      full b)
+  | Fbin (_, a, b) ->
+    fullf a;
+    fullf b
+  | Icmp_op (p, a, b, w) -> (
+    (* Compare funnel: in a trial corrupting a tracked operand, the
+       other operand holds its golden (= current) value, so the flipped
+       value reaches downstream execution only through the boolean
+       result — key every bit by it. *)
+    let funnel s bld =
+      let v = ienv.(s) in
+      let sub op v' = match op with S t when t = s -> v' | _ -> iv ienv op in
+      let keys =
+        Array.init w (fun bit ->
+            let v' = flip_int w v bit in
+            Bool.to_int (icmp_eval p w (sub a v') (sub b v')))
+      in
+      Fault_space.read_funnel bld ~keys
+        ~gold_key:(Bool.to_int (icmp_eval p w (iv ienv a) (iv ienv b)))
+    in
+    let t op =
+      match op with
+      | S s -> ( match e_env.(s) with Some b -> Some (s, b) | None -> None)
+      | C _ -> None
+    in
+    match (t a, t b) with
+    | None, None -> ()
+    | Some (s, bld), None | None, Some (s, bld) -> funnel s bld
+    | Some (s1, b1), Some (s2, b2) ->
+      if s1 = s2 then funnel s1 b1
+      else begin
+        (* two distinct live instances: each one's single-fault trial
+           sees the other operand golden, so both funnels hold *)
+        funnel s1 b1;
+        funnel s2 b2
+      end)
+  | Fcmp_op (p, a, b) -> (
+    let funnel s bld =
+      let v = fenv.(s) in
+      let sub op v' = match op with FS t when t = s -> v' | _ -> fv fenv op in
+      let keys =
+        Array.init 64 (fun bit ->
+            let v' = Bits.flip_float v bit in
+            Bool.to_int (fcmp_eval p (sub a v') (sub b v')))
+      in
+      Fault_space.read_funnel bld ~keys
+        ~gold_key:(Bool.to_int (fcmp_eval p (fv fenv a) (fv fenv b)))
+    in
+    let t op =
+      match op with
+      | FS s -> ( match e_env.(s) with Some b -> Some (s, b) | None -> None)
+      | FC _ -> None
+    in
+    match (t a, t b) with
+    | None, None -> ()
+    | Some (s, bld), None | None, Some (s, bld) -> funnel s bld
+    | Some (s1, b1), Some (s2, b2) ->
+      if s1 = s2 then funnel s1 b1
+      else begin
+        funnel s1 b1;
+        funnel s2 b2
+      end)
+  | Canon (a, w) | Unsign (a, w) ->
+    enum_read_i e_env a (fun b -> Fault_space.read_masked b ~low:w)
+  | Sext_i1 a | Move_int a | Si_to_fp a -> full a
+  | Fp_to_si (a, _) -> fullf a
+  | Alloca_op _ -> ()
+  | Load_int (p, _) | Load_f64 p -> full p
+  | Store_int (v, p, w) ->
+    enum_read_i e_env v (fun b -> Fault_space.read_masked b ~low:w);
+    full p
+  | Store_f64 (v, p) ->
+    fullf v;
+    full p
+  | Gep_op (base, _, scaled) ->
+    full base;
+    Array.iter (fun (idx, _) -> full idx) scaled
+  | Select_int (c, a, b) ->
+    full c;
+    (* golden condition selects the operand the trial actually reads *)
+    full (if iv ienv c <> 0 then a else b)
+  | Select_f64 (c, a, b) ->
+    full c;
+    fullf (if iv ienv c <> 0 then a else b)
+  | Call_op (_, args) | Intr_op (_, args) ->
+    Array.iter (function AI op -> full op | AF op -> fullf op) args);
+  (* an overwrite ends the tracked value's lifetime (for a call this
+     fires early, but the suspended caller's slots cannot be read by
+     the callee, which has its own envs) *)
+  match ci.dest with
+  | DInt (slot, _) | DFloat slot -> e_env.(slot) <- None
+  | DNone -> ()
+
+let enum_scan_phis (phis : cphi array) pred e_env =
+  (* parallel evaluation: all reads (phi = copy, full consumption)
+     happen before any destination write *)
+  Array.iter
+    (fun p ->
+      if Array.length p.psrcs_f > 0 then
+        enum_read_f e_env p.psrcs_f.(pred) Fault_space.read_full
+      else if Array.length p.psrcs_i > 0 then
+        enum_read_i e_env p.psrcs_i.(pred) Fault_space.read_full)
+    phis;
+  Array.iter
+    (fun p ->
+      match p.pdest with
+      | DInt (slot, _) | DFloat slot -> e_env.(slot) <- None
+      | DNone -> ())
+    phis
+
+let enum_scan_term term e_env =
+  match term with
+  | Tcond (c, _, _) -> enum_read_i e_env c Fault_space.read_full
+  | Tret (Some (AI op)) -> enum_read_i e_env op Fault_space.read_full
+  | Tret (Some (AF op)) -> enum_read_f e_env op Fault_space.read_full
+  | Tret None | Tbr _ -> ()
+
 let eval_arg ienv fenv = function
   | AI op -> RI (iv ienv op)
   | AF op -> RF (fv fenv op)
@@ -655,6 +888,9 @@ let push_frame st (f : cfunc) (args : ret array) ret_instr =
       | RF v -> fenv.(slot) <- v
       | RVoid -> ignore is_float)
     f.params;
+  let e_env =
+    match st.mode with Enumerate -> Array.make f.nslots None | _ -> [||]
+  in
   st.stack <-
     {
       func = f;
@@ -665,6 +901,7 @@ let push_frame st (f : cfunc) (args : ret array) ret_instr =
       pos = -1;
       saved_sp = st.sp;
       ret_instr;
+      e_env;
     }
     :: st.stack
 
@@ -729,40 +966,12 @@ let exec_op st (ci : cinstr) ienv fenv =
     in
     (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
   | Icmp_op (p, a, bb, w) ->
-    let x = iv ienv a and y = iv ienv bb in
-    let v =
-      match p with
-      | Ir.Instr.Ieq -> x = y
-      | Ir.Instr.Ine -> x <> y
-      | Ir.Instr.Islt -> x < y
-      | Ir.Instr.Isle -> x <= y
-      | Ir.Instr.Isgt -> x > y
-      | Ir.Instr.Isge -> x >= y
-      | Ir.Instr.Iult | Ir.Instr.Iule | Ir.Instr.Iugt | Ir.Instr.Iuge ->
-        let cmp =
-          if w >= Word.width then Word.ucompare x y
-          else compare (Word.to_unsigned w x) (Word.to_unsigned w y)
-        in
-        (match p with
-        | Ir.Instr.Iult -> cmp < 0
-        | Ir.Instr.Iule -> cmp <= 0
-        | Ir.Instr.Iugt -> cmp > 0
-        | _ -> cmp >= 0)
-    in
+    let v = icmp_eval p w (iv ienv a) (iv ienv bb) in
     (match ci.dest with
     | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
     | _ -> ())
   | Fcmp_op (p, a, bb) ->
-    let x = fv fenv a and y = fv fenv bb in
-    let v =
-      match p with
-      | Ir.Instr.Feq -> x = y
-      | Ir.Instr.Fne -> x < y || x > y
-      | Ir.Instr.Flt -> x < y
-      | Ir.Instr.Fle -> x <= y
-      | Ir.Instr.Fgt -> x > y
-      | Ir.Instr.Fge -> x >= y
-    in
+    let v = fcmp_eval p (fv fenv a) (fv fenv bb) in
     (match ci.dest with
     | DInt (slot, _) -> ienv.(slot) <- Bool.to_int v
     | _ -> ())
@@ -896,6 +1105,7 @@ let exec_op st (ci : cinstr) ienv fenv =
 let exec_frames (c : compiled) st =
   let funcs = c.cfuncs in
   let forward = match st.mode with Forward -> true | _ -> false in
+  let enum = match st.mode with Enumerate -> true | _ -> false in
   let finished = ref false in
   let running = ref true in
   while !running do
@@ -926,6 +1136,7 @@ let exec_frames (c : compiled) st =
         else begin
           if nphis > 0 then begin
             fu_scan_phis st b.phis fr.pred ienv fenv;
+            if enum then enum_scan_phis b.phis fr.pred fr.e_env;
             let tmp_i = Array.make nphis 0 in
             let tmp_f = Array.make nphis 0.0 in
             for k = 0 to nphis - 1 do
@@ -941,7 +1152,7 @@ let exec_frames (c : compiled) st =
               | DFloat slot -> fenv.(slot) <- tmp_f.(k)
               | DNone -> ());
               st.steps <- st.steps + 1;
-              post_exec st p.pmask p.pgid p.pdest ienv fenv;
+              post_exec st p.pmask p.pgid p.pdest ienv fenv fr.e_env;
               match st.trace with
               | Some tr -> (
                 match p.pdest with
@@ -977,6 +1188,7 @@ let exec_frames (c : compiled) st =
           else begin
             st.steps <- st.steps + 1;
             fu_scan_instr st ci ienv fenv;
+            if enum then enum_scan_instr ci fr.e_env ienv fenv;
             match ci.op with
             | Call_op (fidx', args) ->
               let evaluated = Array.map (eval_arg ienv fenv) args in
@@ -986,7 +1198,7 @@ let exec_frames (c : compiled) st =
             | _ ->
               exec_op st ci ienv fenv;
               if ci.mask <> 0 then
-                post_exec st ci.mask ci.gid ci.dest ienv fenv;
+                post_exec st ci.mask ci.gid ci.dest ienv fenv fr.e_env;
               (match st.trace with
               | Some tr -> (
                 match ci.dest with
@@ -1015,6 +1227,7 @@ let exec_frames (c : compiled) st =
             if st.steps > st.max_steps then raise Outcome.Hang_limit;
             st.steps <- st.steps + 1;
             fu_scan_term st b.term ienv fenv;
+            if enum then enum_scan_term b.term fr.e_env;
             match b.term with
             | Tret arg ->
               let result =
@@ -1036,7 +1249,8 @@ let exec_frames (c : compiled) st =
                   | _ -> ())
                 | RVoid -> ());
                 if ci.mask <> 0 then
-                  post_exec st ci.mask ci.gid ci.dest parent.ienv parent.fenv;
+                  post_exec st ci.mask ci.gid ci.dest parent.ienv parent.fenv
+                    parent.e_env;
                 (match st.trace with
                 | Some tr -> (
                   match ci.dest with
@@ -1133,8 +1347,8 @@ let exec_to_stats (c : compiled) st =
     first_use = st.first_use;
   }
 
-let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?profile_sites ?trace ?(track_use = false) (c : compiled) =
+let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
+    ?profile_masks ?profile_sites ?trace ?(track_use = false) (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
     match (plan, profile_masks, profile_sites) with
     | Some _, Some _, _ | Some _, _, Some _ ->
@@ -1170,10 +1384,50 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
       stack = [];
       ff_stop = -1;
       matched = 0;
+      forced_bit;
+      enum_rev = [];
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
   exec_to_stats c st
+
+(* Fault-space pre-pass: one golden Enumerate-mode run over the cell. *)
+let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
+  let st =
+    {
+      mem = init_memory c;
+      out = Buffer.create 4096;
+      inputs;
+      max_steps;
+      steps = 0;
+      sp = Memory.stack_top;
+      depth = 0;
+      mode = Enumerate;
+      countdown = -1;
+      inj_mask;
+      inj_rng = Rng.of_int 0;
+      injected = false;
+      injected_step = -1;
+      fault_note = "";
+      trace = None;
+      track_use = false;
+      fu_watch = FU_off;
+      first_use = First_use.Unone;
+      fault_site = -1;
+      stack = [];
+      ff_stop = -1;
+      matched = 0;
+      forced_bit = -1;
+      enum_rev = [];
+    }
+  in
+  push_frame st c.cfuncs.(c.main_index) [||] None;
+  (match exec_frames c st with
+  | _ -> ()
+  | exception Trap.Trap _ | (exception Outcome.Hang_limit)
+  | (exception Stack_overflow) ->
+    invalid_arg "Ir_exec.enumerate: golden run did not complete");
+  Fault_space.finish st.enum_rev
 
 (* --- snapshot / fast-forward executor ---
 
@@ -1218,6 +1472,8 @@ let forward_state (c : compiled) ~inputs ~inj_mask =
       stack = [];
       ff_stop = -1;
       matched = 0;
+      forced_bit = -1;
+      enum_rev = [];
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
@@ -1231,7 +1487,7 @@ let ff_create (c : compiled) ~inputs ~inj_mask =
     ff_st = forward_state c ~inputs ~inj_mask;
   }
 
-let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
+let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng =
   if target < 0 then invalid_arg "Ir_exec.ff_trial: negative target";
   Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
@@ -1280,6 +1536,8 @@ let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
       stack = List.map copy_frame roll.stack;
       ff_stop = -1;
       matched = 0;
+      forced_bit;
+      enum_rev = [];
     }
   in
   if Obs.Trace.on () then

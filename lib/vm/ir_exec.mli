@@ -67,6 +67,7 @@ val trace_push : trace -> int -> int -> unit
 
 val run :
   ?plan:plan ->
+  ?forced_bit:int ->
   ?inputs:int array ->
   ?max_steps:int ->
   ?profile_masks:int array ->
@@ -78,6 +79,8 @@ val run :
 (** Execute [main] on a fresh memory image.
 
     - [plan]: perform one fault injection (exclusive with profiling);
+    - [forced_bit]: pin the flipped bit instead of drawing it from
+      [plan.rng] (exhaustive replay); default -1 draws as usual;
     - [inputs]: the vector served by the [input] intrinsic;
     - [max_steps]: hang budget (default 10^8);
     - [profile_masks]: array of length [2^categories] receiving dynamic
@@ -113,6 +116,7 @@ val ff_create : compiled -> inputs:int array -> inj_mask:int -> ff
 
 val ff_trial :
   ?track_use:bool ->
+  ?forced_bit:int ->
   ff ->
   target:int ->
   max_steps:int ->
@@ -123,6 +127,23 @@ val ff_trial :
     positioned exactly as {!run}'s [plan.rng] would be (it only draws
     the bit to flip).  Targets may arrive in any order — a smaller
     target than an earlier one restarts the rolling run from step 0 —
-    but ascending order is the fast path.
+    but ascending order is the fast path.  [forced_bit] pins the
+    flipped bit (exhaustive replay); default -1 draws from [rng].
     @raise Invalid_argument if [target] is negative or at least the
     category's dynamic population. *)
+
+(** {1 Fault-space enumeration}
+
+    The exhaustive-campaign pre-pass: one instrumented golden run that
+    emits a {!Fault_space.instance} per dynamic instance matching
+    [inj_mask], in target order — element [k] describes exactly the
+    fault that an injection with [target = k] produces. *)
+
+val enumerate :
+  compiled ->
+  inputs:int array ->
+  inj_mask:int ->
+  max_steps:int ->
+  Fault_space.instance array
+(** @raise Invalid_argument if the golden run traps or exceeds
+    [max_steps]. *)

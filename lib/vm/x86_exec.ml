@@ -39,6 +39,7 @@ type mode =
   | Profile_index of int array  (* dynamic count per instruction index *)
   | Inject
   | Forward  (* fast-forward: count matching instances, pause at ff_stop *)
+  | Enumerate  (* fault-space pre-pass: per-instance Fault_space records *)
 
 type watch = No_watch | Watch_gp of Reg.t | Watch_xmm of Reg.t | Watch_flags
 
@@ -67,6 +68,12 @@ type machine = {
   mutable fault_site : int;  (* instruction index of the injection *)
   mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
   mutable matched : int;  (* forward mode: matching instances executed *)
+  forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
+  e_gp : Fault_space.builder option array;  (* Enumerate: live per reg *)
+  e_xmm : Fault_space.builder option array;
+  mutable e_flags : (Fault_space.builder * int list) option;
+      (* live flags instance + the candidate bit list fixed at injection *)
+  mutable enum_rev : Fault_space.builder list;
 }
 
 let output_cap = 1 lsl 20
@@ -156,18 +163,35 @@ let fptosi_truncate f =
 
 (* --- fault insertion --- *)
 
+(* The flag bits a Dflags fault may hit, fixed by the instruction the
+   machine is about to execute (rip already advanced past the compare). *)
+let flag_candidates m (loaded : loaded) =
+  if m.policy.flag_dependent_bits then
+    match
+      if m.rip >= 0 && m.rip < Array.length loaded.program.insns then
+        Some loaded.program.insns.(m.rip)
+      else None
+    with
+    | Some (Insn.Jcc (c, _)) -> Flags.dependent_bits c
+    | _ -> Flags.all_bits
+  else Flags.all_bits
+
 let inject m (loaded : loaded) insn =
   m.injected <- true;
   m.injected_step <- m.steps;
   match primary_dest insn with
   | Dgp r ->
-    let bit = Rng.int m.inj_rng Word.width in
+    let bit =
+      if m.forced_bit >= 0 then m.forced_bit else Rng.int m.inj_rng Word.width
+    in
     m.gp.(r) <- Word.flip_bit m.gp.(r) bit;
     m.watch <- Watch_gp r;
     m.fault_note <- Printf.sprintf "bit %d of %s" bit Reg.gp_names.(r)
   | Dxmm r ->
     let range = if m.policy.xmm_low64_only then 64 else 128 in
-    let bit = Rng.int m.inj_rng range in
+    let bit =
+      if m.forced_bit >= 0 then m.forced_bit else Rng.int m.inj_rng range
+    in
     if bit < 64 then begin
       m.xmm.(r) <- Bits.flip_float m.xmm.(r) bit;
       m.watch <- Watch_xmm r;
@@ -180,19 +204,13 @@ let inject m (loaded : loaded) insn =
       m.fault_note <- Printf.sprintf "bit %d of xmm%d (upper half)" bit r
     end
   | Dflags ->
-    let candidates =
-      if m.policy.flag_dependent_bits then
-        (* The next instruction to execute (rip already advanced). *)
-        match
-          if m.rip >= 0 && m.rip < Array.length loaded.program.insns then
-            Some loaded.program.insns.(m.rip)
-          else None
-        with
-        | Some (Insn.Jcc (c, _)) -> Flags.dependent_bits c
-        | _ -> Flags.all_bits
-      else Flags.all_bits
+    let candidates = flag_candidates m loaded in
+    (* A pinned bit indexes the candidate list, mirroring the draw. *)
+    let pick =
+      if m.forced_bit >= 0 then m.forced_bit
+      else Rng.int m.inj_rng (List.length candidates)
     in
-    let bit = List.nth candidates (Rng.int m.inj_rng (List.length candidates)) in
+    let bit = List.nth candidates pick in
     m.flags <- m.flags lxor (1 lsl bit);
     m.watch <- Watch_flags;
     m.fault_note <- Printf.sprintf "flag bit %d" bit
@@ -299,6 +317,133 @@ let update_watch m insn =
       m.watch <- No_watch
     end
     else if List.mem r xd then m.watch <- No_watch
+
+(* --- fault-space enumeration scans (Enumerate mode only) ---
+
+   Register-file analogue of Ir_exec's enumeration: every live tracked
+   destination (GP / XMM / flags) accumulates its reads before being
+   overwritten.  Runs pre-exec like [update_watch], so register, memory
+   and flag values are the golden pre-instruction state — exactly what
+   a single-fault trial targeting a tracked instance would observe for
+   every operand other than the corrupted one. *)
+
+let enum_scan m (insn : Insn.t) =
+  let rd_gp r k = match m.e_gp.(r) with Some b -> k b | None -> () in
+  let rd_xmm r k = match m.e_xmm.(r) with Some b -> k b | None -> () in
+  let full_gp r = rd_gp r Fault_space.read_full in
+  let full_xmm r = rd_xmm r Fault_space.read_full in
+  (* Cmp/Test funnel: the flipped register reaches downstream machine
+     state only through the resulting flag word — key every bit by it. *)
+  let gp_funnel r keyf =
+    rd_gp r (fun b ->
+        let v = m.gp.(r) in
+        let keys =
+          Array.init Word.width (fun bit -> keyf (Word.flip_bit v bit))
+        in
+        Fault_space.read_funnel b ~keys ~gold_key:(keyf v))
+  in
+  let xmm_funnel r keyf =
+    rd_xmm r (fun b ->
+        let v = m.xmm.(r) in
+        (* 64 keys: enough for the paper policy's bit space; a 128-bit
+           space degrades to a full read inside [read_funnel] *)
+        let keys = Array.init 64 (fun bit -> keyf (Bits.flip_float v bit)) in
+        Fault_space.read_funnel b ~keys ~gold_key:(keyf v))
+  in
+  (* flags reads: a lone Jcc/Setcc funnels through the condition *)
+  (if Insn.reads_flags insn then
+     match m.e_flags with
+     | Some (b, candidates) -> (
+       match insn with
+       | Insn.Jcc (c, _) | Insn.Setcc (c, _) ->
+         let keys =
+           Array.of_list
+             (List.map
+                (fun bit ->
+                  Bool.to_int (Flags.holds (m.flags lxor (1 lsl bit)) c))
+                candidates)
+         in
+         Fault_space.read_funnel b ~keys
+           ~gold_key:(Bool.to_int (Flags.holds m.flags c))
+       | _ -> Fault_space.read_full b)
+     | None -> ());
+  (* register reads, with consumed-bit / funnel refinements *)
+  (match insn with
+  | Insn.Movzx (_, w, Insn.Reg s) | Insn.Movsx (_, w, Insn.Reg s) ->
+    rd_gp s (fun b -> Fault_space.read_masked b ~low:(Insn.width_bits w))
+  | Insn.Store (w, mem, r) ->
+    let addr_regs = Insn.mem_uses mem in
+    List.iter full_gp addr_regs;
+    if List.mem r addr_regs then full_gp r
+    else rd_gp r (fun b -> Fault_space.read_masked b ~low:(Insn.width_bits w))
+  | Insn.Cmp (a, src) -> (
+    let mem_regs =
+      match src with Insn.Mem mm -> Insn.mem_uses mm | _ -> []
+    in
+    List.iter full_gp mem_regs;
+    if List.mem a mem_regs then full_gp a
+    else
+      match src with
+      | Insn.Reg b when b = a ->
+        gp_funnel a (fun v' -> Flags.of_sub Word.width v' v' 0 m.flags)
+      | Insn.Reg b ->
+        let x = m.gp.(a) and y = m.gp.(b) in
+        gp_funnel a (fun v' -> Flags.of_sub Word.width v' y (v' - y) m.flags);
+        gp_funnel b (fun v' -> Flags.of_sub Word.width x v' (x - v') m.flags)
+      | Insn.Imm _ | Insn.Mem _ ->
+        let y = src_value m src in
+        gp_funnel a (fun v' -> Flags.of_sub Word.width v' y (v' - y) m.flags))
+  | Insn.Test (a, b) ->
+    if a = b then
+      gp_funnel a (fun v' -> Flags.of_logic Word.width (v' land v') m.flags)
+    else begin
+      let x = m.gp.(a) and y = m.gp.(b) in
+      gp_funnel a (fun v' -> Flags.of_logic Word.width (v' land y) m.flags);
+      gp_funnel b (fun v' -> Flags.of_logic Word.width (x land v') m.flags)
+    end
+  | Insn.Ucomisd (a, s) -> (
+    List.iter full_gp (Insn.xsrc_gp_uses s);
+    match s with
+    | Insn.Xreg b when b = a ->
+      xmm_funnel a (fun v' -> Flags.of_ucomisd v' v' m.flags)
+    | Insn.Xreg b ->
+      let x = m.xmm.(a) and y = m.xmm.(b) in
+      xmm_funnel a (fun v' -> Flags.of_ucomisd v' y m.flags);
+      xmm_funnel b (fun v' -> Flags.of_ucomisd x v' m.flags)
+    | Insn.Xmem _ ->
+      let y = xsrc_value m s in
+      xmm_funnel a (fun v' -> Flags.of_ucomisd v' y m.flags))
+  | _ ->
+    let _, gu, _, xu = Insn.def_use insn in
+    List.iter full_gp gu;
+    List.iter full_xmm xu);
+  (* overwrites end tracked lifetimes *)
+  let gd, _, xd, _ = Insn.def_use insn in
+  List.iter (fun r -> m.e_gp.(r) <- None) gd;
+  List.iter (fun r -> m.e_xmm.(r) <- None) xd;
+  if Insn.writes_flags insn then m.e_flags <- None
+
+(* Post-exec instance start, mirroring [inject]'s view of the machine
+   (rip already advanced / redirected) so candidate flag bits match. *)
+let enum_start m (loaded : loaded) insn =
+  match primary_dest insn with
+  | Dgp r ->
+    let b = Fault_space.create ~width:Word.width in
+    m.enum_rev <- b :: m.enum_rev;
+    m.e_gp.(r) <- Some b
+  | Dxmm r ->
+    let width = if m.policy.xmm_low64_only then 64 else 128 in
+    let b = Fault_space.create ~width in
+    m.enum_rev <- b :: m.enum_rev;
+    m.e_xmm.(r) <- Some b
+  | Dflags ->
+    let candidates = flag_candidates m loaded in
+    let b = Fault_space.create ~width:(List.length candidates) in
+    m.enum_rev <- b :: m.enum_rev;
+    m.e_flags <- Some (b, candidates)
+  | Dnone ->
+    (* occupies a countdown index; zero reads = never activated *)
+    m.enum_rev <- Fault_space.create ~width:1 :: m.enum_rev
 
 (* --- main loop --- *)
 
@@ -491,6 +636,7 @@ let run_machine (loaded : loaded) m =
   let masks = loaded.masks in
   let n = Array.length insns in
   let forward = match m.mode with Forward -> true | _ -> false in
+  let enum = match m.mode with Enumerate -> true | _ -> false in
   let paused = ref false in
   while not !paused do
     let idx = m.rip in
@@ -503,10 +649,13 @@ let run_machine (loaded : loaded) m =
       m.steps <- m.steps + 1;
       if m.steps > m.max_steps then raise Outcome.Hang_limit;
       if m.watch <> No_watch then update_watch m insn;
+      if enum then enum_scan m insn;
       m.rip <- idx + 1;
       exec_insn m loaded insn resolved.(idx);
       match m.mode with
       | Plain -> ()
+      | Enumerate ->
+        if masks.(idx) land m.inj_mask <> 0 then enum_start m loaded insn
       | Forward ->
         if masks.(idx) land m.inj_mask <> 0 then m.matched <- m.matched + 1
       | Profile counts ->
@@ -560,9 +709,12 @@ let finish_machine (loaded : loaded) m =
     first_use = m.first_use;
   }
 
-let make_machine (loaded : loaded) ~inputs ~max_steps ~mode ~countdown
-    ~inj_mask ~inj_rng ~policy ~track_use =
+let make_machine ?(forced_bit = -1) (loaded : loaded) ~inputs ~max_steps ~mode
+    ~countdown ~inj_mask ~inj_rng ~policy ~track_use =
   let p = loaded.program in
+  let e_regs () =
+    match mode with Enumerate -> Array.make 16 None | _ -> [||]
+  in
   let m =
     {
       mem = init_memory p;
@@ -589,6 +741,11 @@ let make_machine (loaded : loaded) ~inputs ~max_steps ~mode ~countdown
       fault_site = -1;
       ff_stop = -1;
       matched = 0;
+      forced_bit;
+      e_gp = e_regs ();
+      e_xmm = e_regs ();
+      e_flags = None;
+      enum_rev = [];
     }
   in
   (* Startup: rsp points at the pushed "halt" return address. *)
@@ -596,8 +753,8 @@ let make_machine (loaded : loaded) ~inputs ~max_steps ~mode ~countdown
   Memory.write_word m.mem m.gp.(Reg.rsp) (Backend.Program.halt_addr p);
   m
 
-let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
-    ?profile_index ?(track_use = false) (loaded : loaded) =
+let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
+    ?profile_masks ?profile_index ?(track_use = false) (loaded : loaded) =
   let mode, countdown, inj_mask, inj_rng, policy =
     match (plan, profile_masks, profile_index) with
     | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
@@ -609,10 +766,24 @@ let run ?plan ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks
     | None, None, None -> (Plain, -1, 0, Rng.of_int 0, paper_policy)
   in
   let m =
-    make_machine loaded ~inputs ~max_steps ~mode ~countdown ~inj_mask ~inj_rng
-      ~policy ~track_use
+    make_machine ~forced_bit loaded ~inputs ~max_steps ~mode ~countdown
+      ~inj_mask ~inj_rng ~policy ~track_use
   in
   finish_machine loaded m
+
+(* Fault-space pre-pass: one golden Enumerate-mode run over the cell. *)
+let enumerate ?(policy = paper_policy) ~inputs ~inj_mask ~max_steps
+    (loaded : loaded) =
+  let m =
+    make_machine loaded ~inputs ~max_steps ~mode:Enumerate ~countdown:(-1)
+      ~inj_mask ~inj_rng:(Rng.of_int 0) ~policy ~track_use:false
+  in
+  (match run_machine loaded m with
+  | () -> invalid_arg "X86_exec.enumerate: machine paused unexpectedly"
+  | exception Halt -> ()
+  | exception Trap.Trap _ | (exception Outcome.Hang_limit) ->
+    invalid_arg "X86_exec.enumerate: golden run did not complete");
+  Fault_space.finish m.enum_rev
 
 (* --- snapshot / fast-forward executor ---
 
@@ -641,7 +812,8 @@ let ff_create (loaded : loaded) ?(policy = paper_policy) ~inputs ~inj_mask () =
     ff_m = forward_machine loaded ~inputs ~inj_mask;
   }
 
-let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
+let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
+    =
   if target < 0 then invalid_arg "X86_exec.ff_trial: negative target";
   Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
@@ -694,6 +866,11 @@ let ff_trial ?(track_use = false) ff ~target ~max_steps ~rng =
       fault_site = -1;
       ff_stop = -1;
       matched = 0;
+      forced_bit;
+      e_gp = [||];
+      e_xmm = [||];
+      e_flags = None;
+      enum_rev = [];
     }
   in
   if Obs.Trace.on () then

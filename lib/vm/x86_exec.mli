@@ -50,6 +50,7 @@ val primary_dest : X86.Insn.t -> dest
 
 val run :
   ?plan:plan ->
+  ?forced_bit:int ->
   ?inputs:int array ->
   ?max_steps:int ->
   ?profile_masks:int array ->
@@ -63,7 +64,9 @@ val run :
     corrupted register's first consumer into a {!First_use.t} —
     address, control, stack (spill / push-pop / rsp-rbp-relative),
     or data — reported in [stats.first_use]; otherwise as
-    {!Ir_exec.run}. *)
+    {!Ir_exec.run}.  [forced_bit] pins the flipped bit — for a flags
+    destination, the index into the candidate bit list — instead of
+    drawing it from [plan.rng] (exhaustive replay). *)
 
 (** {1 Snapshot / fast-forward execution}
 
@@ -81,6 +84,7 @@ val ff_create :
 
 val ff_trial :
   ?track_use:bool ->
+  ?forced_bit:int ->
   ff ->
   target:int ->
   max_steps:int ->
@@ -88,3 +92,22 @@ val ff_trial :
   Outcome.stats
 (** @raise Invalid_argument if [target] is negative or at least the
     category's dynamic population. *)
+
+(** {1 Fault-space enumeration}
+
+    The exhaustive-campaign pre-pass: one instrumented golden run that
+    emits a {!Fault_space.instance} per dynamic instance matching
+    [inj_mask], in target order.  Instance widths reflect the sampler's
+    bit spaces under [policy]: [Word.width] for GP destinations, 64 or
+    128 for XMM, the candidate-list length for flags (where the
+    enumerated "bit" indexes that list, as [forced_bit] does). *)
+
+val enumerate :
+  ?policy:policy ->
+  inputs:int array ->
+  inj_mask:int ->
+  max_steps:int ->
+  loaded ->
+  Fault_space.instance array
+(** @raise Invalid_argument if the golden run traps or exceeds
+    [max_steps]. *)

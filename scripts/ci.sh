@@ -204,6 +204,41 @@ lines=$(sed -n 's/.*minimized to \([0-9]*\) lines.*/\1/p' "$tmp/fuzz-mutate.txt"
 
 echo "OK: planted bug caught and minimized to $lines lines"
 
+echo "== exhaust smoke: bounded exact cell, --jobs 1 vs --jobs 4 =="
+# One bounded exact cell (mcf x LLFI x cmp, residual capped at 300
+# faults) plus its Monte-Carlo comparison table: stdout and the exact-
+# rate CSV must be byte-identical whatever the worker count — the
+# determinism guarantee extended to the exhaustive planner, the
+# residual sampler and the weighted tallies.
+exhaust_smoke() {
+    jobs=$1
+    # The two runs write differently-named CSVs, so drop the one line
+    # that echoes the output path before comparing stdout.
+    dune exec --no-build bin/fi.exe -- exhaust -w mcf \
+        -t llfi -c cmp -n 30 --sample-bound 300 --seed 7 \
+        --jobs "$jobs" \
+        --csv "$tmp/exhaust-$jobs.csv" \
+        | grep -v '^Exact results written' > "$tmp/exhaust-$jobs.txt"
+}
+
+exhaust_smoke 1
+exhaust_smoke 4
+
+cmp "$tmp/exhaust-1.csv" "$tmp/exhaust-4.csv" || {
+    echo "FAIL: exact-rate CSV differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+cmp "$tmp/exhaust-1.txt" "$tmp/exhaust-4.txt" || {
+    echo "FAIL: exhaust report differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+grep -q 'error_bound' "$tmp/exhaust-1.csv" || {
+    echo "FAIL: exact-rate CSV missing its header" >&2
+    exit 1
+}
+
+echo "OK: exhaust output byte-identical across --jobs values"
+
 echo "== fuzz smoke: coverage report byte-identical across --jobs =="
 dune exec --no-build bin/fi.exe -- fuzz --coverage -n 40 -w mcf -w libquantum \
     --jobs 1 > "$tmp/cov-1.txt"
