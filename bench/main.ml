@@ -781,6 +781,139 @@ let fuzz_throughput () =
         \"programs_per_sec\": %.1f}"
        count summary.Fuzz.s_stages secs per_sec)
 
+(* ----------------------------------------------------------------- *)
+(* Campaign service: warm-pool amortization                           *)
+(* ----------------------------------------------------------------- *)
+
+(* The service's pitch is that preparation (compile both levels,
+   golden-run, profile) is paid once per workload, after which every
+   job runs only its trials on the warm pool.  The cold baseline is
+   what N separate CLI invocations of the same jobs pay: a fresh
+   prepare per job, then the same trials sequentially.  Warm >= 3x
+   cold is a hard floor (not just a baseline ratio): if the prepared
+   cache or the DLS runner cache stops amortizing, the service has
+   lost its reason to exist.  Byte-identity of a served job against
+   its cold run is re-checked here and attested in the summary. *)
+let serve_throughput () =
+  section "Campaign service: warm-pool jobs vs cold per-job preparation";
+  (* Job size is deliberately fixed and small: the amortization claim
+     is about many short interactive jobs, where preparation would
+     dominate a cold run — it is not a scale knob, so BENCH_TRIALS
+     does not stretch it.  bzip2 has the steepest prepare-to-trial
+     cost ratio of the suite, i.e. it is the workload the service
+     exists for.  One shard per cell (chunk = trials): with many jobs
+     in flight, cross-job concurrency already fills the pool, and
+     splitting tiny cells would only multiply the per-shard
+     fast-forward setup both paths pay. *)
+  let serve_trials = 2 in
+  let n_jobs = 16 in
+  let concurrency = max 2 (min 4 jobs) in
+  let workload = "bzip2" in
+  let job_of i =
+    {
+      Serve.Wire.j_workload = workload;
+      j_tools = [ Core.Campaign.Llfi_tool ];
+      j_categories = [ Core.Category.All ];
+      j_trials = serve_trials;
+      j_seed = 9000 + i;
+      j_out = None;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run_cold (job : Serve.Wire.job) =
+    let cfg =
+      Serve.Plan.config_for ~base:config ~trials:job.Serve.Wire.j_trials
+        ~seed:job.Serve.Wire.j_seed
+    in
+    let p = Core.Campaign.prepare cfg (Workloads.find_exn workload) in
+    Core.Campaign.to_csv
+      (List.map
+         (fun (tool, category) -> Core.Campaign.run_cell cfg p tool category)
+         (Serve.Plan.cells job))
+  in
+  let cold_csvs, cold_s =
+    time (fun () -> List.init n_jobs (fun i -> run_cold (job_of i)))
+  in
+  let dir = Filename.temp_file "fi-serve-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let sconfig =
+    {
+      (Serve.Server.default ~socket) with
+      Serve.Server.pool_size = jobs;
+      chunk = Some serve_trials;
+      base = config;
+    }
+  in
+  let ready = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) sconfig)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let addr = Serve.Client.Unix_sock socket in
+  (* untimed warm-up: fills the prepared cache, exactly like a running
+     service that has seen the workload before *)
+  let c = Serve.Client.connect addr in
+  (match Serve.Client.submit c (job_of 0) with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve bench warm-up: " ^ e));
+  let stats = Serve.Client.loadgen addr ~jobs:n_jobs ~concurrency ~job_of in
+  (* a served job must stream byte-for-byte what its cold run computed
+     (same seed -> the cell cache replays it; the digest seals it) *)
+  let identical =
+    match Serve.Client.submit c (job_of 1) with
+    | Ok r -> String.equal r.Serve.Client.r_csv (List.nth cold_csvs 1)
+    | Error e -> failwith ("serve bench identity check: " ^ e)
+  in
+  Serve.Client.shutdown c ~drain:true;
+  Serve.Client.close c;
+  let _stats = Domain.join domain in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let warm_s = stats.Serve.Client.l_wall in
+  let warm_speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  Printf.printf "  cold (prepare per job, sequential): %6.2fs for %d jobs\n"
+    cold_s n_jobs;
+  Printf.printf "  warm (service, %d-way clients):     %6.2fs for %d jobs\n"
+    concurrency warm_s stats.Serve.Client.l_jobs;
+  Printf.printf
+    "  throughput: %.1f jobs/s   latency p50 %.0fms  p99 %.0fms  mean %.0fms\n"
+    stats.Serve.Client.l_jobs_per_s stats.Serve.Client.l_p50_ms
+    stats.Serve.Client.l_p99_ms stats.Serve.Client.l_mean_ms;
+  Printf.printf "  warm speedup: %.2fx — CSV byte-identical: %b\n" warm_speedup
+    identical;
+  bench_json "SERVE"
+    (Printf.sprintf
+       "{\"jobs\": %d, \"concurrency\": %d, \"trials\": %d, \"pool\": %d, \
+        \"cold_s\": %.3f, \"warm_s\": %.3f, \"warm_speedup\": %.3f, \
+        \"jobs_per_s\": %.2f, \"p50_ms\": %.1f, \"p99_ms\": %.1f, \
+        \"identical\": %b}"
+       n_jobs concurrency serve_trials jobs cold_s warm_s warm_speedup
+       stats.Serve.Client.l_jobs_per_s stats.Serve.Client.l_p50_ms
+       stats.Serve.Client.l_p99_ms identical);
+  if stats.Serve.Client.l_failed > 0 then
+    bench_failures :=
+      Printf.sprintf "serve: %d of %d load-test jobs failed"
+        stats.Serve.Client.l_failed n_jobs
+      :: !bench_failures;
+  if not identical then
+    bench_failures :=
+      "serve: served CSV diverges from the cold offline run" :: !bench_failures;
+  if warm_speedup < 3.0 then
+    bench_failures :=
+      Printf.sprintf
+        "serve: warm-pool speedup %.2fx is below the 3x amortization floor"
+        warm_speedup
+      :: !bench_failures
+
 (* BENCH_ONLY=engine,snapshot selects sections by key; unset runs
    everything.  scripts/bench_gate.sh uses it to run just the gated,
    JSON-emitting sections at a small trial count. *)
@@ -792,6 +925,7 @@ let parts : (string * string * (unit -> unit)) list =
     ("snapshot", "snapshot speedup", snapshot_speedup);
     ("exhaust", "exhaustive pruning ratio", exhaust_ratio);
     ("obs", "telemetry overhead", obs_overhead);
+    ("serve", "campaign service warm pool", serve_throughput);
     ("gep", "ablation: gep folding", ablation_gep_folding);
     ("flags", "ablation: flag bits", ablation_flag_bits);
     ("xmm", "ablation: xmm pruning", ablation_xmm_pruning);

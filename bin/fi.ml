@@ -230,6 +230,51 @@ let obs_finish ?manifest o =
   | _ -> ());
   if o.o_metrics then prerr_string (Obs.Metrics.render ())
 
+(* Manifest plumbing shared by every campaign-shaped subcommand: create
+   the manifest iff --manifest resolved to a path, record the config
+   key/values, and expose section timing that is a no-op without a
+   manifest.  [finish] is [obs_finish] with the context's manifest. *)
+type mctx = {
+  mf : Obs.Manifest.t option;
+  in_section : 'a. string -> (unit -> 'a) -> 'a;
+}
+
+let manifest_ctx obs kvs =
+  let mf =
+    Option.map
+      (fun _ -> Obs.Manifest.create ~command:(argv_command ()))
+      obs.o_manifest
+  in
+  (match mf with
+  | Some m -> List.iter (fun (k, v) -> Obs.Manifest.set m k v) kvs
+  | None -> ());
+  {
+    mf;
+    in_section =
+      (fun name f ->
+        match mf with Some m -> Obs.Manifest.section m name f | None -> f ());
+  }
+
+let finish ctx obs = obs_finish ?manifest:ctx.mf obs
+
+(* The CSV epilogue every results-producing command shares: digest into
+   the manifest, then optionally write the file. *)
+let record_csv ctx ?path ~what csv =
+  (match ctx.mf with
+  | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
+  | None -> ());
+  match path with
+  | Some p ->
+    let oc = open_out p in
+    output_string oc csv;
+    close_out oc;
+    Fmt.pr "%s written to %s@." what p
+  | None -> ()
+
+let kv_workloads workloads =
+  Obs.Json.List
+    (List.map (fun (w : Core.Workload.t) -> Obs.Json.Str w.name) workloads)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -332,27 +377,22 @@ let inject_cmd =
       | `Llfi -> Core.Campaign.Llfi_tool
       | `Pinfi -> Core.Campaign.Pinfi_tool
     in
-    let manifest =
-      Option.map (fun _ -> Obs.Manifest.create ~command:(argv_command ())) obs.o_manifest
-    in
-    (match manifest with
-    | Some m ->
-      Obs.Manifest.set m "workload" (Obs.Json.Str w.name);
-      Obs.Manifest.set m "tool" (Obs.Json.Str (Core.Campaign.tool_name tool));
-      Obs.Manifest.set m "category"
-        (Obs.Json.Str (Core.Category.name category));
-      Obs.Manifest.set m "seed" (Obs.Json.Int seed);
-      Obs.Manifest.set m "trials" (Obs.Json.Int trials);
-      Obs.Manifest.set m "jobs" (Obs.Json.Int (resolve_jobs jobs));
-      Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot))
-    | None -> ());
-    let in_section name f =
-      match manifest with Some m -> Obs.Manifest.section m name f | None -> f ()
+    let ctx =
+      manifest_ctx obs
+        [
+          ("workload", Obs.Json.Str w.name);
+          ("tool", Obs.Json.Str (Core.Campaign.tool_name tool));
+          ("category", Obs.Json.Str (Core.Category.name category));
+          ("seed", Obs.Json.Int seed);
+          ("trials", Obs.Json.Int trials);
+          ("jobs", Obs.Json.Int (resolve_jobs jobs));
+          ("snapshot", Obs.Json.Bool (not no_snapshot));
+        ]
     in
     (* A single cell run through the engine: with --jobs N the cell is
        split into N trial ranges; the tally is identical either way. *)
     match
-      in_section "execute" @@ fun () ->
+      ctx.in_section "execute" @@ fun () ->
       Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ?journal ~resume
         ~tools:[ tool ] ~categories:[ category ] config [ w ]
     with
@@ -375,7 +415,7 @@ let inject_cmd =
       (100.0 *. Core.Verdict.benign_rate t)
       t.hang;
     if t.not_activated > 0 then Fmt.pr "not activated: %d@." t.not_activated;
-    obs_finish ?manifest obs;
+    finish ctx obs;
     `Ok 0
   in
   let tool_arg =
@@ -567,23 +607,18 @@ let campaign_cmd =
       | [] -> Workloads.all
       | names -> List.map Workloads.find_exn names
     in
-    let manifest =
-      Option.map (fun _ -> Obs.Manifest.create ~command:(argv_command ())) obs.o_manifest
+    let ctx =
+      manifest_ctx obs
+        [
+          ("seed", Obs.Json.Int seed);
+          ("trials", Obs.Json.Int trials);
+          ("jobs", Obs.Json.Int jobs);
+          ("snapshot", Obs.Json.Bool (not no_snapshot));
+          ("journal", Obs.Json.Bool (journal <> None));
+          ("records", Obs.Json.Bool (records <> None));
+          ("workloads", kv_workloads workloads);
+        ]
     in
-    (match manifest with
-    | Some m ->
-      Obs.Manifest.set m "seed" (Obs.Json.Int seed);
-      Obs.Manifest.set m "trials" (Obs.Json.Int trials);
-      Obs.Manifest.set m "jobs" (Obs.Json.Int jobs);
-      Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot));
-      Obs.Manifest.set m "journal" (Obs.Json.Bool (journal <> None));
-      Obs.Manifest.set m "records" (Obs.Json.Bool (records <> None));
-      Obs.Manifest.set m "workloads"
-        (Obs.Json.List
-           (List.map
-              (fun (w : Core.Workload.t) -> Obs.Json.Str w.name)
-              workloads))
-    | None -> ());
     Fmt.pr
       "Running campaign: %d workloads x 2 tools x %d categories x %d trials \
        (%d job%s)@."
@@ -592,11 +627,8 @@ let campaign_cmd =
       trials jobs
       (if jobs = 1 then "" else "s");
     let sink = Option.map (fun _ -> Diagnose.Sink.create ()) records in
-    let in_section name f =
-      match manifest with Some m -> Obs.Manifest.section m name f | None -> f ()
-    in
     match
-      in_section "execute" @@ fun () ->
+      ctx.in_section "execute" @@ fun () ->
       Engine.Scheduler.run ~jobs ?journal ~resume
         ~progress:(Engine.Progress.create ())
         ?observe:(Option.map sink_observer sink)
@@ -606,7 +638,7 @@ let campaign_cmd =
     | result ->
     let prepared = result.Engine.Scheduler.prepared in
     let cells = result.Engine.Scheduler.cells in
-    (in_section "report" @@ fun () ->
+    (ctx.in_section "report" @@ fun () ->
      print_newline ();
      Core.Report.table2 workloads;
      print_newline ();
@@ -631,18 +663,9 @@ let campaign_cmd =
       Diagnose.Sink.write sink path;
       Fmt.pr "Diagnosis records written to %s@." path
     | _ -> ());
-    let csv = Core.Campaign.to_csv cells in
-    (match manifest with
-    | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
-    | None -> ());
-    (match csv_file with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc csv;
-      close_out oc;
-      Fmt.pr "Raw results written to %s@." path
-    | None -> ());
-    obs_finish ?manifest obs;
+    record_csv ctx ?path:csv_file ~what:"Raw results"
+      (Core.Campaign.to_csv cells);
+    finish ctx obs;
     `Ok 0
   in
   let csv_arg =
@@ -703,25 +726,17 @@ let diagnose_cmd =
         match categories with [] -> Core.Category.all | l -> l
       in
       let sink = Diagnose.Sink.create () in
-      let manifest =
-        Option.map
-          (fun _ -> Obs.Manifest.create ~command:(argv_command ()))
-          obs.o_manifest
-      in
-      (match manifest with
-      | Some m ->
-        Obs.Manifest.set m "seed" (Obs.Json.Int seed);
-        Obs.Manifest.set m "trials" (Obs.Json.Int trials);
-        Obs.Manifest.set m "jobs" (Obs.Json.Int (resolve_jobs jobs));
-        Obs.Manifest.set m "snapshot" (Obs.Json.Bool (not no_snapshot))
-      | None -> ());
-      let in_section name f =
-        match manifest with
-        | Some m -> Obs.Manifest.section m name f
-        | None -> f ()
+      let ctx =
+        manifest_ctx obs
+          [
+            ("seed", Obs.Json.Int seed);
+            ("trials", Obs.Json.Int trials);
+            ("jobs", Obs.Json.Int (resolve_jobs jobs));
+            ("snapshot", Obs.Json.Bool (not no_snapshot));
+          ]
       in
       (match
-         in_section "execute" @@ fun () ->
+         ctx.in_section "execute" @@ fun () ->
          Engine.Scheduler.run ~jobs:(resolve_jobs jobs) ~tools ~categories
            ~observe:(sink_observer sink) ~track_use:true config workloads
        with
@@ -733,18 +748,9 @@ let diagnose_cmd =
           Diagnose.Sink.write sink path;
           Fmt.pr "Diagnosis records written to %s@." path
         | None -> ());
-        let csv = Core.Campaign.to_csv result.Engine.Scheduler.cells in
-        (match manifest with
-        | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
-        | None -> ());
-        (match csv_file with
-        | Some path ->
-          let oc = open_out path in
-          output_string oc csv;
-          close_out oc;
-          Fmt.pr "Raw results written to %s@." path
-        | None -> ());
-        obs_finish ?manifest obs;
+        record_csv ctx ?path:csv_file ~what:"Raw results"
+          (Core.Campaign.to_csv result.Engine.Scheduler.cells);
+        finish ctx obs;
         `Ok 0)
   in
   let filter_arg =
@@ -861,28 +867,19 @@ let exhaust_cmd =
       { Exhaust.prune = (prune = `All); sample_bound; seed }
     in
     let campaign_config = config_of ~trials:(max trials 1) ~seed () in
-    let manifest =
-      Option.map (fun _ -> Obs.Manifest.create ~command:(argv_command ()))
-        obs.o_manifest
-    in
-    (match manifest with
-    | Some m ->
-      Obs.Manifest.set m "seed" (Obs.Json.Int seed);
-      Obs.Manifest.set m "prune" (Obs.Json.Bool config.Exhaust.prune);
-      Obs.Manifest.set m "sample_bound" (Obs.Json.Int sample_bound);
-      Obs.Manifest.set m "jobs" (Obs.Json.Int jobs);
-      Obs.Manifest.set m "trials" (Obs.Json.Int trials);
-      Obs.Manifest.set m "workloads"
-        (Obs.Json.List
-           (List.map
-              (fun (w : Core.Workload.t) -> Obs.Json.Str w.name)
-              workloads))
-    | None -> ());
-    let in_section name f =
-      match manifest with Some m -> Obs.Manifest.section m name f | None -> f ()
+    let ctx =
+      manifest_ctx obs
+        [
+          ("seed", Obs.Json.Int seed);
+          ("prune", Obs.Json.Bool config.Exhaust.prune);
+          ("sample_bound", Obs.Json.Int sample_bound);
+          ("jobs", Obs.Json.Int jobs);
+          ("trials", Obs.Json.Int trials);
+          ("workloads", kv_workloads workloads);
+        ]
     in
     match
-      in_section "execute" @@ fun () ->
+      ctx.in_section "execute" @@ fun () ->
       Exhaust.run ~jobs ?journal ~resume ~tools ~categories
         ~on_cell:print_exact_cell config campaign_config workloads
     with
@@ -893,7 +890,7 @@ let exhaust_cmd =
     let sum f = List.fold_left (fun acc e -> acc + f e) 0 cells in
     let enumerated = sum (fun e -> e.Core.Campaign.e_enumerated) in
     let executed = sum (fun e -> e.Core.Campaign.e_executed) in
-    (match manifest with
+    (match ctx.mf with
     | Some m ->
       Obs.Manifest.set m "enumerated" (Obs.Json.Int enumerated);
       Obs.Manifest.set m "pruned_dead"
@@ -908,7 +905,7 @@ let exhaust_cmd =
        --trials injections on the very same prepared workloads. *)
     if trials > 0 then begin
       let sampled =
-        in_section "sampled-comparison" @@ fun () ->
+        ctx.in_section "sampled-comparison" @@ fun () ->
         List.concat_map
           (fun (p : Core.Campaign.prepared) ->
             List.concat_map
@@ -923,18 +920,9 @@ let exhaust_cmd =
       print_newline ();
       Core.Report.exact_vs_sampled cells sampled
     end;
-    let csv = Core.Campaign.exact_to_csv cells in
-    (match manifest with
-    | Some m -> Obs.Manifest.add_digest m "csv" ~payload:csv
-    | None -> ());
-    (match csv_file with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc csv;
-      close_out oc;
-      Fmt.pr "Exact results written to %s@." path
-    | None -> ());
-    obs_finish ?manifest obs;
+    record_csv ctx ?path:csv_file ~what:"Exact results"
+      (Core.Campaign.exact_to_csv cells);
+    finish ctx obs;
     `Ok 0
   in
   let filter_arg =
@@ -1040,19 +1028,13 @@ let fuzz_cmd =
     match mutate with
     | `Error _ as e -> e
     | `Ok mutate ->
-      let manifest =
-        Option.map (fun _ -> Obs.Manifest.create ~command:(argv_command ())) obs.o_manifest
-      in
-      (match manifest with
-      | Some m ->
-        Obs.Manifest.set m "seed" (Obs.Json.Int seed);
-        Obs.Manifest.set m "count" (Obs.Json.Int count);
-        Obs.Manifest.set m "coverage" (Obs.Json.Bool coverage)
-      | None -> ());
-      let in_section name f =
-        match manifest with
-        | Some m -> Obs.Manifest.section m name f
-        | None -> f ()
+      let ctx =
+        manifest_ctx obs
+          [
+            ("seed", Obs.Json.Int seed);
+            ("count", Obs.Json.Int count);
+            ("coverage", Obs.Json.Bool coverage);
+          ]
       in
       if coverage then begin
         let workloads =
@@ -1061,17 +1043,17 @@ let fuzz_cmd =
           | names -> List.map Workloads.find_exn names
         in
         let report =
-          in_section "coverage" @@ fun () ->
+          ctx.in_section "coverage" @@ fun () ->
           Fuzz.Coverage.measure ~jobs:(resolve_jobs jobs) ~workloads ~trials
             ~seed ()
         in
         print_string (Fuzz.Coverage.render report);
-        obs_finish ?manifest obs;
+        finish ctx obs;
         `Ok 0
       end
       else begin
         let summary =
-          in_section "fuzz" @@ fun () ->
+          ctx.in_section "fuzz" @@ fun () ->
           Fuzz.campaign ?mutate ~max_repros ~seed ~count ()
         in
         print_string (Fuzz.render_summary ?mutate summary);
@@ -1080,7 +1062,7 @@ let fuzz_cmd =
           let paths = Fuzz.write_corpus ~dir summary in
           List.iter (fun p -> Fmt.pr "repro written to %s@." p) paths
         | _ -> ());
-        obs_finish ?manifest obs;
+        finish ctx obs;
         `Ok (if summary.Fuzz.s_findings = [] then 0 else 1)
       end
   in
@@ -1144,6 +1126,368 @@ let fuzz_cmd =
        $ jobs_arg $ filter_arg $ mutate_arg $ corpus_arg $ max_repros_arg
        $ obs_term ~manifest_default:None))
 
+(* --- serve / submit / shutdown / loadgen: the campaign service --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "fi-serve.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the campaign service listens (connects) on.")
+
+let tools_of = function
+  | [] -> [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
+  | l ->
+    List.map
+      (function
+        | `Llfi -> Core.Campaign.Llfi_tool | `Pinfi -> Core.Campaign.Pinfi_tool)
+      l
+
+let serve_cmd =
+  let run socket tcp pool chunk journal idle no_snapshot obs =
+    let tcp =
+      match tcp with
+      | None -> `Ok None
+      | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+          match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+          | Some port -> `Ok (Some (String.sub spec 0 i, port))
+          | None -> `Error (true, "bad --tcp PORT in " ^ spec))
+        | None -> `Error (true, "--tcp expects HOST:PORT"))
+    in
+    match tcp with
+    | `Error _ as e -> e
+    | `Ok tcp ->
+      let pool = resolve_jobs pool in
+      let ctx =
+        manifest_ctx obs
+          [
+            ("socket", Obs.Json.Str socket);
+            ("pool", Obs.Json.Int pool);
+            ("chunk", Obs.Json.Int (Option.value chunk ~default:0));
+            ("journal", Obs.Json.Bool (journal <> None));
+            ("snapshot", Obs.Json.Bool (not no_snapshot));
+          ]
+      in
+      let cfg =
+        {
+          (Serve.Server.default ~socket) with
+          Serve.Server.tcp;
+          pool_size = pool;
+          chunk;
+          journal;
+          base = { Core.Campaign.default_config with snapshot = not no_snapshot };
+          idle_timeout = idle;
+          handle_signals = true;
+        }
+      in
+      let on_ready () =
+        Fmt.pr "fi serve: listening on %s (%d workers)@." socket pool;
+        (* scripts wait for this line before connecting *)
+        flush stdout
+      in
+      (match ctx.in_section "serve" (fun () -> Serve.Server.run ~on_ready cfg) with
+      | exception Unix.Unix_error (err, fn, arg) ->
+        `Error
+          (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | stats ->
+        (match ctx.mf with
+        | Some m ->
+          Obs.Manifest.set m "connections" (Obs.Json.Int stats.Serve.Server.connections);
+          Obs.Manifest.set m "jobs_admitted" (Obs.Json.Int stats.Serve.Server.admitted);
+          Obs.Manifest.set m "jobs_completed" (Obs.Json.Int stats.Serve.Server.completed);
+          Obs.Manifest.set m "jobs_failed" (Obs.Json.Int stats.Serve.Server.failed);
+          Obs.Manifest.set m "jobs_resumed" (Obs.Json.Int stats.Serve.Server.resumed)
+        | None -> ());
+        Fmt.pr
+          "fi serve: drained after %d connection(s), %d job(s) admitted \
+           (%d completed, %d failed, %d resumed)@."
+          stats.Serve.Server.connections stats.Serve.Server.admitted stats.Serve.Server.completed
+          stats.Serve.Server.failed stats.Serve.Server.resumed;
+        finish ctx obs;
+        `Ok 0)
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Also listen on a TCP socket (the Unix socket stays primary).")
+  in
+  let pool_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the persistent pool; 0 (the default) uses \
+             the runtime-recommended count.")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:
+            "Trials per shard (streaming and checkpoint granularity).  \
+             Default: sized per job so one cell feeds the whole pool.  \
+             Results are byte-identical for every value.")
+  in
+  let serve_journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Job journal: every admitted job and completed shard is \
+             checkpointed so a killed server resumes unfinished jobs on \
+             restart (re-running only the missing shards).")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections with no jobs and no traffic for this long; \
+                0 disables.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service: a long-lived server with a warm worker \
+          pool that accepts injection jobs over a Unix (or TCP) socket, \
+          shards them into trial ranges, and streams verdict batches.  \
+          Results are byte-identical to the offline $(b,campaign) / \
+          $(b,diagnose) commands.  SIGTERM (or $(b,fi shutdown)) drains: \
+          in-flight jobs finish and stream completely before the server \
+          exits.")
+    Term.(
+      ret
+        (const run $ socket_arg $ tcp_arg $ pool_arg $ chunk_arg
+       $ serve_journal_arg $ idle_arg $ no_snapshot_arg
+       $ obs_term ~manifest_default:None))
+
+let serve_tools_arg =
+  Arg.(
+    value
+    & opt_all (enum [ ("llfi", `Llfi); ("pinfi", `Pinfi) ]) []
+    & info [ "t"; "tool" ] ~docv:"TOOL"
+        ~doc:"Injector (repeatable; default: both).")
+
+let serve_cats_arg =
+  Arg.(
+    value & opt_all category_conv []
+    & info [ "c"; "category" ] ~docv:"CAT"
+        ~doc:"Instruction category (repeatable; default: all five).")
+
+let submit_cmd =
+  let run workload socket tools categories trials seed csv_file out quiet obs =
+    let job =
+      {
+        Serve.Wire.j_workload = workload;
+        j_tools = tools_of tools;
+        j_categories =
+          (match categories with [] -> Core.Category.all | l -> l);
+        j_trials = trials;
+        j_seed = seed;
+        j_out = out;
+      }
+    in
+    let ctx =
+      manifest_ctx obs
+        [
+          ("socket", Obs.Json.Str socket);
+          ("workload", Obs.Json.Str workload);
+          ("seed", Obs.Json.Int seed);
+          ("trials", Obs.Json.Int trials);
+        ]
+    in
+    match Serve.Client.connect (Serve.Client.Unix_sock socket) with
+    | exception Unix.Unix_error (err, _, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "cannot reach the campaign service on %s: %s" socket
+            (Unix.error_message err) )
+    | client ->
+      let batches = ref 0 in
+      let on_batch (b : Serve.Wire.batch) =
+        incr batches;
+        if not quiet then
+          Fmt.epr "batch %s/%s trials %d..%d@."
+            (Core.Campaign.tool_name b.b_tool)
+            (Core.Category.name b.b_category)
+            b.b_first
+            (b.b_first + b.b_count - 1)
+      in
+      let result =
+        ctx.in_section "submit" @@ fun () -> Serve.Client.submit client ~on_batch job
+      in
+      Serve.Client.close client;
+      (match result with
+      | Error msg -> `Error (false, msg)
+      | Ok r ->
+        Fmt.pr "job %d done: %d verdict batches, digest %s@." r.Serve.Client.r_job
+          r.Serve.Client.r_batches r.Serve.Client.r_digest;
+        record_csv ctx ?path:csv_file ~what:"Raw results" r.Serve.Client.r_csv;
+        finish ctx obs;
+        `Ok 0)
+  in
+  let workload_name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to inject (validated server-side).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:
+            "Server-side CSV output path: the server writes the result \
+             there even if this client disconnects (and after a crash \
+             recovery, when the job finishes headless).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the streamed result CSV client-side.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-batch progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one injection job to a running campaign service and stream \
+          its verdict batches.  The client independently reassembles the \
+          batches and fails if they do not merge into the server's reported \
+          CSV — no batch may be lost or duplicated, including across a \
+          server drain.")
+    Term.(
+      ret
+        (const run $ workload_name_arg $ socket_arg $ serve_tools_arg
+       $ serve_cats_arg $ trials_arg 200 $ seed_arg $ csv_arg $ out_arg
+       $ quiet_arg $ obs_term ~manifest_default:None))
+
+let shutdown_cmd =
+  let run socket immediate =
+    match Serve.Client.connect (Serve.Client.Unix_sock socket) with
+    | exception Unix.Unix_error (err, _, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "cannot reach the campaign service on %s: %s" socket
+            (Unix.error_message err) )
+    | client ->
+      Serve.Client.shutdown client ~drain:(not immediate);
+      Serve.Client.close client;
+      Fmt.pr "fi shutdown: server %s@."
+        (if immediate then "stopped" else "drained and stopped");
+      `Ok 0
+  in
+  let now_arg =
+    Arg.(
+      value & flag
+      & info [ "now" ]
+          ~doc:
+            "Stop without draining: in-flight jobs stay checkpointed in the \
+             server's journal and resume on the next start.")
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:
+         "Ask a running campaign service to shut down.  By default it \
+          drains first: every in-flight job finishes and streams its \
+          remaining verdict batches before the server says goodbye.")
+    Term.(ret (const run $ socket_arg $ now_arg))
+
+let loadgen_cmd =
+  let run socket jobs concurrency workload trials seed vary_seed json_file =
+    let job_of i =
+      {
+        Serve.Wire.j_workload = workload;
+        j_tools = tools_of [];
+        j_categories = Core.Category.all;
+        j_trials = trials;
+        j_seed = (if vary_seed then seed + i else seed);
+        j_out = None;
+      }
+    in
+    match
+      Serve.Client.loadgen (Serve.Client.Unix_sock socket) ~jobs ~concurrency ~job_of
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "cannot reach the campaign service on %s: %s" socket
+            (Unix.error_message err) )
+    | s ->
+      Fmt.pr "jobs=%d ok=%d failed=%d wall=%.2fs throughput=%.2f jobs/s@."
+        s.Serve.Client.l_jobs s.Serve.Client.l_ok s.Serve.Client.l_failed s.Serve.Client.l_wall
+        s.Serve.Client.l_jobs_per_s;
+      Fmt.pr "latency: mean=%.1fms p50=%.1fms p99=%.1fms@." s.Serve.Client.l_mean_ms
+        s.Serve.Client.l_p50_ms s.Serve.Client.l_p99_ms;
+      (match json_file with
+      | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\"jobs\": %d, \"ok\": %d, \"failed\": %d, \"wall_s\": %.6f, \
+           \"jobs_per_s\": %.6f, \"mean_ms\": %.6f, \"p50_ms\": %.6f, \
+           \"p99_ms\": %.6f}\n"
+          s.Serve.Client.l_jobs s.Serve.Client.l_ok s.Serve.Client.l_failed s.Serve.Client.l_wall
+          s.Serve.Client.l_jobs_per_s s.Serve.Client.l_mean_ms s.Serve.Client.l_p50_ms
+          s.Serve.Client.l_p99_ms;
+        close_out oc;
+        Fmt.pr "Load-test stats written to %s@." path
+      | None -> ());
+      `Ok (if s.Serve.Client.l_failed = 0 then 0 else 1)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "jobs" ] ~docv:"N" ~doc:"Total jobs to submit.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"C"
+          ~doc:"Concurrent connections (one outstanding job each).")
+  in
+  let workload_name_arg =
+    Arg.(
+      value
+      & opt string "mcf"
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload each job injects.")
+  in
+  let vary_seed_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "vary-seed" ] ~docv:"BOOL"
+          ~doc:
+            "Give every job a distinct seed so the server's cell cache \
+             cannot coalesce them — each job really executes.  false \
+             measures the pure cache-hit path.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the stats as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Load-test a running campaign service: submit $(b,--jobs) jobs \
+          over $(b,--concurrency) connections and report throughput and \
+          per-job latency percentiles.  Exit status 1 if any job failed.")
+    Term.(
+      ret
+        (const run $ socket_arg $ jobs_arg $ concurrency_arg
+       $ workload_name_arg $ trials_arg 20 $ seed_arg $ vary_seed_arg
+       $ json_arg))
+
 let main_cmd =
   let doc =
     "reproduction of 'Quantifying the Accuracy of High-Level Fault Injection \
@@ -1151,6 +1495,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "fi" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd; diagnose_cmd; exhaust_cmd; fuzz_cmd ]
+    [ list_cmd; run_cmd; emit_cmd; profile_cmd; inject_cmd; propagate_cmd; edc_cmd; check_cmd; campaign_cmd; diagnose_cmd; exhaust_cmd; fuzz_cmd; serve_cmd; submit_cmd; shutdown_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

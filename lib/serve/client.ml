@@ -1,0 +1,353 @@
+(* Client side of the campaign service; see the .mli. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr; mutable rbuf : string; mutable open_ : bool }
+
+let sockaddr = function
+  | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+    let a =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (a, port))
+
+let connect addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let domain, sa = sockaddr addr in
+  let fd = Unix.socket domain SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; rbuf = ""; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let send t msg = write_all t.fd (Wire.encode_client msg)
+
+let recv t =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Wire.decode_server t.rbuf with
+    | Wire.Got (msg, n) ->
+      t.rbuf <- String.sub t.rbuf n (String.length t.rbuf - n);
+      msg
+    | Wire.Bad m -> failwith ("fi-serve protocol error: " ^ m)
+    | Wire.Need_more -> (
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 -> failwith "connection closed by server"
+      | n ->
+        t.rbuf <- t.rbuf ^ Bytes.sub_string buf 0 n;
+        go ())
+  in
+  go ()
+
+let hello t ~name =
+  send t (Wire.Hello { client = name });
+  match recv t with
+  | Wire.Welcome { server; pool } -> (server, pool)
+  | _ -> failwith "fi-serve: expected Welcome"
+
+type result = { r_job : int; r_csv : string; r_digest : string; r_batches : int }
+
+(* Reassemble one cell's batches: sorted by [first] they must tile
+   [0 .. trials-1] exactly (trials = 0: the single empty shard), agree
+   on the population, and merge into the cell tally. *)
+let reassemble_cell ~workload ~trials tool category batches =
+  match
+    List.sort
+      (fun (a : Wire.batch) b -> compare a.b_first b.b_first)
+      batches
+  with
+  | [] -> Error "cell received no verdict batches"
+  | first_b :: _ as sorted ->
+    let rec tile at acc = function
+      | [] ->
+        let expected = max trials 0 in
+        if at = expected then Ok acc
+        else
+          Error
+            (Printf.sprintf "batches cover %d of %d trials" at expected)
+      | (b : Wire.batch) :: rest ->
+        if b.b_first <> at then
+          Error
+            (Printf.sprintf "batch gap or overlap at trial %d (got %d)" at
+               b.b_first)
+        else if b.b_population <> first_b.b_population then
+          Error "batches disagree on population"
+        else
+          tile (at + b.b_count)
+            (Core.Verdict.merge acc b.b_tally)
+            rest
+    in
+    let zero = Core.Verdict.fresh_tally () in
+    (match tile 0 zero sorted with
+    | Error _ as e -> e
+    | Ok tally ->
+      Ok
+        {
+          Core.Campaign.c_workload = workload;
+          c_tool = tool;
+          c_category = category;
+          c_population = first_b.b_population;
+          c_tally = tally;
+        })
+
+let verify_stream (job : Wire.job) batches ~csv ~digest =
+  let grid = Plan.cells job in
+  let rec cells acc = function
+    | [] -> Ok (List.rev acc)
+    | (tool, category) :: rest -> (
+      let mine =
+        List.filter
+          (fun (b : Wire.batch) -> b.b_tool = tool && b.b_category = category)
+          batches
+      in
+      match
+        reassemble_cell ~workload:job.Wire.j_workload ~trials:job.Wire.j_trials
+          tool category mine
+      with
+      | Error e ->
+        Error
+          (Printf.sprintf "cell %s/%s: %s"
+             (Core.Campaign.tool_name tool)
+             (Core.Category.name category)
+             e)
+      | Ok cell -> cells (cell :: acc) rest)
+  in
+  match cells [] grid with
+  | Error e -> Error ("verdict stream does not reassemble: " ^ e)
+  | Ok cs ->
+    let rebuilt = Core.Campaign.to_csv cs in
+    if not (String.equal rebuilt csv) then
+      Error "verdict stream does not reassemble to the reported CSV"
+    else if not (String.equal (Digest.to_hex (Digest.string csv)) digest) then
+      Error "result digest mismatch"
+    else Ok ()
+
+let submit t ?(on_batch = fun _ -> ()) (job : Wire.job) =
+  send t (Wire.Submit job);
+  let id = ref None in
+  let batches = ref [] in
+  let rec await () =
+    match recv t with
+    | Wire.Ack { job } ->
+      id := Some job;
+      await ()
+    | Wire.Batch b when Some b.Wire.b_job = !id ->
+      batches := b :: !batches;
+      on_batch b;
+      await ()
+    | Wire.Batch _ -> await ()
+    | Wire.Job_done { job = j; csv; digest } when Some j = !id -> (
+      match verify_stream job (List.rev !batches) ~csv ~digest with
+      | Ok () ->
+        Ok
+          {
+            r_job = j;
+            r_csv = csv;
+            r_digest = digest;
+            r_batches = List.length !batches;
+          }
+      | Error _ as e -> e)
+    | Wire.Job_done _ -> await ()
+    | Wire.Error { message; _ } -> Error message
+    | Wire.Bye -> Error "server shut down before the job finished"
+    | Wire.Welcome _ | Wire.Pong -> await ()
+  in
+  try await () with Failure m -> Error m
+
+let shutdown t ~drain =
+  send t (Wire.Shutdown { drain });
+  let rec await () =
+    match recv t with Wire.Bye -> () | _ -> await ()
+  in
+  (* The server may close the connection right after (or instead of)
+     flushing Bye; either way it is gone. *)
+  try await () with Failure _ -> ()
+
+(* --- load generation --- *)
+
+type load_stats = {
+  l_jobs : int;
+  l_ok : int;
+  l_failed : int;
+  l_wall : float;
+  l_jobs_per_s : float;
+  l_mean_ms : float;
+  l_p50_ms : float;
+  l_p99_ms : float;
+}
+
+type gconn = {
+  g_fd : Unix.file_descr;
+  mutable g_rbuf : string;
+  mutable g_wbuf : string;
+  mutable g_t0 : float;  (* submission time of the outstanding job *)
+  mutable g_busy : bool;
+  mutable g_dead : bool;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let k = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) k))
+
+let loadgen addr ~jobs ~concurrency ~job_of =
+  if jobs <= 0 then
+    {
+      l_jobs = 0;
+      l_ok = 0;
+      l_failed = 0;
+      l_wall = 0.;
+      l_jobs_per_s = 0.;
+      l_mean_ms = 0.;
+      l_p50_ms = 0.;
+      l_p99_ms = 0.;
+    }
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let nconn = max 1 (min concurrency jobs) in
+    let domain, sa = sockaddr addr in
+    let conns =
+      Array.init nconn (fun _ ->
+          let fd = Unix.socket domain SOCK_STREAM 0 in
+          Unix.connect fd sa;
+          Unix.set_nonblock fd;
+          {
+            g_fd = fd;
+            g_rbuf = "";
+            g_wbuf = "";
+            g_t0 = 0.;
+            g_busy = false;
+            g_dead = false;
+          })
+    in
+    let next = ref 0 in
+    let ok = ref 0 in
+    let failed = ref 0 in
+    let latencies = ref [] in
+    let completed () = !ok + !failed in
+    let start g =
+      if !next < jobs then begin
+        let job = job_of !next in
+        incr next;
+        g.g_wbuf <- g.g_wbuf ^ Wire.encode_client (Wire.Submit job);
+        g.g_t0 <- Unix.gettimeofday ();
+        g.g_busy <- true
+      end
+    in
+    let finish g ~success =
+      if success then begin
+        incr ok;
+        latencies := ((Unix.gettimeofday () -. g.g_t0) *. 1000.) :: !latencies
+      end
+      else incr failed;
+      g.g_busy <- false;
+      start g
+    in
+    let kill g =
+      if not g.g_dead then begin
+        g.g_dead <- true;
+        (try Unix.close g.g_fd with Unix.Unix_error _ -> ());
+        if g.g_busy then begin
+          g.g_busy <- false;
+          incr failed
+        end
+      end
+    in
+    let pump_out g =
+      try
+        let n = Unix.write_substring g.g_fd g.g_wbuf 0 (String.length g.g_wbuf) in
+        g.g_wbuf <- String.sub g.g_wbuf n (String.length g.g_wbuf - n)
+      with
+      | Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | Unix.Unix_error _ -> kill g
+    in
+    let rec pump_msgs g =
+      if not g.g_dead then
+        match Wire.decode_server g.g_rbuf with
+        | Wire.Need_more -> ()
+        | Wire.Bad _ -> kill g
+        | Wire.Got (msg, n) ->
+          g.g_rbuf <- String.sub g.g_rbuf n (String.length g.g_rbuf - n);
+          (match msg with
+          | Wire.Job_done _ -> finish g ~success:true
+          | Wire.Error _ -> finish g ~success:false
+          | Wire.Bye -> kill g
+          | Wire.Ack _ | Wire.Batch _ | Wire.Welcome _ | Wire.Pong -> ());
+          pump_msgs g
+    in
+    let pump_in g =
+      let buf = Bytes.create 65536 in
+      match Unix.read g.g_fd buf 0 (Bytes.length buf) with
+      | 0 -> kill g
+      | n ->
+        g.g_rbuf <- g.g_rbuf ^ Bytes.sub_string buf 0 n;
+        pump_msgs g
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> kill g
+    in
+    let t_start = Unix.gettimeofday () in
+    Array.iter start conns;
+    let alive () = Array.exists (fun g -> not g.g_dead) conns in
+    while completed () < jobs && alive () do
+      let rfds =
+        Array.to_list conns
+        |> List.filter_map (fun g ->
+               if g.g_dead || not g.g_busy then None else Some g.g_fd)
+      in
+      let wfds =
+        Array.to_list conns
+        |> List.filter_map (fun g ->
+               if g.g_dead || String.length g.g_wbuf = 0 then None
+               else Some g.g_fd)
+      in
+      match Unix.select rfds wfds [] 1.0 with
+      | readable, writable, _ ->
+        Array.iter
+          (fun g ->
+            if (not g.g_dead) && List.mem g.g_fd writable then pump_out g)
+          conns;
+        Array.iter
+          (fun g ->
+            if (not g.g_dead) && List.mem g.g_fd readable then pump_in g)
+          conns
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done;
+    (* connections died with jobs unassigned: the remainder never ran *)
+    if completed () < jobs then failed := !failed + (jobs - completed ());
+    let wall = Unix.gettimeofday () -. t_start in
+    Array.iter kill conns;
+    let lat = Array.of_list !latencies in
+    Array.sort compare lat;
+    let mean =
+      if Array.length lat = 0 then 0.
+      else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+    in
+    {
+      l_jobs = jobs;
+      l_ok = !ok;
+      l_failed = !failed;
+      l_wall = wall;
+      l_jobs_per_s = (if wall > 0. then float_of_int !ok /. wall else 0.);
+      l_mean_ms = mean;
+      l_p50_ms = percentile lat 0.50;
+      l_p99_ms = percentile lat 0.99;
+    }
+  end

@@ -1,0 +1,63 @@
+(** Blocking client for the campaign service, plus a multiplexed load
+    generator.
+
+    {!submit} does more than transport: it reassembles the streamed
+    verdict batches client-side — per cell, the batches must partition
+    [0 .. trials-1] exactly once, agree on the population, and merge
+    (via {!Core.Verdict.merge}) into cells whose CSV is byte-equal to
+    the server's [Job_done] payload.  A lost or duplicated batch is a
+    hard error, which is the production check behind the drain test. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type t
+
+val connect : addr -> t
+(** @raise Unix.Unix_error if the server is not reachable. *)
+
+val close : t -> unit
+
+val send : t -> Wire.client_msg -> unit
+
+val recv : t -> Wire.server_msg
+(** Next server message, blocking.
+    @raise Failure on EOF or a malformed frame. *)
+
+val hello : t -> name:string -> string * int
+(** Handshake: [Hello] -> the server's name and pool size. *)
+
+type result = {
+  r_job : int;  (** server-assigned job id *)
+  r_csv : string;
+  r_digest : string;
+  r_batches : int;  (** verdict batches streamed *)
+}
+
+val submit :
+  t -> ?on_batch:(Wire.batch -> unit) -> Wire.job -> (result, string) Stdlib.result
+(** Submit and block until [Job_done], verifying stream integrity (see
+    above).  [Error] carries the server's message, or the description
+    of an integrity violation. *)
+
+val shutdown : t -> drain:bool -> unit
+(** Request shutdown and wait for the server's [Bye] (with [drain],
+    that means every in-flight job has finished and streamed). *)
+
+type load_stats = {
+  l_jobs : int;
+  l_ok : int;
+  l_failed : int;
+  l_wall : float;  (** seconds *)
+  l_jobs_per_s : float;
+  l_mean_ms : float;
+  l_p50_ms : float;
+  l_p99_ms : float;
+}
+
+val loadgen :
+  addr -> jobs:int -> concurrency:int -> job_of:(int -> Wire.job) -> load_stats
+(** Drive the server with [jobs] submissions over [concurrency]
+    connections (one outstanding job per connection, multiplexed over
+    select), measuring per-job completion latency.  [job_of i] builds
+    the [i]-th job — vary the seed to defeat the server's cell cache
+    and measure real execution. *)

@@ -1,0 +1,309 @@
+(* Pure codec for the campaign-service wire protocol; see the .mli. *)
+
+let version = 1
+let max_payload = 1 lsl 24
+let magic = '\xf5'
+
+type job = {
+  j_workload : string;
+  j_tools : Core.Campaign.tool list;
+  j_categories : Core.Category.t list;
+  j_trials : int;
+  j_seed : int;
+  j_out : string option;
+}
+
+type client_msg =
+  | Hello of { client : string }
+  | Submit of job
+  | Shutdown of { drain : bool }
+  | Ping
+
+type batch = {
+  b_job : int;
+  b_tool : Core.Campaign.tool;
+  b_category : Core.Category.t;
+  b_first : int;
+  b_count : int;
+  b_population : int;
+  b_tally : Core.Verdict.tally;
+}
+
+type server_msg =
+  | Welcome of { server : string; pool : int }
+  | Ack of { job : int }
+  | Batch of batch
+  | Job_done of { job : int; csv : string; digest : string }
+  | Error of { job : int option; message : string }
+  | Pong
+  | Bye
+
+(* --- encoding primitives --- *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32 b v =
+  u8 b (v lsr 24);
+  u8 b (v lsr 16);
+  u8 b (v lsr 8);
+  u8 b v
+
+(* Full-width ints (trials, seeds, tallies) travel as 8 bytes big-endian
+   two's complement, so negative values round-trip. *)
+let i64 b v =
+  let v = Int64.of_int v in
+  for k = 7 downto 0 do
+    u8 b (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+  done
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let boolean b v = u8 b (if v then 1 else 0)
+
+let tool_code = function
+  | Core.Campaign.Llfi_tool -> 0
+  | Core.Campaign.Pinfi_tool -> 1
+
+let tool b t = u8 b (tool_code t)
+let category b c = str b (Core.Category.name c)
+
+let tally b (t : Core.Verdict.tally) =
+  i64 b t.trials;
+  i64 b t.benign;
+  i64 b t.sdc;
+  i64 b t.crash;
+  i64 b t.hang;
+  i64 b t.not_activated;
+  i64 b t.not_injected
+
+let list_ b f xs =
+  u32 b (List.length xs);
+  List.iter (f b) xs
+
+let option_ b f = function
+  | None -> boolean b false
+  | Some v ->
+    boolean b true;
+    f b v
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 6) in
+  Buffer.add_char b magic;
+  u8 b version;
+  u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let with_payload build =
+  let b = Buffer.create 64 in
+  build b;
+  frame (Buffer.contents b)
+
+let encode_client msg =
+  with_payload @@ fun b ->
+  match msg with
+  | Hello { client } ->
+    u8 b 1;
+    str b client
+  | Submit j ->
+    u8 b 2;
+    str b j.j_workload;
+    list_ b tool j.j_tools;
+    list_ b category j.j_categories;
+    i64 b j.j_trials;
+    i64 b j.j_seed;
+    option_ b str j.j_out
+  | Shutdown { drain } ->
+    u8 b 3;
+    boolean b drain
+  | Ping -> u8 b 4
+
+let encode_server msg =
+  with_payload @@ fun b ->
+  match msg with
+  | Welcome { server; pool } ->
+    u8 b 1;
+    str b server;
+    i64 b pool
+  | Ack { job } ->
+    u8 b 2;
+    i64 b job
+  | Batch bt ->
+    u8 b 3;
+    i64 b bt.b_job;
+    tool b bt.b_tool;
+    category b bt.b_category;
+    i64 b bt.b_first;
+    i64 b bt.b_count;
+    i64 b bt.b_population;
+    tally b bt.b_tally
+  | Job_done { job; csv; digest } ->
+    u8 b 4;
+    i64 b job;
+    str b csv;
+    str b digest
+  | Error { job; message } ->
+    u8 b 5;
+    option_ b (fun b j -> i64 b j) job;
+    str b message
+  | Pong -> u8 b 6
+  | Bye -> u8 b 7
+
+(* --- decoding --- *)
+
+type 'a decoded = Need_more | Got of 'a * int | Bad of string
+
+(* Internal only; both are caught by [decode] and turned into [Bad], so
+   the exported decoders are total. *)
+exception Short
+exception Bad_frame of string
+
+type rd = { s : string; mutable pos : int; fin : int }
+
+let ru8 r =
+  if r.pos >= r.fin then raise Short;
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let ru32 r =
+  let a = ru8 r in
+  let b = ru8 r in
+  let c = ru8 r in
+  let d = ru8 r in
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let ri64 r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (ru8 r))
+  done;
+  Int64.to_int !v
+
+let rstr r =
+  let n = ru32 r in
+  if n > r.fin - r.pos then raise Short;
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rboolean r =
+  match ru8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Bad_frame (Printf.sprintf "bad boolean byte %d" n))
+
+let rtool r =
+  match ru8 r with
+  | 0 -> Core.Campaign.Llfi_tool
+  | 1 -> Core.Campaign.Pinfi_tool
+  | n -> raise (Bad_frame (Printf.sprintf "bad tool code %d" n))
+
+let rcategory r =
+  let s = rstr r in
+  match Core.Category.of_string s with
+  | Some c -> c
+  | None -> raise (Bad_frame (Printf.sprintf "unknown category %S" s))
+
+let rtally r =
+  let trials = ri64 r in
+  let benign = ri64 r in
+  let sdc = ri64 r in
+  let crash = ri64 r in
+  let hang = ri64 r in
+  let not_activated = ri64 r in
+  let not_injected = ri64 r in
+  { Core.Verdict.trials; benign; sdc; crash; hang; not_activated; not_injected }
+
+let rlist r f =
+  let n = ru32 r in
+  if n > 4096 then raise (Bad_frame "list too long");
+  List.init n (fun _ -> f r)
+
+let roption r f = if rboolean r then Some (f r) else None
+
+let be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let decode parse s =
+  let len = String.length s in
+  if len < 6 then Need_more
+  else if s.[0] <> magic then Bad "bad frame magic"
+  else if Char.code s.[1] <> version then
+    Bad
+      (Printf.sprintf "protocol version %d, this peer speaks %d"
+         (Char.code s.[1]) version)
+  else begin
+    let plen = be32 s 2 in
+    if plen > max_payload then Bad "oversized frame"
+    else if len < 6 + plen then Need_more
+    else begin
+      let r = { s; pos = 6; fin = 6 + plen } in
+      match parse r with
+      | msg ->
+        (* A well-formed frame is consumed exactly: trailing payload
+           bytes mean the peer and we disagree on the message layout. *)
+        if r.pos <> r.fin then Bad "trailing bytes in frame"
+        else Got (msg, 6 + plen)
+      | exception Short -> Bad "truncated frame body"
+      | exception Bad_frame m -> Bad m
+    end
+  end
+
+let parse_client r =
+  match ru8 r with
+  | 1 ->
+    let client = rstr r in
+    Hello { client }
+  | 2 ->
+    let j_workload = rstr r in
+    let j_tools = rlist r rtool in
+    let j_categories = rlist r rcategory in
+    let j_trials = ri64 r in
+    let j_seed = ri64 r in
+    let j_out = roption r rstr in
+    Submit { j_workload; j_tools; j_categories; j_trials; j_seed; j_out }
+  | 3 ->
+    let drain = rboolean r in
+    Shutdown { drain }
+  | 4 -> Ping
+  | n -> raise (Bad_frame (Printf.sprintf "unknown client tag %d" n))
+
+let parse_server r =
+  match ru8 r with
+  | 1 ->
+    let server = rstr r in
+    let pool = ri64 r in
+    Welcome { server; pool }
+  | 2 ->
+    let job = ri64 r in
+    Ack { job }
+  | 3 ->
+    let b_job = ri64 r in
+    let b_tool = rtool r in
+    let b_category = rcategory r in
+    let b_first = ri64 r in
+    let b_count = ri64 r in
+    let b_population = ri64 r in
+    let b_tally = rtally r in
+    Batch { b_job; b_tool; b_category; b_first; b_count; b_population; b_tally }
+  | 4 ->
+    let job = ri64 r in
+    let csv = rstr r in
+    let digest = rstr r in
+    Job_done { job; csv; digest }
+  | 5 ->
+    let job = roption r ri64 in
+    let message = rstr r in
+    Error { job; message }
+  | 6 -> Pong
+  | 7 -> Bye
+  | n -> raise (Bad_frame (Printf.sprintf "unknown server tag %d" n))
+
+let decode_client s = decode parse_client s
+let decode_server s = decode parse_server s

@@ -1,0 +1,94 @@
+(** Wire protocol of the campaign service: a length-prefixed, versioned
+    binary framing with a pure codec — no I/O anywhere in this module,
+    so every property (round-trip identity, malformed-input safety,
+    version rejection) is QCheck-testable on plain strings.
+
+    Frame layout: one magic byte, one protocol-version byte, a 32-bit
+    big-endian payload length, then the payload (tag byte + fields).
+    The decoder consumes exactly one frame from the front of a buffer
+    and {e never raises}: incomplete input reports {!Need_more},
+    anything else that cannot be a well-formed frame of this protocol
+    version reports {!Bad} (the connection should then be dropped —
+    there is no resynchronization).
+
+    A job names a {e registered} workload; resolution (and every other
+    validation that needs the environment) happens at admission in
+    {!Serve}, not here. *)
+
+val version : int
+(** Protocol version carried in every frame header (currently 1).  A
+    frame with any other version is rejected by the decoder as {!Bad} —
+    old clients fail fast instead of misparsing. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload size; larger length prefixes are
+    rejected as {!Bad} so a garbage header cannot make a reader wait
+    for gigabytes. *)
+
+(** One campaign job: workload x tools x categories x trials x seed.
+    The cell grid is [tools x categories] in the given order — the same
+    canonical order the offline scheduler uses, so the job's CSV is
+    byte-identical to an offline [fi campaign]/[fi diagnose] run of the
+    same spec. *)
+type job = {
+  j_workload : string;  (** registered benchmark name *)
+  j_tools : Core.Campaign.tool list;
+  j_categories : Core.Category.t list;
+  j_trials : int;
+  j_seed : int;
+  j_out : string option;
+      (** server-side CSV path: written by the server on completion,
+          which is what lets a journal-resumed job finish after the
+          submitting client is gone *)
+}
+
+type client_msg =
+  | Hello of { client : string }
+  | Submit of job
+  | Shutdown of { drain : bool }
+      (** [drain=true]: finish every in-flight job, then exit.
+          [drain=false]: exit now; unfinished jobs stay in the journal
+          and resume on the next start. *)
+  | Ping
+
+(** One streamed verdict batch: the tally of trials
+    [first .. first+count-1] of one cell of one job.  Batches of a cell
+    partition its trial range; merging them with {!Core.Verdict.merge}
+    reproduces the cell's full tally exactly. *)
+type batch = {
+  b_job : int;
+  b_tool : Core.Campaign.tool;
+  b_category : Core.Category.t;
+  b_first : int;
+  b_count : int;
+  b_population : int;
+  b_tally : Core.Verdict.tally;
+}
+
+type server_msg =
+  | Welcome of { server : string; pool : int }
+  | Ack of { job : int }  (** job admitted, with its server-side id *)
+  | Batch of batch
+  | Job_done of { job : int; csv : string; digest : string }
+      (** [csv] is the job's full result in canonical cell order;
+          [digest] its MD5 hex — equal to the manifest digest an
+          offline run of the same spec records *)
+  | Error of { job : int option; message : string }
+  | Pong
+  | Bye  (** last frame before the server closes the connection *)
+
+val encode_client : client_msg -> string
+(** A complete frame, ready to write. *)
+
+val encode_server : server_msg -> string
+
+type 'a decoded =
+  | Need_more  (** buffer holds a frame prefix; read more bytes *)
+  | Got of 'a * int  (** decoded message and the frame's total size *)
+  | Bad of string  (** not a frame of this protocol; drop the peer *)
+
+val decode_client : string -> client_msg decoded
+(** Decode one frame from the front of the buffer.  Total: never
+    raises, whatever the input bytes. *)
+
+val decode_server : string -> server_msg decoded

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Performance gate: run the gated bench sections (engine, diagnose,
-# snapshot, exhaust, obs) at a small trial count and compare the
-# resulting BENCH_* JSON summaries against the committed baselines at
-# the repo root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json,
-# BENCH_SNAPSHOT.json, BENCH_EXHAUST.json, BENCH_OBS.json).
+# snapshot, exhaust, obs, serve) at a small trial count and compare
+# the resulting BENCH_* JSON summaries against the committed baselines
+# at the repo root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json,
+# BENCH_SNAPSHOT.json, BENCH_EXHAUST.json, BENCH_OBS.json,
+# BENCH_SERVE.json).
 #
 # Only *ratios* are gated — speedups and overhead ratios are stable
 # across machines, wall-clock seconds are not.  Tolerances are generous
@@ -45,8 +46,8 @@ trap 'rm -rf "$tmp"' EXIT INT TERM
 out=${BENCH_JSON_DIR:-$tmp}
 mkdir -p "$out"
 
-echo "== bench (engine,diagnose,snapshot,exhaust,obs) at $TRIALS trials, $JOBS jobs =="
-BENCH_ONLY=engine,diagnose,snapshot,exhaust,obs BENCH_TRIALS="$TRIALS" \
+echo "== bench (engine,diagnose,snapshot,exhaust,obs,serve) at $TRIALS trials, $JOBS jobs =="
+BENCH_ONLY=engine,diagnose,snapshot,exhaust,obs,serve BENCH_TRIALS="$TRIALS" \
     BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$out" \
     dune exec bench/main.exe > "$tmp/bench.log" 2>&1 || {
     # The bench gates itself (determinism + hard ratio floors) and
@@ -58,7 +59,7 @@ BENCH_ONLY=engine,diagnose,snapshot,exhaust,obs BENCH_TRIALS="$TRIALS" \
 grep '^BENCH_' "$tmp/bench.log"
 
 if [ "$update" = yes ]; then
-    for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS; do
+    for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS SERVE; do
         cp "$out/BENCH_$s.json" "BENCH_$s.json"
     done
     echo "Baselines refreshed; commit the BENCH_*.json files."
@@ -99,7 +100,7 @@ gate_max() {
 }
 
 echo "== ratio gates against committed baselines =="
-for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS; do
+for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS SERVE; do
     [ -f "BENCH_$s.json" ] || {
         echo "FAIL: missing baseline BENCH_$s.json" >&2
         exit 1
@@ -108,7 +109,7 @@ done
 
 # Determinism is non-negotiable: the bench re-checks byte-identity and
 # records it in the summary.
-for s in ENGINE SNAPSHOT EXHAUST; do
+for s in ENGINE SNAPSHOT EXHAUST SERVE; do
     grep -q '"identical": true' "$out/BENCH_$s.json" || {
         echo "FAIL: $s summary does not attest byte-identical output" >&2
         fail=1
@@ -122,6 +123,8 @@ gate_min SNAPSHOT speedup 0.7      # fast-forward must keep its advantage
 gate_min EXHAUST pruning_ratio 0.8 # faults covered per fault executed
 gate_max OBS disabled_ratio 1.10       # telemetry must stay free when off
 gate_max OBS enabled_ratio 1.25        # recording overhead must stay modest
+gate_min SERVE warm_speedup 0.5    # warm pool must keep amortizing prepare
+                                   # (the hard 3x floor lives in the bench)
 
 [ "$fail" = 0 ] || exit 1
 echo "OK: all bench ratios within tolerance of the committed baselines"

@@ -250,3 +250,122 @@ cmp "$tmp/cov-1.txt" "$tmp/cov-2.txt" || {
 }
 
 echo "OK: coverage report byte-identical across --jobs values"
+
+echo "== serve smoke: streamed job byte-identical to offline campaign =="
+# Start the service, submit a job over the socket, and require the
+# streamed CSV to equal the offline `fi campaign` of the same spec —
+# the service's core guarantee, end-to-end through the installed CLI.
+dune exec --no-build bin/fi.exe -- serve \
+    --socket "$tmp/serve.sock" --pool 2 --journal "$tmp/serve-journal" \
+    > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+until grep -q 'listening' "$tmp/serve.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || {
+        echo "FAIL: fi serve did not come up" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+dune exec --no-build bin/fi.exe -- submit mcf \
+    --socket "$tmp/serve.sock" -n 20 --seed 11 \
+    --csv "$tmp/served.csv" --quiet > /dev/null
+dune exec --no-build bin/fi.exe -- campaign mcf \
+    -n 20 --seed 11 --no-manifest --csv "$tmp/served-offline.csv" > /dev/null
+cmp "$tmp/served.csv" "$tmp/served-offline.csv" || {
+    echo "FAIL: served CSV differs from offline campaign" >&2
+    exit 1
+}
+
+echo "OK: served job CSV byte-identical to offline campaign"
+
+echo "== serve smoke: drain shutdown flushes and stops =="
+dune exec --no-build bin/fi.exe -- shutdown --socket "$tmp/serve.sock"
+wait "$serve_pid" || {
+    echo "FAIL: fi serve exited nonzero after drain" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+}
+grep -q 'drained' "$tmp/serve.log" || {
+    echo "FAIL: fi serve did not report a drained shutdown" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+}
+
+echo "OK: drain shutdown clean"
+
+echo "== serve smoke: SIGKILL mid-job, restart resumes to the identical CSV =="
+# Small explicit shards so the journal checkpoints early; kill -9 the
+# server once some shards are recorded, restart it on the same journal,
+# and require the resumed job's server-side CSV to be byte-identical to
+# the offline run.  This is the crash-recovery guarantee: only missing
+# shards re-run, and determinism makes the merge exact.
+dune exec --no-build bin/fi.exe -- serve \
+    --socket "$tmp/serve2.sock" --pool 2 --chunk 5 \
+    --journal "$tmp/serve2-journal" > "$tmp/serve2.log" 2>&1 &
+serve_pid=$!
+i=0
+until grep -q 'listening' "$tmp/serve2.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || {
+        echo "FAIL: fi serve (restartable) did not come up" >&2
+        cat "$tmp/serve2.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+dune exec --no-build bin/fi.exe -- submit mcf \
+    --socket "$tmp/serve2.sock" -n 60 --seed 13 \
+    --out "$tmp/resumed.csv" --quiet > /dev/null 2>&1 &
+submit_pid=$!
+
+i=0
+while :; do
+    n=$(grep -c '^shard ' "$tmp/serve2-journal" 2>/dev/null) || n=0
+    [ "$n" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -le 200 ] || {
+        echo "FAIL: no shards checkpointed before the kill window closed" >&2
+        exit 1
+    }
+    sleep 0.05
+done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+kill "$submit_pid" 2>/dev/null || true
+wait "$submit_pid" 2>/dev/null || true
+
+dune exec --no-build bin/fi.exe -- serve \
+    --socket "$tmp/serve2.sock" --pool 2 --chunk 5 \
+    --journal "$tmp/serve2-journal" > "$tmp/serve2b.log" 2>&1 &
+serve_pid=$!
+i=0
+until grep -q '^done 1 ' "$tmp/serve2-journal" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || {
+        echo "FAIL: restarted server never finished the resumed job" >&2
+        cat "$tmp/serve2b.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+dune exec --no-build bin/fi.exe -- shutdown --socket "$tmp/serve2.sock"
+wait "$serve_pid" || true
+grep -q '1 resumed' "$tmp/serve2b.log" || {
+    echo "FAIL: restarted server did not report the resumed job" >&2
+    cat "$tmp/serve2b.log" >&2
+    exit 1
+}
+
+dune exec --no-build bin/fi.exe -- campaign mcf \
+    -n 60 --seed 13 --no-manifest --csv "$tmp/resumed-offline.csv" > /dev/null
+cmp "$tmp/resumed.csv" "$tmp/resumed-offline.csv" || {
+    echo "FAIL: resumed CSV differs from the offline campaign" >&2
+    exit 1
+}
+
+echo "OK: killed-and-restarted job resumed to the byte-identical CSV"

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Load test for the campaign service: start `fi serve` on a scratch
+# socket, drive it with `fi loadgen` (multiplexed client connections,
+# varying seeds so the cell cache cannot short-circuit execution),
+# print the throughput/latency summary, then drain-shutdown.
+#
+# Tunables (env):
+#   JOBS          total jobs to submit          (default 32)
+#   CONCURRENCY   concurrent client connections (default 4)
+#   POOL          server worker domains         (default 2)
+#   TRIALS        trials per job                (default 10)
+#   WORKLOAD      workload per job              (default mcf)
+#   LOAD_JSON     write the summary JSON here   (optional)
+#
+# Exit status is fi loadgen's: nonzero if any job failed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-32}
+CONCURRENCY=${CONCURRENCY:-4}
+POOL=${POOL:-2}
+TRIALS=${TRIALS:-10}
+WORKLOAD=${WORKLOAD:-mcf}
+
+tmp=$(mktemp -d)
+server_pid=
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== fi serve: pool $POOL, socket $tmp/s.sock =="
+dune exec --no-build bin/fi.exe -- serve \
+    --socket "$tmp/s.sock" --pool "$POOL" \
+    > "$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+# The server prints its listening line once ready to accept.
+i=0
+until grep -q 'listening' "$tmp/serve.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || {
+        echo "FAIL: server did not come up" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    }
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "FAIL: server exited during startup" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+echo "== fi loadgen: $JOBS jobs ($WORKLOAD x $TRIALS trials), $CONCURRENCY connections =="
+status=0
+dune exec --no-build bin/fi.exe -- loadgen \
+    --socket "$tmp/s.sock" \
+    --jobs "$JOBS" --concurrency "$CONCURRENCY" \
+    -w "$WORKLOAD" -n "$TRIALS" \
+    ${LOAD_JSON:+--json "$LOAD_JSON"} || status=$?
+
+echo "== fi shutdown (drain) =="
+dune exec --no-build bin/fi.exe -- shutdown --socket "$tmp/s.sock"
+wait "$server_pid" || true
+server_pid=
+tail -n 1 "$tmp/serve.log"
+
+exit "$status"
