@@ -109,19 +109,38 @@ let engine_speedup () =
   let par, par_s =
     time (fun () -> Engine.Scheduler.run ~jobs config subset)
   in
+  let par4, jobs4_s =
+    time (fun () -> Engine.Scheduler.run ~jobs:4 config subset)
+  in
   let seq_csv = Core.Campaign.to_csv seq_cells in
   let par_csv = Core.Campaign.to_csv par.Engine.Scheduler.cells in
+  let par4_csv = Core.Campaign.to_csv par4.Engine.Scheduler.cells in
   if not (String.equal seq_csv par_csv) then
     failwith "engine_speedup: parallel CSV diverges from sequential baseline";
+  if not (String.equal seq_csv par4_csv) then
+    failwith "engine_speedup: jobs=4 CSV diverges from sequential baseline";
   let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  let jobs4_speedup = if jobs4_s > 0.0 then seq_s /. jobs4_s else 0.0 in
+  (* Efficiency is relative to the cores the scheduler can actually
+     use: speedup per usable core at jobs=4.  On a multicore host this
+     demands real scaling; on a single-core host it reduces to the
+     engine-vs-baseline ratio, which the gate's 1.0x hard floor still
+     polices. *)
+  let cores = Engine.Pool.default_size () in
+  let per_core_eff = jobs4_speedup /. float_of_int (min 4 cores) in
   Printf.printf "  sequential (jobs=1): %6.1fs\n" seq_s;
-  Printf.printf "  engine    (jobs=%d): %6.1fs\n" jobs par_s;
-  Printf.printf "  speedup: %.2fx — CSV byte-identical\n" speedup;
+  Printf.printf "  engine    (jobs=%d): %6.1fs  (%.2fx)\n" jobs par_s speedup;
+  Printf.printf "  engine    (jobs=4): %6.1fs  (%.2fx, %.2fx/core on %d)\n"
+    jobs4_s jobs4_speedup per_core_eff cores;
+  Printf.printf "  CSV byte-identical at every jobs level\n";
   bench_json "ENGINE"
     (Printf.sprintf
-       "{\"workloads\": %d, \"trials\": %d, \"jobs\": %d, \"seq_s\": %.3f, \
-        \"par_s\": %.3f, \"speedup\": %.3f, \"identical\": true}"
-       (List.length subset) trials jobs seq_s par_s speedup)
+       "{\"workloads\": %d, \"trials\": %d, \"jobs\": %d, \"cores\": %d, \
+        \"seq_s\": %.3f, \"par_s\": %.3f, \"speedup\": %.3f, \
+        \"jobs4_s\": %.3f, \"jobs4_speedup\": %.3f, \"per_core_eff\": %.3f, \
+        \"identical\": true}"
+       (List.length subset) trials jobs cores seq_s par_s speedup jobs4_s
+       jobs4_speedup per_core_eff)
 
 (* ----------------------------------------------------------------- *)
 (* Part 1c: diagnosis capture overhead                                *)

@@ -126,11 +126,32 @@ type runner = {
   r_impl : runner_impl;
 }
 
-let runner (p : prepared) tool category =
+(* Reconvergence journals: at most one per (prepared workload, tool
+   level), built by one extra digest-maintaining golden run each and
+   then shared read-only by every category's runners.  A [runner
+   ~rejoin] produces byte-identical stats (see Vm.Rejoin) — the engine
+   opts in without touching the determinism guarantee, and the
+   sequential reference path ({!run_all}) never builds one. *)
+type rejoin = { rj_llfi : Vm.Rejoin.t option; rj_pinfi : Vm.Rejoin.t option }
+
+let record_rejoin (p : prepared) =
+  Obs.Trace.span "record-rejoin"
+    ~args:[ ("workload", p.workload.Workload.name) ]
+  @@ fun () ->
+  {
+    rj_llfi = Llfi.record_rejoin p.llfi;
+    rj_pinfi = Pinfi.record_rejoin p.pinfi;
+  }
+
+let runner ?rejoin (p : prepared) tool category =
+  let journal pick = Option.bind rejoin pick in
   let impl =
     match tool with
-    | Llfi_tool -> Lrun (Llfi.runner p.llfi category)
-    | Pinfi_tool -> Prun (Pinfi.runner p.pinfi category)
+    | Llfi_tool ->
+      Lrun (Llfi.runner ?rejoin:(journal (fun r -> r.rj_llfi)) p.llfi category)
+    | Pinfi_tool ->
+      Prun
+        (Pinfi.runner ?rejoin:(journal (fun r -> r.rj_pinfi)) p.pinfi category)
   in
   { r_prepared = p; r_tool = tool; r_category = category; r_impl = impl }
 

@@ -71,7 +71,21 @@ type runner
     across successive trial ranges of the same cell.  Mutable — use one
     per domain. *)
 
-val runner : prepared -> tool -> Category.t -> runner
+type rejoin
+(** Golden-run reconvergence journals for one prepared workload, one
+    per tool level (see {!Vm.Rejoin}); shared read-only by every
+    category's runners. *)
+
+val record_rejoin : prepared -> rejoin
+(** One extra digest-maintaining golden run per tool level
+    ({!Llfi.record_rejoin} / {!Pinfi.record_rejoin}).  Trials of a
+    [runner ~rejoin] finish early once their state digest matches a
+    golden boundary — same stats, byte-identical output — so the
+    engine can use it freely without touching the determinism
+    guarantee.  The cost is amortized over every cell of the workload;
+    uneconomically long golden runs yield empty journals. *)
+
+val runner : ?rejoin:rejoin -> prepared -> tool -> Category.t -> runner
 
 val runner_matches : runner -> prepared -> tool -> Category.t -> bool
 (** Whether the runner was built by {!runner} on this same [prepared]

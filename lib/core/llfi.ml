@@ -132,12 +132,18 @@ let plan_target = draw_target
 
 type runner = { r_t : t; r_ff : Vm.Ir_exec.ff }
 
-let runner t category =
+(* One reconvergence journal serves every category's runners; [None]
+   when the golden run is too long to journal economically. *)
+let record_rejoin t =
+  if t.golden_steps > Vm.Rejoin.max_recorded_steps then None
+  else Some (Vm.Ir_exec.record_journal t.compiled ~inputs:t.inputs)
+
+let runner ?rejoin t category =
   {
     r_t = t;
     r_ff =
-      Vm.Ir_exec.ff_create t.compiled ~inputs:t.inputs
-        ~inj_mask:(Category.mask category);
+      Vm.Ir_exec.ff_create t.compiled ?rejoin ~inputs:t.inputs
+        ~inj_mask:(Category.mask category) ();
   }
 
 let inject_at ?(track_use = false) r ~target rng =

@@ -63,7 +63,14 @@ type runner
     category) pair: see {!Vm.Ir_exec.ff}.  Mutable — use one per
     domain; cheapest when targets arrive in ascending order. *)
 
-val runner : t -> Category.t -> runner
+val record_rejoin : t -> Vm.Rejoin.t option
+(** One extra digest-maintaining golden run producing a reconvergence
+    journal (see {!Vm.Rejoin}) shared by every category's runners;
+    [None] when the golden run is too long to journal economically.
+    Trials of a [runner ~rejoin] finish early once their state matches
+    a golden boundary — same stats, byte-identical output. *)
+
+val runner : ?rejoin:Vm.Rejoin.t -> t -> Category.t -> runner
 
 val inject_at :
   ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats

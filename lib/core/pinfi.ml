@@ -132,12 +132,18 @@ let plan_target = draw_target
 
 type runner = { r_t : t; r_ff : Vm.X86_exec.ff }
 
-let runner t category =
+(* One reconvergence journal serves every category's runners; [None]
+   when the golden run is too long to journal economically. *)
+let record_rejoin t =
+  if t.golden_steps > Vm.Rejoin.max_recorded_steps then None
+  else Some (Vm.X86_exec.record_journal t.loaded ~inputs:t.inputs)
+
+let runner ?rejoin t category =
   {
     r_t = t;
     r_ff =
-      Vm.X86_exec.ff_create t.loaded ~policy:t.config.policy ~inputs:t.inputs
-        ~inj_mask:(Category.mask category) ();
+      Vm.X86_exec.ff_create t.loaded ~policy:t.config.policy ?rejoin
+        ~inputs:t.inputs ~inj_mask:(Category.mask category) ();
   }
 
 let inject_at ?(track_use = false) r ~target rng =

@@ -44,7 +44,11 @@ val plan_target : t -> Category.t -> Support.Rng.t -> int
 
 type runner
 
-val runner : t -> Category.t -> runner
+val record_rejoin : t -> Vm.Rejoin.t option
+(** As {!Llfi.record_rejoin}: a reconvergence journal for
+    [runner ~rejoin], or [None] for uneconomically long golden runs. *)
+
+val runner : ?rejoin:Vm.Rejoin.t -> t -> Category.t -> runner
 
 val inject_at :
   ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats

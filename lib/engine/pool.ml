@@ -10,6 +10,13 @@ type t = {
 
 let default_size () = max 1 (Domain.recommended_domain_count ())
 
+(* Index of the pool worker the current task runs on; [None] on any
+   domain that is not a pool worker (the coordinator included).  Lets
+   schedulers keep per-worker state (result buffers, runner caches)
+   without any cross-domain coordination. *)
+let ix_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let self_index () = Domain.DLS.get ix_key
+
 let worker_loop t =
   let rec next () =
     Mutex.lock t.mutex;
@@ -31,7 +38,7 @@ let worker_loop t =
   in
   next ()
 
-let create ?size () =
+let create ?size ?(init = fun _ -> ()) () =
   let size = match size with Some n -> max 1 n | None -> default_size () in
   let t =
     {
@@ -42,7 +49,12 @@ let create ?size () =
       workers = [||];
     }
   in
-  t.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    Array.init size (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set ix_key (Some i);
+            init i;
+            worker_loop t));
   t
 
 let size t = Array.length t.workers

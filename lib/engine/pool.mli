@@ -20,11 +20,20 @@ val default_size : unit -> int
 (** [Domain.recommended_domain_count ()] — one worker per hardware
     thread the runtime recommends. *)
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?init:(int -> unit) -> unit -> t
 (** Spawn a pool of [size] worker domains (default {!default_size};
-    clamped to at least 1). *)
+    clamped to at least 1).  [init] runs once in each worker domain
+    before it takes any task, with the worker's index — the hook for
+    per-domain runtime tuning (the scheduler uses it to widen worker
+    minor heaps, cutting cross-domain minor-GC synchronizations). *)
 
 val size : t -> int
+
+val self_index : unit -> int option
+(** Index of the pool worker the calling task runs on; [None] when
+    called from any non-worker domain (the coordinator included).
+    Indices are per-pool, so keep one pool per scheduler — which
+    {!Scheduler.run} does. *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task.  Tasks must not raise — wrap fallible work in

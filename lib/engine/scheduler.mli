@@ -13,7 +13,16 @@
 
     Workloads are {!Core.Campaign.prepare}d once each (compile + golden
     runs + profiles) and the resulting read-only structures are shared
-    across domains. *)
+    across domains.  Campaigns large enough to amortize them also get
+    per-workload rejoin journals ({!Core.Campaign.record_rejoin}) built
+    up front: trials then finish early at the first golden
+    reconvergence, with byte-identical output.
+
+    Execution is coordinator-drained: workers compute trial batches
+    and publish the partial cells into per-worker buffers; the calling
+    domain drains those buffers and does all merging, journal appends
+    and progress reporting itself, so the workers' hot path takes no
+    shared lock. *)
 
 type result = {
   prepared : Core.Campaign.prepared list;
@@ -46,8 +55,11 @@ val run :
   result
 (** Run the campaign.
 
-    - [jobs] (default 1): worker domains.  [jobs <= 1] runs inline on
-      the calling domain with no pool — exactly the sequential runner.
+    - [jobs] (default 1): worker domains, capped at
+      {!Pool.default_size} (the runtime's recommended domain count) —
+      oversubscribing a host adds only GC-synchronization churn, and
+      results are order-insensitive either way.  An effective count of
+      1 runs inline on the calling domain with no pool.
     - [journal]: path of a checkpoint file; every completed cell is
       appended and flushed (see {!Journal}).
     - [resume] (default false): skip cells already present in
@@ -55,10 +67,9 @@ val run :
     - [tools] / [categories]: restrict the cell grid (defaults: both
       tools, all categories) — this is how [fi inject] runs a single
       cell through the engine.
-    - [chunk]: maximum trials per scheduled task.  By default cells are
-      scheduled whole, except when there are fewer cells than [jobs],
-      where each cell is split into [jobs] trial ranges so a
-      single-cell run still uses every domain.
+    - [chunk]: maximum trials per scheduled task.  The default is
+      {!adaptive_chunk}: cells are scheduled whole unless the grid is
+      too small to level-load every domain.
     - [observe]: called once per executed trial with its verdict and
       full {!Vm.Outcome.stats} (the diagnosis record stream).  Called
       from worker domains in scheduling order — the observer must be
@@ -72,3 +83,20 @@ val run :
     re-raises the first (in canonical order) exception of any failed
     cell after all in-flight work has drained — completed cells are
     already journaled, so a crashed campaign resumes where it died. *)
+
+(** {2 Batch planning}
+
+    Pure planning helpers, exposed so tests can check their algebra
+    (coverage, adversarial cell sizes) without running a campaign. *)
+
+val ranges : chunk:int option -> int -> (int * int) list
+(** [(first, count)] trial ranges covering [0 .. trials-1] exactly
+    once, in order.  [chunk = None] yields the whole cell as one
+    range; [trials = 0] still yields one empty range so the cell (and
+    its population) is produced. *)
+
+val adaptive_chunk : jobs:int -> cells:int -> trials:int -> int option
+(** The default batch size for a grid of [cells] pending cells:
+    [None] (whole cells — maximal fast-forward amortization) unless
+    fewer than two cells per worker, in which case the coarsest chunk
+    that gives each domain about two batches, floored at 8 trials. *)

@@ -104,12 +104,15 @@ type completion =
 
 (* A workload stays prepared for the server's lifetime; sound because
    Campaign.prepare depends only on the base config's tool policies and
-   backend, never on a job's trials or seed.  The per-entry mutex
-   deliberately serializes concurrent first-builders of the same
+   backend, never on a job's trials or seed.  Its rejoin journals are
+   recorded alongside — a one-time golden-run cost that every later
+   shard of every job repays with early trial exits.  The per-entry
+   mutex deliberately serializes concurrent first-builders of the same
    workload — better one build than pool_size redundant ones. *)
 type prep_entry = {
   pm : Mutex.t;
-  mutable pv : (Core.Campaign.prepared, string) result option;
+  mutable pv :
+    (Core.Campaign.prepared * Core.Campaign.rejoin, string) result option;
 }
 
 (* One runner per (workload, tool, category) per domain, exactly the
@@ -122,7 +125,7 @@ let runner_cache :
     Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
-let cached_runner (jcfg : Core.Campaign.config) p name tool category =
+let cached_runner (jcfg : Core.Campaign.config) p rejoin name tool category =
   if not jcfg.Core.Campaign.snapshot then None
   else begin
     let cache = Domain.DLS.get runner_cache in
@@ -133,7 +136,7 @@ let cached_runner (jcfg : Core.Campaign.config) p name tool category =
       Some r
     | _ ->
       Obs.Metrics.incr m_runner_misses;
-      let r = Core.Campaign.runner p tool category in
+      let r = Core.Campaign.runner ~rejoin p tool category in
       Hashtbl.replace cache key r;
       Some r
   end
@@ -236,7 +239,9 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
           match Workloads.find name with
           | None -> Error (Printf.sprintf "unknown workload %S" name)
           | Some w -> (
-            try Ok (Core.Campaign.prepare cfg.base w)
+            try
+              let p = Core.Campaign.prepare cfg.base w in
+              Ok (p, Core.Campaign.record_rejoin p)
             with exn -> Error (Printexc.to_string exn))
         in
         entry.pv <- Some r;
@@ -414,13 +419,13 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
       let work () =
         match get_prepared key.Plan.p_workload with
         | Error msg -> push_completion (Shard_failed (cs, msg))
-        | Ok p ->
+        | Ok (p, rejoin) ->
           let jcfg =
             Plan.config_for ~base:cfg.base ~trials:key.Plan.p_trials
               ~seed:key.Plan.p_seed
           in
           let runner =
-            cached_runner jcfg p key.Plan.p_workload key.Plan.p_tool
+            cached_runner jcfg p rejoin key.Plan.p_workload key.Plan.p_tool
               key.Plan.p_category
           in
           let t0 = now () in

@@ -56,6 +56,11 @@ type cinstr = {
   op : op_kind;
   meta : Ir.Instr.t;
   gid : int;  (* program-wide instruction id, for propagation traces *)
+  mutable clive : int array;
+      (* calls only: encoded slots still readable after the callee
+         returns and the destination is overwritten — the suspended
+         caller frame's rejoin digest set (filled by the liveness
+         pass; [||] for non-calls) *)
 }
 
 type cphi = {
@@ -72,10 +77,18 @@ type cterm =
   | Tbr of int * int  (* target block, predecessor ordinal in target *)
   | Tcond of cop * (int * int) * (int * int)
 
-type cblock = { phis : cphi array; body : cinstr array; term : cterm }
+type cblock = {
+  phis : cphi array;
+  body : cinstr array;
+  term : cterm;
+  mutable bend_live : int array;
+      (* encoded slots that may still be read when the terminator is
+         next — the rejoin digest boundary's live set (liveness pass) *)
+}
 
 type cfunc = {
   cname : string;
+  cindex : int;  (* position in [compiled.cfuncs]; a stable function id *)
   nslots : int;
   params : (int * bool) array;  (* slot, is_float *)
   cblocks : cblock array;
@@ -89,6 +102,154 @@ type compiled = {
   global_image : (int * Ir.Types.t * Ir.Prog.init) list;
   globals_len : int;
 }
+
+(* --- rejoin liveness ---
+
+   Per-function backward liveness over SSA slots, computed once at
+   compile time for the rejoin digest (see {!Rejoin} and the digest
+   helpers further down): [bend_live] holds the slots that may still
+   be read once a block's terminator is next — the digest boundary —
+   and [clive] the slots still readable after a call returns and
+   overwrites its destination — the suspended caller frame's digest
+   set.  Digesting only live slots is what makes the scan affordable
+   (a frame can have hundreds of slots, a handful live).
+   Over-approximating is safe (extra slots can only miss a rejoin,
+   never fake one); missing a genuinely readable slot would be
+   unsound, so the use scans below mirror every read [exec_op] makes.
+   Slots are encoded as [(slot lsl 1) lor is_float]. *)
+let compute_rejoin_liveness (cf : cfunc) =
+  let ns = 2 * cf.nslots in
+  let nb = Array.length cf.cblocks in
+  let use_cop (set : bool array) = function
+    | S s -> set.(s lsl 1) <- true
+    | C _ -> ()
+  in
+  let use_fop (set : bool array) = function
+    | FS s -> set.((s lsl 1) lor 1) <- true
+    | FC _ -> ()
+  in
+  let use_arg set = function AI op -> use_cop set op | AF op -> use_fop set op in
+  let uses_op set = function
+    | Ibin (_, a, b, _) | Icmp_op (_, a, b, _) ->
+      use_cop set a;
+      use_cop set b
+    | Fbin (_, a, b) | Fcmp_op (_, a, b) ->
+      use_fop set a;
+      use_fop set b
+    | Canon (a, _)
+    | Unsign (a, _)
+    | Sext_i1 a
+    | Move_int a
+    | Si_to_fp a
+    | Load_int (a, _)
+    | Load_f64 a ->
+      use_cop set a
+    | Fp_to_si (a, _) -> use_fop set a
+    | Alloca_op _ -> ()
+    | Store_int (v, p, _) ->
+      use_cop set v;
+      use_cop set p
+    | Store_f64 (v, p) ->
+      use_fop set v;
+      use_cop set p
+    | Gep_op (base, _, scaled) ->
+      use_cop set base;
+      Array.iter (fun (i, _) -> use_cop set i) scaled
+    | Select_int (c, a, b) ->
+      use_cop set c;
+      use_cop set a;
+      use_cop set b
+    | Select_f64 (c, a, b) ->
+      use_cop set c;
+      use_fop set a;
+      use_fop set b
+    | Call_op (_, args) | Intr_op (_, args) -> Array.iter (use_arg set) args
+  in
+  let def_dest (set : bool array) = function
+    | DInt (s, _) -> set.(s lsl 1) <- false
+    | DFloat s -> set.((s lsl 1) lor 1) <- false
+    | DNone -> ()
+  in
+  let uses_term set = function
+    | Tcond (c, _, _) -> use_cop set c
+    | Tret (Some a) -> use_arg set a
+    | Tret None | Tbr _ -> ()
+  in
+  let succs = function
+    | Tret _ -> [||]
+    | Tbr (t, _) -> [| t |]
+    | Tcond (_, (t, _), (f, _)) -> [| t; f |]
+  in
+  let encode (set : bool array) =
+    let n = ref 0 in
+    Array.iter (fun b -> if b then incr n) set;
+    let out = Array.make !n 0 in
+    let j = ref 0 in
+    Array.iteri
+      (fun i b ->
+        if b then begin
+          out.(!j) <- i;
+          incr j
+        end)
+      set;
+    out
+  in
+  (* live at block entry, before the phi prefix: phi dests killed, phi
+     sources attributed to the incoming edge (conservatively to every
+     predecessor, for every ordinal) *)
+  let live_in = Array.init nb (fun _ -> Array.make ns false) in
+  let phi_srcs =
+    Array.init nb (fun bi ->
+        let set = Array.make ns false in
+        Array.iter
+          (fun p ->
+            Array.iter (use_cop set) p.psrcs_i;
+            Array.iter (use_fop set) p.psrcs_f)
+          cf.cblocks.(bi).phis;
+        set)
+  in
+  let scratch = Array.make ns false in
+  let backward_block bi ~record =
+    let b = cf.cblocks.(bi) in
+    let set = scratch in
+    Array.fill set 0 ns false;
+    Array.iter
+      (fun t ->
+        let li = live_in.(t) and ps = phi_srcs.(t) in
+        for j = 0 to ns - 1 do
+          if li.(j) || ps.(j) then set.(j) <- true
+        done)
+      (succs b.term);
+    uses_term set b.term;
+    if record then b.bend_live <- encode set;
+    for k = Array.length b.body - 1 downto 0 do
+      let ci = b.body.(k) in
+      def_dest set ci.dest;
+      (if record then
+         match ci.op with Call_op _ -> ci.clive <- encode set | _ -> ());
+      uses_op set ci.op
+    done;
+    Array.iter (fun p -> def_dest set p.pdest) b.phis;
+    let li = live_in.(bi) in
+    let changed = ref false in
+    for j = 0 to ns - 1 do
+      if set.(j) && not li.(j) then begin
+        li.(j) <- true;
+        changed := true
+      end
+    done;
+    !changed
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = nb - 1 downto 0 do
+      if backward_block bi ~record:false then changed := true
+    done
+  done;
+  for bi = 0 to nb - 1 do
+    ignore (backward_block bi ~record:true)
+  done
 
 (* --- compilation --- *)
 
@@ -108,7 +269,7 @@ let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
   Array.iteri
     (fun i (f : Ir.Func.t) -> Hashtbl.replace func_index f.fname i)
     funcs;
-  let compile_func (f : Ir.Func.t) =
+  let compile_func fidx (f : Ir.Func.t) =
     let classify_instr = classify f in
     let cfg = Ir.Cfg.of_func f in
     let iop (op : Ir.Operand.t) =
@@ -222,7 +383,14 @@ let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
         | Intrinsic (intr, args) ->
           Intr_op (intr, Array.of_list (List.map arg_of args))
       in
-      { mask = classify_instr i; dest = dest_of i; op; meta = i; gid = next_gid () }
+      {
+        mask = classify_instr i;
+        dest = dest_of i;
+        op;
+        meta = i;
+        gid = next_gid ();
+        clive = [||];
+      }
     in
     let pred_ordinal target pred =
       let preds = Ir.Cfg.predecessors_of cfg target in
@@ -280,10 +448,16 @@ let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
           let t = Ir.Cfg.block_index cfg lt and f = Ir.Cfg.block_index cfg lf in
           Tcond (iop c, (t, pred_ordinal t bi), (f, pred_ordinal f bi))
       in
-      { phis = Array.of_list phis; body = Array.of_list body; term }
+      {
+        phis = Array.of_list phis;
+        body = Array.of_list body;
+        term;
+        bend_live = [||];
+      }
     in
     {
       cname = f.fname;
+      cindex = fidx;
       nslots = f.next_value;
       params =
         Array.of_list
@@ -293,7 +467,8 @@ let compile ?(classify = fun _ _ -> 0) (prog : Ir.Prog.t) =
       cblocks = Array.of_list (List.mapi compile_block f.blocks);
     }
   in
-  let cfuncs = Array.map compile_func funcs in
+  let cfuncs = Array.mapi compile_func funcs in
+  Array.iter compute_rejoin_liveness cfuncs;
   let main_index =
     match Hashtbl.find_opt func_index "main" with
     | Some i -> i
@@ -406,6 +581,27 @@ type frame = {
   ret_instr : cinstr option;  (* the call awaiting this frame's result *)
   e_env : Fault_space.builder option array;
       (* Enumerate mode: live fault-space builder per slot; [||] otherwise *)
+  mutable rj_dig : int;
+      (* rejoin digest of this frame while suspended at a call (its
+         envs are immutable until the callee returns).  Marked
+         [rj_dirty] at the call and computed lazily at the first probe
+         that needs it, so machines that never probe (the rolling
+         golden prefix) pay nothing per call *)
+}
+
+(* Rejoin digest context (see {!Rejoin} and the x86 twin in
+   {!X86_exec}).  Memory writes feed an incremental XOR accumulator of
+   before/after cell fingerprints — which telescopes to a pure function
+   of current memory contents — while the live frame stack is hashed
+   from scratch only at boundaries that need a digest: every
+   body-instruction boundary on the recording golden run, every
+   [Rejoin.ir_period_mask + 1]-th visited boundary on a trial. *)
+type rej = {
+  mutable rj_acc : int;  (* XOR of store-touched cell fingerprints *)
+  mutable rj_cnt : int;  (* body boundaries visited (trial probe clock) *)
+  rj_journal : Rejoin.t option;  (* trial side: probe for reconvergence *)
+  rj_rec : Rejoin.builder option;  (* record side: journal builder *)
+  mutable rj_seen : Rejoin.seen option;  (* trial side: loop detector *)
 }
 
 type state = {
@@ -433,6 +629,7 @@ type state = {
   mutable matched : int;  (* forward mode: matching instances executed *)
   forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
   mutable enum_rev : Fault_space.builder list;  (* Enumerate accumulator *)
+  mutable rej : rej option;  (* rejoin digest context, or None *)
 }
 
 type ret = RVoid | RI of int | RF of float
@@ -876,6 +1073,11 @@ let eval_arg ienv fenv = function
   | AI op -> RI (iv ienv op)
   | AF op -> RF (fv fenv op)
 
+(* Sentinel for a suspended frame whose rejoin digest has not been
+   computed yet.  A real digest colliding with it merely forces a
+   recomputation. *)
+let rj_dirty = min_int
+
 let push_frame st (f : cfunc) (args : ret array) ret_instr =
   st.depth <- st.depth + 1;
   if st.depth > max_call_depth then Trap.raise_trap Trap.Stack_overflow;
@@ -902,11 +1104,23 @@ let push_frame st (f : cfunc) (args : ret array) ret_instr =
       saved_sp = st.sp;
       ret_instr;
       e_env;
+      rj_dig = rj_dirty;
     }
     :: st.stack
 
 let copy_frame fr =
   { fr with ienv = Array.copy fr.ienv; fenv = Array.copy fr.fenv }
+
+(* Fingerprint of the (at most two) aligned 8-byte cells a [bytes]-wide
+   access at [addr] touches — the memory-delta unit of the rejoin
+   digest. *)
+let cells_fp mem addr bytes =
+  let lo = addr land lnot 7 in
+  let hi = (addr + bytes - 1) land lnot 7 in
+  let fp = Memory.cell_fp mem lo in
+  if hi = lo then fp else fp lxor Memory.cell_fp mem hi
+
+let store_bytes w = match w with 1 | 8 -> 1 | 16 -> 2 | 32 -> 4 | _ -> 8
 
 (* Execute one non-call body instruction. *)
 let exec_op st (ci : cinstr) ienv fenv =
@@ -1026,14 +1240,31 @@ let exec_op st (ci : cinstr) ienv fenv =
   | Load_f64 p ->
     let v = Memory.read_f64 st.mem (iv ienv p) in
     (match ci.dest with DFloat slot -> fenv.(slot) <- v | _ -> ())
-  | Store_int (v, p, w) -> (
+  | Store_int (v, p, w) ->
     let addr = iv ienv p and x = iv ienv v in
-    match w with
+    let pre =
+      match st.rej with
+      | None -> 0
+      | Some _ -> cells_fp st.mem addr (store_bytes w)
+    in
+    (match w with
     | 1 | 8 -> Memory.write_u8 st.mem addr (x land 0xff)
     | 16 -> Memory.write_u16 st.mem addr (x land 0xffff)
     | 32 -> Memory.write_u32 st.mem addr (x land 0xffffffff)
-    | _ -> Memory.write_word st.mem addr x)
-  | Store_f64 (v, p) -> Memory.write_f64 st.mem (iv ienv p) (fv fenv v)
+    | _ -> Memory.write_word st.mem addr x);
+    (match st.rej with
+    | None -> ()
+    | Some rj ->
+      rj.rj_acc <- rj.rj_acc lxor pre lxor cells_fp st.mem addr (store_bytes w))
+  | Store_f64 (v, p) ->
+    let addr = iv ienv p in
+    let pre =
+      match st.rej with None -> 0 | Some _ -> cells_fp st.mem addr 8
+    in
+    Memory.write_f64 st.mem addr (fv fenv v);
+    (match st.rej with
+    | None -> ()
+    | Some rj -> rj.rj_acc <- rj.rj_acc lxor pre lxor cells_fp st.mem addr 8)
   | Gep_op (base, disp, scaled) ->
     let addr = ref (iv ienv base + disp) in
     for s = 0 to Array.length scaled - 1 do
@@ -1088,6 +1319,115 @@ let exec_op st (ci : cinstr) ienv fenv =
       (match ci.dest with
       | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
       | _ -> ()))
+
+(* Digest of one frame's live state: function id, control position,
+   stack watermark, and the slots in [live] (an encoded set from the
+   liveness pass).  [pred] is excluded everywhere: boundaries sit just
+   before a terminator, which always rewrites [pred] before the next
+   phi prefix reads it, and suspended frames resume mid-body — so it
+   is provably dead at every digested position. *)
+let frame_digest fr pos (live : int array) =
+  let h =
+    ref (Rejoin.h3 (Rejoin.h2 fr.func.cindex fr.fblock) pos fr.saved_sp)
+  in
+  let ienv = fr.ienv and fenv = fr.fenv in
+  for i = 0 to Array.length live - 1 do
+    let e = Array.unsafe_get live i in
+    h :=
+      Rejoin.h2 !h
+        (if e land 1 = 0 then Array.unsafe_get ienv (e lsr 1)
+         else float_fingerprint (Array.unsafe_get fenv (e lsr 1)))
+  done;
+  !h
+
+(* Digest of the full machine at a block-end boundary of the top frame
+   [fr]: memory accumulator, stack shape, the top frame scanned over
+   the block's [bend_live] set, every suspended frame's cached digest,
+   and the allocator frontier (equal contents + equal frontier trap
+   identically forever after). *)
+let check_key (st : state) rj fr (b : cblock) =
+  let h = ref (Rejoin.h3 rj.rj_acc st.sp st.depth) in
+  h := Rejoin.h2 !h (frame_digest fr (Array.length b.body) b.bend_live);
+  (match st.stack with
+  | [] | [ _ ] -> ()
+  | _ :: rest ->
+    List.iter
+      (fun fr' ->
+        if fr'.rj_dig = rj_dirty then begin
+          (* Suspended at the call just before [pos]; digest over the
+             slots still readable after it returns.  Cached until the
+             frame resumes and suspends again. *)
+          let cb = fr'.func.cblocks.(fr'.fblock) in
+          let ci = cb.body.(fr'.pos - 1) in
+          fr'.rj_dig <- frame_digest fr' fr'.pos ci.clive
+        end;
+        h := Rejoin.h2 !h fr'.rj_dig)
+      rest);
+  Rejoin.h3 !h (Memory.heap_brk st.mem) (Memory.heap_mapped st.mem)
+
+exception Rejoined
+
+(* One block-end boundary (all body instructions done, terminator
+   next; every block traversal passes exactly one such point, so a
+   self-loop cannot dodge the probes).  Recording golden runs journal
+   every boundary; injected trials probe every [period_mask + 1]-th
+   visited boundary — a boundary-visit counter, not the step counter,
+   which differs between golden and trial and would misalign the
+   residues.  On a journal hit the trial splices the golden suffix —
+   guarded so splicing is exact: the spliced step total must not cross
+   [max_steps] (the dispatch loop's hang checks all fire at points
+   with steps <= total, so the reference run finishes), and neither
+   output may have hit [output_cap].  On a miss, a digest seen twice
+   within one trial proves a hang (deterministic machine, step counter
+   excluded), worth [max_steps - steps] skipped work; the detector is
+   armed only past the golden step total, which every hang must
+   cross. *)
+let rejoin_boundary (st : state) rj fr b =
+  match rj.rj_rec with
+  | Some bld ->
+    Rejoin.add bld ~digest:(check_key st rj fr b) ~steps:st.steps
+      ~outlen:(Buffer.length st.out)
+  | None -> (
+    match rj.rj_journal with
+    | Some j
+      when st.injected
+           && (rj.rj_cnt <- rj.rj_cnt + 1;
+               rj.rj_cnt land Rejoin.ir_period_mask = 0)
+           && (match st.fu_watch with FU_off -> true | _ -> false) -> (
+      let key = check_key st rj fr b in
+      let v = Rejoin.lookup j key in
+      if v >= 0 then begin
+        let gsteps = Rejoin.steps_of v and goutlen = Rejoin.outlen_of v in
+        let gout = Rejoin.golden_out j in
+        let total = st.steps + (Rejoin.total_steps j - gsteps) in
+        let suffix = String.length gout - goutlen in
+        if
+          total <= st.max_steps
+          && String.length gout < output_cap
+          && Buffer.length st.out + suffix < output_cap
+        then begin
+          Buffer.add_substring st.out gout goutlen suffix;
+          st.steps <- total;
+          raise Rejoined
+        end
+      end
+      else if st.steps > Rejoin.total_steps j then
+        (* Only trials already past the golden step total can be
+           hangs, so the repeat-detector stays unarmed — and costs
+           nothing — for trials that finish on time. *)
+        let seen =
+          match rj.rj_seen with
+          | Some s -> s
+          | None ->
+            let s = Rejoin.seen () in
+            rj.rj_seen <- Some s;
+            s
+        in
+        if Rejoin.seen_add seen key then begin
+          st.steps <- st.max_steps + 1;
+          raise Outcome.Hang_limit
+        end)
+    | _ -> ())
 
 (* The dispatch loop over the explicit frame stack.  Instruction order,
    step counting, hang checks, [post_exec] and trace points are
@@ -1193,6 +1533,10 @@ let exec_frames (c : compiled) st =
             | Call_op (fidx', args) ->
               let evaluated = Array.map (eval_arg ienv fenv) args in
               fr.pos <- !k + 1;
+              (* Envs now immutable until the callee returns; the
+                 digest itself is computed lazily in [check_key], so
+                 probe-free machines never pay for it. *)
+              fr.rj_dig <- rj_dirty;
               dispatch := false;
               push_frame st funcs.(fidx') evaluated (Some ci)
             | _ ->
@@ -1212,6 +1556,9 @@ let exec_frames (c : compiled) st =
         done;
         if !dispatch then begin
           fr.pos <- n;
+          (match st.rej with
+          | None -> ()
+          | Some rj -> rejoin_boundary st rj fr b);
           (* A returning call is itself an instance (of its mask): in
              Forward mode pause before the terminator of a frame whose
              ret pops into a matching call instruction. *)
@@ -1331,6 +1678,10 @@ let exec_to_stats (c : compiled) st =
   let outcome =
     match exec_frames c st with
     | _ -> Outcome.Finished (Buffer.contents st.out)
+    | exception Rejoined ->
+      (* The golden suffix is already spliced into [st.out] and
+         [st.steps]; every other stats field was final at the match. *)
+      Outcome.Finished (Buffer.contents st.out)
     | exception Trap.Trap t -> Outcome.Crashed t
     | exception Outcome.Hang_limit -> Outcome.Hung
     | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
@@ -1386,6 +1737,7 @@ let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
       matched = 0;
       forced_bit;
       enum_rev = [];
+      rej = None;
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
@@ -1419,6 +1771,7 @@ let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
       matched = 0;
       forced_bit = -1;
       enum_rev = [];
+      rej = None;
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
@@ -1428,6 +1781,54 @@ let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
   | (exception Stack_overflow) ->
     invalid_arg "Ir_exec.enumerate: golden run did not complete");
   Fault_space.finish st.enum_rev
+
+(* One digest-maintaining golden run; the resulting journal serves
+   every trial of the same (program, inputs), whatever the category. *)
+let record_journal (c : compiled) ~inputs =
+  let b = Rejoin.builder () in
+  let st =
+    {
+      mem = init_memory c;
+      out = Buffer.create 4096;
+      inputs;
+      max_steps = max_int;
+      steps = 0;
+      sp = Memory.stack_top;
+      depth = 0;
+      mode = Plain;
+      countdown = -1;
+      inj_mask = 0;
+      inj_rng = Rng.of_int 0;
+      injected = false;
+      injected_step = -1;
+      fault_note = "";
+      trace = None;
+      track_use = false;
+      fu_watch = FU_off;
+      first_use = First_use.Unone;
+      fault_site = -1;
+      stack = [];
+      ff_stop = -1;
+      matched = 0;
+      forced_bit = -1;
+      enum_rev = [];
+      rej =
+        Some
+          {
+            rj_acc = 0;
+            rj_cnt = 0;
+            rj_journal = None;
+            rj_rec = Some b;
+            rj_seen = None;
+          };
+    }
+  in
+  push_frame st c.cfuncs.(c.main_index) [||] None;
+  (match exec_frames c st with
+  | _ -> ()
+  | exception Trap.Trap _ | (exception Stack_overflow) ->
+    invalid_arg "Ir_exec.record_journal: golden run did not complete");
+  Rejoin.finish b ~total_steps:st.steps ~golden_out:(Buffer.contents st.out)
 
 (* --- snapshot / fast-forward executor ---
 
@@ -1444,6 +1845,7 @@ type ff = {
   ff_c : compiled;
   ff_inputs : int array;
   ff_mask : int;
+  ff_rejoin : Rejoin.t option;
   mutable ff_st : state;
 }
 
@@ -1474,17 +1876,38 @@ let forward_state (c : compiled) ~inputs ~inj_mask =
       matched = 0;
       forced_bit = -1;
       enum_rev = [];
+      rej = None;
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
   st
 
-let ff_create (c : compiled) ~inputs ~inj_mask =
+(* The rolling machine maintains the memory accumulator (but never
+   probes: it is fault-free) so each trial can fork with a live
+   digest. *)
+let forward_with_rej (c : compiled) ~inputs ~inj_mask rejoin =
+  let st = forward_state c ~inputs ~inj_mask in
+  (match rejoin with
+  | None -> ()
+  | Some _ ->
+    st.rej <-
+      Some
+        {
+          rj_acc = 0;
+          rj_cnt = 0;
+          rj_journal = None;
+          rj_rec = None;
+          rj_seen = None;
+        });
+  st
+
+let ff_create (c : compiled) ?rejoin ~inputs ~inj_mask () =
   {
     ff_c = c;
     ff_inputs = inputs;
     ff_mask = inj_mask;
-    ff_st = forward_state c ~inputs ~inj_mask;
+    ff_rejoin = rejoin;
+    ff_st = forward_with_rej c ~inputs ~inj_mask rejoin;
   }
 
 let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng =
@@ -1493,7 +1916,9 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng 
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
   if target < ff.ff_st.matched then begin
     Obs.Metrics.incr m_ff_rebuilds;
-    ff.ff_st <- forward_state ff.ff_c ~inputs:ff.ff_inputs ~inj_mask:ff.ff_mask
+    ff.ff_st <-
+      forward_with_rej ff.ff_c ~inputs:ff.ff_inputs ~inj_mask:ff.ff_mask
+        ff.ff_rejoin
   end;
   let roll = ff.ff_st in
   roll.ff_stop <- target;
@@ -1538,6 +1963,18 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng 
       matched = 0;
       forced_bit;
       enum_rev = [];
+      rej =
+        (match (ff.ff_rejoin, roll.rej) with
+        | Some j, Some r ->
+          Some
+            {
+              rj_acc = r.rj_acc;
+              rj_cnt = 0;
+              rj_journal = Some j;
+              rj_rec = None;
+              rj_seen = None;
+            }
+        | _ -> None);
     }
   in
   if Obs.Trace.on () then

@@ -110,9 +110,19 @@ val run :
 
 type ff
 
-val ff_create : compiled -> inputs:int array -> inj_mask:int -> ff
+val record_journal : compiled -> inputs:int array -> Rejoin.t
+(** One digest-maintaining golden run producing a {!Rejoin}
+    reconvergence journal for [ff_create ~rejoin].  The journal serves
+    every category of the same (program, inputs).
+    @raise Invalid_argument if the golden run traps or overflows. *)
+
+val ff_create :
+  compiled -> ?rejoin:Rejoin.t -> inputs:int array -> inj_mask:int -> unit -> ff
 (** A rolling machine at step 0.  [inj_mask] fixes the category whose
-    dynamic instances [target] indexes. *)
+    dynamic instances [target] indexes.  With [?rejoin], trials
+    additionally maintain the state digest and finish early when they
+    reconverge to a recorded golden boundary — same stats,
+    byte-identical output, a fraction of the steps. *)
 
 val ff_trial :
   ?track_use:bool ->

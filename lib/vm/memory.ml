@@ -36,9 +36,10 @@ type t = {
   mutable last_page : Bytes.t;
   mutable last_writable : bool;  (* cached page is in [pages] *)
   mutable heap_brk : int;  (* bump-allocator frontier *)
+  mutable heap_mapped : int;  (* end of the mapped heap arena *)
 }
 
-type snapshot = { snap_layers : layer list; snap_brk : int }
+type snapshot = { snap_layers : layer list; snap_brk : int; snap_mapped : int }
 
 let unmapped = Bytes.create 0
 
@@ -50,9 +51,15 @@ let create () =
     last_page = unmapped;
     last_writable = false;
     heap_brk = heap_base;
+    heap_mapped = heap_base;
   }
 
-let freeze t = { snap_layers = t.pages :: t.below; snap_brk = t.heap_brk }
+let freeze t =
+  {
+    snap_layers = t.pages :: t.below;
+    snap_brk = t.heap_brk;
+    snap_mapped = t.heap_mapped;
+  }
 
 let snapshot_depth s = List.length s.snap_layers
 
@@ -64,7 +71,11 @@ let resume s =
     last_page = unmapped;
     last_writable = false;
     heap_brk = s.snap_brk;
+    heap_mapped = s.snap_mapped;
   }
+
+let heap_brk t = t.heap_brk
+let heap_mapped t = t.heap_mapped
 
 let page_of_addr addr = addr lsr page_bits
 
@@ -227,4 +238,43 @@ let heap_alloc t n =
   let mapped_end = (addr + len + arena_chunk - 1) / arena_chunk * arena_chunk in
   map_region t ~addr ~len:(mapped_end - addr);
   t.heap_brk <- (addr + len + 15) land lnot 15;
+  if mapped_end > t.heap_mapped then t.heap_mapped <- mapped_end;
   addr
+
+(* --- raw-byte cell fingerprints (the rejoin digest, see Rejoin) --- *)
+
+(* Non-trapping, non-mapping page lookup: reads through the layer stack
+   and the one-entry cache but never demand-maps a stack page and never
+   raises. *)
+let find_page_opt t addr =
+  let index = page_of_addr addr in
+  if index = t.last_index then Some t.last_page
+  else
+    match Hashtbl.find_opt t.pages index with
+    | Some page ->
+      cache_page t index page ~writable:true;
+      Some page
+    | None -> (
+      match find_below index t.below with
+      | Some page ->
+        cache_page t index page ~writable:false;
+        Some page
+      | None -> None)
+
+(* Fingerprint of the aligned 8-byte cell at [addr] ([addr land 7 = 0],
+   so the cell never straddles a page).  Computed from raw bytes, not
+   {!read_word}: the word sign encoding is not injective, and aliasing
+   two distinct byte states would unsound the rejoin digest.  An
+   unmapped cell fingerprints as zeros — a demand-zeroed stack page and
+   an untouched one are the same machine state, as are a zeroed heap
+   page inside the arena and one past it (the arena extent itself is
+   digested separately via {!heap_mapped}). *)
+let cell_fp t addr =
+  match find_page_opt t addr with
+  | None -> Rejoin.h3 addr 0 0
+  | Some page ->
+    let off = addr land (page_size - 1) in
+    let b k = Char.code (Bytes.unsafe_get page (off + k)) in
+    let lo = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    let hi = b 4 lor (b 5 lsl 8) lor (b 6 lsl 16) lor (b 7 lsl 24) in
+    Rejoin.h3 addr lo hi

@@ -91,3 +91,18 @@ val heap_alloc : t -> int -> int
 (** Bump allocation, 16-byte aligned.  The arena is mapped in 64 KiB
     chunks like an sbrk-grown malloc arena, so small overruns read
     zeroes (silent corruption) while far-out accesses trap. *)
+
+val heap_brk : t -> int
+(** The bump-allocator frontier (next allocation address). *)
+
+val heap_mapped : t -> int
+(** End of the mapped heap arena — together with {!heap_brk} this pins
+    the full allocator state, so two memories with equal cell contents
+    and equal [heap_brk]/[heap_mapped] trap identically forever after. *)
+
+val cell_fp : t -> int -> int
+(** Fingerprint of the aligned 8-byte cell at the given address
+    ([addr land 7 = 0]), from raw bytes.  Unmapped cells fingerprint as
+    zeros (the demand-zeroed-stack / chunked-arena convention).  Never
+    raises and never maps a page; see {!Rejoin} for the digest scheme
+    built on it. *)

@@ -43,6 +43,24 @@ type mode =
 
 type watch = No_watch | Watch_gp of Reg.t | Watch_xmm of Reg.t | Watch_flags
 
+(* Rejoin digest context (see Rejoin): a Zobrist-style fingerprint of
+   the full machine state.  Memory writes are tracked incrementally in
+   [rj_acc]; the register file is hashed whole at each boundary that
+   needs a digest.  A recording golden run stores its digest at every
+   instruction boundary; a trial probes the journal periodically and
+   splices the golden suffix on a match. *)
+type rej = {
+  rj_store : int array;
+      (* per-instruction memory-write kind: -1 none, 1/2/4/8 store
+         width, 9 push-like *)
+  mutable rj_acc : int;  (* incremental memory digest *)
+  rj_journal : Rejoin.t option;  (* trial side: probe + splice *)
+  rj_rec : Rejoin.builder option;  (* golden side: record boundaries *)
+  mutable rj_waddr : int;  (* pending memory-write address; -1 = none *)
+  mutable rj_wbytes : int;
+  mutable rj_seen : Rejoin.seen option;  (* trial self-loop detector *)
+}
+
 type machine = {
   mem : Memory.t;
   gp : int array;
@@ -69,6 +87,7 @@ type machine = {
   mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
   mutable matched : int;  (* forward mode: matching instances executed *)
   forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
+  mutable rej : rej option;  (* rejoin digest context, if enabled *)
   e_gp : Fault_space.builder option array;  (* Enumerate: live per reg *)
   e_xmm : Fault_space.builder option array;
   mutable e_flags : (Fault_space.builder * int list) option;
@@ -445,6 +464,67 @@ let enum_start m (loaded : loaded) insn =
     (* occupies a countdown index; zero reads = never activated *)
     m.enum_rev <- Fault_space.create ~width:1 :: m.enum_rev
 
+(* --- rejoin digest maintenance (see Rejoin) ---
+
+   Split by access cost: register state is tiny and O(1) to read, so
+   the full register file is hashed from scratch at each boundary that
+   needs a digest (every step on the recording side, every
+   [Rejoin.x86_period_mask + 1] steps on the probing side).  Memory is
+   unbounded, so it is tracked incrementally: the accumulator XORs the
+   before/after fingerprints of every written cell, which telescopes to
+   a pure function of current memory contents (per cell, all
+   intermediate values cancel pairwise).  The hot path for the ~80% of
+   instructions that do not write memory is one table load and a
+   branch. *)
+
+(* Memory-write kind per instruction: -1 = none, 1/2/4/8 = store width
+   (address from the mem operand), 9 = push-like (8 bytes through the
+   pre-decrement rsp).  [exec_insn]'s only memory writers are the five
+   forms below. *)
+let store_kind (insn : Insn.t) =
+  match insn with
+  | Insn.Store (w, _, _) | Insn.Store_imm (w, _, _) -> (
+    match w with Insn.W8 -> 1 | Insn.W16 -> 2 | Insn.W32 -> 4 | Insn.W64 -> 8)
+  | Insn.Store_sd _ -> 8
+  | Insn.Push _ | Insn.Call _ -> 9
+  | _ -> -1
+
+let store_table (loaded : loaded) =
+  Array.map store_kind loaded.program.insns
+
+let fbits f = Int64.to_int (Int64.bits_of_float f)
+
+(* XOR of fingerprints of the aligned 8-byte cells a [bytes]-wide write
+   at [addr] touches (at most two). *)
+let cells_fp m addr bytes =
+  let first = addr land lnot 7 and last = (addr + bytes - 1) land lnot 7 in
+  if first = last then Memory.cell_fp m.mem first
+  else begin
+    let acc = ref 0 in
+    let c = ref first in
+    while !c <= last do
+      acc := !acc lxor Memory.cell_fp m.mem !c;
+      c := !c + 8
+    done;
+    !acc
+  end
+
+(* The boundary digest: the whole register file, control position,
+   heap-allocator frontier and the memory accumulator.  Two machines
+   with equal check keys (modulo hash collisions) are in the same full
+   state and evolve identically — including where future accesses
+   trap. *)
+let check_key m rj =
+  let h = ref rj.rj_acc in
+  for r = 0 to 15 do
+    h := Rejoin.h2 !h m.gp.(r)
+  done;
+  for r = 0 to 15 do
+    h := Rejoin.h2 !h (fbits m.xmm.(r))
+  done;
+  h := Rejoin.h3 !h m.flags m.rip;
+  Rejoin.h3 !h (Memory.heap_brk m.mem) (Memory.heap_mapped m.mem)
+
 (* --- main loop --- *)
 
 let exec_insn m (loaded : loaded) insn resolved_target =
@@ -624,6 +704,93 @@ let init_memory (p : Backend.Program.t) =
   List.iter (fun (addr, f) -> Memory.write_f64 mem addr f) p.const_image;
   mem
 
+(* Pre-exec half of the memory delta: stash the write site and hash its
+   cells' current contents.  The address must come from the pre-exec
+   state — Push/Call write through the about-to-change rsp. *)
+let rejoin_pre m insn rj idx =
+  let k = Array.unsafe_get rj.rj_store idx in
+  if k < 0 then begin
+    rj.rj_waddr <- -1;
+    0
+  end
+  else begin
+    (if k = 9 then begin
+       rj.rj_waddr <- m.gp.(Reg.rsp) - 8;
+       rj.rj_wbytes <- 8
+     end
+     else begin
+       (match insn with
+       | Insn.Store (_, mem, _)
+       | Insn.Store_imm (_, mem, _)
+       | Insn.Store_sd (mem, _) ->
+         rj.rj_waddr <- effective_addr m mem
+       | _ -> assert false);
+       rj.rj_wbytes <- k
+     end);
+    cells_fp m rj.rj_waddr rj.rj_wbytes
+  end
+
+(* Post-exec half: rehash the written cells, fold the delta into the
+   accumulator, then record (golden side) or probe (trial side).  Runs
+   after the mode dispatch; the injected register flip needs no
+   tracking because registers are hashed whole at each boundary. *)
+let rejoin_post m rj pre =
+  if rj.rj_waddr >= 0 then
+    rj.rj_acc <-
+      rj.rj_acc lxor pre lxor cells_fp m rj.rj_waddr rj.rj_wbytes;
+  match rj.rj_rec with
+  | Some b ->
+    Rejoin.add b ~digest:(check_key m rj) ~steps:m.steps
+      ~outlen:(Buffer.length m.out)
+  | None -> (
+    match rj.rj_journal with
+    | Some j
+      when m.injected
+           && m.steps land Rejoin.x86_period_mask = 0
+           && m.watch = No_watch -> (
+      let key = check_key m rj in
+      let v = Rejoin.lookup j key in
+      if v >= 0 then begin
+        let total = m.steps + (Rejoin.total_steps j - Rejoin.steps_of v) in
+        let gout = Rejoin.golden_out j in
+        let goutlen = Rejoin.outlen_of v in
+        let suffix = String.length gout - goutlen in
+        (* Exactness guards: the spliced run must not have hung
+           ([steps] is bumped before the [> max_steps] check, so
+           [total <= max_steps] is the precise no-hang condition), and
+           neither side may have truncated output at [output_cap] —
+           golden anywhere (monotone length, so a short final output
+           rules it out), trial anywhere in the suffix. *)
+        if total <= m.max_steps
+           && String.length gout < output_cap
+           && Buffer.length m.out + suffix < output_cap
+        then begin
+          Buffer.add_substring m.out gout goutlen suffix;
+          m.steps <- total;
+          raise Halt
+        end
+      end
+      else if m.steps > Rejoin.total_steps j then begin
+        (* Off the golden trajectory: a repeated own digest proves an
+           infinite loop, so finish as the hang the reference run would
+           reach at its step budget.  Armed only past the golden step
+           total — which every hang must cross — so trials that finish
+           on time never touch the table. *)
+        let seen =
+          match rj.rj_seen with
+          | Some s -> s
+          | None ->
+            let s = Rejoin.seen () in
+            rj.rj_seen <- Some s;
+            s
+        in
+        if Rejoin.seen_add seen key then begin
+          m.steps <- m.max_steps + 1;
+          raise Outcome.Hang_limit
+        end
+      end)
+    | _ -> ())
+
 (* The fetch-execute loop.  Returns normally only when a Forward-mode
    machine pauses: just before the matching instruction that would make
    [matched] exceed [ff_stop] ([rip] still points at it, nothing about
@@ -650,9 +817,12 @@ let run_machine (loaded : loaded) m =
       if m.steps > m.max_steps then raise Outcome.Hang_limit;
       if m.watch <> No_watch then update_watch m insn;
       if enum then enum_scan m insn;
+      let pre =
+        match m.rej with None -> 0 | Some rj -> rejoin_pre m insn rj idx
+      in
       m.rip <- idx + 1;
       exec_insn m loaded insn resolved.(idx);
-      match m.mode with
+      (match m.mode with
       | Plain -> ()
       | Enumerate ->
         if masks.(idx) land m.inj_mask <> 0 then enum_start m loaded insn
@@ -670,7 +840,8 @@ let run_machine (loaded : loaded) m =
             inject m loaded insn
           end;
           m.countdown <- m.countdown - 1
-        end
+        end);
+      match m.rej with None -> () | Some rj -> rejoin_post m rj pre
     end
   done
 
@@ -742,6 +913,7 @@ let make_machine ?(forced_bit = -1) (loaded : loaded) ~inputs ~max_steps ~mode
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      rej = None;
       e_gp = e_regs ();
       e_xmm = e_regs ();
       e_flags = None;
@@ -771,6 +943,31 @@ let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
   in
   finish_machine loaded m
 
+(* Record a rejoin journal from one digest-maintaining golden run. *)
+let record_journal (loaded : loaded) ~inputs =
+  let m =
+    make_machine loaded ~inputs ~max_steps:max_int ~mode:Plain ~countdown:(-1)
+      ~inj_mask:0 ~inj_rng:(Rng.of_int 0) ~policy:paper_policy ~track_use:false
+  in
+  let b = Rejoin.builder () in
+  m.rej <-
+    Some
+      {
+        rj_store = store_table loaded;
+        rj_acc = 0;
+        rj_journal = None;
+        rj_rec = Some b;
+        rj_waddr = -1;
+        rj_wbytes = 0;
+        rj_seen = None;
+      };
+  (match run_machine loaded m with
+  | () -> invalid_arg "X86_exec.record_journal: machine paused unexpectedly"
+  | exception Halt -> ()
+  | exception Trap.Trap _ | (exception Outcome.Hang_limit) ->
+    invalid_arg "X86_exec.record_journal: golden run did not complete");
+  Rejoin.finish b ~total_steps:m.steps ~golden_out:(Buffer.contents m.out)
+
 (* Fault-space pre-pass: one golden Enumerate-mode run over the cell. *)
 let enumerate ?(policy = paper_policy) ~inputs ~inj_mask ~max_steps
     (loaded : loaded) =
@@ -798,18 +995,44 @@ let enumerate ?(policy = paper_policy) ~inputs ~inj_mask ~max_steps
 type ff = {
   ff_loaded : loaded;
   ff_policy : policy;
+  ff_rejoin : (Rejoin.t * int array) option;
+      (* journal + def table; the rolling machine maintains the digest
+         so trials can fork with a live accumulator *)
   mutable ff_m : machine;
 }
 
-let forward_machine (loaded : loaded) ~inputs ~inj_mask =
-  make_machine loaded ~inputs ~max_steps:max_int ~mode:Forward ~countdown:(-1)
-    ~inj_mask ~inj_rng:(Rng.of_int 0) ~policy:paper_policy ~track_use:false
+let forward_machine (loaded : loaded) ?rej_store ~inputs ~inj_mask () =
+  let m =
+    make_machine loaded ~inputs ~max_steps:max_int ~mode:Forward ~countdown:(-1)
+      ~inj_mask ~inj_rng:(Rng.of_int 0) ~policy:paper_policy ~track_use:false
+  in
+  (match rej_store with
+  | Some st ->
+    m.rej <-
+      Some
+        {
+          rj_store = st;
+          rj_acc = 0;
+          rj_journal = None;
+          rj_rec = None;
+          rj_waddr = -1;
+          rj_wbytes = 0;
+          rj_seen = None;
+        }
+  | None -> ());
+  m
 
-let ff_create (loaded : loaded) ?(policy = paper_policy) ~inputs ~inj_mask () =
+let ff_create (loaded : loaded) ?(policy = paper_policy) ?rejoin ~inputs
+    ~inj_mask () =
+  let ff_rejoin = Option.map (fun j -> (j, store_table loaded)) rejoin in
   {
     ff_loaded = loaded;
     ff_policy = policy;
-    ff_m = forward_machine loaded ~inputs ~inj_mask;
+    ff_rejoin;
+    ff_m =
+      forward_machine loaded
+        ?rej_store:(Option.map snd ff_rejoin)
+        ~inputs ~inj_mask ();
   }
 
 let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
@@ -820,8 +1043,9 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
   if target < ff.ff_m.matched then begin
     Obs.Metrics.incr m_ff_rebuilds;
     ff.ff_m <-
-      forward_machine ff.ff_loaded ~inputs:ff.ff_m.inputs
-        ~inj_mask:ff.ff_m.inj_mask
+      forward_machine ff.ff_loaded
+        ?rej_store:(Option.map snd ff.ff_rejoin)
+        ~inputs:ff.ff_m.inputs ~inj_mask:ff.ff_m.inj_mask ()
   end;
   let roll = ff.ff_m in
   roll.ff_stop <- target;
@@ -867,12 +1091,30 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      rej = None;
       e_gp = [||];
       e_xmm = [||];
       e_flags = None;
       enum_rev = [];
     }
   in
+  (match ff.ff_rejoin with
+  | Some (j, defs) ->
+    (* Fork the rolling machine's digest: the trial starts on the
+       golden track and probes the journal once the fault is in. *)
+    let acc = match roll.rej with Some r -> r.rj_acc | None -> 0 in
+    m.rej <-
+      Some
+        {
+          rj_store = defs;
+          rj_acc = acc;
+          rj_journal = Some j;
+          rj_rec = None;
+          rj_waddr = -1;
+          rj_wbytes = 0;
+          rj_seen = None;
+        }
+  | None -> ());
   if Obs.Trace.on () then
     Obs.Trace.span "trial-run"
       ~args:[ ("target", string_of_int target) ]

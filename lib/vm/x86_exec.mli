@@ -79,8 +79,22 @@ val run :
 
 type ff
 
+val record_journal : loaded -> inputs:int array -> Rejoin.t
+(** One digest-maintaining golden run producing a {!Rejoin}
+    reconvergence journal for [ff_create ~rejoin].
+    @raise Invalid_argument if the golden run traps or never halts. *)
+
 val ff_create :
-  loaded -> ?policy:policy -> inputs:int array -> inj_mask:int -> unit -> ff
+  loaded ->
+  ?policy:policy ->
+  ?rejoin:Rejoin.t ->
+  inputs:int array ->
+  inj_mask:int ->
+  unit ->
+  ff
+(** With [?rejoin], trials additionally maintain the state digest and
+    finish early when they reconverge to a recorded golden boundary —
+    same stats, byte-identical output, fraction of the steps. *)
 
 val ff_trial :
   ?track_use:bool ->

@@ -7,6 +7,9 @@
 # The smoke campaign runs one workload x one tool x two categories (a
 # 2-cell grid) twice — sequentially and with two worker domains — and
 # requires the CSV and the per-trial record file to be byte-identical.
+# A jobs-scaling smoke then runs a full-grid campaign at --jobs 1/2/4:
+# identical CSVs again, plus a wall-clock bound (jobs=4 must not lose
+# to jobs=1) and trace/manifest artifacts from the jobs=4 run.
 # This is the engine's core guarantee (README "Determinism guarantee")
 # exercised end-to-end through the installed CLI, records included.
 # The same grid is then re-run with --no-snapshot: the snapshot
@@ -54,6 +57,47 @@ grep -q '^# fi-records v1' "$tmp/records-1.txt" || {
 }
 
 echo "OK: CSV and records byte-identical across --jobs values"
+
+echo "== jobs-scaling smoke: --jobs 1/2/4 byte-identical, jobs=4 not slower =="
+# A small full-grid campaign at three jobs levels: the CSVs must be
+# byte-identical, and the --jobs 4 wall must not exceed --jobs 1 (the
+# scheduler caps worker domains at the hardware, so even a 1-core
+# runner must not regress; the 1.2 factor absorbs runner noise on a
+# seconds-long run).  The --jobs 4 run also writes its Chrome trace
+# and run manifest (the metrics snapshot) into SCALE_ARTIFACT_DIR so
+# CI can upload them as debugging artifacts.
+scale_out=${SCALE_ARTIFACT_DIR:-$tmp}
+mkdir -p "$scale_out"
+scale() {
+    jobs=$1
+    shift
+    t0=$(date +%s.%N)
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        -n 120 --seed 29 --jobs "$jobs" \
+        --csv "$tmp/scale-$jobs.csv" "$@" > /dev/null
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+w1=$(scale 1 --no-manifest)
+w2=$(scale 2 --no-manifest)
+w4=$(scale 4 --trace "$scale_out/scale-trace-j4.json" \
+    --manifest "$scale_out/scale-manifest-j4.json")
+
+cmp "$tmp/scale-1.csv" "$tmp/scale-2.csv" || {
+    echo "FAIL: campaign CSV differs between --jobs 1 and --jobs 2" >&2
+    exit 1
+}
+cmp "$tmp/scale-1.csv" "$tmp/scale-4.csv" || {
+    echo "FAIL: campaign CSV differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+echo "   wall: jobs=1 ${w1}s  jobs=2 ${w2}s  jobs=4 ${w4}s"
+awk -v a="$w4" -v b="$w1" 'BEGIN { exit !(a <= b * 1.2) }' || {
+    echo "FAIL: --jobs 4 wall ${w4}s exceeds --jobs 1 wall ${w1}s * 1.2" >&2
+    exit 1
+}
+
+echo "OK: jobs scaling byte-identical and --jobs 4 within bounds"
 
 echo "== determinism smoke: snapshot executor vs --no-snapshot =="
 dune exec --no-build bin/fi.exe -- diagnose mcf \

@@ -104,6 +104,65 @@ let test_explicit_chunk_sizes () =
         (Core.Campaign.to_csv r.Engine.Scheduler.cells))
     [ 1; 5; 7; 100 ]
 
+(* --- Batch planning --- *)
+
+let test_ranges_exact_cover () =
+  List.iter
+    (fun (chunk, trials) ->
+      let rs = Engine.Scheduler.ranges ~chunk trials in
+      let next =
+        List.fold_left
+          (fun expect (first, count) ->
+            Alcotest.(check int) "ranges are contiguous and in order" expect
+              first;
+            Alcotest.(check bool) "count non-negative" true (count >= 0);
+            (match chunk with
+            | Some c ->
+              Alcotest.(check bool) "count within chunk" true (count <= c)
+            | None -> ());
+            first + count)
+          0 rs
+      in
+      Alcotest.(check int) "every trial covered exactly once" trials next;
+      if trials = 0 then
+        Alcotest.(check int) "empty cell still yields one range" 1
+          (List.length rs))
+    [
+      (None, 0);
+      (None, 1);
+      (None, 17);
+      (Some 1, 7);
+      (Some 3, 7);
+      (Some 7, 7);
+      (Some 8, 7);
+      (Some 5, 0);
+      (Some 97, 96);
+      (Some 97, 97);
+      (Some 97, 98);
+    ]
+
+let test_adaptive_chunk_covers =
+  QCheck.Test.make
+    ~name:"adaptive batching covers every trial exactly once" ~count:500
+    QCheck.(triple (int_range 1 64) (int_range 0 64) (int_range 0 500))
+    (fun (jobs, cells, trials) ->
+      let chunk = Engine.Scheduler.adaptive_chunk ~jobs ~cells ~trials in
+      let rs = Engine.Scheduler.ranges ~chunk trials in
+      let rec contiguous expect = function
+        | [] -> expect = trials
+        | (first, count) :: tl ->
+          first = expect && count >= 0 && contiguous (first + count) tl
+      in
+      let shape =
+        match chunk with
+        | None -> true
+        | Some c ->
+          (* Splitting only happens on small grids, never below the
+             8-trial floor, and never into a single whole-cell chunk. *)
+          c >= 8 && c < trials && jobs > 1 && cells > 0 && cells < 2 * jobs
+      in
+      contiguous 0 rs && shape)
+
 (* QCheck: the scheduler's chunk-reassembly is only sound because tally
    merging is associative (and starts from a zero tally) — any chunking
    of a cell's trials folds to the same totals.  Check that algebra on
@@ -148,6 +207,31 @@ let test_merge_associative_property =
       tally_equal (merge a (merge b c)) (merge (merge a b) c)
       && tally_equal (merge a b) (merge b a)
       && tally_equal (merge a (fresh_tally ())) a)
+
+(* The coordinator drains per-worker completion buffers in whatever
+   order subtasks happen to finish; correctness relies on the fold of
+   partial tallies being permutation-invariant.  Model arbitrary
+   arrival orders directly. *)
+let test_drain_order_insensitive =
+  QCheck.Test.make ~name:"buffer drain order cannot change a cell tally"
+    ~count:300
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 8) tally_arbitrary) (int_bound 1000))
+    (fun (parts, salt) ->
+      let arr = Array.of_list parts in
+      let n = Array.length arr in
+      let r = ref (salt + 1) in
+      for i = n - 1 downto 1 do
+        r := ((!r * 48271) + 13) land 0xFFFF;
+        let j = !r mod (i + 1) in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      done;
+      let fold l =
+        List.fold_left Core.Verdict.merge (Core.Verdict.fresh_tally ()) l
+      in
+      tally_equal (fold parts) (fold (Array.to_list arr)))
 
 (* --- Journal --- *)
 
@@ -278,6 +362,52 @@ let test_journal_resume_skips_completed () =
       Alcotest.(check int) "second resume re-runs nothing" 10
         again.Engine.Scheduler.resumed)
 
+let test_resume_from_fixed_chunk_journal () =
+  (* Journals written under an explicit (old-style fixed) chunk size
+     carry the same per-cell records as adaptive batching produces: a
+     resume under the adaptive default must accept them verbatim. *)
+  with_temp_file (fun path ->
+      let fixed =
+        Engine.Scheduler.run ~jobs:2 ~chunk:5 ~journal:path small_config
+          [ mcf ]
+      in
+      let resumed =
+        Engine.Scheduler.run ~journal:path ~resume:true small_config [ mcf ]
+      in
+      Alcotest.(check int) "every cell restored from the fixed-chunk journal"
+        10 resumed.Engine.Scheduler.resumed;
+      Alcotest.(check string) "csv identical across chunking policies"
+        (Core.Campaign.to_csv fixed.Engine.Scheduler.cells)
+        (Core.Campaign.to_csv resumed.Engine.Scheduler.cells))
+
+(* --- Rejoin --- *)
+
+(* The golden-reconvergence early exit must be invisible in results:
+   a runner armed with rejoin journals yields byte-identical cells for
+   every tool and category. *)
+let test_rejoin_identity () =
+  let config = { Core.Campaign.default_config with trials = 24 } in
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let p = Core.Campaign.prepare config w in
+      let rejoin = Core.Campaign.record_rejoin p in
+      List.iter
+        (fun tool ->
+          List.iter
+            (fun cat ->
+              let base = Core.Campaign.run_cell config p tool cat in
+              let r = Core.Campaign.runner ~rejoin p tool cat in
+              let rej = Core.Campaign.run_cell ~runner:r config p tool cat in
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s/%s" w.name
+                   (Core.Campaign.tool_name tool)
+                   (Core.Category.name cat))
+                (Core.Campaign.to_csv [ base ])
+                (Core.Campaign.to_csv [ rej ]))
+            Core.Category.all)
+        [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
+    [ mcf; libquantum ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -287,17 +417,28 @@ let () =
           ("exception propagation", `Quick, test_pool_exception_propagates);
           ("shutdown", `Quick, test_pool_shutdown);
         ] );
+      ( "planning",
+        [
+          ("ranges cover exactly once", `Quick, test_ranges_exact_cover);
+          QCheck_alcotest.to_alcotest test_adaptive_chunk_covers;
+        ] );
       ( "determinism",
         [
           ("jobs=1 vs jobs=4 csv", `Slow, test_jobs_determinism);
           ("chunked single cell", `Slow, test_chunked_cell_determinism);
           ("explicit chunk sizes", `Slow, test_explicit_chunk_sizes);
           QCheck_alcotest.to_alcotest test_merge_associative_property;
+          QCheck_alcotest.to_alcotest test_drain_order_insensitive;
         ] );
+      ( "rejoin",
+        [ ("rejoin keeps cells byte-identical", `Slow, test_rejoin_identity) ] );
       ( "journal",
         [
           ("roundtrip + header check", `Slow, test_journal_roundtrip);
           ("resume skips completed", `Slow, test_journal_resume_skips_completed);
           ("grid mismatch refused", `Slow, test_journal_grid_mismatch_refused);
+          ( "resume from fixed-chunk journal",
+            `Slow,
+            test_resume_from_fixed_chunk_journal );
         ] );
     ]

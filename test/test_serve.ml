@@ -378,6 +378,44 @@ let test_served_equals_offline () =
   Alcotest.(check int) "both completed" 2 stats.Server.completed;
   Alcotest.(check int) "none failed" 0 stats.Server.failed
 
+let test_warm_shards_byte_identical () =
+  (* Second job on an already-warm workload: the prepared structures,
+     rejoin journals and per-domain runner caches are all reused, but
+     the cells themselves re-execute (a different trials+seed misses
+     the cell cache).  The streamed batches must remain byte-identical
+     to an offline campaign with no service and no rejoin. *)
+  let dir = tmp_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    { (Server.default ~socket) with Server.pool_size = 2; chunk = Some 4 }
+  in
+  let domain = start_server config in
+  let job trials seed =
+    {
+      Wire.j_workload = "libquantum";
+      j_tools = tools;
+      j_categories = [ Core.Category.Load; Core.Category.Cmp ];
+      j_trials = trials;
+      j_seed = seed;
+      j_out = None;
+    }
+  in
+  let c = Client.connect (Client.Unix_sock socket) in
+  let _server, _pool = Client.hello c ~name:"warm" in
+  (match Client.submit c (job 8 1) with
+  | Error e -> Alcotest.failf "cold submit failed: %s" e
+  | Ok _ -> ());
+  (match Client.submit c (job 14 9) with
+  | Error e -> Alcotest.failf "warm submit failed: %s" e
+  | Ok r ->
+    Alcotest.(check string) "warm-service shards byte-identical to offline"
+      (offline_csv (job 14 9))
+      r.Client.r_csv);
+  Client.shutdown c ~drain:true;
+  Client.close c;
+  let stats = Domain.join domain in
+  Alcotest.(check int) "no failures" 0 stats.Server.failed
+
 let test_invalid_job_rejected () =
   let dir = tmp_dir () in
   let socket = Filename.concat dir "s.sock" in
@@ -552,6 +590,9 @@ let () =
       ( "service",
         [
           ("served CSV equals offline", `Slow, test_served_equals_offline);
+          ( "warm shards byte-identical",
+            `Slow,
+            test_warm_shards_byte_identical );
           ("invalid job rejected", `Quick, test_invalid_job_rejected);
           ("drain loses and duplicates nothing", `Slow, test_drain_no_loss_no_dup);
           ("journal resume is headless and exact", `Slow, test_journal_resume_headless);
