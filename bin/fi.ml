@@ -102,8 +102,14 @@ let trials_arg default =
     & info [ "n"; "trials" ] ~docv:"N"
         ~doc:"Fault injections per benchmark x tool x category cell.")
 
-let config_of ?(no_snapshot = false) ~trials ~seed () =
-  { Core.Campaign.default_config with trials; seed; snapshot = not no_snapshot }
+let config_of ?(no_snapshot = false) ?(no_compile = false) ~trials ~seed () =
+  {
+    Core.Campaign.default_config with
+    trials;
+    seed;
+    snapshot = not no_snapshot;
+    compile = not no_compile;
+  }
 
 (* --- execution-engine flags (campaign, inject) --- *)
 
@@ -115,6 +121,17 @@ let no_snapshot_arg =
           "Disable the snapshot/fast-forward executor and re-run every \
            trial from instruction 0.  Results are byte-identical either \
            way; this is the reference path, kept as an escape hatch and \
+           benchmarking baseline.")
+
+let no_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:
+          "Disable the closure-compiled execution tier and run every \
+           golden, profiling and trial execution on the tree-walking \
+           interpreters.  Results are byte-identical either way; this \
+           is the reference path, kept as an escape hatch and \
            benchmarking baseline.")
 
 let jobs_arg =
@@ -357,11 +374,11 @@ let profile_cmd =
 
 let inject_cmd =
   let run (w : Core.Workload.t) tool category trials seed functions jobs
-      journal resume no_snapshot obs =
+      journal resume no_snapshot no_compile obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
-    let config = config_of ~no_snapshot ~trials ~seed () in
+    let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
     let config =
       match functions with
       | [] -> config
@@ -387,6 +404,7 @@ let inject_cmd =
           ("trials", Obs.Json.Int trials);
           ("jobs", Obs.Json.Int (resolve_jobs jobs));
           ("snapshot", Obs.Json.Bool (not no_snapshot));
+          ("compile", Obs.Json.Bool (not no_compile));
         ]
     in
     (* A single cell run through the engine: with --jobs N the cell is
@@ -445,7 +463,7 @@ let inject_cmd =
       ret
         (const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200
        $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg
-       $ no_snapshot_arg $ obs_term ~manifest_default:None))
+       $ no_snapshot_arg $ no_compile_arg $ obs_term ~manifest_default:None))
 
 (* --- propagate --- *)
 
@@ -596,12 +614,12 @@ let records_arg =
 
 let campaign_cmd =
   let run trials seed csv_file workload_filter jobs journal resume records
-      no_snapshot obs =
+      no_snapshot no_compile obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
     let jobs = resolve_jobs jobs in
-    let config = config_of ~no_snapshot ~trials ~seed () in
+    let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
     let workloads =
       match workload_filter with
       | [] -> Workloads.all
@@ -614,6 +632,7 @@ let campaign_cmd =
           ("trials", Obs.Json.Int trials);
           ("jobs", Obs.Json.Int jobs);
           ("snapshot", Obs.Json.Bool (not no_snapshot));
+          ("compile", Obs.Json.Bool (not no_compile));
           ("journal", Obs.Json.Bool (journal <> None));
           ("records", Obs.Json.Bool (records <> None));
           ("workloads", kv_workloads workloads);
@@ -690,13 +709,13 @@ let campaign_cmd =
       ret
         (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
        $ jobs_arg $ journal_arg $ resume_arg $ records_arg $ no_snapshot_arg
-       $ obs_term ~manifest_default:(Some "fi-manifest.json")))
+       $ no_compile_arg $ obs_term ~manifest_default:(Some "fi-manifest.json")))
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
   let run workload_filter tools categories trials seed from records csv_file
-      jobs no_snapshot obs =
+      jobs no_snapshot no_compile obs =
     match from with
     | Some path -> (
       (* Consume an existing record file instead of running anything. *)
@@ -706,7 +725,7 @@ let diagnose_cmd =
         print_string (Diagnose.Summary.render rs);
         `Ok 0)
     | None ->
-      let config = config_of ~no_snapshot ~trials ~seed () in
+      let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
       let workloads =
         match workload_filter with
         | [] -> Workloads.all
@@ -799,7 +818,7 @@ let diagnose_cmd =
       ret
         (const run $ filter_arg $ tools_arg $ cats_arg $ trials_arg 200
        $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg
-       $ no_snapshot_arg $ obs_term ~manifest_default:None))
+       $ no_snapshot_arg $ no_compile_arg $ obs_term ~manifest_default:None))
 
 (* --- exhaust --- *)
 
@@ -1144,7 +1163,7 @@ let tools_of = function
       l
 
 let serve_cmd =
-  let run socket tcp pool chunk journal idle no_snapshot obs =
+  let run socket tcp pool chunk journal idle no_snapshot no_compile obs =
     let tcp =
       match tcp with
       | None -> `Ok None
@@ -1168,6 +1187,7 @@ let serve_cmd =
             ("chunk", Obs.Json.Int (Option.value chunk ~default:0));
             ("journal", Obs.Json.Bool (journal <> None));
             ("snapshot", Obs.Json.Bool (not no_snapshot));
+            ("compile", Obs.Json.Bool (not no_compile));
           ]
       in
       let cfg =
@@ -1177,7 +1197,12 @@ let serve_cmd =
           pool_size = pool;
           chunk;
           journal;
-          base = { Core.Campaign.default_config with snapshot = not no_snapshot };
+          base =
+            {
+              Core.Campaign.default_config with
+              snapshot = not no_snapshot;
+              compile = not no_compile;
+            };
           idle_timeout = idle;
           handle_signals = true;
         }
@@ -1264,7 +1289,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ socket_arg $ tcp_arg $ pool_arg $ chunk_arg
-       $ serve_journal_arg $ idle_arg $ no_snapshot_arg
+       $ serve_journal_arg $ idle_arg $ no_snapshot_arg $ no_compile_arg
        $ obs_term ~manifest_default:None))
 
 let serve_tools_arg =

@@ -21,6 +21,7 @@ type config = {
   pinfi : Pinfi.config;
   backend : Backend.config;
   snapshot : bool;  (* plan targets, execute sorted via fast-forward *)
+  compile : bool;  (* closure-compile both programs once per workload *)
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     pinfi = Pinfi.default_config;
     backend = Backend.default_config;
     snapshot = true;
+    compile = true;
   }
 
 (* The paper's configuration: 1000 injections per cell. *)
@@ -103,8 +105,14 @@ let prepare config (w : Workload.t) =
   @@ fun () ->
   let prog = Opt.optimize (Minic.compile w.Workload.source) in
   let asm = Backend.compile ~config:config.backend prog in
-  let llfi = Llfi.prepare ~config:config.llfi ~inputs:w.Workload.inputs prog in
-  let pinfi = Pinfi.prepare ~config:config.pinfi ~inputs:w.Workload.inputs asm in
+  let llfi =
+    Llfi.prepare ~config:config.llfi ~compile:config.compile
+      ~inputs:w.Workload.inputs prog
+  in
+  let pinfi =
+    Pinfi.prepare ~config:config.pinfi ~compile:config.compile
+      ~inputs:w.Workload.inputs asm
+  in
   if not (String.equal llfi.Llfi.golden_output pinfi.Pinfi.golden_output) then
     invalid_arg
       (Printf.sprintf

@@ -24,6 +24,12 @@ type config = {
           order.  Output is byte-identical either way; off is the
           straight-line reference path (the [--no-snapshot] escape
           hatch). *)
+  compile : bool;
+      (** closure-compile both programs once per workload ({!Llfi.prepare}
+          / {!Pinfi.prepare} with [~compile]) and run every golden,
+          profiling and trial execution through the compiled tier.
+          Byte-identical results either way; off is the tree-walking
+          reference path (the [--no-compile] escape hatch). *)
 }
 
 val default_config : config

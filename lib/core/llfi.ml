@@ -71,6 +71,9 @@ let classify config (f : Ir.Func.t) =
 type t = {
   config : config;
   compiled : Vm.Ir_exec.compiled;
+  fast : Vm.Ir_exec.fast option;
+      (* closure-compiled execution tier; None runs the tree-walking
+         interpreter everywhere (the [fi --no-compile] path) *)
   golden_output : string;
   golden_steps : int;
   max_steps : int;
@@ -82,9 +85,11 @@ let hang_factor = 10
 
 (** Instrument and profile a program: golden run plus one profiling run
     counting dynamic instances per category. *)
-let prepare ?(config = default_config) ~inputs (prog : Ir.Prog.t) =
+let prepare ?(config = default_config) ?(compile = true) ~inputs
+    (prog : Ir.Prog.t) =
   let compiled = Vm.Ir_exec.compile ~classify:(classify config) prog in
-  let golden = Vm.Ir_exec.run ~inputs compiled in
+  let fast = if compile then Some (Vm.Ir_exec.compile_fast compiled) else None in
+  let golden = Vm.Ir_exec.run ~inputs ?fast compiled in
   let golden_output =
     match golden.Vm.Outcome.outcome with
     | Vm.Outcome.Finished out -> out
@@ -94,10 +99,11 @@ let prepare ?(config = default_config) ~inputs (prog : Ir.Prog.t) =
            other)
   in
   let counts = Array.make (1 lsl Category.count) 0 in
-  ignore (Vm.Ir_exec.run ~inputs ~profile_masks:counts compiled);
+  ignore (Vm.Ir_exec.run ~inputs ~profile_masks:counts ?fast compiled);
   {
     config;
     compiled;
+    fast;
     golden_output;
     golden_steps = golden.Vm.Outcome.steps;
     max_steps = (golden.Vm.Outcome.steps * hang_factor) + 10_000;
@@ -126,7 +132,7 @@ let inject ?(track_use = false) t category (rng : Support.Rng.t) =
     { Vm.Ir_exec.inj_mask = Category.mask category; target; rng }
   in
   Vm.Ir_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
-    t.compiled
+    ?fast:t.fast t.compiled
 
 let plan_target = draw_target
 
@@ -136,13 +142,13 @@ type runner = { r_t : t; r_ff : Vm.Ir_exec.ff }
    when the golden run is too long to journal economically. *)
 let record_rejoin t =
   if t.golden_steps > Vm.Rejoin.max_recorded_steps then None
-  else Some (Vm.Ir_exec.record_journal t.compiled ~inputs:t.inputs)
+  else Some (Vm.Ir_exec.record_journal ?fast:t.fast t.compiled ~inputs:t.inputs)
 
 let runner ?rejoin t category =
   {
     r_t = t;
     r_ff =
-      Vm.Ir_exec.ff_create t.compiled ?rejoin ~inputs:t.inputs
+      Vm.Ir_exec.ff_create t.compiled ?rejoin ?fast:t.fast ~inputs:t.inputs
         ~inj_mask:(Category.mask category) ();
   }
 
@@ -152,7 +158,7 @@ let inject_at ?(track_use = false) r ~target rng =
 (* --- exhaustive campaigns (lib/exhaust) --- *)
 
 let enumerate t category =
-  Vm.Ir_exec.enumerate t.compiled ~inputs:t.inputs
+  Vm.Ir_exec.enumerate ?fast:t.fast t.compiled ~inputs:t.inputs
     ~inj_mask:(Category.mask category) ~max_steps:t.max_steps
 
 let inject_bit ?(track_use = false) r ~target ~bit =

@@ -29,6 +29,11 @@ val classify : config -> Ir.Func.t -> Ir.Instr.t -> int
 type t = {
   config : config;
   compiled : Vm.Ir_exec.compiled;
+  fast : Vm.Ir_exec.fast option;
+      (** closure-compiled execution tier used by every run below when
+          present; [None] falls back to the tree-walking interpreter
+          everywhere (the [fi --no-compile] path).  Results are
+          bit-identical either way. *)
   golden_output : string;
   golden_steps : int;
   max_steps : int;  (** hang budget: 10x the golden run *)
@@ -36,8 +41,9 @@ type t = {
   inputs : int array;
 }
 
-val prepare : ?config:config -> inputs:int array -> Ir.Prog.t -> t
-(** Golden run + profiling run.
+val prepare : ?config:config -> ?compile:bool -> inputs:int array -> Ir.Prog.t -> t
+(** Golden run + profiling run.  [compile] (default true) builds the
+    closure-compiled tier once and routes all subsequent runs through it.
     @raise Invalid_argument if the golden run does not finish. *)
 
 val dynamic_count : t -> Category.t -> int

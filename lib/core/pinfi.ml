@@ -73,6 +73,9 @@ let classify (program : Backend.Program.t) index (insn : X86.Insn.t) =
 type t = {
   config : config;
   loaded : Vm.X86_exec.loaded;
+  fast : Vm.X86_exec.fast option;
+      (* closure-compiled execution tier; None runs the tree-walking
+         interpreter everywhere (the [fi --no-compile] path) *)
   golden_output : string;
   golden_steps : int;
   max_steps : int;
@@ -82,9 +85,11 @@ type t = {
 
 let hang_factor = 10
 
-let prepare ?(config = default_config) ~inputs (program : Backend.Program.t) =
+let prepare ?(config = default_config) ?(compile = true) ~inputs
+    (program : Backend.Program.t) =
   let loaded = Vm.X86_exec.load ~classify program in
-  let golden = Vm.X86_exec.run ~inputs loaded in
+  let fast = if compile then Some (Vm.X86_exec.compile loaded) else None in
+  let golden = Vm.X86_exec.run ~inputs ?fast loaded in
   let golden_output =
     match golden.Vm.Outcome.outcome with
     | Vm.Outcome.Finished out -> out
@@ -94,10 +99,11 @@ let prepare ?(config = default_config) ~inputs (program : Backend.Program.t) =
            other)
   in
   let counts = Array.make (1 lsl Category.count) 0 in
-  ignore (Vm.X86_exec.run ~inputs ~profile_masks:counts loaded);
+  ignore (Vm.X86_exec.run ~inputs ~profile_masks:counts ?fast loaded);
   {
     config;
     loaded;
+    fast;
     golden_output;
     golden_steps = golden.Vm.Outcome.steps;
     max_steps = (golden.Vm.Outcome.steps * hang_factor) + 10_000;
@@ -126,7 +132,7 @@ let inject ?(track_use = false) t category (rng : Support.Rng.t) =
     }
   in
   Vm.X86_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
-    t.loaded
+    ?fast:t.fast t.loaded
 
 let plan_target = draw_target
 
@@ -136,14 +142,14 @@ type runner = { r_t : t; r_ff : Vm.X86_exec.ff }
    when the golden run is too long to journal economically. *)
 let record_rejoin t =
   if t.golden_steps > Vm.Rejoin.max_recorded_steps then None
-  else Some (Vm.X86_exec.record_journal t.loaded ~inputs:t.inputs)
+  else Some (Vm.X86_exec.record_journal ?fast:t.fast t.loaded ~inputs:t.inputs)
 
 let runner ?rejoin t category =
   {
     r_t = t;
     r_ff =
       Vm.X86_exec.ff_create t.loaded ~policy:t.config.policy ?rejoin
-        ~inputs:t.inputs ~inj_mask:(Category.mask category) ();
+        ?fast:t.fast ~inputs:t.inputs ~inj_mask:(Category.mask category) ();
   }
 
 let inject_at ?(track_use = false) r ~target rng =
@@ -153,7 +159,7 @@ let inject_at ?(track_use = false) r ~target rng =
 (* --- exhaustive campaigns (lib/exhaust) --- *)
 
 let enumerate t category =
-  Vm.X86_exec.enumerate ~policy:t.config.policy ~inputs:t.inputs
+  Vm.X86_exec.enumerate ~policy:t.config.policy ?fast:t.fast ~inputs:t.inputs
     ~inj_mask:(Category.mask category) ~max_steps:t.max_steps t.loaded
 
 let inject_bit ?(track_use = false) r ~target ~bit =

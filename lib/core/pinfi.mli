@@ -22,6 +22,11 @@ val classify : Backend.Program.t -> int -> X86.Insn.t -> int
 type t = {
   config : config;
   loaded : Vm.X86_exec.loaded;
+  fast : Vm.X86_exec.fast option;
+      (** closure-compiled flat-code tier used by every run below when
+          present; [None] falls back to the tree-walking interpreter
+          everywhere (the [fi --no-compile] path).  Results are
+          bit-identical either way. *)
   golden_output : string;
   golden_steps : int;
   max_steps : int;
@@ -29,7 +34,11 @@ type t = {
   inputs : int array;
 }
 
-val prepare : ?config:config -> inputs:int array -> Backend.Program.t -> t
+val prepare :
+  ?config:config -> ?compile:bool -> inputs:int array -> Backend.Program.t -> t
+(** As {!Llfi.prepare}: [compile] (default true) builds the
+    closure-compiled tier once and routes all runs through it. *)
+
 val dynamic_count : t -> Category.t -> int
 val inject :
   ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats

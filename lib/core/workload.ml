@@ -10,6 +10,16 @@ type t = {
   input_name : string;
 }
 
+let digest w =
+  (* Everything a prepared campaign depends on through the workload:
+     the program text and the input vector.  Name changes alone do not
+     invalidate preparation; source or input changes must. *)
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (w.source :: w.input_name
+          :: List.map string_of_int (Array.to_list w.inputs))))
+
 let lines_of_code w =
   (* Count non-empty, non-comment-only source lines. *)
   String.split_on_char '\n' w.source

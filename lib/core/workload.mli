@@ -10,5 +10,10 @@ type t = {
   input_name : string;
 }
 
+val digest : t -> string
+(** Hex digest of the fields a prepared campaign depends on (source
+    text and input vector) — the cache key a long-running service uses
+    to notice that a workload's program changed under a stable name. *)
+
 val lines_of_code : t -> int
 (** Non-empty, non-comment-only source lines. *)

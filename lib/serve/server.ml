@@ -55,6 +55,7 @@ let m_batches = Obs.Metrics.counter "serve.batches.streamed"
 let m_cells_shared = Obs.Metrics.counter "serve.cells.shared"
 let m_prep_hits = Obs.Metrics.counter "serve.prepared_cache.hits"
 let m_prep_misses = Obs.Metrics.counter "serve.prepared_cache.misses"
+let m_prep_evicted = Obs.Metrics.counter "serve.prepared_cache.evictions"
 let m_runner_hits = Obs.Metrics.counter "serve.runner_cache.hits"
 let m_runner_misses = Obs.Metrics.counter "serve.runner_cache.misses"
 let h_job_ms = Obs.Metrics.histogram "serve.job.latency_ms"
@@ -102,15 +103,20 @@ type completion =
   | Shard_done of cell_state * int * Core.Campaign.cell
   | Shard_failed of cell_state * string
 
-(* A workload stays prepared for the server's lifetime; sound because
-   Campaign.prepare depends only on the base config's tool policies and
-   backend, never on a job's trials or seed.  Its rejoin journals are
-   recorded alongside — a one-time golden-run cost that every later
-   shard of every job repays with early trial exits.  The per-entry
-   mutex deliberately serializes concurrent first-builders of the same
-   workload — better one build than pool_size redundant ones. *)
+(* A workload stays prepared for as long as its program is unchanged;
+   sound because Campaign.prepare depends only on the base config's tool
+   policies and backend, never on a job's trials or seed.  Entries are
+   validated by [Workload.digest] — a name alone is not a sound cache
+   key, since a long-running server can outlive an edit to the workload
+   it serves — and a digest mismatch evicts and rebuilds.  Rejoin
+   journals are recorded alongside — a one-time golden-run cost that
+   every later shard of every job repays with early trial exits.  The
+   per-entry mutex deliberately serializes concurrent first-builders of
+   the same workload — better one build than pool_size redundant
+   ones. *)
 type prep_entry = {
   pm : Mutex.t;
+  p_digest : string;  (* Workload.digest at entry creation *)
   mutable pv :
     (Core.Campaign.prepared * Core.Campaign.rejoin, string) result option;
 }
@@ -217,38 +223,45 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
   let n_failed = ref 0 in
   let n_resumed = ref 0 in
   let get_prepared name =
-    Mutex.lock prep_mutex;
-    let entry =
-      match Hashtbl.find_opt prep_cache name with
-      | Some pe ->
-        Obs.Metrics.incr m_prep_hits;
-        pe
-      | None ->
-        Obs.Metrics.incr m_prep_misses;
-        let pe = { pm = Mutex.create (); pv = None } in
-        Hashtbl.replace prep_cache name pe;
-        pe
-    in
-    Mutex.unlock prep_mutex;
-    Mutex.lock entry.pm;
-    let r =
-      match entry.pv with
-      | Some r -> r
-      | None ->
-        let r =
-          match Workloads.find name with
-          | None -> Error (Printf.sprintf "unknown workload %S" name)
-          | Some w -> (
+    match Workloads.find name with
+    | None -> Error (Printf.sprintf "unknown workload %S" name)
+    | Some w ->
+      let digest = Core.Workload.digest w in
+      Mutex.lock prep_mutex;
+      let entry =
+        match Hashtbl.find_opt prep_cache name with
+        | Some pe when String.equal pe.p_digest digest ->
+          Obs.Metrics.incr m_prep_hits;
+          pe
+        | stale ->
+          (match stale with
+          | Some _ ->
+            (* same name, different program: the old preparation (and,
+               via runner_matches, every runner built on it) is dead *)
+            Obs.Metrics.incr m_prep_evicted
+          | None -> ());
+          Obs.Metrics.incr m_prep_misses;
+          let pe = { pm = Mutex.create (); p_digest = digest; pv = None } in
+          Hashtbl.replace prep_cache name pe;
+          pe
+      in
+      Mutex.unlock prep_mutex;
+      Mutex.lock entry.pm;
+      let r =
+        match entry.pv with
+        | Some r -> r
+        | None ->
+          let r =
             try
               let p = Core.Campaign.prepare cfg.base w in
               Ok (p, Core.Campaign.record_rejoin p)
-            with exn -> Error (Printexc.to_string exn))
-        in
-        entry.pv <- Some r;
-        r
-    in
-    Mutex.unlock entry.pm;
-    r
+            with exn -> Error (Printexc.to_string exn)
+          in
+          entry.pv <- Some r;
+          r
+      in
+      Mutex.unlock entry.pm;
+      r
   in
   (* --- connection output --- *)
   let close_conn c =

@@ -1320,6 +1320,792 @@ let exec_op st (ci : cinstr) ienv fenv =
       | DFloat slot -> fenv.(slot) <- abs_float (float_arg 0)
       | _ -> ()))
 
+(* --- closure-compiled fast tier ---
+
+   A [compiled] program can additionally be translated, once per
+   workload, into per-instruction closures ([opfn]) with operand
+   shapes, widths and destination slots resolved at compile time, plus
+   per-function precompiled blocks (phi routes, call binders, branch
+   targets) for a native-recursion golden-run loop.  The closures are
+   exact drop-in replacements for [exec_op] — same results, traps,
+   rejoin-digest dance and output, byte for byte (the compile
+   differential tests prove it) — so every execution mode can dispatch
+   through them.  The precompiled-block loop is used only for
+   unperturbed golden runs (Plain mode, no trace, no rejoin), where
+   the explicit frame stack and per-instruction mode checks can be
+   dropped entirely. *)
+
+type opfn = state -> int array -> float array -> unit
+
+(* Placeholder for positions the compiled tiers never dispatch
+   (calls, handled by the loops themselves) and gids outside any
+   block body. *)
+let op_unreachable : opfn = fun _ _ _ -> assert false
+
+let gi = function
+  | S s -> fun (ienv : int array) -> Array.unsafe_get ienv s
+  | C c -> fun _ -> c
+
+let gf = function
+  | FS s -> fun (fenv : float array) -> Array.unsafe_get fenv s
+  | FC c -> fun _ -> c
+
+(* [Word.canon w] with the width resolved at compile time. *)
+let canon_cl w =
+  if w >= Word.width then fun v -> v
+  else if w = 1 then fun v -> v land 1
+  else
+    let sh = Sys.int_size - w in
+    fun v -> (v lsl sh) asr sh
+
+(* [Ibin] closures: Add/Sub/Mul and the logic ops get operand-shape
+   specializations (the hot arms); division and shifts keep the
+   interpreter's code verbatim behind generic getters. *)
+let ibin_cl op a b w d : opfn =
+  let gx = gi a and gy = gi b in
+  let cn = canon_cl w in
+  match (op : Ir.Instr.binop) with
+  | Ir.Instr.Add ->
+    if w >= Word.width then (
+      match (a, b) with
+      | S x, S y ->
+        fun _ i _ ->
+          Array.unsafe_set i d (Array.unsafe_get i x + Array.unsafe_get i y)
+      | S x, C c | C c, S x ->
+        fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x + c)
+      | C c1, C c2 ->
+        let v = c1 + c2 in
+        fun _ i _ -> Array.unsafe_set i d v)
+    else fun _ i _ -> Array.unsafe_set i d (cn (gx i + gy i))
+  | Ir.Instr.Sub ->
+    if w >= Word.width then (
+      match (a, b) with
+      | S x, S y ->
+        fun _ i _ ->
+          Array.unsafe_set i d (Array.unsafe_get i x - Array.unsafe_get i y)
+      | S x, C c ->
+        fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x - c)
+      | C c, S y ->
+        fun _ i _ -> Array.unsafe_set i d (c - Array.unsafe_get i y)
+      | C c1, C c2 ->
+        let v = c1 - c2 in
+        fun _ i _ -> Array.unsafe_set i d v)
+    else fun _ i _ -> Array.unsafe_set i d (cn (gx i - gy i))
+  | Ir.Instr.Mul ->
+    if w >= Word.width then (
+      match (a, b) with
+      | S x, S y ->
+        fun _ i _ ->
+          Array.unsafe_set i d (Array.unsafe_get i x * Array.unsafe_get i y)
+      | S x, C c | C c, S x ->
+        fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x * c)
+      | C c1, C c2 ->
+        let v = c1 * c2 in
+        fun _ i _ -> Array.unsafe_set i d v)
+    else fun _ i _ -> Array.unsafe_set i d (cn (gx i * gy i))
+  | Ir.Instr.And -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ ->
+        Array.unsafe_set i d (Array.unsafe_get i x land Array.unsafe_get i y)
+    | S x, C c | C c, S x ->
+      fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x land c)
+    | C c1, C c2 ->
+      let v = c1 land c2 in
+      fun _ i _ -> Array.unsafe_set i d v)
+  | Ir.Instr.Or -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ ->
+        Array.unsafe_set i d (Array.unsafe_get i x lor Array.unsafe_get i y)
+    | S x, C c | C c, S x ->
+      fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x lor c)
+    | C c1, C c2 ->
+      let v = c1 lor c2 in
+      fun _ i _ -> Array.unsafe_set i d v)
+  | Ir.Instr.Xor -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ ->
+        Array.unsafe_set i d (Array.unsafe_get i x lxor Array.unsafe_get i y)
+    | S x, C c | C c, S x ->
+      fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i x lxor c)
+    | C c1, C c2 ->
+      let v = c1 lxor c2 in
+      fun _ i _ -> Array.unsafe_set i d v)
+  | Ir.Instr.Sdiv ->
+    fun _ i _ ->
+      let x = gx i and y = gy i in
+      if y = 0 || (y = -1 && x = min_int) then
+        Trap.raise_trap Trap.Division_by_zero
+      else Array.unsafe_set i d (cn (x / y))
+  | Ir.Instr.Srem ->
+    fun _ i _ ->
+      let x = gx i and y = gy i in
+      if y = 0 || (y = -1 && x = min_int) then
+        Trap.raise_trap Trap.Division_by_zero
+      else Array.unsafe_set i d (cn (x mod y))
+  | Ir.Instr.Udiv ->
+    if w < Word.width then
+      fun _ i _ ->
+        let x = gx i and y = gy i in
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else
+          Array.unsafe_set i d
+            (Word.canon w (Word.to_unsigned w x / Word.to_unsigned w y))
+    else
+      fun _ i _ ->
+        let x = gx i and y = gy i in
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else
+          Array.unsafe_set i d
+            (Int64.to_int
+               (Int64.unsigned_div
+                  (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+                  (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL)))
+  | Ir.Instr.Urem ->
+    if w < Word.width then
+      fun _ i _ ->
+        let x = gx i and y = gy i in
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else
+          Array.unsafe_set i d
+            (Word.canon w (Word.to_unsigned w x mod Word.to_unsigned w y))
+    else
+      fun _ i _ ->
+        let x = gx i and y = gy i in
+        if y = 0 then Trap.raise_trap Trap.Division_by_zero
+        else
+          Array.unsafe_set i d
+            (Int64.to_int
+               (Int64.unsigned_rem
+                  (Int64.logand (Int64.of_int x) 0x7fffffffffffffffL)
+                  (Int64.logand (Int64.of_int y) 0x7fffffffffffffffL)))
+  | Ir.Instr.Shl -> fun _ i _ -> Array.unsafe_set i d (cn (Word.shl (gx i) (gy i)))
+  | Ir.Instr.Lshr ->
+    fun _ i _ -> Array.unsafe_set i d (cn (Word.lshr w (gx i) (gy i)))
+  | Ir.Instr.Ashr -> fun _ i _ -> Array.unsafe_set i d (Word.ashr (gx i) (gy i))
+  | Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv ->
+    op_unreachable (* compile_op routes float Ibins to the fallback *)
+
+let icmp_cl p a b w d : opfn =
+  let gx = gi a and gy = gi b in
+  let set (i : int array) c = Array.unsafe_set i d (if c then 1 else 0) in
+  match (p : Ir.Instr.icmp) with
+  | Ir.Instr.Ieq -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x = Array.unsafe_get i y)
+    | S x, C c | C c, S x -> fun _ i _ -> set i (Array.unsafe_get i x = c)
+    | _ -> fun _ i _ -> set i (gx i = gy i))
+  | Ir.Instr.Ine -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x <> Array.unsafe_get i y)
+    | S x, C c | C c, S x -> fun _ i _ -> set i (Array.unsafe_get i x <> c)
+    | _ -> fun _ i _ -> set i (gx i <> gy i))
+  | Ir.Instr.Islt -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x < Array.unsafe_get i y)
+    | S x, C c -> fun _ i _ -> set i (Array.unsafe_get i x < c)
+    | C c, S y -> fun _ i _ -> set i (c < Array.unsafe_get i y)
+    | _ -> fun _ i _ -> set i (gx i < gy i))
+  | Ir.Instr.Isle -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x <= Array.unsafe_get i y)
+    | S x, C c -> fun _ i _ -> set i (Array.unsafe_get i x <= c)
+    | C c, S y -> fun _ i _ -> set i (c <= Array.unsafe_get i y)
+    | _ -> fun _ i _ -> set i (gx i <= gy i))
+  | Ir.Instr.Isgt -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x > Array.unsafe_get i y)
+    | S x, C c -> fun _ i _ -> set i (Array.unsafe_get i x > c)
+    | C c, S y -> fun _ i _ -> set i (c > Array.unsafe_get i y)
+    | _ -> fun _ i _ -> set i (gx i > gy i))
+  | Ir.Instr.Isge -> (
+    match (a, b) with
+    | S x, S y ->
+      fun _ i _ -> set i (Array.unsafe_get i x >= Array.unsafe_get i y)
+    | S x, C c -> fun _ i _ -> set i (Array.unsafe_get i x >= c)
+    | C c, S y -> fun _ i _ -> set i (c >= Array.unsafe_get i y)
+    | _ -> fun _ i _ -> set i (gx i >= gy i))
+  | Ir.Instr.Iult ->
+    if w >= Word.width then
+      fun _ i _ -> set i (gx i lxor min_int < gy i lxor min_int)
+    else
+      let m = (1 lsl w) - 1 in
+      fun _ i _ -> set i (gx i land m < gy i land m)
+  | Ir.Instr.Iule ->
+    if w >= Word.width then
+      fun _ i _ -> set i (gx i lxor min_int <= gy i lxor min_int)
+    else
+      let m = (1 lsl w) - 1 in
+      fun _ i _ -> set i (gx i land m <= gy i land m)
+  | Ir.Instr.Iugt ->
+    if w >= Word.width then
+      fun _ i _ -> set i (gx i lxor min_int > gy i lxor min_int)
+    else
+      let m = (1 lsl w) - 1 in
+      fun _ i _ -> set i (gx i land m > gy i land m)
+  | Ir.Instr.Iuge ->
+    if w >= Word.width then
+      fun _ i _ -> set i (gx i lxor min_int >= gy i lxor min_int)
+    else
+      let m = (1 lsl w) - 1 in
+      fun _ i _ -> set i (gx i land m >= gy i land m)
+
+(* Fully shape-specialized so the float arithmetic stays unboxed
+   inside a single closure body (a closure returning [float] would box
+   its result on every call without flambda). *)
+let fbin_cl op a b d : opfn =
+  match ((op : Ir.Instr.binop), a, b) with
+  | Ir.Instr.Fadd, FS x, FS y ->
+    fun _ _ f ->
+      Array.unsafe_set f d (Array.unsafe_get f x +. Array.unsafe_get f y)
+  | Ir.Instr.Fadd, FS x, FC c ->
+    fun _ _ f -> Array.unsafe_set f d (Array.unsafe_get f x +. c)
+  | Ir.Instr.Fadd, FC c, FS y ->
+    fun _ _ f -> Array.unsafe_set f d (c +. Array.unsafe_get f y)
+  | Ir.Instr.Fadd, FC c1, FC c2 ->
+    let v = c1 +. c2 in
+    fun _ _ f -> Array.unsafe_set f d v
+  | Ir.Instr.Fsub, FS x, FS y ->
+    fun _ _ f ->
+      Array.unsafe_set f d (Array.unsafe_get f x -. Array.unsafe_get f y)
+  | Ir.Instr.Fsub, FS x, FC c ->
+    fun _ _ f -> Array.unsafe_set f d (Array.unsafe_get f x -. c)
+  | Ir.Instr.Fsub, FC c, FS y ->
+    fun _ _ f -> Array.unsafe_set f d (c -. Array.unsafe_get f y)
+  | Ir.Instr.Fsub, FC c1, FC c2 ->
+    let v = c1 -. c2 in
+    fun _ _ f -> Array.unsafe_set f d v
+  | Ir.Instr.Fmul, FS x, FS y ->
+    fun _ _ f ->
+      Array.unsafe_set f d (Array.unsafe_get f x *. Array.unsafe_get f y)
+  | Ir.Instr.Fmul, FS x, FC c ->
+    fun _ _ f -> Array.unsafe_set f d (Array.unsafe_get f x *. c)
+  | Ir.Instr.Fmul, FC c, FS y ->
+    fun _ _ f -> Array.unsafe_set f d (c *. Array.unsafe_get f y)
+  | Ir.Instr.Fmul, FC c1, FC c2 ->
+    let v = c1 *. c2 in
+    fun _ _ f -> Array.unsafe_set f d v
+  | Ir.Instr.Fdiv, FS x, FS y ->
+    fun _ _ f ->
+      Array.unsafe_set f d (Array.unsafe_get f x /. Array.unsafe_get f y)
+  | Ir.Instr.Fdiv, FS x, FC c ->
+    fun _ _ f -> Array.unsafe_set f d (Array.unsafe_get f x /. c)
+  | Ir.Instr.Fdiv, FC c, FS y ->
+    fun _ _ f -> Array.unsafe_set f d (c /. Array.unsafe_get f y)
+  | Ir.Instr.Fdiv, FC c1, FC c2 ->
+    let v = c1 /. c2 in
+    fun _ _ f -> Array.unsafe_set f d v
+  | _ -> op_unreachable (* integer binop in Fbin: impossible by construction *)
+
+let fcmp_cl p a b d : opfn =
+  let gx = gf a and gy = gf b in
+  let set (i : int array) c = Array.unsafe_set i d (if c then 1 else 0) in
+  match (p : Ir.Instr.fcmp) with
+  | Ir.Instr.Feq -> fun _ i f -> set i (gx f = gy f)
+  | Ir.Instr.Fne ->
+    fun _ i f ->
+      let x = gx f and y = gy f in
+      set i (x < y || x > y)
+  | Ir.Instr.Flt -> fun _ i f -> set i (gx f < gy f)
+  | Ir.Instr.Fle -> fun _ i f -> set i (gx f <= gy f)
+  | Ir.Instr.Fgt -> fun _ i f -> set i (gx f > gy f)
+  | Ir.Instr.Fge -> fun _ i f -> set i (gx f >= gy f)
+
+(* Loads go through the width-specialized single-page-lookup memory
+   accessors; the byte-composed interpreter path and these are
+   byte-for-byte equivalent (same traps, same straddle handling). *)
+let load_cl p w d : opfn =
+  let ga = gi p in
+  match w with
+  | 1 -> (
+    match p with
+    | S s ->
+      fun st i _ ->
+        Array.unsafe_set i d
+          (Memory.read_u8_fast st.mem (Array.unsafe_get i s) land 1)
+    | C _ ->
+      fun st i _ -> Array.unsafe_set i d (Memory.read_u8_fast st.mem (ga i) land 1))
+  | 8 ->
+    let sh = Sys.int_size - 8 in
+    (match p with
+    | S s ->
+      fun st i _ ->
+        Array.unsafe_set i d
+          ((Memory.read_u8_fast st.mem (Array.unsafe_get i s) lsl sh) asr sh)
+    | C _ ->
+      fun st i _ ->
+        Array.unsafe_set i d ((Memory.read_u8_fast st.mem (ga i) lsl sh) asr sh))
+  | 16 ->
+    let sh = Sys.int_size - 16 in
+    (match p with
+    | S s ->
+      fun st i _ ->
+        Array.unsafe_set i d
+          ((Memory.read_u16_fast st.mem (Array.unsafe_get i s) lsl sh) asr sh)
+    | C _ ->
+      fun st i _ ->
+        Array.unsafe_set i d ((Memory.read_u16_fast st.mem (ga i) lsl sh) asr sh))
+  | 32 ->
+    let sh = Sys.int_size - 32 in
+    (match p with
+    | S s ->
+      fun st i _ ->
+        Array.unsafe_set i d
+          ((Memory.read_u32_fast st.mem (Array.unsafe_get i s) lsl sh) asr sh)
+    | C _ ->
+      fun st i _ ->
+        Array.unsafe_set i d ((Memory.read_u32_fast st.mem (ga i) lsl sh) asr sh))
+  | _ -> (
+    match p with
+    | S s ->
+      fun st i _ ->
+        Array.unsafe_set i d
+          (Memory.read_word_fast st.mem (Array.unsafe_get i s))
+    | C _ ->
+      fun st i _ -> Array.unsafe_set i d (Memory.read_word_fast st.mem (ga i)))
+
+let loadf_cl p d : opfn =
+  match p with
+  | S s ->
+    fun st i f ->
+      Array.unsafe_set f d (Memory.read_f64_fast st.mem (Array.unsafe_get i s))
+  | C addr -> fun st _ f -> Array.unsafe_set f d (Memory.read_f64_fast st.mem addr)
+
+(* Stores keep the interpreter's rejoin-digest dance verbatim: the
+   before/after cell fingerprints bracket the write whenever a digest
+   context is live. *)
+let store_cl v p w : opfn =
+  let gv = gi v and ga = gi p in
+  let nb = store_bytes w in
+  let wr : state -> int -> int -> unit =
+    match w with
+    | 1 | 8 -> fun st addr x -> Memory.write_u8_fast st.mem addr (x land 0xff)
+    | 16 -> fun st addr x -> Memory.write_u16_fast st.mem addr (x land 0xffff)
+    | 32 -> fun st addr x -> Memory.write_u32_fast st.mem addr (x land 0xffffffff)
+    | _ -> fun st addr x -> Memory.write_word_fast st.mem addr x
+  in
+  fun st i _ ->
+    let addr = ga i and x = gv i in
+    match st.rej with
+    | None -> wr st addr x
+    | Some rj ->
+      let pre = cells_fp st.mem addr nb in
+      wr st addr x;
+      rj.rj_acc <- rj.rj_acc lxor pre lxor cells_fp st.mem addr nb
+
+let storef_cl v p : opfn =
+  let ga = gi p in
+  let gv = gf v in
+  fun st i f ->
+    let addr = ga i in
+    match st.rej with
+    | None -> Memory.write_f64_fast st.mem addr (gv f)
+    | Some rj ->
+      let pre = cells_fp st.mem addr 8 in
+      Memory.write_f64_fast st.mem addr (gv f);
+      rj.rj_acc <- rj.rj_acc lxor pre lxor cells_fp st.mem addr 8
+
+let gep_cl base disp scaled d : opfn =
+  match Array.length scaled with
+  | 0 -> (
+    match base with
+    | C b ->
+      let v = b + disp in
+      fun _ i _ -> Array.unsafe_set i d v
+    | S s ->
+      if disp = 0 then
+        fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i s)
+      else fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i s + disp))
+  | 1 -> (
+    let idx, sc = scaled.(0) in
+    match (base, idx) with
+    | S sb, S si ->
+      fun _ i _ ->
+        Array.unsafe_set i d
+          (Array.unsafe_get i sb + disp + (Array.unsafe_get i si * sc))
+    | _ ->
+      let gb = gi base and g0 = gi idx in
+      fun _ i _ -> Array.unsafe_set i d (gb i + disp + (g0 i * sc)))
+  | 2 ->
+    let i0, s0 = scaled.(0) and i1, s1 = scaled.(1) in
+    let gb = gi base and g0 = gi i0 and g1 = gi i1 in
+    fun _ i _ ->
+      Array.unsafe_set i d (gb i + disp + (g0 i * s0) + (g1 i * s1))
+  | _ ->
+    let gb = gi base in
+    let parts = Array.map (fun (idx, sc) -> (gi idx, sc)) scaled in
+    fun _ i _ ->
+      let addr = ref (gb i + disp) in
+      Array.iter (fun (g, sc) -> addr := !addr + (g i * sc)) parts;
+      Array.unsafe_set i d !addr
+
+let cast_canon_cl a w d : opfn =
+  let cn = canon_cl w in
+  match a with
+  | S s -> fun _ i _ -> Array.unsafe_set i d (cn (Array.unsafe_get i s))
+  | C c ->
+    let v = Word.canon w c in
+    fun _ i _ -> Array.unsafe_set i d v
+
+let unsign_cl a w d : opfn =
+  if w < Word.width then (
+    let m = (1 lsl w) - 1 in
+    match a with
+    | S s -> fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i s land m)
+    | C c ->
+      let v = c land m in
+      fun _ i _ -> Array.unsafe_set i d v)
+  else
+    (* invalid width: preserve [Word.to_unsigned]'s Invalid_argument *)
+    let g = gi a in
+    fun _ i _ -> Array.unsafe_set i d (Word.to_unsigned w (g i))
+
+let sext_i1_cl a d : opfn =
+  match a with
+  | S s -> fun _ i _ -> Array.unsafe_set i d (-(Array.unsafe_get i s land 1))
+  | C c ->
+    let v = -(c land 1) in
+    fun _ i _ -> Array.unsafe_set i d v
+
+let move_int_cl a d : opfn =
+  match a with
+  | S s -> fun _ i _ -> Array.unsafe_set i d (Array.unsafe_get i s)
+  | C c -> fun _ i _ -> Array.unsafe_set i d c
+
+let fp_to_si_cl a w d : opfn =
+  let g = gf a in
+  let cn = canon_cl w in
+  fun _ i f ->
+    let x = g f in
+    Array.unsafe_set i d
+      (if
+         Float.is_nan x || x >= 4.611686018427387904e18
+         || x <= -4.611686018427387904e18
+       then min_int
+       else cn (int_of_float x))
+
+let si_to_fp_cl a d : opfn =
+  match a with
+  | S s ->
+    fun _ i f -> Array.unsafe_set f d (float_of_int (Array.unsafe_get i s))
+  | C c ->
+    let v = float_of_int c in
+    fun _ _ f -> Array.unsafe_set f d v
+
+let alloca_cl size align d : opfn =
+  let am = lnot (align - 1) in
+  let limit = Memory.stack_top - Memory.default_stack_bytes in
+  fun st i _ ->
+    let addr = (st.sp - size) land am in
+    if addr < limit then Trap.raise_trap Trap.Stack_overflow;
+    st.sp <- addr;
+    Array.unsafe_set i d addr
+
+let select_int_cl cond a b d : opfn =
+  let gc = gi cond and ga = gi a and gb = gi b in
+  fun _ i _ -> Array.unsafe_set i d (if gc i <> 0 then ga i else gb i)
+
+let select_f64_cl cond a b d : opfn =
+  let gc = gi cond and ga = gf a and gb = gf b in
+  fun _ i f -> Array.unsafe_set f d (if gc i <> 0 then ga f else gb f)
+
+(* Only the math intrinsics are worth a closure (raytrace's inner
+   loop); everything with output or allocator side effects stays on
+   the interpreter arm. *)
+let intr_cl (ci : cinstr) intr args (fb : opfn) : opfn =
+  match ((intr : Ir.Instr.intrinsic), ci.dest) with
+  | Ir.Instr.Sqrt, DFloat d -> (
+    match args with
+    | [| AF (FS s) |] ->
+      fun _ _ f -> Array.unsafe_set f d (sqrt (Array.unsafe_get f s))
+    | _ -> fb)
+  | Ir.Instr.Fabs, DFloat d -> (
+    match args with
+    | [| AF (FS s) |] ->
+      fun _ _ f -> Array.unsafe_set f d (abs_float (Array.unsafe_get f s))
+    | _ -> fb)
+  | _ -> fb
+
+(* Compile one body instruction to a closure.  Any shape without a
+   specialized arm — float [Ibin]s, intrinsics with side effects,
+   mismatched destinations (where the interpreter computes, traps, and
+   drops the result) — falls back to [exec_op], so this tier can never
+   diverge from the interpreter. *)
+let compile_op (ci : cinstr) : opfn =
+  let fb : opfn = fun st i f -> exec_op st ci i f in
+  match (ci.op, ci.dest) with
+  | ( Ibin
+        ((Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv), _, _, _),
+      _ ) ->
+    fb
+  | Ibin (op, a, b, w), DInt (d, _) -> ibin_cl op a b w d
+  | Fbin (op, a, b), DFloat d -> fbin_cl op a b d
+  | Icmp_op (p, a, b, w), DInt (d, _) -> icmp_cl p a b w d
+  | Fcmp_op (p, a, b), DInt (d, _) -> fcmp_cl p a b d
+  | Canon (a, w), DInt (d, _) -> cast_canon_cl a w d
+  | Unsign (a, w), DInt (d, _) -> unsign_cl a w d
+  | Sext_i1 a, DInt (d, _) -> sext_i1_cl a d
+  | Move_int a, DInt (d, _) -> move_int_cl a d
+  | Fp_to_si (a, w), DInt (d, _) -> fp_to_si_cl a w d
+  | Si_to_fp a, DFloat d -> si_to_fp_cl a d
+  | Alloca_op (size, align), DInt (d, _) -> alloca_cl size align d
+  | Load_int (p, w), DInt (d, _) -> load_cl p w d
+  | Load_f64 p, DFloat d -> loadf_cl p d
+  | Store_int (v, p, w), _ -> store_cl v p w
+  | Store_f64 (v, p), _ -> storef_cl v p
+  | Gep_op (base, disp, scaled), DInt (d, _) -> gep_cl base disp scaled d
+  | Select_int (cond, a, b), DInt (d, _) -> select_int_cl cond a b d
+  | Select_f64 (cond, a, b), DFloat d -> select_f64_cl cond a b d
+  | Intr_op (intr, args), _ -> intr_cl ci intr args fb
+  | Call_op _, _ -> fb (* the dispatch loops handle calls; never invoked *)
+  | _, _ -> fb
+
+(* --- precompiled blocks for the golden-run loop --- *)
+
+(* A resolved register-to-register move: phi routes and call binders
+   compile to arrays of these.  For routes both slots index the same
+   frame; for binders the destination indexes the callee frame and the
+   source the caller frame. *)
+type pmove =
+  | MVii of int * int  (* int dest slot <- int src slot *)
+  | MVic of int * int  (* int dest slot <- constant *)
+  | MVff of int * int
+  | MVfc of int * float
+
+type pterm =
+  | PBr of int * int  (* target block, predecessor ordinal *)
+  | PCond of int * int * int * int * int
+      (* cond slot, then-block, then-ord, else-block, else-ord *)
+  | PRet_void
+  | PRet_i of int
+  | PRet_ic of int
+  | PRet_f of int
+  | PRet_fc of float
+
+type pcall = {
+  pc_pos : int;  (* body index of the call instruction *)
+  pc_fidx : int;
+  pc_bind : int array -> float array -> int array -> float array -> unit;
+      (* caller ienv/fenv -> callee ienv/fenv *)
+  pc_dest : dest;
+}
+
+type pblock = {
+  pb_nphis : int;  (* steps charged for the phi prefix *)
+  pb_routes : (int array -> float array -> unit) array;  (* per pred ordinal *)
+  pb_body : opfn array;
+  pb_calls : pcall array;  (* in body order *)
+  pb_term : pterm;
+}
+
+type pfunc = { pf_nslots : int; pf_blocks : pblock array }
+
+type fast = {
+  fa_for : compiled;  (* the program this was compiled from *)
+  fa_ops : opfn array;  (* per-gid closures: the all-modes trial tier *)
+  fa_funcs : pfunc array;
+  fa_main : int;
+}
+
+(* The interpreter evaluates a phi prefix in parallel (all reads
+   before any write) through temporary arrays; this is its exact
+   semantics, kept as the fallback for cyclic move groups. *)
+let par_route (phis : cphi array) prd =
+  let nphis = Array.length phis in
+  fun (ienv : int array) (fenv : float array) ->
+    let tmp_i = Array.make nphis 0 in
+    let tmp_f = Array.make nphis 0.0 in
+    for k = 0 to nphis - 1 do
+      let p = phis.(k) in
+      if Array.length p.psrcs_f > 0 then tmp_f.(k) <- fv fenv p.psrcs_f.(prd)
+      else tmp_i.(k) <- iv ienv p.psrcs_i.(prd)
+    done;
+    for k = 0 to nphis - 1 do
+      match phis.(k).pdest with
+      | DInt (slot, _) -> ienv.(slot) <- tmp_i.(k)
+      | DFloat slot -> fenv.(slot) <- tmp_f.(k)
+      | DNone -> ()
+    done
+
+let seq_route (moves : pmove array) =
+  match moves with
+  | [||] -> fun (_ : int array) (_ : float array) -> ()
+  | [| MVii (d, s) |] ->
+    fun i _ -> Array.unsafe_set i d (Array.unsafe_get i s)
+  | [| MVic (d, c) |] -> fun i _ -> Array.unsafe_set i d c
+  | [| MVff (d, s) |] ->
+    fun _ f -> Array.unsafe_set f d (Array.unsafe_get f s)
+  | [| MVfc (d, c) |] -> fun _ f -> Array.unsafe_set f d c
+  | mv ->
+    fun i f ->
+      for k = 0 to Array.length mv - 1 do
+        match Array.unsafe_get mv k with
+        | MVii (d, s) -> Array.unsafe_set i d (Array.unsafe_get i s)
+        | MVic (d, c) -> Array.unsafe_set i d c
+        | MVff (d, s) -> Array.unsafe_set f d (Array.unsafe_get f s)
+        | MVfc (d, c) -> Array.unsafe_set f d c
+      done
+
+(* Order a parallel move set so plain sequential execution is
+   equivalent: repeatedly emit a move whose destination no other
+   pending move still reads.  Cyclic groups (swap-shaped phis) fall
+   back to the temporary-array dance.  A phi whose source class does
+   not match its destination class writes the zero the interpreter's
+   untouched temporary would supply. *)
+let route_of (phis : cphi array) prd =
+  let moves = ref [] in
+  Array.iter
+    (fun p ->
+      let is_f = Array.length p.psrcs_f > 0 in
+      match p.pdest with
+      | DNone -> ()
+      | DInt (slot, _) ->
+        if is_f then moves := MVic (slot, 0) :: !moves
+        else (
+          match p.psrcs_i.(prd) with
+          | S s -> moves := MVii (slot, s) :: !moves
+          | C c -> moves := MVic (slot, c) :: !moves)
+      | DFloat slot ->
+        if not is_f then moves := MVfc (slot, 0.0) :: !moves
+        else (
+          match p.psrcs_f.(prd) with
+          | FS s -> moves := MVff (slot, s) :: !moves
+          | FC c -> moves := MVfc (slot, c) :: !moves))
+    phis;
+  let pending = ref (List.rev !moves) in
+  let ordered = ref [] in
+  let cyclic = ref false in
+  let blocked m =
+    match m with
+    | MVii (d, _) | MVic (d, _) ->
+      List.exists
+        (fun m' ->
+          m' != m && match m' with MVii (_, s) -> s = d | _ -> false)
+        !pending
+    | MVff (d, _) | MVfc (d, _) ->
+      List.exists
+        (fun m' ->
+          m' != m && match m' with MVff (_, s) -> s = d | _ -> false)
+        !pending
+  in
+  while (not !cyclic) && !pending <> [] do
+    match List.find_opt (fun m -> not (blocked m)) !pending with
+    | Some m ->
+      ordered := m :: !ordered;
+      pending := List.filter (fun m' -> m' != m) !pending
+    | None -> cyclic := true
+  done;
+  if !cyclic then par_route phis prd
+  else seq_route (Array.of_list (List.rev !ordered))
+
+(* Bind call arguments into a fresh callee frame.  The interpreter
+   evaluates every argument in the caller (pure slot/constant reads)
+   and then writes parameter slots — integer arguments always to
+   [ienv], float arguments always to [fenv], as [push_frame] does.  A
+   call with fewer arguments than parameters raises the interpreter's
+   exact out-of-bounds exception. *)
+let compile_bind (params : (int * bool) array) (args : arg array) =
+  if Array.length args < Array.length params then
+    fun (_ : int array) (_ : float array) (_ : int array) (_ : float array) ->
+      invalid_arg "index out of bounds"
+  else
+    let binds =
+      Array.mapi
+        (fun k (slot, _) ->
+          match args.(k) with
+          | AI (S s) -> MVii (slot, s)
+          | AI (C c) -> MVic (slot, c)
+          | AF (FS s) -> MVff (slot, s)
+          | AF (FC c) -> MVfc (slot, c))
+        params
+    in
+    fun (ci : int array) (cf : float array) (ni : int array) (nf : float array) ->
+      for k = 0 to Array.length binds - 1 do
+        match Array.unsafe_get binds k with
+        | MVii (d, s) -> Array.unsafe_set ni d (Array.unsafe_get ci s)
+        | MVic (d, c) -> Array.unsafe_set ni d c
+        | MVff (d, s) -> Array.unsafe_set nf d (Array.unsafe_get cf s)
+        | MVfc (d, c) -> Array.unsafe_set nf d c
+      done
+
+let compile_pblock (c : compiled) (fa_ops : opfn array) (b : cblock) =
+  let npreds =
+    Array.fold_left
+      (fun acc p ->
+        max acc (max (Array.length p.psrcs_i) (Array.length p.psrcs_f)))
+      0 b.phis
+  in
+  let calls = ref [] in
+  Array.iteri
+    (fun k ci ->
+      match ci.op with
+      | Call_op (fidx, args) ->
+        calls :=
+          {
+            pc_pos = k;
+            pc_fidx = fidx;
+            pc_bind = compile_bind c.cfuncs.(fidx).params args;
+            pc_dest = ci.dest;
+          }
+          :: !calls
+      | _ -> ())
+    b.body;
+  let pterm =
+    match b.term with
+    | Tret None -> PRet_void
+    | Tret (Some (AI (S s))) -> PRet_i s
+    | Tret (Some (AI (C c))) -> PRet_ic c
+    | Tret (Some (AF (FS s))) -> PRet_f s
+    | Tret (Some (AF (FC c))) -> PRet_fc c
+    | Tbr (t, ord) -> PBr (t, ord)
+    | Tcond (S s, (t, tord), (f_, ford)) -> PCond (s, t, tord, f_, ford)
+    | Tcond (C c, (t, tord), (f_, ford)) ->
+      if c <> 0 then PBr (t, tord) else PBr (f_, ford)
+  in
+  {
+    pb_nphis = Array.length b.phis;
+    pb_routes = Array.init npreds (fun prd -> route_of b.phis prd);
+    pb_body =
+      Array.map
+        (fun ci ->
+          match ci.op with
+          | Call_op _ -> op_unreachable
+          | _ -> Array.unsafe_get fa_ops ci.gid)
+        b.body;
+    pb_calls = Array.of_list (List.rev !calls);
+    pb_term = pterm;
+  }
+
+let compile_fast (c : compiled) =
+  let fa_ops = Array.make (gid_limit c) op_unreachable in
+  Array.iter
+    (fun cf ->
+      Array.iter
+        (fun b ->
+          Array.iter (fun ci -> fa_ops.(ci.gid) <- compile_op ci) b.body)
+        cf.cblocks)
+    c.cfuncs;
+  {
+    fa_for = c;
+    fa_ops;
+    fa_funcs =
+      Array.map
+        (fun cf ->
+          {
+            pf_nslots = cf.nslots;
+            pf_blocks = Array.map (compile_pblock c fa_ops) cf.cblocks;
+          })
+        c.cfuncs;
+    fa_main = c.main_index;
+  }
+
 (* Digest of one frame's live state: function id, control position,
    stack watermark, and the slots in [live] (an encoded set from the
    liveness pass).  [pred] is excluded everywhere: boundaries sit just
@@ -1442,8 +2228,9 @@ let rejoin_boundary (st : state) rj fr b =
    that contains the first matching instance that would make [matched]
    exceed [ff_stop].  A paused machine can be resumed by calling again
    with a larger [ff_stop]. *)
-let exec_frames (c : compiled) st =
+let exec_frames ?(fops = [||]) (c : compiled) st =
   let funcs = c.cfuncs in
+  let use_f = Array.length fops > 0 in
   let forward = match st.mode with Forward -> true | _ -> false in
   let enum = match st.mode with Enumerate -> true | _ -> false in
   let finished = ref false in
@@ -1540,7 +2327,8 @@ let exec_frames (c : compiled) st =
               dispatch := false;
               push_frame st funcs.(fidx') evaluated (Some ci)
             | _ ->
-              exec_op st ci ienv fenv;
+              (if use_f then (Array.unsafe_get fops ci.gid) st ienv fenv
+               else exec_op st ci ienv fenv);
               if ci.mask <> 0 then
                 post_exec st ci.mask ci.gid ci.dest ienv fenv fr.e_env;
               (match st.trace with
@@ -1674,9 +2462,153 @@ let m_ff_trials = Obs.Metrics.counter "vm.ir.ff_trials"
 let m_ff_rebuilds = Obs.Metrics.counter "vm.ir.ff_rebuilds"
 let m_checkpoint_depth = Obs.Metrics.histogram "vm.ir.checkpoint_depth"
 
-let exec_to_stats (c : compiled) st =
+(* Callee result slot for the precompiled-block loop: kind 0 = void,
+   1 = int, 2 = float (a frame's return discriminant, matching [ret]).
+   One record per run, reused across every call. *)
+type pret = { mutable pr_k : int; mutable pr_i : int; mutable pr_f : float }
+
+(* The golden-run dispatch loop: native OCaml recursion over
+   precompiled blocks.  Only reachable for unperturbed Plain-mode runs
+   with no trace and no rejoin context, where nothing observable
+   happens between instructions — so phi prefixes batch their step
+   counts, and frames live on the OCaml stack instead of the explicit
+   frame list.  Step accounting, hang-check placement, trap order and
+   the call-depth limit replicate [exec_frames] exactly; the compile
+   differential tests hold this loop to byte-identical stats. *)
+let rec exec_pfunc (fa : fast) st (r : pret) (pf : pfunc) ienv fenv =
+  let saved_sp = st.sp in
+  let blocks = pf.pf_blocks in
+  let bi = ref 0 in
+  let prd = ref 0 in
+  let running = ref true in
+  while !running do
+    let b = Array.unsafe_get blocks !bi in
+    if b.pb_nphis > 0 then begin
+      (Array.unsafe_get b.pb_routes !prd) ienv fenv;
+      st.steps <- st.steps + b.pb_nphis
+    end;
+    if st.steps > st.max_steps then raise Outcome.Hang_limit;
+    let body = b.pb_body in
+    let n = Array.length body in
+    let calls = b.pb_calls in
+    let nc = Array.length calls in
+    if nc = 0 then
+      for k = 0 to n - 1 do
+        st.steps <- st.steps + 1;
+        (Array.unsafe_get body k) st ienv fenv
+      done
+    else begin
+      let ci = ref 0 in
+      let k = ref 0 in
+      while !k < n do
+        let stop =
+          if !ci < nc then (Array.unsafe_get calls !ci).pc_pos else n
+        in
+        while !k < stop do
+          st.steps <- st.steps + 1;
+          (Array.unsafe_get body !k) st ienv fenv;
+          incr k
+        done;
+        if !k < n then begin
+          let call = Array.unsafe_get calls !ci in
+          st.steps <- st.steps + 1;
+          st.depth <- st.depth + 1;
+          if st.depth > max_call_depth then
+            Trap.raise_trap Trap.Stack_overflow;
+          let callee = Array.unsafe_get fa.fa_funcs call.pc_fidx in
+          let ni = Array.make callee.pf_nslots 0 in
+          let nf = Array.make callee.pf_nslots 0.0 in
+          call.pc_bind ienv fenv ni nf;
+          exec_pfunc fa st r callee ni nf;
+          (match call.pc_dest with
+          | DInt (slot, _) ->
+            if r.pr_k = 1 then Array.unsafe_set ienv slot r.pr_i
+          | DFloat slot ->
+            if r.pr_k = 2 then Array.unsafe_set fenv slot r.pr_f
+          | DNone -> ());
+          incr ci;
+          incr k
+        end
+      done
+    end;
+    if st.steps > st.max_steps then raise Outcome.Hang_limit;
+    st.steps <- st.steps + 1;
+    match b.pb_term with
+    | PBr (t, ord) ->
+      bi := t;
+      prd := ord
+    | PCond (s, t, tord, f_, ford) ->
+      if Array.unsafe_get ienv s <> 0 then begin
+        bi := t;
+        prd := tord
+      end
+      else begin
+        bi := f_;
+        prd := ford
+      end
+    | PRet_void ->
+      st.sp <- saved_sp;
+      st.depth <- st.depth - 1;
+      r.pr_k <- 0;
+      running := false
+    | PRet_i s ->
+      st.sp <- saved_sp;
+      st.depth <- st.depth - 1;
+      r.pr_k <- 1;
+      r.pr_i <- Array.unsafe_get ienv s;
+      running := false
+    | PRet_ic c ->
+      st.sp <- saved_sp;
+      st.depth <- st.depth - 1;
+      r.pr_k <- 1;
+      r.pr_i <- c;
+      running := false
+    | PRet_f s ->
+      st.sp <- saved_sp;
+      st.depth <- st.depth - 1;
+      r.pr_k <- 2;
+      r.pr_f <- Array.unsafe_get fenv s;
+      running := false
+    | PRet_fc c ->
+      st.sp <- saved_sp;
+      st.depth <- st.depth - 1;
+      r.pr_k <- 2;
+      r.pr_f <- c;
+      running := false
+  done
+
+let run_plain (fa : fast) st =
   let outcome =
-    match exec_frames c st with
+    match
+      let pf = Array.unsafe_get fa.fa_funcs fa.fa_main in
+      st.depth <- st.depth + 1;
+      if st.depth > max_call_depth then Trap.raise_trap Trap.Stack_overflow;
+      let ienv = Array.make pf.pf_nslots 0 in
+      let fenv = Array.make pf.pf_nslots 0.0 in
+      exec_pfunc fa st { pr_k = 0; pr_i = 0; pr_f = 0.0 } pf ienv fenv
+    with
+    | () -> Outcome.Finished (Buffer.contents st.out)
+    | exception Trap.Trap t -> Outcome.Crashed t
+    | exception Outcome.Hang_limit -> Outcome.Hung
+    | exception Stack_overflow -> Outcome.Crashed Trap.Stack_overflow
+  in
+  Obs.Metrics.observe m_run_steps st.steps;
+  {
+    Outcome.outcome;
+    steps = st.steps;
+    injected = false;
+    activated = false;
+    fault_note = "";
+    injected_step = -1;
+    fault_site = -1;
+    first_use = First_use.Unone;
+  }
+
+let fops_of = function Some fa -> fa.fa_ops | None -> [||]
+
+let exec_to_stats ?(fops = [||]) (c : compiled) st =
+  let outcome =
+    match exec_frames ~fops c st with
     | _ -> Outcome.Finished (Buffer.contents st.out)
     | exception Rejoined ->
       (* The golden suffix is already spliced into [st.out] and
@@ -1699,7 +2631,8 @@ let exec_to_stats (c : compiled) st =
   }
 
 let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
-    ?profile_masks ?profile_sites ?trace ?(track_use = false) (c : compiled) =
+    ?profile_masks ?profile_sites ?trace ?(track_use = false) ?fast
+    (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
     match (plan, profile_masks, profile_sites) with
     | Some _, Some _, _ | Some _, _, Some _ ->
@@ -1740,11 +2673,17 @@ let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
       rej = None;
     }
   in
-  push_frame st c.cfuncs.(c.main_index) [||] None;
-  exec_to_stats c st
+  match (fast, mode) with
+  | Some fa, Plain
+    when (match trace with None -> true | Some _ -> false)
+         && Array.length c.cfuncs.(c.main_index).params = 0 ->
+    run_plain fa st
+  | _ ->
+    push_frame st c.cfuncs.(c.main_index) [||] None;
+    exec_to_stats ~fops:(fops_of fast) c st
 
 (* Fault-space pre-pass: one golden Enumerate-mode run over the cell. *)
-let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
+let enumerate ?fast (c : compiled) ~inputs ~inj_mask ~max_steps =
   let st =
     {
       mem = init_memory c;
@@ -1775,7 +2714,7 @@ let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
-  (match exec_frames c st with
+  (match exec_frames ~fops:(fops_of fast) c st with
   | _ -> ()
   | exception Trap.Trap _ | (exception Outcome.Hang_limit)
   | (exception Stack_overflow) ->
@@ -1784,7 +2723,7 @@ let enumerate (c : compiled) ~inputs ~inj_mask ~max_steps =
 
 (* One digest-maintaining golden run; the resulting journal serves
    every trial of the same (program, inputs), whatever the category. *)
-let record_journal (c : compiled) ~inputs =
+let record_journal ?fast (c : compiled) ~inputs =
   let b = Rejoin.builder () in
   let st =
     {
@@ -1824,7 +2763,7 @@ let record_journal (c : compiled) ~inputs =
     }
   in
   push_frame st c.cfuncs.(c.main_index) [||] None;
-  (match exec_frames c st with
+  (match exec_frames ~fops:(fops_of fast) c st with
   | _ -> ()
   | exception Trap.Trap _ | (exception Stack_overflow) ->
     invalid_arg "Ir_exec.record_journal: golden run did not complete");
@@ -1846,6 +2785,7 @@ type ff = {
   ff_inputs : int array;
   ff_mask : int;
   ff_rejoin : Rejoin.t option;
+  ff_fops : opfn array;  (* [||] when the ff runs interpreted *)
   mutable ff_st : state;
 }
 
@@ -1901,12 +2841,13 @@ let forward_with_rej (c : compiled) ~inputs ~inj_mask rejoin =
         });
   st
 
-let ff_create (c : compiled) ?rejoin ~inputs ~inj_mask () =
+let ff_create (c : compiled) ?rejoin ?fast ~inputs ~inj_mask () =
   {
     ff_c = c;
     ff_inputs = inputs;
     ff_mask = inj_mask;
     ff_rejoin = rejoin;
+    ff_fops = fops_of fast;
     ff_st = forward_with_rej c ~inputs ~inj_mask rejoin;
   }
 
@@ -1923,7 +2864,7 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng 
   let roll = ff.ff_st in
   roll.ff_stop <- target;
   let advance () =
-    if exec_frames ff.ff_c roll then
+    if exec_frames ~fops:ff.ff_fops ff.ff_c roll then
       invalid_arg "Ir_exec.ff_trial: target beyond the category's population"
   in
   (* Explicit guard (not just [span]'s own) so the disabled path
@@ -1980,5 +2921,5 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng 
   if Obs.Trace.on () then
     Obs.Trace.span "trial-run"
       ~args:[ ("target", string_of_int target) ]
-      (fun () -> exec_to_stats ff.ff_c st)
-  else exec_to_stats ff.ff_c st
+      (fun () -> exec_to_stats ~fops:ff.ff_fops ff.ff_c st)
+  else exec_to_stats ~fops:ff.ff_fops ff.ff_c st

@@ -65,6 +65,20 @@ type trace = {
 val create_trace : unit -> trace
 val trace_push : trace -> int -> int -> unit
 
+type fast
+(** A [compiled] program translated once more into per-instruction
+    closures (operand shapes, widths, destination slots, phi routes,
+    call binders and branch targets resolved at compile time) plus a
+    native-recursion golden-run loop over precompiled blocks.
+    Execution through a [fast] value is bit-for-bit identical to the
+    tree-walking interpreter — same outputs, traps, step counts,
+    injection draws, activation tracking and rejoin digests — the
+    compile differential tests prove it.  Immutable once built and
+    safe to share across domains like [compiled] itself. *)
+
+val compile_fast : compiled -> fast
+(** One-time translation; O(program size). *)
+
 val run :
   ?plan:plan ->
   ?forced_bit:int ->
@@ -74,6 +88,7 @@ val run :
   ?profile_sites:int array ->
   ?trace:trace ->
   ?track_use:bool ->
+  ?fast:fast ->
   compiled ->
   Outcome.stats
 (** Execute [main] on a fresh memory image.
@@ -92,7 +107,10 @@ val run :
     - [trace]: record a propagation trace into the given buffer;
     - [track_use] (default false): classify what the corrupted value
       flows into first ({!First_use.t}); reported in
-      [stats.first_use].  Adds no per-instruction work when off. *)
+      [stats.first_use].  Adds no per-instruction work when off;
+    - [fast]: execute through the closure-compiled tier (must have
+      been built from this same [compiled] value); identical results,
+      a fraction of the dispatch cost. *)
 
 (** {1 Snapshot / fast-forward execution}
 
@@ -110,14 +128,20 @@ val run :
 
 type ff
 
-val record_journal : compiled -> inputs:int array -> Rejoin.t
+val record_journal : ?fast:fast -> compiled -> inputs:int array -> Rejoin.t
 (** One digest-maintaining golden run producing a {!Rejoin}
     reconvergence journal for [ff_create ~rejoin].  The journal serves
     every category of the same (program, inputs).
     @raise Invalid_argument if the golden run traps or overflows. *)
 
 val ff_create :
-  compiled -> ?rejoin:Rejoin.t -> inputs:int array -> inj_mask:int -> unit -> ff
+  compiled ->
+  ?rejoin:Rejoin.t ->
+  ?fast:fast ->
+  inputs:int array ->
+  inj_mask:int ->
+  unit ->
+  ff
 (** A rolling machine at step 0.  [inj_mask] fixes the category whose
     dynamic instances [target] indexes.  With [?rejoin], trials
     additionally maintain the state digest and finish early when they
@@ -150,6 +174,7 @@ val ff_trial :
     fault that an injection with [target = k] produces. *)
 
 val enumerate :
+  ?fast:fast ->
   compiled ->
   inputs:int array ->
   inj_mask:int ->

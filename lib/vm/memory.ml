@@ -221,6 +221,152 @@ let write_f64 t addr v =
   write_u32 t addr (Int64.to_int (Int64.logand bits 0xffff_ffffL));
   write_u32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
 
+(* --- width-specialized accessors for the compiled tier ---
+
+   The byte-composed accessors above pay one (cached) page lookup per
+   byte; a compiled-closure step cannot afford eight.  These do one page
+   lookup and one multi-byte load/store when the access stays inside a
+   page, and delegate to the byte-composed path otherwise (negative or
+   page-straddling addresses), so traps, demand mapping and
+   copy-on-write behave identically byte for byte.  The word sign
+   encoding round-trips exactly: byte 7's low 7 bits are value bits
+   56-62 and its top bit is the sign — precisely the layout of
+   [Int64.of_int v] for a 63-bit [v], whose bit 63 is the sign
+   extension.  The compile differential tests exercise fast-vs-slow on
+   both engines. *)
+
+(* The one-entry page cache check is written out inline in each fast
+   accessor (rather than through [find_page_read]/[find_page_write])
+   because these are the compiled tier's inner-loop memory operations
+   and the OCaml compiler does not inline across the call.
+
+   Trap payloads must also match byte for byte: [read_bytes_le] walks
+   bytes high-to-low, so on an unmapped page the byte-composed reads
+   trap with [addr + n - 1] ([read_word] with [addr + 6], [read_f64]
+   with [addr + 3] via its low [read_u32]) while the writes walk
+   low-to-high and trap with [addr].  Each fast read therefore probes
+   the page with the first address its slow twin would touch — the
+   same page (the in-page guard holds) and the same demand-map
+   decision (the stack window is page-aligned), differing only in the
+   trap payload. *)
+
+let read_u8_fast t addr =
+  if addr >= 0 then begin
+    let page =
+      if addr lsr page_bits = t.last_index then t.last_page
+      else find_page_read t addr
+    in
+    Char.code (Bytes.unsafe_get page (addr land (page_size - 1)))
+  end
+  else read_u8 t addr
+
+let write_u8_fast t addr v =
+  if addr >= 0 then begin
+    let page =
+      if addr lsr page_bits = t.last_index && t.last_writable then t.last_page
+      else find_page_write t addr
+    in
+    Bytes.unsafe_set page
+      (addr land (page_size - 1))
+      (Char.unsafe_chr (v land 0xff))
+  end
+  else write_u8 t addr v
+
+let read_u16_fast t addr =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 2 then begin
+    let page =
+      if addr lsr page_bits = t.last_index then t.last_page
+      else find_page_read t (addr + 1)
+    in
+    Bytes.get_uint16_le page off
+  end
+  else read_u16 t addr
+
+let write_u16_fast t addr v =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 2 then begin
+    let page =
+      if addr lsr page_bits = t.last_index && t.last_writable then t.last_page
+      else find_page_write t addr
+    in
+    Bytes.set_uint16_le page off (v land 0xffff)
+  end
+  else write_u16 t addr v
+
+let read_u32_fast t addr =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 4 then begin
+    let page =
+      if addr lsr page_bits = t.last_index then t.last_page
+      else find_page_read t (addr + 3)
+    in
+    Int32.to_int (Bytes.get_int32_le page off) land 0xffffffff
+  end
+  else read_u32 t addr
+
+let write_u32_fast t addr v =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 4 then begin
+    let page =
+      if addr lsr page_bits = t.last_index && t.last_writable then t.last_page
+      else find_page_write t addr
+    in
+    Bytes.set_int32_le page off (Int32.of_int v)
+  end
+  else write_u32 t addr v
+
+let read_word_fast t addr =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 8 then begin
+    let page =
+      if addr lsr page_bits = t.last_index then t.last_page
+      else find_page_read t (addr + 6)
+    in
+    let raw = Bytes.get_int64_le page off in
+    (* Low 63 bits as the value, bit 63 as the stored sign flag; ORing
+       [min_int] sets bit 62, exactly as the byte-composed decode.  The
+       sign test shifts rather than compares to keep [raw] unboxed. *)
+    let v = Int64.to_int raw in
+    if Int64.to_int (Int64.shift_right_logical raw 63) <> 0 then
+      v lor min_int
+    else v
+  end
+  else read_word t addr
+
+let write_word_fast t addr v =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 8 then begin
+    let page =
+      if addr lsr page_bits = t.last_index && t.last_writable then t.last_page
+      else find_page_write t addr
+    in
+    Bytes.set_int64_le page off (Int64.of_int v)
+  end
+  else write_word t addr v
+
+let read_f64_fast t addr =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 8 then begin
+    let page =
+      if addr lsr page_bits = t.last_index then t.last_page
+      else find_page_read t (addr + 3)
+    in
+    Int64.float_of_bits (Bytes.get_int64_le page off)
+  end
+  else read_f64 t addr
+
+let write_f64_fast t addr v =
+  let off = addr land (page_size - 1) in
+  if addr >= 0 && off <= page_size - 8 then begin
+    let page =
+      if addr lsr page_bits = t.last_index && t.last_writable then t.last_page
+      else find_page_write t addr
+    in
+    Bytes.set_int64_le page off (Int64.bits_of_float v)
+  end
+  else write_f64 t addr v
+
 let blit_string t ~addr s =
   String.iteri (fun k c -> write_u8 t (addr + k) (Char.code c)) s
 

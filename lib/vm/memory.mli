@@ -85,6 +85,23 @@ val read_f64 : t -> int -> float
 
 val write_f64 : t -> int -> float -> unit
 
+(** Width-specialized variants used by the compiled execution tier: one
+    page lookup and one multi-byte load/store when the access stays
+    inside a page, delegating to the byte-composed accessor above
+    otherwise.  Same traps, demand mapping and copy-on-write, byte for
+    byte. *)
+
+val read_u8_fast : t -> int -> int
+val write_u8_fast : t -> int -> int -> unit
+val read_u16_fast : t -> int -> int
+val write_u16_fast : t -> int -> int -> unit
+val read_u32_fast : t -> int -> int
+val write_u32_fast : t -> int -> int -> unit
+val read_word_fast : t -> int -> int
+val write_word_fast : t -> int -> int -> unit
+val read_f64_fast : t -> int -> float
+val write_f64_fast : t -> int -> float -> unit
+
 val blit_string : t -> addr:int -> string -> unit
 
 val heap_alloc : t -> int -> int

@@ -48,6 +48,20 @@ type dest = Dgp of X86.Reg.t | Dxmm of X86.Reg.t | Dflags | Dnone
 
 val primary_dest : X86.Insn.t -> dest
 
+type fast
+(** A [loaded] program compiled once into per-instruction closures
+    (operand shapes, addressing modes, branch targets and flag algebra
+    resolved at compile time) plus flattened threaded code with a
+    direct-dispatch golden-run loop.  Execution through a [fast] value
+    is bit-for-bit
+    identical to the tree-walking interpreter — same outputs, traps,
+    step counts, injection draws, activation tracking and rejoin
+    digests — the compile differential tests prove it.  Immutable once
+    built, and safe to share across domains like [loaded] itself. *)
+
+val compile : loaded -> fast
+(** One-time translation; O(program size). *)
+
 val run :
   ?plan:plan ->
   ?forced_bit:int ->
@@ -56,6 +70,7 @@ val run :
   ?profile_masks:int array ->
   ?profile_index:int array ->
   ?track_use:bool ->
+  ?fast:fast ->
   loaded ->
   Outcome.stats
 (** Execute from the program entry on a fresh memory image.
@@ -79,7 +94,7 @@ val run :
 
 type ff
 
-val record_journal : loaded -> inputs:int array -> Rejoin.t
+val record_journal : ?fast:fast -> loaded -> inputs:int array -> Rejoin.t
 (** One digest-maintaining golden run producing a {!Rejoin}
     reconvergence journal for [ff_create ~rejoin].
     @raise Invalid_argument if the golden run traps or never halts. *)
@@ -88,6 +103,7 @@ val ff_create :
   loaded ->
   ?policy:policy ->
   ?rejoin:Rejoin.t ->
+  ?fast:fast ->
   inputs:int array ->
   inj_mask:int ->
   unit ->
@@ -118,6 +134,7 @@ val ff_trial :
 
 val enumerate :
   ?policy:policy ->
+  ?fast:fast ->
   inputs:int array ->
   inj_mask:int ->
   max_steps:int ->

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Performance gate: run the gated bench sections (engine, diagnose,
-# snapshot, exhaust, obs, serve) at a small trial count and compare
+# snapshot, compile, exhaust, obs, serve) at a small trial count and compare
 # the resulting BENCH_* JSON summaries against the committed baselines
 # at the repo root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json,
-# BENCH_SNAPSHOT.json, BENCH_EXHAUST.json, BENCH_OBS.json,
+# BENCH_SNAPSHOT.json, BENCH_COMPILE.json, BENCH_EXHAUST.json, BENCH_OBS.json,
 # BENCH_SERVE.json).
 #
 # Only *ratios* are gated — speedups and overhead ratios are stable
@@ -50,8 +50,8 @@ trap 'rm -rf "$tmp"' EXIT INT TERM
 out=${BENCH_JSON_DIR:-$tmp}
 mkdir -p "$out"
 
-echo "== bench (engine,diagnose,snapshot,exhaust,obs,serve) at $TRIALS trials, $JOBS jobs =="
-BENCH_ONLY=engine,diagnose,snapshot,exhaust,obs,serve BENCH_TRIALS="$TRIALS" \
+echo "== bench (engine,diagnose,snapshot,compile,exhaust,obs,serve) at $TRIALS trials, $JOBS jobs =="
+BENCH_ONLY=engine,diagnose,snapshot,compile,exhaust,obs,serve BENCH_TRIALS="$TRIALS" \
     BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$out" \
     dune exec bench/main.exe > "$tmp/bench.log" 2>&1 || {
     # The bench gates itself (determinism + hard ratio floors) and
@@ -63,7 +63,7 @@ BENCH_ONLY=engine,diagnose,snapshot,exhaust,obs,serve BENCH_TRIALS="$TRIALS" \
 grep '^BENCH_' "$tmp/bench.log"
 
 if [ "$update" = yes ]; then
-    for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS SERVE; do
+    for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE; do
         cp "$out/BENCH_$s.json" "BENCH_$s.json"
     done
     echo "Baselines refreshed; commit the BENCH_*.json files."
@@ -118,7 +118,7 @@ gate_max() {
 }
 
 echo "== ratio gates against committed baselines =="
-for s in ENGINE DIAGNOSE SNAPSHOT EXHAUST OBS SERVE; do
+for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE; do
     [ -f "BENCH_$s.json" ] || {
         echo "FAIL: missing baseline BENCH_$s.json" >&2
         exit 1
@@ -127,7 +127,7 @@ done
 
 # Determinism is non-negotiable: the bench re-checks byte-identity and
 # records it in the summary.
-for s in ENGINE SNAPSHOT EXHAUST SERVE; do
+for s in ENGINE SNAPSHOT COMPILE EXHAUST SERVE; do
     grep -q '"identical": true' "$out/BENCH_$s.json" || {
         echo "FAIL: $s summary does not attest byte-identical output" >&2
         fail=1
@@ -152,6 +152,8 @@ fi
 gate_max DIAGNOSE disabled_ratio 1.10  # hooks must stay free when off
 gate_max DIAGNOSE enabled_ratio 1.25   # capture overhead must stay modest
 gate_min SNAPSHOT speedup 0.7      # fast-forward must keep its advantage
+gate_min COMPILE best_speedup 0.7  # compiled tier tracks its baseline
+gate_abs_min COMPILE best_speedup 10.0 # dispatch kernel: hard floor anywhere
 gate_min EXHAUST pruning_ratio 0.8 # faults covered per fault executed
 gate_max OBS disabled_ratio 1.10       # telemetry must stay free when off
 gate_max OBS enabled_ratio 1.25        # recording overhead must stay modest

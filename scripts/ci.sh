@@ -13,7 +13,9 @@
 # This is the engine's core guarantee (README "Determinism guarantee")
 # exercised end-to-end through the installed CLI, records included.
 # The same grid is then re-run with --no-snapshot: the snapshot
-# executor must change no byte of any output.  Finally a journaled
+# executor must change no byte of any output; --no-compile gets the
+# same treatment (compiled tier vs the tree-walking interpreters, CSV
+# and manifest digests compared at --jobs 1 and 4).  Finally a journaled
 # campaign is interrupted (journal truncated mid-grid) and resumed,
 # and a resume against a mismatched journal header must be refused.
 set -eu
@@ -117,6 +119,53 @@ cmp "$tmp/records-1.txt" "$tmp/records-nosnap.txt" || {
 }
 
 echo "OK: snapshot executor output byte-identical to the straight-line path"
+
+echo "== determinism smoke: compiled tier vs --no-compile, --jobs 1 and 4 =="
+# The closure-compiled execution tier must change no byte of any
+# output: same campaign, compiled (default) vs --no-compile, at one
+# and four worker domains.  CSVs are compared directly; the run
+# manifests must agree on the campaign CSV digest.
+compile_smoke() {
+    tag=$1
+    shift
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        -n 40 --seed 17 \
+        --csv "$tmp/compile-$tag.csv" \
+        --manifest "$tmp/compile-$tag-manifest.json" "$@" > /dev/null
+}
+compile_smoke on-j1 --jobs 1
+compile_smoke off-j1 --jobs 1 --no-compile
+compile_smoke on-j4 --jobs 4
+compile_smoke off-j4 --jobs 4 --no-compile
+
+cmp "$tmp/compile-on-j1.csv" "$tmp/compile-off-j1.csv" || {
+    echo "FAIL: campaign CSV differs between compiled tier and --no-compile" >&2
+    exit 1
+}
+cmp "$tmp/compile-on-j1.csv" "$tmp/compile-on-j4.csv" || {
+    echo "FAIL: compiled-tier CSV differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+cmp "$tmp/compile-off-j1.csv" "$tmp/compile-off-j4.csv" || {
+    echo "FAIL: --no-compile CSV differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+
+manifest_csv_digest() {
+    sed -n 's/.*"digests":{[^}]*"csv":"\([0-9a-f]*\)".*/\1/p' "$1"
+}
+don=$(manifest_csv_digest "$tmp/compile-on-j1-manifest.json")
+doff=$(manifest_csv_digest "$tmp/compile-off-j4-manifest.json")
+[ -n "$don" ] || {
+    echo "FAIL: compiled-tier manifest has no csv digest" >&2
+    exit 1
+}
+[ "$don" = "$doff" ] || {
+    echo "FAIL: manifest CSV digest differs between compiled tier and --no-compile" >&2
+    exit 1
+}
+
+echo "OK: compiled tier output byte-identical to the interpreters"
 
 echo "== resume smoke: interrupted journal, then --resume =="
 camp() {

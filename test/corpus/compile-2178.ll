@@ -1,0 +1,86 @@
+@gdata = global [16 x i64] [71629, 9389, 12176, 10550, 70350, 36927, 9813, 44478, 72431, 48454, 49203, 44383, 31168, 2266, 85594, 37170]
+
+define i64 @mix(i64 %a.0, i64 %x.1) {
+entry:
+  %2 = and i64 %x.1, i64 15
+  %3 = add i64 %2, i64 1
+  %4 = udiv i64 %a.0, i64 %3
+  %5 = srem i64 %x.1, i64 %3
+  %6 = and i64 %x.1, i64 1
+  %7 = icmp eq i64 %6, i64 1
+  br i1 %7, %odd, %even
+odd:
+  %8 = and i64 %4, i64 770
+  br %join
+even:
+  %9 = or i64 %5, i64 %a.0
+  br %join
+join:
+  %10 = phi [ i64 %8, %odd ], [ i64 %9, %even ]
+  %11 = lshr i64 %10, i64 0
+  %12 = icmp uge i64 %11, i64 %a.0
+  %13 = add i64 %10, i64 %x.1
+  %14 = select i1 %12, i64 %11, i64 %13
+  ret i64 %14
+}
+
+define i64 @main() {
+entry:
+  %0 = alloca [8 x i64]
+  %1 = getelementptr [8 x i64]* %0, i64 0, i64 0
+  store i64 57, i64* %1
+  %2 = getelementptr [8 x i64]* %0, i64 0, i64 1
+  store i64 62, i64* %2
+  %3 = getelementptr [8 x i64]* %0, i64 0, i64 2
+  store i64 43, i64* %3
+  %4 = getelementptr [8 x i64]* %0, i64 0, i64 3
+  store i64 36, i64* %4
+  %5 = getelementptr [8 x i64]* %0, i64 0, i64 4
+  store i64 14, i64* %5
+  %6 = getelementptr [8 x i64]* %0, i64 0, i64 5
+  store i64 61, i64* %6
+  %7 = getelementptr [8 x i64]* %0, i64 0, i64 6
+  store i64 24, i64* %7
+  %8 = getelementptr [8 x i64]* %0, i64 0, i64 7
+  store i64 14, i64* %8
+  br %loop
+loop:
+  %i.9 = phi [ i64 0, %entry ], [ i64 %20, %loop ]
+  %acc.10 = phi [ i64 140, %entry ], [ i64 %17, %loop ]
+  %11 = getelementptr @gdata, i64 0, i64 %i.9
+  %12 = load i64* %11
+  %13 = call @mix(i64 %acc.10, i64 %12)
+  %14 = trunc i64 %13 to i8
+  %15 = mul i8 %14, i8 86
+  %16 = sext i8 %15 to i64
+  %17 = mul i64 %13, i64 %16
+  %18 = and i64 %17, i64 7
+  %19 = getelementptr [8 x i64]* %0, i64 0, i64 %18
+  store i64 %17, i64* %19
+  %20 = add i64 %i.9, i64 1
+  %21 = icmp slt i64 %20, i64 16
+  br i1 %21, %loop, %after
+after:
+  %22 = getelementptr [8 x i64]* %0, i64 0, i64 5
+  %23 = ptrtoint i64* %22 to i64
+  %24 = inttoptr i64 %23 to i64*
+  %25 = load i64* %24
+  %26 = xor i64 %17, i64 %25
+  %27 = icmp slt i64 %26, i64 900
+  %28 = xor i64 %26, i64 415
+  %29 = select i1 %27, i64 %28, i64 %26
+  %30 = icmp ne i64 %29, i64 397
+  %31 = mul i64 %29, i64 383
+  %32 = select i1 %30, i64 %31, i64 %29
+  %33 = icmp ult i64 %32, i64 1961
+  %34 = mul i64 %32, i64 69
+  %35 = select i1 %33, i64 %34, i64 %32
+  %36 = icmp slt i64 %35, i64 482
+  %37 = add i64 %35, i64 232
+  %38 = select i1 %36, i64 %37, i64 %35
+  call.intrinsic @print_i64(i64 %38)
+  call.intrinsic @print_newline()
+  call.intrinsic @print_i64(i64 %25)
+  call.intrinsic @print_newline()
+  ret i64 0
+}

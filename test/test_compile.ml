@@ -1,0 +1,229 @@
+(* Differential tests for the closure-compiled execution tier.
+
+   The tier's contract (Vm.Ir_exec.fast / Vm.X86_exec.fast) is
+   bit-for-bit identity with the tree-walking interpreters: same output
+   bytes, same trap tags, same step counts, same injection bookkeeping,
+   same first-use classification, same fault-space enumeration — under
+   every run mode, for every workload.  These tests hold the two
+   engines against each other at increasing granularity: golden runs,
+   individual injected trials, whole campaign CSVs, and the
+   snapshot x rejoin x compile interplay. *)
+
+let tools = [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
+
+(* One string capturing everything a trial observes, so a divergence
+   names the field that moved.  Trap payloads are included (same level,
+   same engine semantics — unlike the cross-level fuzz oracle, payloads
+   must match exactly here). *)
+let stats_key (s : Vm.Outcome.stats) =
+  let outcome =
+    match s.Vm.Outcome.outcome with
+    | Vm.Outcome.Finished out -> "finished(" ^ String.escaped out ^ ")"
+    | Vm.Outcome.Crashed t -> Format.asprintf "crashed(%a)" Vm.Trap.pp t
+    | Vm.Outcome.Hung -> "hung"
+  in
+  Printf.sprintf "%s|steps=%d|inj=%b|act=%b|note=%s|istep=%d|site=%d|use=%s"
+    outcome s.Vm.Outcome.steps s.Vm.Outcome.injected s.Vm.Outcome.activated
+    s.Vm.Outcome.fault_note s.Vm.Outcome.injected_step s.Vm.Outcome.fault_site
+    (Vm.First_use.name s.Vm.Outcome.first_use)
+
+(* Two preparations of the same workload, one per engine.  [compile] is
+   the only difference, so every observable below must coincide. *)
+let prepare_both (w : Core.Workload.t) =
+  let prog = Opt.optimize (Minic.compile w.Core.Workload.source) in
+  let asm = Backend.compile prog in
+  let lc = Core.Llfi.prepare ~compile:true ~inputs:w.Core.Workload.inputs prog in
+  let li = Core.Llfi.prepare ~compile:false ~inputs:w.Core.Workload.inputs prog in
+  let pc = Core.Pinfi.prepare ~compile:true ~inputs:w.Core.Workload.inputs asm in
+  let pi = Core.Pinfi.prepare ~compile:false ~inputs:w.Core.Workload.inputs asm in
+  ((lc, li), (pc, pi))
+
+(* --- golden + profile identity, all six workloads, both levels --- *)
+
+let test_golden_identity () =
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let (lc, li), (pc, pi) = prepare_both w in
+      Alcotest.(check string)
+        (w.name ^ ": llfi golden output")
+        li.Core.Llfi.golden_output lc.Core.Llfi.golden_output;
+      Alcotest.(check int)
+        (w.name ^ ": llfi golden steps")
+        li.Core.Llfi.golden_steps lc.Core.Llfi.golden_steps;
+      Alcotest.(check
+                  (list (pair string int)))
+        (w.name ^ ": llfi dynamic profile")
+        (List.map
+           (fun (c, n) -> (Core.Category.name c, n))
+           li.Core.Llfi.dynamic_counts)
+        (List.map
+           (fun (c, n) -> (Core.Category.name c, n))
+           lc.Core.Llfi.dynamic_counts);
+      Alcotest.(check string)
+        (w.name ^ ": pinfi golden output")
+        pi.Core.Pinfi.golden_output pc.Core.Pinfi.golden_output;
+      Alcotest.(check int)
+        (w.name ^ ": pinfi golden steps")
+        pi.Core.Pinfi.golden_steps pc.Core.Pinfi.golden_steps;
+      Alcotest.(check
+                  (list (pair string int)))
+        (w.name ^ ": pinfi dynamic profile")
+        (List.map
+           (fun (c, n) -> (Core.Category.name c, n))
+           pi.Core.Pinfi.dynamic_counts)
+        (List.map
+           (fun (c, n) -> (Core.Category.name c, n))
+           pc.Core.Pinfi.dynamic_counts))
+    Workloads.all
+
+(* --- injected trials, every workload x level x category --- *)
+
+(* Same rng stream into both engines; [track_use] on so the first-use
+   classification is part of the compared surface. *)
+let test_injected_trials_identity () =
+  let trials = 8 in
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let (lc, li), (pc, pi) = prepare_both w in
+      List.iter
+        (fun cat ->
+          let cname = Core.Category.name cat in
+          if Core.Llfi.dynamic_count li cat > 0 then
+            for trial = 0 to trials - 1 do
+              let seed = Int64.of_int ((trial * 7919) + 13) in
+              let a =
+                Core.Llfi.inject ~track_use:true li cat
+                  (Support.Rng.create seed)
+              in
+              let b =
+                Core.Llfi.inject ~track_use:true lc cat
+                  (Support.Rng.create seed)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s llfi %s trial %d" w.name cname trial)
+                (stats_key a) (stats_key b)
+            done;
+          if Core.Pinfi.dynamic_count pi cat > 0 then
+            for trial = 0 to trials - 1 do
+              let seed = Int64.of_int ((trial * 104729) + 17) in
+              let a =
+                Core.Pinfi.inject ~track_use:true pi cat
+                  (Support.Rng.create seed)
+              in
+              let b =
+                Core.Pinfi.inject ~track_use:true pc cat
+                  (Support.Rng.create seed)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s pinfi %s trial %d" w.name cname trial)
+                (stats_key a) (stats_key b)
+            done)
+        Core.Category.all)
+    Workloads.all
+
+(* --- fault-space enumeration identity --- *)
+
+let test_enumerate_identity () =
+  let w = Workloads.find_exn "mcf" in
+  let (lc, li), (pc, pi) = prepare_both w in
+  List.iter
+    (fun cat ->
+      let cname = Core.Category.name cat in
+      let la = Core.Llfi.enumerate li cat
+      and lb = Core.Llfi.enumerate lc cat in
+      Alcotest.(check bool)
+        ("llfi " ^ cname ^ ": identical fault space")
+        true (la = lb);
+      let pa = Core.Pinfi.enumerate pi cat
+      and pb = Core.Pinfi.enumerate pc cat in
+      Alcotest.(check bool)
+        ("pinfi " ^ cname ^ ": identical fault space")
+        true (pa = pb))
+    Core.Category.all
+
+(* --- whole campaigns: compiled CSV byte-equal to interpreted --- *)
+
+let test_campaign_csv_identity () =
+  let cfg_c = { Core.Campaign.default_config with trials = 20 } in
+  let cfg_i = { cfg_c with compile = false } in
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let _, cells_c = Core.Campaign.run_workload cfg_c w in
+      let _, cells_i = Core.Campaign.run_workload cfg_i w in
+      Alcotest.(check string)
+        (w.name ^ ": campaign CSV identical across engines")
+        (Core.Campaign.to_csv cells_i)
+        (Core.Campaign.to_csv cells_c))
+    Workloads.all
+
+(* --- snapshot x rejoin x compile interplay ---
+
+   All four executor configurations (snapshot on/off x compile on/off)
+   plus the rejoin-journal path must tally identically: the fast tier
+   serves the ff machine's forward advance, the trial remainder, and
+   the digest-maintaining journal recording, so each combination
+   crosses a different set of engine code paths. *)
+
+let test_snapshot_rejoin_interplay () =
+  let w = Workloads.find_exn "libquantum" in
+  let base = { Core.Campaign.default_config with trials = 25 } in
+  let cfg snapshot compile = { base with snapshot; compile } in
+  let reference =
+    Core.Campaign.to_csv
+      (snd (Core.Campaign.run_workload (cfg false false) w))
+  in
+  List.iter
+    (fun (snapshot, compile) ->
+      let csv =
+        Core.Campaign.to_csv
+          (snd (Core.Campaign.run_workload (cfg snapshot compile) w))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "snapshot=%b compile=%b equals reference" snapshot
+           compile)
+        reference csv)
+    [ (false, true); (true, false); (true, true) ];
+  (* rejoin journals recorded and consumed through each engine *)
+  let run_rejoin compile =
+    let config = cfg true compile in
+    let p = Core.Campaign.prepare config w in
+    let rejoin = Core.Campaign.record_rejoin p in
+    let cells =
+      List.concat_map
+        (fun tool ->
+          List.map
+            (fun cat ->
+              let r = Core.Campaign.runner ~rejoin p tool cat in
+              Core.Campaign.run_cell ~runner:r config p tool cat)
+            Core.Category.all)
+        tools
+    in
+    Core.Campaign.to_csv cells
+  in
+  Alcotest.(check string) "rejoin: interpreted equals reference" reference
+    (run_rejoin false);
+  Alcotest.(check string) "rejoin: compiled equals reference" reference
+    (run_rejoin true)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "golden",
+        [
+          ("golden + profile identity, 6 workloads", `Quick, test_golden_identity);
+        ] );
+      ( "trials",
+        [
+          ( "injected trials identical, all cells",
+            `Slow,
+            test_injected_trials_identity );
+          ("fault-space enumeration identical", `Quick, test_enumerate_identity);
+        ] );
+      ( "campaign",
+        [
+          ("campaign CSVs byte-equal, 6 workloads", `Slow, test_campaign_csv_identity);
+          ( "snapshot x rejoin x compile interplay",
+            `Slow,
+            test_snapshot_rejoin_interplay );
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* QCheck differential property for the closure-compiled tier: on
+   random programs from both fuzz grammars, compiled execution must be
+   bit-for-bit identical to tree-walking interpretation at both levels
+   (IR and x86) — output bytes, trap tags, step counts, injection
+   bookkeeping and first-use classification.
+
+   This is the compile tier's own fuzzer, complementing the cross-level
+   oracle in lib/fuzz: the oracle compares program *meanings* across
+   pipeline stages (where trap payloads legitimately differ), while
+   this property compares two executions of the *same* program at the
+   same level, so everything must match exactly.
+
+   A failing seed is minimized with the lib/fuzz minimizer (keeping
+   "compiled diverges from interpreted" as the predicate) and the repro
+   written to test/corpus/, where test_corpus replays it forever. *)
+
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let stats_key (s : Vm.Outcome.stats) =
+  let outcome =
+    match s.Vm.Outcome.outcome with
+    | Vm.Outcome.Finished out -> "finished(" ^ String.escaped out ^ ")"
+    | Vm.Outcome.Crashed t -> Format.asprintf "crashed(%a)" Vm.Trap.pp t
+    | Vm.Outcome.Hung -> "hung"
+  in
+  Printf.sprintf "%s|steps=%d|inj=%b|act=%b|note=%s|istep=%d|site=%d|use=%s"
+    outcome s.Vm.Outcome.steps s.Vm.Outcome.injected s.Vm.Outcome.activated
+    s.Vm.Outcome.fault_note s.Vm.Outcome.injected_step s.Vm.Outcome.fault_site
+    (Vm.First_use.name s.Vm.Outcome.first_use)
+
+(* Compare the two engines on one program: golden observables from the
+   two preparations, then a few tracked injection trials per non-empty
+   category with identical rng streams.  Returns the first divergence
+   as [Some description]. *)
+let divergence (prog : Ir.Prog.t) =
+  let exception Diverged of string in
+  let check what a b =
+    if not (String.equal a b) then
+      raise (Diverged (Printf.sprintf "%s: %s <> %s" what a b))
+  in
+  try
+    let asm = Backend.compile prog in
+    let li = Core.Llfi.prepare ~compile:false ~inputs:[||] prog in
+    let lc = Core.Llfi.prepare ~compile:true ~inputs:[||] prog in
+    let pi = Core.Pinfi.prepare ~compile:false ~inputs:[||] asm in
+    let pc = Core.Pinfi.prepare ~compile:true ~inputs:[||] asm in
+    check "llfi golden output" li.Core.Llfi.golden_output
+      lc.Core.Llfi.golden_output;
+    check "llfi golden steps"
+      (string_of_int li.Core.Llfi.golden_steps)
+      (string_of_int lc.Core.Llfi.golden_steps);
+    check "pinfi golden output" pi.Core.Pinfi.golden_output
+      pc.Core.Pinfi.golden_output;
+    check "pinfi golden steps"
+      (string_of_int pi.Core.Pinfi.golden_steps)
+      (string_of_int pc.Core.Pinfi.golden_steps);
+    List.iter
+      (fun cat ->
+        let cname = Core.Category.name cat in
+        if Core.Llfi.dynamic_count li cat > 0 then
+          for trial = 0 to 2 do
+            let seed = Int64.of_int ((trial * 6151) + 3) in
+            check
+              (Printf.sprintf "llfi %s trial %d" cname trial)
+              (stats_key
+                 (Core.Llfi.inject ~track_use:true li cat
+                    (Support.Rng.create seed)))
+              (stats_key
+                 (Core.Llfi.inject ~track_use:true lc cat
+                    (Support.Rng.create seed)))
+          done;
+        if Core.Pinfi.dynamic_count pi cat > 0 then
+          for trial = 0 to 2 do
+            let seed = Int64.of_int ((trial * 1299709) + 5) in
+            check
+              (Printf.sprintf "pinfi %s trial %d" cname trial)
+              (stats_key
+                 (Core.Pinfi.inject ~track_use:true pi cat
+                    (Support.Rng.create seed)))
+              (stats_key
+                 (Core.Pinfi.inject ~track_use:true pc cat
+                    (Support.Rng.create seed)))
+          done)
+      Core.Category.all;
+    None
+  with
+  | Diverged msg -> Some msg
+  | Invalid_argument msg ->
+    (* One engine accepted the program and the other refused (or the
+       program is a generator artifact — either way worth seeing). *)
+    Some ("invalid_arg: " ^ msg)
+
+let minic_diverges src =
+  match Opt.optimize (Minic.compile src) with
+  | prog -> divergence prog <> None
+  | exception _ -> false
+
+(* Shrink a failing MiniC program with the fuzz minimizer, write the
+   repro next to the oracle corpus, and return the failure message
+   QCheck reports. *)
+let report_minic_failure seed src msg =
+  let repro =
+    match Minic.Parser.parse_program src with
+    | exception _ -> src
+    | ast -> (
+      match Fuzz.Minimize.minimize ~keep:(fun p -> minic_diverges (Fuzz.Pp.program p)) ast with
+      | small, _ -> Fuzz.Pp.program small
+      | exception _ -> src)
+  in
+  let path =
+    Filename.concat corpus_dir (Printf.sprintf "compile-%04d.c" seed)
+  in
+  (try
+     let oc = open_out path in
+     output_string oc repro;
+     close_out oc
+   with Sys_error _ -> ());
+  Printf.sprintf "seed %d: compiled tier diverges (%s); repro: %s" seed msg
+    path
+
+let prop_minic seed =
+  let src = Fuzz.Gen.source ~seed ~size:8 () in
+  match Opt.optimize (Minic.compile src) with
+  | exception exn ->
+    QCheck.Test.fail_report
+      (Printf.sprintf "seed %d: generator artifact: %s" seed
+         (Printexc.to_string exn))
+  | prog -> (
+    match divergence prog with
+    | None -> true
+    | Some msg -> QCheck.Test.fail_report (report_minic_failure seed src msg))
+
+let prop_ir seed =
+  match Fuzz.Gen_ir.generate ~seed () with
+  | exception exn ->
+    QCheck.Test.fail_report
+      (Printf.sprintf "ir seed %d: generator artifact: %s" seed
+         (Printexc.to_string exn))
+  | prog -> (
+    match divergence prog with
+    | None -> true
+    | Some msg ->
+      (* IR programs are already small; record the text directly. *)
+      let path =
+        Filename.concat corpus_dir (Printf.sprintf "compile-%04d.ll" seed)
+      in
+      (try
+         let oc = open_out path in
+         output_string oc (Ir.Printer.prog_to_string prog);
+         close_out oc
+       with Sys_error _ -> ());
+      QCheck.Test.fail_report
+        (Printf.sprintf "ir seed %d: compiled tier diverges (%s); repro: %s"
+           seed msg path))
+
+(* A failing generator seed reproduces with
+   QCHECK_SEED=<n> dune runtest, or directly as Fuzz.Gen.source ~seed. *)
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 4095)
+
+let tests =
+  [
+    QCheck.Test.make ~count:120 ~name:"compiled == interpreted (MiniC programs)"
+      seed_gen prop_minic;
+    QCheck.Test.make ~count:80 ~name:"compiled == interpreted (IR programs)"
+      seed_gen prop_ir;
+  ]
+
+let () =
+  Alcotest.run "compile_prop"
+    [ ("differential", List.map QCheck_alcotest.to_alcotest tests) ]

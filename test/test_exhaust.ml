@@ -61,6 +61,44 @@ let test_pruned_equals_brute_force () =
         (pruned.Core.Campaign.e_executed <= brute.Core.Campaign.e_executed))
     tools
 
+(* --- compiled execution tier: exact tallies are engine-independent ---
+
+   The whole exhaustive pipeline (enumeration pre-pass, forced-bit
+   replay of surviving faults, pruning verdicts against the golden
+   run) through the closure-compiled tier must reproduce the
+   interpreted tally fault for fault — and pruned must still equal
+   brute force within the compiled engine. *)
+
+let test_compiled_exact_identity () =
+  let wl = tiny 7 5 in
+  let p_i =
+    Core.Campaign.prepare { campaign_config with compile = false } wl
+  in
+  let p_c = Core.Campaign.prepare { campaign_config with compile = true } wl in
+  List.iter
+    (fun tool ->
+      let name = Core.Campaign.tool_name tool in
+      let interp =
+        Exhaust.run_cell Exhaust.default_config p_i tool Core.Category.All
+      in
+      let compiled =
+        Exhaust.run_cell Exhaust.default_config p_c tool Core.Category.All
+      in
+      Alcotest.(check string)
+        (name ^ ": compiled exact csv equals interpreted")
+        (Core.Campaign.exact_to_csv [ interp ])
+        (Core.Campaign.exact_to_csv [ compiled ]);
+      let brute_c =
+        Exhaust.run_cell
+          { Exhaust.default_config with prune = false }
+          p_c tool Core.Category.All
+      in
+      Alcotest.(check (list int))
+        (name ^ ": compiled pruned tally equals compiled brute force")
+        (tally_ints brute_c.Core.Campaign.e_tally)
+        (tally_ints compiled.Core.Campaign.e_tally))
+    tools
+
 (* --- accounting invariants --- *)
 
 let test_accounting () =
@@ -221,6 +259,9 @@ let () =
       ( "exactness",
         [
           ("pruned equals brute force", `Slow, test_pruned_equals_brute_force);
+          ( "compiled tier: exact tallies identical",
+            `Slow,
+            test_compiled_exact_identity );
           ("accounting invariants", `Slow, test_accounting);
         ] );
       ( "determinism",
