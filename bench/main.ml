@@ -966,6 +966,7 @@ let serve_throughput () =
       Serve.Wire.j_workload = workload;
       j_tools = [ Core.Campaign.Llfi_tool ];
       j_categories = [ Core.Category.All ];
+      j_model = Core.Fault_model.Bitflip;
       j_trials = serve_trials;
       j_seed = 9000 + i;
       j_out = None;
@@ -978,8 +979,8 @@ let serve_throughput () =
   in
   let run_cold (job : Serve.Wire.job) =
     let cfg =
-      Serve.Plan.config_for ~base:config ~trials:job.Serve.Wire.j_trials
-        ~seed:job.Serve.Wire.j_seed
+      Serve.Plan.config_for ~base:config ~model:job.Serve.Wire.j_model
+        ~trials:job.Serve.Wire.j_trials ~seed:job.Serve.Wire.j_seed
     in
     let p = Core.Campaign.prepare cfg (Workloads.find_exn workload) in
     Core.Campaign.to_csv
@@ -1066,6 +1067,120 @@ let serve_throughput () =
         warm_speedup
       :: !bench_failures
 
+(* ----------------------------------------------------------------- *)
+(* Fault models: per-model trial cost                                  *)
+(* ----------------------------------------------------------------- *)
+
+(* The fault-model axis must be free: every model does the same
+   plan-then-execute trial as a bitflip, differing only in how the
+   drawn target word is corrupted (a couple of extra RNG draws at
+   most).  Throughput is measured in executed steps per second, not
+   trials per second, because the models legitimately shift the
+   outcome mix — a skipped loop-counter update runs to the hang bound
+   where a flipped one crashes early — so trial wall conflates model
+   cost with outcome shape; steps/s isolates the per-step price of the
+   model dispatch in the trial hot loop, which is what the gate is
+   about.  Interleaved rounds with per-round ratios, same rationale as
+   the diagnose/obs sections: machine-load drift cancels out of a
+   quotient of adjacent runs.  Gate at 10%.  The identity attestation
+   re-checks, per model, that the compiled tier and the interpreters
+   agree on the full campaign CSV byte for byte. *)
+let model_overhead () =
+  section "Fault models: per-model step throughput vs the bitflip baseline";
+  let w = Workloads.find_exn "mcf" in
+  let mk model =
+    { config with Core.Campaign.trials = max 100 (trials / 3); model }
+  in
+  List.iter
+    (fun m ->
+      let csv compile =
+        Core.Campaign.to_csv
+          (Core.Campaign.run_all { (mk m) with Core.Campaign.compile } [ w ])
+      in
+      if not (String.equal (csv true) (csv false)) then
+        failwith
+          (Printf.sprintf
+             "model_overhead: %s campaign CSV diverges between compiled tier \
+              and interpreters"
+             (Core.Fault_model.name m)))
+    Core.Fault_model.all;
+  let prog = Opt.optimize (Minic.compile w.Core.Workload.source) in
+  let llfi = Core.Llfi.prepare ~compile:true ~inputs:w.inputs prog in
+  let pinfi =
+    Core.Pinfi.prepare ~compile:true ~inputs:w.inputs (Backend.compile prog)
+  in
+  let n = max 60 (trials / 2) in
+  let sps model =
+    Gc.compact ();
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let rng = Support.Rng.of_int 41 in
+    for _ = 1 to n do
+      let s = Core.Llfi.inject ~model llfi Core.Category.All (Support.Rng.split rng) in
+      steps := !steps + s.Vm.Outcome.steps
+    done;
+    let rng = Support.Rng.of_int 43 in
+    for _ = 1 to n do
+      let s = Core.Pinfi.inject ~model pinfi Core.Category.All (Support.Rng.split rng) in
+      steps := !steps + s.Vm.Outcome.steps
+    done;
+    let secs = Unix.gettimeofday () -. t0 in
+    if secs > 0.0 then float_of_int !steps /. secs else 0.0
+  in
+  let others =
+    List.filter
+      (fun m -> not (Core.Fault_model.equal m Core.Fault_model.Bitflip))
+      Core.Fault_model.all
+  in
+  let ratios = Array.make (List.length others) infinity in
+  let base_sps = ref 0.0 in
+  for _ = 1 to 4 do
+    let b = sps Core.Fault_model.Bitflip in
+    base_sps := max !base_sps b;
+    List.iteri
+      (fun i m ->
+        let s = sps m in
+        if b > 0.0 && s > 0.0 then ratios.(i) <- min ratios.(i) (b /. s))
+      others
+  done;
+  let ratios = Array.map (fun r -> if r < infinity then r else 1.0) ratios in
+  Printf.printf "  %-14s %8.1f Msteps/s  (baseline)\n" "bitflip"
+    (!base_sps /. 1e6);
+  List.iteri
+    (fun i m ->
+      Printf.printf "  %-14s %8.3fx the bitflip step cost\n"
+        (Core.Fault_model.name m) ratios.(i))
+    others;
+  let worst = Array.fold_left max 1.0 ratios in
+  Printf.printf
+    "  worst overhead: %.3fx — per-model CSV byte-identical across tiers\n"
+    worst;
+  let key m =
+    String.map
+      (fun c -> if c = ':' then '_' else c)
+      (Core.Fault_model.name m)
+  in
+  let per_model =
+    String.concat ""
+      (List.mapi
+         (fun i m -> Printf.sprintf "\"%s_ratio\": %.3f, " (key m) ratios.(i))
+         others)
+  in
+  bench_json "MODELS"
+    (Printf.sprintf
+       "{\"trials\": %d, \"models\": %d, \"base_msteps_per_s\": %.1f, %s\
+        \"worst_overhead\": %.3f, \"gate\": 1.10, \"identical\": true}"
+       (2 * n)
+       (List.length Core.Fault_model.all)
+       (!base_sps /. 1e6) per_model worst);
+  if worst > 1.10 then
+    bench_failures :=
+      Printf.sprintf
+        "model_overhead: worst per-model overhead %.1f%% over the bitflip \
+         baseline (gate: 10%%)"
+        ((worst -. 1.0) *. 100.0)
+      :: !bench_failures
+
 (* BENCH_ONLY=engine,snapshot selects sections by key; unset runs
    everything.  scripts/bench_gate.sh uses it to run just the gated,
    JSON-emitting sections at a small trial count. *)
@@ -1079,6 +1194,7 @@ let parts : (string * string * (unit -> unit)) list =
     ("exhaust", "exhaustive pruning ratio", exhaust_ratio);
     ("obs", "telemetry overhead", obs_overhead);
     ("serve", "campaign service warm pool", serve_throughput);
+    ("models", "fault-model overhead", model_overhead);
     ("gep", "ablation: gep folding", ablation_gep_folding);
     ("flags", "ablation: flag bits", ablation_flag_bits);
     ("xmm", "ablation: xmm pruning", ablation_xmm_pruning);

@@ -41,6 +41,36 @@ let category_conv =
   let print fmt c = Format.fprintf fmt "%s" (Core.Category.name c) in
   Arg.conv (parse, print)
 
+let model_conv =
+  let parse s =
+    match Core.Fault_model.of_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown fault model %S (try: bitflip, multi_bit:N, stuck_at_0, \
+              stuck_at_1, skip, load_value)"
+             s))
+  in
+  let print fmt m = Format.fprintf fmt "%s" (Core.Fault_model.name m) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Core.Fault_model.Bitflip
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Fault model applied at each planned injection target: \
+           $(b,bitflip) (the default, the paper's model), $(b,multi_bit:N) \
+           (N bit flips drawn with replacement), $(b,stuck_at_0) / \
+           $(b,stuck_at_1) (force one drawn bit), $(b,skip) (suppress the \
+           targeted instruction's destination write), or $(b,load_value) \
+           (replace the whole destination value).  Results are \
+           deterministic per model and byte-identical for every \
+           $(b,--jobs) value.")
+
 let workload_opt_arg =
   Arg.(
     value
@@ -102,11 +132,13 @@ let trials_arg default =
     & info [ "n"; "trials" ] ~docv:"N"
         ~doc:"Fault injections per benchmark x tool x category cell.")
 
-let config_of ?(no_snapshot = false) ?(no_compile = false) ~trials ~seed () =
+let config_of ?(no_snapshot = false) ?(no_compile = false)
+    ?(model = Core.Fault_model.Bitflip) ~trials ~seed () =
   {
     Core.Campaign.default_config with
     trials;
     seed;
+    model;
     snapshot = not no_snapshot;
     compile = not no_compile;
   }
@@ -373,12 +405,12 @@ let profile_cmd =
 (* --- inject --- *)
 
 let inject_cmd =
-  let run (w : Core.Workload.t) tool category trials seed functions jobs
+  let run (w : Core.Workload.t) tool category model trials seed functions jobs
       journal resume no_snapshot no_compile obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
-    let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
+    let config = config_of ~no_snapshot ~no_compile ~model ~trials ~seed () in
     let config =
       match functions with
       | [] -> config
@@ -400,6 +432,7 @@ let inject_cmd =
           ("workload", Obs.Json.Str w.name);
           ("tool", Obs.Json.Str (Core.Campaign.tool_name tool));
           ("category", Obs.Json.Str (Core.Category.name category));
+          ("model", Obs.Json.Str (Core.Fault_model.name model));
           ("seed", Obs.Json.Int seed);
           ("trials", Obs.Json.Int trials);
           ("jobs", Obs.Json.Int (resolve_jobs jobs));
@@ -461,9 +494,10 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"Run one fault-injection cell and print the tally.")
     Term.(
       ret
-        (const run $ workload_arg $ tool_arg $ cat_arg $ trials_arg 200
-       $ seed_arg $ functions_arg $ jobs_arg $ journal_arg $ resume_arg
-       $ no_snapshot_arg $ no_compile_arg $ obs_term ~manifest_default:None))
+        (const run $ workload_arg $ tool_arg $ cat_arg $ model_arg
+       $ trials_arg 200 $ seed_arg $ functions_arg $ jobs_arg $ journal_arg
+       $ resume_arg $ no_snapshot_arg $ no_compile_arg
+       $ obs_term ~manifest_default:None))
 
 (* --- propagate --- *)
 
@@ -613,13 +647,13 @@ let records_arg =
            for every $(b,--jobs) value.")
 
 let campaign_cmd =
-  let run trials seed csv_file workload_filter jobs journal resume records
-      no_snapshot no_compile obs =
+  let run model trials seed csv_file workload_filter jobs journal resume
+      records no_snapshot no_compile obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
     let jobs = resolve_jobs jobs in
-    let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
+    let config = config_of ~no_snapshot ~no_compile ~model ~trials ~seed () in
     let workloads =
       match workload_filter with
       | [] -> Workloads.all
@@ -630,6 +664,7 @@ let campaign_cmd =
         [
           ("seed", Obs.Json.Int seed);
           ("trials", Obs.Json.Int trials);
+          ("model", Obs.Json.Str (Core.Fault_model.name model));
           ("jobs", Obs.Json.Int jobs);
           ("snapshot", Obs.Json.Bool (not no_snapshot));
           ("compile", Obs.Json.Bool (not no_compile));
@@ -707,15 +742,16 @@ let campaign_cmd =
           domain pool; output is byte-identical to a sequential run.")
     Term.(
       ret
-        (const run $ trials_arg 200 $ seed_arg $ csv_arg $ filter_arg
-       $ jobs_arg $ journal_arg $ resume_arg $ records_arg $ no_snapshot_arg
-       $ no_compile_arg $ obs_term ~manifest_default:(Some "fi-manifest.json")))
+        (const run $ model_arg $ trials_arg 200 $ seed_arg $ csv_arg
+       $ filter_arg $ jobs_arg $ journal_arg $ resume_arg $ records_arg
+       $ no_snapshot_arg $ no_compile_arg
+       $ obs_term ~manifest_default:(Some "fi-manifest.json")))
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
-  let run workload_filter tools categories trials seed from records csv_file
-      jobs no_snapshot no_compile obs =
+  let run workload_filter tools categories model trials seed from records
+      csv_file jobs no_snapshot no_compile obs =
     match from with
     | Some path -> (
       (* Consume an existing record file instead of running anything. *)
@@ -725,7 +761,7 @@ let diagnose_cmd =
         print_string (Diagnose.Summary.render rs);
         `Ok 0)
     | None ->
-      let config = config_of ~no_snapshot ~no_compile ~trials ~seed () in
+      let config = config_of ~no_snapshot ~no_compile ~model ~trials ~seed () in
       let workloads =
         match workload_filter with
         | [] -> Workloads.all
@@ -750,6 +786,7 @@ let diagnose_cmd =
           [
             ("seed", Obs.Json.Int seed);
             ("trials", Obs.Json.Int trials);
+            ("model", Obs.Json.Str (Core.Fault_model.name model));
             ("jobs", Obs.Json.Int (resolve_jobs jobs));
             ("snapshot", Obs.Json.Bool (not no_snapshot));
           ]
@@ -816,9 +853,10 @@ let diagnose_cmd =
           crash-rate gap to those cause classes.")
     Term.(
       ret
-        (const run $ filter_arg $ tools_arg $ cats_arg $ trials_arg 200
-       $ seed_arg $ from_arg $ records_arg $ csv_arg $ jobs_arg
-       $ no_snapshot_arg $ no_compile_arg $ obs_term ~manifest_default:None))
+        (const run $ filter_arg $ tools_arg $ cats_arg $ model_arg
+       $ trials_arg 200 $ seed_arg $ from_arg $ records_arg $ csv_arg
+       $ jobs_arg $ no_snapshot_arg $ no_compile_arg
+       $ obs_term ~manifest_default:None))
 
 (* --- exhaust --- *)
 
@@ -848,8 +886,8 @@ let exhaust_cmd =
       Fmt.pr "@."
     end
   in
-  let run workload_filter tools categories prune sample_bound seed trials
-      inputs csv_file jobs journal resume obs =
+  let run workload_filter tools categories model prune sample_bound seed
+      trials inputs csv_file jobs journal resume obs =
     match check_engine_flags ~journal ~resume with
     | `Error _ as e -> e
     | `Ok () ->
@@ -885,11 +923,12 @@ let exhaust_cmd =
     let config =
       { Exhaust.prune = (prune = `All); sample_bound; seed }
     in
-    let campaign_config = config_of ~trials:(max trials 1) ~seed () in
+    let campaign_config = config_of ~model ~trials:(max trials 1) ~seed () in
     let ctx =
       manifest_ctx obs
         [
           ("seed", Obs.Json.Int seed);
+          ("model", Obs.Json.Str (Core.Fault_model.name model));
           ("prune", Obs.Json.Bool config.Exhaust.prune);
           ("sample_bound", Obs.Json.Int sample_bound);
           ("jobs", Obs.Json.Int jobs);
@@ -1022,14 +1061,14 @@ let exhaust_cmd =
           $(b,--jobs) value.")
     Term.(
       ret
-        (const run $ filter_arg $ tools_arg $ cats_arg $ prune_arg
-       $ bound_arg $ seed_arg $ trials_arg $ inputs_arg $ csv_arg $ jobs_arg
-       $ journal_arg $ resume_arg $ obs_term ~manifest_default:None))
+        (const run $ filter_arg $ tools_arg $ cats_arg $ model_arg
+       $ prune_arg $ bound_arg $ seed_arg $ trials_arg $ inputs_arg $ csv_arg
+       $ jobs_arg $ journal_arg $ resume_arg $ obs_term ~manifest_default:None))
 
 (* --- fuzz --- *)
 
 let fuzz_cmd =
-  let run seed count coverage trials jobs workload_filter mutate corpus
+  let run seed count coverage trials jobs workload_filter models mutate corpus
       max_repros obs =
     let mutate =
       match mutate with
@@ -1063,8 +1102,8 @@ let fuzz_cmd =
         in
         let report =
           ctx.in_section "coverage" @@ fun () ->
-          Fuzz.Coverage.measure ~jobs:(resolve_jobs jobs) ~workloads ~trials
-            ~seed ()
+          Fuzz.Coverage.measure ~jobs:(resolve_jobs jobs) ~workloads ~models
+            ~trials ~seed ()
         in
         print_string (Fuzz.Coverage.render report);
         finish ctx obs;
@@ -1130,6 +1169,15 @@ let fuzz_cmd =
       & info [ "w"; "workload" ] ~docv:"NAME"
           ~doc:"Restrict $(b,--coverage) to the named workloads (repeatable).")
   in
+  let models_arg =
+    Arg.(
+      value & opt_all model_conv []
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Fault model for $(b,--coverage) (repeatable; default: \
+             bitflip).  With several models the report covers the \
+             (site, bit, model) fault space.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -1142,8 +1190,8 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_arg $ count_arg $ coverage_arg $ trials_arg 200
-       $ jobs_arg $ filter_arg $ mutate_arg $ corpus_arg $ max_repros_arg
-       $ obs_term ~manifest_default:None))
+       $ jobs_arg $ filter_arg $ models_arg $ mutate_arg $ corpus_arg
+       $ max_repros_arg $ obs_term ~manifest_default:None))
 
 (* --- serve / submit / shutdown / loadgen: the campaign service --- *)
 
@@ -1306,13 +1354,15 @@ let serve_cats_arg =
         ~doc:"Instruction category (repeatable; default: all five).")
 
 let submit_cmd =
-  let run workload socket tools categories trials seed csv_file out quiet obs =
+  let run workload socket tools categories model trials seed csv_file out
+      quiet obs =
     let job =
       {
         Serve.Wire.j_workload = workload;
         j_tools = tools_of tools;
         j_categories =
           (match categories with [] -> Core.Category.all | l -> l);
+        j_model = model;
         j_trials = trials;
         j_seed = seed;
         j_out = out;
@@ -1323,6 +1373,7 @@ let submit_cmd =
         [
           ("socket", Obs.Json.Str socket);
           ("workload", Obs.Json.Str workload);
+          ("model", Obs.Json.Str (Core.Fault_model.name model));
           ("seed", Obs.Json.Int seed);
           ("trials", Obs.Json.Int trials);
         ]
@@ -1394,8 +1445,8 @@ let submit_cmd =
     Term.(
       ret
         (const run $ workload_name_arg $ socket_arg $ serve_tools_arg
-       $ serve_cats_arg $ trials_arg 200 $ seed_arg $ csv_arg $ out_arg
-       $ quiet_arg $ obs_term ~manifest_default:None))
+       $ serve_cats_arg $ model_arg $ trials_arg 200 $ seed_arg $ csv_arg
+       $ out_arg $ quiet_arg $ obs_term ~manifest_default:None))
 
 let shutdown_cmd =
   let run socket immediate =
@@ -1429,12 +1480,14 @@ let shutdown_cmd =
     Term.(ret (const run $ socket_arg $ now_arg))
 
 let loadgen_cmd =
-  let run socket jobs concurrency workload trials seed vary_seed json_file =
+  let run socket jobs concurrency workload model trials seed vary_seed
+      json_file =
     let job_of i =
       {
         Serve.Wire.j_workload = workload;
         j_tools = tools_of [];
         j_categories = Core.Category.all;
+        j_model = model;
         j_trials = trials;
         j_seed = (if vary_seed then seed + i else seed);
         j_out = None;
@@ -1510,8 +1563,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ socket_arg $ jobs_arg $ concurrency_arg
-       $ workload_name_arg $ trials_arg 20 $ seed_arg $ vary_seed_arg
-       $ json_arg))
+       $ workload_name_arg $ model_arg $ trials_arg 20 $ seed_arg
+       $ vary_seed_arg $ json_arg))
 
 let main_cmd =
   let doc =

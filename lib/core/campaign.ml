@@ -17,6 +17,7 @@ let tool_of_name = function
 type config = {
   trials : int;
   seed : int;
+  model : Fault_model.t;  (* corruption applied at each trial's target *)
   llfi : Llfi.config;
   pinfi : Pinfi.config;
   backend : Backend.config;
@@ -28,6 +29,7 @@ let default_config =
   {
     trials = 200;
     seed = 2014;  (* the year the paper appeared, for luck *)
+    model = Fault_model.Bitflip;
     llfi = Llfi.default_config;
     pinfi = Pinfi.default_config;
     backend = Backend.default_config;
@@ -50,6 +52,7 @@ type cell = {
   c_workload : string;
   c_tool : tool;
   c_category : Category.t;
+  c_model : Fault_model.t;
   c_population : int;  (* dynamic instances profiled in this category *)
   c_tally : Verdict.tally;
 }
@@ -65,9 +68,15 @@ let fnv1a s =
   !h
 
 let cell_rng config ~workload ~tool ~category =
+  (* The model suffix is omitted for the default so every pre-existing
+     bitflip stream — and with it every golden CSV — stays
+     byte-identical. *)
   let key =
-    Printf.sprintf "%d/%s/%s/%s" config.seed workload (tool_name tool)
+    Printf.sprintf "%d/%s/%s/%s%s" config.seed workload (tool_name tool)
       (Category.name category)
+      (match config.model with
+      | Fault_model.Bitflip -> ""
+      | m -> "/" ^ Fault_model.name m)
   in
   Support.Rng.create (fnv1a key)
 
@@ -181,17 +190,18 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
     ?(track_use = false) config (p : prepared) tool category ~first ~count =
   if first < 0 || count < 0 then
     invalid_arg "Campaign.run_cell_range: negative trial range";
+  let model = config.model in
   let population, golden, inject, plan =
     match tool with
     | Llfi_tool ->
       ( Llfi.dynamic_count p.llfi category,
         p.llfi.Llfi.golden_output,
-        (fun rng -> Llfi.inject ~track_use p.llfi category rng),
+        (fun rng -> Llfi.inject ~track_use ~model p.llfi category rng),
         fun rng -> Llfi.plan_target p.llfi category rng )
     | Pinfi_tool ->
       ( Pinfi.dynamic_count p.pinfi category,
         p.pinfi.Pinfi.golden_output,
-        (fun rng -> Pinfi.inject ~track_use p.pinfi category rng),
+        (fun rng -> Pinfi.inject ~track_use ~model p.pinfi category rng),
         fun rng -> Pinfi.plan_target p.pinfi category rng )
   in
   let tally = Verdict.fresh_tally () in
@@ -218,8 +228,10 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
       in
       let inject_at =
         match r.r_impl with
-        | Lrun lr -> fun ~target rng -> Llfi.inject_at ~track_use lr ~target rng
-        | Prun pr -> fun ~target rng -> Pinfi.inject_at ~track_use pr ~target rng
+        | Lrun lr ->
+          fun ~target rng -> Llfi.inject_at ~track_use ~model lr ~target rng
+        | Prun pr ->
+          fun ~target rng -> Pinfi.inject_at ~track_use ~model pr ~target rng
       in
       let rngs, targets, order =
         Obs.Trace.span "plan-targets" @@ fun () ->
@@ -259,6 +271,7 @@ let run_cell_range ?runner:(r0 : runner option) ?on_trial ?on_stats
     c_workload = p.workload.Workload.name;
     c_tool = tool;
     c_category = category;
+    c_model = config.model;
     c_population = population;
     c_tally = tally;
   }
@@ -306,10 +319,10 @@ let enumerate (p : prepared) tool category =
   | Llfi_tool -> Llfi.enumerate p.llfi category
   | Pinfi_tool -> Pinfi.enumerate p.pinfi category
 
-let inject_bit r ~target ~bit =
+let inject_bit ?model r ~target ~bit =
   match r.r_impl with
-  | Lrun lr -> Llfi.inject_bit lr ~target ~bit
-  | Prun pr -> Pinfi.inject_bit pr ~target ~bit
+  | Lrun lr -> Llfi.inject_bit ?model lr ~target ~bit
+  | Prun pr -> Pinfi.inject_bit ?model pr ~target ~bit
 
 (* An exact (exhaustive or pruned-exhaustive) cell.  The tally is in
    weight units: the sampler draws an instance uniformly and then a bit
@@ -322,6 +335,7 @@ type exact_cell = {
   e_workload : string;
   e_tool : tool;
   e_category : Category.t;
+  e_model : Fault_model.t;
   e_population : int;  (* dynamic instances *)
   e_enumerated : int;  (* individual (instance, bit) faults *)
   e_pruned_dead : int;  (* faults settled by the dead-destination rule *)
@@ -354,21 +368,31 @@ let find_exact cells ~workload ~tool ~category =
       && e.e_category = category)
     cells
 
+(* The model column only appears when some cell used a non-default
+   model, so default campaigns keep producing the seed's exact bytes
+   (golden CSVs, diff-based tooling). *)
+let models_column model_of cells =
+  List.exists (fun c -> model_of c <> Fault_model.Bitflip) cells
+
 let exact_to_csv cells =
+  let with_model = models_column (fun e -> e.e_model) cells in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "workload,tool,category,population,enumerated,pruned_dead,pruned_masked,\
-     pruned_equiv,executed,weight_unit,activated_w,benign_w,sdc_w,crash_w,\
-     hang_w,not_activated_w,benign_rate,sdc_rate,crash_rate,hang_rate,\
-     error_bound\n";
+    (Printf.sprintf
+       "workload,tool,category,%spopulation,enumerated,pruned_dead,\
+        pruned_masked,pruned_equiv,executed,weight_unit,activated_w,benign_w,\
+        sdc_w,crash_w,hang_w,not_activated_w,benign_rate,sdc_rate,crash_rate,\
+        hang_rate,error_bound\n"
+       (if with_model then "model," else ""));
   List.iter
     (fun e ->
       let t = e.e_tally in
       Buffer.add_string buf
         (Printf.sprintf
-           "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.9f,%.9f,%.9f,%.9f,%.9f\n"
+           "%s,%s,%s,%s%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.9f,%.9f,%.9f,%.9f,%.9f\n"
            e.e_workload (tool_name e.e_tool)
            (Category.name e.e_category)
+           (if with_model then Fault_model.name e.e_model ^ "," else "")
            e.e_population e.e_enumerated e.e_pruned_dead e.e_pruned_masked
            e.e_pruned_equiv e.e_executed e.e_unit (Verdict.activated t)
            t.Verdict.benign t.Verdict.sdc t.Verdict.crash t.Verdict.hang
@@ -387,18 +411,23 @@ let find cells ~workload ~tool ~category =
       && c.c_category = category)
     cells
 
-(* CSV export for offline analysis. *)
+(* CSV export for offline analysis.  As [exact_to_csv], the model
+   column only appears for non-default campaigns. *)
 let to_csv cells =
+  let with_model = models_column (fun c -> c.c_model) cells in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "workload,tool,category,population,trials,activated,benign,sdc,crash,hang,not_activated,not_injected\n";
+    (Printf.sprintf
+       "workload,tool,category,%spopulation,trials,activated,benign,sdc,crash,hang,not_activated,not_injected\n"
+       (if with_model then "model," else ""));
   List.iter
     (fun c ->
       let t = c.c_tally in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" c.c_workload
+        (Printf.sprintf "%s,%s,%s,%s%d,%d,%d,%d,%d,%d,%d,%d,%d\n" c.c_workload
            (tool_name c.c_tool)
            (Category.name c.c_category)
+           (if with_model then Fault_model.name c.c_model ^ "," else "")
            c.c_population t.Verdict.trials (Verdict.activated t)
            t.Verdict.benign t.Verdict.sdc t.Verdict.crash t.Verdict.hang
            t.Verdict.not_activated t.Verdict.not_injected))

@@ -15,6 +15,12 @@ val tool_of_name : string -> tool option
 type config = {
   trials : int;
   seed : int;
+  model : Fault_model.t;
+      (** the corruption applied at each trial's planned target (default
+          {!Fault_model.Bitflip}, the paper's single-bit flip).  A
+          non-default model keys distinct per-cell RNG streams and adds
+          a [model] column to the CSV; the default keeps both
+          byte-identical to a pre-model-axis campaign. *)
   llfi : Llfi.config;
   pinfi : Pinfi.config;
   backend : Backend.config;
@@ -51,12 +57,16 @@ type cell = {
   c_workload : string;
   c_tool : tool;
   c_category : Category.t;
+  c_model : Fault_model.t;
   c_population : int;
   c_tally : Verdict.tally;
 }
 
 val cell_rng : config -> workload:string -> tool:tool -> category:Category.t -> Support.Rng.t
-(** The deterministic per-cell random stream. *)
+(** The deterministic per-cell random stream.  Keyed by seed, workload,
+    tool, category — and [config.model] when it is not the default, so
+    each model's campaign is an independent experiment while default
+    streams stay byte-identical to the pre-model-axis ones. *)
 
 val target_draw : int
 (** The index of the injection-target draw within a trial's RNG stream:
@@ -143,6 +153,9 @@ val run_all :
 val find : cell list -> workload:string -> tool:tool -> category:Category.t -> cell option
 
 val to_csv : cell list -> string
+(** One row per cell.  When every cell used the default model the
+    columns are exactly the historical ones; any non-default cell adds
+    a [model] column after [category]. *)
 
 (** {1 Exhaustive campaigns (lib/exhaust)}
 
@@ -162,14 +175,19 @@ val golden_output : prepared -> tool -> string
 val enumerate : prepared -> tool -> Category.t -> Vm.Fault_space.instance array
 (** The exhaustive pre-pass ({!Llfi.enumerate} / {!Pinfi.enumerate}). *)
 
-val inject_bit : runner -> target:int -> bit:int -> Vm.Outcome.stats
-(** Deterministic replay of one (instance, bit) fault; consumes no
-    randomness ({!Llfi.inject_bit} / {!Pinfi.inject_bit}). *)
+val inject_bit :
+  ?model:Fault_model.t -> runner -> target:int -> bit:int -> Vm.Outcome.stats
+(** Deterministic replay of one (instance, bit) fault under [model]
+    (default {!Fault_model.Bitflip}); consumes no randomness
+    ({!Llfi.inject_bit} / {!Pinfi.inject_bit}). *)
 
 type exact_cell = {
   e_workload : string;
   e_tool : tool;
   e_category : Category.t;
+  e_model : Fault_model.t;
+      (** the replayed model ({!Fault_model.Bitflip}, a stuck-at model
+          or {!Fault_model.Skip} — the enumerable ones) *)
   e_population : int;  (** dynamic instances *)
   e_enumerated : int;  (** individual (instance, bit) faults *)
   e_pruned_dead : int;  (** settled by the dead-destination rule *)

@@ -125,14 +125,15 @@ let draw_target t category rng =
   Support.Rng.int rng population
 
 (** One fault-injection run: pick a dynamic instance uniformly from the
-    category's population, flip one bit of its destination. *)
-let inject ?(track_use = false) t category (rng : Support.Rng.t) =
+    category's population, corrupt its destination under [model]. *)
+let inject ?(track_use = false) ?(model = Fault_model.Bitflip) t category
+    (rng : Support.Rng.t) =
   let target = draw_target t category rng in
   let plan =
     { Vm.Ir_exec.inj_mask = Category.mask category; target; rng }
   in
-  Vm.Ir_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
-    ?fast:t.fast t.compiled
+  Vm.Ir_exec.run ~plan ~model ~inputs:t.inputs ~max_steps:t.max_steps
+    ~track_use ?fast:t.fast t.compiled
 
 let plan_target = draw_target
 
@@ -152,8 +153,10 @@ let runner ?rejoin t category =
         ~inj_mask:(Category.mask category) ();
   }
 
-let inject_at ?(track_use = false) r ~target rng =
-  Vm.Ir_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps ~rng
+let inject_at ?(track_use = false) ?(model = Fault_model.Bitflip) r ~target rng
+    =
+  Vm.Ir_exec.ff_trial ~track_use ~model r.r_ff ~target
+    ~max_steps:r.r_t.max_steps ~rng
 
 (* --- exhaustive campaigns (lib/exhaust) --- *)
 
@@ -161,9 +164,10 @@ let enumerate t category =
   Vm.Ir_exec.enumerate ?fast:t.fast t.compiled ~inputs:t.inputs
     ~inj_mask:(Category.mask category) ~max_steps:t.max_steps
 
-let inject_bit ?(track_use = false) r ~target ~bit =
+let inject_bit ?(track_use = false) ?(model = Fault_model.Bitflip) r ~target
+    ~bit =
   (* With [forced_bit] set, the trial draws nothing from its rng: the
      target is supplied and the bit is pinned, so a constant dummy
-     stream keeps the result a pure function of (target, bit). *)
-  Vm.Ir_exec.ff_trial ~track_use ~forced_bit:bit r.r_ff ~target
+     stream keeps the result a pure function of (target, bit, model). *)
+  Vm.Ir_exec.ff_trial ~track_use ~forced_bit:bit ~model r.r_ff ~target
     ~max_steps:r.r_t.max_steps ~rng:(Support.Rng.create 0L)

@@ -49,11 +49,18 @@ val prepare : ?config:config -> ?compile:bool -> inputs:int array -> Ir.Prog.t -
 val dynamic_count : t -> Category.t -> int
 
 val inject :
-  ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
-(** One single-bit-flip injection run into the category.  [track_use]
-    additionally classifies the corrupted value's first consumer
-    (see {!Vm.Ir_exec.run}); it draws nothing from the RNG, so results
-    are bit-identical with it on or off.
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  t ->
+  Category.t ->
+  Support.Rng.t ->
+  Vm.Outcome.stats
+(** One injection run into the category.  [track_use] additionally
+    classifies the corrupted value's first consumer (see
+    {!Vm.Ir_exec.run}); it draws nothing from the RNG, so results are
+    bit-identical with it on or off.  [model] (default
+    {!Fault_model.Bitflip}, the paper's single-bit flip) selects the
+    corruption applied at the chosen instance.
     @raise Invalid_argument on empty categories. *)
 
 (** {1 Planned execution (snapshot/fast-forward path)} *)
@@ -79,10 +86,15 @@ val record_rejoin : t -> Vm.Rejoin.t option
 val runner : ?rejoin:Vm.Rejoin.t -> t -> Category.t -> runner
 
 val inject_at :
-  ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  runner ->
+  target:int ->
+  Support.Rng.t ->
+  Vm.Outcome.stats
 (** Run one injection at a planned [target], resuming from the runner's
     rolling snapshot.  Stats are bit-identical to the {!inject} the rng
-    came from. *)
+    came from (same [model] on both sides). *)
 
 (** {1 Exhaustive campaigns (lib/exhaust)} *)
 
@@ -92,7 +104,14 @@ val enumerate : t -> Category.t -> Vm.Fault_space.instance array
     prunes from (see {!Vm.Ir_exec.enumerate}). *)
 
 val inject_bit :
-  ?track_use:bool -> runner -> target:int -> bit:int -> Vm.Outcome.stats
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  runner ->
+  target:int ->
+  bit:int ->
+  Vm.Outcome.stats
 (** Deterministic single-fault replay: inject into instance [target]
-    with the flipped bit pinned to [bit].  Consumes no randomness —
-    the result is a pure function of (target, bit). *)
+    with the faulted bit pinned to [bit], under [model] (exhaustive
+    campaigns pass {!Fault_model.Bitflip}, the stuck-at models or
+    {!Fault_model.Skip}).  Consumes no randomness — the result is a
+    pure function of (target, bit, model). *)

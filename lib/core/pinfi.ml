@@ -121,7 +121,8 @@ let draw_target t category rng =
   if population = 0 then invalid_arg "Pinfi.inject: empty category";
   Support.Rng.int rng population
 
-let inject ?(track_use = false) t category (rng : Support.Rng.t) =
+let inject ?(track_use = false) ?(model = Fault_model.Bitflip) t category
+    (rng : Support.Rng.t) =
   let target = draw_target t category rng in
   let plan =
     {
@@ -131,8 +132,8 @@ let inject ?(track_use = false) t category (rng : Support.Rng.t) =
       policy = t.config.policy;
     }
   in
-  Vm.X86_exec.run ~plan ~inputs:t.inputs ~max_steps:t.max_steps ~track_use
-    ?fast:t.fast t.loaded
+  Vm.X86_exec.run ~plan ~model ~inputs:t.inputs ~max_steps:t.max_steps
+    ~track_use ?fast:t.fast t.loaded
 
 let plan_target = draw_target
 
@@ -152,9 +153,10 @@ let runner ?rejoin t category =
         ?fast:t.fast ~inputs:t.inputs ~inj_mask:(Category.mask category) ();
   }
 
-let inject_at ?(track_use = false) r ~target rng =
-  Vm.X86_exec.ff_trial ~track_use r.r_ff ~target ~max_steps:r.r_t.max_steps
-    ~rng
+let inject_at ?(track_use = false) ?(model = Fault_model.Bitflip) r ~target rng
+    =
+  Vm.X86_exec.ff_trial ~track_use ~model r.r_ff ~target
+    ~max_steps:r.r_t.max_steps ~rng
 
 (* --- exhaustive campaigns (lib/exhaust) --- *)
 
@@ -162,10 +164,11 @@ let enumerate t category =
   Vm.X86_exec.enumerate ~policy:t.config.policy ?fast:t.fast ~inputs:t.inputs
     ~inj_mask:(Category.mask category) ~max_steps:t.max_steps t.loaded
 
-let inject_bit ?(track_use = false) r ~target ~bit =
+let inject_bit ?(track_use = false) ?(model = Fault_model.Bitflip) r ~target
+    ~bit =
   (* As [Llfi.inject_bit]: forced-bit trials draw nothing from the rng,
      so a constant dummy stream keeps results a pure function of
-     (target, bit).  For a flags destination [bit] indexes the
+     (target, bit, model).  For a flags destination [bit] indexes the
      candidate bit list, matching the enumerated instance width. *)
-  Vm.X86_exec.ff_trial ~track_use ~forced_bit:bit r.r_ff ~target
+  Vm.X86_exec.ff_trial ~track_use ~forced_bit:bit ~model r.r_ff ~target
     ~max_steps:r.r_t.max_steps ~rng:(Support.Rng.create 0L)

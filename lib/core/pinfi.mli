@@ -41,9 +41,16 @@ val prepare :
 
 val dynamic_count : t -> Category.t -> int
 val inject :
-  ?track_use:bool -> t -> Category.t -> Support.Rng.t -> Vm.Outcome.stats
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  t ->
+  Category.t ->
+  Support.Rng.t ->
+  Vm.Outcome.stats
 (** As {!Llfi.inject}: [track_use] classifies the corrupted register's
-    first consumer without consuming randomness. *)
+    first consumer without consuming randomness; [model] selects the
+    corruption applied at the chosen instance (default
+    {!Fault_model.Bitflip}). *)
 
 (** {1 Planned execution (snapshot/fast-forward path)}
 
@@ -60,7 +67,12 @@ val record_rejoin : t -> Vm.Rejoin.t option
 val runner : ?rejoin:Vm.Rejoin.t -> t -> Category.t -> runner
 
 val inject_at :
-  ?track_use:bool -> runner -> target:int -> Support.Rng.t -> Vm.Outcome.stats
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  runner ->
+  target:int ->
+  Support.Rng.t ->
+  Vm.Outcome.stats
 
 (** {1 Exhaustive campaigns (lib/exhaust)}
 
@@ -72,4 +84,9 @@ val inject_at :
 val enumerate : t -> Category.t -> Vm.Fault_space.instance array
 
 val inject_bit :
-  ?track_use:bool -> runner -> target:int -> bit:int -> Vm.Outcome.stats
+  ?track_use:bool ->
+  ?model:Fault_model.t ->
+  runner ->
+  target:int ->
+  bit:int ->
+  Vm.Outcome.stats

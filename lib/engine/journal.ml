@@ -10,9 +10,17 @@ let grid ~workloads ~tools ~categories =
       String.concat "," (List.map Core.Category.name categories);
     ]
 
+(* The model token only appears for non-default campaigns, so default
+   journals keep the exact header bytes older runs wrote (and a resumed
+   default journal validates against either side of this change). *)
+let model_token (model : Core.Fault_model.t) =
+  match model with
+  | Core.Fault_model.Bitflip -> ""
+  | m -> " model=" ^ Core.Fault_model.name m
+
 let header ~grid:g (config : Core.Campaign.config) =
-  Printf.sprintf "# fi-journal v2 seed=%d trials=%d grid=%s" config.seed
-    config.trials g
+  Printf.sprintf "# fi-journal v2 seed=%d trials=%d%s grid=%s" config.seed
+    config.trials (model_token config.model) g
 
 let cell_line (c : Core.Campaign.cell) =
   let t = c.c_tally in
@@ -22,7 +30,9 @@ let cell_line (c : Core.Campaign.cell) =
     c.c_population t.Core.Verdict.trials t.benign t.sdc t.crash t.hang
     t.not_activated t.not_injected
 
-let parse_cell line =
+(* Cell lines don't repeat the model: the header fixes it for the whole
+   journal, so the loader passes it in. *)
+let parse_cell ?(model = Core.Fault_model.Bitflip) line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "cell"; workload; tool; category; population; trials; benign; sdc;
       crash; hang; not_activated; not_injected ] -> (
@@ -41,6 +51,7 @@ let parse_cell line =
           Core.Campaign.c_workload = workload;
           c_tool = tool;
           c_category = category;
+          c_model = model;
           c_population = population;
           c_tally =
             {
@@ -115,11 +126,13 @@ let record_line t line =
   end;
   Mutex.unlock t.mutex
 
-let load ~path ~grid config =
-  load_gen ~path ~expect:(header ~grid config) ~parse:parse_cell
+let load ~path ~grid (config : Core.Campaign.config) =
+  load_gen ~path ~expect:(header ~grid config)
+    ~parse:(parse_cell ~model:config.model)
 
-let start ~path ~resume ~grid config =
-  start_gen ~path ~resume ~expect:(header ~grid config) ~parse:parse_cell
+let start ~path ~resume ~grid (config : Core.Campaign.config) =
+  start_gen ~path ~resume ~expect:(header ~grid config)
+    ~parse:(parse_cell ~model:config.model)
 
 let record t cell = record_line t (cell_line cell)
 
@@ -133,9 +146,10 @@ let close t =
 
 (* --- exhaust journals --- *)
 
-let xheader ~grid:g ~seed ~prune ~sample_bound =
-  Printf.sprintf "# fi-exhaust-journal v1 seed=%d prune=%b bound=%d grid=%s"
-    seed prune sample_bound g
+let xheader ?(model = Core.Fault_model.Bitflip) ~grid:g ~seed ~prune
+    ~sample_bound () =
+  Printf.sprintf "# fi-exhaust-journal v1 seed=%d prune=%b bound=%d%s grid=%s"
+    seed prune sample_bound (model_token model) g
 
 let xcell_line (e : Core.Campaign.exact_cell) =
   let t = e.e_tally in
@@ -147,7 +161,7 @@ let xcell_line (e : Core.Campaign.exact_cell) =
     e.e_pruned_equiv e.e_executed e.e_unit t.Core.Verdict.trials t.benign
     t.sdc t.crash t.hang t.not_activated t.not_injected e.e_bound
 
-let parse_xcell line =
+let parse_xcell ?(model = Core.Fault_model.Bitflip) line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "xcell"; workload; tool; category; population; enumerated; pruned_dead;
       pruned_masked; pruned_equiv; executed; unit_; trials; benign; sdc;
@@ -172,6 +186,7 @@ let parse_xcell line =
           Core.Campaign.e_workload = workload;
           e_tool = tool;
           e_category = category;
+          e_model = model;
           e_population = population;
           e_enumerated = enumerated;
           e_pruned_dead = pruned_dead;
@@ -194,14 +209,16 @@ let parse_xcell line =
     | _ -> None)
   | _ -> None
 
-let xload ~path ~grid ~seed ~prune ~sample_bound =
+let xload ?(model = Core.Fault_model.Bitflip) ~path ~grid ~seed ~prune
+    ~sample_bound () =
   load_gen ~path
-    ~expect:(xheader ~grid ~seed ~prune ~sample_bound)
-    ~parse:parse_xcell
+    ~expect:(xheader ~model ~grid ~seed ~prune ~sample_bound ())
+    ~parse:(parse_xcell ~model)
 
-let xstart ~path ~resume ~grid ~seed ~prune ~sample_bound =
+let xstart ?(model = Core.Fault_model.Bitflip) ~path ~resume ~grid ~seed
+    ~prune ~sample_bound () =
   start_gen ~path ~resume
-    ~expect:(xheader ~grid ~seed ~prune ~sample_bound)
-    ~parse:parse_xcell
+    ~expect:(xheader ~model ~grid ~seed ~prune ~sample_bound ())
+    ~parse:(parse_xcell ~model)
 
 let xrecord t e = record_line t (xcell_line e)

@@ -49,7 +49,12 @@ val load :
 (** Parse a journal file; validates the header like {!start}. *)
 
 val cell_line : Core.Campaign.cell -> string
-val parse_cell : string -> Core.Campaign.cell option
+
+val parse_cell :
+  ?model:Core.Fault_model.t -> string -> Core.Campaign.cell option
+(** Cell lines don't repeat the campaign's fault model — the header
+    fixes it (a [model=...] token, present only when non-default) — so
+    the loader threads it in; default {!Core.Fault_model.Bitflip}. *)
 
 (** {2 Exhaust journals}
 
@@ -61,18 +66,25 @@ val parse_cell : string -> Core.Campaign.cell option
     resumed cells reload bit-identically. *)
 
 val xstart :
+  ?model:Core.Fault_model.t ->
   path:string -> resume:bool -> grid:string ->
-  seed:int -> prune:bool -> sample_bound:int ->
+  seed:int -> prune:bool -> sample_bound:int -> unit ->
   t * Core.Campaign.exact_cell list
-(** As {!start}; [sample_bound] 0 means unbounded (fully exact).
+(** As {!start}; [sample_bound] 0 means unbounded (fully exact);
+    [model] (default {!Core.Fault_model.Bitflip}) is part of the header
+    binding, as {!start}.
     @raise Invalid_argument on a header mismatch, as {!start}. *)
 
 val xrecord : t -> Core.Campaign.exact_cell -> unit
 (** Append one completed exact cell and flush.  Thread-safe. *)
 
 val xload :
+  ?model:Core.Fault_model.t ->
   path:string -> grid:string -> seed:int -> prune:bool -> sample_bound:int ->
+  unit ->
   Core.Campaign.exact_cell list
 
 val xcell_line : Core.Campaign.exact_cell -> string
-val parse_xcell : string -> Core.Campaign.exact_cell option
+
+val parse_xcell :
+  ?model:Core.Fault_model.t -> string -> Core.Campaign.exact_cell option

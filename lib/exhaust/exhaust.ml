@@ -55,7 +55,7 @@ let dead_verdict = function
   | Core.Campaign.Llfi_tool -> Core.Verdict.Benign
   | Core.Campaign.Pinfi_tool -> Core.Verdict.Not_activated
 
-let fate tool (inst : Vm.Fault_space.instance) ~bit =
+let bitflip_fate tool (inst : Vm.Fault_space.instance) ~bit =
   if inst.Vm.Fault_space.reads = 0 then Settled (dead_verdict tool)
   else if Array.length inst.Vm.Fault_space.keys > 0 then
     (* Single-read funnel: the flipped value is consumed exactly once,
@@ -76,6 +76,51 @@ let fate tool (inst : Vm.Fault_space.instance) ~bit =
        counts as activated — and benign.) *)
     Settled Core.Verdict.Benign
 
+(* The exactly enumerable models: one fault per (instance, bit) — or
+   per instance for [Skip] — matching the sampler's draw.  [Multi_bit]
+   spans width^n bit tuples and [Load_value] the whole value range;
+   neither has a per-instance space an exact campaign can cover. *)
+let enumerable (model : Core.Fault_model.t) =
+  match model with
+  | Core.Fault_model.Bitflip | Core.Fault_model.Stuck_at_0
+  | Core.Fault_model.Stuck_at_1 | Core.Fault_model.Skip ->
+    true
+  | Core.Fault_model.Multi_bit _ | Core.Fault_model.Load_value -> false
+
+let require_enumerable ~who model =
+  if not (enumerable model) then
+    invalid_arg
+      (Printf.sprintf
+         "%s: fault model %s cannot be enumerated exactly (use a Monte-Carlo \
+          campaign)"
+         who (Core.Fault_model.name model))
+
+let fate ?(model = Core.Fault_model.Bitflip) tool
+    (inst : Vm.Fault_space.instance) ~bit =
+  require_enumerable ~who:"Exhaust.fate" model;
+  match model with
+  | Core.Fault_model.Skip ->
+    (* One fault per instance (no bit space): restoring an unread
+       destination provably changes nothing; anything else must run. *)
+    if inst.Vm.Fault_space.reads = 0 then Settled (dead_verdict tool)
+    else Execute
+  | Core.Fault_model.Stuck_at_0 | Core.Fault_model.Stuck_at_1 ->
+    let b = model = Core.Fault_model.Stuck_at_1 in
+    if inst.Vm.Fault_space.reads = 0 then Settled (dead_verdict tool)
+    else if Vm.Fault_space.gold_bit inst bit = b then
+      (* The stuck value equals the golden bit: the destination is
+         written unchanged, so the run is the golden run.  (Under PINFI
+         the register is still read, hence activated — and benign.) *)
+      Settled Core.Verdict.Benign
+    else
+      (* Forcing a bit against its golden value is exactly a flip of
+         that bit, so the bitflip rules (and the enumeration facts they
+         rest on) carry over unchanged. *)
+      bitflip_fate tool inst ~bit
+  | Core.Fault_model.Bitflip | Core.Fault_model.Multi_bit _
+  | Core.Fault_model.Load_value ->
+    bitflip_fate tool inst ~bit
+
 (* --- planning: classify the whole space without executing --- *)
 
 (* A surviving fault (target, bit) and its weight in the tally; weights
@@ -95,12 +140,29 @@ type plan = {
 
 (* Classifies every fault exactly as [fate] does (the QCheck soundness
    property replays what this settles); batch form so a whole instance
-   is dispatched at once. *)
-let plan_cell config tool (instances : Vm.Fault_space.instance array) =
+   is dispatched at once.
+
+   Per-model bit spaces: [Bitflip] and the stuck-at models draw one bit
+   per instance (space = width; a stuck bit that equals its golden
+   value joins the masked-bit bucket), [Skip] draws nothing (space = a
+   single fault per instance, so the weight unit is 1). *)
+let plan_cell ?(model = Core.Fault_model.Bitflip) config tool
+    (instances : Vm.Fault_space.instance array) =
+  require_enumerable ~who:"Exhaust.plan_cell" model;
+  let skip = model = Core.Fault_model.Skip in
+  let stuck =
+    match model with
+    | Core.Fault_model.Stuck_at_0 -> Some false
+    | Core.Fault_model.Stuck_at_1 -> Some true
+    | _ -> None
+  in
   let unit_ =
-    Array.fold_left
-      (fun acc (i : Vm.Fault_space.instance) -> lcm acc i.Vm.Fault_space.width)
-      1 instances
+    if skip then 1
+    else
+      Array.fold_left
+        (fun acc (i : Vm.Fault_space.instance) ->
+          lcm acc i.Vm.Fault_space.width)
+        1 instances
   in
   let tally = Core.Verdict.fresh_tally () in
   let dead = ref 0 and masked = ref 0 and equiv = ref 0 in
@@ -109,7 +171,7 @@ let plan_cell config tool (instances : Vm.Fault_space.instance array) =
   let dv = dead_verdict tool in
   Array.iteri
     (fun target (inst : Vm.Fault_space.instance) ->
-      let w = inst.Vm.Fault_space.width in
+      let w = if skip then 1 else inst.Vm.Fault_space.width in
       let wt = unit_ / w in
       enumerated := !enumerated + w;
       if not config.prune then
@@ -121,26 +183,33 @@ let plan_cell config tool (instances : Vm.Fault_space.instance array) =
         dead := !dead + w;
         Core.Verdict.add_n tally dv (w * wt)
       end
-      else if Array.length inst.Vm.Fault_space.keys > 0 then
-        for bit = 0 to w - 1 do
-          if inst.Vm.Fault_space.keys.(bit) = inst.Vm.Fault_space.gold_key
-          then begin
-            incr equiv;
-            Core.Verdict.add_n tally Core.Verdict.Benign wt
-          end
-          else
-            survivors := { x_target = target; x_bit = bit; x_weight = wt }
-              :: !survivors
-        done
+      else if skip then
+        survivors := { x_target = target; x_bit = 0; x_weight = wt }
+          :: !survivors
       else
         for bit = 0 to w - 1 do
-          if Vm.Fault_space.bit_live inst bit then
-            survivors := { x_target = target; x_bit = bit; x_weight = wt }
-              :: !survivors
-          else begin
+          match stuck with
+          | Some b when Vm.Fault_space.gold_bit inst bit = b ->
+            (* stuck value = golden bit: the write is unchanged *)
             incr masked;
             Core.Verdict.add_n tally Core.Verdict.Benign wt
-          end
+          | _ ->
+            if Array.length inst.Vm.Fault_space.keys > 0 then
+              if inst.Vm.Fault_space.keys.(bit) = inst.Vm.Fault_space.gold_key
+              then begin
+                incr equiv;
+                Core.Verdict.add_n tally Core.Verdict.Benign wt
+              end
+              else
+                survivors := { x_target = target; x_bit = bit; x_weight = wt }
+                  :: !survivors
+            else if Vm.Fault_space.bit_live inst bit then
+              survivors := { x_target = target; x_bit = bit; x_weight = wt }
+                :: !survivors
+            else begin
+              incr masked;
+              Core.Verdict.add_n tally Core.Verdict.Benign wt
+            end
         done)
     instances;
   {
@@ -161,7 +230,8 @@ let sample_delta = 0.01 (* the certified bound holds with 99% confidence *)
    classes, deterministic in the exhaust seed.  Survivor mass is
    reassigned to the hit classes by cumulative rounding, so the total
    weight (and hence the tally denominator) stays exact. *)
-let sample_survivors config ~workload ~tool ~category (survivors : cls array) =
+let sample_survivors ?(model = Core.Fault_model.Bitflip) config ~workload
+    ~tool ~category (survivors : cls array) =
   let k = config.sample_bound in
   let n = Array.length survivors in
   let cumulative = Array.make (n + 1) 0 in
@@ -172,9 +242,10 @@ let sample_survivors config ~workload ~tool ~category (survivors : cls array) =
   let rng =
     (* the campaign keying machinery, salted so the residual sampler
        never shares a stream with the Monte-Carlo cell of the same
-       seed *)
+       seed; carrying [model] keys each model's residual sample
+       independently (and keeps the default stream byte-identical) *)
     Core.Campaign.cell_rng
-      { Core.Campaign.default_config with seed = config.seed }
+      { Core.Campaign.default_config with seed = config.seed; model }
       ~workload:("exhaust:" ^ workload) ~tool ~category
   in
   let hits = Array.make n 0 in
@@ -204,20 +275,22 @@ let sample_survivors config ~workload ~tool ~category (survivors : cls array) =
 
 (* --- execution: one trial per surviving class --- *)
 
-let execute_range (p : Core.Campaign.prepared) tool category
+let execute_range ?model (p : Core.Campaign.prepared) tool category
     (to_run : cls array) lo hi =
   let r = Core.Campaign.runner p tool category in
   let golden = Core.Campaign.golden_output p tool in
   let tally = Core.Verdict.fresh_tally () in
   for k = lo to hi - 1 do
     let c = to_run.(k) in
-    let stats = Core.Campaign.inject_bit r ~target:c.x_target ~bit:c.x_bit in
+    let stats =
+      Core.Campaign.inject_bit ?model r ~target:c.x_target ~bit:c.x_bit
+    in
     let v = Core.Verdict.of_run ~golden_output:golden stats in
     Core.Verdict.add_n tally v c.x_weight
   done;
   tally
 
-let execute ?pool p tool category (to_run : cls array) =
+let execute ?model ?pool p tool category (to_run : cls array) =
   let n = Array.length to_run in
   if n = 0 then Core.Verdict.fresh_tally ()
   else begin
@@ -233,10 +306,11 @@ let execute ?pool p tool category (to_run : cls array) =
       match pool with
       | Some pl when shards > 1 ->
         Engine.Pool.map pl
-          (fun (lo, hi) -> execute_range p tool category to_run lo hi)
+          (fun (lo, hi) -> execute_range ?model p tool category to_run lo hi)
           ranges
       | _ ->
-        Array.map (fun (lo, hi) -> execute_range p tool category to_run lo hi)
+        Array.map
+          (fun (lo, hi) -> execute_range ?model p tool category to_run lo hi)
           ranges
     in
     (* contiguous shards merged in order: the summed tally is the same
@@ -247,12 +321,15 @@ let execute ?pool p tool category (to_run : cls array) =
 
 (* --- one exact cell --- *)
 
-let run_cell ?pool config (p : Core.Campaign.prepared) tool category =
+let run_cell ?(model = Core.Fault_model.Bitflip) ?pool config
+    (p : Core.Campaign.prepared) tool category =
+  require_enumerable ~who:"Exhaust.run_cell" model;
   let workload = p.Core.Campaign.workload.Core.Workload.name in
   Obs.Trace.span "exhaust-cell"
     ~args:
       [ ("workload", workload); ("tool", Core.Campaign.tool_name tool);
-        ("category", Core.Category.name category) ]
+        ("category", Core.Category.name category);
+        ("model", Core.Fault_model.name model) ]
   @@ fun () ->
   let instances =
     Obs.Trace.span "enumerate" @@ fun () ->
@@ -266,7 +343,7 @@ let run_cell ?pool config (p : Core.Campaign.prepared) tool category =
           counted %d"
          (Array.length instances) population);
   let plan =
-    Obs.Trace.span "plan" @@ fun () -> plan_cell config tool instances
+    Obs.Trace.span "plan" @@ fun () -> plan_cell ~model config tool instances
   in
   let nclasses = Array.length plan.p_survivors in
   let to_run, sampled_mass =
@@ -274,14 +351,16 @@ let run_cell ?pool config (p : Core.Campaign.prepared) tool category =
       Obs.Metrics.incr m_sampled_cells;
       let sampled, mass =
         Obs.Trace.span "sample" @@ fun () ->
-        sample_survivors config ~workload ~tool ~category plan.p_survivors
+        sample_survivors ~model config ~workload ~tool ~category
+          plan.p_survivors
       in
       (sampled, Some mass)
     end
     else (plan.p_survivors, None)
   in
   let exec_tally =
-    Obs.Trace.span "execute" @@ fun () -> execute ?pool p tool category to_run
+    Obs.Trace.span "execute" @@ fun () ->
+    execute ~model ?pool p tool category to_run
   in
   let tally = Core.Verdict.merge plan.p_pretally exec_tally in
   let bound =
@@ -306,6 +385,7 @@ let run_cell ?pool config (p : Core.Campaign.prepared) tool category =
     Core.Campaign.e_workload = workload;
     e_tool = tool;
     e_category = category;
+    e_model = model;
     e_population = population;
     e_enumerated = plan.p_enumerated;
     e_pruned_dead = plan.p_dead;
@@ -327,8 +407,10 @@ type result = {
 
 let run ?(jobs = 1) ?journal ?(resume = false)
     ?(tools = [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ])
-    ?(categories = Core.Category.all) ?on_cell config campaign_config
-    workloads =
+    ?(categories = Core.Category.all) ?on_cell config
+    (campaign_config : Core.Campaign.config) workloads =
+  let model = campaign_config.Core.Campaign.model in
+  require_enumerable ~who:"Exhaust.run" model;
   let grid =
     Engine.Journal.grid
       ~workloads:(List.map (fun (w : Core.Workload.t) -> w.Core.Workload.name) workloads)
@@ -339,8 +421,8 @@ let run ?(jobs = 1) ?journal ?(resume = false)
     | None -> (None, [])
     | Some path ->
       let j, cells =
-        Engine.Journal.xstart ~path ~resume ~grid ~seed:config.seed
-          ~prune:config.prune ~sample_bound:config.sample_bound
+        Engine.Journal.xstart ~model ~path ~resume ~grid ~seed:config.seed
+          ~prune:config.prune ~sample_bound:config.sample_bound ()
       in
       (Some j, cells)
   in
@@ -371,7 +453,7 @@ let run ?(jobs = 1) ?journal ?(resume = false)
                   (match on_cell with Some f -> f cell | None -> ());
                   cell
                 | None ->
-                  let cell = run_cell ?pool config p tool category in
+                  let cell = run_cell ~model ?pool config p tool category in
                   (match journal with
                   | Some j -> Engine.Journal.xrecord j cell
                   | None -> ());

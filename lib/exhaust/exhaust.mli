@@ -58,14 +58,33 @@ type fate =
       (** provably this verdict; never executed *)
   | Execute  (** may diverge from the golden path: must run *)
 
-val fate : Core.Campaign.tool -> Vm.Fault_space.instance -> bit:int -> fate
+val enumerable : Core.Fault_model.t -> bool
+(** Whether a fault model has a finite per-instance space an exact
+    campaign can cover: {!Core.Fault_model.Bitflip}, the stuck-at
+    models (one bit each) and {!Core.Fault_model.Skip} (one fault per
+    instance).  [Multi_bit] spans width{^ n} bit tuples and
+    [Load_value] the whole value range — both are Monte-Carlo-only. *)
+
+val fate :
+  ?model:Core.Fault_model.t ->
+  Core.Campaign.tool ->
+  Vm.Fault_space.instance ->
+  bit:int ->
+  fate
 (** The per-fault pruning decision, stated independently of the batch
     planner; the property tests replay [Settled] faults straight-line
-    and check the prediction. *)
+    and check the prediction.  Model-aware ([?model], default
+    {!Core.Fault_model.Bitflip}): a stuck-at fault whose stuck value
+    equals the golden bit is settled benign (the write is unchanged),
+    a stuck bit that differs from its golden value follows the bitflip
+    rules (it {e is} a flip of that bit), and a [Skip] fault — [bit] is
+    ignored — is settled only when the destination is never read.
+    @raise Invalid_argument for non-{!enumerable} models. *)
 
 (** {1 Running} *)
 
 val run_cell :
+  ?model:Core.Fault_model.t ->
   ?pool:Engine.Pool.t ->
   config ->
   Core.Campaign.prepared ->
@@ -75,9 +94,12 @@ val run_cell :
 (** One exact cell: enumerate, prune, execute the surviving faults
     (sharded across [pool] when given — contiguous deterministic
     shards, merged in order), and tally by weight.  The weighted tally
-    covers the whole space: [e_tally.trials = population * e_unit].
+    covers the whole space: [e_tally.trials = population * e_unit]
+    (for {!Core.Fault_model.Skip}, [e_unit = 1] — one fault per
+    instance).
     @raise Invalid_argument if the enumeration pre-pass disagrees with
-    the profiling pass about the cell population. *)
+    the profiling pass about the cell population, or for a
+    non-{!enumerable} [model]. *)
 
 type result = {
   prepared : Core.Campaign.prepared list;  (** one per workload *)
@@ -98,8 +120,10 @@ val run :
   Core.Workload.t list ->
   result
 (** The exact-campaign grid.  [campaign_config] supplies workload
-    preparation (backend and injector configs); trial counts and the
-    campaign seed play no role.  [jobs] shards each cell's survivor
-    execution over a pool; [journal]/[resume] checkpoint completed
-    cells ({!Engine.Journal.xstart}).  Cells are emitted in canonical
-    order regardless of journal state. *)
+    preparation (backend and injector configs) and the fault model
+    ([campaign_config.model], which must be {!enumerable}); trial
+    counts and the campaign seed play no role.  [jobs] shards each
+    cell's survivor execution over a pool; [journal]/[resume]
+    checkpoint completed cells ({!Engine.Journal.xstart}, whose header
+    binds the model).  Cells are emitted in canonical order regardless
+    of journal state. *)

@@ -16,7 +16,11 @@ type cell = {
   cov_top_expected : float;
 }
 
-type report = { cells : cell list; dead : (string * string * string) list }
+type report = {
+  cells : cell list;
+  dead : (string * string * string) list;
+  models : string list;
+}
 
 (* --- static fault-space enumeration --- *)
 
@@ -108,48 +112,81 @@ let bit_of_note note =
   else if String.length note >= 4 && String.sub note 0 4 = "bit " then num_at 4
   else None
 
+(* Bits are tracked as (site, bit, model-name) triples: the model axis
+   multiplies the fault space exactly as it multiplies a campaign
+   grid. *)
 type tally = {
   site_hits : (int, int) Hashtbl.t;
-  bits : (int * int, unit) Hashtbl.t;
+  bits : (int * int * string, unit) Hashtbl.t;
   mutable observed : int;
 }
 
-let measure ?(jobs = 1) ?(workloads = Workloads.all) ~trials ~seed () =
-  let config = { Campaign.default_config with trials; seed } in
+(* Per-model per-site fault-space size: bit-drawing models span the
+   site's flippable width; Skip and Load_value have one fault per
+   site. *)
+let model_site_space (model : Core.Fault_model.t) bits =
+  if bits = 0 then 0
+  else
+    match model with
+    | Core.Fault_model.Skip | Core.Fault_model.Load_value -> 1
+    | Core.Fault_model.Bitflip | Core.Fault_model.Multi_bit _
+    | Core.Fault_model.Stuck_at_0 | Core.Fault_model.Stuck_at_1 -> bits
+
+let measure ?(jobs = 1) ?(workloads = Workloads.all)
+    ?(models = [ Core.Fault_model.Bitflip ]) ~trials ~seed () =
+  let models =
+    match models with [] -> [ Core.Fault_model.Bitflip ] | l -> l
+  in
   let mutex = Mutex.create () in
   let tallies : (string * string * string, tally) Hashtbl.t =
     Hashtbl.create 64
   in
-  let observe ~workload ~tool ~category ~trial:_ _verdict
-      (stats : Vm.Outcome.stats) =
-    Mutex.lock mutex;
-    let key = (workload, Campaign.tool_name tool, Category.name category) in
-    let t =
-      match Hashtbl.find_opt tallies key with
-      | Some t -> t
-      | None ->
-        let t =
-          {
-            site_hits = Hashtbl.create 64;
-            bits = Hashtbl.create 256;
-            observed = 0;
-          }
-        in
-        Hashtbl.add tallies key t;
-        t
+  let run_one model =
+    let config = { Campaign.default_config with trials; seed; model } in
+    let mname = Core.Fault_model.name model in
+    (* Skip and Load_value notes carry no bit position: the whole site
+       is their one fault, recorded as bit 0. *)
+    let bitless =
+      match model with
+      | Core.Fault_model.Skip | Core.Fault_model.Load_value -> true
+      | _ -> false
     in
-    t.observed <- t.observed + 1;
-    let site = stats.Vm.Outcome.fault_site in
-    if site >= 0 then begin
-      Hashtbl.replace t.site_hits site
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.site_hits site));
-      match bit_of_note stats.Vm.Outcome.fault_note with
-      | Some bit -> Hashtbl.replace t.bits (site, bit) ()
-      | None -> ()
-    end;
-    Mutex.unlock mutex
+    let observe ~workload ~tool ~category ~trial:_ _verdict
+        (stats : Vm.Outcome.stats) =
+      Mutex.lock mutex;
+      let key = (workload, Campaign.tool_name tool, Category.name category) in
+      let t =
+        match Hashtbl.find_opt tallies key with
+        | Some t -> t
+        | None ->
+          let t =
+            {
+              site_hits = Hashtbl.create 64;
+              bits = Hashtbl.create 256;
+              observed = 0;
+            }
+          in
+          Hashtbl.add tallies key t;
+          t
+      in
+      t.observed <- t.observed + 1;
+      let site = stats.Vm.Outcome.fault_site in
+      if site >= 0 then begin
+        Hashtbl.replace t.site_hits site
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.site_hits site));
+        match bit_of_note stats.Vm.Outcome.fault_note with
+        | Some bit -> Hashtbl.replace t.bits (site, bit, mname) ()
+        | None -> if bitless then Hashtbl.replace t.bits (site, 0, mname) ()
+      end;
+      Mutex.unlock mutex
+    in
+    Engine.Scheduler.run ~jobs ~observe config workloads
   in
-  let result = Engine.Scheduler.run ~jobs ~observe config workloads in
+  let result =
+    match List.map run_one models with
+    | first :: _ -> first
+    | [] -> assert false
+  in
   let cells = ref [] in
   let dead = ref [] in
   List.iter
@@ -219,7 +256,13 @@ let measure ?(jobs = 1) ?(workloads = Workloads.all) ~trials ~seed () =
                     cov_reachable = List.length reachable;
                     cov_selected = Hashtbl.length t.site_hits;
                     cov_bit_space =
-                      List.fold_left (fun a (_, b, _) -> a + b) 0 reachable;
+                      List.fold_left
+                        (fun a (_, b, _) ->
+                          a
+                          + List.fold_left
+                              (fun acc m -> acc + model_site_space m b)
+                              0 models)
+                        0 reachable;
                     cov_bits_hit = Hashtbl.length t.bits;
                     cov_population = population;
                     cov_trials = t.observed;
@@ -233,7 +276,11 @@ let measure ?(jobs = 1) ?(workloads = Workloads.all) ~trials ~seed () =
             Category.all)
         [ Campaign.Llfi_tool; Campaign.Pinfi_tool ])
     result.Engine.Scheduler.prepared;
-  { cells = List.rev !cells; dead = List.rev !dead }
+  {
+    cells = List.rev !cells;
+    dead = List.rev !dead;
+    models = List.map Core.Fault_model.name models;
+  }
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 
@@ -242,6 +289,12 @@ let render report =
   Buffer.add_string buf
     "Injection-space coverage (static sites the samplers can reach vs what \
      the trials visited)\n\n";
+  if report.models <> [ "bitflip" ] then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "fault models: %s (bit-space and bits-hit count (site, bit, model) \
+          triples)\n\n"
+         (String.concat ", " report.models));
   Buffer.add_string buf
     (Printf.sprintf "%-12s %-6s %-11s %7s %6s %5s %9s %10s %9s %8s %15s\n"
        "workload" "tool" "category" "static" "reach" "sel" "site-cov" "bit-space"

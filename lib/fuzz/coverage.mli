@@ -12,7 +12,7 @@
     - {e selected sites / bits}: what the cell's first N trials — the
       exact trial streams a campaign with the same seed would use, per
       the {!Core.Campaign.target_draw} contract — actually hit, at
-      site and (site, bit-position) granularity;
+      site and (site, bit-position, fault-model) granularity;
     - the most-sampled site's observed share against its expected
       share (its fraction of the dynamic population), surfacing
       sampler bias toward hot code;
@@ -30,25 +30,36 @@ type cell = {
   cov_static : int;  (** classifier-accepted static sites *)
   cov_reachable : int;  (** static sites with dynamic instances *)
   cov_selected : int;  (** distinct sites hit in the trials *)
-  cov_bit_space : int;  (** sum of reachable sites' flippable widths *)
-  cov_bits_hit : int;  (** distinct (site, bit) pairs hit *)
+  cov_bit_space : int;
+      (** (site, bit, model) faults over the reachable sites: each
+          bit-drawing model contributes a site's flippable width, Skip
+          and Load_value one fault per site *)
+  cov_bits_hit : int;  (** distinct (site, bit, model) triples hit *)
   cov_population : int;  (** dynamic instances in the category *)
   cov_trials : int;
   cov_top_share : float;  (** observed share of the most-hit site *)
   cov_top_expected : float;  (** that site's dynamic-population share *)
 }
 
-type report = { cells : cell list; dead : (string * string * string) list }
+type report = {
+  cells : cell list;
+  dead : (string * string * string) list;
+  models : string list;  (** the fault models measured, by name *)
+}
 
 val measure :
   ?jobs:int ->
   ?workloads:Core.Workload.t list ->
+  ?models:Core.Fault_model.t list ->
   trials:int ->
   seed:int ->
   unit ->
   report
 (** Runs the covered cells' trials through the engine (defaults: all
-    registered workloads, both tools, all categories). *)
+    registered workloads, both tools, all categories, the bitflip
+    model).  With several [models], each model runs its own [trials]
+    injections per cell and the per-cell tables accumulate over the
+    whole model list. *)
 
 val render : report -> string
 (** The textual report [fi fuzz --coverage] prints. *)

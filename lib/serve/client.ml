@@ -66,7 +66,7 @@ type result = { r_job : int; r_csv : string; r_digest : string; r_batches : int 
 (* Reassemble one cell's batches: sorted by [first] they must tile
    [0 .. trials-1] exactly (trials = 0: the single empty shard), agree
    on the population, and merge into the cell tally. *)
-let reassemble_cell ~workload ~trials tool category batches =
+let reassemble_cell ~workload ~model ~trials tool category batches =
   match
     List.sort
       (fun (a : Wire.batch) b -> compare a.b_first b.b_first)
@@ -88,6 +88,8 @@ let reassemble_cell ~workload ~trials tool category batches =
                b.b_first)
         else if b.b_population <> first_b.b_population then
           Error "batches disagree on population"
+        else if not (Core.Fault_model.equal b.b_model model) then
+          Error "batch fault model differs from the submitted job's"
         else
           tile (at + b.b_count)
             (Core.Verdict.merge acc b.b_tally)
@@ -102,6 +104,7 @@ let reassemble_cell ~workload ~trials tool category batches =
           Core.Campaign.c_workload = workload;
           c_tool = tool;
           c_category = category;
+          c_model = model;
           c_population = first_b.b_population;
           c_tally = tally;
         })
@@ -117,8 +120,8 @@ let verify_stream (job : Wire.job) batches ~csv ~digest =
           batches
       in
       match
-        reassemble_cell ~workload:job.Wire.j_workload ~trials:job.Wire.j_trials
-          tool category mine
+        reassemble_cell ~workload:job.Wire.j_workload ~model:job.Wire.j_model
+          ~trials:job.Wire.j_trials tool category mine
       with
       | Error e ->
         Error

@@ -20,16 +20,19 @@ type entry = {
 
 type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
 
+(* v2 added the fault-model token to job lines; v1 journals are
+   rejected by the header check instead of silently dropping jobs. *)
 let header ~snapshot =
-  Printf.sprintf "# fi-serve-journal v1 snapshot=%b" snapshot
+  Printf.sprintf "# fi-serve-journal v2 snapshot=%b" snapshot
 
 let comma f xs = String.concat "," (List.map f xs)
 
 (* The output path is the only free-form field, so it goes last and the
    parser rejoins the remaining tokens; "-" stands for none. *)
 let job_line ~id ~chunk (j : Wire.job) =
-  Printf.sprintf "job %d %d %d %d %s %s %s %s" id j.Wire.j_trials
+  Printf.sprintf "job %d %d %d %d %s %s %s %s %s" id j.Wire.j_trials
     j.Wire.j_seed chunk
+    (Core.Fault_model.name j.Wire.j_model)
     (comma Core.Campaign.tool_name j.Wire.j_tools)
     (comma Core.Category.name j.Wire.j_categories)
     j.Wire.j_workload
@@ -50,16 +53,24 @@ let parse_names of_name s =
 
 let parse_job tokens =
   match tokens with
-  | id :: trials :: seed :: chunk :: tools :: cats :: workload :: rest -> (
+  | id :: trials :: seed :: chunk :: model :: tools :: cats :: workload :: rest
+    -> (
     match
       ( int_of_string_opt id,
         int_of_string_opt trials,
         int_of_string_opt seed,
         int_of_string_opt chunk,
+        Core.Fault_model.of_name model,
         parse_names Core.Campaign.tool_of_name tools,
         parse_names Core.Category.of_string cats )
     with
-    | Some id, Some trials, Some seed, Some chunk, Some tools, Some cats ->
+    | ( Some id,
+        Some trials,
+        Some seed,
+        Some chunk,
+        Some model,
+        Some tools,
+        Some cats ) ->
       let out =
         match rest with [] | [ "-" ] -> None | l -> Some (String.concat " " l)
       in
@@ -70,6 +81,7 @@ let parse_job tokens =
             Wire.j_workload = workload;
             j_tools = tools;
             j_categories = cats;
+            j_model = model;
             j_trials = trials;
             j_seed = seed;
             j_out = out;

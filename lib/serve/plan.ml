@@ -4,6 +4,7 @@ type cell_id = {
   p_workload : string;
   p_tool : Core.Campaign.tool;
   p_category : Core.Category.t;
+  p_model : Core.Fault_model.t;
   p_trials : int;
   p_seed : int;
   p_chunk : int;
@@ -30,18 +31,19 @@ let shards ~chunk ~trials =
       ((trials + chunk - 1) / chunk)
       (fun k -> (k * chunk, min chunk (trials - (k * chunk))))
 
-let cell_id ~workload ~tool ~category ~trials ~seed ~chunk =
+let cell_id ~workload ~tool ~category ~model ~trials ~seed ~chunk =
   {
     p_workload = workload;
     p_tool = tool;
     p_category = category;
+    p_model = model;
     p_trials = trials;
     p_seed = seed;
     p_chunk = chunk;
   }
 
-let config_for ~(base : Core.Campaign.config) ~trials ~seed =
-  { base with Core.Campaign.trials; seed }
+let config_for ~(base : Core.Campaign.config) ~model ~trials ~seed =
+  { base with Core.Campaign.model; trials; seed }
 
 let max_trials = 10_000_000
 

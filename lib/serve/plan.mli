@@ -21,6 +21,7 @@ type cell_id = {
   p_workload : string;
   p_tool : Core.Campaign.tool;
   p_category : Core.Category.t;
+  p_model : Core.Fault_model.t;
   p_trials : int;
   p_seed : int;
   p_chunk : int;
@@ -47,14 +48,17 @@ val cell_id :
   workload:string ->
   tool:Core.Campaign.tool ->
   category:Core.Category.t ->
+  model:Core.Fault_model.t ->
   trials:int -> seed:int -> chunk:int -> cell_id
 
 val config_for :
-  base:Core.Campaign.config -> trials:int -> seed:int -> Core.Campaign.config
+  base:Core.Campaign.config ->
+  model:Core.Fault_model.t ->
+  trials:int -> seed:int -> Core.Campaign.config
 (** The campaign config a job's cells run under: the server's base
-    config (snapshot mode, tool policies) with the job's trials and
-    seed — the same override an offline [fi campaign -n T --seed S]
-    applies. *)
+    config (snapshot mode, tool policies) with the job's fault model,
+    trials and seed — the same override an offline
+    [fi campaign -n T --seed S --model M] applies. *)
 
 val validate : Wire.job -> (Core.Workload.t, string) result
 (** Admission check: the workload must be registered, the grid

@@ -392,6 +392,7 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
                b_job = w.w_job.js_id;
                b_tool = cell.c_tool;
                b_category = cell.c_category;
+               b_model = cell.c_model;
                b_first = first;
                b_count = count;
                b_population = cell.c_population;
@@ -434,8 +435,8 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
         | Error msg -> push_completion (Shard_failed (cs, msg))
         | Ok (p, rejoin) ->
           let jcfg =
-            Plan.config_for ~base:cfg.base ~trials:key.Plan.p_trials
-              ~seed:key.Plan.p_seed
+            Plan.config_for ~base:cfg.base ~model:key.Plan.p_model
+              ~trials:key.Plan.p_trials ~seed:key.Plan.p_seed
           in
           let runner =
             cached_runner jcfg p rejoin key.Plan.p_workload key.Plan.p_tool
@@ -458,6 +459,7 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
                 ("workload", key.Plan.p_workload);
                 ("tool", Core.Campaign.tool_name key.Plan.p_tool);
                 ("category", Core.Category.name key.Plan.p_category);
+                ("model", Core.Fault_model.name key.Plan.p_model);
                 ("trials", string_of_int key.Plan.p_trials);
                 ("seed", string_of_int key.Plan.p_seed);
                 ("first", string_of_int first);
@@ -494,7 +496,8 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
         (fun (tool, category) ->
           let key =
             Plan.cell_id ~workload:job.Wire.j_workload ~tool ~category
-              ~trials:job.Wire.j_trials ~seed:job.Wire.j_seed ~chunk
+              ~model:job.Wire.j_model ~trials:job.Wire.j_trials
+              ~seed:job.Wire.j_seed ~chunk
           in
           match Hashtbl.find_opt cell_cache key with
           | Some cs ->
@@ -543,6 +546,7 @@ let run ?(on_ready = fun () -> ()) (cfg : config) =
                     Core.Campaign.c_workload = job.Wire.j_workload;
                     c_tool = s.Joblog.s_tool;
                     c_category = s.Joblog.s_category;
+                    c_model = job.Wire.j_model;
                     c_population = s.Joblog.s_population;
                     c_tally = s.Joblog.s_tally;
                   }

@@ -1,6 +1,7 @@
 (* Pure codec for the campaign-service wire protocol; see the .mli. *)
 
-let version = 1
+(* v2 added the fault-model field to Submit jobs and Batch frames. *)
+let version = 2
 let max_payload = 1 lsl 24
 let magic = '\xf5'
 
@@ -8,6 +9,7 @@ type job = {
   j_workload : string;
   j_tools : Core.Campaign.tool list;
   j_categories : Core.Category.t list;
+  j_model : Core.Fault_model.t;
   j_trials : int;
   j_seed : int;
   j_out : string option;
@@ -23,6 +25,7 @@ type batch = {
   b_job : int;
   b_tool : Core.Campaign.tool;
   b_category : Core.Category.t;
+  b_model : Core.Fault_model.t;
   b_first : int;
   b_count : int;
   b_population : int;
@@ -69,6 +72,10 @@ let tool_code = function
 let tool b t = u8 b (tool_code t)
 let category b c = str b (Core.Category.name c)
 
+(* Models travel by name (like categories) so the codec needs no update
+   when a parameterized model grows a new argument range. *)
+let model b m = str b (Core.Fault_model.name m)
+
 let tally b (t : Core.Verdict.tally) =
   i64 b t.trials;
   i64 b t.benign;
@@ -112,6 +119,7 @@ let encode_client msg =
     str b j.j_workload;
     list_ b tool j.j_tools;
     list_ b category j.j_categories;
+    model b j.j_model;
     i64 b j.j_trials;
     i64 b j.j_seed;
     option_ b str j.j_out
@@ -135,6 +143,7 @@ let encode_server msg =
     i64 b bt.b_job;
     tool b bt.b_tool;
     category b bt.b_category;
+    model b bt.b_model;
     i64 b bt.b_first;
     i64 b bt.b_count;
     i64 b bt.b_population;
@@ -207,6 +216,12 @@ let rcategory r =
   | Some c -> c
   | None -> raise (Bad_frame (Printf.sprintf "unknown category %S" s))
 
+let rmodel r =
+  let s = rstr r in
+  match Core.Fault_model.of_name s with
+  | Some m -> m
+  | None -> raise (Bad_frame (Printf.sprintf "unknown fault model %S" s))
+
 let rtally r =
   let trials = ri64 r in
   let benign = ri64 r in
@@ -264,10 +279,12 @@ let parse_client r =
     let j_workload = rstr r in
     let j_tools = rlist r rtool in
     let j_categories = rlist r rcategory in
+    let j_model = rmodel r in
     let j_trials = ri64 r in
     let j_seed = ri64 r in
     let j_out = roption r rstr in
-    Submit { j_workload; j_tools; j_categories; j_trials; j_seed; j_out }
+    Submit
+      { j_workload; j_tools; j_categories; j_model; j_trials; j_seed; j_out }
   | 3 ->
     let drain = rboolean r in
     Shutdown { drain }
@@ -287,11 +304,22 @@ let parse_server r =
     let b_job = ri64 r in
     let b_tool = rtool r in
     let b_category = rcategory r in
+    let b_model = rmodel r in
     let b_first = ri64 r in
     let b_count = ri64 r in
     let b_population = ri64 r in
     let b_tally = rtally r in
-    Batch { b_job; b_tool; b_category; b_first; b_count; b_population; b_tally }
+    Batch
+      {
+        b_job;
+        b_tool;
+        b_category;
+        b_model;
+        b_first;
+        b_count;
+        b_population;
+        b_tally;
+      }
   | 4 ->
     let job = ri64 r in
     let csv = rstr r in

@@ -16,7 +16,8 @@
     {!Serve}, not here. *)
 
 val version : int
-(** Protocol version carried in every frame header (currently 1).  A
+(** Protocol version carried in every frame header (currently 2; v2
+    added the fault-model field to Submit jobs and Batch frames).  A
     frame with any other version is rejected by the decoder as {!Bad} —
     old clients fail fast instead of misparsing. *)
 
@@ -34,6 +35,10 @@ type job = {
   j_workload : string;  (** registered benchmark name *)
   j_tools : Core.Campaign.tool list;
   j_categories : Core.Category.t list;
+  j_model : Core.Fault_model.t;
+      (** the fault model every cell of the job runs under; travels by
+          name, so an unknown model is a decode error, not a silent
+          default *)
   j_trials : int;
   j_seed : int;
   j_out : string option;
@@ -59,6 +64,7 @@ type batch = {
   b_job : int;
   b_tool : Core.Campaign.tool;
   b_category : Core.Category.t;
+  b_model : Core.Fault_model.t;
   b_first : int;
   b_count : int;
   b_population : int;

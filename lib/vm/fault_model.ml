@@ -1,0 +1,57 @@
+(* The fault-model axis: what corruption a planned injection applies at
+   its target destination.  The paper's original experiments use
+   [Bitflip] only; the other constructors extend the campaign space to
+   the hardware fault classes surveyed by InjectV/CHAOS (PAPERS.md):
+   multi-bit upsets, stuck-at-0/1, instruction skip and corrupted
+   destination values.
+
+   The type lives in lib/vm (not lib/core) because both execution
+   tiers dispatch on it inside their injection hot paths; lib/core
+   re-exports it as [Core.Fault_model]. *)
+
+type t =
+  | Bitflip  (* flip one uniformly drawn destination bit (the paper) *)
+  | Multi_bit of int  (* n successive uniform bit flips, with replacement *)
+  | Stuck_at_0  (* clear one uniformly drawn destination bit *)
+  | Stuck_at_1  (* set one uniformly drawn destination bit *)
+  | Skip  (* suppress the destination write entirely *)
+  | Load_value  (* replace the destination with a uniform random value *)
+
+let name = function
+  | Bitflip -> "bitflip"
+  | Multi_bit n -> Printf.sprintf "multi_bit:%d" n
+  | Stuck_at_0 -> "stuck_at_0"
+  | Stuck_at_1 -> "stuck_at_1"
+  | Skip -> "skip"
+  | Load_value -> "load_value"
+
+let of_name s =
+  match s with
+  | "bitflip" -> Some Bitflip
+  | "stuck_at_0" -> Some Stuck_at_0
+  | "stuck_at_1" -> Some Stuck_at_1
+  | "skip" -> Some Skip
+  | "load_value" -> Some Load_value
+  | _ ->
+    let pfx = "multi_bit:" in
+    let pl = String.length pfx in
+    if String.length s > pl && String.sub s 0 pl = pfx then
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some n when n >= 1 && n <= 64 -> Some (Multi_bit n)
+      | _ -> None
+    else None
+
+(* The canonical campaign sweep: one representative per constructor
+   (multi-bit at n=2, the double-upset case InjectV measures). *)
+let all = [ Bitflip; Multi_bit 2; Stuck_at_0; Stuck_at_1; Skip; Load_value ]
+
+let equal (a : t) (b : t) = a = b
+
+(* How many RNG draws the model consumes at the injection point, for
+   planners that must keep trial streams aligned.  [Skip] consumes
+   none; [Load_value] consumes one full-width draw per 63-bit word. *)
+let draws = function
+  | Bitflip | Stuck_at_0 | Stuck_at_1 -> 1
+  | Multi_bit n -> n
+  | Skip -> 0
+  | Load_value -> 1

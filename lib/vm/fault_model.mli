@@ -1,0 +1,31 @@
+(** The fault-model axis: which corruption an injection applies at its
+    planned destination.  [Bitflip] is the paper's original model; the
+    rest extend campaigns to multi-bit upsets, stuck-at faults,
+    instruction skip and corrupted load/destination values.  Re-exported
+    as [Core.Fault_model]. *)
+
+type t =
+  | Bitflip  (** flip one uniformly drawn destination bit (the paper) *)
+  | Multi_bit of int  (** n successive uniform bit flips, with replacement *)
+  | Stuck_at_0  (** clear one uniformly drawn destination bit *)
+  | Stuck_at_1  (** set one uniformly drawn destination bit *)
+  | Skip  (** suppress the destination write entirely *)
+  | Load_value  (** replace the destination with a uniform random value *)
+
+val name : t -> string
+(** Stable textual name: ["bitflip"], ["multi_bit:<n>"],
+    ["stuck_at_0"], ["stuck_at_1"], ["skip"], ["load_value"].  Used in
+    CSV columns, cell keying, CLI flags and the serve wire protocol. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}; [Multi_bit n] accepts 1 ≤ n ≤ 64. *)
+
+val all : t list
+(** The canonical sweep: one representative per constructor, with
+    [Multi_bit 2] for the multi-bit class. *)
+
+val equal : t -> t -> bool
+
+val draws : t -> int
+(** RNG draws the model consumes at the injection point (0 for
+    [Skip]). *)

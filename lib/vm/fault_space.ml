@@ -5,6 +5,7 @@ type instance = {
   live_full : bool;
   keys : int array;
   gold_key : int;
+  gold_bits : int64;
 }
 
 let bit_live inst bit =
@@ -17,10 +18,21 @@ type builder = {
   mutable b_full : bool;
   mutable b_keys : int array;
   mutable b_gold : int;
+  b_gold_bits : int64;
 }
 
-let create ~width =
-  { b_width = width; b_reads = 0; b_mask = 0; b_full = false; b_keys = [||]; b_gold = 0 }
+let create ~gold ~width =
+  {
+    b_width = width;
+    b_reads = 0;
+    b_mask = 0;
+    b_full = false;
+    b_keys = [||];
+    b_gold = 0;
+    b_gold_bits = gold;
+  }
+
+let gold_bit inst bit = Support.Bits.test_int64 inst.gold_bits bit
 
 let read_full b =
   b.b_reads <- b.b_reads + 1;
@@ -59,6 +71,7 @@ let freeze b =
     live_full = b.b_full;
     keys = b.b_keys;
     gold_key = b.b_gold;
+    gold_bits = b.b_gold_bits;
   }
 
 let finish rev_builders =

@@ -29,17 +29,29 @@ type instance = {
       (** funnel: per-bit downstream key; [[||]] when no funnel applies
           (zero reads, several reads, or a non-funnelling first read) *)
   gold_key : int;  (** funnel: the fault-free key *)
+  gold_bits : int64;
+      (** the destination's golden bit pattern in the sampler's bit
+          space (unsigned value bits for integers, the IEEE encoding
+          for floats, packed candidate-flag values for flags) — lets a
+          stuck-at pruner settle faults whose stuck value equals the
+          golden bit *)
 }
 
 val bit_live : instance -> int -> bool
 (** Whether flipping this bit could change any read's result (ignoring
     the funnel refinement). *)
 
+val gold_bit : instance -> int -> bool
+(** Bit [bit] of {!field-gold_bits}: the golden value of the bit a
+    stuck-at fault would force. *)
+
 (** {1 Builder} — mutable accumulation during the enumeration run. *)
 
 type builder
 
-val create : width:int -> builder
+val create : gold:int64 -> width:int -> builder
+(** [gold] is the instance's golden destination bit pattern ([0L] for
+    destinations without one). *)
 
 val read_full : builder -> unit
 (** A read that may observe every bit. *)

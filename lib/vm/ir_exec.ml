@@ -628,6 +628,13 @@ type state = {
   mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
   mutable matched : int;  (* forward mode: matching instances executed *)
   forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
+  model : Fault_model.t;  (* corruption applied at the injection site *)
+  skip_capture : bool;
+      (* Inject mode under [Skip]: capture the destination before each
+         candidate write so the injection can suppress it.  False in
+         every other run, so the hot path pays one boolean load. *)
+  mutable cap_i : int;  (* captured integer destination value *)
+  mutable cap_f : float;  (* captured float destination value *)
   mutable enum_rev : Fault_space.builder list;  (* Enumerate accumulator *)
   mutable rej : rej option;  (* rejoin digest context, or None *)
 }
@@ -647,23 +654,91 @@ let flip_int w v bit =
   else if w = 1 then v lxor 1
   else Word.canon w (Word.to_unsigned w v lxor (1 lsl bit))
 
+(* [flip_int]'s stuck-at sibling: force bit [bit] of a [w]-bit value
+   to [b]. *)
+let set_int w v bit b =
+  if w >= Word.width then
+    if b then v lor (1 lsl bit) else v land lnot (1 lsl bit)
+  else if w = 1 then (if b then 1 else 0)
+  else
+    let u = Word.to_unsigned w v in
+    Word.canon w (if b then u lor (1 lsl bit) else u land lnot (1 lsl bit))
+
+let set_float f bit b =
+  Int64.float_of_bits (Bits.set_int64 (Int64.bits_of_float f) bit b)
+
+let draw_bit st w =
+  if st.forced_bit >= 0 then st.forced_bit else Rng.int st.inj_rng w
+
+(* One uniform [w]-bit value, from a single 64-bit draw whatever the
+   width (so [Load_value] always consumes exactly one draw). *)
+let draw_word st w =
+  let x = Rng.next_int64 st.inj_rng in
+  if w >= Word.width then Int64.to_int (Int64.shift_right_logical x 1)
+  else Word.canon w (Int64.to_int (Int64.logand x (Bits.mask_width w)))
+
 let inject_int st w v =
-  let bit =
-    if st.forced_bit >= 0 then st.forced_bit else Rng.int st.inj_rng w
-  in
   st.injected <- true;
   st.injected_step <- st.steps;
-  st.fault_note <- Printf.sprintf "bit %d of %d-bit result" bit w;
-  flip_int w v bit
+  match st.model with
+  | Fault_model.Bitflip ->
+    let bit = draw_bit st w in
+    st.fault_note <- Printf.sprintf "bit %d of %d-bit result" bit w;
+    flip_int w v bit
+  | Fault_model.Multi_bit n ->
+    let bit = draw_bit st w in
+    let acc = ref (flip_int w v bit) in
+    for _ = 2 to n do
+      acc := flip_int w !acc (Rng.int st.inj_rng w)
+    done;
+    st.fault_note <-
+      Printf.sprintf "bit %d of %d-bit result (+%d more)" bit w (n - 1);
+    !acc
+  | Fault_model.Stuck_at_0 ->
+    let bit = draw_bit st w in
+    st.fault_note <- Printf.sprintf "bit %d of %d-bit result stuck at 0" bit w;
+    set_int w v bit false
+  | Fault_model.Stuck_at_1 ->
+    let bit = draw_bit st w in
+    st.fault_note <- Printf.sprintf "bit %d of %d-bit result stuck at 1" bit w;
+    set_int w v bit true
+  | Fault_model.Skip ->
+    st.fault_note <- Printf.sprintf "write of %d-bit result skipped" w;
+    st.cap_i
+  | Fault_model.Load_value ->
+    st.fault_note <- Printf.sprintf "value of %d-bit result randomized" w;
+    draw_word st w
 
 let inject_float st f =
-  let bit =
-    if st.forced_bit >= 0 then st.forced_bit else Rng.int st.inj_rng 64
-  in
   st.injected <- true;
   st.injected_step <- st.steps;
-  st.fault_note <- Printf.sprintf "bit %d of f64 result" bit;
-  Bits.flip_float f bit
+  match st.model with
+  | Fault_model.Bitflip ->
+    let bit = draw_bit st 64 in
+    st.fault_note <- Printf.sprintf "bit %d of f64 result" bit;
+    Bits.flip_float f bit
+  | Fault_model.Multi_bit n ->
+    let bit = draw_bit st 64 in
+    let acc = ref (Bits.flip_float f bit) in
+    for _ = 2 to n do
+      acc := Bits.flip_float !acc (Rng.int st.inj_rng 64)
+    done;
+    st.fault_note <- Printf.sprintf "bit %d of f64 result (+%d more)" bit (n - 1);
+    !acc
+  | Fault_model.Stuck_at_0 ->
+    let bit = draw_bit st 64 in
+    st.fault_note <- Printf.sprintf "bit %d of f64 result stuck at 0" bit;
+    set_float f bit false
+  | Fault_model.Stuck_at_1 ->
+    let bit = draw_bit st 64 in
+    st.fault_note <- Printf.sprintf "bit %d of f64 result stuck at 1" bit;
+    set_float f bit true
+  | Fault_model.Skip ->
+    st.fault_note <- "write of f64 result skipped";
+    st.cap_f
+  | Fault_model.Load_value ->
+    st.fault_note <- "value of f64 result randomized";
+    Int64.float_of_bits (Rng.next_int64 st.inj_rng)
 
 let icmp_eval (p : Ir.Instr.icmp) w x y =
   match p with
@@ -693,6 +768,18 @@ let fcmp_eval (p : Ir.Instr.fcmp) x y =
   | Ir.Instr.Fgt -> x > y
   | Ir.Instr.Fge -> x >= y
 
+(* Pre-write capture for the [Skip] model: [post_exec] runs after the
+   destination write, so the injection site needs the prior value to
+   suppress it.  Guarded by [st.skip_capture] at each call site; the
+   mask/countdown test mirrors the Inject branch of [post_exec] for the
+   same instruction, so exactly the targeted instance is captured. *)
+let capture_dest st mask dest (ienv : int array) (fenv : float array) =
+  if st.countdown = 0 && mask land st.inj_mask <> 0 then
+    match dest with
+    | DInt (slot, _) -> st.cap_i <- ienv.(slot)
+    | DFloat slot -> st.cap_f <- fenv.(slot)
+    | DNone -> ()
+
 (* Called after the destination slot has been written.  The Forward
    branch counts exactly the instances the Inject countdown would see,
    so a machine paused at [matched = m] resumes a trial on instance
@@ -710,10 +797,20 @@ let post_exec st mask gid dest ienv fenv e_env =
        in exactly the order the Inject countdown meets them, so index k
        of the finished array is the fault [target = k] corrupts. *)
     if mask land st.inj_mask <> 0 then begin
-      let width =
-        match dest with DInt (_, w) -> w | DFloat _ -> 64 | DNone -> 1
+      (* [dest] has just been written, so the env holds the golden
+         value — recorded so stuck-at pruning can compare stuck bits
+         against it. *)
+      let width, gold =
+        match dest with
+        | DInt (slot, w) ->
+          let v = ienv.(slot) in
+          ( w,
+            if w >= Word.width then Int64.of_int v
+            else Int64.of_int (Word.to_unsigned w v) )
+        | DFloat slot -> (64, Int64.bits_of_float fenv.(slot))
+        | DNone -> (1, 0L)
       in
-      let b = Fault_space.create ~width in
+      let b = Fault_space.create ~gold ~width in
       st.enum_rev <- b :: st.enum_rev;
       match dest with
       | DInt (slot, _) | DFloat slot -> e_env.(slot) <- Some b
@@ -2274,6 +2371,7 @@ let exec_frames ?(fops = [||]) (c : compiled) st =
             done;
             for k = 0 to nphis - 1 do
               let p = b.phis.(k) in
+              if st.skip_capture then capture_dest st p.pmask p.pdest ienv fenv;
               (match p.pdest with
               | DInt (slot, _) -> ienv.(slot) <- tmp_i.(k)
               | DFloat slot -> fenv.(slot) <- tmp_f.(k)
@@ -2327,6 +2425,7 @@ let exec_frames ?(fops = [||]) (c : compiled) st =
               dispatch := false;
               push_frame st funcs.(fidx') evaluated (Some ci)
             | _ ->
+              if st.skip_capture then capture_dest st ci.mask ci.dest ienv fenv;
               (if use_f then (Array.unsafe_get fops ci.gid) st ienv fenv
                else exec_op st ci ienv fenv);
               if ci.mask <> 0 then
@@ -2373,6 +2472,8 @@ let exec_frames ?(fops = [||]) (c : compiled) st =
               st.stack <- rest;
               (match (rest, fr.ret_instr) with
               | parent :: _, Some ci ->
+                if st.skip_capture then
+                  capture_dest st ci.mask ci.dest parent.ienv parent.fenv;
                 (match result with
                 | RI v -> (
                   match ci.dest with
@@ -2630,9 +2731,9 @@ let exec_to_stats ?(fops = [||]) (c : compiled) st =
     first_use = st.first_use;
   }
 
-let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
-    ?profile_masks ?profile_sites ?trace ?(track_use = false) ?fast
-    (c : compiled) =
+let run ?plan ?(model = Fault_model.Bitflip) ?(forced_bit = -1) ?(inputs = [||])
+    ?(max_steps = 100_000_000) ?profile_masks ?profile_sites ?trace
+    ?(track_use = false) ?fast (c : compiled) =
   let mode, countdown, inj_mask, inj_rng =
     match (plan, profile_masks, profile_sites) with
     | Some _, Some _, _ | Some _, _, Some _ ->
@@ -2669,6 +2770,11 @@ let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      model;
+      skip_capture =
+        (match mode with Inject -> model = Fault_model.Skip | _ -> false);
+      cap_i = 0;
+      cap_f = 0.0;
       enum_rev = [];
       rej = None;
     }
@@ -2709,6 +2815,10 @@ let enumerate ?fast (c : compiled) ~inputs ~inj_mask ~max_steps =
       ff_stop = -1;
       matched = 0;
       forced_bit = -1;
+      model = Fault_model.Bitflip;
+      skip_capture = false;
+      cap_i = 0;
+      cap_f = 0.0;
       enum_rev = [];
       rej = None;
     }
@@ -2750,6 +2860,10 @@ let record_journal ?fast (c : compiled) ~inputs =
       ff_stop = -1;
       matched = 0;
       forced_bit = -1;
+      model = Fault_model.Bitflip;
+      skip_capture = false;
+      cap_i = 0;
+      cap_f = 0.0;
       enum_rev = [];
       rej =
         Some
@@ -2815,6 +2929,10 @@ let forward_state (c : compiled) ~inputs ~inj_mask =
       ff_stop = -1;
       matched = 0;
       forced_bit = -1;
+      model = Fault_model.Bitflip;
+      skip_capture = false;
+      cap_i = 0;
+      cap_f = 0.0;
       enum_rev = [];
       rej = None;
     }
@@ -2851,7 +2969,8 @@ let ff_create (c : compiled) ?rejoin ?fast ~inputs ~inj_mask () =
     ff_st = forward_with_rej c ~inputs ~inj_mask rejoin;
   }
 
-let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng =
+let ff_trial ?(track_use = false) ?(forced_bit = -1)
+    ?(model = Fault_model.Bitflip) ff ~target ~max_steps ~rng =
   if target < 0 then invalid_arg "Ir_exec.ff_trial: negative target";
   Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
@@ -2903,6 +3022,10 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng 
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      model;
+      skip_capture = (model = Fault_model.Skip);
+      cap_i = 0;
+      cap_f = 0.0;
       enum_rev = [];
       rej =
         (match (ff.ff_rejoin, roll.rej) with

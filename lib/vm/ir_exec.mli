@@ -81,6 +81,7 @@ val compile_fast : compiled -> fast
 
 val run :
   ?plan:plan ->
+  ?model:Fault_model.t ->
   ?forced_bit:int ->
   ?inputs:int array ->
   ?max_steps:int ->
@@ -94,6 +95,11 @@ val run :
 (** Execute [main] on a fresh memory image.
 
     - [plan]: perform one fault injection (exclusive with profiling);
+    - [model] (default {!Fault_model.Bitflip}): the corruption applied
+      at the planned target — multi-bit, stuck-at, write suppression
+      ([Skip]) or full-value replacement ([Load_value]).  The default
+      reproduces the paper's single-bit flip exactly (same draws, same
+      notes);
     - [forced_bit]: pin the flipped bit instead of drawing it from
       [plan.rng] (exhaustive replay); default -1 draws as usual;
     - [inputs]: the vector served by the [input] intrinsic;
@@ -151,6 +157,7 @@ val ff_create :
 val ff_trial :
   ?track_use:bool ->
   ?forced_bit:int ->
+  ?model:Fault_model.t ->
   ff ->
   target:int ->
   max_steps:int ->
@@ -163,6 +170,7 @@ val ff_trial :
     target than an earlier one restarts the rolling run from step 0 —
     but ascending order is the fast path.  [forced_bit] pins the
     flipped bit (exhaustive replay); default -1 draws from [rng].
+    [model] selects the fault model, as {!run}.
     @raise Invalid_argument if [target] is negative or at least the
     category's dynamic population. *)
 

@@ -87,6 +87,12 @@ type machine = {
   mutable ff_stop : int;  (* forward mode: pause before instance > stop *)
   mutable matched : int;  (* forward mode: matching instances executed *)
   forced_bit : int;  (* >= 0: exhaustive replay pins the flipped bit *)
+  model : Fault_model.t;  (* corruption applied at the injection site *)
+  skip_capture : bool;
+      (* Inject mode under [Skip]: capture the destination before the
+         targeted instruction so [inject] can suppress its write *)
+  mutable cap_i : int;  (* captured GP / flags destination value *)
+  mutable cap_f : float;  (* captured XMM destination value *)
   mutable rej : rej option;  (* rejoin digest context, if enabled *)
   e_gp : Fault_space.builder option array;  (* Enumerate: live per reg *)
   e_xmm : Fault_space.builder option array;
@@ -195,44 +201,155 @@ let flag_candidates m (loaded : loaded) =
     | _ -> Flags.all_bits
   else Flags.all_bits
 
+let set_word v bit b = if b then v lor (1 lsl bit) else v land lnot (1 lsl bit)
+
+let draw_word m =
+  Int64.to_int (Int64.shift_right_logical (Rng.next_int64 m.inj_rng) 1)
+
+(* Pre-capture the targeted instruction's destination so a [Skip]
+   injection can restore it after the write executed. *)
+let capture_dest m insn =
+  match primary_dest insn with
+  | Dgp r -> m.cap_i <- m.gp.(r)
+  | Dxmm r -> m.cap_f <- m.xmm.(r)
+  | Dflags -> m.cap_i <- m.flags
+  | Dnone -> ()
+
 let inject m (loaded : loaded) insn =
   m.injected <- true;
   m.injected_step <- m.steps;
   match primary_dest insn with
-  | Dgp r ->
-    let bit =
+  | Dgp r -> (
+    let draw () =
       if m.forced_bit >= 0 then m.forced_bit else Rng.int m.inj_rng Word.width
     in
-    m.gp.(r) <- Word.flip_bit m.gp.(r) bit;
-    m.watch <- Watch_gp r;
-    m.fault_note <- Printf.sprintf "bit %d of %s" bit Reg.gp_names.(r)
-  | Dxmm r ->
+    match m.model with
+    | Fault_model.Bitflip ->
+      let bit = draw () in
+      m.gp.(r) <- Word.flip_bit m.gp.(r) bit;
+      m.watch <- Watch_gp r;
+      m.fault_note <- Printf.sprintf "bit %d of %s" bit Reg.gp_names.(r)
+    | Fault_model.Multi_bit n ->
+      let bit = draw () in
+      m.gp.(r) <- Word.flip_bit m.gp.(r) bit;
+      for _ = 2 to n do
+        m.gp.(r) <- Word.flip_bit m.gp.(r) (Rng.int m.inj_rng Word.width)
+      done;
+      m.watch <- Watch_gp r;
+      m.fault_note <-
+        Printf.sprintf "bit %d of %s (+%d more)" bit Reg.gp_names.(r) (n - 1)
+    | Fault_model.Stuck_at_0 | Fault_model.Stuck_at_1 ->
+      let b = m.model = Fault_model.Stuck_at_1 in
+      let bit = draw () in
+      m.gp.(r) <- set_word m.gp.(r) bit b;
+      m.watch <- Watch_gp r;
+      m.fault_note <-
+        Printf.sprintf "bit %d of %s stuck at %d" bit Reg.gp_names.(r)
+          (if b then 1 else 0)
+    | Fault_model.Skip ->
+      m.gp.(r) <- m.cap_i;
+      m.watch <- Watch_gp r;
+      m.fault_note <- Printf.sprintf "write of %s skipped" Reg.gp_names.(r)
+    | Fault_model.Load_value ->
+      m.gp.(r) <- draw_word m;
+      m.watch <- Watch_gp r;
+      m.fault_note <- Printf.sprintf "value of %s randomized" Reg.gp_names.(r))
+  | Dxmm r -> (
     let range = if m.policy.xmm_low64_only then 64 else 128 in
-    let bit =
+    let draw () =
       if m.forced_bit >= 0 then m.forced_bit else Rng.int m.inj_rng range
     in
-    if bit < 64 then begin
-      m.xmm.(r) <- Bits.flip_float m.xmm.(r) bit;
-      m.watch <- Watch_xmm r;
-      m.fault_note <- Printf.sprintf "bit %d of xmm%d" bit r
-    end
-    else begin
-      (* Upper half of the XMM register: unused by scalar double code,
-         so the fault can never be activated. *)
-      m.watch <- No_watch;
-      m.fault_note <- Printf.sprintf "bit %d of xmm%d (upper half)" bit r
-    end
-  | Dflags ->
-    let candidates = flag_candidates m loaded in
-    (* A pinned bit indexes the candidate list, mirroring the draw. *)
-    let pick =
-      if m.forced_bit >= 0 then m.forced_bit
-      else Rng.int m.inj_rng (List.length candidates)
+    (* Upper half of the XMM register: unused by scalar double code, so
+       a fault confined there can never be activated. *)
+    let xnote bit tail =
+      if bit < 64 then Printf.sprintf "bit %d of xmm%d%s" bit r tail
+      else Printf.sprintf "bit %d of xmm%d (upper half)%s" bit r tail
     in
-    let bit = List.nth candidates pick in
-    m.flags <- m.flags lxor (1 lsl bit);
-    m.watch <- Watch_flags;
-    m.fault_note <- Printf.sprintf "flag bit %d" bit
+    match m.model with
+    | Fault_model.Bitflip ->
+      let bit = draw () in
+      if bit < 64 then begin
+        m.xmm.(r) <- Bits.flip_float m.xmm.(r) bit;
+        m.watch <- Watch_xmm r;
+        m.fault_note <- Printf.sprintf "bit %d of xmm%d" bit r
+      end
+      else begin
+        m.watch <- No_watch;
+        m.fault_note <- Printf.sprintf "bit %d of xmm%d (upper half)" bit r
+      end
+    | Fault_model.Multi_bit n ->
+      let touched = ref false in
+      let apply b =
+        if b < 64 then begin
+          m.xmm.(r) <- Bits.flip_float m.xmm.(r) b;
+          touched := true
+        end
+      in
+      let bit = draw () in
+      apply bit;
+      for _ = 2 to n do
+        apply (Rng.int m.inj_rng range)
+      done;
+      m.watch <- (if !touched then Watch_xmm r else No_watch);
+      m.fault_note <- xnote bit (Printf.sprintf " (+%d more)" (n - 1))
+    | Fault_model.Stuck_at_0 | Fault_model.Stuck_at_1 ->
+      let b = m.model = Fault_model.Stuck_at_1 in
+      let bit = draw () in
+      if bit < 64 then begin
+        m.xmm.(r) <-
+          Int64.float_of_bits
+            (Bits.set_int64 (Int64.bits_of_float m.xmm.(r)) bit b);
+        m.watch <- Watch_xmm r
+      end
+      else m.watch <- No_watch;
+      m.fault_note <-
+        xnote bit (Printf.sprintf " stuck at %d" (if b then 1 else 0))
+    | Fault_model.Skip ->
+      m.xmm.(r) <- m.cap_f;
+      m.watch <- Watch_xmm r;
+      m.fault_note <- Printf.sprintf "write of xmm%d skipped" r
+    | Fault_model.Load_value ->
+      m.xmm.(r) <- Int64.float_of_bits (Rng.next_int64 m.inj_rng);
+      m.watch <- Watch_xmm r;
+      m.fault_note <- Printf.sprintf "value of xmm%d randomized" r)
+  | Dflags -> (
+    let candidates = flag_candidates m loaded in
+    let ncand = List.length candidates in
+    (* A pinned bit indexes the candidate list, mirroring the draw. *)
+    let pick () =
+      if m.forced_bit >= 0 then m.forced_bit else Rng.int m.inj_rng ncand
+    in
+    match m.model with
+    | Fault_model.Bitflip ->
+      let bit = List.nth candidates (pick ()) in
+      m.flags <- m.flags lxor (1 lsl bit);
+      m.watch <- Watch_flags;
+      m.fault_note <- Printf.sprintf "flag bit %d" bit
+    | Fault_model.Multi_bit n ->
+      let bit = List.nth candidates (pick ()) in
+      m.flags <- m.flags lxor (1 lsl bit);
+      for _ = 2 to n do
+        let b = List.nth candidates (Rng.int m.inj_rng ncand) in
+        m.flags <- m.flags lxor (1 lsl b)
+      done;
+      m.watch <- Watch_flags;
+      m.fault_note <- Printf.sprintf "flag bit %d (+%d more)" bit (n - 1)
+    | Fault_model.Stuck_at_0 | Fault_model.Stuck_at_1 ->
+      let b = m.model = Fault_model.Stuck_at_1 in
+      let bit = List.nth candidates (pick ()) in
+      m.flags <- set_word m.flags bit b;
+      m.watch <- Watch_flags;
+      m.fault_note <-
+        Printf.sprintf "flag bit %d stuck at %d" bit (if b then 1 else 0)
+    | Fault_model.Skip ->
+      m.flags <- m.cap_i;
+      m.watch <- Watch_flags;
+      m.fault_note <- "flags write skipped"
+    | Fault_model.Load_value ->
+      let v = Rng.int m.inj_rng (1 lsl ncand) in
+      List.iteri (fun i bit -> m.flags <- set_word m.flags bit (v lsr i land 1 = 1)) candidates;
+      m.watch <- Watch_flags;
+      m.fault_note <- Printf.sprintf "flag value %d of %d candidates" v ncand)
   | Dnone -> m.watch <- No_watch
 
 (* --- first-use classification (the paper's Section V cause classes) ---
@@ -447,22 +564,29 @@ let enum_scan m (insn : Insn.t) =
 let enum_start m (loaded : loaded) insn =
   match primary_dest insn with
   | Dgp r ->
-    let b = Fault_space.create ~width:Word.width in
+    let gold = Int64.logand (Int64.of_int m.gp.(r)) (Bits.mask_width Word.width) in
+    let b = Fault_space.create ~gold ~width:Word.width in
     m.enum_rev <- b :: m.enum_rev;
     m.e_gp.(r) <- Some b
   | Dxmm r ->
     let width = if m.policy.xmm_low64_only then 64 else 128 in
-    let b = Fault_space.create ~width in
+    let b = Fault_space.create ~gold:(Int64.bits_of_float m.xmm.(r)) ~width in
     m.enum_rev <- b :: m.enum_rev;
     m.e_xmm.(r) <- Some b
   | Dflags ->
     let candidates = flag_candidates m loaded in
-    let b = Fault_space.create ~width:(List.length candidates) in
+    let gold = ref 0L in
+    List.iteri
+      (fun i bit ->
+        if m.flags lsr bit land 1 = 1 then
+          gold := Int64.logor !gold (Int64.shift_left 1L i))
+      candidates;
+    let b = Fault_space.create ~gold:!gold ~width:(List.length candidates) in
     m.enum_rev <- b :: m.enum_rev;
     m.e_flags <- Some (b, candidates)
   | Dnone ->
     (* occupies a countdown index; zero reads = never activated *)
-    m.enum_rev <- Fault_space.create ~width:1 :: m.enum_rev
+    m.enum_rev <- Fault_space.create ~gold:0L ~width:1 :: m.enum_rev
 
 (* --- rejoin digest maintenance (see Rejoin) ---
 
@@ -2240,6 +2364,8 @@ let run_machine ?fast (loaded : loaded) m =
       let pre =
         match m.rej with None -> 0 | Some rj -> rejoin_pre m insn rj idx
       in
+      if m.skip_capture && m.countdown = 0 && masks.(idx) land m.inj_mask <> 0
+      then capture_dest m insn;
       m.rip <- idx + 1;
       if use_c then (Array.unsafe_get cexec idx) m
       else exec_insn m loaded insn resolved.(idx);
@@ -2301,8 +2427,9 @@ let finish_machine ?fast (loaded : loaded) m =
     first_use = m.first_use;
   }
 
-let make_machine ?(forced_bit = -1) (loaded : loaded) ~inputs ~max_steps ~mode
-    ~countdown ~inj_mask ~inj_rng ~policy ~track_use =
+let make_machine ?(forced_bit = -1) ?(model = Fault_model.Bitflip)
+    (loaded : loaded) ~inputs ~max_steps ~mode ~countdown ~inj_mask ~inj_rng
+    ~policy ~track_use =
   let p = loaded.program in
   let e_regs () =
     match mode with Enumerate -> Array.make 16 None | _ -> [||]
@@ -2334,6 +2461,11 @@ let make_machine ?(forced_bit = -1) (loaded : loaded) ~inputs ~max_steps ~mode
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      model;
+      skip_capture =
+        (match mode with Inject -> model = Fault_model.Skip | _ -> false);
+      cap_i = 0;
+      cap_f = 0.0;
       rej = None;
       e_gp = e_regs ();
       e_xmm = e_regs ();
@@ -2346,9 +2478,9 @@ let make_machine ?(forced_bit = -1) (loaded : loaded) ~inputs ~max_steps ~mode
   Memory.write_word m.mem m.gp.(Reg.rsp) (Backend.Program.halt_addr p);
   m
 
-let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
-    ?profile_masks ?profile_index ?(track_use = false) ?fast (loaded : loaded)
-    =
+let run ?plan ?(model = Fault_model.Bitflip) ?(forced_bit = -1)
+    ?(inputs = [||]) ?(max_steps = 100_000_000) ?profile_masks ?profile_index
+    ?(track_use = false) ?fast (loaded : loaded) =
   let mode, countdown, inj_mask, inj_rng, policy =
     match (plan, profile_masks, profile_index) with
     | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
@@ -2360,7 +2492,7 @@ let run ?plan ?(forced_bit = -1) ?(inputs = [||]) ?(max_steps = 100_000_000)
     | None, None, None -> (Plain, -1, 0, Rng.of_int 0, paper_policy)
   in
   let m =
-    make_machine ~forced_bit loaded ~inputs ~max_steps ~mode ~countdown
+    make_machine ~forced_bit ~model loaded ~inputs ~max_steps ~mode ~countdown
       ~inj_mask ~inj_rng ~policy ~track_use
   in
   finish_machine ?fast loaded m
@@ -2459,8 +2591,8 @@ let ff_create (loaded : loaded) ?(policy = paper_policy) ?rejoin ?fast ~inputs
         ~inputs ~inj_mask ();
   }
 
-let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
-    =
+let ff_trial ?(track_use = false) ?(forced_bit = -1)
+    ?(model = Fault_model.Bitflip) ff ~target ~max_steps ~rng =
   if target < 0 then invalid_arg "X86_exec.ff_trial: negative target";
   Obs.Metrics.incr m_ff_trials;
   (* Monotonic fast path; a smaller target restarts the rolling run. *)
@@ -2515,6 +2647,10 @@ let ff_trial ?(track_use = false) ?(forced_bit = -1) ff ~target ~max_steps ~rng
       ff_stop = -1;
       matched = 0;
       forced_bit;
+      model;
+      skip_capture = (model = Fault_model.Skip);
+      cap_i = 0;
+      cap_f = 0.0;
       rej = None;
       e_gp = [||];
       e_xmm = [||];

@@ -64,6 +64,7 @@ val compile : loaded -> fast
 
 val run :
   ?plan:plan ->
+  ?model:Fault_model.t ->
   ?forced_bit:int ->
   ?inputs:int array ->
   ?max_steps:int ->
@@ -81,7 +82,10 @@ val run :
     or data — reported in [stats.first_use]; otherwise as
     {!Ir_exec.run}.  [forced_bit] pins the flipped bit — for a flags
     destination, the index into the candidate bit list — instead of
-    drawing it from [plan.rng] (exhaustive replay). *)
+    drawing it from [plan.rng] (exhaustive replay).  [model] (default
+    {!Fault_model.Bitflip}) selects the corruption applied at the
+    planned target, as {!Ir_exec.run}; the default reproduces the
+    paper's single-bit flip exactly. *)
 
 (** {1 Snapshot / fast-forward execution}
 
@@ -115,12 +119,14 @@ val ff_create :
 val ff_trial :
   ?track_use:bool ->
   ?forced_bit:int ->
+  ?model:Fault_model.t ->
   ff ->
   target:int ->
   max_steps:int ->
   rng:Support.Rng.t ->
   Outcome.stats
-(** @raise Invalid_argument if [target] is negative or at least the
+(** [model] selects the fault model, as {!run}.
+    @raise Invalid_argument if [target] is negative or at least the
     category's dynamic population. *)
 
 (** {1 Fault-space enumeration}

@@ -1,10 +1,10 @@
 #!/bin/sh
 # Performance gate: run the gated bench sections (engine, diagnose,
-# snapshot, compile, exhaust, obs, serve) at a small trial count and compare
-# the resulting BENCH_* JSON summaries against the committed baselines
-# at the repo root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json,
+# snapshot, compile, exhaust, obs, serve, models) at a small trial count
+# and compare the resulting BENCH_* JSON summaries against the committed
+# baselines at the repo root (BENCH_ENGINE.json, BENCH_DIAGNOSE.json,
 # BENCH_SNAPSHOT.json, BENCH_COMPILE.json, BENCH_EXHAUST.json, BENCH_OBS.json,
-# BENCH_SERVE.json).
+# BENCH_SERVE.json, BENCH_MODELS.json).
 #
 # Only *ratios* are gated — speedups and overhead ratios are stable
 # across machines, wall-clock seconds are not.  Tolerances are generous
@@ -50,8 +50,8 @@ trap 'rm -rf "$tmp"' EXIT INT TERM
 out=${BENCH_JSON_DIR:-$tmp}
 mkdir -p "$out"
 
-echo "== bench (engine,diagnose,snapshot,compile,exhaust,obs,serve) at $TRIALS trials, $JOBS jobs =="
-BENCH_ONLY=engine,diagnose,snapshot,compile,exhaust,obs,serve BENCH_TRIALS="$TRIALS" \
+echo "== bench (engine,diagnose,snapshot,compile,exhaust,obs,serve,models) at $TRIALS trials, $JOBS jobs =="
+BENCH_ONLY=engine,diagnose,snapshot,compile,exhaust,obs,serve,models BENCH_TRIALS="$TRIALS" \
     BENCH_JOBS="$JOBS" BENCH_JSON_DIR="$out" \
     dune exec bench/main.exe > "$tmp/bench.log" 2>&1 || {
     # The bench gates itself (determinism + hard ratio floors) and
@@ -63,7 +63,7 @@ BENCH_ONLY=engine,diagnose,snapshot,compile,exhaust,obs,serve BENCH_TRIALS="$TRI
 grep '^BENCH_' "$tmp/bench.log"
 
 if [ "$update" = yes ]; then
-    for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE; do
+    for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE MODELS; do
         cp "$out/BENCH_$s.json" "BENCH_$s.json"
     done
     echo "Baselines refreshed; commit the BENCH_*.json files."
@@ -104,6 +104,19 @@ gate_abs_min() {
     fi
 }
 
+# gate_abs_max SECTION KEY VALUE: current <= VALUE.  Machine-independent
+# hard ceiling, the dual of gate_abs_min.
+gate_abs_max() {
+    cur=$(field "$out/BENCH_$1.json" "$2")
+    if awk -v c="$cur" -v v="$3" 'BEGIN { exit !(c <= v) }'
+    then
+        echo "ok   $1.$2: $cur (hard ceiling $3)"
+    else
+        echo "FAIL $1.$2: $cur above hard ceiling $3" >&2
+        fail=1
+    fi
+}
+
 # gate_max SECTION KEY FACTOR: current <= baseline * FACTOR
 gate_max() {
     cur=$(field "$out/BENCH_$1.json" "$2")
@@ -118,7 +131,7 @@ gate_max() {
 }
 
 echo "== ratio gates against committed baselines =="
-for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE; do
+for s in ENGINE DIAGNOSE SNAPSHOT COMPILE EXHAUST OBS SERVE MODELS; do
     [ -f "BENCH_$s.json" ] || {
         echo "FAIL: missing baseline BENCH_$s.json" >&2
         exit 1
@@ -127,7 +140,7 @@ done
 
 # Determinism is non-negotiable: the bench re-checks byte-identity and
 # records it in the summary.
-for s in ENGINE SNAPSHOT COMPILE EXHAUST SERVE; do
+for s in ENGINE SNAPSHOT COMPILE EXHAUST SERVE MODELS; do
     grep -q '"identical": true' "$out/BENCH_$s.json" || {
         echo "FAIL: $s summary does not attest byte-identical output" >&2
         fail=1
@@ -159,6 +172,8 @@ gate_max OBS disabled_ratio 1.10       # telemetry must stay free when off
 gate_max OBS enabled_ratio 1.25        # recording overhead must stay modest
 gate_min SERVE warm_speedup 0.5    # warm pool must keep amortizing prepare
                                    # (the hard 3x floor lives in the bench)
+gate_abs_max MODELS worst_overhead 1.10  # every fault model within 10% of
+                                         # the bitflip baseline, on any host
 
 [ "$fail" = 0 ] || exit 1
 echo "OK: all bench ratios within tolerance of the committed baselines"

@@ -167,6 +167,52 @@ doff=$(manifest_csv_digest "$tmp/compile-off-j4-manifest.json")
 
 echo "OK: compiled tier output byte-identical to the interpreters"
 
+echo "== fault-model smoke: per-model campaigns, --jobs 1 vs --jobs 4 =="
+# One tiny campaign per non-default fault model: the determinism
+# guarantee must hold on every point of the model axis, so each CSV is
+# required byte-identical between one and four worker domains.  The
+# CSVs must also carry the model column (only emitted when a cell's
+# model is non-default — the default grid stays byte-identical to a
+# pre-model-axis campaign, which the earlier smokes already pin).
+for model in multi_bit:2 stuck_at_0 stuck_at_1 skip load_value; do
+    tag=$(printf '%s' "$model" | tr ':' '-')
+    for j in 1 4; do
+        dune exec --no-build bin/fi.exe -- campaign mcf \
+            --model "$model" -n 40 --seed 19 --jobs "$j" --no-manifest \
+            --csv "$tmp/model-$tag-j$j.csv" > /dev/null
+    done
+    cmp "$tmp/model-$tag-j1.csv" "$tmp/model-$tag-j4.csv" || {
+        echo "FAIL: $model campaign CSV differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    }
+    grep -q ",$model," "$tmp/model-$tag-j1.csv" || {
+        echo "FAIL: $model campaign CSV is missing its model column" >&2
+        exit 1
+    }
+done
+
+echo "OK: per-model CSVs byte-identical across --jobs values"
+
+echo "== fault-model smoke: compiled tier vs --no-compile per model =="
+# The closure-compiled tier must implement every corruption semantics
+# bit-for-bit like the interpreters; stuck_at_1 and skip are the two
+# models whose mechanics differ most from a bitflip (forced-set vs
+# suppressed destination write).
+for model in stuck_at_1 skip; do
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        --model "$model" -n 40 --seed 19 --no-manifest \
+        --csv "$tmp/model-$model-compiled.csv" > /dev/null
+    dune exec --no-build bin/fi.exe -- campaign mcf \
+        --model "$model" -n 40 --seed 19 --no-manifest --no-compile \
+        --csv "$tmp/model-$model-interp.csv" > /dev/null
+    cmp "$tmp/model-$model-compiled.csv" "$tmp/model-$model-interp.csv" || {
+        echo "FAIL: $model CSV differs between compiled tier and --no-compile" >&2
+        exit 1
+    }
+done
+
+echo "OK: compiled tier byte-identical to the interpreters on every model"
+
 echo "== resume smoke: interrupted journal, then --resume =="
 camp() {
     dune exec --no-build bin/fi.exe -- campaign mcf \

@@ -31,9 +31,16 @@ let stats_key (s : Vm.Outcome.stats) =
 
 (* Compare the two engines on one program: golden observables from the
    two preparations, then a few tracked injection trials per non-empty
-   category with identical rng streams.  Returns the first divergence
-   as [Some description]. *)
-let divergence (prog : Ir.Prog.t) =
+   category with identical rng streams.  Each trial draws its fault
+   model from the seed-dependent rotation of the full model list, so
+   the differential covers every corruption semantics, not just
+   bitflips.  Returns the first divergence as [Some description]. *)
+let models = Array.of_list Core.Fault_model.all
+
+let divergence ?(model_offset = 0) (prog : Ir.Prog.t) =
+  let model_of trial =
+    models.((model_offset + trial) mod Array.length models)
+  in
   let exception Diverged of string in
   let check what a b =
     if not (String.equal a b) then
@@ -59,27 +66,31 @@ let divergence (prog : Ir.Prog.t) =
       (fun cat ->
         let cname = Core.Category.name cat in
         if Core.Llfi.dynamic_count li cat > 0 then
-          for trial = 0 to 2 do
+          for trial = 0 to 5 do
             let seed = Int64.of_int ((trial * 6151) + 3) in
+            let model = model_of trial in
             check
-              (Printf.sprintf "llfi %s trial %d" cname trial)
+              (Printf.sprintf "llfi %s trial %d model %s" cname trial
+                 (Core.Fault_model.name model))
               (stats_key
-                 (Core.Llfi.inject ~track_use:true li cat
+                 (Core.Llfi.inject ~track_use:true ~model li cat
                     (Support.Rng.create seed)))
               (stats_key
-                 (Core.Llfi.inject ~track_use:true lc cat
+                 (Core.Llfi.inject ~track_use:true ~model lc cat
                     (Support.Rng.create seed)))
           done;
         if Core.Pinfi.dynamic_count pi cat > 0 then
-          for trial = 0 to 2 do
+          for trial = 0 to 5 do
             let seed = Int64.of_int ((trial * 1299709) + 5) in
+            let model = model_of trial in
             check
-              (Printf.sprintf "pinfi %s trial %d" cname trial)
+              (Printf.sprintf "pinfi %s trial %d model %s" cname trial
+                 (Core.Fault_model.name model))
               (stats_key
-                 (Core.Pinfi.inject ~track_use:true pi cat
+                 (Core.Pinfi.inject ~track_use:true ~model pi cat
                     (Support.Rng.create seed)))
               (stats_key
-                 (Core.Pinfi.inject ~track_use:true pc cat
+                 (Core.Pinfi.inject ~track_use:true ~model pc cat
                     (Support.Rng.create seed)))
           done)
       Core.Category.all;
@@ -127,7 +138,7 @@ let prop_minic seed =
       (Printf.sprintf "seed %d: generator artifact: %s" seed
          (Printexc.to_string exn))
   | prog -> (
-    match divergence prog with
+    match divergence ~model_offset:seed prog with
     | None -> true
     | Some msg -> QCheck.Test.fail_report (report_minic_failure seed src msg))
 
@@ -138,7 +149,7 @@ let prop_ir seed =
       (Printf.sprintf "ir seed %d: generator artifact: %s" seed
          (Printexc.to_string exn))
   | prog -> (
-    match divergence prog with
+    match divergence ~model_offset:seed prog with
     | None -> true
     | Some msg ->
       (* IR programs are already small; record the text directly. *)

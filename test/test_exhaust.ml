@@ -225,6 +225,7 @@ let test_xcell_roundtrip () =
       Core.Campaign.e_workload = "mcf";
       e_tool = Core.Campaign.Pinfi_tool;
       e_category = Core.Category.Cmp;
+      e_model = Core.Fault_model.Bitflip;
       e_population = 3;
       e_enumerated = 10;
       e_pruned_dead = 1;

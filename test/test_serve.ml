@@ -26,6 +26,21 @@ let tools = [ Core.Campaign.Llfi_tool; Core.Campaign.Pinfi_tool ]
 let tool_gen = QCheck.Gen.oneofl tools
 let cat_gen = QCheck.Gen.oneofl Core.Category.all
 
+let model_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl
+          [
+            Core.Fault_model.Bitflip;
+            Core.Fault_model.Stuck_at_0;
+            Core.Fault_model.Stuck_at_1;
+            Core.Fault_model.Skip;
+            Core.Fault_model.Load_value;
+          ];
+        map (fun n -> Core.Fault_model.Multi_bit n) (int_range 1 64);
+      ])
+
 let str_gen =
   (* arbitrary bytes: the codec length-prefixes, so nothing is special *)
   QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
@@ -33,19 +48,23 @@ let str_gen =
 let job_gen =
   QCheck.Gen.(
     map
-      (fun (w, ts, cs, (n, seed, out)) ->
+      (fun ((w, ts, cs, (n, seed, out)), m) ->
         {
           Wire.j_workload = w;
           j_tools = ts;
           j_categories = cs;
+          j_model = m;
           j_trials = n;
           j_seed = seed;
           j_out = out;
         })
-      (quad str_gen
-         (list_size (int_range 0 4) tool_gen)
-         (list_size (int_range 0 6) cat_gen)
-         (triple (int_range 0 100000) (int_range 0 1000000) (option str_gen))))
+      (pair
+         (quad str_gen
+            (list_size (int_range 0 4) tool_gen)
+            (list_size (int_range 0 6) cat_gen)
+            (triple (int_range 0 100000) (int_range 0 1000000)
+               (option str_gen)))
+         model_gen))
 
 let tally_gen =
   QCheck.Gen.(
@@ -68,11 +87,12 @@ let tally_gen =
 let batch_gen =
   QCheck.Gen.(
     map
-      (fun ((j, first, count), (tool, cat), (pop, tally)) ->
+      (fun ((j, first, count), (tool, cat, model), (pop, tally)) ->
         {
           Wire.b_job = j;
           b_tool = tool;
           b_category = cat;
+          b_model = model;
           b_first = first;
           b_count = count;
           b_population = pop;
@@ -80,7 +100,7 @@ let batch_gen =
         })
       (triple
          (triple (int_range 0 1000) (int_range 0 100000) (int_range 0 1000))
-         (pair tool_gen cat_gen)
+         (triple tool_gen cat_gen model_gen)
          (pair (int_range 0 1000000) tally_gen)))
 
 let client_msg_gen =
@@ -192,6 +212,20 @@ let test_magic_rejected =
       | Wire.Bad _ -> true
       | Wire.Got _ | Wire.Need_more -> false)
 
+let model_arb = QCheck.make ~print:Core.Fault_model.name model_gen
+
+let test_model_name_roundtrip =
+  QCheck.Test.make ~name:"fault-model names round-trip" ~count:500 model_arb
+    (fun m ->
+      Core.Fault_model.of_name (Core.Fault_model.name m)
+      = Some m)
+
+let test_wire_is_v2 () =
+  (* the model field changed the frame layout, so the version must have
+     been bumped: a v1 peer fails fast (test_version_rejected) instead
+     of misparsing model bytes as trial counts *)
+  Alcotest.(check int) "model field bumped the protocol version" 2 Wire.version
+
 (* --- planning --- *)
 
 let test_shards_partition =
@@ -225,6 +259,8 @@ let sample_job out =
     Wire.j_workload = "mcf";
     j_tools = tools;
     j_categories = [ Core.Category.Arithmetic; Core.Category.All ];
+    (* non-default: the journal's model token must survive the trip *)
+    j_model = Core.Fault_model.Stuck_at_1;
     j_trials = 20;
     j_seed = 7;
     j_out = out;
@@ -309,8 +345,8 @@ let test_joblog_header_mismatch () =
 
 let offline_csv (job : Wire.job) =
   let config =
-    Plan.config_for ~base:Core.Campaign.default_config ~trials:job.Wire.j_trials
-      ~seed:job.Wire.j_seed
+    Plan.config_for ~base:Core.Campaign.default_config ~model:job.Wire.j_model
+      ~trials:job.Wire.j_trials ~seed:job.Wire.j_seed
   in
   let w = Workloads.find_exn job.Wire.j_workload in
   let p = Core.Campaign.prepare config w in
@@ -350,6 +386,7 @@ let test_served_equals_offline () =
       Wire.j_workload = "mcf";
       j_tools = tools;
       j_categories = [ Core.Category.Arithmetic; Core.Category.Cast ];
+      j_model = Core.Fault_model.Bitflip;
       j_trials = 10;
       j_seed = 5;
       j_out = None;
@@ -395,6 +432,8 @@ let test_warm_shards_byte_identical () =
       Wire.j_workload = "libquantum";
       j_tools = tools;
       j_categories = [ Core.Category.Load; Core.Category.Cmp ];
+      (* a non-default model rides the whole serve path end to end *)
+      j_model = Core.Fault_model.Stuck_at_1;
       j_trials = trials;
       j_seed = seed;
       j_out = None;
@@ -428,6 +467,7 @@ let test_invalid_job_rejected () =
          Wire.j_workload = "no-such-workload";
          j_tools = tools;
          j_categories = [ Core.Category.All ];
+         j_model = Core.Fault_model.Bitflip;
          j_trials = 1;
          j_seed = 0;
          j_out = None;
@@ -464,6 +504,7 @@ let test_drain_no_loss_no_dup () =
       Wire.j_workload = "mcf";
       j_tools = [ Core.Campaign.Llfi_tool ];
       j_categories = [ Core.Category.Arithmetic; Core.Category.Cmp ];
+      j_model = Core.Fault_model.Bitflip;
       j_trials = 30;
       j_seed = 13;
       j_out = None;
@@ -504,6 +545,9 @@ let test_journal_resume_headless () =
       Wire.j_workload = "mcf";
       j_tools = [ Core.Campaign.Pinfi_tool ];
       j_categories = [ Core.Category.Load ];
+      (* a non-default model must survive the journal and resume under
+         the same trial streams *)
+      j_model = Core.Fault_model.Skip;
       j_trials = 12;
       j_seed = 3;
       j_out = Some out;
@@ -512,8 +556,8 @@ let test_journal_resume_headless () =
   (* forge the journal a SIGKILLed server would leave behind: the job
      admitted, exactly one shard checkpointed *)
   let config =
-    Plan.config_for ~base:Core.Campaign.default_config ~trials:job.Wire.j_trials
-      ~seed:job.Wire.j_seed
+    Plan.config_for ~base:Core.Campaign.default_config ~model:job.Wire.j_model
+      ~trials:job.Wire.j_trials ~seed:job.Wire.j_seed
   in
   let p = Core.Campaign.prepare config (Workloads.find_exn "mcf") in
   let first_shard =
@@ -575,6 +619,8 @@ let () =
           QCheck_alcotest.to_alcotest test_garbage_total;
           QCheck_alcotest.to_alcotest test_version_rejected;
           QCheck_alcotest.to_alcotest test_magic_rejected;
+          QCheck_alcotest.to_alcotest test_model_name_roundtrip;
+          ("wire protocol is v2", `Quick, test_wire_is_v2);
         ] );
       ( "planning",
         [
